@@ -1,0 +1,300 @@
+//! `tman-baseline` — the comparators the paper argues against (§8).
+//!
+//! * [`NaiveEca`] — "Most active database systems follow the
+//!   event-condition-action (ECA) model ... testing the condition of every
+//!   applicable trigger whenever an update event occurs. The cost of this
+//!   is always at least linear in the number of triggers associated with
+//!   the relevant event since no predicate indexing is normally used."
+//! * [`QueryBased`] — the RPL/DIPS approach [Delc88a, Sell88]: "an
+//!   approach that runs database queries to test rule conditions as
+//!   updates occur. This type of approach has limited scalability due to
+//!   the potentially large number of queries that could be generated if
+//!   there are many rules." Each token is materialized into a one-row
+//!   delta table and every trigger's condition is executed as a fresh SQL
+//!   query (parse + bind + execute), which is the cost model of those
+//!   systems.
+//!
+//! Both baselines share trigger definitions with the real engine via the
+//! same condition language, so experiment E1 compares *selection-predicate
+//! matching strategies* and nothing else.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+use tman_common::stats::Counter;
+use tman_common::{
+    DataSourceId, EventKind, Result, Schema, TriggerId, UpdateDescriptor, Value,
+};
+use tman_expr::cnf::{remap_var, to_cnf, Cnf};
+use tman_expr::scalar::Env;
+use tman_expr::BindCtx;
+use tman_lang::parse_expression;
+use tman_sql::Database;
+
+/// A trigger definition shared by both baselines.
+struct BaselineTrigger {
+    id: TriggerId,
+    data_src: DataSourceId,
+    event: EventKind,
+    /// Compiled selection predicate (variable 0 = the token's tuple).
+    pred: Cnf,
+    /// Original condition text (re-parsed per token by [`QueryBased`]).
+    cond_text: Option<String>,
+}
+
+/// Linear-scan ECA trigger processing: every applicable trigger's condition
+/// is evaluated against every token.
+#[derive(Default)]
+pub struct NaiveEca {
+    triggers: RwLock<Vec<BaselineTrigger>>,
+    /// Conditions evaluated (the linear-cost evidence for E1).
+    pub conditions_tested: Counter,
+}
+
+impl NaiveEca {
+    /// Empty processor.
+    pub fn new() -> NaiveEca {
+        NaiveEca::default()
+    }
+
+    /// Register a trigger with condition `cond` (over `var_name` bound to
+    /// `schema`).
+    pub fn add_trigger(
+        &self,
+        id: TriggerId,
+        data_src: DataSourceId,
+        event: EventKind,
+        var_name: &str,
+        schema: &Schema,
+        cond: &str,
+    ) -> Result<()> {
+        let ctx = BindCtx::new(vec![(var_name.to_string(), schema)]);
+        let cnf = to_cnf(&ctx.pred(&parse_expression(cond)?)?)?;
+        self.triggers.write().push(BaselineTrigger {
+            id,
+            data_src,
+            event,
+            pred: remap_var(&cnf, 0, 0, var_name),
+            cond_text: None,
+        });
+        Ok(())
+    }
+
+    /// Number of registered triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.read().len()
+    }
+
+    /// Is the processor empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Match one token: evaluate *every* applicable trigger's condition.
+    pub fn match_token(&self, token: &UpdateDescriptor) -> Result<Vec<TriggerId>> {
+        let tuple = token.probe_tuple();
+        let bind = Some(tuple);
+        let env = Env { tuples: std::slice::from_ref(&bind), consts: &[] };
+        let mut out = Vec::new();
+        for t in self.triggers.read().iter() {
+            if t.data_src != token.data_src || !t.event.accepts(token.op) {
+                continue;
+            }
+            self.conditions_tested.bump();
+            if t.pred.matches(&env)? {
+                out.push(t.id);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Query-per-trigger condition testing (RPL/DIPS style): the token is
+/// inserted into a per-source one-row delta table, and each trigger's
+/// condition runs as a standalone SQL query.
+pub struct QueryBased {
+    db: Arc<Database>,
+    triggers: RwLock<Vec<BaselineTrigger>>,
+    /// Queries issued (the per-trigger query-cost evidence for E1).
+    pub queries_run: Counter,
+}
+
+impl QueryBased {
+    /// Processor over its own scratch database.
+    pub fn new(db: Arc<Database>) -> QueryBased {
+        QueryBased { db, triggers: RwLock::new(Vec::new()), queries_run: Counter::new() }
+    }
+
+    fn delta_table(&self, src: DataSourceId) -> String {
+        format!("delta_{}", src.raw())
+    }
+
+    /// Register a data source (creates its delta table).
+    pub fn register_source(&self, src: DataSourceId, schema: &Schema) -> Result<()> {
+        let name = self.delta_table(src);
+        if !self.db.has_table(&name) {
+            self.db.create_table(&name, schema.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Register a trigger. `cond` must reference the delta table by its
+    /// `delta_<srcid>` name or unqualified columns.
+    pub fn add_trigger(
+        &self,
+        id: TriggerId,
+        data_src: DataSourceId,
+        event: EventKind,
+        cond: &str,
+    ) -> Result<()> {
+        self.triggers.write().push(BaselineTrigger {
+            id,
+            data_src,
+            event,
+            pred: Cnf::truth(),
+            cond_text: Some(cond.to_string()),
+        });
+        Ok(())
+    }
+
+    /// Number of registered triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.read().len()
+    }
+
+    /// Is the processor empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Match one token by running one query per applicable trigger.
+    pub fn match_token(&self, token: &UpdateDescriptor) -> Result<Vec<TriggerId>> {
+        let delta = self.delta_table(token.data_src);
+        if !self.db.has_table(&delta) {
+            return Ok(Vec::new());
+        }
+        // Replace the delta table's contents with this token's tuple.
+        tman_sql::exec::execute_str(&self.db, &format!("delete from {delta}"))?;
+        {
+            let t = self.db.table(&delta)?;
+            t.insert(token.probe_tuple().values().to_vec())?;
+        }
+        let mut out = Vec::new();
+        for trig in self.triggers.read().iter() {
+            if trig.data_src != token.data_src || !trig.event.accepts(token.op) {
+                continue;
+            }
+            let cond = trig.cond_text.as_deref().unwrap_or("1 = 1");
+            self.queries_run.bump();
+            // Parse + plan + execute per trigger — the RPL cost model.
+            let sql = format!("select * from {delta} where {cond}");
+            let rows = tman_sql::exec::execute_str(&self.db, &sql)?.rows();
+            if !rows.is_empty() {
+                out.push(trig.id);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience used by experiments: make a `(name, value)` token.
+pub fn simple_token(src: DataSourceId, values: Vec<Value>) -> UpdateDescriptor {
+    UpdateDescriptor::insert(src, tman_common::Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tman_common::DataType;
+
+    fn emp() -> Schema {
+        Schema::from_pairs(&[
+            ("name", DataType::Varchar(32)),
+            ("salary", DataType::Float),
+            ("dept", DataType::Int),
+        ])
+    }
+
+    const SRC: DataSourceId = DataSourceId(1);
+
+    fn tok(name: &str, sal: f64, dept: i64) -> UpdateDescriptor {
+        simple_token(SRC, vec![Value::str(name), Value::Float(sal), Value::Int(dept)])
+    }
+
+    #[test]
+    fn naive_eca_matches_and_counts_linear_work() {
+        let eca = NaiveEca::new();
+        let schema = emp();
+        for i in 0..100u64 {
+            eca.add_trigger(
+                TriggerId(i),
+                SRC,
+                EventKind::Insert,
+                "emp",
+                &schema,
+                &format!("emp.salary > {}", i * 1000),
+            )
+            .unwrap();
+        }
+        let hits = eca.match_token(&tok("x", 5_500.0, 1)).unwrap();
+        assert_eq!(hits.len(), 6); // thresholds 0..=5000
+        // Linear: all 100 conditions evaluated for one token.
+        assert_eq!(eca.conditions_tested.get(), 100);
+    }
+
+    #[test]
+    fn naive_eca_filters_by_source_and_event() {
+        let eca = NaiveEca::new();
+        let schema = emp();
+        eca.add_trigger(TriggerId(1), SRC, EventKind::Delete, "emp", &schema, "emp.dept = 1")
+            .unwrap();
+        eca.add_trigger(TriggerId(2), DataSourceId(9), EventKind::Insert, "emp", &schema, "emp.dept = 1")
+            .unwrap();
+        assert!(eca.match_token(&tok("x", 1.0, 1)).unwrap().is_empty());
+        assert_eq!(eca.conditions_tested.get(), 0, "non-applicable triggers skipped");
+    }
+
+    #[test]
+    fn query_based_matches_via_queries() {
+        let db = Arc::new(Database::open_memory(256));
+        let qb = QueryBased::new(db);
+        qb.register_source(SRC, &emp()).unwrap();
+        for i in 0..20u64 {
+            qb.add_trigger(
+                TriggerId(i),
+                SRC,
+                EventKind::Insert,
+                &format!("dept = {}", i % 4),
+            )
+            .unwrap();
+        }
+        let hits = qb.match_token(&tok("x", 1.0, 2)).unwrap();
+        assert_eq!(hits.len(), 5); // ids 2, 6, 10, 14, 18
+        assert_eq!(qb.queries_run.get(), 20, "one query per trigger per token");
+        // Second token reuses the delta table.
+        let hits = qb.match_token(&tok("y", 1.0, 3)).unwrap();
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn baselines_agree_with_each_other() {
+        let schema = emp();
+        let eca = NaiveEca::new();
+        let db = Arc::new(Database::open_memory(256));
+        let qb = QueryBased::new(db);
+        qb.register_source(SRC, &schema).unwrap();
+        for i in 0..30u64 {
+            let cond_eca = format!("emp.dept = {} and emp.salary > {}", i % 3, i * 100);
+            let cond_qb = format!("dept = {} and salary > {}", i % 3, i * 100);
+            eca.add_trigger(TriggerId(i), SRC, EventKind::Insert, "emp", &schema, &cond_eca)
+                .unwrap();
+            qb.add_trigger(TriggerId(i), SRC, EventKind::Insert, &cond_qb).unwrap();
+        }
+        for t in [tok("a", 500.0, 0), tok("b", 5000.0, 1), tok("c", 0.0, 2)] {
+            let mut a = eca.match_token(&t).unwrap();
+            let mut b = qb.match_token(&t).unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! E1 (Criterion): token matching vs number of triggers — signature
+//! predicate index vs naive ECA scan. See EXPERIMENTS.md §E1; the full
+//! sweep lives in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+use tman_bench::*;
+use tman_common::EventKind;
+use tman_predindex::{IndexConfig, PredicateIndex};
+
+fn bench_index_vs_naive(c: &mut Criterion) {
+    let n_syms = 200;
+    let tokens = quote_tokens(256, n_syms, 2);
+
+    let mut group = c.benchmark_group("e1_match_token");
+    for &n in &[100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(tokens.len() as u64));
+
+        let ix = PredicateIndex::new(IndexConfig::default());
+        build_index(&ix, n, Template::all(), n_syms, 1);
+        group.bench_with_input(BenchmarkId::new("signature_index", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in &tokens {
+                    ix.match_token(t, &mut |_| hits += 1).unwrap();
+                }
+                hits
+            })
+        });
+
+        let eca = tman_baseline::NaiveEca::new();
+        let schema = quotes_schema();
+        let mut r = rng(1);
+        for i in 0..n {
+            let t = Template::all()[i % Template::all().len()];
+            eca.add_trigger(
+                tman_common::TriggerId(i as u64),
+                QUOTES,
+                EventKind::Insert,
+                "q",
+                &schema,
+                &t.condition(&mut r, n_syms),
+            )
+            .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("naive_eca", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in &tokens {
+                    hits += eca.match_token(t).unwrap().len();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: most-selective-conjunct indexing vs evaluating the whole
+/// predicate (IndexPlan::None path) for equality+residual conditions.
+fn bench_most_selective_conjunct(c: &mut Criterion) {
+    let n = 10_000;
+    let n_syms = 200;
+    let tokens = quote_tokens(256, n_syms, 2);
+
+    // Indexed: `sym = S AND price > p` probes on sym equality.
+    let indexed = PredicateIndex::new(IndexConfig::default());
+    build_index(&indexed, n, &[Template::SymAndPrice], n_syms, 1);
+
+    // Un-indexed structural twin: an OR-wrapped version of the same
+    // condition defeats the indexable-conjunct analysis, so every member
+    // of the class is evaluated per token.
+    let flat = PredicateIndex::new(IndexConfig::default());
+    let mut r = rng(1);
+    for i in 0..n {
+        let sym = format!("S{}", r.gen_range(0..n_syms));
+        let p = r.gen_range(0..1000);
+        add_to_index(
+            &flat,
+            i as u64,
+            &format!("(q.sym = '{sym}' and q.price > {p}) or (q.sym = '{sym}' and q.price > {p})"),
+            EventKind::Insert,
+        );
+    }
+    let mut group = c.benchmark_group("e1_conjunct_indexing");
+    group.throughput(Throughput::Elements(tokens.len() as u64));
+    group.bench_function("indexed_conjunct", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for t in &tokens {
+                indexed.match_token(t, &mut |_| hits += 1).unwrap();
+            }
+            hits
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("evaluate_all", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for t in &tokens {
+                flat.match_token(t, &mut |_| hits += 1).unwrap();
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_vs_naive, bench_most_selective_conjunct);
+criterion_main!(benches);

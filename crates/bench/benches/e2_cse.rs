@@ -1,0 +1,36 @@
+//! E2 (Criterion): Figure-4 normalization (common sub-expression
+//! elimination) vs the denormalized constant-set layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tman_bench::*;
+use tman_common::{EventKind, Tuple, UpdateDescriptor, Value};
+use tman_predindex::{IndexConfig, PredicateIndex};
+
+fn bench_cse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_normalized_vs_denormalized");
+    for &n in &[1_000usize, 10_000] {
+        for (label, normalized) in [("normalized", true), ("denormalized", false)] {
+            let ix = PredicateIndex::new(IndexConfig {
+                normalized,
+                list_to_index: usize::MAX,
+                ..Default::default()
+            });
+            for i in 0..n {
+                add_to_index(&ix, i as u64, "q.sym = 'HOT'", EventKind::Insert);
+            }
+            // Non-matching probe: normalization compares the shared
+            // constant once; the denormalized list compares per entry.
+            let miss = UpdateDescriptor::insert(
+                QUOTES,
+                Tuple::new(vec![Value::str("COLD"), Value::Float(1.0), Value::Int(1)]),
+            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| ix.match_token(&miss, &mut |_| {}).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cse);
+criterion_main!(benches);

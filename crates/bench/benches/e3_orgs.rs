@@ -1,0 +1,42 @@
+//! E3 (Criterion): the four §5.2 constant-set organizations at a fixed
+//! equivalence-class size. The size sweep lives in the `experiments`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tman_bench::*;
+use tman_common::EventKind;
+use tman_predindex::{IndexConfig, OrgKind, PredicateIndex};
+use tman_sql::Database;
+
+fn bench_orgs(c: &mut Criterion) {
+    let n = 10_000;
+    let db = Arc::new(Database::open_memory(2048));
+    let ix = PredicateIndex::with_database(IndexConfig::default(), db);
+    for i in 0..n {
+        add_to_index(&ix, i as u64, &format!("q.vol = {i}"), EventKind::Insert);
+    }
+    let sig = ix.source(QUOTES).unwrap().signatures()[0].clone();
+    let tokens = quote_tokens(64, 4, 7);
+
+    let mut group = c.benchmark_group("e3_constant_set_org");
+    for kind in [OrgKind::MemList, OrgKind::MemIndex, OrgKind::DbTable, OrgKind::DbIndexed] {
+        sig.set_org(kind).unwrap();
+        if matches!(kind, OrgKind::MemList | OrgKind::DbTable) {
+            group.sample_size(10); // the linear organizations are slow here
+        }
+        group.bench_with_input(BenchmarkId::new(kind.as_str(), n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in &tokens {
+                    ix.match_token(t, &mut |_| hits += 1).unwrap();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orgs);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4 (Criterion): token-level concurrency — drivers draining a shared
+//! token queue. The condition- and action-level variants live in the
+//! `experiments` binary (they need longer runs to be meaningful).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tman_bench::*;
+use triggerman::Config;
+
+fn bench_token_concurrency(c: &mut Criterion) {
+    let n_tokens = 4_000;
+    let mut group = c.benchmark_group("e4_token_level");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_tokens as u64));
+    for &p in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("drivers", p), &p, |b, &p| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = Config {
+                        num_cpus: Some(p),
+                        driver_period: Duration::from_micros(100),
+                        threshold: Duration::from_millis(20),
+                        ..Default::default()
+                    };
+                    let (tman, src) = engine_with_alerts(cfg, 1_000, Template::all(), 100, 3);
+                    let tokens = quote_tokens(n_tokens, 100, 4);
+                    push_all(&tman, src, &tokens);
+                    let pool = tman.start_drivers();
+                    let t0 = std::time::Instant::now();
+                    while tman.queue_len() > 0 {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    total += t0.elapsed();
+                    pool.stop();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_concurrency);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E5 (Criterion): trigger-cache behaviour — pin cost on hit vs miss
+//! (miss = recompile from catalog text, the §5.1 load path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tman_common::{Tuple, UpdateDescriptor, Value};
+use triggerman::Config;
+
+fn bench_cache(c: &mut Criterion) {
+    let n = 4_096;
+    let mk = |capacity: usize| {
+        let cfg = Config { trigger_cache_capacity: capacity, ..Default::default() };
+        let tman = triggerman::TriggerMan::open_memory(cfg).unwrap();
+        tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+            .unwrap();
+        for i in 0..n {
+            tman.execute_command(&format!(
+                "create trigger z{i} from q when q.vol = {i} do raise event Z(q.vol)"
+            ))
+            .unwrap();
+        }
+        let src = tman.source("q").unwrap().id;
+        (tman, src)
+    };
+
+    let mut group = c.benchmark_group("e5_trigger_cache");
+    group.sample_size(20);
+
+    // All triggers resident: every pin is a hit.
+    let (hot, src) = mk(n);
+    let mut k = 0i64;
+    group.bench_function("pin_hit", |b| {
+        b.iter(|| {
+            k = (k + 1) % n as i64;
+            hot.push_token(UpdateDescriptor::insert(
+                src,
+                Tuple::new(vec![Value::str("X"), Value::Float(0.0), Value::Int(k)]),
+            ))
+            .unwrap();
+            hot.run_until_quiescent().unwrap();
+        })
+    });
+
+    // Tiny cache: round-robin access makes every pin a miss+recompile.
+    let (cold, src2) = mk(8);
+    let mut k2 = 0i64;
+    group.bench_function("pin_miss_recompile", |b| {
+        b.iter(|| {
+            k2 = (k2 + 1) % n as i64;
+            cold.push_token(UpdateDescriptor::insert(
+                src2,
+                Tuple::new(vec![Value::str("X"), Value::Float(0.0), Value::Int(k2)]),
+            ))
+            .unwrap();
+            cold.run_until_quiescent().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

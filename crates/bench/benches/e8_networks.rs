@@ -1,0 +1,69 @@
+//! E8 (Criterion): TREAT vs A-TREAT vs Rete on the paper's real-estate
+//! join trigger — cost of one event-variable token through the network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tman_common::{DataSourceId, DataType, Schema, Tuple, Value};
+use tman_expr::cnf::{to_cnf, ConditionGraph};
+use tman_expr::BindCtx;
+use tman_lang::parse_expression;
+use tman_network::{MemSource, Network, NetworkKind, Polarity};
+
+const SP: DataSourceId = DataSourceId(1);
+const HOUSE: DataSourceId = DataSourceId(2);
+const REP: DataSourceId = DataSourceId(3);
+
+fn build(kind: NetworkKind) -> (Network, MemSource) {
+    let s = Schema::from_pairs(&[("spno", DataType::Int), ("name", DataType::Varchar(20))]);
+    let h = Schema::from_pairs(&[("hno", DataType::Int), ("nno", DataType::Int)]);
+    let r = Schema::from_pairs(&[("spno", DataType::Int), ("nno", DataType::Int)]);
+    let ctx = BindCtx::new(vec![("s".into(), &s), ("h".into(), &h), ("r".into(), &r)]);
+    let cnf = to_cnf(
+        &ctx.pred(
+            &parse_expression("s.name = 'P7' and s.spno = r.spno and r.nno = h.nno").unwrap(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let graph = ConditionGraph::build(cnf, 3);
+    let net = Network::build(kind, graph, vec![SP, HOUSE, REP], 1).unwrap();
+
+    let src = MemSource::new();
+    src.set(
+        SP,
+        (0..200)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::str(format!("P{i}"))]))
+            .collect(),
+    );
+    src.set(
+        REP,
+        (0..800)
+            .map(|i| Tuple::new(vec![Value::Int(i % 200), Value::Int(i % 500)]))
+            .collect(),
+    );
+    src.set(HOUSE, Vec::new());
+    net.prime(&src).unwrap();
+    (net, src)
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_house_insert");
+    for kind in [NetworkKind::Treat, NetworkKind::ATreat, NetworkKind::Rete, NetworkKind::Gator] {
+        let (net, src) = build(kind);
+        let mut hno = 0i64;
+        group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), 0), &0, |b, _| {
+            b.iter(|| {
+                hno += 1;
+                let t = Tuple::new(vec![Value::Int(hno), Value::Int(hno % 500)]);
+                let mut fires = 0usize;
+                net.activate(1, Polarity::Plus, &t, &src, &mut |_| fires += 1).unwrap();
+                // Retract so memories don't grow across iterations.
+                net.activate(1, Polarity::Minus, &t, &src, &mut |_| {}).unwrap();
+                fires
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E9 (Criterion): range-predicate stabbing — interval index vs linear
+//! list at a fixed class size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use tman_bench::*;
+use tman_common::EventKind;
+use tman_predindex::{IndexConfig, OrgKind, PredicateIndex};
+
+fn bench_ranges(c: &mut Criterion) {
+    let n = 10_000;
+    let ix = PredicateIndex::new(IndexConfig { list_to_index: usize::MAX, ..Default::default() });
+    let mut r = rng(51);
+    for i in 0..n {
+        let lo = r.gen_range(0..100_000);
+        add_to_index(
+            &ix,
+            i as u64,
+            &format!("q.vol >= {lo} and q.vol < {}", lo + r.gen_range(1..500)),
+            EventKind::Insert,
+        );
+    }
+    let sig = ix.source(QUOTES).unwrap().signatures()[0].clone();
+    let tokens = quote_tokens(64, 4, 52);
+
+    let mut group = c.benchmark_group("e9_range_stab");
+    for (label, kind) in [("mem_list", OrgKind::MemList), ("interval_index", OrgKind::MemIndex)] {
+        sig.set_org(kind).unwrap();
+        if kind == OrgKind::MemList {
+            group.sample_size(10);
+        }
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in &tokens {
+                    ix.match_token(t, &mut |_| hits += 1).unwrap();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranges);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `tman-bench` — workload generators and measurement helpers shared by
+//! the Criterion benches and the `experiments` binary (see EXPERIMENTS.md
+//! for the experiment index E1–E10).
+
+pub mod workload;
+
+pub use workload::*;
+
+use std::time::{Duration, Instant};
+
+/// Time one closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Ops/second for `n` operations over `d`.
+pub fn rate(n: usize, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64().max(1e-12)
+}
+
+/// Nanoseconds per operation.
+pub fn nanos_per(n: usize, d: Duration) -> f64 {
+    d.as_nanos() as f64 / n.max(1) as f64
+}
+
+/// Render a markdown table (used by the experiments binary so output can be
+/// pasted into EXPERIMENTS.md).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Print as markdown.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+            }
+            println!("{s}");
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Human-friendly numbers (`12.3k`, `4.56M`).
+pub fn human(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else if x >= 100.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Human-friendly byte counts.
+pub fn human_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}

@@ -1,0 +1,243 @@
+//! Synthetic workloads.
+//!
+//! The paper has no public trace of "millions of user-created triggers";
+//! per DESIGN.md the substitution is a parameterized generator embodying
+//! the paper's premise: *N triggers drawn from K expression-signature
+//! templates, differing only in constants*, probed by token streams with
+//! controllable skew.
+
+use rand::prelude::*;
+use std::sync::Arc;
+use tman_common::{
+    DataSourceId, DataType, EventKind, ExprId, NodeId, Schema, TriggerId, Tuple,
+    UpdateDescriptor, Value,
+};
+use tman_expr::cnf::{remap_var, to_cnf};
+use tman_expr::signature::analyze_selection;
+use tman_expr::BindCtx;
+use tman_lang::parse_expression;
+use tman_predindex::PredicateIndex;
+
+/// The quotes schema used by most experiments.
+pub fn quotes_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("sym", DataType::Varchar(12)),
+        ("price", DataType::Float),
+        ("vol", DataType::Int),
+    ])
+}
+
+/// The data source id experiments use.
+pub const QUOTES: DataSourceId = DataSourceId(1);
+
+/// Deterministic RNG for reproducible experiment tables.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Zipf(θ) sampler over `{0, .., n-1}` (θ=0 is uniform; θ≈1 is the classic
+/// web skew). Implemented here since `rand` has no distributions we allow.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank (0 = most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One of the K condition templates of the trigger population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Template {
+    /// `sym = '<S>'` — pure equality.
+    SymEq,
+    /// `price > <p>` — one-sided range.
+    PriceAbove,
+    /// `price > <p> and price <= <p+w>` — two-sided range.
+    PriceBand,
+    /// `sym = '<S>' and price > <p>` — equality + residual.
+    SymAndPrice,
+    /// `vol = <v>` — integer equality.
+    VolEq,
+}
+
+impl Template {
+    /// All templates.
+    pub fn all() -> &'static [Template] {
+        &[
+            Template::SymEq,
+            Template::PriceAbove,
+            Template::PriceBand,
+            Template::SymAndPrice,
+            Template::VolEq,
+        ]
+    }
+
+    /// Render a condition over variable `q` with constants drawn from
+    /// `rng` (`n_syms` distinct symbols, prices in 0..1000).
+    pub fn condition(self, rng: &mut StdRng, n_syms: usize) -> String {
+        let sym = format!("S{}", rng.gen_range(0..n_syms));
+        let p = rng.gen_range(0..1000);
+        match self {
+            Template::SymEq => format!("q.sym = '{sym}'"),
+            Template::PriceAbove => format!("q.price > {p}"),
+            Template::PriceBand => {
+                format!("q.price > {p} and q.price <= {}", p + rng.gen_range(1..50))
+            }
+            Template::SymAndPrice => format!("q.sym = '{sym}' and q.price > {p}"),
+            Template::VolEq => format!("q.vol = {}", rng.gen_range(0..100_000)),
+        }
+    }
+}
+
+/// Register `cond` (over the quotes schema) in a raw predicate index.
+pub fn add_to_index(ix: &PredicateIndex, id: u64, cond: &str, event: EventKind) {
+    let schema = quotes_schema();
+    let ctx = BindCtx::new(vec![("q".into(), &schema)]);
+    let cnf = to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
+    let canon = remap_var(&cnf, 0, 0, "q");
+    let (sig, consts) = analyze_selection(&canon, QUOTES, event, vec![]);
+    ix.add_predicate(QUOTES, &schema, sig, consts, ExprId(id), TriggerId(id), NodeId(0))
+        .unwrap();
+}
+
+/// Build a raw predicate index holding `n` triggers drawn from `templates`.
+pub fn build_index(
+    ix: &PredicateIndex,
+    n: usize,
+    templates: &[Template],
+    n_syms: usize,
+    seed: u64,
+) {
+    let mut r = rng(seed);
+    for i in 0..n {
+        let t = templates[i % templates.len()];
+        add_to_index(ix, i as u64, &t.condition(&mut r, n_syms), EventKind::Insert);
+    }
+}
+
+/// A random quote token.
+pub fn quote_token(rng: &mut StdRng, n_syms: usize) -> UpdateDescriptor {
+    UpdateDescriptor::insert(
+        QUOTES,
+        Tuple::new(vec![
+            Value::str(format!("S{}", rng.gen_range(0..n_syms))),
+            Value::Float(rng.gen_range(0.0..1000.0)),
+            Value::Int(rng.gen_range(0..100_000)),
+        ]),
+    )
+}
+
+/// A batch of random quote tokens.
+pub fn quote_tokens(n: usize, n_syms: usize, seed: u64) -> Vec<UpdateDescriptor> {
+    let mut r = rng(seed);
+    (0..n).map(|_| quote_token(&mut r, n_syms)).collect()
+}
+
+/// Spin up an engine with a `quotes` *stream* source (no backing table —
+/// maximal token throughput) and `n` alert triggers from the standard
+/// templates. Returns the engine and the source id.
+pub fn engine_with_alerts(
+    config: triggerman::Config,
+    n: usize,
+    templates: &[Template],
+    n_syms: usize,
+    seed: u64,
+) -> (Arc<triggerman::TriggerMan>, DataSourceId) {
+    let tman = triggerman::TriggerMan::open_memory(config).unwrap();
+    tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+        .unwrap();
+    let src = tman.source("q").unwrap().id;
+    let mut r = rng(seed);
+    for i in 0..n {
+        let t = templates[i % templates.len()];
+        let cond = t.condition(&mut r, n_syms);
+        tman.execute_command(&format!(
+            "create trigger a{i} from q when {cond} do raise event Matched(q.sym)"
+        ))
+        .unwrap();
+    }
+    (tman, src)
+}
+
+/// Push `tokens` with the data-source id rewritten to `src`.
+pub fn push_all(tman: &Arc<triggerman::TriggerMan>, src: DataSourceId, tokens: &[UpdateDescriptor]) {
+    for t in tokens {
+        let mut t = t.clone();
+        t.data_src = src;
+        tman.push_token(t).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tman_predindex::IndexConfig;
+
+    #[test]
+    fn zipf_is_skewed_and_complete() {
+        let z = Zipf::new(1000, 0.9);
+        let mut r = rng(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // Rank 0 dominates; the tail is still reachable.
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        assert!(counts[0] > 2_000, "head too light: {}", counts[0]);
+        // Uniform (theta = 0) is roughly flat.
+        let u = Zipf::new(10, 0.0);
+        let mut ucounts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            ucounts[u.sample(&mut r)] += 1;
+        }
+        assert!(ucounts.iter().all(|&c| c > 1_500 && c < 2_500), "{ucounts:?}");
+    }
+
+    #[test]
+    fn templates_produce_few_signatures() {
+        let ix = PredicateIndex::new(IndexConfig::default());
+        build_index(&ix, 500, Template::all(), 50, 7);
+        assert_eq!(ix.num_signatures(), Template::all().len());
+        assert_eq!(ix.num_entries(), 500);
+    }
+
+    #[test]
+    fn tokens_are_reproducible() {
+        assert_eq!(quote_tokens(10, 5, 42), quote_tokens(10, 5, 42));
+        assert_ne!(quote_tokens(10, 5, 42), quote_tokens(10, 5, 43));
+    }
+
+    #[test]
+    fn engine_with_alerts_matches_something() {
+        let (tman, src) = engine_with_alerts(
+            triggerman::Config::default(),
+            200,
+            Template::all(),
+            20,
+            3,
+        );
+        let rx = tman.subscribe("Matched");
+        push_all(&tman, src, &quote_tokens(50, 20, 4));
+        tman.run_until_quiescent().unwrap();
+        assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+        assert!(rx.try_iter().count() > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across every crate in the workspace.
+pub type Result<T> = std::result::Result<T, TmanError>;
+
+/// The single error type shared by the whole system.
+///
+/// A real product would split this per layer; for the reproduction a single
+/// enum keeps error plumbing between the nine crates simple while still
+/// carrying enough context to diagnose failures in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TmanError {
+    /// Lexer/parser failure in the TriggerMan language or SQL subset.
+    Parse(String),
+    /// A command was syntactically valid but semantically wrong
+    /// (unknown data source, type mismatch, duplicate trigger name, ...).
+    Invalid(String),
+    /// Something referenced does not exist.
+    NotFound(String),
+    /// Something being created already exists.
+    AlreadyExists(String),
+    /// Type error while evaluating or binding an expression.
+    Type(String),
+    /// Storage-layer failure (page, buffer pool, heap, index).
+    Storage(String),
+    /// Underlying I/O failure.
+    Io(String),
+    /// A feature the paper defers to future work (temporal conditions,
+    /// aggregates via `group by`/`having`, Gator networks).
+    Unsupported(String),
+    /// Internal invariant violation — a bug in this codebase.
+    Internal(String),
+}
+
+impl TmanError {
+    /// Short machine-readable category name, used in logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TmanError::Parse(_) => "parse",
+            TmanError::Invalid(_) => "invalid",
+            TmanError::NotFound(_) => "not_found",
+            TmanError::AlreadyExists(_) => "already_exists",
+            TmanError::Type(_) => "type",
+            TmanError::Storage(_) => "storage",
+            TmanError::Io(_) => "io",
+            TmanError::Unsupported(_) => "unsupported",
+            TmanError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for TmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmanError::Parse(m) => write!(f, "parse error: {m}"),
+            TmanError::Invalid(m) => write!(f, "invalid command: {m}"),
+            TmanError::NotFound(m) => write!(f, "not found: {m}"),
+            TmanError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            TmanError::Type(m) => write!(f, "type error: {m}"),
+            TmanError::Storage(m) => write!(f, "storage error: {m}"),
+            TmanError::Io(m) => write!(f, "io error: {m}"),
+            TmanError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            TmanError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TmanError {}
+
+impl From<std::io::Error> for TmanError {
+    fn from(e: std::io::Error) -> Self {
+        TmanError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = TmanError::NotFound("trigger 'x'".into());
+        assert_eq!(e.to_string(), "not found: trigger 'x'");
+        assert_eq!(e.kind(), "not_found");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk gone");
+        let e: TmanError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("disk gone"));
+    }
+}

@@ -1,0 +1,117 @@
+//! A vendored FxHash-style hasher.
+//!
+//! The predicate index performs a hash lookup per token per signature; the
+//! default SipHash is measurably slower for the short integer/string keys we
+//! hash there. This is the classic Firefox/rustc "Fx" multiply-and-rotate
+//! hash — low quality but very fast, and HashDoS is not a concern for an
+//! in-process trigger engine. Vendored (~40 lines) instead of adding a
+//! dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast, non-cryptographic hasher (the rustc/Firefox "Fx" hash).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash one hashable value to a `u64` with [`FxHasher`].
+pub fn hash_one<T: std::hash::Hash>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_ne!(hash_one(&42u64), hash_one(&43u64));
+    }
+
+    #[test]
+    fn strings_differ() {
+        assert_ne!(hash_one(&"abc"), hash_one(&"abd"));
+        assert_ne!(hash_one(&"abc"), hash_one(&"ab"));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("k{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m["k512"], 512);
+    }
+
+    #[test]
+    fn unaligned_tail_bytes_distinguish_lengths() {
+        // Regression guard for the remainder-handling path: a trailing zero
+        // byte must hash differently from no trailing byte.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 0]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

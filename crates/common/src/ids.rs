@@ -1,0 +1,88 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper's catalogs key everything by integer ids (`triggerID`, `sigID`,
+//! `dataSrcID`, ...). Newtypes keep them from being mixed up across the nine
+//! crates, at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw integer value (as stored in catalog tables).
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a data source (normally a table; possibly a tuple stream).
+    DataSourceId,
+    u32
+);
+id_type!(
+    /// Identifies a trigger (the catalog `trigger.triggerID` column).
+    TriggerId,
+    u64
+);
+id_type!(
+    /// Identifies a trigger set (the catalog `trigger_set.tsID` column).
+    TriggerSetId,
+    u32
+);
+id_type!(
+    /// Identifies an expression signature (`expression_signature.sigID`).
+    SignatureId,
+    u32
+);
+id_type!(
+    /// Identifies one selection-predicate expression instance
+    /// (`const_tableN.exprID`).
+    ExprId,
+    u64
+);
+id_type!(
+    /// Identifies a node in a trigger's discrimination network
+    /// (`const_tableN.nextNetworkNode`).
+    NodeId,
+    u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_display() {
+        let t = TriggerId(7);
+        assert_eq!(t.raw(), 7);
+        assert_eq!(t.to_string(), "TriggerId(7)");
+        let s: SignatureId = 3u32.into();
+        assert_eq!(s, SignatureId(3));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TriggerId(1) < TriggerId(2));
+        assert_eq!(DataSourceId::default(), DataSourceId(0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Table / data-source schemas.
+
+use crate::error::{Result, TmanError};
+use crate::value::{DataType, Value};
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case preserved; lookups are case-insensitive, matching
+    /// the keyword-insensitive TriggerMan language).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Build a column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns; duplicate names (case-insensitive) are
+    /// rejected.
+    pub fn new(columns: Vec<Column>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i]
+                .iter()
+                .any(|p| p.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(TmanError::Invalid(format!("duplicate column '{}'", c.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Schema {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect(),
+        )
+        .expect("schema literals must not contain duplicates")
+    }
+
+    /// Columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Case-insensitive column lookup; returns the column ordinal.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column by ordinal.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Validate and coerce a row of values against this schema.
+    pub fn coerce_row(&self, values: Vec<Value>) -> Result<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(TmanError::Type(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        values
+            .into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                c.ty.coerce(v)
+                    .map_err(|e| TmanError::Type(format!("column '{}': {e}", c.name)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp() -> Schema {
+        Schema::from_pairs(&[
+            ("name", DataType::Varchar(32)),
+            ("salary", DataType::Float),
+            ("dept", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = emp();
+        assert_eq!(s.index_of("SALARY"), Some(1));
+        assert_eq!(s.index_of("Name"), Some(0));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Float),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn coerce_row_applies_column_types() {
+        let s = emp();
+        let row = s
+            .coerce_row(vec![Value::str("Bob"), Value::Int(80000), Value::Int(7)])
+            .unwrap();
+        assert_eq!(row[1], Value::Float(80000.0));
+        assert!(s.coerce_row(vec![Value::Int(1)]).is_err());
+        assert!(s
+            .coerce_row(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            .is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Lightweight operation counters.
+//!
+//! The experiments in EXPERIMENTS.md compare *work done* (pages read,
+//! predicates evaluated, cache hits) as well as wall time, because the
+//! paper's disk-vs-memory arguments are about I/O and probe counts. Each
+//! subsystem owns a [`Counter`] group; counters are relaxed atomics so the
+//! hot paths pay one uncontended fetch-add.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const STRIPES: usize = 16;
+
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Stripe(AtomicU64);
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// Per-thread stripe index: hot counters are bumped from every driver
+    /// thread hundreds of times per token, so a single atomic would
+    /// ping-pong its cache line across cores and serialize the whole
+    /// engine. Each thread gets its own (aligned) stripe.
+    static STRIPE: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+/// A monotonically increasing counter, striped per thread to keep hot-path
+/// increments off shared cache lines. Reads sum the stripes (slightly
+/// stale under concurrency, exact once writers quiesce).
+#[derive(Debug, Default)]
+pub struct Counter {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    fn my_stripe(&self) -> &AtomicU64 {
+        &self.stripes[STRIPE.with(|s| *s)].0
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn bump(&self) {
+        self.my_stripe().fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.my_stripe().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (sum over stripes).
+    pub fn get(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.swap(0, Ordering::Relaxed)).sum()
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        let c = Counter::new();
+        c.add(self.get());
+        c
+    }
+}
+
+/// Storage-layer counters (owned by each `DiskManager`/`BufferPool`, but the
+/// struct lives here so non-storage crates can report them).
+#[derive(Debug, Default, Clone)]
+pub struct StorageStats {
+    /// Physical page reads from the backing file / simulated disk.
+    pub page_reads: Counter,
+    /// Physical page writes.
+    pub page_writes: Counter,
+    /// Buffer pool hits (page already resident).
+    pub pool_hits: Counter,
+    /// Buffer pool misses (page had to be read).
+    pub pool_misses: Counter,
+    /// Pages evicted to make room.
+    pub evictions: Counter,
+}
+
+/// Predicate-index counters.
+#[derive(Debug, Default, Clone)]
+pub struct IndexStats {
+    /// Tokens submitted to the root of the predicate index.
+    pub tokens: Counter,
+    /// Signature entries visited (one per signature per token).
+    pub signatures_probed: Counter,
+    /// Constant-set probes that used an organization's fast path.
+    pub probes: Counter,
+    /// "Rest of predicate" re-tests performed after an indexed match.
+    pub residual_tests: Counter,
+    /// Full predicate matches produced.
+    pub matches: Counter,
+}
+
+/// Trigger-cache counters.
+#[derive(Debug, Default, Clone)]
+pub struct CacheStats {
+    /// Pin requests satisfied from memory.
+    pub hits: Counter,
+    /// Pin requests that loaded from the catalog.
+    pub misses: Counter,
+    /// Cached triggers discarded by LRU.
+    pub evictions: Counter,
+}
+
+impl CacheStats {
+    /// Hit rate in \[0,1\]; zero when nothing was pinned yet.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits.get() as f64;
+        let m = self.misses.get() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.bump();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits.add(3);
+        s.misses.add(1);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

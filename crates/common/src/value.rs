@@ -1,0 +1,314 @@
+//! Scalar values and data types.
+//!
+//! The paper's current implementation "supports char, varchar, integer, and
+//! float data types" (§3). We model exactly those, plus SQL NULL. `Value`
+//! must be usable as a hash/index key (constant sets hash on constant
+//! tuples, B+trees order them), so it implements total `Eq`, `Ord`, and
+//! `Hash` — floats use IEEE `total_cmp` bit semantics for this purpose.
+
+use crate::error::{Result, TmanError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Column data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Fixed-length character string (blank-insensitive compare not
+    /// implemented; length enforced on ingest).
+    Char(u16),
+    /// Variable-length string with maximum length.
+    Varchar(u16),
+}
+
+impl DataType {
+    /// True if a value of type `other` can be stored in a column of `self`
+    /// (identical type, any string into any string type within length, or
+    /// int into float).
+    pub fn accepts(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            (DataType::Float, Value::Float(_)) | (DataType::Float, Value::Int(_)) => true,
+            (DataType::Char(n), Value::Str(s)) | (DataType::Varchar(n), Value::Str(s)) => {
+                s.len() <= *n as usize
+            }
+            _ => false,
+        }
+    }
+
+    /// Coerce `v` for storage into this column type.
+    pub fn coerce(&self, v: Value) -> Result<Value> {
+        if let Value::Null = v {
+            return Ok(Value::Null);
+        }
+        match (self, &v) {
+            (DataType::Int, Value::Int(_)) => Ok(v),
+            (DataType::Float, Value::Float(_)) => Ok(v),
+            (DataType::Float, Value::Int(i)) => Ok(Value::Float(*i as f64)),
+            (DataType::Char(n), Value::Str(s)) | (DataType::Varchar(n), Value::Str(s)) => {
+                if s.len() <= *n as usize {
+                    Ok(v)
+                } else {
+                    Err(TmanError::Type(format!(
+                        "string of length {} exceeds {}",
+                        s.len(),
+                        self
+                    )))
+                }
+            }
+            _ => Err(TmanError::Type(format!("cannot store {v:?} in {self}"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "integer"),
+            DataType::Float => write!(f, "float"),
+            DataType::Char(n) => write!(f, "char({n})"),
+            DataType::Varchar(n) => write!(f, "varchar({n})"),
+        }
+    }
+}
+
+/// A scalar runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Compares less than everything for index ordering; equality
+    /// in *predicates* uses three-valued logic (see `tman-expr`), but `Eq`
+    /// here is total so values can key hash maps.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Character data (char or varchar).
+    Str(String),
+}
+
+impl Value {
+    /// String value helper.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True if this is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Type tag ordinal used by the binary encoding and by cross-type
+    /// ordering (Null < Int/Float < Str; numerics compare numerically).
+    #[inline]
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 1, // numerics share an ordering class
+            Value::Str(_) => 2,
+        }
+    }
+
+    /// Numeric view (int promoted to float), if numeric.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if an integer.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if character data.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total-order comparison used for index keys and sorting.
+    ///
+    /// NULL sorts first; ints and floats compare numerically (so `Int(1)`
+    /// equals `Float(1.0)` — required because `emp.salary > 80000` may mix
+    /// an int constant with a float column); strings compare bytewise.
+    /// Cross-class comparisons order by class tag, so the order is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+
+    /// Approximate in-memory footprint, used by memory accounting in the
+    /// constant-set organization experiments.
+    pub fn heap_size(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.capacity(),
+                _ => 0,
+            }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Int and Float must hash identically when numerically equal
+            // (Eq treats Int(1) == Float(1.0)). Integral floats hash as
+            // their integer value; all i64 -> f64 -> i64 round-trips that
+            // stay integral agree.
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64(*i as u64);
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    state.write_u64(*f as i64 as u64);
+                } else {
+                    state.write_u64(f.to_bits());
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fxhash::hash_one;
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Int(1), Value::Float(1.5));
+        assert_eq!(hash_one(&Value::Int(42)), hash_one(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut v = [Value::Int(3), Value::Null, Value::str("a"), Value::Float(-1.0)];
+        v.sort();
+        assert_eq!(v[0], Value::Null);
+        assert_eq!(v[1], Value::Float(-1.0));
+        assert_eq!(v[2], Value::Int(3));
+        assert_eq!(v[3], Value::str("a"));
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(
+            DataType::Float.coerce(Value::Int(2)).unwrap(),
+            Value::Float(2.0)
+        );
+        assert!(DataType::Int.coerce(Value::str("x")).is_err());
+        assert!(DataType::Varchar(3).coerce(Value::str("abcd")).is_err());
+        assert_eq!(
+            DataType::Char(4).coerce(Value::str("abcd")).unwrap(),
+            Value::str("abcd")
+        );
+        // NULL stores anywhere.
+        assert_eq!(DataType::Int.coerce(Value::Null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn accepts_matches_coerce() {
+        assert!(DataType::Float.accepts(&Value::Int(1)));
+        assert!(!DataType::Int.accepts(&Value::Float(1.0)));
+        assert!(DataType::Varchar(5).accepts(&Value::str("abc")));
+        assert!(!DataType::Varchar(2).accepts(&Value::str("abc")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("bob").to_string(), "'bob'");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(DataType::Varchar(16).to_string(), "varchar(16)");
+    }
+
+    #[test]
+    fn nan_total_order_is_consistent() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert_eq!(nan, nan.clone());
+    }
+}

@@ -1,0 +1,16 @@
+use triggerman::{Config, TriggerMan};
+fn main() {
+    let tman = TriggerMan::open_memory(Config::default()).unwrap();
+    tman.run_sql("create table m (k int, v float)").unwrap();
+    tman.execute_command("define data source m from table m").unwrap();
+    for i in 0..60 {
+        tman.execute_command(&format!("create trigger t{i} from m when m.k = {i} do notify 'k{i}'")).unwrap();
+    }
+    let sig = &tman.predicate_index().source(tman.source("m").unwrap().id).unwrap().signatures()[0];
+    println!("org={:?} len={}", sig.org_kind(), sig.len());
+    let rx = tman.subscribe("notify");
+    tman.run_sql("insert into m values (42, 1.0)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    println!("msgs={:?} err={:?}", rx.try_iter().count(), tman.last_error());
+    println!("matches={} probes={}", tman.predicate_index().stats().matches.get(), tman.predicate_index().stats().probes.get());
+}

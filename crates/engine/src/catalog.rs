@@ -1,0 +1,623 @@
+//! Trigger system catalogs (§5.1).
+//!
+//! The primary tables, exactly as the paper lists them:
+//!
+//! ```text
+//! trigger_set(tsID, name, comments, creation_date, isEnabled)
+//! trigger(triggerID, tsID, name, comments, trigger_text, creation_date, isEnabled)
+//! expression_signature(sigID, dataSrcID, signatureDesc, constTableName,
+//!                      constantSetSize, constantSetOrganization)
+//! data_source(dsID, name, schemaDesc, localTable)   -- connection metadata
+//! ```
+//!
+//! Triggers are persisted as their *text* plus metadata; the trigger cache
+//! recompiles a description on demand (pin miss) — exactly the division the
+//! paper describes between disk-based catalogs and the in-memory cache.
+
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+use tman_common::{
+    DataSourceId, Result, Schema, SignatureId, TmanError, TriggerId, TriggerSetId, Value,
+};
+use tman_sql::{Database, Table};
+
+/// One `expression_signature` row: `(sigID, dataSrcID, signatureDesc,
+/// constTableName, constantSetSize, constantSetOrganization)`.
+pub type SignatureRow = (SignatureId, DataSourceId, String, String, i64, String);
+
+/// Handle to the system catalog tables.
+pub struct Catalog {
+    trigger_set: Arc<Table>,
+    trigger: Arc<Table>,
+    expression_signature: Arc<Table>,
+    data_source: Arc<Table>,
+    connection: Arc<Table>,
+}
+
+/// A row of the `connection` catalog (§2's connection description).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionRow {
+    /// Connection name (unique).
+    pub name: String,
+    /// Database system type (`local` = this engine's own database).
+    pub dbtype: String,
+    /// Host name.
+    pub host: Option<String>,
+    /// Database server name.
+    pub server: Option<String>,
+    /// User id.
+    pub user: Option<String>,
+    /// Designated default connection.
+    pub is_default: bool,
+}
+
+/// A row of the `trigger` catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerRow {
+    /// Trigger id.
+    pub id: TriggerId,
+    /// Owning trigger set.
+    pub set: TriggerSetId,
+    /// Trigger name (unique).
+    pub name: String,
+    /// Full `create trigger` text — the unit of recompilation.
+    pub text: String,
+    /// Creation time (unix seconds).
+    pub created: i64,
+    /// Eligibility to fire.
+    pub enabled: bool,
+}
+
+/// A row of the `trigger_set` catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerSetRow {
+    /// Set id.
+    pub id: TriggerSetId,
+    /// Set name (unique; "default" is created automatically).
+    pub name: String,
+    /// Eligibility of the whole set.
+    pub enabled: bool,
+}
+
+/// A row of the `data_source` catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSourceRow {
+    /// Source id.
+    pub id: DataSourceId,
+    /// Source name (unique).
+    pub name: String,
+    /// Schema (encoded as in `tman-sql`).
+    pub schema: Schema,
+    /// Local captured table name, if this source wraps one.
+    pub local_table: Option<String>,
+    /// Connection the source is defined on (§2).
+    pub connection: String,
+}
+
+fn now_secs() -> i64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs() as i64).unwrap_or(0)
+}
+
+fn encode_schema(schema: &Schema) -> String {
+    schema
+        .columns()
+        .iter()
+        .map(|c| {
+            let ty = match c.ty {
+                tman_common::DataType::Int => "int".to_string(),
+                tman_common::DataType::Float => "float".to_string(),
+                tman_common::DataType::Char(n) => format!("char({n})"),
+                tman_common::DataType::Varchar(n) => format!("varchar({n})"),
+            };
+            format!("{} {}", c.name, ty)
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn decode_schema(s: &str) -> Result<Schema> {
+    use tman_common::{Column, DataType};
+    let mut cols = Vec::new();
+    for part in s.split(';').filter(|p| !p.is_empty()) {
+        let (name, ty) = part
+            .split_once(' ')
+            .ok_or_else(|| TmanError::Storage(format!("bad schema entry '{part}'")))?;
+        let ty = if ty == "int" {
+            DataType::Int
+        } else if ty == "float" {
+            DataType::Float
+        } else if let Some(n) = ty.strip_prefix("char(").and_then(|t| t.strip_suffix(')')) {
+            DataType::Char(n.parse().map_err(|_| TmanError::Storage("bad char len".into()))?)
+        } else if let Some(n) = ty.strip_prefix("varchar(").and_then(|t| t.strip_suffix(')')) {
+            DataType::Varchar(n.parse().map_err(|_| TmanError::Storage("bad varchar len".into()))?)
+        } else {
+            return Err(TmanError::Storage(format!("bad schema type '{ty}'")));
+        };
+        cols.push(Column::new(name, ty));
+    }
+    Schema::new(cols)
+}
+
+impl Catalog {
+    /// Open the catalogs, creating them (plus the "default" trigger set) on
+    /// first use.
+    pub fn open(db: &Database) -> Result<Catalog> {
+        use tman_common::{Column, DataType};
+        let mk = |name: &str, cols: &[(&str, DataType)]| -> Result<Arc<Table>> {
+            if db.has_table(name) {
+                db.table(name)
+            } else {
+                db.create_table(
+                    name,
+                    Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())?,
+                )
+            }
+        };
+        let v = DataType::Varchar(65535);
+        let cat = Catalog {
+            trigger_set: mk(
+                "trigger_set",
+                &[
+                    ("tsID", DataType::Int),
+                    ("name", v),
+                    ("comments", v),
+                    ("creation_date", DataType::Int),
+                    ("isEnabled", DataType::Int),
+                ],
+            )?,
+            trigger: mk(
+                "trigger",
+                &[
+                    ("triggerID", DataType::Int),
+                    ("tsID", DataType::Int),
+                    ("name", v),
+                    ("comments", v),
+                    ("trigger_text", v),
+                    ("creation_date", DataType::Int),
+                    ("isEnabled", DataType::Int),
+                ],
+            )?,
+            expression_signature: mk(
+                "expression_signature",
+                &[
+                    ("sigID", DataType::Int),
+                    ("dataSrcID", DataType::Int),
+                    ("signatureDesc", v),
+                    ("constTableName", v),
+                    ("constantSetSize", DataType::Int),
+                    ("constantSetOrganization", v),
+                ],
+            )?,
+            data_source: mk(
+                "data_source",
+                &[
+                    ("dsID", DataType::Int),
+                    ("name", v),
+                    ("schemaDesc", v),
+                    ("localTable", v),
+                    ("connection", v),
+                ],
+            )?,
+            connection: mk(
+                "connection",
+                &[
+                    ("name", v),
+                    ("dbtype", v),
+                    ("host", v),
+                    ("server", v),
+                    ("userID", v),
+                    ("isDefault", DataType::Int),
+                ],
+            )?,
+        };
+        if cat.connections()?.is_empty() {
+            // The engine's own database is the initial default connection.
+            cat.insert_connection(&ConnectionRow {
+                name: "local".into(),
+                dbtype: "local".into(),
+                host: None,
+                server: None,
+                user: None,
+                is_default: true,
+            })?;
+        }
+        if cat.find_set_by_name("default")?.is_none() {
+            cat.insert_set(&TriggerSetRow {
+                id: TriggerSetId(1),
+                name: "default".into(),
+                enabled: true,
+            })?;
+        }
+        Ok(cat)
+    }
+
+    // ----- trigger sets ----------------------------------------------------
+
+    /// Insert a trigger-set row.
+    pub fn insert_set(&self, row: &TriggerSetRow) -> Result<()> {
+        self.trigger_set.insert(vec![
+            Value::Int(row.id.raw() as i64),
+            Value::str(&*row.name),
+            Value::str(""),
+            Value::Int(now_secs()),
+            Value::Int(row.enabled as i64),
+        ])?;
+        Ok(())
+    }
+
+    /// All trigger sets.
+    pub fn sets(&self) -> Result<Vec<TriggerSetRow>> {
+        let mut out = Vec::new();
+        self.trigger_set.scan(|_, row| {
+            out.push(TriggerSetRow {
+                id: TriggerSetId(row.get(0).as_i64().unwrap_or(0) as u32),
+                name: row.get(1).as_str().unwrap_or("").to_string(),
+                enabled: row.get(4) == &Value::Int(1),
+            });
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Find a set by name.
+    pub fn find_set_by_name(&self, name: &str) -> Result<Option<TriggerSetRow>> {
+        Ok(self.sets()?.into_iter().find(|s| s.name.eq_ignore_ascii_case(name)))
+    }
+
+    /// Flip a set's isEnabled flag. Returns false if missing.
+    pub fn set_set_enabled(&self, name: &str, enabled: bool) -> Result<bool> {
+        let mut hit = None;
+        self.trigger_set.scan(|rid, row| {
+            if row.get(1).as_str().map(|s| s.eq_ignore_ascii_case(name)) == Some(true) {
+                hit = Some((rid, row.clone()));
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        let Some((rid, row)) = hit else { return Ok(false) };
+        let mut vals = row.values().to_vec();
+        vals[4] = Value::Int(enabled as i64);
+        self.trigger_set.update(rid, vals)?;
+        Ok(true)
+    }
+
+    /// Remove a set row (callers ensure it is empty).
+    pub fn delete_set(&self, name: &str) -> Result<bool> {
+        let mut hit = None;
+        self.trigger_set.scan(|rid, row| {
+            if row.get(1).as_str().map(|s| s.eq_ignore_ascii_case(name)) == Some(true) {
+                hit = Some(rid);
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        match hit {
+            Some(rid) => {
+                self.trigger_set.delete(rid)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    // ----- triggers ---------------------------------------------------------
+
+    /// Insert a trigger row.
+    pub fn insert_trigger(&self, row: &TriggerRow) -> Result<()> {
+        self.trigger.insert(vec![
+            Value::Int(row.id.raw() as i64),
+            Value::Int(row.set.raw() as i64),
+            Value::str(&*row.name),
+            Value::str(""),
+            Value::str(&*row.text),
+            Value::Int(row.created),
+            Value::Int(row.enabled as i64),
+        ])?;
+        Ok(())
+    }
+
+    fn trigger_from_row(row: &tman_common::Tuple) -> TriggerRow {
+        TriggerRow {
+            id: TriggerId(row.get(0).as_i64().unwrap_or(0) as u64),
+            set: TriggerSetId(row.get(1).as_i64().unwrap_or(0) as u32),
+            name: row.get(2).as_str().unwrap_or("").to_string(),
+            text: row.get(4).as_str().unwrap_or("").to_string(),
+            created: row.get(5).as_i64().unwrap_or(0),
+            enabled: row.get(6) == &Value::Int(1),
+        }
+    }
+
+    /// All trigger rows.
+    pub fn triggers(&self) -> Result<Vec<TriggerRow>> {
+        let mut out = Vec::new();
+        self.trigger.scan(|_, row| {
+            out.push(Self::trigger_from_row(row));
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Fetch one trigger row by id.
+    pub fn trigger_by_id(&self, id: TriggerId) -> Result<Option<TriggerRow>> {
+        let mut hit = None;
+        self.trigger.scan(|_, row| {
+            if row.get(0) == &Value::Int(id.raw() as i64) {
+                hit = Some(Self::trigger_from_row(row));
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        Ok(hit)
+    }
+
+    /// Fetch one trigger row by name.
+    pub fn trigger_by_name(&self, name: &str) -> Result<Option<TriggerRow>> {
+        let mut hit = None;
+        self.trigger.scan(|_, row| {
+            if row.get(2).as_str().map(|s| s.eq_ignore_ascii_case(name)) == Some(true) {
+                hit = Some(Self::trigger_from_row(row));
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        Ok(hit)
+    }
+
+    /// Remove a trigger row. Returns false if missing.
+    pub fn delete_trigger(&self, id: TriggerId) -> Result<bool> {
+        let mut hit = None;
+        self.trigger.scan(|rid, row| {
+            if row.get(0) == &Value::Int(id.raw() as i64) {
+                hit = Some(rid);
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        match hit {
+            Some(rid) => {
+                self.trigger.delete(rid)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Flip a trigger's isEnabled flag. Returns false if missing.
+    pub fn set_trigger_enabled(&self, id: TriggerId, enabled: bool) -> Result<bool> {
+        let mut hit = None;
+        self.trigger.scan(|rid, row| {
+            if row.get(0) == &Value::Int(id.raw() as i64) {
+                hit = Some((rid, row.clone()));
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        let Some((rid, row)) = hit else { return Ok(false) };
+        let mut vals = row.values().to_vec();
+        vals[6] = Value::Int(enabled as i64);
+        self.trigger.update(rid, vals)?;
+        Ok(true)
+    }
+
+    // ----- connections --------------------------------------------------------
+
+    /// Insert a connection row; when it is the new default, clear the flag
+    /// on the previous default.
+    pub fn insert_connection(&self, row: &ConnectionRow) -> Result<()> {
+        if row.is_default {
+            let mut updates = Vec::new();
+            self.connection.scan(|rid, r| {
+                if r.get(5) == &Value::Int(1) {
+                    updates.push((rid, r.clone()));
+                }
+                Ok(true)
+            })?;
+            for (rid, r) in updates {
+                let mut vals = r.values().to_vec();
+                vals[5] = Value::Int(0);
+                self.connection.update(rid, vals)?;
+            }
+        }
+        let opt = |o: &Option<String>| match o {
+            Some(s) => Value::str(&**s),
+            None => Value::Null,
+        };
+        self.connection.insert(vec![
+            Value::str(&*row.name),
+            Value::str(&*row.dbtype),
+            opt(&row.host),
+            opt(&row.server),
+            opt(&row.user),
+            Value::Int(row.is_default as i64),
+        ])?;
+        Ok(())
+    }
+
+    /// All connection rows.
+    pub fn connections(&self) -> Result<Vec<ConnectionRow>> {
+        let mut out = Vec::new();
+        self.connection.scan(|_, row| {
+            out.push(ConnectionRow {
+                name: row.get(0).as_str().unwrap_or("").to_string(),
+                dbtype: row.get(1).as_str().unwrap_or("").to_string(),
+                host: row.get(2).as_str().map(|s| s.to_string()),
+                server: row.get(3).as_str().map(|s| s.to_string()),
+                user: row.get(4).as_str().map(|s| s.to_string()),
+                is_default: row.get(5) == &Value::Int(1),
+            });
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    // ----- data sources -----------------------------------------------------
+
+    /// Insert a data-source row.
+    pub fn insert_data_source(&self, row: &DataSourceRow) -> Result<()> {
+        self.data_source.insert(vec![
+            Value::Int(row.id.raw() as i64),
+            Value::str(&*row.name),
+            Value::str(encode_schema(&row.schema)),
+            match &row.local_table {
+                Some(t) => Value::str(&**t),
+                None => Value::Null,
+            },
+            Value::str(&*row.connection),
+        ])?;
+        Ok(())
+    }
+
+    /// All data-source rows.
+    pub fn data_sources(&self) -> Result<Vec<DataSourceRow>> {
+        let mut out = Vec::new();
+        let mut err = None;
+        self.data_source.scan(|_, row| {
+            match decode_schema(row.get(2).as_str().unwrap_or("")) {
+                Ok(schema) => out.push(DataSourceRow {
+                    id: DataSourceId(row.get(0).as_i64().unwrap_or(0) as u32),
+                    name: row.get(1).as_str().unwrap_or("").to_string(),
+                    schema,
+                    local_table: row.get(3).as_str().map(|s| s.to_string()),
+                    connection: row
+                        .get(4)
+                        .as_str()
+                        .unwrap_or("local")
+                        .to_string(),
+                }),
+                Err(e) => err = Some(e),
+            }
+            Ok(true)
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    // ----- expression signatures ---------------------------------------------
+
+    /// Upsert an `expression_signature` row (refresh of `constantSetSize`
+    /// and `constantSetOrganization`).
+    pub fn upsert_signature(
+        &self,
+        id: SignatureId,
+        data_src: DataSourceId,
+        desc: &str,
+        const_table: &str,
+        size: usize,
+        organization: &str,
+    ) -> Result<()> {
+        let mut existing = None;
+        self.expression_signature.scan(|rid, row| {
+            if row.get(0) == &Value::Int(id.raw() as i64) {
+                existing = Some(rid);
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        let vals = vec![
+            Value::Int(id.raw() as i64),
+            Value::Int(data_src.raw() as i64),
+            Value::str(desc),
+            Value::str(const_table),
+            Value::Int(size as i64),
+            Value::str(organization),
+        ];
+        match existing {
+            Some(rid) => {
+                self.expression_signature.update(rid, vals)?;
+            }
+            None => {
+                self.expression_signature.insert(vals)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All signature rows as `(sigID, dataSrcID, desc, constTable, size,
+    /// organization)`.
+    pub fn signatures(&self) -> Result<Vec<SignatureRow>> {
+        let mut out = Vec::new();
+        self.expression_signature.scan(|_, row| {
+            out.push((
+                SignatureId(row.get(0).as_i64().unwrap_or(0) as u32),
+                DataSourceId(row.get(1).as_i64().unwrap_or(0) as u32),
+                row.get(2).as_str().unwrap_or("").to_string(),
+                row.get(3).as_str().unwrap_or("").to_string(),
+                row.get(4).as_i64().unwrap_or(0),
+                row.get(5).as_str().unwrap_or("").to_string(),
+            ));
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_roundtrips() {
+        let db = Database::open_memory(256);
+        let cat = Catalog::open(&db).unwrap();
+        // Default set exists.
+        assert!(cat.find_set_by_name("default").unwrap().is_some());
+
+        cat.insert_set(&TriggerSetRow { id: TriggerSetId(2), name: "alerts".into(), enabled: true })
+            .unwrap();
+        let t = TriggerRow {
+            id: TriggerId(10),
+            set: TriggerSetId(2),
+            name: "t10".into(),
+            text: "create trigger t10 from emp do notify 'x'".into(),
+            created: 123,
+            enabled: true,
+        };
+        cat.insert_trigger(&t).unwrap();
+        assert_eq!(cat.trigger_by_id(TriggerId(10)).unwrap().unwrap().name, "t10");
+        assert_eq!(cat.trigger_by_name("T10").unwrap().unwrap().id, TriggerId(10));
+
+        assert!(cat.set_trigger_enabled(TriggerId(10), false).unwrap());
+        assert!(!cat.trigger_by_id(TriggerId(10)).unwrap().unwrap().enabled);
+        assert!(cat.delete_trigger(TriggerId(10)).unwrap());
+        assert!(cat.trigger_by_id(TriggerId(10)).unwrap().is_none());
+        assert!(!cat.delete_trigger(TriggerId(10)).unwrap());
+    }
+
+    #[test]
+    fn signature_upsert_updates_in_place() {
+        let db = Database::open_memory(256);
+        let cat = Catalog::open(&db).unwrap();
+        cat.upsert_signature(SignatureId(1), DataSourceId(1), "emp.x = CONSTANT1", "const_table_1", 1, "mem_list")
+            .unwrap();
+        cat.upsert_signature(SignatureId(1), DataSourceId(1), "emp.x = CONSTANT1", "const_table_1", 500, "mem_index")
+            .unwrap();
+        let sigs = cat.signatures().unwrap();
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].4, 500);
+        assert_eq!(sigs[0].5, "mem_index");
+    }
+
+    #[test]
+    fn data_sources_persist_schema() {
+        let db = Database::open_memory(256);
+        let cat = Catalog::open(&db).unwrap();
+        let schema = Schema::from_pairs(&[
+            ("a", tman_common::DataType::Int),
+            ("b", tman_common::DataType::Varchar(10)),
+        ]);
+        cat.insert_data_source(&DataSourceRow {
+            id: DataSourceId(3),
+            name: "quotes".into(),
+            schema: schema.clone(),
+            local_table: Some("quotes_tbl".into()),
+            connection: "local".into(),
+        })
+        .unwrap();
+        let rows = cat.data_sources().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].schema, schema);
+        assert_eq!(rows[0].local_table.as_deref(), Some("quotes_tbl"));
+    }
+}

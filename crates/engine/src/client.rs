@@ -1,0 +1,169 @@
+//! The TriggerMan client and data-source APIs (§3).
+//!
+//! "Two libraries that come with TriggerMan allow writing of client
+//! applications and data source programs. ... The console program and
+//! other application programs use client API functions to connect to
+//! TriggerMan, issue commands, register for events, and so forth. Data
+//! source programs can be written using the data source API."
+//!
+//! In this reproduction both are thin in-process handles over
+//! [`TriggerMan`]; the information flow (commands in, notifications out,
+//! update descriptors in) matches the paper's Figure 1.
+
+use crate::events::EventNotification;
+use crate::{CommandOutput, TriggerMan};
+use crossbeam::channel::Receiver;
+use std::sync::Arc;
+use tman_common::{Result, TmanError, Tuple, UpdateDescriptor, Value};
+use tman_sql::ExecResult;
+
+/// A client application connection.
+pub struct Client {
+    system: Arc<TriggerMan>,
+}
+
+impl Client {
+    /// Connect to a running TriggerMan instance.
+    pub fn connect(system: Arc<TriggerMan>) -> Client {
+        Client { system }
+    }
+
+    /// Issue one TriggerMan command (`create trigger`, `drop trigger`,
+    /// `define data source`, ...).
+    pub fn command(&self, text: &str) -> Result<CommandOutput> {
+        self.system.execute_command(text)
+    }
+
+    /// Run a SQL statement against the engine database (with update
+    /// capture on tables backing data sources).
+    pub fn sql(&self, text: &str) -> Result<ExecResult> {
+        self.system.run_sql(text)
+    }
+
+    /// Register for an event raised by trigger actions
+    /// (`raise event Name(...)`; use `"notify"` for notify actions).
+    pub fn register_for_event(&self, name: &str) -> Receiver<EventNotification> {
+        self.system.subscribe(name)
+    }
+
+    /// Register for every event (console behaviour).
+    pub fn register_for_all_events(&self) -> Receiver<EventNotification> {
+        self.system.events().subscribe_all()
+    }
+
+    /// Names of all defined triggers.
+    pub fn triggers(&self) -> Vec<String> {
+        self.system.trigger_names()
+    }
+
+    /// Open the data-source API for a named source.
+    pub fn data_source(&self, name: &str) -> Result<DataSourceClient> {
+        let source = self.system.source(name)?;
+        Ok(DataSourceClient { system: self.system.clone(), source })
+    }
+}
+
+/// A data-source program's handle (§3): transmits update descriptors for
+/// one source "through the data source API".
+pub struct DataSourceClient {
+    system: Arc<TriggerMan>,
+    source: Arc<crate::source::SourceInfo>,
+}
+
+impl DataSourceClient {
+    /// The source's name.
+    pub fn name(&self) -> &str {
+        &self.source.name
+    }
+
+    fn tuple(&self, values: Vec<Value>) -> Result<Tuple> {
+        Ok(Tuple::new(self.source.schema.coerce_row(values)?))
+    }
+
+    /// Report an inserted row.
+    pub fn insert(&self, values: Vec<Value>) -> Result<()> {
+        let t = self.tuple(values)?;
+        self.system.push_token(UpdateDescriptor::insert(self.source.id, t))
+    }
+
+    /// Report a deleted row.
+    pub fn delete(&self, values: Vec<Value>) -> Result<()> {
+        let t = self.tuple(values)?;
+        self.system.push_token(UpdateDescriptor::delete(self.source.id, t))
+    }
+
+    /// Report an updated row (old → new images).
+    pub fn update(&self, old: Vec<Value>, new: Vec<Value>) -> Result<()> {
+        let old = self.tuple(old)?;
+        let new = self.tuple(new)?;
+        self.system.push_token(UpdateDescriptor::update(self.source.id, old, new))
+    }
+
+    /// Report a raw descriptor (advanced: pre-built old/new pair).
+    pub fn push(&self, token: UpdateDescriptor) -> Result<()> {
+        if token.data_src != self.source.id {
+            return Err(TmanError::Invalid(format!(
+                "descriptor for source {} pushed through '{}'",
+                token.data_src, self.source.name
+            )));
+        }
+        self.system.push_token(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+
+    #[test]
+    fn client_end_to_end() {
+        let tman = TriggerMan::open_memory(Config::default()).unwrap();
+        let client = Client::connect(tman.clone());
+        client
+            .command("define data source prices (sym varchar(8), px float)")
+            .unwrap();
+        let alerts = client.register_for_event("Spike");
+        client
+            .command(
+                "create trigger spike from prices when prices.px > 100 \
+                 do raise event Spike(prices.sym, prices.px)",
+            )
+            .unwrap();
+        assert_eq!(client.triggers(), vec!["spike".to_string()]);
+
+        // A data-source program feeds updates.
+        let feed = client.data_source("prices").unwrap();
+        feed.insert(vec![Value::str("AA"), Value::Float(50.0)]).unwrap();
+        feed.insert(vec![Value::str("BB"), Value::Float(150.0)]).unwrap();
+        feed.update(
+            vec![Value::str("AA"), Value::Float(50.0)],
+            vec![Value::str("AA"), Value::Float(200.0)],
+        )
+        .unwrap();
+        tman.run_until_quiescent().unwrap();
+
+        let got: Vec<String> = alerts
+            .try_iter()
+            .map(|n| n.values[0].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(got, vec!["BB".to_string(), "AA".to_string()]);
+    }
+
+    #[test]
+    fn data_source_client_validates() {
+        let tman = TriggerMan::open_memory(Config::default()).unwrap();
+        let client = Client::connect(tman.clone());
+        client.command("define data source s (x int)").unwrap();
+        let ds = client.data_source("s").unwrap();
+        assert!(ds.insert(vec![Value::str("wrong type")]).is_err());
+        assert!(ds.insert(vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert!(client.data_source("missing").is_err());
+        // Mis-addressed raw descriptor rejected.
+        let bad = UpdateDescriptor::insert(
+            tman_common::DataSourceId(999),
+            Tuple::new(vec![Value::Int(1)]),
+        );
+        assert!(ds.push(bad).is_err());
+    }
+}

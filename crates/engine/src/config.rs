@@ -1,0 +1,102 @@
+//! Engine configuration.
+
+use std::time::Duration;
+use tman_network::NetworkKind;
+use tman_predindex::IndexConfig;
+
+/// How update descriptors are queued between capture and processing (§3:
+/// "data source programs or triggers can place update descriptors in a
+/// table acting as a queue ... We plan to allow updates to be delivered
+/// into a main-memory queue as well ... the safety of persistent update
+/// queuing will be lost").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueMode {
+    /// Update descriptors go to a database table; they survive restarts.
+    Persistent,
+    /// Update descriptors go to an in-memory queue; faster, volatile.
+    Volatile,
+}
+
+/// TriggerMan configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Trigger-cache capacity, in triggers (§5.1's example: 16,384
+    /// descriptions in 64 MB at ~4 KB each).
+    pub trigger_cache_capacity: usize,
+    /// Discrimination network used for join triggers (the paper's default
+    /// is A-TREAT).
+    pub network: NetworkKind,
+    /// Predicate-index tuning.
+    pub index: IndexConfig,
+    /// Update-descriptor queue mode.
+    pub queue_mode: QueueMode,
+    /// `TMAN_CONCURRENCY_LEVEL` ∈ (0, 1]: fraction of CPUs given to driver
+    /// threads. `N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL)` (§6).
+    pub concurrency_level: f64,
+    /// Override for NUM_CPUS (tests); `None` = detect.
+    pub num_cpus: Option<usize>,
+    /// Driver sleep period `T` when the task queue is empty (§6 proposes
+    /// 250 ms; tests use much less).
+    pub driver_period: Duration,
+    /// `THRESHOLD`: maximum time one `tman_test` invocation may run (§6).
+    pub threshold: Duration,
+    /// Split a signature probe into this many condition-level tasks when
+    /// its triggerID set is at least `partition_min` entries (Figure 5);
+    /// 1 disables condition-level concurrency.
+    pub condition_partitions: usize,
+    /// Minimum triggerID-set size before partitioned probing kicks in.
+    pub partition_min: usize,
+    /// Run each rule action as its own task (rule-action concurrency, §6)
+    /// instead of inline with token processing.
+    pub async_actions: bool,
+    /// Buffer-pool pages for the backing database.
+    pub pool_pages: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            trigger_cache_capacity: 16_384,
+            network: NetworkKind::ATreat,
+            index: IndexConfig::default(),
+            queue_mode: QueueMode::Volatile,
+            concurrency_level: 1.0,
+            num_cpus: None,
+            driver_period: Duration::from_millis(250),
+            threshold: Duration::from_millis(250),
+            condition_partitions: 1,
+            partition_min: 1024,
+            async_actions: false,
+            pool_pages: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Number of driver threads `N = ceil(NUM_CPUS * level)` (§6).
+    pub fn num_drivers(&self) -> usize {
+        let cpus = self.num_cpus.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        let level = self.concurrency_level.clamp(f64::MIN_POSITIVE, 1.0);
+        ((cpus as f64 * level).ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_count_formula() {
+        let mut c = Config { num_cpus: Some(8), ..Default::default() };
+        c.concurrency_level = 1.0;
+        assert_eq!(c.num_drivers(), 8);
+        c.concurrency_level = 0.5;
+        assert_eq!(c.num_drivers(), 4);
+        c.concurrency_level = 0.3;
+        assert_eq!(c.num_drivers(), 3); // ceil(2.4)
+        c.concurrency_level = 0.0; // clamped to >0
+        assert_eq!(c.num_drivers(), 1);
+    }
+}

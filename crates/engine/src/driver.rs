@@ -1,0 +1,125 @@
+//! Driver processes and the shared task queue (§6).
+//!
+//! "The concurrent processing architecture ... will make use of N driver
+//! processes" where `N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL)`. "Each
+//! driver process will call TriggerMan's TmanTest() function every T time
+//! units. Each driver will also call back immediately after one execution
+//! of TmanTest() if work is still left to do."
+
+use crate::TriggerMan;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tman_common::{TriggerId, Tuple, UpdateDescriptor};
+use tman_predindex::SignatureRuntime;
+
+/// A unit of work in the shared task queue. §6 names four task types:
+/// process one token (1), run one rule action (2), process a token against
+/// a set of conditions (3); type 4 (a token against a set of rule actions)
+/// is subsumed by enqueueing one [`Task::Action`] per firing.
+pub enum Task {
+    /// Type 1: match one token against the predicate index.
+    Token(UpdateDescriptor),
+    /// Type 3: match one token against one partition of a signature's
+    /// constant/triggerID sets (Figure 5).
+    SigPartition {
+        /// The token.
+        token: UpdateDescriptor,
+        /// The signature whose equivalence class is partitioned.
+        sig: Arc<SignatureRuntime>,
+        /// Partition ordinal.
+        part: usize,
+        /// Total partitions.
+        nparts: usize,
+    },
+    /// Type 2: run one rule action for one condition match.
+    Action {
+        /// The trigger to run.
+        trigger: TriggerId,
+        /// The matched variable bindings.
+        bindings: Vec<Tuple>,
+        /// The token that caused the firing (supplies `:OLD`).
+        token: UpdateDescriptor,
+    },
+}
+
+/// Result of one `tman_test` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmanTestResult {
+    /// The THRESHOLD expired with work still queued — call back
+    /// immediately.
+    TasksRemaining,
+    /// Nothing to do — wait `T` before calling again.
+    QueueEmpty,
+}
+
+/// Handle over the running driver threads. Dropping the pool shuts the
+/// drivers down and joins them.
+pub struct DriverPool {
+    system: Arc<TriggerMan>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl DriverPool {
+    /// Number of driver threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Never empty (at least one driver).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Stop and join all drivers.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.system.shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DriverPool {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Spawn the driver threads.
+pub fn start(system: Arc<TriggerMan>) -> DriverPool {
+    let n = system.config().num_drivers();
+    let threshold = system.config().threshold;
+    let period = system.config().driver_period;
+    let handles = (0..n)
+        .map(|i| {
+            let system = system.clone();
+            std::thread::Builder::new()
+                .name(format!("tman-driver-{i}"))
+                .spawn(move || driver_loop(system, threshold, period))
+                .expect("spawn driver")
+        })
+        .collect();
+    DriverPool { system, handles }
+}
+
+fn driver_loop(system: Arc<TriggerMan>, threshold: Duration, period: Duration) {
+    while !system.is_shutdown() {
+        match system.tman_test(threshold) {
+            TmanTestResult::TasksRemaining => continue,
+            TmanTestResult::QueueEmpty => {
+                // Wait T, in small slices so shutdown is prompt.
+                let slice = period.min(Duration::from_millis(5));
+                let mut waited = Duration::ZERO;
+                while waited < period && !system.is_shutdown() {
+                    std::thread::sleep(slice);
+                    waited += slice;
+                }
+            }
+        }
+    }
+}

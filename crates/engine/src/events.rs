@@ -1,0 +1,148 @@
+//! Event notification (\[Hans98\]): `raise event` in rule actions
+//! communicates with the outside world; client applications "register for
+//! events, receive event notifications when triggers fire".
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use tman_common::fxhash::FxHashMap;
+use tman_common::stats::Counter;
+use tman_common::Value;
+
+/// A notification delivered to registered clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventNotification {
+    /// Event name (`raise event Name(...)`), or `"notify"` for `do notify`
+    /// messages.
+    pub event: String,
+    /// Name of the trigger whose action raised it.
+    pub trigger: String,
+    /// Evaluated event arguments.
+    pub values: Vec<Value>,
+    /// Message text (for `notify` actions).
+    pub message: Option<String>,
+}
+
+/// Pub/sub hub connecting rule actions to client applications.
+#[derive(Default)]
+pub struct EventBus {
+    by_event: RwLock<FxHashMap<String, Vec<Sender<EventNotification>>>>,
+    all: RwLock<Vec<Sender<EventNotification>>>,
+    delivered: Counter,
+    dropped: Counter,
+}
+
+impl EventBus {
+    /// Fresh bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Register for one named event.
+    pub fn subscribe(&self, event: &str) -> Receiver<EventNotification> {
+        let (tx, rx) = unbounded();
+        self.by_event.write().entry(event.to_lowercase()).or_default().push(tx);
+        rx
+    }
+
+    /// Register for every event (console use).
+    pub fn subscribe_all(&self) -> Receiver<EventNotification> {
+        let (tx, rx) = unbounded();
+        self.all.write().push(tx);
+        rx
+    }
+
+    /// Deliver a notification to all matching subscribers. Disconnected
+    /// receivers are pruned lazily.
+    ///
+    /// Hot path note: rule actions publish from every driver thread
+    /// concurrently, so delivery runs under *read* locks; the write lock is
+    /// only taken to prune when a send actually failed.
+    pub fn publish(&self, n: EventNotification) {
+        let key = n.event.to_lowercase();
+        let mut dead: Vec<Sender<EventNotification>> = Vec::new();
+        {
+            let by_event = self.by_event.read();
+            if let Some(subs) = by_event.get(&key) {
+                for tx in subs {
+                    match tx.send(n.clone()) {
+                        Ok(()) => self.delivered.bump(),
+                        Err(_) => {
+                            self.dropped.bump();
+                            dead.push(tx.clone());
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let all = self.all.read();
+            for tx in all.iter() {
+                match tx.send(n.clone()) {
+                    Ok(()) => self.delivered.bump(),
+                    Err(_) => {
+                        self.dropped.bump();
+                        dead.push(tx.clone());
+                    }
+                }
+            }
+        }
+        if !dead.is_empty() {
+            let is_dead =
+                |tx: &Sender<EventNotification>| dead.iter().any(|d| d.same_channel(tx));
+            if let Some(subs) = self.by_event.write().get_mut(&key) {
+                subs.retain(|tx| !is_dead(tx));
+            }
+            self.all.write().retain(|tx| !is_dead(tx));
+        }
+    }
+
+    /// Notifications successfully delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(event: &str) -> EventNotification {
+        EventNotification {
+            event: event.into(),
+            trigger: "t".into(),
+            values: vec![Value::Int(1)],
+            message: None,
+        }
+    }
+
+    #[test]
+    fn routed_by_event_name_case_insensitively() {
+        let bus = EventBus::new();
+        let rx_a = bus.subscribe("NewHouse");
+        let rx_b = bus.subscribe("other");
+        bus.publish(note("newhouse"));
+        assert_eq!(rx_a.try_recv().unwrap().event, "newhouse");
+        assert!(rx_b.try_recv().is_err());
+    }
+
+    #[test]
+    fn subscribe_all_sees_everything() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe_all();
+        bus.publish(note("a"));
+        bus.publish(note("b"));
+        assert_eq!(rx.iter().take(2).map(|n| n.event).collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(bus.delivered(), 2);
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned() {
+        let bus = EventBus::new();
+        drop(bus.subscribe("x"));
+        let live = bus.subscribe("x");
+        bus.publish(note("x"));
+        assert_eq!(live.try_recv().unwrap().event, "x");
+        bus.publish(note("x"));
+        assert_eq!(bus.by_event.read().get("x").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,964 @@
+//! `triggerman` — the scalable trigger processor.
+//!
+//! This crate assembles the substrates into the system of the paper's
+//! Figure 1:
+//!
+//! * a database ([`tman_sql::Database`]) hosting base tables, the trigger
+//!   catalogs ([`catalog`]), per-signature constant tables, and the
+//!   persistent update-descriptor queue ([`queue`]);
+//! * update capture (§3): every mutation made through [`TriggerMan::run_sql`]
+//!   on a captured table becomes an update descriptor, as do tokens pushed
+//!   through the data-source API ([`TriggerMan::push_token`]);
+//! * the scalable predicate index ([`tman_predindex`]) with expression
+//!   signatures and the four constant-set organizations (§5);
+//! * the trigger cache ([`cache`]) with buffer-pool pin/unpin semantics
+//!   (§5.1);
+//! * A-TREAT (default) / TREAT / Rete discrimination networks
+//!   ([`tman_network`]) for join conditions;
+//! * rule actions (`execSQL`, `raise event`, `notify`) with `:NEW`/`:OLD`
+//!   macro substitution ([`action`]);
+//! * drivers calling [`TriggerMan::tman_test`] on a shared task queue with
+//!   token-, condition-, and rule-action-level concurrency (§6,
+//!   [`driver`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use triggerman::{Config, TriggerMan};
+//!
+//! let tman = TriggerMan::open_memory(Config::default()).unwrap();
+//! tman.run_sql("create table emp (name varchar(32), salary float)").unwrap();
+//! tman.execute_command("define data source emp from table emp").unwrap();
+//! let events = tman.subscribe("notify");
+//! tman.execute_command(
+//!     "create trigger bigpay from emp when emp.salary > 80000 \
+//!      do notify 'big salary: :NEW.emp.name'",
+//! ).unwrap();
+//! tman.run_sql("insert into emp values ('Bob', 90000)").unwrap();
+//! tman.run_until_quiescent().unwrap();
+//! assert_eq!(events.try_recv().unwrap().message.unwrap(), "big salary: Bob");
+//! ```
+
+pub mod action;
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod compile;
+pub mod config;
+pub mod driver;
+pub mod events;
+pub mod queue;
+pub mod source;
+
+pub use cache::{PinnedTrigger, TriggerCache};
+pub use client::{Client, DataSourceClient};
+pub use compile::{CompiledAction, CompiledTrigger};
+pub use config::{Config, QueueMode};
+pub use driver::{DriverPool, Task, TmanTestResult};
+pub use events::{EventBus, EventNotification};
+pub use tman_network::NetworkKind;
+pub use tman_predindex::OrgKind;
+
+use catalog::{Catalog, ConnectionRow, DataSourceRow, TriggerRow, TriggerSetRow};
+use compile::compile_trigger;
+use crossbeam::queue::SegQueue;
+use parking_lot::{Mutex, RwLock};
+use queue::UpdateQueue;
+use source::{SourceInfo, TableAlphaSource};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use tman_common::fxhash::FxHashMap;
+use tman_common::stats::Counter;
+use tman_common::{
+    DataSourceId, ExprId, NodeId, Result, Schema, TmanError, TokenOp, TriggerId, TriggerSetId,
+    Tuple, UpdateDescriptor, EventKind,
+};
+use tman_lang::ast::Command;
+use tman_network::Polarity;
+use tman_predindex::{PredicateIndex, SignatureRuntime};
+use tman_sql::{Database, ExecResult};
+
+/// An [`tman_network::AlphaSource`] with no data, for networks that never
+/// scan (single-variable triggers).
+struct NullAlphaSource;
+
+impl tman_network::AlphaSource for NullAlphaSource {
+    fn scan_source(
+        &self,
+        _data_src: DataSourceId,
+        _visit: &mut dyn FnMut(&Tuple) -> Result<()>,
+    ) -> Result<()> {
+        Ok(())
+    }
+}
+
+static NULL_ALPHA: NullAlphaSource = NullAlphaSource;
+
+/// Outcome of a TriggerMan command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandOutput {
+    /// `create trigger`.
+    TriggerCreated(TriggerId),
+    /// `drop trigger`.
+    TriggerDropped(TriggerId),
+    /// `create trigger set`.
+    SetCreated(TriggerSetId),
+    /// `drop trigger set`.
+    SetDropped,
+    /// `enable` / `disable`.
+    EnabledChanged,
+    /// `define data source`.
+    DataSourceDefined(DataSourceId),
+    /// `define connection`.
+    ConnectionDefined,
+}
+
+/// Engine-level counters.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Tokens fully processed.
+    pub tokens: Counter,
+    /// Condition matches that reached a P-node.
+    pub firings: Counter,
+    /// Rule actions executed.
+    pub actions: Counter,
+    /// Task failures (see [`TriggerMan::last_error`]).
+    pub errors: Counter,
+}
+
+/// The TriggerMan system (Figure 1).
+pub struct TriggerMan {
+    config: Config,
+    db: Arc<Database>,
+    catalog: Catalog,
+    predindex: Arc<PredicateIndex>,
+    cache: Arc<TriggerCache>,
+    queue: UpdateQueue,
+    tasks: SegQueue<Task>,
+    events: EventBus,
+    sources_by_name: RwLock<FxHashMap<String, Arc<SourceInfo>>>,
+    sources_by_id: RwLock<FxHashMap<DataSourceId, Arc<SourceInfo>>>,
+    table_to_source: RwLock<FxHashMap<String, Arc<SourceInfo>>>,
+    sets: RwLock<FxHashMap<String, TriggerSetRow>>,
+    connections: RwLock<FxHashMap<String, ConnectionRow>>,
+    trigger_names: RwLock<FxHashMap<String, TriggerId>>,
+    next_trigger: AtomicU64,
+    next_source: AtomicU32,
+    next_set: AtomicU32,
+    next_expr: AtomicU64,
+    stats: EngineStats,
+    last_error: Mutex<Option<String>>,
+    shutdown: AtomicBool,
+}
+
+impl TriggerMan {
+    /// Open a volatile in-memory instance.
+    pub fn open_memory(config: Config) -> Result<Arc<TriggerMan>> {
+        let db = Arc::new(Database::open_memory(config.pool_pages));
+        Self::with_database(db, config)
+    }
+
+    /// Open (or recover) a file-backed instance.
+    pub fn open_file(path: &Path, config: Config) -> Result<Arc<TriggerMan>> {
+        let db = Arc::new(Database::open_file(path, config.pool_pages)?);
+        Self::with_database(db, config)
+    }
+
+    fn with_database(db: Arc<Database>, config: Config) -> Result<Arc<TriggerMan>> {
+        let catalog = Catalog::open(&db)?;
+        let queue = match config.queue_mode {
+            QueueMode::Volatile => UpdateQueue::volatile(),
+            QueueMode::Persistent => UpdateQueue::persistent(&db)?,
+        };
+        let predindex =
+            Arc::new(PredicateIndex::with_database(config.index.clone(), db.clone()));
+        let cache = Arc::new(TriggerCache::new(config.trigger_cache_capacity));
+        let system = Arc::new(TriggerMan {
+            cache,
+            predindex,
+            queue,
+            tasks: SegQueue::new(),
+            events: EventBus::new(),
+            sources_by_name: RwLock::new(FxHashMap::default()),
+            sources_by_id: RwLock::new(FxHashMap::default()),
+            table_to_source: RwLock::new(FxHashMap::default()),
+            sets: RwLock::new(FxHashMap::default()),
+            connections: RwLock::new(FxHashMap::default()),
+            trigger_names: RwLock::new(FxHashMap::default()),
+            next_trigger: AtomicU64::new(1),
+            next_source: AtomicU32::new(1),
+            next_set: AtomicU32::new(2), // 1 = "default"
+            next_expr: AtomicU64::new(1),
+            stats: EngineStats::default(),
+            last_error: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            catalog,
+            db,
+            config,
+        });
+        system.recover()?;
+        Ok(system)
+    }
+
+    /// Rebuild in-memory state from the catalogs (system start, §5.1:
+    /// triggers live on disk as text; descriptions are cached on demand).
+    fn recover(&self) -> Result<()> {
+        // Connections (the catalog pre-creates the default `local` one).
+        {
+            let mut conns = self.connections.write();
+            for row in self.catalog.connections()? {
+                conns.insert(row.name.to_lowercase(), row);
+            }
+        }
+        // Trigger sets.
+        {
+            let mut sets = self.sets.write();
+            for row in self.catalog.sets()? {
+                self.next_set.fetch_max(row.id.raw() + 1, Ordering::Relaxed);
+                sets.insert(row.name.to_lowercase(), row);
+            }
+        }
+        // Data sources.
+        for row in self.catalog.data_sources()? {
+            let local_table = match &row.local_table {
+                Some(t) => Some(self.db.table(t)?),
+                None => None,
+            };
+            let info = Arc::new(SourceInfo {
+                id: row.id,
+                name: row.name.clone(),
+                schema: row.schema.clone(),
+                local_table,
+                connection: row.connection.clone(),
+            });
+            self.install_source(info);
+            self.next_source.fetch_max(row.id.raw() + 1, Ordering::Relaxed);
+        }
+        // Triggers: recompile each to re-register its predicates; cache
+        // descriptions up to capacity.
+        for row in self.catalog.triggers()? {
+            self.next_trigger.fetch_max(row.id.raw() + 1, Ordering::Relaxed);
+            self.trigger_names.write().insert(row.name.to_lowercase(), row.id);
+            let compiled = self.compile_row(&row)?;
+            self.register_predicates(&compiled)?;
+            let trigger = Arc::new(compiled.trigger);
+            self.prime_network(&trigger)?;
+            self.cache.insert(trigger);
+        }
+        Ok(())
+    }
+
+    // ----- accessors ---------------------------------------------------------
+
+    /// The backing database (catalog inspection, experiments).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The predicate index.
+    pub fn predicate_index(&self) -> &Arc<PredicateIndex> {
+        &self.predindex
+    }
+
+    /// The trigger cache.
+    pub fn trigger_cache(&self) -> &Arc<TriggerCache> {
+        &self.cache
+    }
+
+    /// The event bus.
+    pub fn events(&self) -> &EventBus {
+        &self.events
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Most recent task failure, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    /// Subscribe to an event name (`"notify"` for notify actions).
+    pub fn subscribe(&self, event: &str) -> crossbeam::channel::Receiver<EventNotification> {
+        self.events.subscribe(event)
+    }
+
+    /// Pending update descriptors (queue depth).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + self.tasks.len()
+    }
+
+    fn record_error(&self, e: &TmanError) {
+        self.stats.errors.bump();
+        *self.last_error.lock() = Some(e.to_string());
+    }
+
+    // ----- commands ------------------------------------------------------------
+
+    /// Execute one TriggerMan command (the console / client API entry).
+    pub fn execute_command(self: &Arc<Self>, text: &str) -> Result<CommandOutput> {
+        let cmd = tman_lang::parse_command(text)?;
+        match cmd {
+            Command::CreateTrigger(stmt) => self.create_trigger(&stmt, text),
+            Command::DropTrigger(name) => self.drop_trigger(&name),
+            Command::CreateTriggerSet(name) => self.create_trigger_set(&name),
+            Command::DropTriggerSet(name) => self.drop_trigger_set(&name),
+            Command::SetTriggerEnabled { name, enabled } => {
+                self.set_trigger_enabled(&name, enabled)
+            }
+            Command::SetTriggerSetEnabled { name, enabled } => {
+                self.set_trigger_set_enabled(&name, enabled)
+            }
+            Command::DefineDataSource { name, columns, from_table, connection } => {
+                let schema = match (&columns, &from_table) {
+                    (Some(cols), _) => Schema::new(
+                        cols.iter()
+                            .map(|c| tman_common::Column::new(c.name.clone(), c.ty))
+                            .collect(),
+                    )?,
+                    (None, Some(table)) => self.db.table(table)?.schema().clone(),
+                    (None, None) => {
+                        return Err(TmanError::Invalid(
+                            "data source needs a schema or a table".into(),
+                        ))
+                    }
+                };
+                self.define_data_source_on(
+                    &name,
+                    schema,
+                    from_table.as_deref(),
+                    connection.as_deref(),
+                )
+                .map(CommandOutput::DataSourceDefined)
+            }
+            Command::DefineConnection(def) => {
+                self.define_connection(&def)?;
+                Ok(CommandOutput::ConnectionDefined)
+            }
+        }
+    }
+
+    /// Register a connection (§2). The engine's own database is the
+    /// pre-defined `local` connection; remote connections exist as catalog
+    /// metadata whose sources ingest through the data-source API.
+    pub fn define_connection(&self, def: &tman_lang::ast::ConnectionDef) -> Result<()> {
+        let mut conns = self.connections.write();
+        if conns.contains_key(&def.name.to_lowercase()) {
+            return Err(TmanError::AlreadyExists(format!("connection '{}'", def.name)));
+        }
+        let row = ConnectionRow {
+            name: def.name.clone(),
+            dbtype: def.dbtype.clone(),
+            host: def.host.clone(),
+            server: def.server.clone(),
+            user: def.user.clone(),
+            is_default: def.is_default,
+        };
+        self.catalog.insert_connection(&row)?;
+        if def.is_default {
+            for c in conns.values_mut() {
+                c.is_default = false;
+            }
+        }
+        conns.insert(def.name.to_lowercase(), row);
+        Ok(())
+    }
+
+    /// All registered connections.
+    pub fn connections(&self) -> Vec<ConnectionRow> {
+        self.connections.read().values().cloned().collect()
+    }
+
+    /// The designated default connection (§2).
+    pub fn default_connection(&self) -> String {
+        self.connections
+            .read()
+            .values()
+            .find(|c| c.is_default)
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| "local".into())
+    }
+
+    /// Register a data source on the default connection. `local_table`
+    /// wires update capture to an existing table of the engine database.
+    pub fn define_data_source(
+        &self,
+        name: &str,
+        schema: Schema,
+        local_table: Option<&str>,
+    ) -> Result<DataSourceId> {
+        self.define_data_source_on(name, schema, local_table, None)
+    }
+
+    /// Register a data source on a named connection (`None` = default).
+    /// Captured local tables are only possible on the `local` connection;
+    /// sources on remote connections ingest via [`TriggerMan::push_token`].
+    pub fn define_data_source_on(
+        &self,
+        name: &str,
+        schema: Schema,
+        local_table: Option<&str>,
+        connection: Option<&str>,
+    ) -> Result<DataSourceId> {
+        if self.sources_by_name.read().contains_key(&name.to_lowercase()) {
+            return Err(TmanError::AlreadyExists(format!("data source '{name}'")));
+        }
+        let conn_name = match connection {
+            Some(c) => {
+                let conns = self.connections.read();
+                conns
+                    .get(&c.to_lowercase())
+                    .map(|r| r.name.clone())
+                    .ok_or_else(|| TmanError::NotFound(format!("connection '{c}'")))?
+            }
+            None => self.default_connection(),
+        };
+        if local_table.is_some() && !conn_name.eq_ignore_ascii_case("local") {
+            return Err(TmanError::Invalid(format!(
+                "update capture from a table requires the local connection,                  not '{conn_name}'"
+            )));
+        }
+        let table = match local_table {
+            Some(t) => Some(source::ensure_local_table(&self.db, t, &schema)?),
+            None => None,
+        };
+        let id = DataSourceId(self.next_source.fetch_add(1, Ordering::Relaxed));
+        let info = Arc::new(SourceInfo {
+            id,
+            name: name.to_string(),
+            schema: schema.clone(),
+            local_table: table,
+            connection: conn_name.clone(),
+        });
+        self.catalog.insert_data_source(&DataSourceRow {
+            id,
+            name: name.to_string(),
+            schema,
+            local_table: local_table.map(|s| s.to_string()),
+            connection: conn_name,
+        })?;
+        self.install_source(info);
+        Ok(id)
+    }
+
+    fn install_source(&self, info: Arc<SourceInfo>) {
+        self.sources_by_name.write().insert(info.name.to_lowercase(), info.clone());
+        self.sources_by_id.write().insert(info.id, info.clone());
+        if let Some(t) = &info.local_table {
+            self.table_to_source.write().insert(t.name().to_lowercase(), info.clone());
+        }
+    }
+
+    /// Look up a data source by name.
+    pub fn source(&self, name: &str) -> Result<Arc<SourceInfo>> {
+        self.sources_by_name
+            .read()
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| TmanError::NotFound(format!("data source '{name}'")))
+    }
+
+    fn alpha_source(&self) -> TableAlphaSource {
+        TableAlphaSource::new(self.sources_by_id.read().values().cloned().collect())
+    }
+
+    /// Prime a trigger's network, scanning the memory nodes' base data in
+    /// parallel for multi-variable triggers (§6 data-level concurrency).
+    fn prime_network(&self, trigger: &CompiledTrigger) -> Result<()> {
+        let alpha = self.alpha_source();
+        if trigger.vars.len() > 1 {
+            trigger.network.prime_parallel(&alpha)
+        } else {
+            trigger.network.prime(&alpha)
+        }
+    }
+
+    fn compile_row(&self, row: &TriggerRow) -> Result<compile::Compiled> {
+        let Command::CreateTrigger(stmt) = tman_lang::parse_command(&row.text)? else {
+            return Err(TmanError::Internal(format!(
+                "catalog text of trigger {} is not a create trigger statement",
+                row.id
+            )));
+        };
+        let compiled = compile_trigger(
+            &stmt,
+            row.id,
+            row.set,
+            &row.text,
+            self.config.network,
+            &|name| self.source(name),
+        )?;
+        compiled.trigger.enabled.store(row.enabled, Ordering::Relaxed);
+        Ok(compiled)
+    }
+
+    /// §5.1: register a compiled trigger's selection predicates in the
+    /// predicate index and refresh the `expression_signature` catalog.
+    fn register_predicates(&self, compiled: &compile::Compiled) -> Result<()> {
+        for reg in &compiled.predicates {
+            let expr_id = ExprId(self.next_expr.fetch_add(1, Ordering::Relaxed));
+            let (rt, _is_new) = self.predindex.add_predicate(
+                reg.source.id,
+                &reg.source.schema,
+                reg.sig.clone(),
+                reg.consts.clone(),
+                expr_id,
+                compiled.trigger.id,
+                NodeId(reg.var as u32),
+            )?;
+            self.catalog.upsert_signature(
+                rt.id,
+                reg.source.id,
+                &rt.sig.key.desc,
+                &rt.const_table_name(),
+                rt.len(),
+                rt.org_kind().as_str(),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn create_trigger(self: &Arc<Self>, stmt: &tman_lang::ast::CreateTrigger, text: &str) -> Result<CommandOutput> {
+        if self.trigger_names.read().contains_key(&stmt.name.to_lowercase()) {
+            return Err(TmanError::AlreadyExists(format!("trigger '{}'", stmt.name)));
+        }
+        let set = match &stmt.set {
+            None => TriggerSetId(1),
+            Some(name) => {
+                self.sets
+                    .read()
+                    .get(&name.to_lowercase())
+                    .map(|s| s.id)
+                    .ok_or_else(|| TmanError::NotFound(format!("trigger set '{name}'")))?
+            }
+        };
+        let id = TriggerId(self.next_trigger.fetch_add(1, Ordering::Relaxed));
+        let compiled = compile_trigger(stmt, id, set, text, self.config.network, &|name| {
+            self.source(name)
+        })?;
+        self.register_predicates(&compiled)?;
+        let trigger = Arc::new(compiled.trigger);
+        // "Prime" the trigger (§5.1) so stored memories see existing rows.
+        self.prime_network(&trigger)?;
+        self.catalog.insert_trigger(&TriggerRow {
+            id,
+            set,
+            name: trigger.name.clone(),
+            text: text.to_string(),
+            created: 0,
+            enabled: true,
+        })?;
+        self.trigger_names.write().insert(trigger.name.to_lowercase(), id);
+        self.cache.insert(trigger);
+        Ok(CommandOutput::TriggerCreated(id))
+    }
+
+    fn drop_trigger(&self, name: &str) -> Result<CommandOutput> {
+        let id = self
+            .trigger_names
+            .write()
+            .remove(&name.to_lowercase())
+            .ok_or_else(|| TmanError::NotFound(format!("trigger '{name}'")))?;
+        self.predindex.remove_trigger(id)?;
+        self.catalog.delete_trigger(id)?;
+        self.cache.remove(id);
+        Ok(CommandOutput::TriggerDropped(id))
+    }
+
+    fn create_trigger_set(&self, name: &str) -> Result<CommandOutput> {
+        let mut sets = self.sets.write();
+        if sets.contains_key(&name.to_lowercase()) || name.eq_ignore_ascii_case("default") {
+            return Err(TmanError::AlreadyExists(format!("trigger set '{name}'")));
+        }
+        let id = TriggerSetId(self.next_set.fetch_add(1, Ordering::Relaxed));
+        let row = TriggerSetRow { id, name: name.to_string(), enabled: true };
+        self.catalog.insert_set(&row)?;
+        sets.insert(name.to_lowercase(), row);
+        Ok(CommandOutput::SetCreated(id))
+    }
+
+    fn drop_trigger_set(&self, name: &str) -> Result<CommandOutput> {
+        if name.eq_ignore_ascii_case("default") {
+            return Err(TmanError::Invalid("cannot drop the default trigger set".into()));
+        }
+        let mut sets = self.sets.write();
+        let row = sets
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| TmanError::NotFound(format!("trigger set '{name}'")))?;
+        let in_use = self.catalog.triggers()?.iter().any(|t| t.set == row.id);
+        if in_use {
+            return Err(TmanError::Invalid(format!(
+                "trigger set '{name}' still contains triggers"
+            )));
+        }
+        self.catalog.delete_set(name)?;
+        sets.remove(&name.to_lowercase());
+        Ok(CommandOutput::SetDropped)
+    }
+
+    fn set_trigger_enabled(self: &Arc<Self>, name: &str, enabled: bool) -> Result<CommandOutput> {
+        let id = *self
+            .trigger_names
+            .read()
+            .get(&name.to_lowercase())
+            .ok_or_else(|| TmanError::NotFound(format!("trigger '{name}'")))?;
+        self.catalog.set_trigger_enabled(id, enabled)?;
+        if let Some(t) = self.cache.peek(id) {
+            t.enabled.store(enabled, Ordering::Relaxed);
+        }
+        Ok(CommandOutput::EnabledChanged)
+    }
+
+    fn set_trigger_set_enabled(&self, name: &str, enabled: bool) -> Result<CommandOutput> {
+        let mut sets = self.sets.write();
+        let row = sets
+            .get_mut(&name.to_lowercase())
+            .ok_or_else(|| TmanError::NotFound(format!("trigger set '{name}'")))?;
+        row.enabled = enabled;
+        self.catalog.set_set_enabled(name, enabled)?;
+        Ok(CommandOutput::EnabledChanged)
+    }
+
+    fn set_is_enabled(&self, id: TriggerSetId) -> bool {
+        self.sets.read().values().find(|s| s.id == id).map(|s| s.enabled).unwrap_or(true)
+    }
+
+    /// Trigger names currently defined.
+    pub fn trigger_names(&self) -> Vec<String> {
+        let names = self.trigger_names.read();
+        let mut out: Vec<String> = names.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    // ----- data ingestion -------------------------------------------------------
+
+    /// Run a SQL statement against the engine database with update capture:
+    /// changes to tables backing data sources produce update descriptors
+    /// (the Informix-trigger path of §3). Used both by clients and by
+    /// `execSQL` rule actions (which therefore chain).
+    pub fn run_sql(&self, sql: &str) -> Result<ExecResult> {
+        self.run_stmt(&tman_lang::parse_sql(sql)?)
+    }
+
+    /// [`run_sql`](Self::run_sql) for a pre-parsed statement.
+    pub fn run_stmt(&self, stmt: &tman_lang::SqlStmt) -> Result<ExecResult> {
+        let mut captured = Vec::new();
+        let result = tman_sql::execute_with_capture(&self.db, stmt, &mut |c| captured.push(c))?;
+        for c in captured {
+            let Some(info) = self.table_to_source.read().get(&c.table.to_lowercase()).cloned()
+            else {
+                continue; // not a captured table
+            };
+            let token = UpdateDescriptor {
+                data_src: info.id,
+                op: tman_common::TokenOp::from_code(c.op)?,
+                old: c.old,
+                new: c.new,
+            };
+            self.queue.enqueue(token)?;
+        }
+        Ok(result)
+    }
+
+    /// Data-source API (§3): deliver one update descriptor from a remote
+    /// data source program.
+    pub fn push_token(&self, token: UpdateDescriptor) -> Result<()> {
+        let sources = self.sources_by_id.read();
+        let info = sources
+            .get(&token.data_src)
+            .ok_or_else(|| TmanError::NotFound(format!("data source {}", token.data_src)))?;
+        for t in [&token.old, &token.new].into_iter().flatten() {
+            if t.arity() != info.schema.arity() {
+                return Err(TmanError::Type(format!(
+                    "token arity {} does not match '{}' ({} columns)",
+                    t.arity(),
+                    info.name,
+                    info.schema.arity()
+                )));
+            }
+        }
+        drop(sources);
+        self.queue.enqueue(token)
+    }
+
+    // ----- token processing (§5.4) ------------------------------------------------
+
+    /// Process one token synchronously (tests and the driver path).
+    pub fn process_token(self: &Arc<Self>, token: &UpdateDescriptor) -> Result<()> {
+        self.stats.tokens.bump();
+        // Updates first retract the old image from stored-memory networks
+        // (see DESIGN.md: the index is probed with the new image, so a
+        // synthetic delete probe routes the retraction).
+        if token.op == TokenOp::Update {
+            self.maintenance_retract(token)?;
+        }
+        let Some(src) = self.predindex.source(token.data_src) else {
+            return Ok(());
+        };
+        for sig in src.signatures() {
+            if !sig.sig.key.event.accepts(token.op) {
+                continue;
+            }
+            if !token.touches_columns(&sig.sig.update_cols) {
+                continue;
+            }
+            self.predindex.stats().signatures_probed.bump();
+            let parts = self.config.condition_partitions;
+            if parts > 1 && sig.len() >= self.config.partition_min {
+                // Condition-level concurrency (Figure 5): split this
+                // signature's constant/triggerID sets into tasks.
+                for part in 0..parts {
+                    self.tasks.push(Task::SigPartition {
+                        token: token.clone(),
+                        sig: sig.clone(),
+                        part,
+                        nparts: parts,
+                    });
+                }
+            } else {
+                self.probe_signature(&sig, token, 0, 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn probe_signature(
+        self: &Arc<Self>,
+        sig: &Arc<SignatureRuntime>,
+        token: &UpdateDescriptor,
+        part: usize,
+        nparts: usize,
+    ) -> Result<()> {
+        let tuple = token.probe_tuple();
+        let mut matches = Vec::new();
+        sig.probe_partition(tuple, part, nparts, self.predindex.stats(), &mut |e| {
+            matches.push((e.trigger_id, e.next_node))
+        })?;
+        for (tid, node) in matches {
+            self.handle_match(tid, node, token)?;
+        }
+        Ok(())
+    }
+
+    fn pin(self: &Arc<Self>, id: TriggerId) -> Result<PinnedTrigger> {
+        self.cache.pin(id, || {
+            let row = self
+                .catalog
+                .trigger_by_id(id)?
+                .ok_or_else(|| TmanError::NotFound(format!("trigger {id} in catalog")))?;
+            let compiled = self.compile_row(&row)?;
+            let trigger = Arc::new(compiled.trigger);
+            // Re-prime stored memories lost at eviction (a no-op for the
+            // default A-TREAT networks, whose alpha nodes are virtual).
+            self.prime_network(&trigger)?;
+            Ok(trigger)
+        })
+    }
+
+    fn handle_match(
+        self: &Arc<Self>,
+        tid: TriggerId,
+        node: NodeId,
+        token: &UpdateDescriptor,
+    ) -> Result<()> {
+        // §5.4: pin the trigger in the trigger cache, then pass the token
+        // to the network node the matched expression names.
+        let trigger = self.pin(tid)?;
+        if !trigger.enabled.load(Ordering::Relaxed) || !self.set_is_enabled(trigger.set) {
+            return Ok(());
+        }
+        let var = node.raw() as usize;
+        let (polarity, tuple) = match token.op {
+            TokenOp::Insert | TokenOp::Update => {
+                (Polarity::Plus, token.new.as_ref().expect("new image"))
+            }
+            TokenOp::Delete => (Polarity::Minus, token.old.as_ref().expect("old image")),
+        };
+        let mut firings = Vec::new();
+        if trigger.vars.len() == 1 {
+            // Single-variable triggers never scan base data: skip the
+            // alpha-source snapshot (a per-match allocation on a hot path).
+            trigger
+                .network
+                .activate(var, polarity, tuple, &NULL_ALPHA, &mut |f| firings.push(f))?;
+        } else {
+            let alpha = self.alpha_source();
+            trigger
+                .network
+                .activate(var, polarity, tuple, &alpha, &mut |f| firings.push(f))?;
+        }
+        let run = trigger.runs_action(var, token);
+        let action_polarity =
+            if token.op == TokenOp::Delete { Polarity::Minus } else { Polarity::Plus };
+        for f in firings {
+            self.stats.firings.bump();
+            if !run || f.polarity != action_polarity {
+                continue;
+            }
+            if self.config.async_actions {
+                // Rule-action concurrency (§6 task type 2).
+                self.tasks.push(Task::Action {
+                    trigger: tid,
+                    bindings: f.bindings,
+                    token: token.clone(),
+                });
+            } else {
+                self.stats.actions.bump();
+                action::run_action(self, &trigger, &f.bindings, token)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Retract the old image of an update token from triggers with
+    /// stored-memory networks (registered under the `any` opcode).
+    fn maintenance_retract(self: &Arc<Self>, token: &UpdateDescriptor) -> Result<()> {
+        let old = token.old.clone().expect("update token has old image");
+        let synth = UpdateDescriptor::delete(token.data_src, old.clone());
+        let Some(src) = self.predindex.source(token.data_src) else {
+            return Ok(());
+        };
+        for sig in src.signatures() {
+            if sig.sig.key.event != EventKind::Any {
+                continue;
+            }
+            let mut matches = Vec::new();
+            sig.probe(synth.probe_tuple(), self.predindex.stats(), &mut |e| {
+                matches.push((e.trigger_id, e.next_node))
+            })?;
+            for (tid, node) in matches {
+                let trigger = self.pin(tid)?;
+                if trigger.vars.len() <= 1 {
+                    continue;
+                }
+                let alpha = self.alpha_source();
+                // Maintenance only: retraction firings do not run actions.
+                trigger.network.activate(
+                    node.raw() as usize,
+                    Polarity::Minus,
+                    &old,
+                    &alpha,
+                    &mut |_| {},
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- task execution / drivers (§6) -------------------------------------------
+
+    fn execute_task(self: &Arc<Self>, task: Task) {
+        let result = match task {
+            Task::Token(tok) => self.process_token(&tok),
+            Task::SigPartition { token, sig, part, nparts } => {
+                self.probe_signature(&sig, &token, part, nparts)
+            }
+            Task::Action { trigger, bindings, token } => (|| {
+                let pinned = self.pin(trigger)?;
+                self.stats.actions.bump();
+                action::run_action(self, &pinned, &bindings, &token)
+            })(),
+        };
+        if let Err(e) = result {
+            self.record_error(&e);
+        }
+    }
+
+    /// One bounded-time drain of the task queue — the paper's `TmanTest()`
+    /// UDR (§6). Returns whether work remains.
+    pub fn tman_test(self: &Arc<Self>, threshold: std::time::Duration) -> TmanTestResult {
+        let start = std::time::Instant::now();
+        loop {
+            let task = self.tasks.pop().or_else(|| {
+                match self.queue.dequeue_batch(1) {
+                    Ok(mut batch) => batch.pop().map(Task::Token),
+                    Err(e) => {
+                        self.record_error(&e);
+                        None
+                    }
+                }
+            });
+            match task {
+                None => return TmanTestResult::QueueEmpty,
+                Some(t) => {
+                    self.execute_task(t);
+                    // "Yield the processor so other Informix tasks can use
+                    // it" — cooperative scheduling point.
+                    std::thread::yield_now();
+                }
+            }
+            if start.elapsed() >= threshold {
+                return TmanTestResult::TasksRemaining;
+            }
+        }
+    }
+
+    /// Drain everything synchronously (tests, examples). Equivalent to a
+    /// driver loop with an unbounded THRESHOLD.
+    pub fn run_until_quiescent(self: &Arc<Self>) -> Result<()> {
+        while self.tman_test(std::time::Duration::from_secs(3600)) == TmanTestResult::TasksRemaining
+        {
+        }
+        Ok(())
+    }
+
+    /// Start `N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL)` driver threads
+    /// (§6). Stop them by dropping the returned pool (or `shutdown`).
+    pub fn start_drivers(self: &Arc<Self>) -> DriverPool {
+        driver::start(self.clone())
+    }
+
+    /// Ask driver threads to exit.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Refresh `expression_signature` catalog rows (sizes/organizations
+    /// change as triggers come and go); called by checkpoints.
+    pub fn refresh_signature_catalog(&self) -> Result<()> {
+        for (_, src) in self.sources_by_id.read().iter() {
+            if let Some(ix) = self.predindex.source(src.id) {
+                for sig in ix.signatures() {
+                    self.catalog.upsert_signature(
+                        sig.id,
+                        src.id,
+                        &sig.sig.key.desc,
+                        &sig.const_table_name(),
+                        sig.len(),
+                        sig.org_kind().as_str(),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush dirty pages (catalogs, constant tables, queue) to disk.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.refresh_signature_catalog()?;
+        self.db.checkpoint()
+    }
+
+    /// Snapshot a tuple for a source by column values (test/client helper).
+    pub fn tuple_for(&self, source: &str, values: Vec<tman_common::Value>) -> Result<Tuple> {
+        let info = self.source(source)?;
+        Ok(Tuple::new(info.schema.coerce_row(values)?))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,199 @@
+//! The update-descriptor queue (§3, Figure 1).
+//!
+//! Captured updates are parked here until a driver's `tman_test` call
+//! consumes them. Two modes:
+//!
+//! * **Persistent** — "a table acting as a queue": descriptors are rows of
+//!   `update_queue(qid, body)` and survive restarts (the paper's "safety of
+//!   persistent update queuing").
+//! * **Volatile** — the planned "main-memory queue ... faster, but the
+//!   safety ... will be lost": a lock-free in-memory queue.
+
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use tman_common::{Result, TmanError, UpdateDescriptor, Value};
+use tman_sql::{Database, Table};
+
+/// Name of the persistent queue table.
+pub const QUEUE_TABLE: &str = "update_queue";
+
+#[allow(clippy::large_enum_variant)] // one queue per engine; size is moot
+enum Backend {
+    Volatile(SegQueue<UpdateDescriptor>),
+    Persistent { table: Arc<Table>, next_qid: AtomicI64 },
+}
+
+/// FIFO of update descriptors awaiting processing.
+pub struct UpdateQueue {
+    backend: Backend,
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return Err(TmanError::Storage("odd-length hex body".into()));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|e| TmanError::Storage(format!("bad hex body: {e}")))
+        })
+        .collect()
+}
+
+impl UpdateQueue {
+    /// In-memory queue.
+    pub fn volatile() -> UpdateQueue {
+        UpdateQueue { backend: Backend::Volatile(SegQueue::new()) }
+    }
+
+    /// Table-backed queue; creates (or reopens) `update_queue` and resumes
+    /// after the highest existing qid.
+    pub fn persistent(db: &Database) -> Result<UpdateQueue> {
+        use tman_common::{Column, DataType, Schema};
+        let table = if db.has_table(QUEUE_TABLE) {
+            db.table(QUEUE_TABLE)?
+        } else {
+            db.create_table(
+                QUEUE_TABLE,
+                Schema::new(vec![
+                    Column::new("qid", DataType::Int),
+                    Column::new("body", DataType::Varchar(65535)),
+                ])?,
+            )?
+        };
+        let mut max_qid = 0i64;
+        table.scan(|_, row| {
+            max_qid = max_qid.max(row.get(0).as_i64().unwrap_or(0));
+            Ok(true)
+        })?;
+        Ok(UpdateQueue {
+            backend: Backend::Persistent { table, next_qid: AtomicI64::new(max_qid + 1) },
+        })
+    }
+
+    /// Append a descriptor.
+    pub fn enqueue(&self, d: UpdateDescriptor) -> Result<()> {
+        match &self.backend {
+            Backend::Volatile(q) => {
+                q.push(d);
+                Ok(())
+            }
+            Backend::Persistent { table, next_qid } => {
+                let qid = next_qid.fetch_add(1, Ordering::Relaxed);
+                table.insert(vec![Value::Int(qid), Value::str(hex_encode(&d.encode()))])?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Remove and return up to `max` descriptors in FIFO order.
+    pub fn dequeue_batch(&self, max: usize) -> Result<Vec<UpdateDescriptor>> {
+        match &self.backend {
+            Backend::Volatile(q) => {
+                let mut out = Vec::new();
+                while out.len() < max {
+                    match q.pop() {
+                        Some(d) => out.push(d),
+                        None => break,
+                    }
+                }
+                Ok(out)
+            }
+            Backend::Persistent { table, .. } => {
+                // One scan collects (qid, rid, body); take the lowest qids.
+                let mut rows: Vec<(i64, tman_storage::RecordId, String)> = Vec::new();
+                table.scan(|rid, row| {
+                    rows.push((
+                        row.get(0).as_i64().unwrap_or(0),
+                        rid,
+                        row.get(1).as_str().unwrap_or("").to_string(),
+                    ));
+                    Ok(true)
+                })?;
+                rows.sort_by_key(|(qid, _, _)| *qid);
+                rows.truncate(max);
+                let mut out = Vec::with_capacity(rows.len());
+                for (_, rid, body) in rows {
+                    table.delete(rid)?;
+                    out.push(UpdateDescriptor::decode(&hex_decode(&body)?)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Number of queued descriptors.
+    pub fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Volatile(q) => q.len(),
+            Backend::Persistent { table, .. } => table.count().unwrap_or(0),
+        }
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tman_common::{DataSourceId, Tuple};
+
+    fn tok(i: i64) -> UpdateDescriptor {
+        UpdateDescriptor::insert(DataSourceId(1), Tuple::new(vec![Value::Int(i)]))
+    }
+
+    #[test]
+    fn volatile_fifo() {
+        let q = UpdateQueue::volatile();
+        for i in 0..5 {
+            q.enqueue(tok(i)).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        let batch = q.dequeue_batch(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], tok(0));
+        assert_eq!(q.dequeue_batch(10).unwrap().len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn persistent_fifo_and_recovery() {
+        let db = Database::open_memory(128);
+        {
+            let q = UpdateQueue::persistent(&db).unwrap();
+            for i in 0..4 {
+                q.enqueue(tok(i)).unwrap();
+            }
+            let batch = q.dequeue_batch(2).unwrap();
+            assert_eq!(batch, vec![tok(0), tok(1)]);
+        }
+        // "Restart": reopen over the same database — 2 descriptors remain,
+        // and new qids don't collide.
+        let q2 = UpdateQueue::persistent(&db).unwrap();
+        assert_eq!(q2.len(), 2);
+        q2.enqueue(tok(9)).unwrap();
+        let batch = q2.dequeue_batch(10).unwrap();
+        assert_eq!(batch, vec![tok(2), tok(3), tok(9)]);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = vec![0u8, 255, 16, 1, 171];
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+}

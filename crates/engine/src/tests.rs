@@ -1,0 +1,541 @@
+use super::*;
+use std::time::Duration;
+use tman_common::Value;
+
+fn system() -> Arc<TriggerMan> {
+    TriggerMan::open_memory(Config::default()).unwrap()
+}
+
+fn setup_emp(tman: &Arc<TriggerMan>) {
+    tman.run_sql("create table emp (name varchar(32), salary float, dept int)").unwrap();
+    tman.execute_command("define data source emp from table emp").unwrap();
+}
+
+fn setup_real_estate(tman: &Arc<TriggerMan>) {
+    for (ddl, src) in [
+        ("create table salesperson (spno int, name varchar(20), phone varchar(16))", "salesperson"),
+        ("create table house (hno int, address varchar(40), price float, nno int)", "house"),
+        ("create table represents (spno int, nno int)", "represents"),
+        ("create table neighborhood (nno int, name varchar(20), location varchar(20))", "neighborhood"),
+    ] {
+        tman.run_sql(ddl).unwrap();
+        tman.execute_command(&format!("define data source {src} from table {src}")).unwrap();
+    }
+}
+
+#[test]
+fn paper_example_update_fred() {
+    // §2: "This rule sets the salary of Fred to the salary of Bob."
+    let tman = system();
+    setup_emp(&tman);
+    tman.run_sql("insert into emp values ('Fred', 1000, 1)").unwrap();
+    tman.run_sql("insert into emp values ('Bob', 2000, 1)").unwrap();
+    tman.run_until_quiescent().unwrap();
+
+    tman.execute_command(
+        "create trigger updateFred from emp on update(emp.salary) \
+         when emp.name = 'Bob' \
+         do execSQL 'update emp set salary=:NEW.emp.salary where emp.name= ''Fred'''",
+    )
+    .unwrap();
+
+    tman.run_sql("update emp set salary = 95000 where name = 'Bob'").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+
+    let rows = tman.run_sql("select salary from emp where name = 'Fred'").unwrap().rows();
+    assert_eq!(rows[0].get(0), &Value::Float(95000.0));
+    assert_eq!(tman.stats().actions.get(), 1);
+
+    // A name-only update must NOT fire (update(emp.salary) event).
+    tman.run_sql("update emp set name = 'Robert' where name = 'Bob'").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(tman.stats().actions.get(), 1);
+}
+
+#[test]
+fn paper_example_iris_house_alert() {
+    let tman = system();
+    setup_real_estate(&tman);
+    tman.run_sql("insert into salesperson values (1, 'Iris', '555-1234')").unwrap();
+    tman.run_sql("insert into salesperson values (2, 'Bob', '555-9999')").unwrap();
+    tman.run_sql("insert into represents values (1, 10)").unwrap();
+    tman.run_sql("insert into represents values (2, 11)").unwrap();
+    tman.run_until_quiescent().unwrap();
+
+    let rx = tman.subscribe("NewHouseInIrisNeighborhood");
+    tman.execute_command(
+        "create trigger IrisHouseAlert on insert to house \
+         from salesperson s, house h, represents r \
+         when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno \
+         do raise event NewHouseInIrisNeighborhood(h.hno, h.address)",
+    )
+    .unwrap();
+
+    // House in Iris's neighborhood fires; Bob's does not.
+    tman.run_sql("insert into house values (100, '12 Oak St', 250000, 10)").unwrap();
+    tman.run_sql("insert into house values (101, '9 Elm St', 150000, 11)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+
+    let n = rx.try_recv().unwrap();
+    assert_eq!(n.trigger, "IrisHouseAlert");
+    assert_eq!(n.values, vec![Value::Int(100), Value::str("12 Oak St")]);
+    assert!(rx.try_recv().is_err(), "Bob's house must not fire");
+
+    // Inserting a represents row must not raise (event is insert to house).
+    tman.run_sql("insert into represents values (1, 11)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(rx.try_recv().is_err());
+    // ... but now a house in nno 11 fires (Iris represents it too).
+    tman.run_sql("insert into house values (102, '1 Pine St', 99000, 11)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_recv().unwrap().values[0], Value::Int(102));
+}
+
+#[test]
+fn notify_action_substitutes_macros() {
+    let tman = system();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    tman.execute_command(
+        "create trigger bigpay from emp when emp.salary > 80000 \
+         do notify 'big: :NEW.emp.name earns :NEW.emp.salary'",
+    )
+    .unwrap();
+    tman.run_sql("insert into emp values ('Ann', 90000, 2)").unwrap();
+    tman.run_sql("insert into emp values ('Bo', 50000, 2)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    let n = rx.try_recv().unwrap();
+    assert_eq!(n.message.as_deref(), Some("big: Ann earns 90000"));
+    assert!(rx.try_recv().is_err());
+}
+
+#[test]
+fn delete_event_uses_old_image() {
+    let tman = system();
+    setup_emp(&tman);
+    let rx = tman.subscribe("Gone");
+    tman.execute_command(
+        "create trigger leaver from emp on delete from emp \
+         when emp.dept = 7 do raise event Gone(:OLD.emp.name)",
+    )
+    .unwrap();
+    tman.run_sql("insert into emp values ('Kim', 100, 7)").unwrap();
+    tman.run_sql("insert into emp values ('Lee', 100, 8)").unwrap();
+    tman.run_sql("delete from emp where dept = 7").unwrap();
+    tman.run_sql("delete from emp where dept = 8").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    let n = rx.try_recv().unwrap();
+    assert_eq!(n.values, vec![Value::str("Kim")]);
+    assert!(rx.try_recv().is_err());
+}
+
+#[test]
+fn trigger_chaining_via_execsql() {
+    // updateFred-style chaining: trigger A's execSQL fires trigger B.
+    let tman = system();
+    setup_emp(&tman);
+    tman.run_sql("create table audit (who varchar(32), sal float)").unwrap();
+    tman.execute_command("define data source audit from table audit").unwrap();
+    let rx = tman.subscribe("Audited");
+    tman.execute_command(
+        "create trigger log_raises from emp on update(emp.salary) \
+         do execSQL 'insert into audit values (:NEW.emp.name, :NEW.emp.salary)'",
+    )
+    .unwrap();
+    tman.execute_command(
+        "create trigger audit_watch from audit on insert to audit \
+         do raise event Audited(audit.who)",
+    )
+    .unwrap();
+    tman.run_sql("insert into emp values ('Zoe', 10, 1)").unwrap();
+    tman.run_sql("update emp set salary = 20 where name = 'Zoe'").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(rx.try_recv().unwrap().values, vec![Value::str("Zoe")]);
+    assert_eq!(tman.run_sql("select * from audit").unwrap().rows().len(), 1);
+}
+
+#[test]
+fn enable_disable_trigger_and_set() {
+    let tman = system();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    tman.execute_command("create trigger set alerts").unwrap();
+    tman.execute_command(
+        "create trigger t1 in alerts from emp when emp.dept = 1 do notify 't1'",
+    )
+    .unwrap();
+
+    tman.run_sql("insert into emp values ('a', 1, 1)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(rx.try_recv().is_ok());
+
+    tman.execute_command("disable trigger t1").unwrap();
+    tman.run_sql("insert into emp values ('b', 1, 1)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(rx.try_recv().is_err(), "disabled trigger must not fire");
+
+    tman.execute_command("enable trigger t1").unwrap();
+    tman.execute_command("disable trigger set alerts").unwrap();
+    tman.run_sql("insert into emp values ('c', 1, 1)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(rx.try_recv().is_err(), "disabled set must not fire");
+
+    tman.execute_command("enable trigger set alerts").unwrap();
+    tman.run_sql("insert into emp values ('d', 1, 1)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(rx.try_recv().is_ok());
+}
+
+#[test]
+fn drop_trigger_stops_matching_and_cleans_index() {
+    let tman = system();
+    setup_emp(&tman);
+    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'x'").unwrap();
+    assert_eq!(tman.predicate_index().num_entries(), 1);
+    tman.execute_command("drop trigger t").unwrap();
+    assert_eq!(tman.predicate_index().num_entries(), 0);
+    assert!(tman.execute_command("drop trigger t").is_err());
+    // Recreating under the same name works.
+    tman.execute_command("create trigger t from emp when emp.dept = 2 do notify 'y'").unwrap();
+}
+
+#[test]
+fn signatures_shared_and_catalogued() {
+    let tman = system();
+    setup_emp(&tman);
+    for i in 0..50 {
+        tman.execute_command(&format!(
+            "create trigger w{i} from emp when emp.salary > {} do notify 'hi'",
+            1000 * i
+        ))
+        .unwrap();
+    }
+    assert_eq!(tman.predicate_index().num_signatures(), 1);
+    assert_eq!(tman.predicate_index().num_entries(), 50);
+    tman.refresh_signature_catalog().unwrap();
+    let sigs = tman.catalog.signatures().unwrap();
+    assert_eq!(sigs.len(), 1);
+    assert_eq!(sigs[0].4, 50); // constantSetSize
+    assert!(sigs[0].2.contains("CONSTANT1")); // signatureDesc
+}
+
+#[test]
+fn duplicate_names_and_bad_commands_error() {
+    let tman = system();
+    setup_emp(&tman);
+    tman.execute_command("create trigger t from emp do notify 'x'").unwrap();
+    assert!(tman.execute_command("create trigger t from emp do notify 'x'").is_err());
+    assert!(tman.execute_command("create trigger u from nosource do notify 'x'").is_err());
+    assert!(tman
+        .execute_command("create trigger v from emp when emp.bogus = 1 do notify 'x'")
+        .is_err());
+    assert!(tman
+        .execute_command("create trigger w from emp group by emp.dept do notify 'x'")
+        .is_err());
+    // A failed create leaves no residue.
+    assert!(tman.execute_command("create trigger u from emp do notify 'ok'").is_ok());
+}
+
+#[test]
+fn remote_data_source_via_push_token() {
+    let tman = system();
+    tman.execute_command("define data source quotes (symbol varchar(8), price float)")
+        .unwrap();
+    let rx = tman.subscribe("Cheap");
+    tman.execute_command(
+        "create trigger cheap from quotes when quotes.price < 10 \
+         do raise event Cheap(quotes.symbol, quotes.price)",
+    )
+    .unwrap();
+    let src = tman.source("quotes").unwrap().id;
+    tman.push_token(UpdateDescriptor::insert(
+        src,
+        tman.tuple_for("quotes", vec![Value::str("ACME"), Value::Float(5.0)]).unwrap(),
+    ))
+    .unwrap();
+    tman.push_token(UpdateDescriptor::insert(
+        src,
+        tman.tuple_for("quotes", vec![Value::str("BIG"), Value::Float(500.0)]).unwrap(),
+    ))
+    .unwrap();
+    tman.run_until_quiescent().unwrap();
+    let n = rx.try_recv().unwrap();
+    assert_eq!(n.values[0], Value::str("ACME"));
+    assert!(rx.try_recv().is_err());
+    // Arity validation.
+    assert!(tman
+        .push_token(UpdateDescriptor::insert(src, Tuple::new(vec![Value::Int(1)])))
+        .is_err());
+}
+
+#[test]
+fn persistent_recovery_restores_triggers_and_queue() {
+    let path = std::env::temp_dir().join(format!("tman_engine_{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = Config { queue_mode: QueueMode::Persistent, ..Default::default() };
+    {
+        let tman = TriggerMan::open_file(&path, cfg.clone()).unwrap();
+        setup_emp(&tman);
+        tman.execute_command(
+            "create trigger persisted from emp when emp.dept = 3 do notify 'dept3: :NEW.emp.name'",
+        )
+        .unwrap();
+        // Enqueue but do NOT process: must survive the restart.
+        tman.run_sql("insert into emp values ('Pat', 1, 3)").unwrap();
+        tman.checkpoint().unwrap();
+    }
+    {
+        let tman = TriggerMan::open_file(&path, cfg).unwrap();
+        assert_eq!(tman.trigger_names(), vec!["persisted".to_string()]);
+        assert_eq!(tman.predicate_index().num_entries(), 1);
+        let rx = tman.subscribe("notify");
+        tman.run_until_quiescent().unwrap();
+        assert_eq!(rx.try_recv().unwrap().message.as_deref(), Some("dept3: Pat"));
+        // And the machinery still works for fresh updates.
+        tman.run_sql("insert into emp values ('Quinn', 1, 3)").unwrap();
+        tman.run_until_quiescent().unwrap();
+        assert!(rx.try_recv().is_ok());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn drivers_process_in_background() {
+    let cfg = Config {
+        num_cpus: Some(2),
+        driver_period: Duration::from_millis(2),
+        threshold: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'hit'").unwrap();
+    let pool = tman.start_drivers();
+    assert_eq!(pool.len(), 2);
+    for i in 0..200 {
+        tman.run_sql(&format!("insert into emp values ('p{i}', 1, {})", i % 4)).unwrap();
+    }
+    // Wait for the drivers to drain the queue.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while tman.queue_len() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pool.stop();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(rx.try_iter().count(), 50);
+}
+
+#[test]
+fn join_triggers_work_on_all_network_kinds() {
+    for kind in [NetworkKind::ATreat, NetworkKind::Treat, NetworkKind::Rete, NetworkKind::Gator] {
+        let cfg = Config { network: kind, ..Default::default() };
+        let tman = TriggerMan::open_memory(cfg).unwrap();
+        setup_real_estate(&tman);
+        tman.run_sql("insert into salesperson values (1, 'Iris', 'x')").unwrap();
+        tman.run_sql("insert into represents values (1, 10)").unwrap();
+        tman.run_until_quiescent().unwrap();
+
+        let rx = tman.subscribe("Hit");
+        tman.execute_command(
+            "create trigger j on insert to house from salesperson s, house h, represents r \
+             when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno \
+             do raise event Hit(h.hno)",
+        )
+        .unwrap();
+
+        tman.run_sql("insert into house values (7, 'a', 1, 10)").unwrap();
+        tman.run_sql("insert into house values (8, 'b', 1, 99)").unwrap();
+        tman.run_until_quiescent().unwrap();
+        assert!(tman.last_error().is_none(), "{kind:?}: {:?}", tman.last_error());
+        assert_eq!(rx.try_recv().unwrap().values, vec![Value::Int(7)], "{kind:?}");
+        assert!(rx.try_recv().is_err(), "{kind:?}");
+
+        // Represents-row churn maintains memories without firing.
+        tman.run_sql("delete from represents where nno = 10").unwrap();
+        tman.run_sql("insert into house values (9, 'c', 1, 10)").unwrap();
+        tman.run_until_quiescent().unwrap();
+        assert!(rx.try_recv().is_err(), "{kind:?}: no rep row anymore");
+    }
+}
+
+#[test]
+fn update_tokens_maintain_stored_memories() {
+    // TREAT: an update that moves a row out of the selection must retract
+    // it from the alpha memory (via the synthetic-delete maintenance path).
+    let cfg = Config { network: NetworkKind::Treat, ..Default::default() };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_real_estate(&tman);
+    tman.run_sql("insert into salesperson values (1, 'Iris', 'x')").unwrap();
+    tman.run_sql("insert into represents values (1, 10)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    let rx = tman.subscribe("Hit");
+    tman.execute_command(
+        "create trigger j on insert to house from salesperson s, house h, represents r \
+         when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno \
+         do raise event Hit(h.hno)",
+    )
+    .unwrap();
+    // Rename Iris: the selection s.name='Iris' no longer holds.
+    tman.run_sql("update salesperson set name = 'Irene' where spno = 1").unwrap();
+    tman.run_sql("insert into house values (1, 'a', 1, 10)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(rx.try_recv().is_err(), "stale alpha memory fired");
+    // Rename back: updates must re-admit her.
+    tman.run_sql("update salesperson set name = 'Iris' where spno = 1").unwrap();
+    tman.run_sql("insert into house values (2, 'b', 1, 10)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(rx.try_recv().unwrap().values, vec![Value::Int(2)]);
+}
+
+#[test]
+fn condition_level_concurrency_partitions() {
+    let cfg = Config { condition_partitions: 4, partition_min: 10, ..Default::default() };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    // Many triggers with the same condition, different actions (the §6
+    // partitioning example).
+    for i in 0..40 {
+        tman.execute_command(&format!(
+            "create trigger p{i} from emp when emp.dept = 5 do notify 'p{i}'"
+        ))
+        .unwrap();
+    }
+    tman.run_sql("insert into emp values ('x', 1, 5)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(rx.try_iter().count(), 40, "all partitions processed");
+}
+
+#[test]
+fn async_actions_run_as_tasks() {
+    let cfg = Config { async_actions: true, ..Default::default() };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'x'").unwrap();
+    for _ in 0..10 {
+        tman.run_sql("insert into emp values ('a', 1, 1)").unwrap();
+    }
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 10);
+    assert_eq!(tman.stats().actions.get(), 10);
+}
+
+#[test]
+fn trigger_cache_eviction_and_reload() {
+    let cfg = Config { trigger_cache_capacity: 4, ..Default::default() };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    for i in 0..20 {
+        tman.execute_command(&format!(
+            "create trigger c{i} from emp when emp.dept = {i} do notify 'c{i}'"
+        ))
+        .unwrap();
+    }
+    assert!(tman.trigger_cache().len() <= 4);
+    assert!(tman.trigger_cache().stats().evictions.get() >= 16);
+    // Firing an evicted trigger reloads (recompiles) it from the catalog.
+    tman.run_sql("insert into emp values ('a', 1, 2)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(rx.try_recv().unwrap().message.as_deref(), Some("c2"));
+    assert!(tman.trigger_cache().stats().misses.get() > 0);
+}
+
+#[test]
+fn implicit_insert_or_update_event() {
+    let tman = system();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    // No on clause: fires on insert and update, not delete.
+    tman.execute_command("create trigger any from emp when emp.dept = 1 do notify 'hit'")
+        .unwrap();
+    tman.run_sql("insert into emp values ('a', 1, 1)").unwrap();
+    tman.run_sql("update emp set salary = 2 where name = 'a'").unwrap();
+    tman.run_sql("delete from emp where name = 'a'").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 2);
+}
+
+#[test]
+fn tman_test_reports_threshold_expiry() {
+    let tman = system();
+    setup_emp(&tman);
+    tman.execute_command("create trigger t from emp when emp.dept >= 0 do notify 'x'").unwrap();
+    for i in 0..500 {
+        tman.run_sql(&format!("insert into emp values ('p{i}', 1, 1)")).unwrap();
+    }
+    // A zero threshold processes exactly one task then reports more work.
+    assert_eq!(tman.tman_test(Duration::ZERO), TmanTestResult::TasksRemaining);
+    assert_eq!(tman.stats().tokens.get(), 1);
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(tman.tman_test(Duration::from_millis(1)), TmanTestResult::QueueEmpty);
+    assert_eq!(tman.stats().tokens.get(), 500);
+}
+
+#[test]
+fn connections_catalog_and_defaults() {
+    let tman = system();
+    // The local connection pre-exists and is the default.
+    assert_eq!(tman.default_connection(), "local");
+    assert_eq!(tman.connections().len(), 1);
+
+    tman.execute_command(
+        "define connection wallst type 'informix' host 'nyse.example.com' \
+         server 'quotes1' user 'feed'",
+    )
+    .unwrap();
+    assert_eq!(tman.connections().len(), 2);
+    assert_eq!(tman.default_connection(), "local");
+    assert!(tman
+        .execute_command("define connection wallst type 'oracle'")
+        .is_err(), "duplicate connection");
+
+    // A stream source on the remote connection works via push_token...
+    tman.execute_command("define data source ticks (sym varchar(8), px float) via wallst")
+        .unwrap();
+    assert_eq!(tman.source("ticks").unwrap().connection, "wallst");
+    // ...but captured local tables are local-connection only.
+    tman.run_sql("create table t (x int)").unwrap();
+    assert!(tman
+        .execute_command("define data source t from table t via wallst")
+        .is_err());
+    assert!(tman
+        .execute_command("define data source t from table t")
+        .is_ok());
+
+    // Changing the default connection affects subsequent sources.
+    tman.execute_command("define connection lse type 'db2' default").unwrap();
+    assert_eq!(tman.default_connection(), "lse");
+    tman.execute_command("define data source lseticks (sym varchar(8), px float)")
+        .unwrap();
+    assert_eq!(tman.source("lseticks").unwrap().connection, "lse");
+}
+
+#[test]
+fn connections_survive_restart() {
+    let path = std::env::temp_dir().join(format!("tman_conn_{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let tman = TriggerMan::open_file(&path, Config::default()).unwrap();
+        tman.execute_command("define connection feed type 'sybase' host 'h1' default")
+            .unwrap();
+        tman.execute_command("define data source s (x int) via feed").unwrap();
+        tman.checkpoint().unwrap();
+    }
+    {
+        let tman = TriggerMan::open_file(&path, Config::default()).unwrap();
+        assert_eq!(tman.default_connection(), "feed");
+        assert_eq!(tman.connections().len(), 2);
+        assert_eq!(tman.source("s").unwrap().connection, "feed");
+    }
+    let _ = std::fs::remove_file(&path);
+}

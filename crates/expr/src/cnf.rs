@@ -1,0 +1,554 @@
+//! Conjunctive normal form and the trigger condition graph (§4, §5.1).
+
+use crate::pred::{AtomKind, AtomicPred, Pred};
+use crate::scalar::{Env, Scalar};
+use std::fmt;
+use tman_common::{Result, TmanError, Value};
+
+/// Cap on CNF size to bound the distribution blow-up for adversarial
+/// conditions (triggers in practice have a handful of conjuncts).
+const MAX_CONJUNCTS: usize = 4096;
+
+/// One conjunct: a disjunction of atomic clauses
+/// (`C_i1 OR C_i2 OR ... OR C_iN`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conjunct {
+    /// The OR'd atomic predicates.
+    pub atoms: Vec<AtomicPred>,
+}
+
+impl Conjunct {
+    /// Three-valued OR over the atoms.
+    pub fn eval(&self, env: &Env<'_>) -> Result<Option<bool>> {
+        let mut unknown = false;
+        for a in &self.atoms {
+            match a.eval(env)? {
+                Some(true) => return Ok(Some(true)),
+                None => unknown = true,
+                Some(false) => {}
+            }
+        }
+        Ok(if unknown { None } else { Some(false) })
+    }
+
+    /// Variables referenced by any atom.
+    pub fn var_mask(&self) -> u64 {
+        self.atoms.iter().map(AtomicPred::var_mask).fold(0, |a, b| a | b)
+    }
+
+    /// Generalize all atoms (constants → placeholders).
+    pub fn generalize(&self, consts: &mut Vec<Value>) -> Conjunct {
+        Conjunct { atoms: self.atoms.iter().map(|a| a.generalize(consts)).collect() }
+    }
+
+    /// True if this is the single-atom constant `false` clause.
+    pub fn is_const_false(&self) -> bool {
+        self.atoms.len() == 1
+            && matches!(
+                &self.atoms[0],
+                AtomicPred { negated: false, kind: AtomKind::Const(false) }
+            )
+    }
+}
+
+impl fmt::Display for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.len() > 1 {
+            write!(f, "(")?;
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " or ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        if self.atoms.len() > 1 {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A predicate in conjunctive normal form: the AND of its conjuncts.
+/// The empty CNF is TRUE.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cnf {
+    /// The AND'd conjuncts.
+    pub conjuncts: Vec<Conjunct>,
+}
+
+impl Cnf {
+    /// The always-true CNF.
+    pub fn truth() -> Cnf {
+        Cnf { conjuncts: Vec::new() }
+    }
+
+    /// Is this trivially true (no conjuncts)?
+    pub fn is_truth(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Three-valued AND over the conjuncts.
+    pub fn eval(&self, env: &Env<'_>) -> Result<Option<bool>> {
+        let mut unknown = false;
+        for c in &self.conjuncts {
+            match c.eval(env)? {
+                Some(false) => return Ok(Some(false)),
+                None => unknown = true,
+                Some(true) => {}
+            }
+        }
+        Ok(if unknown { None } else { Some(true) })
+    }
+
+    /// Does the CNF hold (`Some(true)`)?
+    pub fn matches(&self, env: &Env<'_>) -> Result<bool> {
+        Ok(self.eval(env)? == Some(true))
+    }
+
+    /// Variables referenced.
+    pub fn var_mask(&self) -> u64 {
+        self.conjuncts.iter().map(Conjunct::var_mask).fold(0, |a, b| a | b)
+    }
+
+    /// Generalize all conjuncts, collecting constants left-to-right.
+    pub fn generalize(&self, consts: &mut Vec<Value>) -> Cnf {
+        Cnf { conjuncts: self.conjuncts.iter().map(|c| c.generalize(consts)).collect() }
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Convert a predicate to CNF: negation normal form, then distribution of
+/// OR over AND, then constant simplification.
+pub fn to_cnf(p: &Pred) -> Result<Cnf> {
+    let nnf = push_not(p, false)?;
+    let mut cnf = distribute(&nnf)?;
+    simplify(&mut cnf);
+    Ok(cnf)
+}
+
+/// Negation normal form: negations pushed onto atoms.
+fn push_not(p: &Pred, neg: bool) -> Result<Pred> {
+    Ok(match p {
+        Pred::Not(inner) => push_not(inner, !neg)?,
+        Pred::And(ps) => {
+            let parts: Vec<Pred> =
+                ps.iter().map(|q| push_not(q, neg)).collect::<Result<_>>()?;
+            if neg {
+                Pred::Or(parts)
+            } else {
+                Pred::And(parts)
+            }
+        }
+        Pred::Or(ps) => {
+            let parts: Vec<Pred> =
+                ps.iter().map(|q| push_not(q, neg)).collect::<Result<_>>()?;
+            if neg {
+                Pred::And(parts)
+            } else {
+                Pred::Or(parts)
+            }
+        }
+        Pred::Atom(a) => {
+            if !neg {
+                Pred::Atom(a.clone())
+            } else {
+                Pred::Atom(negate_atom(a))
+            }
+        }
+    })
+}
+
+fn negate_atom(a: &AtomicPred) -> AtomicPred {
+    match &a.kind {
+        AtomKind::Const(b) => AtomicPred {
+            negated: false,
+            kind: AtomKind::Const(if a.negated { *b } else { !*b }),
+        },
+        AtomKind::Cmp { op, left, right } if !a.negated => match op.negate() {
+            Some(nop) => AtomicPred::cmp(nop, left.clone(), right.clone()),
+            None => AtomicPred { negated: true, kind: a.kind.clone() },
+        },
+        _ => AtomicPred { negated: !a.negated, kind: a.kind.clone() },
+    }
+}
+
+/// Distribute OR over AND, producing clause lists.
+fn distribute(p: &Pred) -> Result<Cnf> {
+    Ok(match p {
+        Pred::Atom(a) => Cnf { conjuncts: vec![Conjunct { atoms: vec![a.clone()] }] },
+        Pred::And(ps) => {
+            let mut out = Vec::new();
+            for q in ps {
+                out.extend(distribute(q)?.conjuncts);
+                if out.len() > MAX_CONJUNCTS {
+                    return Err(TmanError::Unsupported(
+                        "trigger condition too complex to normalize (CNF blow-up)".into(),
+                    ));
+                }
+            }
+            Cnf { conjuncts: out }
+        }
+        Pred::Or(ps) => {
+            // CNF(a OR b) = { Ca ∪ Cb : Ca ∈ CNF(a), Cb ∈ CNF(b) }
+            let mut acc: Vec<Conjunct> = vec![Conjunct { atoms: Vec::new() }];
+            for q in ps {
+                let qc = distribute(q)?;
+                let mut next = Vec::with_capacity(acc.len() * qc.conjuncts.len());
+                for a in &acc {
+                    for b in &qc.conjuncts {
+                        let mut atoms = a.atoms.clone();
+                        atoms.extend(b.atoms.iter().cloned());
+                        next.push(Conjunct { atoms });
+                        if next.len() > MAX_CONJUNCTS {
+                            return Err(TmanError::Unsupported(
+                                "trigger condition too complex to normalize (CNF blow-up)"
+                                    .into(),
+                            ));
+                        }
+                    }
+                }
+                acc = next;
+            }
+            Cnf { conjuncts: acc }
+        }
+        Pred::Not(_) => {
+            return Err(TmanError::Internal("NOT survived NNF conversion".into()))
+        }
+    })
+}
+
+/// Drop constant-true clauses and constant-false atoms; collapse a CNF with
+/// an unsatisfiable empty clause to the single FALSE clause.
+fn simplify(cnf: &mut Cnf) {
+    let mut false_cnf = false;
+    cnf.conjuncts.retain_mut(|clause| {
+        let mut clause_true = false;
+        clause.atoms.retain(|a| match (&a.kind, a.negated) {
+            (AtomKind::Const(b), neg) => {
+                if *b != neg {
+                    clause_true = true;
+                }
+                false
+            }
+            _ => true,
+        });
+        if clause_true {
+            return false;
+        }
+        if clause.atoms.is_empty() {
+            // Empty disjunction = FALSE ⇒ whole CNF false.
+            false_cnf = true;
+        }
+        true
+    });
+    if false_cnf {
+        cnf.conjuncts = vec![Conjunct {
+            atoms: vec![AtomicPred::pos(AtomKind::Const(false))],
+        }];
+    }
+}
+
+/// A join edge of the trigger condition graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    /// Lower variable ordinal.
+    pub a: usize,
+    /// Higher variable ordinal.
+    pub b: usize,
+    /// The AND of the conjuncts referring to exactly `{a, b}`.
+    pub pred: Cnf,
+}
+
+/// §5.1 step 3: "an undirected graph with a node for each tuple variable,
+/// and an edge for each join predicate identified", selection predicates on
+/// the nodes, and a catch-all list for conjuncts over zero or 3+ variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionGraph {
+    /// Number of tuple variables.
+    pub num_vars: usize,
+    /// Per-variable selection predicate (TRUE when absent).
+    pub selections: Vec<Cnf>,
+    /// Join predicates, one edge per variable pair that co-occurs.
+    pub joins: Vec<JoinEdge>,
+    /// Trivial (0-variable) and hyper-join (3+-variable) conjuncts,
+    /// evaluated after all joins ("handled as special cases").
+    pub catch_all: Vec<Conjunct>,
+}
+
+impl ConditionGraph {
+    /// Group a CNF's conjuncts by the set of tuple variables they refer to.
+    pub fn build(cnf: Cnf, num_vars: usize) -> ConditionGraph {
+        let mut g = ConditionGraph {
+            num_vars,
+            selections: vec![Cnf::truth(); num_vars],
+            joins: Vec::new(),
+            catch_all: Vec::new(),
+        };
+        for clause in cnf.conjuncts {
+            let mask = clause.var_mask();
+            match mask.count_ones() {
+                1 => {
+                    let var = mask.trailing_zeros() as usize;
+                    g.selections[var].conjuncts.push(clause);
+                }
+                2 => {
+                    let a = mask.trailing_zeros() as usize;
+                    let b = (63 - mask.leading_zeros()) as usize;
+                    match g.joins.iter_mut().find(|e| e.a == a && e.b == b) {
+                        Some(edge) => edge.pred.conjuncts.push(clause),
+                        None => g.joins.push(JoinEdge {
+                            a,
+                            b,
+                            pred: Cnf { conjuncts: vec![clause] },
+                        }),
+                    }
+                }
+                _ => g.catch_all.push(clause),
+            }
+        }
+        g
+    }
+
+    /// The join edges touching variable `v`.
+    pub fn edges_of(&self, v: usize) -> impl Iterator<Item = &JoinEdge> + '_ {
+        self.joins.iter().filter(move |e| e.a == v || e.b == v)
+    }
+}
+
+/// Rewrite every column reference of variable `from` to variable `to`,
+/// renaming the display qualifier to `display`. Used to canonicalize a
+/// selection predicate onto variable 0 before signature extraction, so
+/// tuple-variable aliases don't affect signature identity.
+pub fn remap_var(cnf: &Cnf, from: usize, to: usize, display: &str) -> Cnf {
+    fn remap_scalar(s: &Scalar, from: usize, to: usize, display: &str) -> Scalar {
+        match s {
+            Scalar::Col { var, col, name } if *var == from => Scalar::Col {
+                var: to,
+                col: *col,
+                name: match name.rsplit_once('.') {
+                    Some((_, c)) => format!("{display}.{c}"),
+                    None => name.clone(),
+                },
+            },
+            Scalar::Neg(e) => Scalar::Neg(Box::new(remap_scalar(e, from, to, display))),
+            Scalar::Arith { op, left, right } => Scalar::Arith {
+                op: *op,
+                left: Box::new(remap_scalar(left, from, to, display)),
+                right: Box::new(remap_scalar(right, from, to, display)),
+            },
+            Scalar::Call { func, args } => Scalar::Call {
+                func: *func,
+                args: args.iter().map(|a| remap_scalar(a, from, to, display)).collect(),
+            },
+            other => other.clone(),
+        }
+    }
+    Cnf {
+        conjuncts: cnf
+            .conjuncts
+            .iter()
+            .map(|c| Conjunct {
+                atoms: c
+                    .atoms
+                    .iter()
+                    .map(|a| {
+                        let kind = match &a.kind {
+                            AtomKind::Const(b) => AtomKind::Const(*b),
+                            AtomKind::IsNull(s) => {
+                                AtomKind::IsNull(remap_scalar(s, from, to, display))
+                            }
+                            AtomKind::Cmp { op, left, right } => AtomKind::Cmp {
+                                op: *op,
+                                left: remap_scalar(left, from, to, display),
+                                right: remap_scalar(right, from, to, display),
+                            },
+                        };
+                        AtomicPred { negated: a.negated, kind }
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::BindCtx;
+    use tman_common::{DataType, Schema, Tuple};
+    use tman_lang::parse_expression;
+
+    fn schemas() -> (Schema, Schema, Schema) {
+        (
+            Schema::from_pairs(&[("spno", DataType::Int), ("name", DataType::Varchar(20))]),
+            Schema::from_pairs(&[
+                ("hno", DataType::Int),
+                ("price", DataType::Float),
+                ("nno", DataType::Int),
+            ]),
+            Schema::from_pairs(&[("spno", DataType::Int), ("nno", DataType::Int)]),
+        )
+    }
+
+    fn cnf_of(cond: &str) -> Cnf {
+        let (s, h, r) = schemas();
+        let ctx = BindCtx::new(vec![("s".into(), &s), ("h".into(), &h), ("r".into(), &r)]);
+        to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn already_cnf_stays_put() {
+        let c = cnf_of("s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno");
+        assert_eq!(c.conjuncts.len(), 3);
+        assert_eq!(c.to_string(), "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno");
+    }
+
+    #[test]
+    fn distribution_of_or_over_and() {
+        // a or (b and c)  ⇒  (a or b) and (a or c)
+        let c = cnf_of("s.name = 'x' or (h.price > 1 and r.nno = 2)");
+        assert_eq!(c.conjuncts.len(), 2);
+        assert_eq!(c.conjuncts[0].atoms.len(), 2);
+        assert_eq!(c.conjuncts[1].atoms.len(), 2);
+    }
+
+    #[test]
+    fn negation_pushes_to_atoms() {
+        // not (a and b) ⇒ (not a) or (not b), with comparisons folded.
+        let c = cnf_of("not (h.price > 100 and s.name = 'x')");
+        assert_eq!(c.conjuncts.len(), 1);
+        let atoms = &c.conjuncts[0].atoms;
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].to_string(), "h.price <= CONSTANT1".replace("CONSTANT1", "100"));
+        assert_eq!(atoms[1].to_string(), "s.name <> 'x'");
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let c = cnf_of("not not (h.price > 5)");
+        assert_eq!(c.to_string(), "h.price > 5");
+    }
+
+    #[test]
+    fn not_like_keeps_negation_flag() {
+        let c = cnf_of("not (s.name like 'Ir%')");
+        assert!(c.conjuncts[0].atoms[0].negated);
+    }
+
+    #[test]
+    fn equivalence_under_cnf() {
+        // The CNF must be logically equivalent to the original.
+        let (s, h, r) = schemas();
+        let ctx = BindCtx::new(vec![("s".into(), &s), ("h".into(), &h), ("r".into(), &r)]);
+        let cond = "(s.name = 'a' or h.price > 10) and not (r.nno = 1 and s.spno = 2)";
+        let pred = ctx.pred(&parse_expression(cond).unwrap()).unwrap();
+        let cnf = to_cnf(&pred).unwrap();
+        for spno in [1i64, 2] {
+            for name in ["a", "b"] {
+                for price in [5.0, 20.0] {
+                    for nno in [1i64, 2] {
+                        let ts = Tuple::new(vec![Value::Int(spno), Value::str(name)]);
+                        let th =
+                            Tuple::new(vec![Value::Int(1), Value::Float(price), Value::Int(nno)]);
+                        let tr = Tuple::new(vec![Value::Int(spno), Value::Int(nno)]);
+                        let binds = [Some(&ts), Some(&th), Some(&tr)];
+                        let env = Env { tuples: &binds, consts: &[] };
+                        assert_eq!(pred.eval(&env).unwrap(), cnf.eval(&env).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn condition_graph_grouping() {
+        let c = cnf_of(
+            "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno and h.price > 100000",
+        );
+        let g = ConditionGraph::build(c, 3);
+        assert_eq!(g.selections[0].conjuncts.len(), 1); // s.name = 'Iris'
+        assert!(g.selections[1].conjuncts.len() == 1); // h.price
+        assert!(g.selections[2].is_truth());
+        assert_eq!(g.joins.len(), 2);
+        assert!(g.catch_all.is_empty());
+        assert_eq!(g.edges_of(2).count(), 2); // r joins both s and h
+    }
+
+    #[test]
+    fn hyper_join_and_trivial_go_to_catch_all() {
+        let c = cnf_of("s.spno + r.spno = h.hno and 1 = 1");
+        let g = ConditionGraph::build(c, 3);
+        // `1 = 1` folds away entirely during simplification? No: it's a
+        // comparison of two constants, not a Const atom, so it lands in the
+        // catch-all with zero variables — exactly the paper's trivial
+        // predicate case.
+        assert_eq!(g.catch_all.len(), 2);
+        assert!(g.joins.is_empty());
+    }
+
+    #[test]
+    fn constant_folding_simplifies() {
+        let (s, h, r) = schemas();
+        let ctx = BindCtx::new(vec![("s".into(), &s), ("h".into(), &h), ("r".into(), &r)]);
+        // `x or true` clause drops; `x and false` collapses to FALSE.
+        let p = Pred::And(vec![
+            ctx.pred(&parse_expression("s.spno = 1").unwrap()).unwrap(),
+            Pred::truth(false),
+        ]);
+        let c = to_cnf(&p).unwrap();
+        assert_eq!(c.conjuncts.len(), 1);
+        assert!(c.conjuncts[0].is_const_false());
+
+        let p = Pred::Or(vec![
+            ctx.pred(&parse_expression("s.spno = 1").unwrap()).unwrap(),
+            Pred::truth(true),
+        ]);
+        let c = to_cnf(&p).unwrap();
+        assert!(c.is_truth());
+    }
+
+    #[test]
+    fn cnf_blowup_is_bounded() {
+        // (a1 and b1) or (a2 and b2) or ... repeated enough to exceed the
+        // conjunct cap must error, not hang.
+        let mut cond = String::new();
+        for i in 0..16 {
+            if i > 0 {
+                cond.push_str(" or ");
+            }
+            cond.push_str(&format!("(h.price > {i} and h.hno = {i} and h.nno = {i})"));
+        }
+        let (s, h, r) = schemas();
+        let ctx = BindCtx::new(vec![("s".into(), &s), ("h".into(), &h), ("r".into(), &r)]);
+        let p = ctx.pred(&parse_expression(&cond).unwrap()).unwrap();
+        match to_cnf(&p) {
+            Err(TmanError::Unsupported(_)) => {}
+            Ok(c) => assert!(c.conjuncts.len() <= MAX_CONJUNCTS),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn remap_var_rewrites_references_and_names() {
+        let c = cnf_of("h.price > 100");
+        assert_eq!(c.var_mask(), 0b010);
+        let r = remap_var(&c, 1, 0, "house");
+        assert_eq!(r.var_mask(), 0b001);
+        assert_eq!(r.to_string(), "house.price > 100");
+    }
+}

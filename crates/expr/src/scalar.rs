@@ -1,0 +1,483 @@
+//! Resolved scalar expressions.
+//!
+//! A [`Scalar`] is a parsed expression bound to concrete tuple-variable and
+//! column ordinals, evaluated against an [`Env`] of tuples. The
+//! [`Scalar::Placeholder`] variant is what makes expression signatures work:
+//! generalizing a predicate replaces every [`Scalar::Const`] with a numbered
+//! placeholder, and evaluation then draws the constant from the
+//! environment's constant vector instead (§5).
+
+use std::fmt;
+use tman_common::{Result, TmanError, Tuple, Value};
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Func {
+    /// Absolute value of a numeric.
+    Abs,
+    /// String length.
+    Length,
+    /// Lower-case a string.
+    Lower,
+    /// Upper-case a string.
+    Upper,
+    /// Round a numeric to the nearest integer.
+    Round,
+    /// Remainder of integer division: `mod(a, b)`.
+    Mod,
+}
+
+impl Func {
+    /// Resolve a (case-insensitive) function name.
+    pub fn by_name(name: &str) -> Option<Func> {
+        match name.to_ascii_lowercase().as_str() {
+            "abs" => Some(Func::Abs),
+            "length" => Some(Func::Length),
+            "lower" => Some(Func::Lower),
+            "upper" => Some(Func::Upper),
+            "round" => Some(Func::Round),
+            "mod" => Some(Func::Mod),
+            _ => None,
+        }
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Mod => 2,
+            _ => 1,
+        }
+    }
+
+    /// Name for diagnostics and signature descriptions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Abs => "abs",
+            Func::Length => "length",
+            Func::Lower => "lower",
+            Func::Upper => "upper",
+            Func::Round => "round",
+            Func::Mod => "mod",
+        }
+    }
+}
+
+/// Arithmetic operators (comparisons live on predicates, not scalars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition (numeric) or string concatenation is *not* supported — the
+    /// paper's type system has no string concatenation operator.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (always float).
+    Div,
+}
+
+impl ArithOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A resolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A literal constant.
+    Const(Value),
+    /// `CONSTANT_i` placeholder in a generalized expression; evaluation
+    /// reads `env.consts[i]`.
+    Placeholder(usize),
+    /// Column `col` of tuple variable `var` (both ordinals). The display
+    /// name is kept for signature descriptions and diagnostics.
+    Col {
+        /// Tuple-variable ordinal within the trigger's `from` list.
+        var: usize,
+        /// Column ordinal within that variable's schema.
+        col: usize,
+        /// `var.column` display name.
+        name: String,
+    },
+    /// Arithmetic negation.
+    Neg(Box<Scalar>),
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Scalar>,
+        /// Right operand.
+        right: Box<Scalar>,
+    },
+    /// Built-in function call.
+    Call {
+        /// Function.
+        func: Func,
+        /// Arguments.
+        args: Vec<Scalar>,
+    },
+}
+
+/// Evaluation environment: one tuple per tuple variable, plus the constant
+/// vector placeholders resolve against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Env<'a> {
+    /// Tuples bound to the trigger's tuple variables, by ordinal. Entries
+    /// may be `None` when evaluating a predicate that only touches a subset
+    /// of variables (e.g. a selection predicate during token processing).
+    pub tuples: &'a [Option<&'a Tuple>],
+    /// Constants for [`Scalar::Placeholder`].
+    pub consts: &'a [Value],
+}
+
+impl<'a> Env<'a> {
+    /// Environment with a single tuple bound to variable 0 (selection
+    /// predicates).
+    pub fn single(t: &'a Option<&'a Tuple>) -> Env<'a> {
+        Env { tuples: std::slice::from_ref(t), consts: &[] }
+    }
+}
+
+impl Scalar {
+    /// Evaluate to a value. NULL propagates through every operator.
+    pub fn eval(&self, env: &Env<'_>) -> Result<Value> {
+        match self {
+            Scalar::Const(v) => Ok(v.clone()),
+            Scalar::Placeholder(i) => env.consts.get(*i).cloned().ok_or_else(|| {
+                TmanError::Internal(format!(
+                    "placeholder {i} out of range ({} constants)",
+                    env.consts.len()
+                ))
+            }),
+            Scalar::Col { var, col, name } => {
+                let t = env
+                    .tuples
+                    .get(*var)
+                    .and_then(|t| t.as_ref())
+                    .ok_or_else(|| {
+                        TmanError::Internal(format!("no tuple bound for variable of '{name}'"))
+                    })?;
+                Ok(t.get(*col).clone())
+            }
+            Scalar::Neg(e) => match e.eval(env)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                v => Err(TmanError::Type(format!("cannot negate {v}"))),
+            },
+            Scalar::Arith { op, left, right } => {
+                let l = left.eval(env)?;
+                let r = right.eval(env)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(*op, &l, &r)
+            }
+            Scalar::Call { func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = a.eval(env)?;
+                    if v.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    vals.push(v);
+                }
+                apply_func(*func, &vals)
+            }
+        }
+    }
+
+    /// Bit mask of tuple-variable ordinals this expression references.
+    pub fn var_mask(&self) -> u64 {
+        match self {
+            Scalar::Const(_) | Scalar::Placeholder(_) => 0,
+            Scalar::Col { var, .. } => 1u64 << var,
+            Scalar::Neg(e) => e.var_mask(),
+            Scalar::Arith { left, right, .. } => left.var_mask() | right.var_mask(),
+            Scalar::Call { args, .. } => args.iter().map(Scalar::var_mask).fold(0, |a, b| a | b),
+        }
+    }
+
+    /// True if this expression contains no column references (it can be
+    /// constant-folded — it may still contain placeholders).
+    pub fn is_constant(&self) -> bool {
+        self.var_mask() == 0
+    }
+
+    /// Replace every `Const` with a `Placeholder`, appending the constants
+    /// to `consts` in left-to-right order (§5: "If the entire expression
+    /// has m constants, they are numbered 1 to m from left to right").
+    pub fn generalize(&self, consts: &mut Vec<Value>) -> Scalar {
+        match self {
+            Scalar::Const(v) => {
+                consts.push(v.clone());
+                Scalar::Placeholder(consts.len() - 1)
+            }
+            Scalar::Placeholder(i) => Scalar::Placeholder(*i),
+            Scalar::Col { .. } => self.clone(),
+            Scalar::Neg(e) => Scalar::Neg(Box::new(e.generalize(consts))),
+            Scalar::Arith { op, left, right } => Scalar::Arith {
+                op: *op,
+                left: Box::new(left.generalize(consts)),
+                right: Box::new(right.generalize(consts)),
+            },
+            Scalar::Call { func, args } => Scalar::Call {
+                func: *func,
+                args: args.iter().map(|a| a.generalize(consts)).collect(),
+            },
+        }
+    }
+
+    /// If this is a bare column reference, its (var, col).
+    pub fn as_column(&self) -> Option<(usize, usize)> {
+        match self {
+            Scalar::Col { var, col, .. } => Some((*var, *col)),
+            _ => None,
+        }
+    }
+
+    /// If this is a placeholder, its index.
+    pub fn as_placeholder(&self) -> Option<usize> {
+        match self {
+            Scalar::Placeholder(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Const(v) => write!(f, "{v}"),
+            Scalar::Placeholder(i) => write!(f, "CONSTANT{}", i + 1),
+            Scalar::Col { name, .. } => write!(f, "{name}"),
+            Scalar::Neg(e) => write!(f, "-({e})"),
+            Scalar::Arith { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Scalar::Call { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    // Integer arithmetic stays integral except division.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(TmanError::Type("division by zero".into()));
+                }
+                Value::Float(*a as f64 / *b as f64)
+            }
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(TmanError::Type(format!(
+                "arithmetic on non-numeric values {l} {} {r}",
+                op.symbol()
+            )))
+        }
+    };
+    Ok(Value::Float(match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Err(TmanError::Type("division by zero".into()));
+            }
+            a / b
+        }
+    }))
+}
+
+fn apply_func(func: Func, vals: &[Value]) -> Result<Value> {
+    if vals.len() != func.arity() {
+        return Err(TmanError::Type(format!(
+            "{} takes {} argument(s), got {}",
+            func.name(),
+            func.arity(),
+            vals.len()
+        )));
+    }
+    match func {
+        Func::Abs => match &vals[0] {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            v => Err(TmanError::Type(format!("abs of non-numeric {v}"))),
+        },
+        Func::Length => match &vals[0] {
+            Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+            v => Err(TmanError::Type(format!("length of non-string {v}"))),
+        },
+        Func::Lower | Func::Upper => match &vals[0] {
+            Value::Str(s) => Ok(Value::Str(if func == Func::Lower {
+                s.to_lowercase()
+            } else {
+                s.to_uppercase()
+            })),
+            v => Err(TmanError::Type(format!("{} of non-string {v}", func.name()))),
+        },
+        Func::Round => match &vals[0] {
+            Value::Int(i) => Ok(Value::Int(*i)),
+            Value::Float(f) => Ok(Value::Int(f.round() as i64)),
+            v => Err(TmanError::Type(format!("round of non-numeric {v}"))),
+        },
+        Func::Mod => match (&vals[0], &vals[1]) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(TmanError::Type("mod by zero".into()))
+                } else {
+                    Ok(Value::Int(a.rem_euclid(*b)))
+                }
+            }
+            (a, b) => Err(TmanError::Type(format!("mod of non-integers {a}, {b}"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with<'a>(t: &'a Option<&'a Tuple>, consts: &'a [Value]) -> Env<'a> {
+        Env { tuples: std::slice::from_ref(t), consts }
+    }
+
+    fn col(var: usize, col: usize) -> Scalar {
+        Scalar::Col { var, col, name: format!("v{var}.c{col}") }
+    }
+
+    #[test]
+    fn arithmetic_and_null_propagation() {
+        let t = Tuple::new(vec![Value::Int(10), Value::Null]);
+        let bind = Some(&t);
+        let env = env_with(&bind, &[]);
+        let e = Scalar::Arith {
+            op: ArithOp::Add,
+            left: Box::new(col(0, 0)),
+            right: Box::new(Scalar::Const(Value::Int(5))),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::Int(15));
+        let e = Scalar::Arith {
+            op: ArithOp::Mul,
+            left: Box::new(col(0, 1)),
+            right: Box::new(Scalar::Const(Value::Int(5))),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn division_semantics() {
+        let env = Env::default();
+        let div = |a: i64, b: i64| Scalar::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Scalar::Const(Value::Int(a))),
+            right: Box::new(Scalar::Const(Value::Int(b))),
+        };
+        assert_eq!(div(7, 2).eval(&env).unwrap(), Value::Float(3.5));
+        assert!(div(1, 0).eval(&env).is_err());
+    }
+
+    #[test]
+    fn functions() {
+        let env = Env::default();
+        let call = |func, args: Vec<Scalar>| Scalar::Call { func, args };
+        assert_eq!(
+            call(Func::Abs, vec![Scalar::Const(Value::Int(-3))]).eval(&env).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call(Func::Length, vec![Scalar::Const(Value::str("héllo"))])
+                .eval(&env)
+                .unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            call(Func::Upper, vec![Scalar::Const(Value::str("abc"))]).eval(&env).unwrap(),
+            Value::str("ABC")
+        );
+        assert_eq!(
+            call(
+                Func::Mod,
+                vec![Scalar::Const(Value::Int(-7)), Scalar::Const(Value::Int(3))]
+            )
+            .eval(&env)
+            .unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            call(Func::Round, vec![Scalar::Const(Value::Float(2.6))]).eval(&env).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn generalize_numbers_constants_left_to_right() {
+        // salary + 100 > 2 * bonus  (as a scalar tree: (salary + 100), we
+        // generalize each side) — constants numbered in order.
+        let e = Scalar::Arith {
+            op: ArithOp::Add,
+            left: Box::new(Scalar::Arith {
+                op: ArithOp::Mul,
+                left: Box::new(Scalar::Const(Value::Int(2))),
+                right: Box::new(col(0, 0)),
+            }),
+            right: Box::new(Scalar::Const(Value::Int(100))),
+        };
+        let mut consts = Vec::new();
+        let g = e.generalize(&mut consts);
+        assert_eq!(consts, vec![Value::Int(2), Value::Int(100)]);
+        assert_eq!(g.to_string(), "((CONSTANT1 * v0.c0) + CONSTANT2)");
+        // Evaluating the generalized form with the constants bound gives
+        // the same result as the original.
+        let t = Tuple::new(vec![Value::Int(7)]);
+        let bind = Some(&t);
+        let env0 = env_with(&bind, &[]);
+        let env1 = env_with(&bind, &consts);
+        assert_eq!(e.eval(&env0).unwrap(), g.eval(&env1).unwrap());
+    }
+
+    #[test]
+    fn var_mask_tracks_references() {
+        let e = Scalar::Arith {
+            op: ArithOp::Add,
+            left: Box::new(col(0, 0)),
+            right: Box::new(col(2, 1)),
+        };
+        assert_eq!(e.var_mask(), 0b101);
+        assert!(!e.is_constant());
+        assert!(Scalar::Const(Value::Int(1)).is_constant());
+    }
+
+    #[test]
+    fn placeholder_out_of_range_is_internal_error() {
+        let env = Env::default();
+        assert!(matches!(
+            Scalar::Placeholder(0).eval(&env),
+            Err(TmanError::Internal(_))
+        ));
+    }
+}

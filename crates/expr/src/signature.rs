@@ -1,0 +1,469 @@
+//! Expression signatures (§5).
+//!
+//! "An expression signature for a general selection or join predicate
+//! expression is a triple consisting of a data source ID, an operation
+//! code, and a generalized expression" where every constant is replaced by
+//! a numbered placeholder. A signature defines an equivalence class of all
+//! instantiations with different constants.
+//!
+//! [`analyze_selection`] performs the per-predicate work of §5.1 step 5:
+//! generalization, the `E = E_I AND E_NI` indexable/residual split, and the
+//! most-selective-conjunct choice of \[Hans90\].
+
+use crate::cnf::{Cnf, Conjunct};
+use crate::pred::{AtomKind, CmpOp};
+use crate::scalar::Scalar;
+use std::fmt;
+use tman_common::{DataSourceId, EventKind, Value};
+
+/// Identity of a signature: `(data source, operation code, generalized
+/// expression)`. The generalized expression is identified by its canonical
+/// description string (also stored in the catalog as `signatureDesc`), so
+/// structural equality is string equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SignatureKey {
+    /// The data source the predicate applies to.
+    pub data_src: DataSourceId,
+    /// Operation code: insert / delete / update / insertOrUpdate, plus the
+    /// update column list when present (part of the event condition).
+    pub event: EventKind,
+    /// Canonical display of the generalized expression.
+    pub desc: String,
+}
+
+impl fmt::Display for SignatureKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[src={} on {}: {}]", self.data_src.raw(), self.event, self.desc)
+    }
+}
+
+/// How the indexable part `E_I` of a signature's predicates can be probed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexPlan {
+    /// `attr1 = CONSTANT_i1 AND ... AND attrK = CONSTANT_iK`: probe with
+    /// the token's values of `cols`, matching rows whose constants at
+    /// `const_slots` equal them. This is the composite-key clustered-index
+    /// form of §5.1.
+    Equality {
+        /// Column ordinals of the data source, in key order.
+        cols: Vec<usize>,
+        /// Placeholder slots (into the constant vector) paired with `cols`.
+        const_slots: Vec<usize>,
+    },
+    /// A (possibly one-sided) range on a single column:
+    /// `lo <[=] attr <[=] hi` where lo/hi are constants. Probed with an
+    /// interval structure (interval skip list per \[Hans96b\]).
+    Range {
+        /// Column ordinal being ranged over.
+        col: usize,
+        /// Lower bound: (placeholder slot, inclusive).
+        lo: Option<(usize, bool)>,
+        /// Upper bound: (placeholder slot, inclusive).
+        hi: Option<(usize, bool)>,
+    },
+    /// No indexable conjunct: every expression in the equivalence class is
+    /// evaluated against the token (still grouped under the signature so
+    /// the work is shared structurally).
+    None,
+}
+
+impl IndexPlan {
+    /// Number of constants consumed by the plan.
+    pub fn num_plan_consts(&self) -> usize {
+        match self {
+            IndexPlan::Equality { const_slots, .. } => const_slots.len(),
+            IndexPlan::Range { lo, hi, .. } => lo.is_some() as usize + hi.is_some() as usize,
+            IndexPlan::None => 0,
+        }
+    }
+}
+
+/// The analysis result for one selection predicate occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionSignature {
+    /// Signature identity.
+    pub key: SignatureKey,
+    /// The full generalized expression (placeholders everywhere).
+    pub generalized: Cnf,
+    /// Number of placeholders (`m` in the paper).
+    pub num_consts: usize,
+    /// The indexable part `E_I` as a probe plan.
+    pub index_plan: IndexPlan,
+    /// The non-indexable part `E_NI` (conjuncts not covered by the plan),
+    /// still referring to the shared placeholder numbering. `None` when the
+    /// entire predicate is indexable ("restOfPredicate is NULL").
+    pub residual: Option<Cnf>,
+    /// Column ordinals for `update(col, ...)` events (empty = any column).
+    pub update_cols: Vec<usize>,
+}
+
+/// Estimated selectivity of a conjunct — lower is more selective. The
+/// ranking (equality ≪ two-sided range < one-sided range < LIKE < other)
+/// follows the usual System-R style heuristics; the paper's \[Hans90\]
+/// technique needs only the *ordering*, not calibrated values.
+pub fn conjunct_selectivity(c: &Conjunct) -> f64 {
+    // A disjunction is as selective as the sum of its branches.
+    c.atoms
+        .iter()
+        .map(|a| {
+            if a.negated {
+                return 0.9;
+            }
+            match &a.kind {
+                AtomKind::Const(_) => 1.0,
+                AtomKind::IsNull(_) => 0.1,
+                AtomKind::Cmp { op, left, right } => {
+                    let has_const_side = is_col_vs_const(left, right).is_some();
+                    match (op, has_const_side) {
+                        (CmpOp::Eq, true) => 0.01,
+                        (CmpOp::Eq, false) => 0.05,
+                        (CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, _) => 0.3,
+                        (CmpOp::Like, _) => 0.25,
+                        (CmpOp::Ne, _) => 0.9,
+                    }
+                }
+            }
+        })
+        .sum::<f64>()
+        .min(1.0)
+}
+
+/// If the atom compares a bare column of variable 0 against a placeholder
+/// or constant, return `(col, placeholder_slot, op_with_col_on_left)`.
+fn atom_col_vs_slot(op: CmpOp, left: &Scalar, right: &Scalar) -> Option<(usize, usize, CmpOp)> {
+    if op == CmpOp::Like {
+        return None; // LIKE is not index-probable here
+    }
+    if let (Some((0, col)), Some(slot)) = (left.as_column(), right.as_placeholder()) {
+        return Some((col, slot, op));
+    }
+    if let (Some(slot), Some((0, col))) = (left.as_placeholder(), right.as_column()) {
+        return Some((col, slot, op.flip()));
+    }
+    None
+}
+
+fn is_col_vs_const(left: &Scalar, right: &Scalar) -> Option<()> {
+    let konst = |s: &Scalar| matches!(s, Scalar::Const(_) | Scalar::Placeholder(_));
+    match (left.as_column(), right.as_column()) {
+        (Some(_), None) if konst(right) => Some(()),
+        (None, Some(_)) if konst(left) => Some(()),
+        _ => None,
+    }
+}
+
+/// Classify one generalized conjunct for indexability.
+enum ConjunctClass {
+    /// `col = CONSTANT_slot`
+    Eq { col: usize, slot: usize },
+    /// `col op CONSTANT_slot` with an ordered operator.
+    Range { col: usize, slot: usize, op: CmpOp },
+    Other,
+}
+
+fn classify(c: &Conjunct) -> ConjunctClass {
+    // Only single-clause (no OR), non-negated conjuncts are indexable,
+    // matching the paper's "most selection predicates will not contain ORs".
+    if c.atoms.len() != 1 || c.atoms[0].negated {
+        return ConjunctClass::Other;
+    }
+    let AtomKind::Cmp { op, left, right } = &c.atoms[0].kind else {
+        return ConjunctClass::Other;
+    };
+    match atom_col_vs_slot(*op, left, right) {
+        Some((col, slot, CmpOp::Eq)) => ConjunctClass::Eq { col, slot },
+        Some((col, slot, op @ (CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge))) => {
+            ConjunctClass::Range { col, slot, op }
+        }
+        _ => ConjunctClass::Other,
+    }
+}
+
+/// Analyze one selection predicate (already canonicalized onto variable 0;
+/// see [`crate::cnf::remap_var`]). Returns the signature and the extracted
+/// constant vector (the row for the signature's constant table).
+pub fn analyze_selection(
+    selection: &Cnf,
+    data_src: DataSourceId,
+    event: EventKind,
+    update_cols: Vec<usize>,
+) -> (SelectionSignature, Vec<Value>) {
+    let mut consts = Vec::new();
+    let generalized = selection.generalize(&mut consts);
+    let desc = generalized.to_string();
+    let key = SignatureKey { data_src, event, desc };
+
+    // Classify conjuncts.
+    let mut eqs: Vec<(usize, usize, usize)> = Vec::new(); // (col, slot, conjunct idx)
+    let mut ranges: Vec<(usize, usize, CmpOp, usize)> = Vec::new();
+    for (i, c) in generalized.conjuncts.iter().enumerate() {
+        match classify(c) {
+            ConjunctClass::Eq { col, slot } => eqs.push((col, slot, i)),
+            ConjunctClass::Range { col, slot, op } => ranges.push((col, slot, op, i)),
+            ConjunctClass::Other => {}
+        }
+    }
+
+    let mut covered: Vec<usize> = Vec::new();
+    let index_plan = if !eqs.is_empty() {
+        // All equality conjuncts form the composite key, ordered by column
+        // ordinal for determinism. Duplicate columns (x = 1 AND x = 2)
+        // keep only the first occurrence; the rest stay residual.
+        eqs.sort_by_key(|&(col, _, idx)| (col, idx));
+        let mut cols = Vec::new();
+        let mut slots = Vec::new();
+        for (col, slot, idx) in eqs {
+            if cols.last() == Some(&col) {
+                continue;
+            }
+            cols.push(col);
+            slots.push(slot);
+            covered.push(idx);
+        }
+        IndexPlan::Equality { cols, const_slots: slots }
+    } else if !ranges.is_empty() {
+        // Pick the column with the most range conjuncts (two-sided ranges
+        // are more selective), then lowest ordinal for determinism.
+        let mut best_col = ranges[0].0;
+        let mut best_count = 0usize;
+        for &(col, ..) in &ranges {
+            let n = ranges.iter().filter(|r| r.0 == col).count();
+            if n > best_count || (n == best_count && col < best_col) {
+                best_col = col;
+                best_count = n;
+            }
+        }
+        let mut lo: Option<(usize, bool)> = None;
+        let mut hi: Option<(usize, bool)> = None;
+        for &(col, slot, op, idx) in &ranges {
+            if col != best_col {
+                continue;
+            }
+            match op {
+                CmpOp::Gt if lo.is_none() => {
+                    lo = Some((slot, false));
+                    covered.push(idx);
+                }
+                CmpOp::Ge if lo.is_none() => {
+                    lo = Some((slot, true));
+                    covered.push(idx);
+                }
+                CmpOp::Lt if hi.is_none() => {
+                    hi = Some((slot, false));
+                    covered.push(idx);
+                }
+                CmpOp::Le if hi.is_none() => {
+                    hi = Some((slot, true));
+                    covered.push(idx);
+                }
+                _ => {}
+            }
+        }
+        IndexPlan::Range { col: best_col, lo, hi }
+    } else {
+        IndexPlan::None
+    };
+
+    // Residual = conjuncts not covered by the plan.
+    let residual_conjuncts: Vec<Conjunct> = generalized
+        .conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !covered.contains(i))
+        .map(|(_, c)| c.clone())
+        .collect();
+    let residual = if residual_conjuncts.is_empty() {
+        None
+    } else {
+        Some(Cnf { conjuncts: residual_conjuncts })
+    };
+
+    (
+        SelectionSignature {
+            key,
+            num_consts: consts.len(),
+            generalized,
+            index_plan,
+            residual,
+            update_cols,
+        },
+        consts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::to_cnf;
+    use crate::resolve::BindCtx;
+    use tman_common::{DataType, Schema};
+    use tman_lang::parse_expression;
+
+    fn emp() -> Schema {
+        Schema::from_pairs(&[
+            ("name", DataType::Varchar(32)),
+            ("salary", DataType::Float),
+            ("dept", DataType::Int),
+        ])
+    }
+
+    fn analyze(cond: &str) -> (SelectionSignature, Vec<Value>) {
+        let schema = emp();
+        let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
+        let cnf = to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
+        analyze_selection(&cnf, DataSourceId(1), EventKind::Insert, vec![])
+    }
+
+    #[test]
+    fn paper_figure2_signature() {
+        // "on insert to emp when emp.salary > 80000" and the same with
+        // 50000 have the same signature but different constants (§5).
+        let (sig_a, consts_a) = analyze("emp.salary > 80000");
+        let (sig_b, consts_b) = analyze("emp.salary > 50000");
+        assert_eq!(sig_a.key, sig_b.key);
+        assert_eq!(sig_a.key.desc, "emp.salary > CONSTANT1");
+        assert_eq!(consts_a, vec![Value::Int(80000)]);
+        assert_eq!(consts_b, vec![Value::Int(50000)]);
+        // And a structurally different predicate has a different signature.
+        let (sig_c, _) = analyze("emp.salary >= 80000");
+        assert_ne!(sig_a.key, sig_c.key);
+    }
+
+    #[test]
+    fn event_is_part_of_the_key() {
+        let schema = emp();
+        let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
+        let cnf = to_cnf(&ctx.pred(&parse_expression("emp.dept = 5").unwrap()).unwrap()).unwrap();
+        let (a, _) = analyze_selection(&cnf, DataSourceId(1), EventKind::Insert, vec![]);
+        let (b, _) = analyze_selection(&cnf, DataSourceId(1), EventKind::InsertOrUpdate, vec![]);
+        let (c, _) = analyze_selection(&cnf, DataSourceId(2), EventKind::Insert, vec![]);
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn equality_plan_with_composite_key() {
+        let (sig, consts) = analyze("emp.dept = 7 and emp.name = 'Bob'");
+        let IndexPlan::Equality { cols, const_slots } = &sig.index_plan else {
+            panic!("expected equality plan, got {:?}", sig.index_plan)
+        };
+        // Ordered by column ordinal: name(0), dept(2).
+        assert_eq!(cols, &vec![0, 2]);
+        // Constants numbered left to right in the original expression:
+        // 7 first, then 'Bob'; slots follow the column order.
+        assert_eq!(consts, vec![Value::Int(7), Value::str("Bob")]);
+        assert_eq!(const_slots, &vec![1, 0]);
+        assert!(sig.residual.is_none(), "fully indexable");
+    }
+
+    #[test]
+    fn equality_beats_range_and_residual_keeps_rest() {
+        let (sig, _) = analyze("emp.salary > 50000 and emp.dept = 3");
+        assert!(matches!(sig.index_plan, IndexPlan::Equality { .. }));
+        let resid = sig.residual.expect("range conjunct is residual");
+        assert_eq!(resid.conjuncts.len(), 1);
+        assert_eq!(resid.to_string(), "emp.salary > CONSTANT1");
+    }
+
+    #[test]
+    fn two_sided_range_plan() {
+        let (sig, consts) = analyze("emp.salary > 50000 and emp.salary <= 90000");
+        let IndexPlan::Range { col, lo, hi } = sig.index_plan else { panic!() };
+        assert_eq!(col, 1);
+        assert_eq!(lo, Some((0, false)));
+        assert_eq!(hi, Some((1, true)));
+        assert_eq!(consts, vec![Value::Int(50000), Value::Int(90000)]);
+        assert!(sig.residual.is_none());
+    }
+
+    #[test]
+    fn between_produces_range_plan() {
+        let (sig, consts) = analyze("emp.salary between 1000 and 2000");
+        let IndexPlan::Range { lo, hi, .. } = sig.index_plan else { panic!() };
+        assert_eq!(lo, Some((0, true)));
+        assert_eq!(hi, Some((1, true)));
+        assert_eq!(consts.len(), 2);
+    }
+
+    #[test]
+    fn reversed_operand_order_normalizes() {
+        // `80000 < emp.salary` is the same probe as `emp.salary > 80000`
+        // (but a distinct signature string — the paper's equivalence is
+        // syntactic, so that is correct).
+        let (sig, _) = analyze("80000 < emp.salary");
+        let IndexPlan::Range { col, lo, hi } = sig.index_plan else { panic!() };
+        assert_eq!(col, 1);
+        assert_eq!(lo, Some((0, false)));
+        assert!(hi.is_none());
+    }
+
+    #[test]
+    fn or_and_not_are_not_indexable() {
+        let (sig, _) = analyze("emp.dept = 1 or emp.dept = 2");
+        assert!(matches!(sig.index_plan, IndexPlan::None));
+        assert!(sig.residual.is_some());
+
+        let (sig, _) = analyze("emp.name <> 'Bob'");
+        assert!(matches!(sig.index_plan, IndexPlan::None));
+    }
+
+    #[test]
+    fn arithmetic_on_column_is_not_indexable() {
+        let (sig, consts) = analyze("emp.salary * 2 > 100");
+        assert!(matches!(sig.index_plan, IndexPlan::None));
+        assert_eq!(consts, vec![Value::Int(2), Value::Int(100)]);
+        assert_eq!(sig.key.desc, "(emp.salary * CONSTANT1) > CONSTANT2");
+    }
+
+    #[test]
+    fn aliases_do_not_change_signatures() {
+        // Same predicate via differently-named tuple variables, after
+        // canonicalization onto the data-source name.
+        let schema = emp();
+        let mk = |var: &str, cond: &str| {
+            let ctx = BindCtx::new(vec![(var.to_string(), &schema)]);
+            let cnf =
+                to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
+            let canon = crate::cnf::remap_var(&cnf, 0, 0, "emp");
+            analyze_selection(&canon, DataSourceId(1), EventKind::Insert, vec![]).0
+        };
+        let a = mk("e", "e.salary > 10");
+        let b = mk("worker", "worker.salary > 99");
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn selectivity_ordering() {
+        let schema = emp();
+        let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
+        let sel = |cond: &str| {
+            let cnf = to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
+            conjunct_selectivity(&cnf.conjuncts[0])
+        };
+        assert!(sel("emp.dept = 1") < sel("emp.salary > 5"));
+        assert!(sel("emp.salary > 5") < sel("emp.dept <> 1"));
+        assert!(sel("emp.dept = 1") < sel("emp.dept = 1 or emp.dept = 2"));
+    }
+
+    #[test]
+    fn duplicate_equality_on_same_column() {
+        // x = 1 AND x = 2: only one becomes the key; the other is residual
+        // (and can never match, which is the trigger author's problem).
+        let (sig, _) = analyze("emp.dept = 1 and emp.dept = 2");
+        let IndexPlan::Equality { cols, .. } = &sig.index_plan else { panic!() };
+        assert_eq!(cols, &vec![2]);
+        assert!(sig.residual.is_some());
+    }
+
+    #[test]
+    fn empty_selection_is_event_only_signature() {
+        let cnf = Cnf::truth();
+        let (sig, consts) =
+            analyze_selection(&cnf, DataSourceId(3), EventKind::Delete, vec![]);
+        assert_eq!(sig.key.desc, "true");
+        assert_eq!(sig.num_consts, 0);
+        assert!(consts.is_empty());
+        assert!(matches!(sig.index_plan, IndexPlan::None));
+        assert!(sig.residual.is_none());
+    }
+}

@@ -1,0 +1,411 @@
+//! Abstract syntax for the TriggerMan command language and the SQL subset.
+
+use std::fmt;
+use tman_common::DataType;
+
+/// A literal constant in an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `NULL`.
+    Null,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators, in one enum since TriggerMan predicates freely mix
+/// boolean and arithmetic subexpressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Logical AND / OR.
+    And,
+    Or,
+    /// Comparisons.
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// SQL `LIKE` with `%` / `_` wildcards.
+    Like,
+    /// Arithmetic.
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinaryOp {
+    /// Is this a comparison producing a boolean from two scalars?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::Like
+        )
+    }
+
+    /// Keyword/symbol for diagnostics and signature descriptions.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::And => "and",
+            BinaryOp::Or => "or",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Like => "like",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+}
+
+/// An unresolved expression as parsed (resolution against schemas happens
+/// in `tman-expr`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Literal(Literal),
+    /// `qualifier.column` or bare `column`.
+    Column {
+        /// Tuple-variable or table qualifier, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        column: String,
+    },
+    /// `:NEW.source.column` / `:OLD.source.column` transition reference
+    /// (only legal inside rule actions).
+    Transition {
+        /// True for `:NEW`, false for `:OLD`.
+        new: bool,
+        /// Data-source (tuple-variable) name.
+        source: String,
+        /// Column name.
+        column: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call, e.g. `abs(x)`.
+    Call {
+        /// Function name (case-insensitive).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience: `left op right`.
+    pub fn bin(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                // Keep floats re-parseable as floats (always show a point
+                // or exponent).
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Fully parenthesized rendering: `parse(expr.to_string())` reproduces the
+/// same tree regardless of operator precedence (property-tested).
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Column { qualifier: Some(q), column } => write!(f, "{q}.{column}"),
+            Expr::Column { qualifier: None, column } => write!(f, "{column}"),
+            Expr::Transition { new, source, column } => {
+                write!(f, ":{}.{source}.{column}", if *new { "NEW" } else { "OLD" })
+            }
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(not {expr})"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An item in a trigger's `from` list: a data source with an optional
+/// tuple-variable alias (`from salesperson s` → source `salesperson`,
+/// alias `s`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Data-source name.
+    pub source: String,
+    /// Tuple-variable alias (defaults to the source name).
+    pub alias: Option<String>,
+}
+
+impl FromItem {
+    /// The name this item binds in the trigger's scope.
+    pub fn var_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.source)
+    }
+}
+
+/// The `on` clause event specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSpec {
+    /// Which kind of update event.
+    pub kind: EventSpecKind,
+    /// The tuple variable / data source it applies to.
+    pub target: String,
+}
+
+/// Kinds of `on` events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventSpecKind {
+    /// `on insert to X`.
+    Insert,
+    /// `on delete from X`.
+    Delete,
+    /// `on update(X.a, X.b)` or `on update to X` (empty column list).
+    Update(Vec<String>),
+}
+
+/// A trigger action (`do` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `do execSQL '<sql>'` — run a SQL statement against the database,
+    /// after `:NEW`/`:OLD` macro substitution (§2).
+    ExecSql(String),
+    /// `do raise event Name(args...)` — notify registered clients (\[Hans98\]).
+    RaiseEvent {
+        /// Event name.
+        name: String,
+        /// Argument expressions over the trigger's tuple variables.
+        args: Vec<Expr>,
+    },
+    /// `do notify 'message'` — convenience console notification carrying a
+    /// message template with `:NEW`/`:OLD` macro substitution.
+    Notify(String),
+}
+
+/// `create trigger` statement (§2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTrigger {
+    /// Trigger name.
+    pub name: String,
+    /// `in setName` — optional trigger set.
+    pub set: Option<String>,
+    /// Data sources with optional aliases.
+    pub from: Vec<FromItem>,
+    /// Optional event condition.
+    pub on: Option<EventSpec>,
+    /// Optional `when` condition.
+    pub when: Option<Expr>,
+    /// `group by` expressions (parsed; rejected by the engine per §9
+    /// future work).
+    pub group_by: Vec<Expr>,
+    /// `having` condition (parsed; rejected likewise).
+    pub having: Option<Expr>,
+    /// The action.
+    pub action: Action,
+}
+
+/// One column definition in `define data source` / `create table`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+/// A TriggerMan command.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // CreateTrigger dominates by design
+pub enum Command {
+    /// `create trigger ...`.
+    CreateTrigger(CreateTrigger),
+    /// `drop trigger <name>`.
+    DropTrigger(String),
+    /// `create trigger set <name>`.
+    CreateTriggerSet(String),
+    /// `drop trigger set <name>`.
+    DropTriggerSet(String),
+    /// `enable trigger <name>` / `disable trigger <name>`.
+    SetTriggerEnabled {
+        /// Trigger name.
+        name: String,
+        /// Enable or disable.
+        enabled: bool,
+    },
+    /// `enable trigger set <name>` / `disable trigger set <name>`.
+    SetTriggerSetEnabled {
+        /// Set name.
+        name: String,
+        /// Enable or disable.
+        enabled: bool,
+    },
+    /// `define data source <name> (col type, ...)` — a remote/stream source
+    /// with an explicit schema, or
+    /// `define data source <name> from table <table>` — a local table with
+    /// automatic update capture (§3). `via <connection>` attaches the
+    /// source to a named connection (defaults to the default connection).
+    DefineDataSource {
+        /// Source name.
+        name: String,
+        /// Explicit schema (remote/stream sources).
+        columns: Option<Vec<ColumnDef>>,
+        /// Local table to capture updates from.
+        from_table: Option<String>,
+        /// Connection the source lives on (`None` = default connection).
+        connection: Option<String>,
+    },
+    /// `define connection <name> type '<dbtype>' [host '<h>'] [server '<s>']
+    /// [user '<u>'] [password '<p>'] [default]` — §2: "a connection to a
+    /// local Informix database, a remote database, or a generic data source
+    /// program ... A single connection is designated as the default
+    /// connection."
+    DefineConnection(ConnectionDef),
+}
+
+/// Connection description (§2): "information about the host name where the
+/// database resides, the type of database system running ..., the name of
+/// the database server, a user ID, and a password."
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionDef {
+    /// Connection name (unique).
+    pub name: String,
+    /// Database system type (informix, oracle, sybase, db2, ... — or
+    /// `local` for this engine's own database).
+    pub dbtype: String,
+    /// Host name.
+    pub host: Option<String>,
+    /// Database server name.
+    pub server: Option<String>,
+    /// User id.
+    pub user: Option<String>,
+    /// Password.
+    pub password: Option<String>,
+    /// Designate as the default connection.
+    pub is_default: bool,
+}
+
+/// Column list of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectCols {
+    /// `SELECT *`.
+    Star,
+    /// Explicit expressions.
+    Exprs(Vec<Expr>),
+}
+
+/// A statement in the SQL subset executed by `execSQL` actions and used
+/// internally for catalogs and constant tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStmt {
+    /// `CREATE TABLE t (col type, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnDef>,
+    },
+    /// `DROP TABLE t`.
+    DropTable(String),
+    /// `CREATE INDEX i ON t (cols...)`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed columns, in key order.
+        columns: Vec<String>,
+    },
+    /// `INSERT INTO t VALUES (...)`.
+    Insert {
+        /// Table name.
+        table: String,
+        /// One row of value expressions (must be constant-foldable).
+        values: Vec<Expr>,
+    },
+    /// `UPDATE t SET a = e, ... [WHERE p]`.
+    Update {
+        /// Table name.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE p]`.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// `SELECT cols FROM t [WHERE p]`.
+    Select {
+        /// Projection.
+        cols: SelectCols,
+        /// Table name.
+        table: String,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+}

@@ -1,0 +1,312 @@
+//! Tokenizer shared by the TriggerMan command language and the SQL subset.
+
+use std::fmt;
+use tman_common::{Result, TmanError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser, not the lexer, since TriggerMan identifiers may collide
+    /// with keywords in other positions).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (`'...'`, with `''` escaping a quote).
+    Str(String),
+    /// `:NEW` / `:OLD` sigil (the following `.source.column` path is parsed
+    /// by the parser).
+    Colon,
+    /// Punctuation / operators.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semi,
+}
+
+impl Token {
+    /// Is this an identifier equal (case-insensitively) to `kw`?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Colon => write!(f, ":"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Semi => write!(f, ";"),
+        }
+    }
+}
+
+/// Tokenize `input`. Errors carry the byte offset of the offending char.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                // SQL-style line comment.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'.' if !(i + 1 < b.len() && b[i + 1].is_ascii_digit()) => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            b':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s: Vec<u8> = Vec::new();
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return Err(TmanError::Parse(format!(
+                            "unterminated string literal at offset {i}"
+                        )));
+                    }
+                    if b[i] == b'\'' {
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push(b'\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(b[i]);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(String::from_utf8(s).map_err(|e| {
+                    TmanError::Parse(format!("invalid utf8 in string literal: {e}"))
+                })?));
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < b.len() {
+                    match b[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !saw_dot && !saw_exp => {
+                            saw_dot = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if !saw_exp && i > start => {
+                            saw_exp = true;
+                            i += 1;
+                            if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..i];
+                if saw_dot || saw_exp {
+                    out.push(Token::Float(text.parse().map_err(|e| {
+                        TmanError::Parse(format!("bad float '{text}': {e}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|e| {
+                        TmanError::Parse(format!("bad integer '{text}': {e}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            c => {
+                return Err(TmanError::Parse(format!(
+                    "unexpected character '{}' at offset {i}",
+                    c as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("create trigger t1 when emp.salary >= 80000.5 do x").unwrap();
+        assert_eq!(toks[0], Token::Ident("create".into()));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Float(80000.5)));
+        assert!(toks.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = tokenize("'it''s' 'two'").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Str("it's".into()), Token::Str("two".into())]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("= != <> < <= > >=").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn transition_refs_tokenize_as_colon_path() {
+        let toks = tokenize(":NEW.emp.salary").unwrap();
+        assert_eq!(toks[0], Token::Colon);
+        assert!(toks[1].is_kw("new"));
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        let toks = tokenize("42 3.5 1e3 2.5E-2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Float(3.5),
+                Token::Float(1000.0),
+                Token::Float(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("a -- comment here\n b").unwrap();
+        assert_eq!(toks, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        assert!(Token::Ident("CrEaTe".into()).is_kw("create"));
+        assert!(!Token::Ident("created".into()).is_kw("create"));
+    }
+
+    #[test]
+    fn bad_chars_error_with_offset() {
+        let err = tokenize("a ยง b").unwrap_err();
+        assert!(matches!(err, TmanError::Parse(_)));
+    }
+}

@@ -1,0 +1,31 @@
+//! `tman-lang` — the TriggerMan command language and SQL subset.
+//!
+//! §2 of the paper: "Commands in TriggerMan have a keyword-delimited,
+//! SQL-like syntax." This crate provides:
+//!
+//! * [`lexer`] — a shared tokenizer (case-insensitive keywords, `'...'`
+//!   string literals with `''` escapes, `:NEW` / `:OLD` transition refs),
+//! * [`ast`] — commands (`create trigger`, `drop trigger`, `define data
+//!   source`, ...), scalar/boolean expressions, and the SQL-subset
+//!   statements used by `execSQL` rule actions,
+//! * [`parser`] — recursive-descent parsers for both languages.
+//!
+//! The paper's running examples parse verbatim, e.g.:
+//!
+//! ```
+//! use tman_lang::parse_command;
+//! let cmd = parse_command(
+//!     "create trigger IrisHouseAlert on insert to house \
+//!      from salesperson s, house h, represents r \
+//!      when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno \
+//!      do raise event NewHouseInIrisNeighborhood(h.hno, h.address)",
+//! ).unwrap();
+//! assert!(matches!(cmd, tman_lang::ast::Command::CreateTrigger(_)));
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Action, Command, CreateTrigger, Expr, SqlStmt};
+pub use parser::{parse_command, parse_expression, parse_sql};

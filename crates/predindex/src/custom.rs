@@ -1,0 +1,156 @@
+//! Extensible constant-set organizations — §9's third future-work topic:
+//! "develop a technique to make the implementation of the main-memory and
+//! disk-based structures used to organize the constant sets ... extensible,
+//! so they will work effectively with new operators and data types."
+//!
+//! A [`CustomConstantSet`] implements the same contract as the built-in
+//! organizations; [`crate::SignatureRuntime::set_custom_org`] swaps one in
+//! (migrating existing entries), after which probing, trigger removal and
+//! statistics work unchanged. [`OrderedVecOrg`] is a worked example: a
+//! sorted-vector organization for equality signatures that sits between
+//! the list and hash strategies (binary search, cache-friendly layout,
+//! ordered iteration for free).
+
+use crate::org::{Entry, ProbeValues};
+use tman_common::{Result, TriggerId, Value};
+use tman_expr::IndexPlan;
+
+/// A user-supplied constant-set organization.
+///
+/// Implementations receive the signature's [`IndexPlan`] with every call so
+/// they can specialize for equality keys, ranges, or anything the plan
+/// grammar grows in the future — the extensibility hook the paper asks for.
+pub trait CustomConstantSet: Send + Sync {
+    /// Short name, reported as `constantSetOrganization` in the catalog.
+    fn name(&self) -> &'static str;
+
+    /// Insert one predicate occurrence.
+    fn insert(&mut self, plan: &IndexPlan, entry: Entry) -> Result<()>;
+
+    /// Remove every entry of a trigger, returning how many were removed.
+    fn remove_trigger(&mut self, trigger_id: TriggerId) -> Result<usize>;
+
+    /// Visit candidate entries for a probe (the caller evaluates residual
+    /// predicates afterwards, exactly as for built-in organizations).
+    fn probe(
+        &self,
+        plan: &IndexPlan,
+        probe: &ProbeValues<'_>,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<()>;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Is the organization empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate main-memory footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Visit every entry (diagnostics, organization switching).
+    fn for_each(&self, visit: &mut dyn FnMut(&Entry)) -> Result<()>;
+}
+
+/// Example custom organization: entries sorted by their equality key,
+/// probed by binary search. Ordered, allocation-tight, and O(log n) — a
+/// plausible middle ground between the paper's strategies 1 and 2.
+#[derive(Default)]
+pub struct OrderedVecOrg {
+    /// (key, entry), sorted by key.
+    entries: Vec<(Vec<Value>, Entry)>,
+}
+
+impl OrderedVecOrg {
+    /// Empty organization.
+    pub fn new() -> OrderedVecOrg {
+        OrderedVecOrg::default()
+    }
+
+    fn key_of(plan: &IndexPlan, e: &Entry) -> Vec<Value> {
+        match plan {
+            IndexPlan::Equality { const_slots, .. } => {
+                const_slots.iter().map(|&s| e.consts[s].clone()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl CustomConstantSet for OrderedVecOrg {
+    fn name(&self) -> &'static str {
+        "ordered_vec"
+    }
+
+    fn insert(&mut self, plan: &IndexPlan, entry: Entry) -> Result<()> {
+        let key = Self::key_of(plan, &entry);
+        let pos = self.entries.partition_point(|(k, _)| k <= &key);
+        self.entries.insert(pos, (key, entry));
+        Ok(())
+    }
+
+    fn remove_trigger(&mut self, trigger_id: TriggerId) -> Result<usize> {
+        let before = self.entries.len();
+        self.entries.retain(|(_, e)| e.trigger_id != trigger_id);
+        Ok(before - self.entries.len())
+    }
+
+    fn probe(
+        &self,
+        _plan: &IndexPlan,
+        probe: &ProbeValues<'_>,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<()> {
+        match probe {
+            ProbeValues::Key(key) => {
+                let start = self.entries.partition_point(|(k, _)| k.as_slice() < *key);
+                for (k, e) in &self.entries[start..] {
+                    if k.as_slice() != *key {
+                        break;
+                    }
+                    visit(e);
+                }
+            }
+            ProbeValues::Stab(v) => {
+                // Not specialized for ranges: linear scan with the bound
+                // check (a custom organization may of course do better —
+                // that is the point of the extension hook).
+                for (_, e) in &self.entries {
+                    if crate::org::interval_contains(_plan, e, v) {
+                        visit(e);
+                    }
+                }
+            }
+            ProbeValues::All => {
+                for (_, e) in &self.entries {
+                    visit(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, e)| {
+                k.iter().map(Value::heap_size).sum::<usize>()
+                    + std::mem::size_of::<Entry>()
+                    + e.consts.iter().map(Value::heap_size).sum::<usize>()
+            })
+            .sum()
+    }
+
+    fn for_each(&self, visit: &mut dyn FnMut(&Entry)) -> Result<()> {
+        for (_, e) in &self.entries {
+            visit(e);
+        }
+        Ok(())
+    }
+}

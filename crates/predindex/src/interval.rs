@@ -1,0 +1,464 @@
+//! Dynamic interval index for range-predicate signatures.
+//!
+//! The mem-index organization of a *range* signature (`lo <[=] attr <[=]
+//! hi`) needs stabbing queries: given a token's attribute value, find every
+//! expression whose interval contains it. \[Hans96b\] uses the interval
+//! skip list; we implement the same interface with an augmented randomized
+//! BST (treap ordered by interval low endpoint, subtree-max on the high
+//! endpoint), which has the same O(log n + answer) expected stabbing cost.
+//! The choice is called out in DESIGN.md.
+
+use std::cmp::Ordering;
+use tman_common::Value;
+
+/// An interval endpoint: a bound value plus inclusivity, or unbounded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bound {
+    /// No bound on this side.
+    Open,
+    /// Bound at `value`; `inclusive` controls `<=` vs `<`.
+    At {
+        /// The bound value.
+        value: Value,
+        /// Whether the endpoint itself is inside the interval.
+        inclusive: bool,
+    },
+}
+
+impl Bound {
+    fn lo_key(&self) -> (Option<&Value>, bool) {
+        match self {
+            Bound::Open => (None, true),
+            Bound::At { value, inclusive } => (Some(value), *inclusive),
+        }
+    }
+
+    /// Does a lower bound admit `v`?
+    fn lo_admits(&self, v: &Value) -> bool {
+        match self {
+            Bound::Open => true,
+            Bound::At { value, inclusive } => match v.total_cmp(value) {
+                Ordering::Greater => true,
+                Ordering::Equal => *inclusive,
+                Ordering::Less => false,
+            },
+        }
+    }
+
+    /// Does an upper bound admit `v`?
+    fn hi_admits(&self, v: &Value) -> bool {
+        match self {
+            Bound::Open => true,
+            Bound::At { value, inclusive } => match v.total_cmp(value) {
+                Ordering::Less => true,
+                Ordering::Equal => *inclusive,
+                Ordering::Greater => false,
+            },
+        }
+    }
+}
+
+/// Order lower bounds: Open (= -inf) first, then by value; at equal values
+/// an inclusive bound starts earlier than an exclusive one.
+fn cmp_lo(a: &Bound, b: &Bound) -> Ordering {
+    match (a.lo_key(), b.lo_key()) {
+        ((None, _), (None, _)) => Ordering::Equal,
+        ((None, _), _) => Ordering::Less,
+        (_, (None, _)) => Ordering::Greater,
+        ((Some(x), xi), (Some(y), yi)) => x.total_cmp(y).then_with(|| yi.cmp(&xi)),
+    }
+}
+
+struct Node<T> {
+    lo: Bound,
+    hi: Bound,
+    item: T,
+    priority: u64,
+    /// Max upper bound in this subtree (None = unbounded/open present).
+    max_hi: MaxHi,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+/// Subtree maximum of upper bounds; `Unbounded` dominates everything.
+#[derive(Debug, Clone, PartialEq)]
+enum MaxHi {
+    Unbounded,
+    At(Value),
+}
+
+impl MaxHi {
+    fn of_bound(b: &Bound) -> MaxHi {
+        match b {
+            Bound::Open => MaxHi::Unbounded,
+            Bound::At { value, .. } => MaxHi::At(value.clone()),
+        }
+    }
+
+    fn merge(a: &MaxHi, b: &MaxHi) -> MaxHi {
+        match (a, b) {
+            (MaxHi::Unbounded, _) | (_, MaxHi::Unbounded) => MaxHi::Unbounded,
+            (MaxHi::At(x), MaxHi::At(y)) => {
+                if x.total_cmp(y) == Ordering::Less {
+                    MaxHi::At(y.clone())
+                } else {
+                    MaxHi::At(x.clone())
+                }
+            }
+        }
+    }
+
+    /// Could any interval in a subtree with this max still contain `v`?
+    /// (Conservative: equality admitted regardless of inclusivity.)
+    fn may_contain(&self, v: &Value) -> bool {
+        match self {
+            MaxHi::Unbounded => true,
+            MaxHi::At(x) => v.total_cmp(x) != Ordering::Greater,
+        }
+    }
+}
+
+impl<T> Node<T> {
+    fn recompute(&mut self) {
+        let mut m = MaxHi::of_bound(&self.hi);
+        if let Some(l) = &self.left {
+            m = MaxHi::merge(&m, &l.max_hi);
+        }
+        if let Some(r) = &self.right {
+            m = MaxHi::merge(&m, &r.max_hi);
+        }
+        self.max_hi = m;
+    }
+}
+
+/// A set of `(interval, item)` pairs supporting stabbing queries.
+pub struct IntervalIndex<T> {
+    root: Option<Box<Node<T>>>,
+    len: usize,
+    rng: u64,
+}
+
+impl<T> Default for IntervalIndex<T> {
+    fn default() -> Self {
+        IntervalIndex::new()
+    }
+}
+
+impl<T> IntervalIndex<T> {
+    /// Empty index.
+    pub fn new() -> IntervalIndex<T> {
+        IntervalIndex { root: None, len: 0, rng: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        // xorshift64*: deterministic, dependency-free.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Insert an interval.
+    pub fn insert(&mut self, lo: Bound, hi: Bound, item: T) {
+        let pri = self.next_priority();
+        let node = Box::new(Node {
+            max_hi: MaxHi::of_bound(&hi),
+            lo,
+            hi,
+            item,
+            priority: pri,
+            left: None,
+            right: None,
+        });
+        self.root = Some(Self::insert_node(self.root.take(), node));
+        self.len += 1;
+    }
+
+    fn insert_node(tree: Option<Box<Node<T>>>, node: Box<Node<T>>) -> Box<Node<T>> {
+        let Some(mut t) = tree else { return node };
+        if node.priority > t.priority {
+            // node becomes the root of this subtree: split t around node.lo.
+            let (l, r) = Self::split(Some(t), &node.lo);
+            let mut n = node;
+            n.left = l;
+            n.right = r;
+            n.recompute();
+            return n;
+        }
+        if cmp_lo(&node.lo, &t.lo) == Ordering::Less {
+            t.left = Some(Self::insert_node(t.left.take(), node));
+        } else {
+            t.right = Some(Self::insert_node(t.right.take(), node));
+        }
+        t.recompute();
+        t
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn split(
+        tree: Option<Box<Node<T>>>,
+        at: &Bound,
+    ) -> (Option<Box<Node<T>>>, Option<Box<Node<T>>>) {
+        let Some(mut t) = tree else { return (None, None) };
+        if cmp_lo(&t.lo, at) == Ordering::Less {
+            let (l, r) = Self::split(t.right.take(), at);
+            t.right = l;
+            t.recompute();
+            (Some(t), r)
+        } else {
+            let (l, r) = Self::split(t.left.take(), at);
+            t.left = r;
+            t.recompute();
+            (l, Some(t))
+        }
+    }
+
+    /// Remove the first interval matching `pred`. Returns the removed item.
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let (root, removed) = Self::remove_node(self.root.take(), &mut pred);
+        self.root = root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn remove_node(
+        tree: Option<Box<Node<T>>>,
+        pred: &mut impl FnMut(&T) -> bool,
+    ) -> (Option<Box<Node<T>>>, Option<T>) {
+        let Some(mut t) = tree else { return (None, None) };
+        if pred(&t.item) {
+            let merged = Self::merge(t.left.take(), t.right.take());
+            return (merged, Some(t.item));
+        }
+        let (l, removed) = Self::remove_node(t.left.take(), pred);
+        t.left = l;
+        if removed.is_some() {
+            t.recompute();
+            return (Some(t), removed);
+        }
+        let (r, removed) = Self::remove_node(t.right.take(), pred);
+        t.right = r;
+        t.recompute();
+        (Some(t), removed)
+    }
+
+    fn merge(l: Option<Box<Node<T>>>, r: Option<Box<Node<T>>>) -> Option<Box<Node<T>>> {
+        match (l, r) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(mut a), Some(mut b)) => {
+                if a.priority > b.priority {
+                    a.right = Self::merge(a.right.take(), Some(b));
+                    a.recompute();
+                    Some(a)
+                } else {
+                    b.left = Self::merge(Some(a), b.left.take());
+                    b.recompute();
+                    Some(b)
+                }
+            }
+        }
+    }
+
+    /// Visit every item whose interval contains `v`.
+    pub fn stab(&self, v: &Value, visit: &mut dyn FnMut(&T)) {
+        Self::stab_node(&self.root, v, visit)
+    }
+
+    fn stab_node(tree: &Option<Box<Node<T>>>, v: &Value, visit: &mut dyn FnMut(&T)) {
+        let Some(t) = tree else { return };
+        // Prune: nothing in this subtree can reach v.
+        if !t.max_hi.may_contain(v) {
+            return;
+        }
+        // Left subtree always has lower lows; recurse unconditionally (its
+        // max_hi pruning handles the rest).
+        Self::stab_node(&t.left, v, visit);
+        if t.lo.lo_admits(v) && t.hi.hi_admits(v) {
+            visit(&t.item);
+        }
+        // Right subtree has lows >= t.lo; only useful if some low <= v,
+        // i.e. if t.lo itself doesn't already exceed v... lows in the right
+        // subtree can still be <= v even if not equal to t.lo, so gate on
+        // whether v is above t.lo at all.
+        if t.lo.lo_admits(v) || matches!(&t.lo, Bound::At { value, .. } if value.total_cmp(v) != Ordering::Greater)
+        {
+            Self::stab_node(&t.right, v, visit);
+        }
+    }
+
+    /// Collect (rather than visit) stabbing results — convenience for tests.
+    pub fn stab_collect(&self, v: &Value) -> Vec<&T> {
+        let mut refs = Vec::new();
+        self.collect_refs(v, &mut refs);
+        refs
+    }
+
+    fn collect_refs<'a>(&'a self, v: &Value, out: &mut Vec<&'a T>) {
+        fn rec<'a, T>(tree: &'a Option<Box<Node<T>>>, v: &Value, out: &mut Vec<&'a T>) {
+            let Some(t) = tree else { return };
+            if !t.max_hi.may_contain(v) {
+                return;
+            }
+            rec(&t.left, v, out);
+            if t.lo.lo_admits(v) && t.hi.hi_admits(v) {
+                out.push(&t.item);
+            }
+            if t.lo.lo_admits(v)
+                || matches!(&t.lo, Bound::At { value, .. } if value.total_cmp(v) != Ordering::Greater)
+            {
+                rec(&t.right, v, out);
+            }
+        }
+        rec(&self.root, v, out)
+    }
+
+    /// Visit every stored item (any order).
+    pub fn for_each(&self, visit: &mut dyn FnMut(&T)) {
+        fn rec<T>(tree: &Option<Box<Node<T>>>, visit: &mut dyn FnMut(&T)) {
+            if let Some(t) = tree {
+                rec(&t.left, visit);
+                visit(&t.item);
+                rec(&t.right, visit);
+            }
+        }
+        rec(&self.root, visit)
+    }
+
+    /// Approximate heap usage in bytes (for the E3 memory report).
+    pub fn memory_bytes(&self) -> usize {
+        self.len * (std::mem::size_of::<Node<T>>() + 2 * std::mem::size_of::<Value>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(v: i64, inclusive: bool) -> Bound {
+        Bound::At { value: Value::Int(v), inclusive }
+    }
+
+    fn naive_stab(items: &[(Bound, Bound, u32)], v: &Value) -> Vec<u32> {
+        let mut out: Vec<u32> = items
+            .iter()
+            .filter(|(lo, hi, _)| lo.lo_admits(v) && hi.hi_admits(v))
+            .map(|(_, _, id)| *id)
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn index_stab(ix: &IntervalIndex<u32>, v: &Value) -> Vec<u32> {
+        let mut out = Vec::new();
+        ix.stab(v, &mut |id| out.push(*id));
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn basic_stabbing() {
+        let mut ix = IntervalIndex::new();
+        ix.insert(at(10, true), at(20, true), 1u32);
+        ix.insert(at(15, false), at(30, true), 2);
+        ix.insert(Bound::Open, at(12, false), 3);
+        ix.insert(at(25, true), Bound::Open, 4);
+
+        assert_eq!(index_stab(&ix, &Value::Int(11)), vec![1, 3]);
+        assert_eq!(index_stab(&ix, &Value::Int(15)), vec![1]); // 2 is exclusive at 15
+        assert_eq!(index_stab(&ix, &Value::Int(16)), vec![1, 2]);
+        assert_eq!(index_stab(&ix, &Value::Int(26)), vec![2, 4]);
+        assert_eq!(index_stab(&ix, &Value::Int(1000)), vec![4]);
+        assert_eq!(index_stab(&ix, &Value::Int(-50)), vec![3]);
+    }
+
+    #[test]
+    fn inclusivity_at_endpoints() {
+        let mut ix = IntervalIndex::new();
+        ix.insert(at(5, true), at(10, false), 1u32);
+        assert_eq!(index_stab(&ix, &Value::Int(5)), vec![1]);
+        assert_eq!(index_stab(&ix, &Value::Int(10)), Vec::<u32>::new());
+        assert_eq!(index_stab(&ix, &Value::Int(9)), vec![1]);
+    }
+
+    #[test]
+    fn removal() {
+        let mut ix = IntervalIndex::new();
+        for i in 0..10 {
+            ix.insert(at(i, true), at(i + 5, true), i as u32);
+        }
+        assert_eq!(ix.len(), 10);
+        let removed = ix.remove_where(|&id| id == 3);
+        assert_eq!(removed, Some(3));
+        assert_eq!(ix.len(), 9);
+        assert!(!index_stab(&ix, &Value::Int(4)).contains(&3));
+        assert!(ix.remove_where(|&id| id == 99).is_none());
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut ix = IntervalIndex::new();
+        let mut model: Vec<(Bound, Bound, u32)> = Vec::new();
+        for id in 0..500u32 {
+            let a = (next() % 1000) as i64;
+            let b = a + (next() % 100) as i64;
+            let lo_inc = next() % 2 == 0;
+            let hi_inc = next() % 2 == 0;
+            let lo = if next() % 10 == 0 { Bound::Open } else { at(a, lo_inc) };
+            let hi = if next() % 10 == 0 { Bound::Open } else { at(b, hi_inc) };
+            ix.insert(lo.clone(), hi.clone(), id);
+            model.push((lo, hi, id));
+        }
+        // Random removals.
+        for _ in 0..100 {
+            let victim = (next() % 500) as u32;
+            let in_model = model.iter().position(|(_, _, id)| *id == victim);
+            let removed = ix.remove_where(|&id| id == victim);
+            match in_model {
+                Some(pos) => {
+                    assert!(removed.is_some());
+                    model.remove(pos);
+                }
+                None => assert!(removed.is_none()),
+            }
+        }
+        for probe in (0..1100).step_by(7) {
+            let v = Value::Int(probe);
+            assert_eq!(index_stab(&ix, &v), naive_stab(&model, &v), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn float_and_cross_type_values() {
+        let mut ix = IntervalIndex::new();
+        ix.insert(
+            Bound::At { value: Value::Float(0.5), inclusive: true },
+            Bound::At { value: Value::Float(1.5), inclusive: true },
+            7u32,
+        );
+        assert_eq!(index_stab(&ix, &Value::Int(1)), vec![7]);
+        assert_eq!(index_stab(&ix, &Value::Float(0.4)), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,511 @@
+//! `tman-predindex` — the scalable selection predicate index (§5, Figures
+//! 3 & 4).
+//!
+//! Structure, top to bottom:
+//!
+//! * [`PredicateIndex`] — root: a hash table on data source ID,
+//! * [`DataSourceIndex`] — one per source: the *expression signature
+//!   list*,
+//! * [`SignatureRuntime`] — one per unique expression signature: the
+//!   *constant set* organized by one of the four §5.2 strategies
+//!   ([`OrgKind`]), each constant linked to its *triggerID set* (the
+//!   normalized Figure-4 form),
+//! * [`Entry`] — one per predicate occurrence: `(exprID, triggerID,
+//!   nextNetworkNode, constants)` — the `const_tableN` row.
+//!
+//! A token is matched (§5.4) by locating its data source index, then for
+//! each signature whose operation code accepts the token (and whose update
+//! column list is touched), probing the constant-set organization with the
+//! values the index plan extracts from the token, and finally testing the
+//! residual predicate `E_NI` of every candidate.
+//!
+//! Organizations are promoted automatically as equivalence classes grow
+//! (list → index → indexed database table, thresholds in [`IndexConfig`]),
+//! and can be forced for experiments via [`SignatureRuntime::set_org`].
+//! Figure 5's partitioned probing for condition-level concurrency is
+//! exposed through [`SignatureRuntime::probe_partition`].
+
+pub mod custom;
+pub mod interval;
+pub mod org;
+
+pub use custom::{CustomConstantSet, OrderedVecOrg};
+pub use org::{Entry, Org, OrgKind, ProbeValues};
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use tman_common::fxhash::FxHashMap;
+use tman_common::stats::IndexStats;
+use tman_common::{
+    DataSourceId, ExprId, NodeId, Result, Schema, SignatureId, TriggerId, Tuple, UpdateDescriptor,
+    Value,
+};
+use tman_expr::scalar::Env;
+use tman_expr::{IndexPlan, SelectionSignature};
+use tman_sql::Database;
+
+/// Tuning knobs for organization promotion (§5.2: strategies 1/2 "make the
+/// common case fast", 3/4 "are mandatory in a scalable trigger system").
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Entries above which a memory list becomes a memory index.
+    pub list_to_index: usize,
+    /// Entries above which a memory index spills to an indexed database
+    /// table (requires an attached database; `usize::MAX` disables).
+    pub index_to_db: usize,
+    /// Use the normalized (common-sub-expression-eliminated) constant-set
+    /// layout of Figure 4. Disable only for the E2 ablation.
+    pub normalized: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> IndexConfig {
+        IndexConfig { list_to_index: 32, index_to_db: usize::MAX, normalized: true }
+    }
+}
+
+/// A match produced by the predicate index: a token fully satisfied the
+/// selection predicate `expr_id` of trigger `trigger_id`; the token should
+/// next be delivered to `next_node` of that trigger's A-TREAT network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredMatch {
+    /// The matched predicate occurrence.
+    pub expr_id: ExprId,
+    /// Owning trigger.
+    pub trigger_id: TriggerId,
+    /// Where the token goes next.
+    pub next_node: NodeId,
+}
+
+/// One unique expression signature and its equivalence class.
+pub struct SignatureRuntime {
+    /// Dense id (order of first appearance).
+    pub id: SignatureId,
+    /// The analyzed signature (key, generalized expression, plan, residual).
+    pub sig: SelectionSignature,
+    org: RwLock<Org>,
+    config: IndexConfig,
+    db: Option<Arc<Database>>,
+}
+
+impl SignatureRuntime {
+    /// Current number of expressions in the equivalence class
+    /// (`constantSetSize` in the catalog).
+    pub fn len(&self) -> usize {
+        self.org.read().len()
+    }
+
+    /// Is the class empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current organization strategy (`constantSetOrganization`).
+    pub fn org_kind(&self) -> OrgKind {
+        self.org.read().kind()
+    }
+
+    /// Approximate main-memory bytes used by the constant set.
+    pub fn memory_bytes(&self) -> usize {
+        self.org.read().memory_bytes()
+    }
+
+    /// Name of the constant table used by db-backed strategies.
+    pub fn const_table_name(&self) -> String {
+        format!("const_table_{}", self.id.raw())
+    }
+
+    fn insert(&self, entry: Entry) -> Result<()> {
+        let mut org = self.org.write();
+        org.insert(&self.sig.index_plan, entry)?;
+        // Promotion thresholds.
+        let len = org.len();
+        let kind = org.kind();
+        let next_kind = match kind {
+            // User-installed organizations are never auto-promoted.
+            OrgKind::Custom(_) => None,
+            OrgKind::MemList | OrgKind::MemListDenorm if len > self.config.list_to_index => {
+                // A signature with no indexable part has no index to build.
+                if matches!(self.sig.index_plan, IndexPlan::None) {
+                    None
+                } else {
+                    Some(OrgKind::MemIndex)
+                }
+            }
+            OrgKind::MemIndex if len > self.config.index_to_db && self.db.is_some() => {
+                Some(OrgKind::DbIndexed)
+            }
+            _ => None,
+        };
+        if let Some(next) = next_kind {
+            Self::switch_locked(&mut org, &self.sig, next, &self.const_table_name(), self.db.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Install a user-supplied organization (§9 extensibility), migrating
+    /// the existing entries into it.
+    pub fn set_custom_org(
+        &self,
+        mut custom: Box<dyn crate::custom::CustomConstantSet>,
+    ) -> Result<()> {
+        let mut org = self.org.write();
+        let entries = org.drain_entries()?;
+        for e in entries {
+            custom.insert(&self.sig.index_plan, e)?;
+        }
+        *org = Org::Custom(custom);
+        Ok(())
+    }
+
+    /// Force a specific organization (experiments; also used at recovery to
+    /// restore the catalog's recorded organization).
+    pub fn set_org(&self, kind: OrgKind) -> Result<()> {
+        let mut org = self.org.write();
+        if org.kind() == kind {
+            return Ok(());
+        }
+        Self::switch_locked(&mut org, &self.sig, kind, &self.const_table_name(), self.db.as_ref())
+    }
+
+    fn switch_locked(
+        org: &mut Org,
+        sig: &SelectionSignature,
+        kind: OrgKind,
+        table_name: &str,
+        db: Option<&Arc<Database>>,
+    ) -> Result<()> {
+        let entries = org.drain_entries()?;
+        let slot_types = entries
+            .first()
+            .map(|e| org::infer_slot_types(&e.consts))
+            .unwrap_or_else(|| vec![tman_common::DataType::Varchar(65535); sig.num_consts]);
+        // Reuse an existing constant table when switching between db
+        // strategies repeatedly: drop it first if present.
+        if matches!(kind, OrgKind::DbTable | OrgKind::DbIndexed) {
+            if let Some(db) = db {
+                if db.has_table(table_name) {
+                    db.drop_table(table_name)?;
+                }
+            }
+        }
+        let mut fresh = Org::new(kind, sig, &slot_types, table_name, db)?;
+        for e in entries {
+            fresh.insert(&sig.index_plan, e)?;
+        }
+        *org = fresh;
+        Ok(())
+    }
+
+    /// Probe the constant set with a token tuple, delivering fully-matched
+    /// entries (indexable part *and* residual) to `visit`.
+    pub fn probe(
+        &self,
+        tuple: &Tuple,
+        stats: &IndexStats,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<()> {
+        self.probe_partition(tuple, 0, 1, stats, visit)
+    }
+
+    /// Figure-5 partitioned probe: only entries in partition `part` of
+    /// `nparts` (round-robin by position within the candidate set) are
+    /// considered. `probe(t, ...)` is equivalent to `probe_partition(t, 0,
+    /// 1, ...)`; running all `nparts` partitions visits exactly the same
+    /// set of entries.
+    pub fn probe_partition(
+        &self,
+        tuple: &Tuple,
+        part: usize,
+        nparts: usize,
+        stats: &IndexStats,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<()> {
+        stats.probes.bump();
+        // Build the probe values from the token per the index plan.
+        let key_vals: Vec<Value>;
+        let probe = match &self.sig.index_plan {
+            IndexPlan::Equality { cols, .. } => {
+                key_vals = cols.iter().map(|&c| tuple.get(c).clone()).collect();
+                if key_vals.iter().any(Value::is_null) {
+                    return Ok(()); // NULL never satisfies equality
+                }
+                ProbeValues::Key(&key_vals)
+            }
+            IndexPlan::Range { col, .. } => {
+                let v = tuple.get(*col);
+                if v.is_null() {
+                    return Ok(());
+                }
+                key_vals = vec![v.clone()];
+                ProbeValues::Stab(&key_vals[0])
+            }
+            IndexPlan::None => ProbeValues::All,
+        };
+
+        let org = self.org.read();
+        let bind = Some(tuple);
+        let tuples = std::slice::from_ref(&bind);
+        let needs_full = matches!(self.sig.index_plan, IndexPlan::None);
+        let mut idx_in_candidates = 0usize;
+        let mut err: Option<tman_common::TmanError> = None;
+        org.probe(&self.sig.index_plan, &probe, &mut |e| {
+            let my = idx_in_candidates;
+            idx_in_candidates += 1;
+            if my % nparts != part {
+                return;
+            }
+            if err.is_some() {
+                return;
+            }
+            let env = Env { tuples, consts: &e.consts };
+            let passed = if needs_full {
+                stats.residual_tests.bump();
+                match self.sig.generalized.matches(&env) {
+                    Ok(b) => b,
+                    Err(e2) => {
+                        err = Some(e2);
+                        return;
+                    }
+                }
+            } else {
+                match &self.sig.residual {
+                    None => true,
+                    Some(resid) => {
+                        stats.residual_tests.bump();
+                        match resid.matches(&env) {
+                            Ok(b) => b,
+                            Err(e2) => {
+                                err = Some(e2);
+                                return;
+                            }
+                        }
+                    }
+                }
+            };
+            if passed {
+                stats.matches.bump();
+                visit(e);
+            }
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Remove all entries of a trigger.
+    pub fn remove_trigger(&self, trigger_id: TriggerId) -> Result<usize> {
+        self.org.write().remove_trigger(trigger_id)
+    }
+
+    /// Visit all entries (diagnostics / tests).
+    pub fn for_each_entry(&self, visit: &mut dyn FnMut(&Entry)) -> Result<()> {
+        self.org.read().for_each_entry(visit)
+    }
+}
+
+/// The per-data-source index: the expression signature list of Figure 3.
+pub struct DataSourceIndex {
+    /// The source this index serves.
+    pub data_src: DataSourceId,
+    /// The source's schema (update-column resolution, probe typing).
+    pub schema: Schema,
+    sigs: RwLock<Vec<Arc<SignatureRuntime>>>,
+    /// Resolved `update(col,...)` ordinals per signature, parallel to
+    /// `sigs` (empty = any column).
+    update_cols: RwLock<Vec<Vec<usize>>>,
+}
+
+impl DataSourceIndex {
+    /// Signatures registered on this source.
+    pub fn signatures(&self) -> Vec<Arc<SignatureRuntime>> {
+        self.sigs.read().clone()
+    }
+}
+
+/// The root predicate index (Figure 3).
+pub struct PredicateIndex {
+    config: IndexConfig,
+    db: Option<Arc<Database>>,
+    sources: RwLock<FxHashMap<DataSourceId, Arc<DataSourceIndex>>>,
+    next_sig: AtomicU32,
+    stats: IndexStats,
+}
+
+impl PredicateIndex {
+    /// Memory-only index (strategies 3/4 unavailable).
+    pub fn new(config: IndexConfig) -> PredicateIndex {
+        PredicateIndex {
+            config,
+            db: None,
+            sources: RwLock::new(FxHashMap::default()),
+            next_sig: AtomicU32::new(1),
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Index with a database attached for the disk-backed organizations.
+    pub fn with_database(config: IndexConfig, db: Arc<Database>) -> PredicateIndex {
+        let mut ix = Self::new(config);
+        ix.db = Some(db);
+        ix
+    }
+
+    /// Match/probe counters.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Register (or look up) a data source.
+    pub fn register_source(&self, data_src: DataSourceId, schema: &Schema) -> Arc<DataSourceIndex> {
+        let mut sources = self.sources.write();
+        sources
+            .entry(data_src)
+            .or_insert_with(|| {
+                Arc::new(DataSourceIndex {
+                    data_src,
+                    schema: schema.clone(),
+                    sigs: RwLock::new(Vec::new()),
+                    update_cols: RwLock::new(Vec::new()),
+                })
+            })
+            .clone()
+    }
+
+    /// The index for a source, if registered.
+    pub fn source(&self, data_src: DataSourceId) -> Option<Arc<DataSourceIndex>> {
+        self.sources.read().get(&data_src).cloned()
+    }
+
+    /// §5.1 step 5: register one selection predicate. Finds or creates the
+    /// signature (comparing against the source's expression signature
+    /// list), then adds the constants row to the signature's constant set.
+    /// Returns the signature runtime and whether it was newly created.
+    #[allow(clippy::too_many_arguments)] // mirrors the const_tableN row
+    pub fn add_predicate(
+        &self,
+        data_src: DataSourceId,
+        schema: &Schema,
+        sig: SelectionSignature,
+        consts: Vec<Value>,
+        expr_id: ExprId,
+        trigger_id: TriggerId,
+        next_node: NodeId,
+    ) -> Result<(Arc<SignatureRuntime>, bool)> {
+        let src = self.register_source(data_src, schema);
+        let mut sigs = src.sigs.write();
+        let existing = sigs.iter().position(|s| s.sig.key == sig.key);
+        let (rt, is_new) = match existing {
+            Some(i) => (sigs[i].clone(), false),
+            None => {
+                let id = SignatureId(self.next_sig.fetch_add(1, Ordering::Relaxed));
+                let initial = if self.config.normalized {
+                    OrgKind::MemList
+                } else {
+                    OrgKind::MemListDenorm
+                };
+                let update_cols = sig.update_cols.clone();
+                let rt = Arc::new(SignatureRuntime {
+                    id,
+                    org: RwLock::new(Org::new(
+                        initial,
+                        &sig,
+                        &[],
+                        &format!("const_table_{}", id.raw()),
+                        self.db.as_ref(),
+                    )?),
+                    sig,
+                    config: self.config.clone(),
+                    db: self.db.clone(),
+                });
+                sigs.push(rt.clone());
+                src.update_cols.write().push(update_cols);
+                (rt, true)
+            }
+        };
+        drop(sigs);
+        rt.insert(Entry { expr_id, trigger_id, next_node, consts: consts.into() })?;
+        Ok((rt, is_new))
+    }
+
+    /// Remove all predicates of a trigger. Returns the number of entries
+    /// removed. Signatures whose equivalence class becomes empty are kept
+    /// (the paper keeps catalog rows too; re-creation is cheap either way).
+    pub fn remove_trigger(&self, trigger_id: TriggerId) -> Result<usize> {
+        let mut n = 0;
+        for src in self.sources.read().values() {
+            for sig in src.sigs.read().iter() {
+                n += sig.remove_trigger(trigger_id)?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// §5.4: take an update descriptor and identify all predicates that
+    /// match it.
+    pub fn match_token(
+        &self,
+        token: &UpdateDescriptor,
+        visit: &mut dyn FnMut(PredMatch),
+    ) -> Result<()> {
+        self.stats.tokens.bump();
+        let Some(src) = self.source(token.data_src) else {
+            return Ok(());
+        };
+        let sigs = src.sigs.read().clone();
+        let update_cols = src.update_cols.read().clone();
+        let tuple = token.probe_tuple();
+        for (i, sig) in sigs.iter().enumerate() {
+            if !sig.sig.key.event.accepts(token.op) {
+                continue;
+            }
+            if !token.touches_columns(&update_cols[i]) {
+                continue;
+            }
+            self.stats.signatures_probed.bump();
+            sig.probe(tuple, &self.stats, &mut |e| {
+                visit(PredMatch {
+                    expr_id: e.expr_id,
+                    trigger_id: e.trigger_id,
+                    next_node: e.next_node,
+                })
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Collect matches into a vector (tests / simple callers).
+    pub fn match_token_vec(&self, token: &UpdateDescriptor) -> Result<Vec<PredMatch>> {
+        let mut out = Vec::new();
+        self.match_token(token, &mut |m| out.push(m))?;
+        Ok(out)
+    }
+
+    /// Total number of unique signatures across all sources.
+    pub fn num_signatures(&self) -> usize {
+        self.sources.read().values().map(|s| s.sigs.read().len()).sum()
+    }
+
+    /// Total number of predicate entries.
+    pub fn num_entries(&self) -> usize {
+        self.sources
+            .read()
+            .values()
+            .map(|s| s.sigs.read().iter().map(|g| g.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Approximate main-memory footprint of all constant sets.
+    pub fn memory_bytes(&self) -> usize {
+        self.sources
+            .read()
+            .values()
+            .map(|s| s.sigs.read().iter().map(|g| g.memory_bytes()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,457 @@
+use super::*;
+use tman_expr::cnf::{remap_var, to_cnf};
+use tman_expr::BindCtx;
+use tman_common::{DataType, EventKind, TokenOp};
+use tman_lang::parse_expression;
+
+fn emp_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("name", DataType::Varchar(32)),
+        ("salary", DataType::Float),
+        ("dept", DataType::Int),
+    ])
+}
+
+const EMP: DataSourceId = DataSourceId(1);
+
+/// Register `cond` (over the emp schema) as trigger `tid`'s predicate.
+fn add(
+    ix: &PredicateIndex,
+    cond: &str,
+    event: EventKind,
+    tid: u64,
+) -> Arc<SignatureRuntime> {
+    let schema = emp_schema();
+    let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
+    let cnf = to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
+    let canon = remap_var(&cnf, 0, 0, "emp");
+    let (sig, consts) = tman_expr::signature::analyze_selection(&canon, EMP, event, vec![]);
+    let (rt, _) = ix
+        .add_predicate(EMP, &schema, sig, consts, ExprId(tid), TriggerId(tid), NodeId(0))
+        .unwrap();
+    rt
+}
+
+fn ins(name: &str, salary: f64, dept: i64) -> UpdateDescriptor {
+    UpdateDescriptor::insert(
+        EMP,
+        Tuple::new(vec![Value::str(name), Value::Float(salary), Value::Int(dept)]),
+    )
+}
+
+fn matched_ids(ix: &PredicateIndex, tok: &UpdateDescriptor) -> Vec<u64> {
+    let mut ids: Vec<u64> = ix
+        .match_token_vec(tok)
+        .unwrap()
+        .into_iter()
+        .map(|m| m.trigger_id.raw())
+        .collect();
+    ids.sort();
+    ids
+}
+
+#[test]
+fn signatures_are_shared_across_triggers() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    for t in 0..100u64 {
+        add(&ix, &format!("emp.salary > {}", 1000 * t), EventKind::Insert, t);
+    }
+    assert_eq!(ix.num_signatures(), 1, "one signature for 100 triggers");
+    assert_eq!(ix.num_entries(), 100);
+    // A token with salary 5500 matches triggers with threshold < 5500.
+    assert_eq!(matched_ids(&ix, &ins("x", 5500.0, 1)), (0..=5).collect::<Vec<_>>());
+}
+
+#[test]
+fn equality_matching_is_exact() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    for t in 0..50u64 {
+        add(&ix, &format!("emp.dept = {}", t % 10), EventKind::Insert, t);
+    }
+    assert_eq!(ix.num_signatures(), 1);
+    let hits = matched_ids(&ix, &ins("x", 0.0, 7));
+    assert_eq!(hits, vec![7, 17, 27, 37, 47]);
+    assert!(matched_ids(&ix, &ins("x", 0.0, 99)).is_empty());
+}
+
+#[test]
+fn event_codes_filter_tokens() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    add(&ix, "emp.dept = 1", EventKind::Insert, 1);
+    add(&ix, "emp.dept = 1", EventKind::Delete, 2);
+    add(&ix, "emp.dept = 1", EventKind::InsertOrUpdate, 3);
+    assert_eq!(ix.num_signatures(), 3, "event is part of the signature");
+
+    let t = Tuple::new(vec![Value::str("x"), Value::Float(1.0), Value::Int(1)]);
+    let ins_tok = UpdateDescriptor::insert(EMP, t.clone());
+    let del_tok = UpdateDescriptor::delete(EMP, t.clone());
+    let upd_tok = UpdateDescriptor::update(EMP, t.clone(), t.clone());
+    assert_eq!(matched_ids(&ix, &ins_tok), vec![1, 3]);
+    assert_eq!(matched_ids(&ix, &del_tok), vec![2]);
+    assert_eq!(matched_ids(&ix, &upd_tok), vec![3]);
+}
+
+#[test]
+fn update_column_events_require_a_change() {
+    let schema = emp_schema();
+    let ix = PredicateIndex::new(IndexConfig::default());
+    let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
+    let cnf = to_cnf(&ctx.pred(&parse_expression("emp.dept = 5").unwrap()).unwrap()).unwrap();
+    // `on update(emp.salary)` — salary is column 1.
+    let (sig, consts) = tman_expr::signature::analyze_selection(
+        &cnf,
+        EMP,
+        EventKind::Update(vec!["salary".into()]),
+        vec![1],
+    );
+    ix.add_predicate(EMP, &schema, sig, consts, ExprId(1), TriggerId(1), NodeId(0))
+        .unwrap();
+
+    let old = Tuple::new(vec![Value::str("a"), Value::Float(10.0), Value::Int(5)]);
+    let new_salary = Tuple::new(vec![Value::str("a"), Value::Float(20.0), Value::Int(5)]);
+    let new_name = Tuple::new(vec![Value::str("b"), Value::Float(10.0), Value::Int(5)]);
+    assert_eq!(
+        matched_ids(&ix, &UpdateDescriptor::update(EMP, old.clone(), new_salary)),
+        vec![1]
+    );
+    assert!(matched_ids(&ix, &UpdateDescriptor::update(EMP, old, new_name)).is_empty());
+}
+
+#[test]
+fn residual_is_tested_after_index_probe() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    // dept is indexable; the salary range is residual.
+    add(&ix, "emp.dept = 3 and emp.salary > 50000", EventKind::Insert, 1);
+    assert_eq!(matched_ids(&ix, &ins("a", 60000.0, 3)), vec![1]);
+    assert!(matched_ids(&ix, &ins("a", 40000.0, 3)).is_empty());
+    assert!(matched_ids(&ix, &ins("a", 60000.0, 4)).is_empty());
+    assert!(ix.stats().residual_tests.get() >= 2);
+}
+
+#[test]
+fn range_signatures_stab() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    for t in 0..100u64 {
+        let lo = t * 10;
+        add(
+            &ix,
+            &format!("emp.salary > {lo} and emp.salary <= {}", lo + 50),
+            EventKind::Insert,
+            t,
+        );
+    }
+    assert_eq!(ix.num_signatures(), 1);
+    let hits = matched_ids(&ix, &ins("x", 105.0, 1));
+    // intervals (lo, lo+50] containing 105: lo in {60,...,100} by tens ⇒
+    // t in {6..=10}.
+    assert_eq!(hits, vec![6, 7, 8, 9, 10]);
+}
+
+#[test]
+fn or_predicates_fall_back_to_full_evaluation() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    add(&ix, "emp.dept = 1 or emp.dept = 2", EventKind::Insert, 1);
+    add(&ix, "emp.dept = 3 or emp.dept = 4", EventKind::Insert, 2);
+    assert_eq!(ix.num_signatures(), 1, "same OR structure, different constants");
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 2)), vec![1]);
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 4)), vec![2]);
+    assert!(matched_ids(&ix, &ins("x", 0.0, 9)).is_empty());
+}
+
+#[test]
+fn null_token_values_never_match_equality_or_range() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    add(&ix, "emp.dept = 1", EventKind::Insert, 1);
+    add(&ix, "emp.salary > 0", EventKind::Insert, 2);
+    let tok = UpdateDescriptor::insert(
+        EMP,
+        Tuple::new(vec![Value::str("x"), Value::Null, Value::Null]),
+    );
+    assert!(matched_ids(&ix, &tok).is_empty());
+}
+
+#[test]
+fn org_promotion_list_to_index() {
+    let cfg = IndexConfig { list_to_index: 10, ..Default::default() };
+    let ix = PredicateIndex::new(cfg);
+    let mut rt = None;
+    for t in 0..25u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    assert_eq!(rt.org_kind(), OrgKind::MemIndex);
+    assert_eq!(rt.len(), 25);
+    // Still matches correctly after promotion.
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 13)), vec![13]);
+}
+
+#[test]
+fn org_promotion_to_database() {
+    let db = Arc::new(Database::open_memory(256));
+    let cfg = IndexConfig { list_to_index: 4, index_to_db: 10, ..Default::default() };
+    let ix = PredicateIndex::with_database(cfg, db.clone());
+    let mut rt = None;
+    for t in 0..30u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    assert_eq!(rt.org_kind(), OrgKind::DbIndexed);
+    assert_eq!(rt.len(), 30);
+    // The constant table exists in the database with one row per trigger.
+    let table = db.table(&rt.const_table_name()).unwrap();
+    assert_eq!(table.count().unwrap(), 30);
+    // Matching goes through the database index.
+    let probes_before = table.stats().index_probes.get();
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 22)), vec![22]);
+    assert!(table.stats().index_probes.get() > probes_before);
+}
+
+#[test]
+fn forced_org_kinds_all_agree() {
+    let db = Arc::new(Database::open_memory(1024));
+    for kind in [
+        OrgKind::MemList,
+        OrgKind::MemListDenorm,
+        OrgKind::MemIndex,
+        OrgKind::DbTable,
+        OrgKind::DbIndexed,
+    ] {
+        let ix = PredicateIndex::with_database(IndexConfig::default(), db.clone());
+        let mut rt = None;
+        for t in 0..40u64 {
+            rt = Some(add(&ix, &format!("emp.dept = {}", t % 8), EventKind::Insert, t));
+        }
+        let rt = rt.unwrap();
+        rt.set_org(kind).unwrap();
+        assert_eq!(rt.org_kind(), kind, "{kind:?}");
+        assert_eq!(rt.len(), 40, "{kind:?}");
+        let hits = matched_ids(&ix, &ins("x", 0.0, 3));
+        assert_eq!(hits, vec![3, 11, 19, 27, 35], "{kind:?}");
+    }
+}
+
+#[test]
+fn forced_org_kinds_agree_for_ranges() {
+    let db = Arc::new(Database::open_memory(1024));
+    for kind in [OrgKind::MemList, OrgKind::MemIndex, OrgKind::DbTable, OrgKind::DbIndexed] {
+        let ix = PredicateIndex::with_database(IndexConfig::default(), db.clone());
+        let mut rt = None;
+        for t in 0..30u64 {
+            rt = Some(add(
+                &ix,
+                &format!("emp.salary >= {} and emp.salary < {}", t * 100, t * 100 + 250),
+                EventKind::Insert,
+                t,
+            ));
+        }
+        let rt = rt.unwrap();
+        rt.set_org(kind).unwrap();
+        let hits = matched_ids(&ix, &ins("x", 520.0, 0));
+        // [t*100, t*100+250) containing 520 ⇒ t ∈ {3, 4, 5}.
+        assert_eq!(hits, vec![3, 4, 5], "{kind:?}");
+    }
+}
+
+#[test]
+fn remove_trigger_cleans_all_orgs() {
+    let db = Arc::new(Database::open_memory(256));
+    let ix = PredicateIndex::with_database(IndexConfig::default(), db);
+    for t in 0..10u64 {
+        add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t);
+        add(&ix, &format!("emp.salary > {t}"), EventKind::Insert, t);
+    }
+    assert_eq!(ix.num_entries(), 20);
+    assert_eq!(ix.remove_trigger(TriggerId(4)).unwrap(), 2);
+    assert_eq!(ix.num_entries(), 18);
+    assert!(matched_ids(&ix, &ins("x", 100.0, 4)).iter().all(|&t| t != 4));
+}
+
+#[test]
+fn normalized_vs_denormalized_share_matching_semantics() {
+    // Figure 4 ablation: same matches either way.
+    let mk = |normalized: bool| {
+        let ix = PredicateIndex::new(IndexConfig {
+            normalized,
+            list_to_index: usize::MAX,
+            ..Default::default()
+        });
+        for t in 0..50u64 {
+            add(&ix, "emp.dept = 7", EventKind::Insert, t); // identical constant
+        }
+        ix
+    };
+    let norm = mk(true);
+    let denorm = mk(false);
+    let tok = ins("x", 0.0, 7);
+    assert_eq!(matched_ids(&norm, &tok), matched_ids(&denorm, &tok));
+    // The normalized layout stores the shared constant once.
+    let norm_rt = norm.source(EMP).unwrap().signatures()[0].clone();
+    let denorm_rt = denorm.source(EMP).unwrap().signatures()[0].clone();
+    assert_eq!(norm_rt.org_kind(), OrgKind::MemList);
+    assert_eq!(denorm_rt.org_kind(), OrgKind::MemListDenorm);
+    assert!(norm_rt.memory_bytes() < denorm_rt.memory_bytes());
+}
+
+#[test]
+fn partitioned_probe_covers_all_entries_exactly_once() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    let mut rt = None;
+    for t in 0..100u64 {
+        rt = Some(add(&ix, "emp.dept = 7", EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    let tuple = Tuple::new(vec![Value::str("x"), Value::Float(0.0), Value::Int(7)]);
+    let nparts = 4;
+    let mut seen = Vec::new();
+    for part in 0..nparts {
+        rt.probe_partition(&tuple, part, nparts, ix.stats(), &mut |e| {
+            seen.push(e.trigger_id.raw())
+        })
+        .unwrap();
+    }
+    seen.sort();
+    assert_eq!(seen, (0..100).collect::<Vec<_>>());
+}
+
+#[test]
+fn unknown_source_matches_nothing() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    add(&ix, "emp.dept = 1", EventKind::Insert, 1);
+    let tok = UpdateDescriptor::insert(DataSourceId(99), Tuple::new(vec![Value::Int(1)]));
+    assert!(ix.match_token_vec(&tok).unwrap().is_empty());
+}
+
+#[test]
+fn stats_accumulate() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    add(&ix, "emp.dept = 1", EventKind::Insert, 1);
+    add(&ix, "emp.salary > 10", EventKind::Insert, 2);
+    for _ in 0..5 {
+        ix.match_token_vec(&ins("x", 20.0, 1)).unwrap();
+    }
+    assert_eq!(ix.stats().tokens.get(), 5);
+    assert_eq!(ix.stats().signatures_probed.get(), 10);
+    assert_eq!(ix.stats().matches.get(), 10);
+}
+
+#[test]
+fn like_and_event_only_predicates() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    add(&ix, "emp.name like 'Ir%'", EventKind::Insert, 1);
+    // Event-only (no when clause): signature "true".
+    let schema = emp_schema();
+    let (sig, consts) = tman_expr::signature::analyze_selection(
+        &tman_expr::Cnf::truth(),
+        EMP,
+        EventKind::Insert,
+        vec![],
+    );
+    ix.add_predicate(EMP, &schema, sig, consts, ExprId(2), TriggerId(2), NodeId(0))
+        .unwrap();
+
+    assert_eq!(matched_ids(&ix, &ins("Iris", 1.0, 1)), vec![1, 2]);
+    assert_eq!(matched_ids(&ix, &ins("Bob", 1.0, 1)), vec![2]);
+}
+
+#[test]
+fn many_signatures_on_one_source() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    // K distinct structures, N/K triggers each — the paper's premise.
+    let mut t = 0u64;
+    for _ in 0..20 {
+        add(&ix, &format!("emp.dept = {}", t % 3), EventKind::Insert, t);
+        t += 1;
+        add(&ix, &format!("emp.salary > {t}"), EventKind::Insert, t);
+        t += 1;
+        add(&ix, &format!("emp.name = 'p{t}'"), EventKind::Insert, t);
+        t += 1;
+        add(
+            &ix,
+            &format!("emp.dept = {} and emp.salary > {t}", t % 5),
+            EventKind::Insert,
+            t,
+        );
+        t += 1;
+    }
+    assert_eq!(ix.num_signatures(), 4);
+    assert_eq!(ix.num_entries(), 80);
+}
+
+#[test]
+fn concurrent_matching_is_safe() {
+    let ix = Arc::new(PredicateIndex::new(IndexConfig::default()));
+    for t in 0..200u64 {
+        add(&ix, &format!("emp.dept = {}", t % 20), EventKind::Insert, t);
+    }
+    let handles: Vec<_> = (0..8)
+        .map(|w| {
+            let ix = ix.clone();
+            std::thread::spawn(move || {
+                let mut total = 0usize;
+                for i in 0..500 {
+                    let d = ((w * 7 + i) % 20) as i64;
+                    total += ix.match_token_vec(&ins("x", 0.0, d)).unwrap().len();
+                }
+                total
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 500 * 10); // 10 triggers per dept value
+    }
+}
+
+#[test]
+fn token_op_is_distinct_from_event_kind() {
+    // Sanity: TokenOp::Update satisfies Update and InsertOrUpdate events.
+    assert!(EventKind::InsertOrUpdate.accepts(TokenOp::Update));
+    assert!(EventKind::Update(vec![]).accepts(TokenOp::Update));
+}
+
+#[test]
+fn custom_organization_extensibility() {
+    // §9 future work: a user-supplied constant-set organization plugs in
+    // and behaves identically to the built-ins.
+    let ix = PredicateIndex::new(IndexConfig::default());
+    let mut rt = None;
+    for t in 0..60u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {}", t % 12), EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    let before = matched_ids(&ix, &ins("x", 0.0, 5));
+
+    rt.set_custom_org(Box::new(crate::custom::OrderedVecOrg::new())).unwrap();
+    assert_eq!(rt.org_kind(), OrgKind::Custom("ordered_vec"));
+    assert_eq!(rt.org_kind().as_str(), "ordered_vec");
+    assert_eq!(rt.len(), 60);
+
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 5)), before);
+    // Removal flows through the custom org too.
+    ix.remove_trigger(TriggerId(5)).unwrap();
+    assert_eq!(rt.len(), 59);
+    assert!(!matched_ids(&ix, &ins("x", 0.0, 5)).contains(&5));
+    // Inserting more entries does not auto-promote away from the custom org.
+    add(&ix, "emp.dept = 99", EventKind::Insert, 999);
+    assert_eq!(rt.org_kind(), OrgKind::Custom("ordered_vec"));
+    // And switching back to a built-in works.
+    rt.set_org(OrgKind::MemIndex).unwrap();
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 99)), vec![999]);
+}
+
+#[test]
+fn custom_organization_handles_ranges() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    let mut rt = None;
+    for t in 0..20u64 {
+        rt = Some(add(
+            &ix,
+            &format!("emp.salary > {} and emp.salary <= {}", t * 10, t * 10 + 25),
+            EventKind::Insert,
+            t,
+        ));
+    }
+    let rt = rt.unwrap();
+    let before = matched_ids(&ix, &ins("x", 57.0, 0));
+    rt.set_custom_org(Box::new(crate::custom::OrderedVecOrg::new())).unwrap();
+    assert_eq!(matched_ids(&ix, &ins("x", 57.0, 0)), before);
+}

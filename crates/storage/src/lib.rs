@@ -1,0 +1,163 @@
+//! `tman-storage` — the disk substrate under TriggerMan.
+//!
+//! The paper hosts its catalogs, constant tables and update-descriptor queue
+//! in Informix. This crate is the from-scratch replacement: a page-based
+//! storage engine with
+//!
+//! * a [`disk::DiskManager`] (file-backed or in-memory) with I/O accounting,
+//! * fixed 4 KiB [`page`]s with a slotted-record layout,
+//! * a [`buffer::BufferPool`] with pin/unpin and LRU eviction — the model
+//!   for the paper's *trigger cache* ("analogous to the pin operation in a
+//!   traditional buffer pool", §5.4),
+//! * [`heap::HeapFile`]s for table rows,
+//! * a [`btree::BTree`] over memcmp-comparable encoded keys ([`keyenc`]) —
+//!   the "clustered index on \[const1, ... constK\]" of §5.1,
+//! * a persistent object [`dir::Directory`] mapping names to roots.
+//!
+//! Everything above this crate (SQL executor, catalogs, constant tables)
+//! talks only to these abstractions, so the disk-vs-memory tradeoffs the
+//! paper discusses (§5.2) are measurable via [`tman_common::stats`].
+
+pub mod btree;
+pub mod buffer;
+pub mod dir;
+pub mod disk;
+pub mod heap;
+pub mod keyenc;
+pub mod page;
+
+pub use btree::BTree;
+pub use buffer::{BufferPool, PageGuard};
+pub use dir::{Directory, ObjectKind};
+pub use disk::{DiskManager, PageId, PAGE_SIZE};
+pub use heap::{HeapFile, RecordId};
+
+use std::path::Path;
+use std::sync::Arc;
+use tman_common::Result;
+
+/// A storage instance: one disk file (or memory region), one buffer pool,
+/// one object directory. The unit the SQL layer builds a database on.
+pub struct Storage {
+    pool: Arc<BufferPool>,
+    dir: Directory,
+}
+
+impl Storage {
+    /// Open (or create) a file-backed store with the given buffer-pool
+    /// capacity in pages.
+    pub fn open_file(path: &Path, pool_pages: usize) -> Result<Storage> {
+        let disk = Arc::new(DiskManager::open_file(path)?);
+        Self::with_disk(disk, pool_pages)
+    }
+
+    /// Create a volatile in-memory store (tests and benches).
+    pub fn open_memory(pool_pages: usize) -> Storage {
+        let disk = Arc::new(DiskManager::open_memory());
+        Self::with_disk(disk, pool_pages).expect("memory store cannot fail to open")
+    }
+
+    fn with_disk(disk: Arc<DiskManager>, pool_pages: usize) -> Result<Storage> {
+        let pool = Arc::new(BufferPool::new(disk, pool_pages));
+        let dir = Directory::open(pool.clone())?;
+        Ok(Storage { pool, dir })
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The object directory.
+    pub fn dir(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// Create a new heap file registered under `name`.
+    pub fn create_heap(&self, name: &str) -> Result<HeapFile> {
+        let heap = HeapFile::create(self.pool.clone())?;
+        self.dir.create(name, ObjectKind::Heap, heap.meta_page())?;
+        Ok(heap)
+    }
+
+    /// Open an existing heap file by name.
+    pub fn open_heap(&self, name: &str) -> Result<HeapFile> {
+        let entry = self.dir.get(name)?;
+        if entry.kind != ObjectKind::Heap {
+            return Err(tman_common::TmanError::Storage(format!(
+                "'{name}' is not a heap"
+            )));
+        }
+        HeapFile::open(self.pool.clone(), entry.root)
+    }
+
+    /// Create a new B+tree registered under `name`.
+    pub fn create_btree(&self, name: &str) -> Result<BTree> {
+        let tree = BTree::create(self.pool.clone())?;
+        self.dir.create(name, ObjectKind::BTree, tree.meta_page())?;
+        Ok(tree)
+    }
+
+    /// Open an existing B+tree by name.
+    pub fn open_btree(&self, name: &str) -> Result<BTree> {
+        let entry = self.dir.get(name)?;
+        if entry.kind != ObjectKind::BTree {
+            return Err(tman_common::TmanError::Storage(format!(
+                "'{name}' is not a btree"
+            )));
+        }
+        BTree::open(self.pool.clone(), entry.root)
+    }
+
+    /// Remove a directory entry (pages are leaked — no free-space reuse in
+    /// this reproduction; documented in DESIGN.md).
+    pub fn drop_object(&self, name: &str) -> Result<()> {
+        self.dir.remove(name)
+    }
+
+    /// Flush all dirty pages to the backing disk.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.pool.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_open_heap_roundtrip() {
+        let s = Storage::open_memory(64);
+        let h = s.create_heap("t1").unwrap();
+        let rid = h.insert(b"hello").unwrap();
+        let h2 = s.open_heap("t1").unwrap();
+        assert_eq!(h2.get(rid).unwrap(), b"hello".to_vec());
+        assert!(s.open_heap("missing").is_err());
+    }
+
+    #[test]
+    fn file_backed_reopen_preserves_objects() {
+        let path = std::env::temp_dir().join(format!("tman_store_{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let rid;
+        {
+            let s = Storage::open_file(&path, 16).unwrap();
+            let h = s.create_heap("persist").unwrap();
+            rid = h.insert(b"durable").unwrap();
+            s.checkpoint().unwrap();
+        }
+        {
+            let s = Storage::open_file(&path, 16).unwrap();
+            let h = s.open_heap("persist").unwrap();
+            assert_eq!(h.get(rid).unwrap(), b"durable".to_vec());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_kind_is_error() {
+        let s = Storage::open_memory(64);
+        s.create_heap("h").unwrap();
+        assert!(s.open_btree("h").is_err());
+    }
+}

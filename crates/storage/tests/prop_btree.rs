@@ -1,0 +1,79 @@
+//! Model-based property test for the B+tree: a random operation sequence
+//! against a `BTreeMap<(key, value)>` reference model, checking lookups,
+//! range scans and counts after every batch.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tman_storage::{BTree, BufferPool, DiskManager};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, u64),
+    Delete(Vec<u8>, u64),
+    Lookup(Vec<u8>),
+    Range(Vec<u8>, Vec<u8>),
+}
+
+fn small_key() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet so keys collide often (duplicates exercised).
+    proptest::collection::vec(0u8..4, 0..5)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (small_key(), 0u64..6).prop_map(|(k, v)| Op::Insert(k, v)),
+        (small_key(), 0u64..6).prop_map(|(k, v)| Op::Delete(k, v)),
+        small_key().prop_map(Op::Lookup),
+        (small_key(), small_key()).prop_map(|(a, b)| Op::Range(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(op(), 1..300)) {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::open_memory()), 64));
+        let tree = BTree::create(pool).unwrap();
+        let mut model: BTreeSet<(Vec<u8>, u64)> = BTreeSet::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(k, *v).unwrap();
+                    model.insert((k.clone(), *v));
+                }
+                Op::Delete(k, v) => {
+                    let expect = model.remove(&(k.clone(), *v));
+                    prop_assert_eq!(tree.delete(k, *v).unwrap(), expect);
+                }
+                Op::Lookup(k) => {
+                    let got = tree.lookup(k).unwrap();
+                    let want: Vec<u64> = model
+                        .iter()
+                        .filter(|(mk, _)| mk == k)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let mut got = Vec::new();
+                    tree.scan_range(lo, hi, |k, v| {
+                        got.push((k.to_vec(), v));
+                        Ok(true)
+                    })
+                    .unwrap();
+                    let want: Vec<(Vec<u8>, u64)> = model
+                        .iter()
+                        .filter(|(mk, _)| mk >= lo && mk < hi)
+                        .cloned()
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.count().unwrap(), model.len());
+    }
+}

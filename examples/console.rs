@@ -1,0 +1,159 @@
+//! The TriggerMan console (§3): "a special application program that lets a
+//! user directly interact with the system to create triggers, drop
+//! triggers, start the system, shut it down, etc."
+//!
+//! ```sh
+//! cargo run --example console
+//! ```
+//!
+//! Commands: any TriggerMan command (`create trigger ...`, `define data
+//! source ...`), any SQL statement (`create table ...`, `insert ...`,
+//! `select ...`), plus console built-ins:
+//!
+//! ```text
+//! .start        start driver threads        .stop         stop them
+//! .stats        engine & index counters     .list         triggers
+//! .drain        process pending tokens      .connections  connections
+//! .quit
+//! ```
+
+use std::io::{BufRead, Write};
+use triggerman::{Config, TriggerMan};
+
+fn main() {
+    let tman = TriggerMan::open_memory(Config::default()).expect("open");
+    let inbox = tman.events().subscribe_all();
+    let mut drivers = None;
+    let stdin = std::io::stdin();
+    println!("TriggerMan console. '.quit' to exit, '.help' for commands.");
+    loop {
+        print!("tman> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" => break,
+            ".help" => {
+                println!(".start .stop .stats .list .connections .drain .quit — or any TriggerMan/SQL command");
+                continue;
+            }
+            ".start" => {
+                if drivers.is_none() {
+                    let pool = tman.start_drivers();
+                    println!("started {} driver thread(s)", pool.len());
+                    drivers = Some(pool);
+                } else {
+                    println!("drivers already running");
+                }
+                continue;
+            }
+            ".stop" => {
+                if let Some(pool) = drivers.take() {
+                    pool.stop();
+                    println!("drivers stopped");
+                } else {
+                    println!("no drivers running");
+                }
+                continue;
+            }
+            ".drain" => {
+                tman.run_until_quiescent().ok();
+                println!("queue drained");
+            }
+            ".stats" => {
+                let s = tman.stats();
+                let ix = tman.predicate_index();
+                println!(
+                    "tokens={} firings={} actions={} errors={}",
+                    s.tokens.get(),
+                    s.firings.get(),
+                    s.actions.get(),
+                    s.errors.get()
+                );
+                println!(
+                    "signatures={} entries={} probes={} matches={}",
+                    ix.num_signatures(),
+                    ix.num_entries(),
+                    ix.stats().probes.get(),
+                    ix.stats().matches.get()
+                );
+                println!(
+                    "cache: resident={} hit_rate={:.2}",
+                    tman.trigger_cache().len(),
+                    tman.trigger_cache().stats().hit_rate()
+                );
+                continue;
+            }
+            ".list" => {
+                for name in tman.trigger_names() {
+                    println!("  {name}");
+                }
+                continue;
+            }
+            ".connections" => {
+                for c in tman.connections() {
+                    println!(
+                        "  {} (type={}{}{})",
+                        c.name,
+                        c.dbtype,
+                        c.host.map(|h| format!(", host={h}")).unwrap_or_default(),
+                        if c.is_default { ", default" } else { "" }
+                    );
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if line.starts_with('.') {
+            println!("unknown console command; try .help");
+            continue;
+        }
+        // Try TriggerMan command first, then SQL.
+        let result = tman
+            .execute_command(line)
+            .map(|out| format!("{out:?}"))
+            .or_else(|cmd_err| {
+                tman.run_sql(line)
+                    .map(|r| match r {
+                        tman_sql::ExecResult::Rows(rows) => {
+                            let mut s = String::new();
+                            for row in &rows {
+                                s.push_str(&format!("{:?}\n", row.values()));
+                            }
+                            s.push_str(&format!("{} row(s)", rows.len()));
+                            s
+                        }
+                        other => format!("{other:?}"),
+                    })
+                    .map_err(|sql_err| {
+                        if line.to_lowercase().starts_with("create trigger")
+                            || line.to_lowercase().starts_with("define")
+                        {
+                            cmd_err
+                        } else {
+                            sql_err
+                        }
+                    })
+            });
+        match result {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
+        // Show any notifications that arrived.
+        for n in inbox.try_iter() {
+            match n.message {
+                Some(m) => println!("  [notify:{}] {}", n.trigger, m),
+                None => println!("  [event:{} from {}] {:?}", n.event, n.trigger, n.values),
+            }
+        }
+    }
+    if let Some(pool) = drivers {
+        pool.stop();
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: define a data source, create triggers, stream updates,
+//! watch them fire.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use triggerman::{Config, TriggerMan};
+
+fn main() -> tman_common::Result<()> {
+    // 1. Open an in-memory TriggerMan instance (use `open_file` for a
+    //    durable one).
+    let tman = TriggerMan::open_memory(Config::default())?;
+
+    // 2. Create a table and wrap it as a data source with update capture —
+    //    the paper's "standard Informix triggers are created automatically
+    //    by TriggerMan to capture updates to the table".
+    tman.run_sql("create table emp (name varchar(32), salary float, dept int)")?;
+    tman.execute_command("define data source emp from table emp")?;
+
+    // 3. Subscribe to notifications, then create triggers. Both share the
+    //    same expression signature `emp.salary > CONSTANT1` — only one
+    //    signature exists in the predicate index no matter how many
+    //    thresholds users register.
+    let inbox = tman.subscribe("notify");
+    tman.execute_command(
+        "create trigger comfortable from emp when emp.salary > 80000 \
+         do notify ':NEW.emp.name earns a comfortable :NEW.emp.salary'",
+    )?;
+    tman.execute_command(
+        "create trigger modest from emp when emp.salary > 50000 \
+         do notify ':NEW.emp.name is past 50k'",
+    )?;
+    println!(
+        "predicate index: {} signatures for {} predicates",
+        tman.predicate_index().num_signatures(),
+        tman.predicate_index().num_entries()
+    );
+
+    // 4. Stream updates. Capture enqueues update descriptors; trigger
+    //    processing is asynchronous (§3).
+    tman.run_sql("insert into emp values ('Bob', 90000, 1)")?;
+    tman.run_sql("insert into emp values ('Mia', 60000, 2)")?;
+    tman.run_sql("insert into emp values ('Sam', 30000, 1)")?;
+
+    // 5. Drain the queue (a production deployment runs `start_drivers()`
+    //    instead and lets N driver threads call TmanTest periodically).
+    tman.run_until_quiescent()?;
+
+    for n in inbox.try_iter() {
+        println!("[{}] {}", n.trigger, n.message.unwrap_or_default());
+    }
+    println!(
+        "tokens={} firings={} actions={}",
+        tman.stats().tokens.get(),
+        tman.stats().firings.get(),
+        tman.stats().actions.get()
+    );
+    Ok(())
+}

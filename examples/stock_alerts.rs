@@ -1,0 +1,95 @@
+//! The introduction's web-scale scenario: "A web interface could allow
+//! users to interactively create triggers over the Internet. This type of
+//! architecture could lead to large numbers of triggers created in a
+//! single database."
+//!
+//! 100,000 user-created price alerts collapse to a handful of expression
+//! signatures; a stream of quote updates is matched against all of them
+//! through the predicate index.
+//!
+//! ```sh
+//! cargo run --release --example stock_alerts
+//! ```
+
+use rand::prelude::*;
+use std::time::Instant;
+use tman_common::{UpdateDescriptor, Value};
+use triggerman::{Config, TriggerMan};
+
+const USERS: usize = 100_000;
+const SYMBOLS: &[&str] = &["ACME", "GLOBO", "INITECH", "HOOLI", "PIED", "UMBRel", "WAYNE", "STARK"];
+
+fn main() -> tman_common::Result<()> {
+    let tman = TriggerMan::open_memory(Config::default())?;
+    // Quotes arrive as a *stream* data source (no backing table): the data
+    // source API of §3.
+    tman.execute_command("define data source quotes (symbol varchar(12), price float)")?;
+    let src = tman.source("quotes")?.id;
+
+    // Users create alerts through the (simulated) web interface. Three
+    // structures only: price-above, price-below, and exact-symbol watch.
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    for u in 0..USERS {
+        let sym = SYMBOLS[rng.gen_range(0..SYMBOLS.len())];
+        let threshold = rng.gen_range(10..500);
+        let cmd = match u % 3 {
+            0 => format!(
+                "create trigger alert{u} from quotes \
+                 when quotes.symbol = '{sym}' and quotes.price > {threshold} \
+                 do raise event PriceAbove(quotes.symbol, quotes.price)"
+            ),
+            1 => format!(
+                "create trigger alert{u} from quotes \
+                 when quotes.symbol = '{sym}' and quotes.price < {threshold} \
+                 do raise event PriceBelow(quotes.symbol, quotes.price)"
+            ),
+            _ => format!(
+                "create trigger alert{u} from quotes when quotes.symbol = '{sym}' \
+                 do raise event Tick(quotes.symbol)"
+            ),
+        };
+        tman.execute_command(&cmd)?;
+    }
+    println!(
+        "created {USERS} triggers in {:.2?} — {} unique expression signatures, {} predicate entries",
+        t0.elapsed(),
+        tman.predicate_index().num_signatures(),
+        tman.predicate_index().num_entries()
+    );
+
+    // Clients listen for their events.
+    let above = tman.subscribe("PriceAbove");
+    let below = tman.subscribe("PriceBelow");
+    let ticks = tman.subscribe("Tick");
+
+    // Stream quotes through the data-source API.
+    let n_quotes = 2_000;
+    let t1 = Instant::now();
+    for _ in 0..n_quotes {
+        let sym = SYMBOLS[rng.gen_range(0..SYMBOLS.len())];
+        let price = rng.gen_range(1.0..600.0);
+        tman.push_token(UpdateDescriptor::insert(
+            src,
+            tman.tuple_for("quotes", vec![Value::str(sym), Value::Float(price)])?,
+        ))?;
+    }
+    tman.run_until_quiescent()?;
+    let dt = t1.elapsed();
+    println!(
+        "processed {n_quotes} quotes against {USERS} triggers in {dt:.2?} \
+         ({:.0} tokens/sec)",
+        n_quotes as f64 / dt.as_secs_f64()
+    );
+    println!(
+        "alerts: {} above, {} below, {} ticks; index probes: {}",
+        above.try_iter().count(),
+        below.try_iter().count(),
+        ticks.try_iter().count(),
+        tman.predicate_index().stats().probes.get(),
+    );
+    if let Some(e) = tman.last_error() {
+        println!("last error: {e}");
+    }
+    Ok(())
+}

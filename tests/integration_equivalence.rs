@@ -1,0 +1,165 @@
+//! The predicate index must agree exactly with the naive ECA baseline on
+//! randomized workloads — same matches, radically different work profile.
+
+use rand::prelude::*;
+use std::sync::Arc;
+use tman_baseline::{NaiveEca, QueryBased};
+use tman_common::{DataSourceId, EventKind, Schema, Tuple, UpdateDescriptor, Value};
+use tman_expr::cnf::{remap_var, to_cnf};
+use tman_expr::signature::analyze_selection;
+use tman_expr::BindCtx;
+use tman_lang::parse_expression;
+use tman_predindex::{IndexConfig, PredicateIndex};
+use tman_sql::Database;
+
+const SRC: DataSourceId = DataSourceId(1);
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("sym", tman_common::DataType::Varchar(8)),
+        ("price", tman_common::DataType::Float),
+        ("vol", tman_common::DataType::Int),
+    ])
+}
+
+/// Random single-source condition generator (mirrors realistic alert
+/// shapes: equality, ranges, conjunctions, disjunctions).
+fn random_cond(rng: &mut StdRng) -> String {
+    let sym = ["AA", "BB", "CC", "DD"][rng.gen_range(0..4)];
+    let p = rng.gen_range(0..100);
+    let v = rng.gen_range(0..1000);
+    match rng.gen_range(0..6) {
+        0 => format!("q.sym = '{sym}'"),
+        1 => format!("q.price > {p}"),
+        2 => format!("q.price > {p} and q.price < {}", p + 20),
+        3 => format!("q.sym = '{sym}' and q.vol >= {v}"),
+        4 => format!("q.sym = '{sym}' or q.price < {p}"),
+        _ => format!("q.vol = {v} and q.price <= {p}"),
+    }
+}
+
+fn random_token(rng: &mut StdRng) -> UpdateDescriptor {
+    let sym = ["AA", "BB", "CC", "DD", "EE"][rng.gen_range(0..5)];
+    UpdateDescriptor::insert(
+        SRC,
+        Tuple::new(vec![
+            Value::str(sym),
+            Value::Float(rng.gen_range(0.0..120.0)),
+            Value::Int(rng.gen_range(0..1100)),
+        ]),
+    )
+}
+
+#[test]
+fn predicate_index_agrees_with_naive_eca() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let schema = schema();
+    let index = PredicateIndex::new(IndexConfig::default());
+    let eca = NaiveEca::new();
+
+    for t in 0..400u64 {
+        let cond = random_cond(&mut rng);
+        // Register with the index.
+        let ctx = BindCtx::new(vec![("q".into(), &schema)]);
+        let cnf = to_cnf(&ctx.pred(&parse_expression(&cond).unwrap()).unwrap()).unwrap();
+        let canon = remap_var(&cnf, 0, 0, "q");
+        let (sig, consts) = analyze_selection(&canon, SRC, EventKind::Insert, vec![]);
+        index
+            .add_predicate(
+                SRC,
+                &schema,
+                sig,
+                consts,
+                tman_common::ExprId(t),
+                tman_common::TriggerId(t),
+                tman_common::NodeId(0),
+            )
+            .unwrap();
+        // Register with the baseline.
+        eca.add_trigger(tman_common::TriggerId(t), SRC, EventKind::Insert, "q", &schema, &cond)
+            .unwrap();
+    }
+    // Far fewer signatures than triggers (the paper's premise).
+    assert!(index.num_signatures() <= 8, "{} signatures", index.num_signatures());
+
+    for i in 0..500 {
+        let tok = random_token(&mut rng);
+        let mut a: Vec<u64> = index
+            .match_token_vec(&tok)
+            .unwrap()
+            .into_iter()
+            .map(|m| m.trigger_id.raw())
+            .collect();
+        let mut b: Vec<u64> =
+            eca.match_token(&tok).unwrap().into_iter().map(|t| t.raw()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "token {i}: {tok:?}");
+    }
+    // Work comparison: the ECA baseline evaluated every trigger per token;
+    // the index only ran residual tests on candidates.
+    assert_eq!(eca.conditions_tested.get(), 400 * 500);
+    assert!(
+        index.stats().residual_tests.get() < eca.conditions_tested.get() / 2,
+        "index did {} residual tests vs {} naive evaluations",
+        index.stats().residual_tests.get(),
+        eca.conditions_tested.get()
+    );
+}
+
+#[test]
+fn all_org_kinds_agree_with_query_baseline() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let schema = schema();
+    let db = Arc::new(Database::open_memory(1024));
+    let qb = QueryBased::new(db.clone());
+    qb.register_source(SRC, &schema).unwrap();
+
+    let index = PredicateIndex::with_database(IndexConfig::default(), db);
+    for t in 0..150u64 {
+        let sym = ["AA", "BB", "CC"][rng.gen_range(0..3)];
+        let p = rng.gen_range(0..100);
+        let cond_ix = format!("q.sym = '{sym}' and q.price > {p}");
+        let cond_qb = format!("sym = '{sym}' and price > {p}");
+        let ctx = BindCtx::new(vec![("q".into(), &schema)]);
+        let cnf = to_cnf(&ctx.pred(&parse_expression(&cond_ix).unwrap()).unwrap()).unwrap();
+        let (sig, consts) =
+            analyze_selection(&remap_var(&cnf, 0, 0, "q"), SRC, EventKind::Insert, vec![]);
+        index
+            .add_predicate(
+                SRC,
+                &schema,
+                sig,
+                consts,
+                tman_common::ExprId(t),
+                tman_common::TriggerId(t),
+                tman_common::NodeId(0),
+            )
+            .unwrap();
+        qb.add_trigger(tman_common::TriggerId(t), SRC, EventKind::Insert, &cond_qb).unwrap();
+    }
+
+    let sig_rt = index.source(SRC).unwrap().signatures()[0].clone();
+    for kind in [
+        tman_predindex::OrgKind::MemList,
+        tman_predindex::OrgKind::MemIndex,
+        tman_predindex::OrgKind::DbTable,
+        tman_predindex::OrgKind::DbIndexed,
+    ] {
+        sig_rt.set_org(kind).unwrap();
+        for _ in 0..60 {
+            let tok = random_token(&mut rng);
+            let mut a: Vec<u64> = index
+                .match_token_vec(&tok)
+                .unwrap()
+                .into_iter()
+                .map(|m| m.trigger_id.raw())
+                .collect();
+            let mut b: Vec<u64> =
+                qb.match_token(&tok).unwrap().into_iter().map(|t| t.raw()).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+}

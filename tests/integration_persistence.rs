@@ -1,0 +1,152 @@
+//! Durability: catalogs, constant tables, the persistent update queue and
+//! trigger recompilation across restarts.
+
+use tman_common::Value;
+use triggerman::{Config, QueueMode, TriggerMan};
+
+fn tmpfile(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tman_it_{tag}_{}.db", std::process::id()))
+}
+
+#[test]
+fn full_restart_cycle_with_many_triggers() {
+    let path = tmpfile("many");
+    let _ = std::fs::remove_file(&path);
+    let cfg = Config { queue_mode: QueueMode::Persistent, ..Default::default() };
+    {
+        let tman = TriggerMan::open_file(&path, cfg.clone()).unwrap();
+        tman.run_sql("create table s (k int, v varchar(16))").unwrap();
+        tman.execute_command("define data source s from table s").unwrap();
+        for i in 0..300 {
+            tman.execute_command(&format!(
+                "create trigger r{i} from s when s.k = {i} do notify 'r{i}'"
+            ))
+            .unwrap();
+        }
+        // Base data + unprocessed updates.
+        tman.run_sql("insert into s values (42, 'pending')").unwrap();
+        tman.checkpoint().unwrap();
+    }
+    {
+        let tman = TriggerMan::open_file(&path, cfg.clone()).unwrap();
+        assert_eq!(tman.trigger_names().len(), 300);
+        assert_eq!(tman.predicate_index().num_entries(), 300);
+        assert_eq!(tman.predicate_index().num_signatures(), 1);
+        let rx = tman.subscribe("notify");
+        // The queued token from before the restart processes now.
+        tman.run_until_quiescent().unwrap();
+        let msgs: Vec<String> = rx.try_iter().filter_map(|n| n.message).collect();
+        assert_eq!(msgs, vec!["r42".to_string()]);
+        // Base table rows survived too.
+        assert_eq!(tman.run_sql("select * from s").unwrap().rows().len(), 1);
+        // Drop some triggers, restart again.
+        for i in 0..100 {
+            tman.execute_command(&format!("drop trigger r{i}")).unwrap();
+        }
+        tman.checkpoint().unwrap();
+    }
+    {
+        let tman = TriggerMan::open_file(&path, cfg).unwrap();
+        assert_eq!(tman.trigger_names().len(), 200);
+        let rx = tman.subscribe("notify");
+        tman.run_sql("insert into s values (50, 'x')").unwrap();
+        tman.run_sql("insert into s values (150, 'y')").unwrap();
+        tman.run_until_quiescent().unwrap();
+        let mut msgs: Vec<String> = rx.try_iter().filter_map(|n| n.message).collect();
+        msgs.sort();
+        assert_eq!(msgs, vec!["r150".to_string()]); // r50 was dropped
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn enabled_flags_survive_restart() {
+    let path = tmpfile("flags");
+    let _ = std::fs::remove_file(&path);
+    {
+        let tman = TriggerMan::open_file(&path, Config::default()).unwrap();
+        tman.run_sql("create table t (x int)").unwrap();
+        tman.execute_command("define data source t from table t").unwrap();
+        tman.execute_command("create trigger on_t from t when t.x = 1 do notify 'hit'").unwrap();
+        tman.execute_command("disable trigger on_t").unwrap();
+        tman.checkpoint().unwrap();
+    }
+    {
+        let tman = TriggerMan::open_file(&path, Config::default()).unwrap();
+        let rx = tman.subscribe("notify");
+        tman.run_sql("insert into t values (1)").unwrap();
+        tman.run_until_quiescent().unwrap();
+        assert!(rx.try_recv().is_err(), "disabled flag must persist");
+        tman.execute_command("enable trigger on_t").unwrap();
+        tman.run_sql("insert into t values (1)").unwrap();
+        tman.run_until_quiescent().unwrap();
+        assert!(rx.try_recv().is_ok());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn signature_catalog_reflects_organizations() {
+    let path = tmpfile("sigcat");
+    let _ = std::fs::remove_file(&path);
+    {
+        let cfg = Config {
+            index: tman_predindex::IndexConfig {
+                list_to_index: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let tman = TriggerMan::open_file(&path, cfg).unwrap();
+        tman.run_sql("create table t (x int)").unwrap();
+        tman.execute_command("define data source t from table t").unwrap();
+        for i in 0..50 {
+            tman.execute_command(&format!(
+                "create trigger g{i} from t when t.x = {i} do notify 'x'"
+            ))
+            .unwrap();
+        }
+        tman.checkpoint().unwrap();
+        // Catalog rows carry size + organization.
+        let rows = tman
+            .run_sql("select constantSetSize, constantSetOrganization from expression_signature")
+            .unwrap()
+            .rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int(50));
+        assert_eq!(rows[0].get(1), &Value::str("mem_index"));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn join_triggers_reprime_after_restart() {
+    let path = tmpfile("joins");
+    let _ = std::fs::remove_file(&path);
+    let cfg = Config { network: triggerman::NetworkKind::Treat, ..Default::default() };
+    {
+        let tman = TriggerMan::open_file(&path, cfg.clone()).unwrap();
+        tman.run_sql("create table l (x int)").unwrap();
+        tman.run_sql("create table r (y int)").unwrap();
+        tman.execute_command("define data source l from table l").unwrap();
+        tman.execute_command("define data source r from table r").unwrap();
+        tman.run_sql("insert into r values (7)").unwrap();
+        tman.run_until_quiescent().unwrap();
+        tman.execute_command(
+            "create trigger lr from l, r when l.x = r.y do raise event LR(l.x)",
+        )
+        .unwrap();
+        tman.checkpoint().unwrap();
+    }
+    {
+        // After restart the TREAT alpha memories must be re-primed from the
+        // base table (r still holds 7).
+        let tman = TriggerMan::open_file(&path, cfg).unwrap();
+        let rx = tman.subscribe("LR");
+        tman.run_sql("insert into l values (7)").unwrap();
+        tman.run_until_quiescent().unwrap();
+        assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+        assert_eq!(rx.try_recv().unwrap().values, vec![Value::Int(7)]);
+    }
+    let _ = std::fs::remove_file(&path);
+}

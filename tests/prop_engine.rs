@@ -1,0 +1,96 @@
+//! Randomized end-to-end property test: the full engine (parser →
+//! signatures → predicate index → network → actions) agrees with the naive
+//! ECA baseline on which triggers fire for which updates.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tman_baseline::NaiveEca;
+use tman_common::{EventKind, Tuple, UpdateDescriptor, Value};
+use triggerman::{Config, TriggerMan};
+
+#[derive(Debug, Clone)]
+struct Cond(String);
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    let sym = 0u32..6;
+    let price = 0i64..100;
+    prop_oneof![
+        sym.clone().prop_map(|s| Cond(format!("q.sym = 'S{s}'"))),
+        price.clone().prop_map(|p| Cond(format!("q.price > {p}"))),
+        (price.clone(), 1i64..30)
+            .prop_map(|(p, w)| Cond(format!("q.price > {p} and q.price <= {}", p + w))),
+        (sym.clone(), price.clone())
+            .prop_map(|(s, p)| Cond(format!("q.sym = 'S{s}' and q.price >= {p}"))),
+        (sym.clone(), sym.clone())
+            .prop_map(|(a, b)| Cond(format!("q.sym = 'S{a}' or q.sym = 'S{b}'"))),
+        price.clone().prop_map(|p| Cond(format!("not (q.price <= {p})"))),
+        (0i64..50).prop_map(|v| Cond(format!("q.vol = {v}"))),
+        (sym, 0i64..50).prop_map(|(s, v)| {
+            Cond(format!("q.sym <> 'S{s}' and q.vol = {v}"))
+        }),
+    ]
+}
+
+fn arb_token() -> impl Strategy<Value = (u32, i64, i64)> {
+    (0u32..8, 0i64..110, 0i64..55)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_equal_naive_baseline(
+        conds in proptest::collection::vec(arb_cond(), 1..24),
+        toks in proptest::collection::vec(arb_token(), 1..24),
+    ) {
+        let tman = TriggerMan::open_memory(Config::default()).unwrap();
+        tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+            .unwrap();
+        let src = tman.source("q").unwrap().id;
+        let schema = tman.source("q").unwrap().schema.clone();
+        let eca = NaiveEca::new();
+        let rx = tman.events().subscribe_all();
+
+        for (i, c) in conds.iter().enumerate() {
+            tman.execute_command(&format!(
+                "create trigger p{i} from q when {} do raise event T{i}(q.sym)",
+                c.0
+            ))
+            .unwrap();
+            eca.add_trigger(
+                tman_common::TriggerId(i as u64),
+                src,
+                EventKind::InsertOrUpdate,
+                "q",
+                &schema,
+                &c.0,
+            )
+            .unwrap();
+        }
+
+        for (s, p, v) in &toks {
+            let tuple = Tuple::new(vec![
+                Value::str(format!("S{s}")),
+                Value::Float(*p as f64),
+                Value::Int(*v),
+            ]);
+            let tok = UpdateDescriptor::insert(src, tuple);
+            tman.push_token(tok.clone()).unwrap();
+            tman.run_until_quiescent().unwrap();
+            prop_assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+
+            let mut engine_fired: Vec<String> =
+                rx.try_iter().map(|n| n.event.to_lowercase()).collect();
+            engine_fired.sort();
+            let mut baseline: Vec<String> = eca
+                .match_token(&tok)
+                .unwrap()
+                .into_iter()
+                .map(|t| format!("t{}", t.raw()))
+                .collect();
+            baseline.sort();
+            prop_assert_eq!(engine_fired, baseline, "token {:?}", tok);
+        }
+        let _ = Arc::strong_count(&tman);
+    }
+}
