@@ -21,9 +21,7 @@
 use parking_lot::RwLock;
 use std::sync::Arc;
 use tman_common::stats::Counter;
-use tman_common::{
-    DataSourceId, EventKind, Result, Schema, TriggerId, UpdateDescriptor, Value,
-};
+use tman_common::{DataSourceId, EventKind, Result, Schema, TriggerId, UpdateDescriptor, Value};
 use tman_expr::cnf::{remap_var, to_cnf, Cnf};
 use tman_expr::scalar::Env;
 use tman_expr::BindCtx;
@@ -93,7 +91,10 @@ impl NaiveEca {
     pub fn match_token(&self, token: &UpdateDescriptor) -> Result<Vec<TriggerId>> {
         let tuple = token.probe_tuple();
         let bind = Some(tuple);
-        let env = Env { tuples: std::slice::from_ref(&bind), consts: &[] };
+        let env = Env {
+            tuples: std::slice::from_ref(&bind),
+            consts: &[],
+        };
         let mut out = Vec::new();
         for t in self.triggers.read().iter() {
             if t.data_src != token.data_src || !t.event.accepts(token.op) {
@@ -121,7 +122,11 @@ pub struct QueryBased {
 impl QueryBased {
     /// Processor over its own scratch database.
     pub fn new(db: Arc<Database>) -> QueryBased {
-        QueryBased { db, triggers: RwLock::new(Vec::new()), queries_run: Counter::new() }
+        QueryBased {
+            db,
+            triggers: RwLock::new(Vec::new()),
+            queries_run: Counter::new(),
+        }
     }
 
     fn delta_table(&self, src: DataSourceId) -> String {
@@ -217,7 +222,10 @@ mod tests {
     const SRC: DataSourceId = DataSourceId(1);
 
     fn tok(name: &str, sal: f64, dept: i64) -> UpdateDescriptor {
-        simple_token(SRC, vec![Value::str(name), Value::Float(sal), Value::Int(dept)])
+        simple_token(
+            SRC,
+            vec![Value::str(name), Value::Float(sal), Value::Int(dept)],
+        )
     }
 
     #[test]
@@ -237,7 +245,7 @@ mod tests {
         }
         let hits = eca.match_token(&tok("x", 5_500.0, 1)).unwrap();
         assert_eq!(hits.len(), 6); // thresholds 0..=5000
-        // Linear: all 100 conditions evaluated for one token.
+                                   // Linear: all 100 conditions evaluated for one token.
         assert_eq!(eca.conditions_tested.get(), 100);
     }
 
@@ -245,12 +253,30 @@ mod tests {
     fn naive_eca_filters_by_source_and_event() {
         let eca = NaiveEca::new();
         let schema = emp();
-        eca.add_trigger(TriggerId(1), SRC, EventKind::Delete, "emp", &schema, "emp.dept = 1")
-            .unwrap();
-        eca.add_trigger(TriggerId(2), DataSourceId(9), EventKind::Insert, "emp", &schema, "emp.dept = 1")
-            .unwrap();
+        eca.add_trigger(
+            TriggerId(1),
+            SRC,
+            EventKind::Delete,
+            "emp",
+            &schema,
+            "emp.dept = 1",
+        )
+        .unwrap();
+        eca.add_trigger(
+            TriggerId(2),
+            DataSourceId(9),
+            EventKind::Insert,
+            "emp",
+            &schema,
+            "emp.dept = 1",
+        )
+        .unwrap();
         assert!(eca.match_token(&tok("x", 1.0, 1)).unwrap().is_empty());
-        assert_eq!(eca.conditions_tested.get(), 0, "non-applicable triggers skipped");
+        assert_eq!(
+            eca.conditions_tested.get(),
+            0,
+            "non-applicable triggers skipped"
+        );
     }
 
     #[test]
@@ -285,9 +311,17 @@ mod tests {
         for i in 0..30u64 {
             let cond_eca = format!("emp.dept = {} and emp.salary > {}", i % 3, i * 100);
             let cond_qb = format!("dept = {} and salary > {}", i % 3, i * 100);
-            eca.add_trigger(TriggerId(i), SRC, EventKind::Insert, "emp", &schema, &cond_eca)
+            eca.add_trigger(
+                TriggerId(i),
+                SRC,
+                EventKind::Insert,
+                "emp",
+                &schema,
+                &cond_eca,
+            )
+            .unwrap();
+            qb.add_trigger(TriggerId(i), SRC, EventKind::Insert, &cond_qb)
                 .unwrap();
-            qb.add_trigger(TriggerId(i), SRC, EventKind::Insert, &cond_qb).unwrap();
         }
         for t in [tok("a", 500.0, 0), tok("b", 5000.0, 1), tok("c", 0.0, 2)] {
             let mut a = eca.match_token(&t).unwrap();

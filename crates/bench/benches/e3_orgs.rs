@@ -20,7 +20,12 @@ fn bench_orgs(c: &mut Criterion) {
     let tokens = quote_tokens(64, 4, 7);
 
     let mut group = c.benchmark_group("e3_constant_set_org");
-    for kind in [OrgKind::MemList, OrgKind::MemIndex, OrgKind::DbTable, OrgKind::DbIndexed] {
+    for kind in [
+        OrgKind::MemList,
+        OrgKind::MemIndex,
+        OrgKind::DbTable,
+        OrgKind::DbIndexed,
+    ] {
         sig.set_org(kind).unwrap();
         if matches!(kind, OrgKind::MemList | OrgKind::DbTable) {
             group.sample_size(10); // the linear organizations are slow here

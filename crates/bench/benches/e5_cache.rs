@@ -8,7 +8,10 @@ use triggerman::Config;
 fn bench_cache(c: &mut Criterion) {
     let n = 4_096;
     let mk = |capacity: usize| {
-        let cfg = Config { trigger_cache_capacity: capacity, ..Default::default() };
+        let cfg = Config {
+            trigger_cache_capacity: capacity,
+            ..Default::default()
+        };
         let tman = triggerman::TriggerMan::open_memory(cfg).unwrap();
         tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
             .unwrap();

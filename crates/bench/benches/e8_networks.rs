@@ -47,7 +47,12 @@ fn build(kind: NetworkKind) -> (Network, MemSource) {
 
 fn bench_networks(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_house_insert");
-    for kind in [NetworkKind::Treat, NetworkKind::ATreat, NetworkKind::Rete, NetworkKind::Gator] {
+    for kind in [
+        NetworkKind::Treat,
+        NetworkKind::ATreat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
         let (net, src) = build(kind);
         let mut hno = 0i64;
         group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), 0), &0, |b, _| {
@@ -55,9 +60,11 @@ fn bench_networks(c: &mut Criterion) {
                 hno += 1;
                 let t = Tuple::new(vec![Value::Int(hno), Value::Int(hno % 500)]);
                 let mut fires = 0usize;
-                net.activate(1, Polarity::Plus, &t, &src, &mut |_| fires += 1).unwrap();
+                net.activate(1, Polarity::Plus, &t, &src, &mut |_| fires += 1)
+                    .unwrap();
                 // Retract so memories don't grow across iterations.
-                net.activate(1, Polarity::Minus, &t, &src, &mut |_| {}).unwrap();
+                net.activate(1, Polarity::Minus, &t, &src, &mut |_| {})
+                    .unwrap();
                 fires
             })
         });

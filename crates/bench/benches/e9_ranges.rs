@@ -9,7 +9,10 @@ use tman_predindex::{IndexConfig, OrgKind, PredicateIndex};
 
 fn bench_ranges(c: &mut Criterion) {
     let n = 10_000;
-    let ix = PredicateIndex::new(IndexConfig { list_to_index: usize::MAX, ..Default::default() });
+    let ix = PredicateIndex::new(IndexConfig {
+        list_to_index: usize::MAX,
+        ..Default::default()
+    });
     let mut r = rng(51);
     for i in 0..n {
         let lo = r.gen_range(0..100_000);
@@ -24,7 +27,10 @@ fn bench_ranges(c: &mut Criterion) {
     let tokens = quote_tokens(64, 4, 52);
 
     let mut group = c.benchmark_group("e9_range_stab");
-    for (label, kind) in [("mem_list", OrgKind::MemList), ("interval_index", OrgKind::MemIndex)] {
+    for (label, kind) in [
+        ("mem_list", OrgKind::MemList),
+        ("interval_index", OrgKind::MemIndex),
+    ] {
         sig.set_org(kind).unwrap();
         if kind == OrgKind::MemList {
             group.sample_size(10);

@@ -6,13 +6,14 @@
 //! cargo run --release -p tman-bench --bin experiments -- e3 e9   # selected
 //! ```
 
+use rand::Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use rand::Rng;
 use tman_bench::*;
 use tman_common::{EventKind, UpdateDescriptor, Value};
 use tman_predindex::{IndexConfig, OrgKind, PredicateIndex};
 use tman_sql::Database;
+use tman_telemetry::Registry;
 use triggerman::{Config, NetworkKind, QueueMode, TriggerMan};
 
 struct Opts {
@@ -22,7 +23,11 @@ struct Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let opts = Opts { quick };
     type Experiment = fn(&Opts);
     let all: &[(&str, Experiment)] = &[
@@ -39,7 +44,11 @@ fn main() {
     ];
     for (name, f) in all {
         if selected.is_empty() || selected.contains(name) {
-            println!("\n## {} {}\n", name.to_uppercase(), if quick { "(quick)" } else { "" });
+            println!(
+                "\n## {} {}\n",
+                name.to_uppercase(),
+                if quick { "(quick)" } else { "" }
+            );
             f(&opts);
         }
     }
@@ -48,15 +57,27 @@ fn main() {
 /// E1 — tokens/sec vs number of triggers: signature predicate index vs
 /// naive ECA scan vs query-based (RPL/DIPS). Paper anchor: §1/§8, Figure 3.
 fn e1_scaling(o: &Opts) {
-    let sizes: &[usize] = if o.quick { &[100, 1_000, 10_000] } else { &[100, 1_000, 10_000, 100_000] };
+    let sizes: &[usize] = if o.quick {
+        &[100, 1_000, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
     let n_syms = 200;
     let mut table = Table::new(&[
-        "triggers", "index tok/s", "eca tok/s", "query tok/s", "matches/tok",
-        "index evals/tok", "eca evals/tok",
+        "triggers",
+        "index tok/s",
+        "eca tok/s",
+        "query tok/s",
+        "matches/tok",
+        "index evals/tok",
+        "eca evals/tok",
     ]);
+    let mut metrics_json = String::new();
     for &n in sizes {
         // --- predicate index ---
-        let ix = PredicateIndex::new(IndexConfig::default());
+        let registry = Registry::new();
+        let mut ix = PredicateIndex::new(IndexConfig::default());
+        ix.attach_telemetry(&registry);
         build_index(&ix, n, Template::all(), n_syms, 1);
         let tokens = quote_tokens(if o.quick { 2_000 } else { 5_000 }, n_syms, 2);
         let mut matches = 0usize;
@@ -65,8 +86,7 @@ fn e1_scaling(o: &Opts) {
                 ix.match_token(t, &mut |_| matches += 1).unwrap();
             }
         });
-        let evals_per_tok =
-            ix.stats().residual_tests.get() as f64 / tokens.len() as f64;
+        let evals_per_tok = ix.stats().residual_tests.get() as f64 / tokens.len() as f64;
         let matches_per_tok = matches as f64 / tokens.len() as f64;
 
         // --- naive ECA ---
@@ -102,8 +122,13 @@ fn e1_scaling(o: &Opts) {
         for i in 0..n {
             let t = Template::all()[i % Template::all().len()];
             let cond = t.condition(&mut r, n_syms).replace("q.", "");
-            qb.add_trigger(tman_common::TriggerId(i as u64), QUOTES, EventKind::Insert, &cond)
-                .unwrap();
+            qb.add_trigger(
+                tman_common::TriggerId(i as u64),
+                QUOTES,
+                EventKind::Insert,
+                &cond,
+            )
+            .unwrap();
         }
         let (_, d_qb) = time_it(|| {
             for t in tokens.iter().take(qb_tokens) {
@@ -120,23 +145,36 @@ fn e1_scaling(o: &Opts) {
             format!("{evals_per_tok:.1}"),
             n.to_string(),
         ]);
+        metrics_json = registry.render_json();
     }
     table.print();
+    dump_metrics("e1", &metrics_json);
 }
 
 /// E2 — Figure 4 ablation: normalized (CSE) vs denormalized constant sets.
 fn e2_cse(o: &Opts) {
-    let sizes: &[usize] = if o.quick { &[100, 1_000, 10_000] } else { &[100, 1_000, 10_000, 100_000] };
+    let sizes: &[usize] = if o.quick {
+        &[100, 1_000, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
     let mut table = Table::new(&[
-        "triggers (same constant)", "norm bytes", "denorm bytes", "norm miss ns", "denorm miss ns",
+        "triggers (same constant)",
+        "norm bytes",
+        "denorm bytes",
+        "norm miss ns",
+        "denorm miss ns",
     ]);
+    let mut metrics_json = String::new();
     for &n in sizes {
+        let registry = Registry::new();
         let mk = |normalized: bool| {
-            let ix = PredicateIndex::new(IndexConfig {
+            let mut ix = PredicateIndex::new(IndexConfig {
                 normalized,
                 list_to_index: usize::MAX, // stay a list: the Figure-4 layouts
                 ..Default::default()
             });
+            ix.attach_telemetry(&registry);
             for i in 0..n {
                 add_to_index(&ix, i as u64, "q.sym = 'HOT'", EventKind::Insert);
             }
@@ -146,11 +184,7 @@ fn e2_cse(o: &Opts) {
         let denorm = mk(false);
         let miss = UpdateDescriptor::insert(
             QUOTES,
-            tman_common::Tuple::new(vec![
-                Value::str("COLD"),
-                Value::Float(1.0),
-                Value::Int(1),
-            ]),
+            tman_common::Tuple::new(vec![Value::str("COLD"), Value::Float(1.0), Value::Int(1)]),
         );
         let probes = 2_000;
         let (_, d_norm) = time_it(|| {
@@ -170,28 +204,45 @@ fn e2_cse(o: &Opts) {
             format!("{:.0}", nanos_per(probes, d_norm)),
             format!("{:.0}", nanos_per(probes, d_denorm)),
         ]);
+        metrics_json = registry.render_json();
     }
     table.print();
+    dump_metrics("e2", &metrics_json);
 }
 
 /// E3 — §5.2: the four constant-set organizations across equivalence-class
 /// sizes: probe latency, memory, page I/O.
 fn e3_orgs(o: &Opts) {
-    let sizes: &[usize] =
-        if o.quick { &[10, 1_000, 10_000] } else { &[10, 100, 1_000, 10_000, 100_000] };
+    let sizes: &[usize] = if o.quick {
+        &[10, 1_000, 10_000]
+    } else {
+        &[10, 100, 1_000, 10_000, 100_000]
+    };
     let mut table = Table::new(&[
-        "class size", "org", "probe ns", "memory", "pages read/probe",
+        "class size",
+        "org",
+        "probe ns",
+        "memory",
+        "pages read/probe",
     ]);
+    let mut metrics_json = String::new();
     for &n in sizes {
+        let registry = Registry::new();
         let db = Arc::new(Database::open_memory(1024));
-        let ix = PredicateIndex::with_database(IndexConfig::default(), db.clone());
+        let mut ix = PredicateIndex::with_database(IndexConfig::default(), db.clone());
+        ix.attach_telemetry(&registry);
         for i in 0..n {
             add_to_index(&ix, i as u64, &format!("q.vol = {i}"), EventKind::Insert);
         }
         let sig = ix.source(QUOTES).unwrap().signatures()[0].clone();
         let probes = if n >= 10_000 { 200 } else { 2_000 };
         let tokens = quote_tokens(probes, 4, 7);
-        for kind in [OrgKind::MemList, OrgKind::MemIndex, OrgKind::DbTable, OrgKind::DbIndexed] {
+        for kind in [
+            OrgKind::MemList,
+            OrgKind::MemIndex,
+            OrgKind::DbTable,
+            OrgKind::DbIndexed,
+        ] {
             if kind == OrgKind::DbTable && n > 10_000 {
                 // The full-scan org at 100k entries × probes is pointless
                 // pain; report one decade less often.
@@ -224,13 +275,17 @@ fn e3_orgs(o: &Opts) {
                 format!("{:.1}", (reads1 - reads0) as f64 / probes as f64),
             ]);
         }
+        metrics_json = registry.render_json();
     }
     table.print();
+    dump_metrics("e3", &metrics_json);
 }
 
 /// E4 — §6 / Figure 5: token-, condition-, and action-level concurrency.
 fn e4_concurrency(o: &Opts) {
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "host parallelism: {cpus} CPU(s).{}",
         if cpus == 1 {
@@ -242,6 +297,8 @@ fn e4_concurrency(o: &Opts) {
     );
     let threads: &[usize] = &[1, 2, 4, 8];
     let n_tokens = if o.quick { 10_000 } else { 40_000 };
+
+    let mut metrics_json = String::new();
 
     // (a) token-level: P drivers drain a shared queue.
     let mut ta = Table::new(&["drivers", "tokens/s", "speedup"]);
@@ -323,16 +380,23 @@ fn e4_concurrency(o: &Opts) {
         if base_b == 0.0 {
             base_b = r;
         }
-        tb.row(vec![format!("{p}x{p}"), human(r), format!("{:.2}x", r / base_b)]);
+        tb.row(vec![
+            format!("{p}x{p}"),
+            human(r),
+            format!("{:.2}x", r / base_b),
+        ]);
     }
     println!("\n(b) condition-level concurrency (M = {m} same-condition triggers)");
     tb.print();
 
     // (c) rule-action concurrency: inline vs async actions with P drivers.
     let mut tc = Table::new(&["mode", "drivers", "actions/s"]);
-    for (label, async_actions, p) in
-        [("inline", false, 1), ("inline", false, 4), ("async", true, 1), ("async", true, 4)]
-    {
+    for (label, async_actions, p) in [
+        ("inline", false, 1),
+        ("inline", false, 4),
+        ("async", true, 1),
+        ("async", true, 4),
+    ] {
         let cfg = Config {
             num_cpus: Some(p),
             async_actions,
@@ -363,9 +427,11 @@ fn e4_concurrency(o: &Opts) {
         let d = t0.elapsed();
         pool.stop();
         tc.row(vec![label.into(), p.to_string(), human(rate(n_actions, d))]);
+        metrics_json = tman.render_metrics_json();
     }
     println!("\n(c) rule-action concurrency (50 actions per token, execSQL)");
     tc.print();
+    dump_metrics("e4", &metrics_json);
 }
 
 /// E5 — §5.1: trigger-cache hit rate and throughput vs capacity under
@@ -382,8 +448,12 @@ fn e5_cache(o: &Opts) {
             .map(|_| zipf.sample(&mut r) as i64)
             .collect::<Vec<_>>()
     };
+    let mut metrics_json = String::new();
     for &cap in caps {
-        let cfg = Config { trigger_cache_capacity: cap, ..Default::default() };
+        let cfg = Config {
+            trigger_cache_capacity: cap,
+            ..Default::default()
+        };
         let tman = TriggerMan::open_memory(cfg).unwrap();
         tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
             .unwrap();
@@ -397,11 +467,7 @@ fn e5_cache(o: &Opts) {
         for &k in &tokens {
             tman.push_token(UpdateDescriptor::insert(
                 src,
-                tman_common::Tuple::new(vec![
-                    Value::str("X"),
-                    Value::Float(0.0),
-                    Value::Int(k),
-                ]),
+                tman_common::Tuple::new(vec![Value::str("X"), Value::Float(0.0), Value::Int(k)]),
             ))
             .unwrap();
         }
@@ -411,14 +477,17 @@ fn e5_cache(o: &Opts) {
             format!("{:.3}", tman.trigger_cache().stats().hit_rate()),
             human(rate(tokens.len(), d)),
         ]);
+        metrics_json = tman.render_metrics_json();
     }
     table.print();
+    dump_metrics("e5", &metrics_json);
 }
 
 /// E6 — §6: the driver loop. Burst drain time and idle-arrival latency vs
 /// THRESHOLD and T; persistent vs volatile queue.
 fn e6_driver(o: &Opts) {
     let burst = if o.quick { 5_000 } else { 20_000 };
+    let mut metrics_json = String::new();
     let mut table = Table::new(&["THRESHOLD", "T", "burst drain tok/s", "idle latency (ms)"]);
     for (threshold_ms, t_ms) in [(250u64, 250u64), (50, 50), (10, 10), (250, 10), (10, 250)] {
         let cfg = Config {
@@ -447,11 +516,7 @@ fn e6_driver(o: &Opts) {
             let t0 = Instant::now();
             tman.push_token(UpdateDescriptor::insert(
                 src,
-                tman_common::Tuple::new(vec![
-                    Value::str("S1"),
-                    Value::Float(999.0),
-                    Value::Int(1),
-                ]),
+                tman_common::Tuple::new(vec![Value::str("S1"), Value::Float(999.0), Value::Int(1)]),
             ))
             .unwrap();
             while rx.try_recv().is_err() {
@@ -474,8 +539,14 @@ fn e6_driver(o: &Opts) {
 
     // Queue-mode comparison.
     let mut tq = Table::new(&["queue mode", "enqueue+drain tok/s"]);
-    for (label, mode) in [("volatile (memory)", QueueMode::Volatile), ("persistent (table)", QueueMode::Persistent)] {
-        let cfg = Config { queue_mode: mode, ..Default::default() };
+    for (label, mode) in [
+        ("volatile (memory)", QueueMode::Volatile),
+        ("persistent (table)", QueueMode::Persistent),
+    ] {
+        let cfg = Config {
+            queue_mode: mode,
+            ..Default::default()
+        };
         let (tman, src) = engine_with_alerts(cfg, 500, Template::all(), 50, 23);
         let tokens = quote_tokens(if o.quick { 2_000 } else { 5_000 }, 50, 24);
         let (_, d) = time_it(|| {
@@ -483,9 +554,11 @@ fn e6_driver(o: &Opts) {
             tman.run_until_quiescent().unwrap();
         });
         tq.row(vec![label.into(), human(rate(tokens.len(), d))]);
+        metrics_json = tman.render_metrics_json();
     }
     println!("\nqueue modes (§3: persistent table vs main-memory queue)");
     tq.print();
+    dump_metrics("e6", &metrics_json);
 }
 
 /// E7 — §5.1: create-trigger cost stays flat as the population grows
@@ -520,6 +593,7 @@ fn e7_create(o: &Opts) {
         tman.predicate_index().num_signatures(),
         tman.predicate_index().num_entries()
     );
+    dump_metrics("e7", &tman.render_metrics_json());
 }
 
 /// E8 — §3/§4: discrimination networks on the real-estate join workload.
@@ -527,21 +601,43 @@ fn e8_networks(o: &Opts) {
     let n_sales = 200;
     let n_reps = 800;
     let n_houses = if o.quick { 1_000 } else { 3_000 };
-    let mut table = Table::new(&["network", "house tokens/s", "stored tuples", "rep-churn tok/s"]);
-    for kind in [NetworkKind::ATreat, NetworkKind::Treat, NetworkKind::Rete, NetworkKind::Gator] {
-        let cfg = Config { network: kind, ..Default::default() };
+    let mut metrics_json = String::new();
+    let mut table = Table::new(&[
+        "network",
+        "house tokens/s",
+        "stored tuples",
+        "rep-churn tok/s",
+    ]);
+    for kind in [
+        NetworkKind::ATreat,
+        NetworkKind::Treat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
+        let cfg = Config {
+            network: kind,
+            ..Default::default()
+        };
         let tman = TriggerMan::open_memory(cfg).unwrap();
         for (ddl, src) in [
-            ("create table salesperson (spno int, name varchar(20))", "salesperson"),
-            ("create table house (hno int, price float, nno int)", "house"),
+            (
+                "create table salesperson (spno int, name varchar(20))",
+                "salesperson",
+            ),
+            (
+                "create table house (hno int, price float, nno int)",
+                "house",
+            ),
             ("create table represents (spno int, nno int)", "represents"),
         ] {
             tman.run_sql(ddl).unwrap();
-            tman.execute_command(&format!("define data source {src} from table {src}")).unwrap();
+            tman.execute_command(&format!("define data source {src} from table {src}"))
+                .unwrap();
         }
         let mut r = rng(41);
         for s in 0..n_sales {
-            tman.run_sql(&format!("insert into salesperson values ({s}, 'P{s}')")).unwrap();
+            tman.run_sql(&format!("insert into salesperson values ({s}, 'P{s}')"))
+                .unwrap();
         }
         for _ in 0..n_reps {
             tman.run_sql(&format!(
@@ -594,21 +690,33 @@ fn e8_networks(o: &Opts) {
             stored.to_string(),
             human(rate(churn, d2)),
         ]);
+        metrics_json = tman.render_metrics_json();
     }
     table.print();
+    dump_metrics("e8", &metrics_json);
 }
 
 /// E9 — range-predicate indexing: interval index vs linear list as the
 /// equivalence class grows (\[Hans96b\]; the paper's §9 future work).
 fn e9_ranges(o: &Opts) {
-    let sizes: &[usize] =
-        if o.quick { &[100, 1_000, 10_000] } else { &[100, 1_000, 10_000, 100_000] };
-    let mut table = Table::new(&["range triggers", "mem list ns/probe", "interval index ns/probe"]);
+    let sizes: &[usize] = if o.quick {
+        &[100, 1_000, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+    let mut table = Table::new(&[
+        "range triggers",
+        "mem list ns/probe",
+        "interval index ns/probe",
+    ]);
+    let mut metrics_json = String::new();
     for &n in sizes {
-        let ix = PredicateIndex::new(IndexConfig {
+        let registry = Registry::new();
+        let mut ix = PredicateIndex::new(IndexConfig {
             list_to_index: usize::MAX,
             ..Default::default()
         });
+        ix.attach_telemetry(&registry);
         let mut r = rng(51);
         for i in 0..n {
             let lo = r.gen_range(0..100_000);
@@ -637,24 +745,32 @@ fn e9_ranges(o: &Opts) {
             format!("{:.0}", timings[0]),
             format!("{:.0}", timings[1]),
         ]);
+        metrics_json = registry.render_json();
     }
     table.print();
+    dump_metrics("e9", &metrics_json);
 }
 
 /// E10 — §7 trigger application design: M triggers vs one parameterized
 /// trigger joining a parameters table.
 fn e10_design(o: &Opts) {
-    let ms: &[usize] = if o.quick { &[100, 2_000] } else { &[100, 2_000, 20_000] };
-    let mut table = Table::new(&[
-        "alert rules", "design", "setup time", "tokens/s",
-    ]);
+    let ms: &[usize] = if o.quick {
+        &[100, 2_000]
+    } else {
+        &[100, 2_000, 20_000]
+    };
+    let mut table = Table::new(&["alert rules", "design", "setup time", "tokens/s"]);
+    let mut metrics_json = String::new();
     for &m in ms {
         // Design A: M triggers (the scalable-trigger-system way). Size the
         // trigger cache to the population — at M=20k the default 16,384
         // capacity would otherwise measure cache thrash (that effect is
         // E5's subject), not the design tradeoff.
         {
-            let cfg = Config { trigger_cache_capacity: m.max(16_384), ..Default::default() };
+            let cfg = Config {
+                trigger_cache_capacity: m.max(16_384),
+                ..Default::default()
+            };
             let tman = TriggerMan::open_memory(cfg).unwrap();
             tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
                 .unwrap();
@@ -684,8 +800,10 @@ fn e10_design(o: &Opts) {
         // Design B: one trigger + a parameters table (§7's alternative).
         {
             let tman = TriggerMan::open_memory(Config::default()).unwrap();
-            tman.run_sql("create table params (sym varchar(12), threshold float)").unwrap();
-            tman.execute_command("define data source params from table params").unwrap();
+            tman.run_sql("create table params (sym varchar(12), threshold float)")
+                .unwrap();
+            tman.execute_command("define data source params from table params")
+                .unwrap();
             tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
                 .unwrap();
             let src = tman.source("q").unwrap().id;
@@ -716,7 +834,9 @@ fn e10_design(o: &Opts) {
                 format!("{setup:.2?}"),
                 human(rate(n_tok, d)),
             ]);
+            metrics_json = tman.render_metrics_json();
         }
     }
     table.print();
+    dump_metrics("e10", &metrics_json);
 }

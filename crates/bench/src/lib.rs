@@ -8,6 +8,24 @@ pub use workload::*;
 
 use std::time::{Duration, Instant};
 
+/// Write one experiment's metrics snapshot as JSON, to
+/// `$TMAN_METRICS_DIR/{experiment}.json` (default `target/metrics/`), so
+/// runs can be diffed and the engine-internal numbers behind a table
+/// (probe counts, cache hit rates, queue waits) survive alongside it.
+pub fn dump_metrics(experiment: &str, json: &str) {
+    let dir = std::env::var("TMAN_METRICS_DIR").unwrap_or_else(|_| "target/metrics".into());
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("metrics: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("metrics snapshot → {}", path.display()),
+        Err(e) => eprintln!("metrics: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// Time one closure.
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();
@@ -35,7 +53,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row.

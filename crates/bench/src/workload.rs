@@ -9,8 +9,8 @@
 use rand::prelude::*;
 use std::sync::Arc;
 use tman_common::{
-    DataSourceId, DataType, EventKind, ExprId, NodeId, Schema, TriggerId, Tuple,
-    UpdateDescriptor, Value,
+    DataSourceId, DataType, EventKind, ExprId, NodeId, Schema, TriggerId, Tuple, UpdateDescriptor,
+    Value,
 };
 use tman_expr::cnf::{remap_var, to_cnf};
 use tman_expr::signature::analyze_selection;
@@ -114,8 +114,16 @@ pub fn add_to_index(ix: &PredicateIndex, id: u64, cond: &str, event: EventKind) 
     let cnf = to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
     let canon = remap_var(&cnf, 0, 0, "q");
     let (sig, consts) = analyze_selection(&canon, QUOTES, event, vec![]);
-    ix.add_predicate(QUOTES, &schema, sig, consts, ExprId(id), TriggerId(id), NodeId(0))
-        .unwrap();
+    ix.add_predicate(
+        QUOTES,
+        &schema,
+        sig,
+        consts,
+        ExprId(id),
+        TriggerId(id),
+        NodeId(0),
+    )
+    .unwrap();
 }
 
 /// Build a raw predicate index holding `n` triggers drawn from `templates`.
@@ -129,7 +137,12 @@ pub fn build_index(
     let mut r = rng(seed);
     for i in 0..n {
         let t = templates[i % templates.len()];
-        add_to_index(ix, i as u64, &t.condition(&mut r, n_syms), EventKind::Insert);
+        add_to_index(
+            ix,
+            i as u64,
+            &t.condition(&mut r, n_syms),
+            EventKind::Insert,
+        );
     }
 }
 
@@ -178,7 +191,11 @@ pub fn engine_with_alerts(
 }
 
 /// Push `tokens` with the data-source id rewritten to `src`.
-pub fn push_all(tman: &Arc<triggerman::TriggerMan>, src: DataSourceId, tokens: &[UpdateDescriptor]) {
+pub fn push_all(
+    tman: &Arc<triggerman::TriggerMan>,
+    src: DataSourceId,
+    tokens: &[UpdateDescriptor],
+) {
     for t in tokens {
         let mut t = t.clone();
         t.data_src = src;
@@ -208,7 +225,10 @@ mod tests {
         for _ in 0..20_000 {
             ucounts[u.sample(&mut r)] += 1;
         }
-        assert!(ucounts.iter().all(|&c| c > 1_500 && c < 2_500), "{ucounts:?}");
+        assert!(
+            ucounts.iter().all(|&c| c > 1_500 && c < 2_500),
+            "{ucounts:?}"
+        );
     }
 
     #[test]
@@ -227,13 +247,8 @@ mod tests {
 
     #[test]
     fn engine_with_alerts_matches_something() {
-        let (tman, src) = engine_with_alerts(
-            triggerman::Config::default(),
-            200,
-            Template::all(),
-            20,
-            3,
-        );
+        let (tman, src) =
+            engine_with_alerts(triggerman::Config::default(), 200, Template::all(), 20, 3);
         let rx = tman.subscribe("Matched");
         push_all(&tman, src, &quote_tokens(50, 20, 4));
         tman.run_until_quiescent().unwrap();

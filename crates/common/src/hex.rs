@@ -1,0 +1,70 @@
+//! Hex encoding of binary payloads stored in varchar columns.
+//!
+//! The persistent update queue serializes descriptor bodies as hex so they
+//! fit the storage engine's text columns; catalog/storage key-encoding can
+//! reuse the same helpers. Lives here (rather than in the engine) so every
+//! crate below the engine can share one implementation.
+
+use crate::error::{Result, TmanError};
+
+/// Lowercase hex encoding of `bytes` (two characters per byte).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`hex_encode`]. Odd-length or non-hex input is a
+/// [`TmanError::Storage`] error, not a panic — queue bodies come back from
+/// disk and may be corrupt.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return Err(TmanError::Storage("odd-length hex body".into()));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|e| TmanError::Storage(format!("bad hex body: {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255).collect();
+        let enc = hex_encode(&data);
+        assert_eq!(enc.len(), 512);
+        assert_eq!(hex_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn odd_length_is_storage_error() {
+        let err = hex_decode("abc").unwrap_err();
+        assert_eq!(err.kind(), "storage");
+        assert!(err.to_string().contains("odd-length"));
+    }
+
+    #[test]
+    fn non_hex_digit_is_storage_error() {
+        let err = hex_decode("zz").unwrap_err();
+        assert_eq!(err.kind(), "storage");
+    }
+
+    #[test]
+    fn uppercase_input_decodes() {
+        assert_eq!(hex_decode("00FFAB").unwrap(), vec![0, 255, 171]);
+    }
+}

@@ -16,7 +16,10 @@ pub struct Column {
 impl Column {
     /// Build a column.
     pub fn new(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -43,13 +46,8 @@ impl Schema {
 
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Schema {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
-        )
-        .expect("schema literals must not contain duplicates")
+        Schema::new(pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+            .expect("schema literals must not contain duplicates")
     }
 
     /// Columns, in order.

@@ -1,119 +1,90 @@
-//! Lightweight operation counters.
+//! Per-subsystem operation-counter groups.
 //!
 //! The experiments in EXPERIMENTS.md compare *work done* (pages read,
 //! predicates evaluated, cache hits) as well as wall time, because the
-//! paper's disk-vs-memory arguments are about I/O and probe counts. Each
-//! subsystem owns a [`Counter`] group; counters are relaxed atomics so the
-//! hot paths pay one uncontended fetch-add.
+//! paper's disk-vs-memory arguments are about I/O and probe counts.
+//!
+//! The counter implementation itself lives in [`tman_telemetry`] (it grew
+//! gauges, histograms, and a labeled registry around it); this module
+//! re-exports it so existing `tman_common::stats::Counter` imports keep
+//! working, and keeps the per-subsystem stat groups. Counters are held by
+//! `Arc` so the engine can register the *same* instances into a telemetry
+//! [`tman_telemetry::Registry`] — `show stats` and the Prometheus
+//! exposition then read live values with zero extra hot-path work.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-const STRIPES: usize = 16;
-
-#[derive(Debug, Default)]
-#[repr(align(64))]
-struct Stripe(AtomicU64);
-
-static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
-
-std::thread_local! {
-    /// Per-thread stripe index: hot counters are bumped from every driver
-    /// thread hundreds of times per token, so a single atomic would
-    /// ping-pong its cache line across cores and serialize the whole
-    /// engine. Each thread gets its own (aligned) stripe.
-    static STRIPE: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % STRIPES;
-}
-
-/// A monotonically increasing counter, striped per thread to keep hot-path
-/// increments off shared cache lines. Reads sum the stripes (slightly
-/// stale under concurrency, exact once writers quiesce).
-#[derive(Debug, Default)]
-pub struct Counter {
-    stripes: [Stripe; STRIPES],
-}
-
-impl Counter {
-    /// New counter at zero.
-    pub fn new() -> Counter {
-        Counter::default()
-    }
-
-    #[inline]
-    fn my_stripe(&self) -> &AtomicU64 {
-        &self.stripes[STRIPE.with(|s| *s)].0
-    }
-
-    /// Add one.
-    #[inline]
-    pub fn bump(&self) {
-        self.my_stripe().fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Add `n`.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.my_stripe().fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value (sum over stripes).
-    pub fn get(&self) -> u64 {
-        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Reset to zero, returning the previous value.
-    pub fn reset(&self) -> u64 {
-        self.stripes.iter().map(|s| s.0.swap(0, Ordering::Relaxed)).sum()
-    }
-}
-
-impl Clone for Counter {
-    fn clone(&self) -> Self {
-        let c = Counter::new();
-        c.add(self.get());
-        c
-    }
-}
+pub use tman_telemetry::Counter;
 
 /// Storage-layer counters (owned by each `DiskManager`/`BufferPool`, but the
 /// struct lives here so non-storage crates can report them).
 #[derive(Debug, Default, Clone)]
 pub struct StorageStats {
     /// Physical page reads from the backing file / simulated disk.
-    pub page_reads: Counter,
+    pub page_reads: Arc<Counter>,
     /// Physical page writes.
-    pub page_writes: Counter,
+    pub page_writes: Arc<Counter>,
     /// Buffer pool hits (page already resident).
-    pub pool_hits: Counter,
+    pub pool_hits: Arc<Counter>,
     /// Buffer pool misses (page had to be read).
-    pub pool_misses: Counter,
+    pub pool_misses: Arc<Counter>,
     /// Pages evicted to make room.
-    pub evictions: Counter,
+    pub evictions: Arc<Counter>,
+}
+
+impl StorageStats {
+    /// Buffer-pool hit rate in \[0,1\]; zero before any fetch.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let h = self.pool_hits.get() as f64;
+        let m = self.pool_misses.get() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
 }
 
 /// Predicate-index counters.
 #[derive(Debug, Default, Clone)]
 pub struct IndexStats {
     /// Tokens submitted to the root of the predicate index.
-    pub tokens: Counter,
+    pub tokens: Arc<Counter>,
     /// Signature entries visited (one per signature per token).
-    pub signatures_probed: Counter,
+    pub signatures_probed: Arc<Counter>,
     /// Constant-set probes that used an organization's fast path.
-    pub probes: Counter,
+    pub probes: Arc<Counter>,
     /// "Rest of predicate" re-tests performed after an indexed match.
-    pub residual_tests: Counter,
+    pub residual_tests: Arc<Counter>,
     /// Full predicate matches produced.
-    pub matches: Counter,
+    pub matches: Arc<Counter>,
+}
+
+impl IndexStats {
+    /// Fraction of fast-path probes that required a rest-of-predicate
+    /// retest; zero before any probe.
+    pub fn retest_rate(&self) -> f64 {
+        let p = self.probes.get() as f64;
+        if p == 0.0 {
+            0.0
+        } else {
+            self.residual_tests.get() as f64 / p
+        }
+    }
 }
 
 /// Trigger-cache counters.
 #[derive(Debug, Default, Clone)]
 pub struct CacheStats {
     /// Pin requests satisfied from memory.
-    pub hits: Counter,
+    pub hits: Arc<Counter>,
     /// Pin requests that loaded from the catalog.
-    pub misses: Counter,
+    pub misses: Arc<Counter>,
     /// Cached triggers discarded by LRU.
-    pub evictions: Counter,
+    pub evictions: Arc<Counter>,
+    /// Total pin calls (hits + misses, counted at the pin entry point so
+    /// the invariant `pins == hits + misses` is testable).
+    pub pins: Arc<Counter>,
 }
 
 impl CacheStats {
@@ -170,5 +141,15 @@ mod tests {
         s.hits.add(3);
         s.misses.add(1);
         assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_clone_shares_counters() {
+        let s = IndexStats::default();
+        let t = s.clone();
+        s.probes.add(2);
+        s.residual_tests.bump();
+        assert_eq!(t.probes.get(), 2);
+        assert!((s.retest_rate() - 0.5).abs() < 1e-9);
     }
 }

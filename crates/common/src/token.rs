@@ -131,17 +131,32 @@ pub struct UpdateDescriptor {
 impl UpdateDescriptor {
     /// Insert token.
     pub fn insert(data_src: DataSourceId, new: Tuple) -> UpdateDescriptor {
-        UpdateDescriptor { data_src, op: TokenOp::Insert, old: None, new: Some(new) }
+        UpdateDescriptor {
+            data_src,
+            op: TokenOp::Insert,
+            old: None,
+            new: Some(new),
+        }
     }
 
     /// Delete token.
     pub fn delete(data_src: DataSourceId, old: Tuple) -> UpdateDescriptor {
-        UpdateDescriptor { data_src, op: TokenOp::Delete, old: Some(old), new: None }
+        UpdateDescriptor {
+            data_src,
+            op: TokenOp::Delete,
+            old: Some(old),
+            new: None,
+        }
     }
 
     /// Update token (old/new pair).
     pub fn update(data_src: DataSourceId, old: Tuple, new: Tuple) -> UpdateDescriptor {
-        UpdateDescriptor { data_src, op: TokenOp::Update, old: Some(old), new: Some(new) }
+        UpdateDescriptor {
+            data_src,
+            op: TokenOp::Update,
+            old: Some(old),
+            new: Some(new),
+        }
     }
 
     /// The tuple selection predicates are evaluated against: the new image
@@ -209,9 +224,16 @@ impl UpdateDescriptor {
             None
         };
         if cursor != buf.len() {
-            return Err(TmanError::Storage("trailing bytes in update descriptor".into()));
+            return Err(TmanError::Storage(
+                "trailing bytes in update descriptor".into(),
+            ));
         }
-        Ok(UpdateDescriptor { data_src, op, old, new })
+        Ok(UpdateDescriptor {
+            data_src,
+            op,
+            old,
+            new,
+        })
     }
 }
 

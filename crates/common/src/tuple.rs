@@ -27,7 +27,9 @@ pub struct Tuple {
 impl Tuple {
     /// Build from values.
     pub fn new(values: Vec<Value>) -> Tuple {
-        Tuple { values: values.into() }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     /// Values, in schema order.

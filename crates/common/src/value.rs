@@ -265,7 +265,12 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut v = [Value::Int(3), Value::Null, Value::str("a"), Value::Float(-1.0)];
+        let mut v = [
+            Value::Int(3),
+            Value::Null,
+            Value::str("a"),
+            Value::Float(-1.0),
+        ];
         v.sort();
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1], Value::Float(-1.0));

@@ -8,6 +8,7 @@
 
 use crate::compile::{CompiledAction, CompiledTrigger};
 use crate::events::EventNotification;
+use crate::metrics::{ACTION_EXEC_SQL, ACTION_NOTIFY, ACTION_RAISE_EVENT};
 use crate::TriggerMan;
 use tman_common::{Result, TmanError, TokenOp, Tuple, UpdateDescriptor, Value};
 use tman_expr::scalar::Env;
@@ -27,14 +28,16 @@ pub fn run_action(
         TokenOp::Update | TokenOp::Delete => token.old.clone(),
         TokenOp::Insert => None,
     };
+    let _latency = system.telemetry.action_ns.start();
     match &trigger.action {
         CompiledAction::ExecSql(stmt) => {
-            let substituted =
-                substitute_stmt(stmt, trigger, bindings, old_of_event_var.as_ref())?;
+            system.telemetry.actions_by_kind[ACTION_EXEC_SQL].bump();
+            let substituted = substitute_stmt(stmt, trigger, bindings, old_of_event_var.as_ref())?;
             system.run_stmt(&substituted)?;
             Ok(())
         }
         CompiledAction::RaiseEvent { name, args } => {
+            system.telemetry.actions_by_kind[ACTION_RAISE_EVENT].bump();
             // Action environment: NEW images in slots 0..n, OLD images in
             // slots n..2n (only the event variable has one).
             let n = trigger.vars.len();
@@ -49,24 +52,33 @@ pub fn run_action(
                     slots.push(None);
                 }
             }
-            let env = Env { tuples: &slots, consts: &[] };
-            let values = args.iter().map(|a| a.eval(&env)).collect::<Result<Vec<_>>>()?;
-            system.events().publish(EventNotification {
+            let env = Env {
+                tuples: &slots,
+                consts: &[],
+            };
+            let values = args
+                .iter()
+                .map(|a| a.eval(&env))
+                .collect::<Result<Vec<_>>>()?;
+            let fanout = system.events().publish(EventNotification {
                 event: name.clone(),
                 trigger: trigger.name.clone(),
                 values,
                 message: None,
             });
+            system.telemetry.notify_fanout.record(fanout as u64);
             Ok(())
         }
         CompiledAction::Notify(template) => {
+            system.telemetry.actions_by_kind[ACTION_NOTIFY].bump();
             let msg = substitute_text(template, trigger, bindings, old_of_event_var.as_ref());
-            system.events().publish(EventNotification {
+            let fanout = system.events().publish(EventNotification {
                 event: "notify".into(),
                 trigger: trigger.name.clone(),
                 values: Vec::new(),
                 message: Some(msg),
             });
+            system.telemetry.notify_fanout.record(fanout as u64);
             Ok(())
         }
     }
@@ -125,9 +137,13 @@ fn substitute_expr(
     old_event: Option<&Tuple>,
 ) -> Result<Expr> {
     Ok(match e {
-        Expr::Transition { new, source, column } => Expr::Literal(value_to_literal(
-            transition_value(trigger, bindings, old_event, *new, source, column)?,
-        )),
+        Expr::Transition {
+            new,
+            source,
+            column,
+        } => Expr::Literal(value_to_literal(transition_value(
+            trigger, bindings, old_event, *new, source, column,
+        )?)),
         Expr::Unary { op, expr } => Expr::Unary {
             op: *op,
             expr: Box::new(substitute_expr(expr, trigger, bindings, old_event)?),
@@ -162,7 +178,11 @@ pub fn substitute_stmt(
             table: table.clone(),
             values: values.iter().map(sub).collect::<Result<_>>()?,
         },
-        SqlStmt::Update { table, sets, filter } => SqlStmt::Update {
+        SqlStmt::Update {
+            table,
+            sets,
+            filter,
+        } => SqlStmt::Update {
             table: table.clone(),
             sets: sets
                 .iter()
@@ -174,7 +194,11 @@ pub fn substitute_stmt(
             table: table.clone(),
             filter: filter.as_ref().map(&sub).transpose()?,
         },
-        SqlStmt::Select { cols, table, filter } => SqlStmt::Select {
+        SqlStmt::Select {
+            cols,
+            table,
+            filter,
+        } => SqlStmt::Select {
             cols: match cols {
                 SelectCols::Star => SelectCols::Star,
                 SelectCols::Exprs(es) => {

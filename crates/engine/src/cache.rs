@@ -95,8 +95,10 @@ impl TriggerCache {
 
     fn pin_slot(&self, slot: &Arc<Slot>) -> PinnedTrigger {
         slot.pins.fetch_add(1, Ordering::Relaxed);
-        slot.last_used
-            .store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+        slot.last_used.store(
+            self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
         PinnedTrigger { slot: slot.clone() }
     }
 
@@ -108,6 +110,7 @@ impl TriggerCache {
         id: TriggerId,
         load: impl FnOnce() -> Result<Arc<CompiledTrigger>>,
     ) -> Result<PinnedTrigger> {
+        self.stats.pins.bump();
         if let Some(slot) = self.map.read().get(&id) {
             self.stats.hits.bump();
             return Ok(self.pin_slot(slot));
@@ -229,10 +232,13 @@ mod tests {
                 .unwrap();
             assert_eq!(p.name, "t1");
         }
-        let _p = cache.pin(TriggerId(1), || panic!("should not reload")).unwrap();
+        let _p = cache
+            .pin(TriggerId(1), || panic!("should not reload"))
+            .unwrap();
         assert_eq!(loads, 1);
         assert_eq!(cache.stats().hits.get(), 1);
         assert_eq!(cache.stats().misses.get(), 1);
+        assert_eq!(cache.stats().pins.get(), 2);
     }
 
     #[test]

@@ -95,7 +95,10 @@ pub struct DataSourceRow {
 }
 
 fn now_secs() -> i64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs() as i64).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0)
 }
 
 fn encode_schema(schema: &Schema) -> String {
@@ -127,9 +130,18 @@ fn decode_schema(s: &str) -> Result<Schema> {
         } else if ty == "float" {
             DataType::Float
         } else if let Some(n) = ty.strip_prefix("char(").and_then(|t| t.strip_suffix(')')) {
-            DataType::Char(n.parse().map_err(|_| TmanError::Storage("bad char len".into()))?)
-        } else if let Some(n) = ty.strip_prefix("varchar(").and_then(|t| t.strip_suffix(')')) {
-            DataType::Varchar(n.parse().map_err(|_| TmanError::Storage("bad varchar len".into()))?)
+            DataType::Char(
+                n.parse()
+                    .map_err(|_| TmanError::Storage("bad char len".into()))?,
+            )
+        } else if let Some(n) = ty
+            .strip_prefix("varchar(")
+            .and_then(|t| t.strip_suffix(')'))
+        {
+            DataType::Varchar(
+                n.parse()
+                    .map_err(|_| TmanError::Storage("bad varchar len".into()))?,
+            )
         } else {
             return Err(TmanError::Storage(format!("bad schema type '{ty}'")));
         };
@@ -261,7 +273,10 @@ impl Catalog {
 
     /// Find a set by name.
     pub fn find_set_by_name(&self, name: &str) -> Result<Option<TriggerSetRow>> {
-        Ok(self.sets()?.into_iter().find(|s| s.name.eq_ignore_ascii_case(name)))
+        Ok(self
+            .sets()?
+            .into_iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name)))
     }
 
     /// Flip a set's isEnabled flag. Returns false if missing.
@@ -274,7 +289,9 @@ impl Catalog {
             }
             Ok(true)
         })?;
-        let Some((rid, row)) = hit else { return Ok(false) };
+        let Some((rid, row)) = hit else {
+            return Ok(false);
+        };
         let mut vals = row.values().to_vec();
         vals[4] = Value::Int(enabled as i64);
         self.trigger_set.update(rid, vals)?;
@@ -392,7 +409,9 @@ impl Catalog {
             }
             Ok(true)
         })?;
-        let Some((rid, row)) = hit else { return Ok(false) };
+        let Some((rid, row)) = hit else {
+            return Ok(false);
+        };
         let mut vals = row.values().to_vec();
         vals[6] = Value::Int(enabled as i64);
         self.trigger.update(rid, vals)?;
@@ -478,11 +497,7 @@ impl Catalog {
                     name: row.get(1).as_str().unwrap_or("").to_string(),
                     schema,
                     local_table: row.get(3).as_str().map(|s| s.to_string()),
-                    connection: row
-                        .get(4)
-                        .as_str()
-                        .unwrap_or("local")
-                        .to_string(),
+                    connection: row.get(4).as_str().unwrap_or("local").to_string(),
                 }),
                 Err(e) => err = Some(e),
             }
@@ -564,8 +579,12 @@ mod tests {
         // Default set exists.
         assert!(cat.find_set_by_name("default").unwrap().is_some());
 
-        cat.insert_set(&TriggerSetRow { id: TriggerSetId(2), name: "alerts".into(), enabled: true })
-            .unwrap();
+        cat.insert_set(&TriggerSetRow {
+            id: TriggerSetId(2),
+            name: "alerts".into(),
+            enabled: true,
+        })
+        .unwrap();
         let t = TriggerRow {
             id: TriggerId(10),
             set: TriggerSetId(2),
@@ -575,8 +594,14 @@ mod tests {
             enabled: true,
         };
         cat.insert_trigger(&t).unwrap();
-        assert_eq!(cat.trigger_by_id(TriggerId(10)).unwrap().unwrap().name, "t10");
-        assert_eq!(cat.trigger_by_name("T10").unwrap().unwrap().id, TriggerId(10));
+        assert_eq!(
+            cat.trigger_by_id(TriggerId(10)).unwrap().unwrap().name,
+            "t10"
+        );
+        assert_eq!(
+            cat.trigger_by_name("T10").unwrap().unwrap().id,
+            TriggerId(10)
+        );
 
         assert!(cat.set_trigger_enabled(TriggerId(10), false).unwrap());
         assert!(!cat.trigger_by_id(TriggerId(10)).unwrap().unwrap().enabled);
@@ -589,10 +614,24 @@ mod tests {
     fn signature_upsert_updates_in_place() {
         let db = Database::open_memory(256);
         let cat = Catalog::open(&db).unwrap();
-        cat.upsert_signature(SignatureId(1), DataSourceId(1), "emp.x = CONSTANT1", "const_table_1", 1, "mem_list")
-            .unwrap();
-        cat.upsert_signature(SignatureId(1), DataSourceId(1), "emp.x = CONSTANT1", "const_table_1", 500, "mem_index")
-            .unwrap();
+        cat.upsert_signature(
+            SignatureId(1),
+            DataSourceId(1),
+            "emp.x = CONSTANT1",
+            "const_table_1",
+            1,
+            "mem_list",
+        )
+        .unwrap();
+        cat.upsert_signature(
+            SignatureId(1),
+            DataSourceId(1),
+            "emp.x = CONSTANT1",
+            "const_table_1",
+            500,
+            "mem_index",
+        )
+        .unwrap();
         let sigs = cat.signatures().unwrap();
         assert_eq!(sigs.len(), 1);
         assert_eq!(sigs[0].4, 500);

@@ -59,7 +59,10 @@ impl Client {
     /// Open the data-source API for a named source.
     pub fn data_source(&self, name: &str) -> Result<DataSourceClient> {
         let source = self.system.source(name)?;
-        Ok(DataSourceClient { system: self.system.clone(), source })
+        Ok(DataSourceClient {
+            system: self.system.clone(),
+            source,
+        })
     }
 }
 
@@ -83,20 +86,23 @@ impl DataSourceClient {
     /// Report an inserted row.
     pub fn insert(&self, values: Vec<Value>) -> Result<()> {
         let t = self.tuple(values)?;
-        self.system.push_token(UpdateDescriptor::insert(self.source.id, t))
+        self.system
+            .push_token(UpdateDescriptor::insert(self.source.id, t))
     }
 
     /// Report a deleted row.
     pub fn delete(&self, values: Vec<Value>) -> Result<()> {
         let t = self.tuple(values)?;
-        self.system.push_token(UpdateDescriptor::delete(self.source.id, t))
+        self.system
+            .push_token(UpdateDescriptor::delete(self.source.id, t))
     }
 
     /// Report an updated row (old → new images).
     pub fn update(&self, old: Vec<Value>, new: Vec<Value>) -> Result<()> {
         let old = self.tuple(old)?;
         let new = self.tuple(new)?;
-        self.system.push_token(UpdateDescriptor::update(self.source.id, old, new))
+        self.system
+            .push_token(UpdateDescriptor::update(self.source.id, old, new))
     }
 
     /// Report a raw descriptor (advanced: pre-built old/new pair).
@@ -134,8 +140,10 @@ mod tests {
 
         // A data-source program feeds updates.
         let feed = client.data_source("prices").unwrap();
-        feed.insert(vec![Value::str("AA"), Value::Float(50.0)]).unwrap();
-        feed.insert(vec![Value::str("BB"), Value::Float(150.0)]).unwrap();
+        feed.insert(vec![Value::str("AA"), Value::Float(50.0)])
+            .unwrap();
+        feed.insert(vec![Value::str("BB"), Value::Float(150.0)])
+            .unwrap();
         feed.update(
             vec![Value::str("AA"), Value::Float(50.0)],
             vec![Value::str("AA"), Value::Float(200.0)],

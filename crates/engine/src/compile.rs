@@ -131,8 +131,13 @@ pub fn compile_trigger(
     for item in &stmt.from {
         let source = resolve_source(&item.source)?;
         let name = item.var_name().to_string();
-        if vars.iter().any(|v: &VarBinding| v.name.eq_ignore_ascii_case(&name)) {
-            return Err(TmanError::Invalid(format!("duplicate tuple variable '{name}'")));
+        if vars
+            .iter()
+            .any(|v: &VarBinding| v.name.eq_ignore_ascii_case(&name))
+        {
+            return Err(TmanError::Invalid(format!(
+                "duplicate tuple variable '{name}'"
+            )));
         }
         vars.push(VarBinding { name, source });
     }
@@ -177,8 +182,10 @@ pub fn compile_trigger(
     };
 
     // Step 2: when-clause → CNF.
-    let schemas: Vec<(String, &tman_common::Schema)> =
-        vars.iter().map(|v| (v.name.clone(), &v.source.schema)).collect();
+    let schemas: Vec<(String, &tman_common::Schema)> = vars
+        .iter()
+        .map(|v| (v.name.clone(), &v.source.schema))
+        .collect();
     let ctx = BindCtx::new(schemas);
     let cnf = match &stmt.when {
         None => Cnf::truth(),
@@ -216,12 +223,20 @@ pub fn compile_trigger(
         } else {
             EventKind::InsertOrUpdate
         };
-        let reg_update_cols =
-            if v == event_var && !stored_memories { update_col_ords.clone() } else { Vec::new() };
+        let reg_update_cols = if v == event_var && !stored_memories {
+            update_col_ords.clone()
+        } else {
+            Vec::new()
+        };
         let canon = remap_var(&graph.selections[v], v, 0, &binding.source.name);
         let (sig, consts) =
             analyze_selection(&canon, binding.source.id, reg_event, reg_update_cols);
-        predicates.push(PredicateReg { var: v, source: binding.source.clone(), sig, consts });
+        predicates.push(PredicateReg {
+            var: v,
+            source: binding.source.clone(),
+            sig,
+            consts,
+        });
     }
 
     // Step 4: build the network.
@@ -261,11 +276,19 @@ fn compile_action(action: &Action, vars: &[VarBinding]) -> Result<CompiledAction
             Ok(CompiledAction::ExecSql(stmt))
         }
         Action::RaiseEvent { name, args } => {
-            let schemas: Vec<(String, &tman_common::Schema)> =
-                vars.iter().map(|v| (v.name.clone(), &v.source.schema)).collect();
+            let schemas: Vec<(String, &tman_common::Schema)> = vars
+                .iter()
+                .map(|v| (v.name.clone(), &v.source.schema))
+                .collect();
             let ctx = BindCtx::for_actions(schemas);
-            let args = args.iter().map(|a| ctx.scalar(a)).collect::<Result<Vec<_>>>()?;
-            Ok(CompiledAction::RaiseEvent { name: name.clone(), args })
+            let args = args
+                .iter()
+                .map(|a| ctx.scalar(a))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(CompiledAction::RaiseEvent {
+                name: name.clone(),
+                args,
+            })
         }
         Action::Notify(msg) => Ok(CompiledAction::Notify(msg.clone())),
     }
@@ -288,10 +311,7 @@ fn validate_transitions(stmt: &SqlStmt, vars: &[VarBinding]) -> Result<()> {
                         ))
                     })?;
                 var.source.schema.index_of(column).ok_or_else(|| {
-                    TmanError::Invalid(format!(
-                        "no column '{column}' in '{}'",
-                        var.source.name
-                    ))
+                    TmanError::Invalid(format!("no column '{column}' in '{}'", var.source.name))
                 })?;
                 Ok(())
             }

@@ -51,6 +51,12 @@ pub struct Config {
     pub async_actions: bool,
     /// Buffer-pool pages for the backing database.
     pub pool_pages: usize,
+    /// Collect metrics (counters, gauges, latency histograms). On by
+    /// default; turning it off hands every subsystem no-op instrument
+    /// handles, reducing recording to a single branch per event — for
+    /// baseline/ablation runs where even relaxed-atomic traffic must not
+    /// show up in a profile.
+    pub telemetry: bool,
 }
 
 impl Default for Config {
@@ -68,6 +74,7 @@ impl Default for Config {
             partition_min: 1024,
             async_actions: false,
             pool_pages: 4096,
+            telemetry: true,
         }
     }
 }
@@ -76,7 +83,9 @@ impl Config {
     /// Number of driver threads `N = ceil(NUM_CPUS * level)` (§6).
     pub fn num_drivers(&self) -> usize {
         let cpus = self.num_cpus.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
         let level = self.concurrency_level.clamp(f64::MIN_POSITIVE, 1.0);
         ((cpus as f64 * level).ceil() as usize).max(1)
@@ -89,7 +98,10 @@ mod tests {
 
     #[test]
     fn driver_count_formula() {
-        let mut c = Config { num_cpus: Some(8), ..Default::default() };
+        let mut c = Config {
+            num_cpus: Some(8),
+            ..Default::default()
+        };
         c.concurrency_level = 1.0;
         assert_eq!(c.num_drivers(), 8);
         c.concurrency_level = 0.5;

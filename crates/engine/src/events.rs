@@ -4,6 +4,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
+use std::sync::Arc;
 use tman_common::fxhash::FxHashMap;
 use tman_common::stats::Counter;
 use tman_common::Value;
@@ -27,8 +28,8 @@ pub struct EventNotification {
 pub struct EventBus {
     by_event: RwLock<FxHashMap<String, Vec<Sender<EventNotification>>>>,
     all: RwLock<Vec<Sender<EventNotification>>>,
-    delivered: Counter,
-    dropped: Counter,
+    pub(crate) delivered: Arc<Counter>,
+    pub(crate) dropped: Arc<Counter>,
 }
 
 impl EventBus {
@@ -40,7 +41,11 @@ impl EventBus {
     /// Register for one named event.
     pub fn subscribe(&self, event: &str) -> Receiver<EventNotification> {
         let (tx, rx) = unbounded();
-        self.by_event.write().entry(event.to_lowercase()).or_default().push(tx);
+        self.by_event
+            .write()
+            .entry(event.to_lowercase())
+            .or_default()
+            .push(tx);
         rx
     }
 
@@ -51,21 +56,26 @@ impl EventBus {
         rx
     }
 
-    /// Deliver a notification to all matching subscribers. Disconnected
-    /// receivers are pruned lazily.
+    /// Deliver a notification to all matching subscribers, returning the
+    /// number actually delivered (the fanout). Disconnected receivers are
+    /// pruned lazily.
     ///
     /// Hot path note: rule actions publish from every driver thread
     /// concurrently, so delivery runs under *read* locks; the write lock is
     /// only taken to prune when a send actually failed.
-    pub fn publish(&self, n: EventNotification) {
+    pub fn publish(&self, n: EventNotification) -> usize {
         let key = n.event.to_lowercase();
+        let mut fanout = 0usize;
         let mut dead: Vec<Sender<EventNotification>> = Vec::new();
         {
             let by_event = self.by_event.read();
             if let Some(subs) = by_event.get(&key) {
                 for tx in subs {
                     match tx.send(n.clone()) {
-                        Ok(()) => self.delivered.bump(),
+                        Ok(()) => {
+                            self.delivered.bump();
+                            fanout += 1;
+                        }
                         Err(_) => {
                             self.dropped.bump();
                             dead.push(tx.clone());
@@ -78,7 +88,10 @@ impl EventBus {
             let all = self.all.read();
             for tx in all.iter() {
                 match tx.send(n.clone()) {
-                    Ok(()) => self.delivered.bump(),
+                    Ok(()) => {
+                        self.delivered.bump();
+                        fanout += 1;
+                    }
                     Err(_) => {
                         self.dropped.bump();
                         dead.push(tx.clone());
@@ -87,18 +100,23 @@ impl EventBus {
             }
         }
         if !dead.is_empty() {
-            let is_dead =
-                |tx: &Sender<EventNotification>| dead.iter().any(|d| d.same_channel(tx));
+            let is_dead = |tx: &Sender<EventNotification>| dead.iter().any(|d| d.same_channel(tx));
             if let Some(subs) = self.by_event.write().get_mut(&key) {
                 subs.retain(|tx| !is_dead(tx));
             }
             self.all.write().retain(|tx| !is_dead(tx));
         }
+        fanout
     }
 
     /// Notifications successfully delivered.
     pub fn delivered(&self) -> u64 {
         self.delivered.get()
+    }
+
+    /// Notifications dropped on dead subscribers.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
     }
 }
 
@@ -131,7 +149,10 @@ mod tests {
         let rx = bus.subscribe_all();
         bus.publish(note("a"));
         bus.publish(note("b"));
-        assert_eq!(rx.iter().take(2).map(|n| n.event).collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(
+            rx.iter().take(2).map(|n| n.event).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
         assert_eq!(bus.delivered(), 2);
     }
 

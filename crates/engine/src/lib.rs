@@ -47,6 +47,7 @@ pub mod compile;
 pub mod config;
 pub mod driver;
 pub mod events;
+pub mod metrics;
 pub mod queue;
 pub mod source;
 
@@ -56,8 +57,10 @@ pub use compile::{CompiledAction, CompiledTrigger};
 pub use config::{Config, QueueMode};
 pub use driver::{DriverPool, Task, TmanTestResult};
 pub use events::{EventBus, EventNotification};
+pub use metrics::MetricsSnapshot;
 pub use tman_network::NetworkKind;
 pub use tman_predindex::OrgKind;
+pub use tman_telemetry::Registry;
 
 use catalog::{Catalog, ConnectionRow, DataSourceRow, TriggerRow, TriggerSetRow};
 use compile::compile_trigger;
@@ -71,8 +74,8 @@ use std::sync::Arc;
 use tman_common::fxhash::FxHashMap;
 use tman_common::stats::Counter;
 use tman_common::{
-    DataSourceId, ExprId, NodeId, Result, Schema, TmanError, TokenOp, TriggerId, TriggerSetId,
-    Tuple, UpdateDescriptor, EventKind,
+    DataSourceId, EventKind, ExprId, NodeId, Result, Schema, TmanError, TokenOp, TriggerId,
+    TriggerSetId, Tuple, UpdateDescriptor,
 };
 use tman_lang::ast::Command;
 use tman_network::Polarity;
@@ -112,19 +115,22 @@ pub enum CommandOutput {
     DataSourceDefined(DataSourceId),
     /// `define connection`.
     ConnectionDefined,
+    /// `show stats`: the formatted report.
+    Stats(String),
 }
 
-/// Engine-level counters.
+/// Engine-level counters. Held by `Arc` so they double as live registry
+/// instruments (see [`metrics`]).
 #[derive(Debug, Default)]
 pub struct EngineStats {
     /// Tokens fully processed.
-    pub tokens: Counter,
+    pub tokens: Arc<Counter>,
     /// Condition matches that reached a P-node.
-    pub firings: Counter,
+    pub firings: Arc<Counter>,
     /// Rule actions executed.
-    pub actions: Counter,
+    pub actions: Arc<Counter>,
     /// Task failures (see [`TriggerMan::last_error`]).
-    pub errors: Counter,
+    pub errors: Arc<Counter>,
 }
 
 /// The TriggerMan system (Figure 1).
@@ -148,6 +154,7 @@ pub struct TriggerMan {
     next_set: AtomicU32,
     next_expr: AtomicU64,
     stats: EngineStats,
+    pub(crate) telemetry: metrics::EngineTelemetry,
     last_error: Mutex<Option<String>>,
     shutdown: AtomicBool,
 }
@@ -166,18 +173,27 @@ impl TriggerMan {
     }
 
     fn with_database(db: Arc<Database>, config: Config) -> Result<Arc<TriggerMan>> {
+        let registry = Arc::new(if config.telemetry {
+            Registry::new()
+        } else {
+            tman_telemetry::disabled()
+        });
+        let telemetry = metrics::EngineTelemetry::new(registry);
         let catalog = Catalog::open(&db)?;
-        let queue = match config.queue_mode {
+        let mut queue = match config.queue_mode {
             QueueMode::Volatile => UpdateQueue::volatile(),
             QueueMode::Persistent => UpdateQueue::persistent(&db)?,
         };
-        let predindex =
-            Arc::new(PredicateIndex::with_database(config.index.clone(), db.clone()));
+        queue.attach_telemetry(telemetry.queue.clone());
+        let mut predindex = PredicateIndex::with_database(config.index.clone(), db.clone());
+        predindex.attach_telemetry(&telemetry.registry);
+        let predindex = Arc::new(predindex);
         let cache = Arc::new(TriggerCache::new(config.trigger_cache_capacity));
         let system = Arc::new(TriggerMan {
             cache,
             predindex,
             queue,
+            telemetry,
             tasks: SegQueue::new(),
             events: EventBus::new(),
             sources_by_name: RwLock::new(FxHashMap::default()),
@@ -197,8 +213,48 @@ impl TriggerMan {
             db,
             config,
         });
+        system.register_shared_instruments();
         system.recover()?;
         Ok(system)
+    }
+
+    /// Register the per-subsystem counters (engine, cache, buffer pool,
+    /// disk, event bus) into the metrics registry as shared instruments:
+    /// exposition reads the same `Arc<Counter>`s the hot paths bump, so
+    /// these rows cost nothing extra at runtime.
+    fn register_shared_instruments(&self) {
+        let r = &self.telemetry.registry;
+        r.register_counter(
+            "tman_tokens_processed_total",
+            &[],
+            self.stats.tokens.clone(),
+        );
+        r.register_counter("tman_firings_total", &[], self.stats.firings.clone());
+        r.register_counter("tman_actions_run_total", &[], self.stats.actions.clone());
+        r.register_counter("tman_task_errors_total", &[], self.stats.errors.clone());
+        let cs = self.cache.stats();
+        r.register_counter("tman_cache_hits_total", &[], cs.hits.clone());
+        r.register_counter("tman_cache_misses_total", &[], cs.misses.clone());
+        r.register_counter("tman_cache_evictions_total", &[], cs.evictions.clone());
+        r.register_counter("tman_cache_pins_total", &[], cs.pins.clone());
+        let pool = self.db.storage().pool();
+        let ps = pool.stats();
+        r.register_counter("tman_pool_hits_total", &[], ps.pool_hits.clone());
+        r.register_counter("tman_pool_misses_total", &[], ps.pool_misses.clone());
+        r.register_counter("tman_pool_evictions_total", &[], ps.evictions.clone());
+        let ds = pool.disk().stats();
+        r.register_counter("tman_page_reads_total", &[], ds.page_reads.clone());
+        r.register_counter("tman_page_writes_total", &[], ds.page_writes.clone());
+        r.register_counter(
+            "tman_notifications_delivered_total",
+            &[],
+            self.events.delivered.clone(),
+        );
+        r.register_counter(
+            "tman_notifications_dropped_total",
+            &[],
+            self.events.dropped.clone(),
+        );
     }
 
     /// Rebuild in-memory state from the catalogs (system start, §5.1:
@@ -233,13 +289,17 @@ impl TriggerMan {
                 connection: row.connection.clone(),
             });
             self.install_source(info);
-            self.next_source.fetch_max(row.id.raw() + 1, Ordering::Relaxed);
+            self.next_source
+                .fetch_max(row.id.raw() + 1, Ordering::Relaxed);
         }
         // Triggers: recompile each to re-register its predicates; cache
         // descriptions up to capacity.
         for row in self.catalog.triggers()? {
-            self.next_trigger.fetch_max(row.id.raw() + 1, Ordering::Relaxed);
-            self.trigger_names.write().insert(row.name.to_lowercase(), row.id);
+            self.next_trigger
+                .fetch_max(row.id.raw() + 1, Ordering::Relaxed);
+            self.trigger_names
+                .write()
+                .insert(row.name.to_lowercase(), row.id);
             let compiled = self.compile_row(&row)?;
             self.register_predicates(&compiled)?;
             let trigger = Arc::new(compiled.trigger);
@@ -274,6 +334,26 @@ impl TriggerMan {
     /// Engine counters.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// The metrics registry (disabled when `Config::telemetry` is false).
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.telemetry.registry
+    }
+
+    /// Typed snapshot of every engine metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::collect(self)
+    }
+
+    /// Prometheus-style text exposition of every registered instrument.
+    pub fn render_text(&self) -> String {
+        self.telemetry.registry.render_text()
+    }
+
+    /// JSON object of every registered instrument (bench harness dumps).
+    pub fn render_metrics_json(&self) -> String {
+        self.telemetry.registry.render_json()
     }
 
     /// The engine configuration.
@@ -317,7 +397,12 @@ impl TriggerMan {
             Command::SetTriggerSetEnabled { name, enabled } => {
                 self.set_trigger_set_enabled(&name, enabled)
             }
-            Command::DefineDataSource { name, columns, from_table, connection } => {
+            Command::DefineDataSource {
+                name,
+                columns,
+                from_table,
+                connection,
+            } => {
                 let schema = match (&columns, &from_table) {
                     (Some(cols), _) => Schema::new(
                         cols.iter()
@@ -343,6 +428,10 @@ impl TriggerMan {
                 self.define_connection(&def)?;
                 Ok(CommandOutput::ConnectionDefined)
             }
+            Command::ShowStats { subsystem } => {
+                let report = self.metrics_snapshot().format(subsystem.as_deref())?;
+                Ok(CommandOutput::Stats(report))
+            }
         }
     }
 
@@ -352,7 +441,10 @@ impl TriggerMan {
     pub fn define_connection(&self, def: &tman_lang::ast::ConnectionDef) -> Result<()> {
         let mut conns = self.connections.write();
         if conns.contains_key(&def.name.to_lowercase()) {
-            return Err(TmanError::AlreadyExists(format!("connection '{}'", def.name)));
+            return Err(TmanError::AlreadyExists(format!(
+                "connection '{}'",
+                def.name
+            )));
         }
         let row = ConnectionRow {
             name: def.name.clone(),
@@ -408,7 +500,11 @@ impl TriggerMan {
         local_table: Option<&str>,
         connection: Option<&str>,
     ) -> Result<DataSourceId> {
-        if self.sources_by_name.read().contains_key(&name.to_lowercase()) {
+        if self
+            .sources_by_name
+            .read()
+            .contains_key(&name.to_lowercase())
+        {
             return Err(TmanError::AlreadyExists(format!("data source '{name}'")));
         }
         let conn_name = match connection {
@@ -450,10 +546,14 @@ impl TriggerMan {
     }
 
     fn install_source(&self, info: Arc<SourceInfo>) {
-        self.sources_by_name.write().insert(info.name.to_lowercase(), info.clone());
+        self.sources_by_name
+            .write()
+            .insert(info.name.to_lowercase(), info.clone());
         self.sources_by_id.write().insert(info.id, info.clone());
         if let Some(t) = &info.local_table {
-            self.table_to_source.write().insert(t.name().to_lowercase(), info.clone());
+            self.table_to_source
+                .write()
+                .insert(t.name().to_lowercase(), info.clone());
         }
     }
 
@@ -496,7 +596,10 @@ impl TriggerMan {
             self.config.network,
             &|name| self.source(name),
         )?;
-        compiled.trigger.enabled.store(row.enabled, Ordering::Relaxed);
+        compiled
+            .trigger
+            .enabled
+            .store(row.enabled, Ordering::Relaxed);
         Ok(compiled)
     }
 
@@ -526,19 +629,26 @@ impl TriggerMan {
         Ok(())
     }
 
-    fn create_trigger(self: &Arc<Self>, stmt: &tman_lang::ast::CreateTrigger, text: &str) -> Result<CommandOutput> {
-        if self.trigger_names.read().contains_key(&stmt.name.to_lowercase()) {
+    fn create_trigger(
+        self: &Arc<Self>,
+        stmt: &tman_lang::ast::CreateTrigger,
+        text: &str,
+    ) -> Result<CommandOutput> {
+        if self
+            .trigger_names
+            .read()
+            .contains_key(&stmt.name.to_lowercase())
+        {
             return Err(TmanError::AlreadyExists(format!("trigger '{}'", stmt.name)));
         }
         let set = match &stmt.set {
             None => TriggerSetId(1),
-            Some(name) => {
-                self.sets
-                    .read()
-                    .get(&name.to_lowercase())
-                    .map(|s| s.id)
-                    .ok_or_else(|| TmanError::NotFound(format!("trigger set '{name}'")))?
-            }
+            Some(name) => self
+                .sets
+                .read()
+                .get(&name.to_lowercase())
+                .map(|s| s.id)
+                .ok_or_else(|| TmanError::NotFound(format!("trigger set '{name}'")))?,
         };
         let id = TriggerId(self.next_trigger.fetch_add(1, Ordering::Relaxed));
         let compiled = compile_trigger(stmt, id, set, text, self.config.network, &|name| {
@@ -556,7 +666,9 @@ impl TriggerMan {
             created: 0,
             enabled: true,
         })?;
-        self.trigger_names.write().insert(trigger.name.to_lowercase(), id);
+        self.trigger_names
+            .write()
+            .insert(trigger.name.to_lowercase(), id);
         self.cache.insert(trigger);
         Ok(CommandOutput::TriggerCreated(id))
     }
@@ -579,7 +691,11 @@ impl TriggerMan {
             return Err(TmanError::AlreadyExists(format!("trigger set '{name}'")));
         }
         let id = TriggerSetId(self.next_set.fetch_add(1, Ordering::Relaxed));
-        let row = TriggerSetRow { id, name: name.to_string(), enabled: true };
+        let row = TriggerSetRow {
+            id,
+            name: name.to_string(),
+            enabled: true,
+        };
         self.catalog.insert_set(&row)?;
         sets.insert(name.to_lowercase(), row);
         Ok(CommandOutput::SetCreated(id))
@@ -587,7 +703,9 @@ impl TriggerMan {
 
     fn drop_trigger_set(&self, name: &str) -> Result<CommandOutput> {
         if name.eq_ignore_ascii_case("default") {
-            return Err(TmanError::Invalid("cannot drop the default trigger set".into()));
+            return Err(TmanError::Invalid(
+                "cannot drop the default trigger set".into(),
+            ));
         }
         let mut sets = self.sets.write();
         let row = sets
@@ -629,7 +747,12 @@ impl TriggerMan {
     }
 
     fn set_is_enabled(&self, id: TriggerSetId) -> bool {
-        self.sets.read().values().find(|s| s.id == id).map(|s| s.enabled).unwrap_or(true)
+        self.sets
+            .read()
+            .values()
+            .find(|s| s.id == id)
+            .map(|s| s.enabled)
+            .unwrap_or(true)
     }
 
     /// Trigger names currently defined.
@@ -655,7 +778,11 @@ impl TriggerMan {
         let mut captured = Vec::new();
         let result = tman_sql::execute_with_capture(&self.db, stmt, &mut |c| captured.push(c))?;
         for c in captured {
-            let Some(info) = self.table_to_source.read().get(&c.table.to_lowercase()).cloned()
+            let Some(info) = self
+                .table_to_source
+                .read()
+                .get(&c.table.to_lowercase())
+                .cloned()
             else {
                 continue; // not a captured table
             };
@@ -798,8 +925,11 @@ impl TriggerMan {
                 .activate(var, polarity, tuple, &alpha, &mut |f| firings.push(f))?;
         }
         let run = trigger.runs_action(var, token);
-        let action_polarity =
-            if token.op == TokenOp::Delete { Polarity::Minus } else { Polarity::Plus };
+        let action_polarity = if token.op == TokenOp::Delete {
+            Polarity::Minus
+        } else {
+            Polarity::Plus
+        };
         for f in firings {
             self.stats.firings.bump();
             if !run || f.polarity != action_polarity {
@@ -859,11 +989,25 @@ impl TriggerMan {
 
     fn execute_task(self: &Arc<Self>, task: Task) {
         let result = match task {
-            Task::Token(tok) => self.process_token(&tok),
-            Task::SigPartition { token, sig, part, nparts } => {
+            Task::Token(tok) => {
+                self.telemetry.tasks_executed[metrics::TASK_TOKEN].bump();
+                self.process_token(&tok)
+            }
+            Task::SigPartition {
+                token,
+                sig,
+                part,
+                nparts,
+            } => {
+                self.telemetry.tasks_executed[metrics::TASK_SIG_PARTITION].bump();
                 self.probe_signature(&sig, &token, part, nparts)
             }
-            Task::Action { trigger, bindings, token } => (|| {
+            Task::Action {
+                trigger,
+                bindings,
+                token,
+            } => (|| {
+                self.telemetry.tasks_executed[metrics::TASK_ACTION].bump();
                 let pinned = self.pin(trigger)?;
                 self.stats.actions.bump();
                 action::run_action(self, &pinned, &bindings, &token)
@@ -877,17 +1021,20 @@ impl TriggerMan {
     /// One bounded-time drain of the task queue — the paper's `TmanTest()`
     /// UDR (§6). Returns whether work remains.
     pub fn tman_test(self: &Arc<Self>, threshold: std::time::Duration) -> TmanTestResult {
+        self.telemetry.tman_test_calls.bump();
+        let _duration = self.telemetry.tman_test_ns.start();
         let start = std::time::Instant::now();
         loop {
-            let task = self.tasks.pop().or_else(|| {
-                match self.queue.dequeue_batch(1) {
+            let task = self
+                .tasks
+                .pop()
+                .or_else(|| match self.queue.dequeue_batch(1) {
                     Ok(mut batch) => batch.pop().map(Task::Token),
                     Err(e) => {
                         self.record_error(&e);
                         None
                     }
-                }
-            });
+                });
             match task {
                 None => return TmanTestResult::QueueEmpty,
                 Some(t) => {
@@ -898,6 +1045,7 @@ impl TriggerMan {
                 }
             }
             if start.elapsed() >= threshold {
+                self.telemetry.threshold_expirations.bump();
                 return TmanTestResult::TasksRemaining;
             }
         }

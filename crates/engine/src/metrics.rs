@@ -1,0 +1,488 @@
+//! Engine-wide observability: instrument wiring ([`EngineTelemetry`]) and
+//! the typed read surface ([`MetricsSnapshot`], `show stats`).
+//!
+//! Every subsystem's counters are registered into one
+//! [`tman_telemetry::Registry`] at engine construction — shared `Arc`s, so
+//! exposition reads live values with zero extra hot-path cost — and the
+//! latency/fanout histograms plus labeled task/organization counters are
+//! pre-resolved here into handles the hot paths bump directly. With
+//! `Config::telemetry == false` the registry is disabled and every handle
+//! is a branch-only no-op.
+
+use crate::queue::QueueTelemetry;
+use crate::TriggerMan;
+use std::sync::Arc;
+use tman_common::{Result, TmanError};
+use tman_telemetry::{CounterHandle, HistogramHandle, HistogramSummary, Registry};
+
+/// Task-type slots for `tman_tasks_executed_total{type=...}`, matching
+/// [`crate::driver::Task`]'s variants.
+pub(crate) const TASK_TOKEN: usize = 0;
+pub(crate) const TASK_SIG_PARTITION: usize = 1;
+pub(crate) const TASK_ACTION: usize = 2;
+const TASK_LABELS: [&str; 3] = ["token", "sig_partition", "action"];
+
+/// Action-kind slots for `tman_actions_total{kind=...}`.
+pub(crate) const ACTION_EXEC_SQL: usize = 0;
+pub(crate) const ACTION_RAISE_EVENT: usize = 1;
+pub(crate) const ACTION_NOTIFY: usize = 2;
+const ACTION_LABELS: [&str; 3] = ["exec_sql", "raise_event", "notify"];
+
+/// Pre-resolved engine instruments (everything the hot paths bump that is
+/// not already a shared subsystem counter).
+pub(crate) struct EngineTelemetry {
+    /// The registry all instruments live in.
+    pub registry: Arc<Registry>,
+    /// Queue instruments (same series the queue itself records through).
+    pub queue: QueueTelemetry,
+    /// `tman_test_ns`: duration of each `tman_test` invocation.
+    pub tman_test_ns: HistogramHandle,
+    /// `tman_test_calls_total`.
+    pub tman_test_calls: CounterHandle,
+    /// `tman_test_threshold_expirations_total`: invocations that returned
+    /// `TasksRemaining` because THRESHOLD expired.
+    pub threshold_expirations: CounterHandle,
+    /// `tman_tasks_executed_total{type=...}`, by [`crate::driver::Task`] type.
+    pub tasks_executed: [CounterHandle; 3],
+    /// `tman_action_ns`: rule-action execution latency.
+    pub action_ns: HistogramHandle,
+    /// `tman_notify_fanout`: subscribers reached per notification.
+    pub notify_fanout: HistogramHandle,
+    /// `tman_actions_total{kind=...}`.
+    pub actions_by_kind: [CounterHandle; 3],
+}
+
+impl EngineTelemetry {
+    pub(crate) fn new(registry: Arc<Registry>) -> EngineTelemetry {
+        EngineTelemetry {
+            queue: QueueTelemetry::from_registry(&registry),
+            tman_test_ns: registry.histogram("tman_test_ns", &[]),
+            tman_test_calls: registry.counter("tman_test_calls_total", &[]),
+            threshold_expirations: registry.counter("tman_test_threshold_expirations_total", &[]),
+            tasks_executed: std::array::from_fn(|i| {
+                registry.counter("tman_tasks_executed_total", &[("type", TASK_LABELS[i])])
+            }),
+            action_ns: registry.histogram("tman_action_ns", &[]),
+            notify_fanout: registry.histogram("tman_notify_fanout", &[]),
+            actions_by_kind: std::array::from_fn(|i| {
+                registry.counter("tman_actions_total", &[("kind", ACTION_LABELS[i])])
+            }),
+            registry,
+        }
+    }
+}
+
+/// Typed point-in-time snapshot of every engine metric
+/// ([`TriggerMan::metrics_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Token / firing / action / error totals.
+    pub engine: EngineMetrics,
+    /// Update-descriptor queue.
+    pub queue: QueueMetrics,
+    /// `tman_test` / task execution.
+    pub driver: DriverMetrics,
+    /// Predicate index.
+    pub index: IndexMetrics,
+    /// Trigger cache.
+    pub cache: CacheMetrics,
+    /// Storage buffer pool and physical I/O.
+    pub storage: StorageMetrics,
+    /// Rule actions and notifications.
+    pub actions: ActionMetrics,
+    /// Per-signature detail (id, description, organization, class size).
+    pub signatures: Vec<SignatureMetrics>,
+}
+
+/// Engine-level totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineMetrics {
+    /// Tokens fully processed.
+    pub tokens: u64,
+    /// Condition matches that reached a P-node.
+    pub firings: u64,
+    /// Rule actions executed.
+    pub actions: u64,
+    /// Task failures.
+    pub errors: u64,
+}
+
+/// Queue metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueMetrics {
+    /// Current depth (gauge; 0 when telemetry is disabled).
+    pub depth: i64,
+    /// Descriptors enqueued.
+    pub enqueued: u64,
+    /// Descriptors dequeued.
+    pub dequeued: u64,
+    /// Enqueue→dequeue wait (volatile mode).
+    pub wait_ns: HistogramSummary,
+}
+
+/// Driver / `tman_test` metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriverMetrics {
+    /// `tman_test` invocations.
+    pub tman_test_calls: u64,
+    /// Invocations that hit THRESHOLD with work remaining.
+    pub threshold_expirations: u64,
+    /// Invocation duration.
+    pub tman_test_ns: HistogramSummary,
+    /// Type-1 tasks (token) executed.
+    pub tasks_token: u64,
+    /// Type-3 tasks (signature partition) executed.
+    pub tasks_sig_partition: u64,
+    /// Type-2 tasks (rule action) executed.
+    pub tasks_action: u64,
+}
+
+/// Predicate-index metrics.
+#[derive(Debug, Clone, Default)]
+pub struct IndexMetrics {
+    /// Tokens submitted to the index root.
+    pub tokens: u64,
+    /// Signature entries visited.
+    pub signatures_probed: u64,
+    /// Constant-set probes.
+    pub probes: u64,
+    /// Rest-of-predicate re-tests.
+    pub residual_tests: u64,
+    /// Full matches produced.
+    pub matches: u64,
+    /// `residual_tests / probes` (0 before any probe).
+    pub retest_rate: f64,
+    /// Unique signatures.
+    pub signatures: usize,
+    /// Predicate entries across all constant sets.
+    pub entries: usize,
+    /// Approximate constant-set memory.
+    pub memory_bytes: usize,
+    /// Probe/match totals per constant-set organization.
+    pub per_org: Vec<OrgMetrics>,
+}
+
+/// Per-organization probe/match totals.
+#[derive(Debug, Clone, Copy)]
+pub struct OrgMetrics {
+    /// Organization label (`mem_list`, `mem_index`, ...).
+    pub org: &'static str,
+    /// Probes against sets in this organization.
+    pub probes: u64,
+    /// Matches produced by sets in this organization.
+    pub matches: u64,
+}
+
+/// Trigger-cache metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheMetrics {
+    /// Pins satisfied from memory.
+    pub hits: u64,
+    /// Pins that recompiled from the catalog.
+    pub misses: u64,
+    /// Descriptions evicted.
+    pub evictions: u64,
+    /// Total pin calls (== hits + misses).
+    pub pins: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// Descriptions currently resident.
+    pub resident: usize,
+}
+
+/// Storage metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageMetrics {
+    /// Buffer-pool hits.
+    pub pool_hits: u64,
+    /// Buffer-pool misses.
+    pub pool_misses: u64,
+    /// Pages evicted from the pool.
+    pub pool_evictions: u64,
+    /// `pool_hits / (pool_hits + pool_misses)`.
+    pub pool_hit_rate: f64,
+    /// Physical page reads.
+    pub page_reads: u64,
+    /// Physical page writes.
+    pub page_writes: u64,
+}
+
+/// Rule-action metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActionMetrics {
+    /// `execSQL` actions run.
+    pub exec_sql: u64,
+    /// `raise event` actions run.
+    pub raise_event: u64,
+    /// `notify` actions run.
+    pub notify: u64,
+    /// Action execution latency.
+    pub latency_ns: HistogramSummary,
+    /// Subscribers reached per notification.
+    pub notify_fanout: HistogramSummary,
+    /// Notifications delivered to subscribers.
+    pub delivered: u64,
+    /// Notifications dropped (dead subscribers).
+    pub dropped: u64,
+}
+
+/// One signature's catalog-style row.
+#[derive(Debug, Clone)]
+pub struct SignatureMetrics {
+    /// Signature id.
+    pub id: u32,
+    /// Source name the signature is registered on.
+    pub source: String,
+    /// Signature description (generalized expression text).
+    pub desc: String,
+    /// Current constant-set organization.
+    pub org: &'static str,
+    /// Equivalence-class size.
+    pub entries: usize,
+    /// Approximate constant-set memory.
+    pub memory_bytes: usize,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn collect(tman: &TriggerMan) -> MetricsSnapshot {
+        let t = &tman.telemetry;
+        let es = tman.stats();
+        let is = tman.predicate_index().stats();
+        let cs = tman.trigger_cache().stats();
+        let pool = tman.database().storage().pool();
+        let ps = pool.stats();
+        let ds = pool.disk().stats();
+        let mut signatures = Vec::new();
+        for (_, src) in tman.sources_by_id.read().iter() {
+            if let Some(ix) = tman.predicate_index().source(src.id) {
+                for sig in ix.signatures() {
+                    signatures.push(SignatureMetrics {
+                        id: sig.id.raw(),
+                        source: src.name.clone(),
+                        desc: sig.sig.key.desc.clone(),
+                        org: sig.org_kind().as_str(),
+                        entries: sig.len(),
+                        memory_bytes: sig.memory_bytes(),
+                    });
+                }
+            }
+        }
+        signatures.sort_by_key(|s| s.id);
+        let per_org = tman_predindex::ORG_LABELS
+            .iter()
+            .map(|&org| OrgMetrics {
+                org,
+                probes: t
+                    .registry
+                    .counter("tman_index_probes_total", &[("org", org)])
+                    .get(),
+                matches: t
+                    .registry
+                    .counter("tman_index_matches_total", &[("org", org)])
+                    .get(),
+            })
+            .filter(|o| o.probes > 0 || o.matches > 0)
+            .collect();
+        MetricsSnapshot {
+            engine: EngineMetrics {
+                tokens: es.tokens.get(),
+                firings: es.firings.get(),
+                actions: es.actions.get(),
+                errors: es.errors.get(),
+            },
+            queue: QueueMetrics {
+                depth: t.queue.depth.get(),
+                enqueued: t.queue.enqueued.get(),
+                dequeued: t.queue.dequeued.get(),
+                wait_ns: t.queue.wait_ns.summary(),
+            },
+            driver: DriverMetrics {
+                tman_test_calls: t.tman_test_calls.get(),
+                threshold_expirations: t.threshold_expirations.get(),
+                tman_test_ns: t.tman_test_ns.summary(),
+                tasks_token: t.tasks_executed[TASK_TOKEN].get(),
+                tasks_sig_partition: t.tasks_executed[TASK_SIG_PARTITION].get(),
+                tasks_action: t.tasks_executed[TASK_ACTION].get(),
+            },
+            index: IndexMetrics {
+                tokens: is.tokens.get(),
+                signatures_probed: is.signatures_probed.get(),
+                probes: is.probes.get(),
+                residual_tests: is.residual_tests.get(),
+                matches: is.matches.get(),
+                retest_rate: is.retest_rate(),
+                signatures: tman.predicate_index().num_signatures(),
+                entries: tman.predicate_index().num_entries(),
+                memory_bytes: tman.predicate_index().memory_bytes(),
+                per_org,
+            },
+            cache: CacheMetrics {
+                hits: cs.hits.get(),
+                misses: cs.misses.get(),
+                evictions: cs.evictions.get(),
+                pins: cs.pins.get(),
+                hit_rate: cs.hit_rate(),
+                resident: tman.trigger_cache().len(),
+            },
+            storage: StorageMetrics {
+                pool_hits: ps.pool_hits.get(),
+                pool_misses: ps.pool_misses.get(),
+                pool_evictions: ps.evictions.get(),
+                pool_hit_rate: ps.pool_hit_rate(),
+                page_reads: ds.page_reads.get(),
+                page_writes: ds.page_writes.get(),
+            },
+            actions: ActionMetrics {
+                exec_sql: t.actions_by_kind[ACTION_EXEC_SQL].get(),
+                raise_event: t.actions_by_kind[ACTION_RAISE_EVENT].get(),
+                notify: t.actions_by_kind[ACTION_NOTIFY].get(),
+                latency_ns: t.action_ns.summary(),
+                notify_fanout: t.notify_fanout.summary(),
+                delivered: tman.events().delivered(),
+                dropped: tman.events().dropped(),
+            },
+            signatures,
+        }
+    }
+
+    /// Subsystem names accepted by `show stats <subsystem>`.
+    pub const SUBSYSTEMS: [&'static str; 7] = [
+        "engine", "queue", "driver", "index", "cache", "storage", "actions",
+    ];
+
+    /// Human-readable rendering for the console. `None` renders every
+    /// section; otherwise one of [`MetricsSnapshot::SUBSYSTEMS`] (with
+    /// `predindex` and `action` accepted as aliases).
+    pub fn format(&self, subsystem: Option<&str>) -> Result<String> {
+        let canonical = match subsystem.map(|s| s.to_lowercase()) {
+            None => None,
+            Some(s) => Some(match s.as_str() {
+                "predindex" => "index".to_string(),
+                "action" => "actions".to_string(),
+                other if Self::SUBSYSTEMS.contains(&other) => other.to_string(),
+                other => {
+                    return Err(TmanError::Invalid(format!(
+                        "unknown stats subsystem '{other}' (expected one of: {})",
+                        Self::SUBSYSTEMS.join(", ")
+                    )))
+                }
+            }),
+        };
+        let want = |name: &str| canonical.as_deref().is_none_or(|c| c == name);
+        let mut out = String::new();
+        let hist = |h: &HistogramSummary| {
+            format!(
+                "count={} mean={}ns p50={}ns p95={}ns p99={}ns max={}ns",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            )
+        };
+        if want("engine") {
+            out.push_str("engine:\n");
+            out.push_str(&format!("  tokens processed   {}\n", self.engine.tokens));
+            out.push_str(&format!("  firings            {}\n", self.engine.firings));
+            out.push_str(&format!("  actions run        {}\n", self.engine.actions));
+            out.push_str(&format!("  task errors        {}\n", self.engine.errors));
+        }
+        if want("queue") {
+            out.push_str("queue:\n");
+            out.push_str(&format!("  depth              {}\n", self.queue.depth));
+            out.push_str(&format!("  enqueued           {}\n", self.queue.enqueued));
+            out.push_str(&format!("  dequeued           {}\n", self.queue.dequeued));
+            out.push_str(&format!(
+                "  wait               {}\n",
+                hist(&self.queue.wait_ns)
+            ));
+        }
+        if want("driver") {
+            out.push_str("driver:\n");
+            out.push_str(&format!(
+                "  tman_test calls    {}\n",
+                self.driver.tman_test_calls
+            ));
+            out.push_str(&format!(
+                "  threshold expired  {}\n",
+                self.driver.threshold_expirations
+            ));
+            out.push_str(&format!(
+                "  tman_test          {}\n",
+                hist(&self.driver.tman_test_ns)
+            ));
+            out.push_str(&format!(
+                "  tasks              token={} sig_partition={} action={}\n",
+                self.driver.tasks_token, self.driver.tasks_sig_partition, self.driver.tasks_action
+            ));
+        }
+        if want("index") {
+            out.push_str("index:\n");
+            out.push_str(&format!(
+                "  signatures         {} ({} entries, ~{} bytes)\n",
+                self.index.signatures, self.index.entries, self.index.memory_bytes
+            ));
+            out.push_str(&format!("  tokens             {}\n", self.index.tokens));
+            out.push_str(&format!(
+                "  signatures probed  {}\n",
+                self.index.signatures_probed
+            ));
+            out.push_str(&format!("  probes             {}\n", self.index.probes));
+            out.push_str(&format!(
+                "  residual retests   {} (rate {:.3})\n",
+                self.index.residual_tests, self.index.retest_rate
+            ));
+            out.push_str(&format!("  matches            {}\n", self.index.matches));
+            for o in &self.index.per_org {
+                out.push_str(&format!(
+                    "  org {:<16} probes={} matches={}\n",
+                    o.org, o.probes, o.matches
+                ));
+            }
+        }
+        if want("cache") {
+            out.push_str("cache:\n");
+            out.push_str(&format!(
+                "  pins               {} (hits={} misses={} rate {:.3})\n",
+                self.cache.pins, self.cache.hits, self.cache.misses, self.cache.hit_rate
+            ));
+            out.push_str(&format!("  evictions          {}\n", self.cache.evictions));
+            out.push_str(&format!("  resident           {}\n", self.cache.resident));
+        }
+        if want("storage") {
+            out.push_str("storage:\n");
+            out.push_str(&format!(
+                "  pool               hits={} misses={} rate {:.3} evictions={}\n",
+                self.storage.pool_hits,
+                self.storage.pool_misses,
+                self.storage.pool_hit_rate,
+                self.storage.pool_evictions
+            ));
+            out.push_str(&format!(
+                "  disk               reads={} writes={}\n",
+                self.storage.page_reads, self.storage.page_writes
+            ));
+        }
+        if want("actions") {
+            out.push_str("actions:\n");
+            out.push_str(&format!(
+                "  by kind            exec_sql={} raise_event={} notify={}\n",
+                self.actions.exec_sql, self.actions.raise_event, self.actions.notify
+            ));
+            out.push_str(&format!(
+                "  latency            {}\n",
+                hist(&self.actions.latency_ns)
+            ));
+            out.push_str(&format!(
+                "  notify fanout      {}\n",
+                hist(&self.actions.notify_fanout)
+            ));
+            out.push_str(&format!(
+                "  notifications      delivered={} dropped={}\n",
+                self.actions.delivered, self.actions.dropped
+            ));
+        }
+        Ok(out)
+    }
+}

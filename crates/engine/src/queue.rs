@@ -8,52 +8,73 @@
 //!   persistent update queuing").
 //! * **Volatile** — the planned "main-memory queue ... faster, but the
 //!   safety ... will be lost": a lock-free in-memory queue.
+//!
+//! Telemetry: the queue owns a depth gauge, enqueue/dequeue counters, and
+//! an enqueue→dequeue wait-time histogram ([`QueueTelemetry`]). Wait time
+//! is measured on the volatile backend by stamping each descriptor with its
+//! enqueue instant (skipped entirely when telemetry is disabled); the
+//! persistent backend reports depth and throughput only, since timestamps
+//! would not survive a restart anyway.
 
 use crossbeam::queue::SegQueue;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
-use tman_common::{Result, TmanError, UpdateDescriptor, Value};
+use std::time::Instant;
+use tman_common::hex::{hex_decode, hex_encode};
+use tman_common::{Result, UpdateDescriptor, Value};
 use tman_sql::{Database, Table};
+use tman_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 
 /// Name of the persistent queue table.
 pub const QUEUE_TABLE: &str = "update_queue";
 
+/// Pre-resolved queue instruments.
+#[derive(Clone, Default)]
+pub struct QueueTelemetry {
+    /// `tman_queue_depth`: descriptors currently queued.
+    pub depth: GaugeHandle,
+    /// `tman_queue_enqueued_total`.
+    pub enqueued: CounterHandle,
+    /// `tman_queue_dequeued_total`.
+    pub dequeued: CounterHandle,
+    /// `tman_queue_wait_ns`: enqueue→dequeue latency (volatile mode).
+    pub wait_ns: HistogramHandle,
+}
+
+impl QueueTelemetry {
+    /// Resolve the queue instrument family from a registry.
+    pub fn from_registry(registry: &Registry) -> QueueTelemetry {
+        QueueTelemetry {
+            depth: registry.gauge("tman_queue_depth", &[]),
+            enqueued: registry.counter("tman_queue_enqueued_total", &[]),
+            dequeued: registry.counter("tman_queue_dequeued_total", &[]),
+            wait_ns: registry.histogram("tman_queue_wait_ns", &[]),
+        }
+    }
+}
+
 #[allow(clippy::large_enum_variant)] // one queue per engine; size is moot
 enum Backend {
-    Volatile(SegQueue<UpdateDescriptor>),
-    Persistent { table: Arc<Table>, next_qid: AtomicI64 },
+    Volatile(SegQueue<(Option<Instant>, UpdateDescriptor)>),
+    Persistent {
+        table: Arc<Table>,
+        next_qid: AtomicI64,
+    },
 }
 
 /// FIFO of update descriptors awaiting processing.
 pub struct UpdateQueue {
     backend: Backend,
-}
-
-fn hex_encode(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
-    }
-    s
-}
-
-fn hex_decode(s: &str) -> Result<Vec<u8>> {
-    if !s.len().is_multiple_of(2) {
-        return Err(TmanError::Storage("odd-length hex body".into()));
-    }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| {
-            u8::from_str_radix(&s[i..i + 2], 16)
-                .map_err(|e| TmanError::Storage(format!("bad hex body: {e}")))
-        })
-        .collect()
+    telemetry: QueueTelemetry,
 }
 
 impl UpdateQueue {
     /// In-memory queue.
     pub fn volatile() -> UpdateQueue {
-        UpdateQueue { backend: Backend::Volatile(SegQueue::new()) }
+        UpdateQueue {
+            backend: Backend::Volatile(SegQueue::new()),
+            telemetry: QueueTelemetry::default(),
+        }
     }
 
     /// Table-backed queue; creates (or reopens) `update_queue` and resumes
@@ -77,37 +98,62 @@ impl UpdateQueue {
             Ok(true)
         })?;
         Ok(UpdateQueue {
-            backend: Backend::Persistent { table, next_qid: AtomicI64::new(max_qid + 1) },
+            backend: Backend::Persistent {
+                table,
+                next_qid: AtomicI64::new(max_qid + 1),
+            },
+            telemetry: QueueTelemetry::default(),
         })
+    }
+
+    /// Wire instruments in. Initializes the depth gauge from the current
+    /// length, so a persistent queue recovered with rows already in it
+    /// reports them.
+    pub fn attach_telemetry(&mut self, telemetry: QueueTelemetry) {
+        telemetry.depth.add(self.len() as i64);
+        self.telemetry = telemetry;
     }
 
     /// Append a descriptor.
     pub fn enqueue(&self, d: UpdateDescriptor) -> Result<()> {
         match &self.backend {
             Backend::Volatile(q) => {
-                q.push(d);
-                Ok(())
+                let stamp = if self.telemetry.wait_ns.is_enabled() {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                q.push((stamp, d));
             }
             Backend::Persistent { table, next_qid } => {
                 let qid = next_qid.fetch_add(1, Ordering::Relaxed);
                 table.insert(vec![Value::Int(qid), Value::str(hex_encode(&d.encode()))])?;
-                Ok(())
             }
         }
+        self.telemetry.enqueued.bump();
+        self.telemetry.depth.inc();
+        Ok(())
     }
 
     /// Remove and return up to `max` descriptors in FIFO order.
     pub fn dequeue_batch(&self, max: usize) -> Result<Vec<UpdateDescriptor>> {
-        match &self.backend {
+        let out = match &self.backend {
             Backend::Volatile(q) => {
                 let mut out = Vec::new();
                 while out.len() < max {
                     match q.pop() {
-                        Some(d) => out.push(d),
+                        Some((stamp, d)) => {
+                            if let Some(t0) = stamp {
+                                self.telemetry
+                                    .wait_ns
+                                    .record(t0.elapsed().as_nanos() as u64);
+                            }
+                            out.push(d);
+                        }
                         None => break,
                     }
                 }
-                Ok(out)
+                out
             }
             Backend::Persistent { table, .. } => {
                 // One scan collects (qid, rid, body); take the lowest qids.
@@ -127,9 +173,12 @@ impl UpdateQueue {
                     table.delete(rid)?;
                     out.push(UpdateDescriptor::decode(&hex_decode(&body)?)?);
                 }
-                Ok(out)
+                out
             }
-        }
+        };
+        self.telemetry.dequeued.add(out.len() as u64);
+        self.telemetry.depth.add(-(out.len() as i64));
+        Ok(out)
     }
 
     /// Number of queued descriptors.
@@ -190,10 +239,38 @@ mod tests {
     }
 
     #[test]
-    fn hex_roundtrip() {
-        let data = vec![0u8, 255, 16, 1, 171];
-        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
-        assert!(hex_decode("abc").is_err());
-        assert!(hex_decode("zz").is_err());
+    fn telemetry_tracks_depth_throughput_and_wait() {
+        let registry = Registry::new();
+        let mut q = UpdateQueue::volatile();
+        q.attach_telemetry(QueueTelemetry::from_registry(&registry));
+        let t = QueueTelemetry::from_registry(&registry); // same series
+        for i in 0..3 {
+            q.enqueue(tok(i)).unwrap();
+        }
+        assert_eq!(t.depth.get(), 3);
+        assert_eq!(t.enqueued.get(), 3);
+        q.dequeue_batch(2).unwrap();
+        assert_eq!(t.depth.get(), 1);
+        assert_eq!(t.dequeued.get(), 2);
+        assert_eq!(t.wait_ns.summary().count, 2);
+        q.dequeue_batch(10).unwrap();
+        assert_eq!(t.depth.get(), 0);
+    }
+
+    #[test]
+    fn recovered_persistent_depth_is_reported() {
+        let registry = Registry::new();
+        let db = Database::open_memory(128);
+        {
+            let q = UpdateQueue::persistent(&db).unwrap();
+            q.enqueue(tok(1)).unwrap();
+            q.enqueue(tok(2)).unwrap();
+        }
+        let mut q2 = UpdateQueue::persistent(&db).unwrap();
+        q2.attach_telemetry(QueueTelemetry::from_registry(&registry));
+        let t = QueueTelemetry::from_registry(&registry);
+        assert_eq!(t.depth.get(), 2);
+        q2.dequeue_batch(10).unwrap();
+        assert_eq!(t.depth.get(), 0);
     }
 }

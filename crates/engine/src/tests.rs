@@ -7,19 +7,31 @@ fn system() -> Arc<TriggerMan> {
 }
 
 fn setup_emp(tman: &Arc<TriggerMan>) {
-    tman.run_sql("create table emp (name varchar(32), salary float, dept int)").unwrap();
-    tman.execute_command("define data source emp from table emp").unwrap();
+    tman.run_sql("create table emp (name varchar(32), salary float, dept int)")
+        .unwrap();
+    tman.execute_command("define data source emp from table emp")
+        .unwrap();
 }
 
 fn setup_real_estate(tman: &Arc<TriggerMan>) {
     for (ddl, src) in [
-        ("create table salesperson (spno int, name varchar(20), phone varchar(16))", "salesperson"),
-        ("create table house (hno int, address varchar(40), price float, nno int)", "house"),
+        (
+            "create table salesperson (spno int, name varchar(20), phone varchar(16))",
+            "salesperson",
+        ),
+        (
+            "create table house (hno int, address varchar(40), price float, nno int)",
+            "house",
+        ),
         ("create table represents (spno int, nno int)", "represents"),
-        ("create table neighborhood (nno int, name varchar(20), location varchar(20))", "neighborhood"),
+        (
+            "create table neighborhood (nno int, name varchar(20), location varchar(20))",
+            "neighborhood",
+        ),
     ] {
         tman.run_sql(ddl).unwrap();
-        tman.execute_command(&format!("define data source {src} from table {src}")).unwrap();
+        tman.execute_command(&format!("define data source {src} from table {src}"))
+            .unwrap();
     }
 }
 
@@ -28,8 +40,10 @@ fn paper_example_update_fred() {
     // §2: "This rule sets the salary of Fred to the salary of Bob."
     let tman = system();
     setup_emp(&tman);
-    tman.run_sql("insert into emp values ('Fred', 1000, 1)").unwrap();
-    tman.run_sql("insert into emp values ('Bob', 2000, 1)").unwrap();
+    tman.run_sql("insert into emp values ('Fred', 1000, 1)")
+        .unwrap();
+    tman.run_sql("insert into emp values ('Bob', 2000, 1)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
 
     tman.execute_command(
@@ -39,16 +53,21 @@ fn paper_example_update_fred() {
     )
     .unwrap();
 
-    tman.run_sql("update emp set salary = 95000 where name = 'Bob'").unwrap();
+    tman.run_sql("update emp set salary = 95000 where name = 'Bob'")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
 
-    let rows = tman.run_sql("select salary from emp where name = 'Fred'").unwrap().rows();
+    let rows = tman
+        .run_sql("select salary from emp where name = 'Fred'")
+        .unwrap()
+        .rows();
     assert_eq!(rows[0].get(0), &Value::Float(95000.0));
     assert_eq!(tman.stats().actions.get(), 1);
 
     // A name-only update must NOT fire (update(emp.salary) event).
-    tman.run_sql("update emp set name = 'Robert' where name = 'Bob'").unwrap();
+    tman.run_sql("update emp set name = 'Robert' where name = 'Bob'")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert_eq!(tman.stats().actions.get(), 1);
 }
@@ -57,10 +76,14 @@ fn paper_example_update_fred() {
 fn paper_example_iris_house_alert() {
     let tman = system();
     setup_real_estate(&tman);
-    tman.run_sql("insert into salesperson values (1, 'Iris', '555-1234')").unwrap();
-    tman.run_sql("insert into salesperson values (2, 'Bob', '555-9999')").unwrap();
-    tman.run_sql("insert into represents values (1, 10)").unwrap();
-    tman.run_sql("insert into represents values (2, 11)").unwrap();
+    tman.run_sql("insert into salesperson values (1, 'Iris', '555-1234')")
+        .unwrap();
+    tman.run_sql("insert into salesperson values (2, 'Bob', '555-9999')")
+        .unwrap();
+    tman.run_sql("insert into represents values (1, 10)")
+        .unwrap();
+    tman.run_sql("insert into represents values (2, 11)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
 
     let rx = tman.subscribe("NewHouseInIrisNeighborhood");
@@ -73,8 +96,10 @@ fn paper_example_iris_house_alert() {
     .unwrap();
 
     // House in Iris's neighborhood fires; Bob's does not.
-    tman.run_sql("insert into house values (100, '12 Oak St', 250000, 10)").unwrap();
-    tman.run_sql("insert into house values (101, '9 Elm St', 150000, 11)").unwrap();
+    tman.run_sql("insert into house values (100, '12 Oak St', 250000, 10)")
+        .unwrap();
+    tman.run_sql("insert into house values (101, '9 Elm St', 150000, 11)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
 
@@ -84,11 +109,13 @@ fn paper_example_iris_house_alert() {
     assert!(rx.try_recv().is_err(), "Bob's house must not fire");
 
     // Inserting a represents row must not raise (event is insert to house).
-    tman.run_sql("insert into represents values (1, 11)").unwrap();
+    tman.run_sql("insert into represents values (1, 11)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(rx.try_recv().is_err());
     // ... but now a house in nno 11 fires (Iris represents it too).
-    tman.run_sql("insert into house values (102, '1 Pine St', 99000, 11)").unwrap();
+    tman.run_sql("insert into house values (102, '1 Pine St', 99000, 11)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert_eq!(rx.try_recv().unwrap().values[0], Value::Int(102));
 }
@@ -103,8 +130,10 @@ fn notify_action_substitutes_macros() {
          do notify 'big: :NEW.emp.name earns :NEW.emp.salary'",
     )
     .unwrap();
-    tman.run_sql("insert into emp values ('Ann', 90000, 2)").unwrap();
-    tman.run_sql("insert into emp values ('Bo', 50000, 2)").unwrap();
+    tman.run_sql("insert into emp values ('Ann', 90000, 2)")
+        .unwrap();
+    tman.run_sql("insert into emp values ('Bo', 50000, 2)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     let n = rx.try_recv().unwrap();
     assert_eq!(n.message.as_deref(), Some("big: Ann earns 90000"));
@@ -121,8 +150,10 @@ fn delete_event_uses_old_image() {
          when emp.dept = 7 do raise event Gone(:OLD.emp.name)",
     )
     .unwrap();
-    tman.run_sql("insert into emp values ('Kim', 100, 7)").unwrap();
-    tman.run_sql("insert into emp values ('Lee', 100, 8)").unwrap();
+    tman.run_sql("insert into emp values ('Kim', 100, 7)")
+        .unwrap();
+    tman.run_sql("insert into emp values ('Lee', 100, 8)")
+        .unwrap();
     tman.run_sql("delete from emp where dept = 7").unwrap();
     tman.run_sql("delete from emp where dept = 8").unwrap();
     tman.run_until_quiescent().unwrap();
@@ -137,8 +168,10 @@ fn trigger_chaining_via_execsql() {
     // updateFred-style chaining: trigger A's execSQL fires trigger B.
     let tman = system();
     setup_emp(&tman);
-    tman.run_sql("create table audit (who varchar(32), sal float)").unwrap();
-    tman.execute_command("define data source audit from table audit").unwrap();
+    tman.run_sql("create table audit (who varchar(32), sal float)")
+        .unwrap();
+    tman.execute_command("define data source audit from table audit")
+        .unwrap();
     let rx = tman.subscribe("Audited");
     tman.execute_command(
         "create trigger log_raises from emp on update(emp.salary) \
@@ -150,8 +183,10 @@ fn trigger_chaining_via_execsql() {
          do raise event Audited(audit.who)",
     )
     .unwrap();
-    tman.run_sql("insert into emp values ('Zoe', 10, 1)").unwrap();
-    tman.run_sql("update emp set salary = 20 where name = 'Zoe'").unwrap();
+    tman.run_sql("insert into emp values ('Zoe', 10, 1)")
+        .unwrap();
+    tman.run_sql("update emp set salary = 20 where name = 'Zoe'")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
     assert_eq!(rx.try_recv().unwrap().values, vec![Value::str("Zoe")]);
@@ -164,10 +199,8 @@ fn enable_disable_trigger_and_set() {
     setup_emp(&tman);
     let rx = tman.subscribe("notify");
     tman.execute_command("create trigger set alerts").unwrap();
-    tman.execute_command(
-        "create trigger t1 in alerts from emp when emp.dept = 1 do notify 't1'",
-    )
-    .unwrap();
+    tman.execute_command("create trigger t1 in alerts from emp when emp.dept = 1 do notify 't1'")
+        .unwrap();
 
     tman.run_sql("insert into emp values ('a', 1, 1)").unwrap();
     tman.run_until_quiescent().unwrap();
@@ -194,13 +227,15 @@ fn enable_disable_trigger_and_set() {
 fn drop_trigger_stops_matching_and_cleans_index() {
     let tman = system();
     setup_emp(&tman);
-    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'x'").unwrap();
+    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'x'")
+        .unwrap();
     assert_eq!(tman.predicate_index().num_entries(), 1);
     tman.execute_command("drop trigger t").unwrap();
     assert_eq!(tman.predicate_index().num_entries(), 0);
     assert!(tman.execute_command("drop trigger t").is_err());
     // Recreating under the same name works.
-    tman.execute_command("create trigger t from emp when emp.dept = 2 do notify 'y'").unwrap();
+    tman.execute_command("create trigger t from emp when emp.dept = 2 do notify 'y'")
+        .unwrap();
 }
 
 #[test]
@@ -227,9 +262,14 @@ fn signatures_shared_and_catalogued() {
 fn duplicate_names_and_bad_commands_error() {
     let tman = system();
     setup_emp(&tman);
-    tman.execute_command("create trigger t from emp do notify 'x'").unwrap();
-    assert!(tman.execute_command("create trigger t from emp do notify 'x'").is_err());
-    assert!(tman.execute_command("create trigger u from nosource do notify 'x'").is_err());
+    tman.execute_command("create trigger t from emp do notify 'x'")
+        .unwrap();
+    assert!(tman
+        .execute_command("create trigger t from emp do notify 'x'")
+        .is_err());
+    assert!(tman
+        .execute_command("create trigger u from nosource do notify 'x'")
+        .is_err());
     assert!(tman
         .execute_command("create trigger v from emp when emp.bogus = 1 do notify 'x'")
         .is_err());
@@ -237,7 +277,9 @@ fn duplicate_names_and_bad_commands_error() {
         .execute_command("create trigger w from emp group by emp.dept do notify 'x'")
         .is_err());
     // A failed create leaves no residue.
-    assert!(tman.execute_command("create trigger u from emp do notify 'ok'").is_ok());
+    assert!(tman
+        .execute_command("create trigger u from emp do notify 'ok'")
+        .is_ok());
 }
 
 #[test]
@@ -254,12 +296,14 @@ fn remote_data_source_via_push_token() {
     let src = tman.source("quotes").unwrap().id;
     tman.push_token(UpdateDescriptor::insert(
         src,
-        tman.tuple_for("quotes", vec![Value::str("ACME"), Value::Float(5.0)]).unwrap(),
+        tman.tuple_for("quotes", vec![Value::str("ACME"), Value::Float(5.0)])
+            .unwrap(),
     ))
     .unwrap();
     tman.push_token(UpdateDescriptor::insert(
         src,
-        tman.tuple_for("quotes", vec![Value::str("BIG"), Value::Float(500.0)]).unwrap(),
+        tman.tuple_for("quotes", vec![Value::str("BIG"), Value::Float(500.0)])
+            .unwrap(),
     ))
     .unwrap();
     tman.run_until_quiescent().unwrap();
@@ -268,7 +312,10 @@ fn remote_data_source_via_push_token() {
     assert!(rx.try_recv().is_err());
     // Arity validation.
     assert!(tman
-        .push_token(UpdateDescriptor::insert(src, Tuple::new(vec![Value::Int(1)])))
+        .push_token(UpdateDescriptor::insert(
+            src,
+            Tuple::new(vec![Value::Int(1)])
+        ))
         .is_err());
 }
 
@@ -276,7 +323,10 @@ fn remote_data_source_via_push_token() {
 fn persistent_recovery_restores_triggers_and_queue() {
     let path = std::env::temp_dir().join(format!("tman_engine_{}.db", std::process::id()));
     let _ = std::fs::remove_file(&path);
-    let cfg = Config { queue_mode: QueueMode::Persistent, ..Default::default() };
+    let cfg = Config {
+        queue_mode: QueueMode::Persistent,
+        ..Default::default()
+    };
     {
         let tman = TriggerMan::open_file(&path, cfg.clone()).unwrap();
         setup_emp(&tman);
@@ -285,7 +335,8 @@ fn persistent_recovery_restores_triggers_and_queue() {
         )
         .unwrap();
         // Enqueue but do NOT process: must survive the restart.
-        tman.run_sql("insert into emp values ('Pat', 1, 3)").unwrap();
+        tman.run_sql("insert into emp values ('Pat', 1, 3)")
+            .unwrap();
         tman.checkpoint().unwrap();
     }
     {
@@ -294,9 +345,13 @@ fn persistent_recovery_restores_triggers_and_queue() {
         assert_eq!(tman.predicate_index().num_entries(), 1);
         let rx = tman.subscribe("notify");
         tman.run_until_quiescent().unwrap();
-        assert_eq!(rx.try_recv().unwrap().message.as_deref(), Some("dept3: Pat"));
+        assert_eq!(
+            rx.try_recv().unwrap().message.as_deref(),
+            Some("dept3: Pat")
+        );
         // And the machinery still works for fresh updates.
-        tman.run_sql("insert into emp values ('Quinn', 1, 3)").unwrap();
+        tman.run_sql("insert into emp values ('Quinn', 1, 3)")
+            .unwrap();
         tman.run_until_quiescent().unwrap();
         assert!(rx.try_recv().is_ok());
     }
@@ -314,11 +369,13 @@ fn drivers_process_in_background() {
     let tman = TriggerMan::open_memory(cfg).unwrap();
     setup_emp(&tman);
     let rx = tman.subscribe("notify");
-    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'hit'").unwrap();
+    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'hit'")
+        .unwrap();
     let pool = tman.start_drivers();
     assert_eq!(pool.len(), 2);
     for i in 0..200 {
-        tman.run_sql(&format!("insert into emp values ('p{i}', 1, {})", i % 4)).unwrap();
+        tman.run_sql(&format!("insert into emp values ('p{i}', 1, {})", i % 4))
+            .unwrap();
     }
     // Wait for the drivers to drain the queue.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -332,12 +389,22 @@ fn drivers_process_in_background() {
 
 #[test]
 fn join_triggers_work_on_all_network_kinds() {
-    for kind in [NetworkKind::ATreat, NetworkKind::Treat, NetworkKind::Rete, NetworkKind::Gator] {
-        let cfg = Config { network: kind, ..Default::default() };
+    for kind in [
+        NetworkKind::ATreat,
+        NetworkKind::Treat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
+        let cfg = Config {
+            network: kind,
+            ..Default::default()
+        };
         let tman = TriggerMan::open_memory(cfg).unwrap();
         setup_real_estate(&tman);
-        tman.run_sql("insert into salesperson values (1, 'Iris', 'x')").unwrap();
-        tman.run_sql("insert into represents values (1, 10)").unwrap();
+        tman.run_sql("insert into salesperson values (1, 'Iris', 'x')")
+            .unwrap();
+        tman.run_sql("insert into represents values (1, 10)")
+            .unwrap();
         tman.run_until_quiescent().unwrap();
 
         let rx = tman.subscribe("Hit");
@@ -348,16 +415,28 @@ fn join_triggers_work_on_all_network_kinds() {
         )
         .unwrap();
 
-        tman.run_sql("insert into house values (7, 'a', 1, 10)").unwrap();
-        tman.run_sql("insert into house values (8, 'b', 1, 99)").unwrap();
+        tman.run_sql("insert into house values (7, 'a', 1, 10)")
+            .unwrap();
+        tman.run_sql("insert into house values (8, 'b', 1, 99)")
+            .unwrap();
         tman.run_until_quiescent().unwrap();
-        assert!(tman.last_error().is_none(), "{kind:?}: {:?}", tman.last_error());
-        assert_eq!(rx.try_recv().unwrap().values, vec![Value::Int(7)], "{kind:?}");
+        assert!(
+            tman.last_error().is_none(),
+            "{kind:?}: {:?}",
+            tman.last_error()
+        );
+        assert_eq!(
+            rx.try_recv().unwrap().values,
+            vec![Value::Int(7)],
+            "{kind:?}"
+        );
         assert!(rx.try_recv().is_err(), "{kind:?}");
 
         // Represents-row churn maintains memories without firing.
-        tman.run_sql("delete from represents where nno = 10").unwrap();
-        tman.run_sql("insert into house values (9, 'c', 1, 10)").unwrap();
+        tman.run_sql("delete from represents where nno = 10")
+            .unwrap();
+        tman.run_sql("insert into house values (9, 'c', 1, 10)")
+            .unwrap();
         tman.run_until_quiescent().unwrap();
         assert!(rx.try_recv().is_err(), "{kind:?}: no rep row anymore");
     }
@@ -367,11 +446,16 @@ fn join_triggers_work_on_all_network_kinds() {
 fn update_tokens_maintain_stored_memories() {
     // TREAT: an update that moves a row out of the selection must retract
     // it from the alpha memory (via the synthetic-delete maintenance path).
-    let cfg = Config { network: NetworkKind::Treat, ..Default::default() };
+    let cfg = Config {
+        network: NetworkKind::Treat,
+        ..Default::default()
+    };
     let tman = TriggerMan::open_memory(cfg).unwrap();
     setup_real_estate(&tman);
-    tman.run_sql("insert into salesperson values (1, 'Iris', 'x')").unwrap();
-    tman.run_sql("insert into represents values (1, 10)").unwrap();
+    tman.run_sql("insert into salesperson values (1, 'Iris', 'x')")
+        .unwrap();
+    tman.run_sql("insert into represents values (1, 10)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     let rx = tman.subscribe("Hit");
     tman.execute_command(
@@ -381,13 +465,17 @@ fn update_tokens_maintain_stored_memories() {
     )
     .unwrap();
     // Rename Iris: the selection s.name='Iris' no longer holds.
-    tman.run_sql("update salesperson set name = 'Irene' where spno = 1").unwrap();
-    tman.run_sql("insert into house values (1, 'a', 1, 10)").unwrap();
+    tman.run_sql("update salesperson set name = 'Irene' where spno = 1")
+        .unwrap();
+    tman.run_sql("insert into house values (1, 'a', 1, 10)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(rx.try_recv().is_err(), "stale alpha memory fired");
     // Rename back: updates must re-admit her.
-    tman.run_sql("update salesperson set name = 'Iris' where spno = 1").unwrap();
-    tman.run_sql("insert into house values (2, 'b', 1, 10)").unwrap();
+    tman.run_sql("update salesperson set name = 'Iris' where spno = 1")
+        .unwrap();
+    tman.run_sql("insert into house values (2, 'b', 1, 10)")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
     assert_eq!(rx.try_recv().unwrap().values, vec![Value::Int(2)]);
@@ -395,7 +483,11 @@ fn update_tokens_maintain_stored_memories() {
 
 #[test]
 fn condition_level_concurrency_partitions() {
-    let cfg = Config { condition_partitions: 4, partition_min: 10, ..Default::default() };
+    let cfg = Config {
+        condition_partitions: 4,
+        partition_min: 10,
+        ..Default::default()
+    };
     let tman = TriggerMan::open_memory(cfg).unwrap();
     setup_emp(&tman);
     let rx = tman.subscribe("notify");
@@ -415,11 +507,15 @@ fn condition_level_concurrency_partitions() {
 
 #[test]
 fn async_actions_run_as_tasks() {
-    let cfg = Config { async_actions: true, ..Default::default() };
+    let cfg = Config {
+        async_actions: true,
+        ..Default::default()
+    };
     let tman = TriggerMan::open_memory(cfg).unwrap();
     setup_emp(&tman);
     let rx = tman.subscribe("notify");
-    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'x'").unwrap();
+    tman.execute_command("create trigger t from emp when emp.dept = 1 do notify 'x'")
+        .unwrap();
     for _ in 0..10 {
         tman.run_sql("insert into emp values ('a', 1, 1)").unwrap();
     }
@@ -430,7 +526,10 @@ fn async_actions_run_as_tasks() {
 
 #[test]
 fn trigger_cache_eviction_and_reload() {
-    let cfg = Config { trigger_cache_capacity: 4, ..Default::default() };
+    let cfg = Config {
+        trigger_cache_capacity: 4,
+        ..Default::default()
+    };
     let tman = TriggerMan::open_memory(cfg).unwrap();
     setup_emp(&tman);
     let rx = tman.subscribe("notify");
@@ -459,7 +558,8 @@ fn implicit_insert_or_update_event() {
     tman.execute_command("create trigger any from emp when emp.dept = 1 do notify 'hit'")
         .unwrap();
     tman.run_sql("insert into emp values ('a', 1, 1)").unwrap();
-    tman.run_sql("update emp set salary = 2 where name = 'a'").unwrap();
+    tman.run_sql("update emp set salary = 2 where name = 'a'")
+        .unwrap();
     tman.run_sql("delete from emp where name = 'a'").unwrap();
     tman.run_until_quiescent().unwrap();
     assert_eq!(rx.try_iter().count(), 2);
@@ -469,15 +569,23 @@ fn implicit_insert_or_update_event() {
 fn tman_test_reports_threshold_expiry() {
     let tman = system();
     setup_emp(&tman);
-    tman.execute_command("create trigger t from emp when emp.dept >= 0 do notify 'x'").unwrap();
+    tman.execute_command("create trigger t from emp when emp.dept >= 0 do notify 'x'")
+        .unwrap();
     for i in 0..500 {
-        tman.run_sql(&format!("insert into emp values ('p{i}', 1, 1)")).unwrap();
+        tman.run_sql(&format!("insert into emp values ('p{i}', 1, 1)"))
+            .unwrap();
     }
     // A zero threshold processes exactly one task then reports more work.
-    assert_eq!(tman.tman_test(Duration::ZERO), TmanTestResult::TasksRemaining);
+    assert_eq!(
+        tman.tman_test(Duration::ZERO),
+        TmanTestResult::TasksRemaining
+    );
     assert_eq!(tman.stats().tokens.get(), 1);
     tman.run_until_quiescent().unwrap();
-    assert_eq!(tman.tman_test(Duration::from_millis(1)), TmanTestResult::QueueEmpty);
+    assert_eq!(
+        tman.tman_test(Duration::from_millis(1)),
+        TmanTestResult::QueueEmpty
+    );
     assert_eq!(tman.stats().tokens.get(), 500);
 }
 
@@ -495,9 +603,11 @@ fn connections_catalog_and_defaults() {
     .unwrap();
     assert_eq!(tman.connections().len(), 2);
     assert_eq!(tman.default_connection(), "local");
-    assert!(tman
-        .execute_command("define connection wallst type 'oracle'")
-        .is_err(), "duplicate connection");
+    assert!(
+        tman.execute_command("define connection wallst type 'oracle'")
+            .is_err(),
+        "duplicate connection"
+    );
 
     // A stream source on the remote connection works via push_token...
     tman.execute_command("define data source ticks (sym varchar(8), px float) via wallst")
@@ -513,7 +623,8 @@ fn connections_catalog_and_defaults() {
         .is_ok());
 
     // Changing the default connection affects subsequent sources.
-    tman.execute_command("define connection lse type 'db2' default").unwrap();
+    tman.execute_command("define connection lse type 'db2' default")
+        .unwrap();
     assert_eq!(tman.default_connection(), "lse");
     tman.execute_command("define data source lseticks (sym varchar(8), px float)")
         .unwrap();
@@ -528,7 +639,8 @@ fn connections_survive_restart() {
         let tman = TriggerMan::open_file(&path, Config::default()).unwrap();
         tman.execute_command("define connection feed type 'sybase' host 'h1' default")
             .unwrap();
-        tman.execute_command("define data source s (x int) via feed").unwrap();
+        tman.execute_command("define data source s (x int) via feed")
+            .unwrap();
         tman.checkpoint().unwrap();
     }
     {
@@ -538,4 +650,161 @@ fn connections_survive_restart() {
         assert_eq!(tman.source("s").unwrap().connection, "feed");
     }
     let _ = std::fs::remove_file(&path);
+}
+
+// ----- observability (tman-telemetry wiring) ---------------------------------
+
+/// Drive a small but representative workload: two triggers (notify +
+/// raise event), 40 matching / 20 non-matching tokens.
+fn run_observed_workload(tman: &Arc<TriggerMan>) {
+    setup_emp(tman);
+    let _keep = tman.subscribe("Big");
+    tman.execute_command(
+        "create trigger obs1 from emp when emp.dept = 1 do notify 'd1: :NEW.emp.name'",
+    )
+    .unwrap();
+    tman.execute_command(
+        "create trigger obs2 from emp when emp.salary > 100 do raise event Big(emp.name)",
+    )
+    .unwrap();
+    for i in 0..60 {
+        tman.run_sql(&format!(
+            "insert into emp values ('p{i}', {}, {})",
+            i * 10,
+            i % 3
+        ))
+        .unwrap();
+    }
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+}
+
+#[test]
+fn metrics_snapshot_invariants_after_quiescence() {
+    let tman = system();
+    run_observed_workload(&tman);
+    let m = tman.metrics_snapshot();
+
+    // Every enqueued token was dequeued and processed; the depth gauge is
+    // back to zero.
+    assert_eq!(m.queue.enqueued, 60);
+    assert_eq!(m.queue.dequeued, m.queue.enqueued);
+    assert_eq!(m.queue.depth, 0);
+    assert_eq!(m.engine.tokens, m.queue.enqueued);
+    assert_eq!(m.queue.wait_ns.count, 60);
+
+    // Cache accounting: every pin was either a hit or a miss.
+    assert_eq!(m.cache.pins, m.cache.hits + m.cache.misses);
+    assert!(m.cache.pins > 0);
+
+    // Driver task accounting: inline actions mean every task was a token.
+    assert_eq!(m.driver.tasks_token, 60);
+    assert!(m.driver.tman_test_calls > 0);
+    assert_eq!(m.driver.tman_test_ns.count, m.driver.tman_test_calls);
+
+    // Index: 60 tokens reached the root; probes found the matches that
+    // became engine firings.
+    assert_eq!(m.index.tokens, 60);
+    assert!(m.index.matches >= m.engine.firings);
+    let org_probes: u64 = m.index.per_org.iter().map(|o| o.probes).sum();
+    let org_matches: u64 = m.index.per_org.iter().map(|o| o.matches).sum();
+    assert_eq!(org_probes, m.index.probes);
+    assert_eq!(org_matches, m.index.matches);
+
+    // Actions: obs1 (notify) fires for dept=1 (20 tokens), obs2
+    // (raise event) for salary>100 (49 tokens: i in 11..60).
+    assert_eq!(m.actions.notify, 20);
+    assert_eq!(m.actions.raise_event, 49);
+    assert_eq!(m.engine.actions, 69);
+    assert_eq!(m.actions.latency_ns.count, 69);
+    assert_eq!(m.actions.notify_fanout.count, 69);
+    // One live "Big" subscriber; notify has none.
+    assert_eq!(m.actions.delivered, 49);
+
+    // Storage served catalog reads.
+    assert!(m.storage.pool_hits > 0);
+    assert!((m.storage.pool_hit_rate - 1.0).abs() < 1e-9 || m.storage.pool_misses > 0);
+
+    // Signature rows exist for both triggers' signatures.
+    assert!(!m.signatures.is_empty());
+}
+
+#[test]
+fn render_text_exposes_all_subsystems() {
+    let tman = system();
+    run_observed_workload(&tman);
+    let text = tman.render_text();
+    for series in [
+        "# TYPE tman_queue_depth gauge",
+        "# TYPE tman_queue_wait_ns summary",
+        "tman_queue_enqueued_total 60",
+        "tman_tokens_processed_total 60",
+        "tman_tasks_executed_total{type=\"token\"} 60",
+        "tman_test_calls_total",
+        "tman_index_probes_total{org=",
+        "tman_index_tokens_total 60",
+        "tman_cache_pins_total",
+        "tman_pool_hits_total",
+        "tman_actions_total{kind=\"notify\"} 20",
+        "tman_action_ns_count 69",
+        "tman_notifications_delivered_total 49",
+    ] {
+        assert!(text.contains(series), "missing '{series}' in:\n{text}");
+    }
+    // JSON rendering parses the same families.
+    let json = tman.render_metrics_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"tman_tokens_processed_total\":60"));
+}
+
+#[test]
+fn show_stats_command_formats_report() {
+    let tman = system();
+    run_observed_workload(&tman);
+    let CommandOutput::Stats(all) = tman.execute_command("show stats").unwrap() else {
+        panic!("expected stats output");
+    };
+    for section in [
+        "engine:", "queue:", "driver:", "index:", "cache:", "storage:", "actions:",
+    ] {
+        assert!(
+            all.contains(section),
+            "missing section {section} in:\n{all}"
+        );
+    }
+    assert!(all.contains("tokens processed   60"));
+
+    let CommandOutput::Stats(cache_only) = tman.execute_command("show stats cache").unwrap() else {
+        panic!("expected stats output");
+    };
+    assert!(cache_only.contains("cache:") && !cache_only.contains("queue:"));
+    // predindex is accepted as an alias for index.
+    assert!(tman.execute_command("show stats predindex").is_ok());
+    assert!(tman.execute_command("show stats bogus").is_err());
+}
+
+#[test]
+fn telemetry_disabled_is_inert_but_engine_works() {
+    let cfg = Config {
+        telemetry: false,
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    run_observed_workload(&tman);
+    assert!(!tman.metrics_registry().is_enabled());
+    let m = tman.metrics_snapshot();
+    // Handle-backed instruments record nothing...
+    assert_eq!(m.queue.enqueued, 0);
+    assert_eq!(m.queue.depth, 0);
+    assert_eq!(m.driver.tasks_token, 0);
+    assert_eq!(m.actions.latency_ns.count, 0);
+    // ...while shared engine counters (plain Arc<Counter>s) still count.
+    assert_eq!(m.engine.tokens, 60);
+    assert_eq!(m.engine.actions, 69);
+    // Exposition still works; it just has nothing registered.
+    assert_eq!(tman.render_text(), "");
+    let CommandOutput::Stats(s) = tman.execute_command("show stats engine").unwrap() else {
+        panic!("expected stats output");
+    };
+    assert!(s.contains("tokens processed   60"));
 }

@@ -33,12 +33,17 @@ impl Conjunct {
 
     /// Variables referenced by any atom.
     pub fn var_mask(&self) -> u64 {
-        self.atoms.iter().map(AtomicPred::var_mask).fold(0, |a, b| a | b)
+        self.atoms
+            .iter()
+            .map(AtomicPred::var_mask)
+            .fold(0, |a, b| a | b)
     }
 
     /// Generalize all atoms (constants → placeholders).
     pub fn generalize(&self, consts: &mut Vec<Value>) -> Conjunct {
-        Conjunct { atoms: self.atoms.iter().map(|a| a.generalize(consts)).collect() }
+        Conjunct {
+            atoms: self.atoms.iter().map(|a| a.generalize(consts)).collect(),
+        }
     }
 
     /// True if this is the single-atom constant `false` clause.
@@ -46,7 +51,10 @@ impl Conjunct {
         self.atoms.len() == 1
             && matches!(
                 &self.atoms[0],
-                AtomicPred { negated: false, kind: AtomKind::Const(false) }
+                AtomicPred {
+                    negated: false,
+                    kind: AtomKind::Const(false)
+                }
             )
     }
 }
@@ -80,7 +88,9 @@ pub struct Cnf {
 impl Cnf {
     /// The always-true CNF.
     pub fn truth() -> Cnf {
-        Cnf { conjuncts: Vec::new() }
+        Cnf {
+            conjuncts: Vec::new(),
+        }
     }
 
     /// Is this trivially true (no conjuncts)?
@@ -108,12 +118,21 @@ impl Cnf {
 
     /// Variables referenced.
     pub fn var_mask(&self) -> u64 {
-        self.conjuncts.iter().map(Conjunct::var_mask).fold(0, |a, b| a | b)
+        self.conjuncts
+            .iter()
+            .map(Conjunct::var_mask)
+            .fold(0, |a, b| a | b)
     }
 
     /// Generalize all conjuncts, collecting constants left-to-right.
     pub fn generalize(&self, consts: &mut Vec<Value>) -> Cnf {
-        Cnf { conjuncts: self.conjuncts.iter().map(|c| c.generalize(consts)).collect() }
+        Cnf {
+            conjuncts: self
+                .conjuncts
+                .iter()
+                .map(|c| c.generalize(consts))
+                .collect(),
+        }
     }
 }
 
@@ -146,8 +165,7 @@ fn push_not(p: &Pred, neg: bool) -> Result<Pred> {
     Ok(match p {
         Pred::Not(inner) => push_not(inner, !neg)?,
         Pred::And(ps) => {
-            let parts: Vec<Pred> =
-                ps.iter().map(|q| push_not(q, neg)).collect::<Result<_>>()?;
+            let parts: Vec<Pred> = ps.iter().map(|q| push_not(q, neg)).collect::<Result<_>>()?;
             if neg {
                 Pred::Or(parts)
             } else {
@@ -155,8 +173,7 @@ fn push_not(p: &Pred, neg: bool) -> Result<Pred> {
             }
         }
         Pred::Or(ps) => {
-            let parts: Vec<Pred> =
-                ps.iter().map(|q| push_not(q, neg)).collect::<Result<_>>()?;
+            let parts: Vec<Pred> = ps.iter().map(|q| push_not(q, neg)).collect::<Result<_>>()?;
             if neg {
                 Pred::And(parts)
             } else {
@@ -181,16 +198,26 @@ fn negate_atom(a: &AtomicPred) -> AtomicPred {
         },
         AtomKind::Cmp { op, left, right } if !a.negated => match op.negate() {
             Some(nop) => AtomicPred::cmp(nop, left.clone(), right.clone()),
-            None => AtomicPred { negated: true, kind: a.kind.clone() },
+            None => AtomicPred {
+                negated: true,
+                kind: a.kind.clone(),
+            },
         },
-        _ => AtomicPred { negated: !a.negated, kind: a.kind.clone() },
+        _ => AtomicPred {
+            negated: !a.negated,
+            kind: a.kind.clone(),
+        },
     }
 }
 
 /// Distribute OR over AND, producing clause lists.
 fn distribute(p: &Pred) -> Result<Cnf> {
     Ok(match p {
-        Pred::Atom(a) => Cnf { conjuncts: vec![Conjunct { atoms: vec![a.clone()] }] },
+        Pred::Atom(a) => Cnf {
+            conjuncts: vec![Conjunct {
+                atoms: vec![a.clone()],
+            }],
+        },
         Pred::And(ps) => {
             let mut out = Vec::new();
             for q in ps {
@@ -216,8 +243,7 @@ fn distribute(p: &Pred) -> Result<Cnf> {
                         next.push(Conjunct { atoms });
                         if next.len() > MAX_CONJUNCTS {
                             return Err(TmanError::Unsupported(
-                                "trigger condition too complex to normalize (CNF blow-up)"
-                                    .into(),
+                                "trigger condition too complex to normalize (CNF blow-up)".into(),
                             ));
                         }
                     }
@@ -226,9 +252,7 @@ fn distribute(p: &Pred) -> Result<Cnf> {
             }
             Cnf { conjuncts: acc }
         }
-        Pred::Not(_) => {
-            return Err(TmanError::Internal("NOT survived NNF conversion".into()))
-        }
+        Pred::Not(_) => return Err(TmanError::Internal("NOT survived NNF conversion".into())),
     })
 }
 
@@ -314,7 +338,9 @@ impl ConditionGraph {
                         None => g.joins.push(JoinEdge {
                             a,
                             b,
-                            pred: Cnf { conjuncts: vec![clause] },
+                            pred: Cnf {
+                                conjuncts: vec![clause],
+                            },
                         }),
                     }
                 }
@@ -353,7 +379,10 @@ pub fn remap_var(cnf: &Cnf, from: usize, to: usize, display: &str) -> Cnf {
             },
             Scalar::Call { func, args } => Scalar::Call {
                 func: *func,
-                args: args.iter().map(|a| remap_scalar(a, from, to, display)).collect(),
+                args: args
+                    .iter()
+                    .map(|a| remap_scalar(a, from, to, display))
+                    .collect(),
             },
             other => other.clone(),
         }
@@ -378,7 +407,10 @@ pub fn remap_var(cnf: &Cnf, from: usize, to: usize, display: &str) -> Cnf {
                                 right: remap_scalar(right, from, to, display),
                             },
                         };
-                        AtomicPred { negated: a.negated, kind }
+                        AtomicPred {
+                            negated: a.negated,
+                            kind,
+                        }
                     })
                     .collect(),
             })
@@ -415,7 +447,10 @@ mod tests {
     fn already_cnf_stays_put() {
         let c = cnf_of("s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno");
         assert_eq!(c.conjuncts.len(), 3);
-        assert_eq!(c.to_string(), "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno");
+        assert_eq!(
+            c.to_string(),
+            "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno"
+        );
     }
 
     #[test]
@@ -434,7 +469,10 @@ mod tests {
         assert_eq!(c.conjuncts.len(), 1);
         let atoms = &c.conjuncts[0].atoms;
         assert_eq!(atoms.len(), 2);
-        assert_eq!(atoms[0].to_string(), "h.price <= CONSTANT1".replace("CONSTANT1", "100"));
+        assert_eq!(
+            atoms[0].to_string(),
+            "h.price <= CONSTANT1".replace("CONSTANT1", "100")
+        );
         assert_eq!(atoms[1].to_string(), "s.name <> 'x'");
     }
 
@@ -467,7 +505,10 @@ mod tests {
                             Tuple::new(vec![Value::Int(1), Value::Float(price), Value::Int(nno)]);
                         let tr = Tuple::new(vec![Value::Int(spno), Value::Int(nno)]);
                         let binds = [Some(&ts), Some(&th), Some(&tr)];
-                        let env = Env { tuples: &binds, consts: &[] };
+                        let env = Env {
+                            tuples: &binds,
+                            consts: &[],
+                        };
                         assert_eq!(pred.eval(&env).unwrap(), cnf.eval(&env).unwrap());
                     }
                 }
@@ -477,9 +518,8 @@ mod tests {
 
     #[test]
     fn condition_graph_grouping() {
-        let c = cnf_of(
-            "s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno and h.price > 100000",
-        );
+        let c =
+            cnf_of("s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno and h.price > 100000");
         let g = ConditionGraph::build(c, 3);
         assert_eq!(g.selections[0].conjuncts.len(), 1); // s.name = 'Iris'
         assert!(g.selections[1].conjuncts.len() == 1); // h.price

@@ -101,7 +101,10 @@ pub struct AtomicPred {
 impl AtomicPred {
     /// Positive atom.
     pub fn pos(kind: AtomKind) -> AtomicPred {
-        AtomicPred { negated: false, kind }
+        AtomicPred {
+            negated: false,
+            kind,
+        }
     }
 
     /// Comparison helper.
@@ -150,7 +153,10 @@ impl AtomicPred {
                 right: right.generalize(consts),
             },
         };
-        AtomicPred { negated: self.negated, kind }
+        AtomicPred {
+            negated: self.negated,
+            kind,
+        }
     }
 }
 
@@ -298,9 +304,24 @@ mod tests {
     #[test]
     fn comparisons() {
         let env = Env::default();
-        assert_eq!(atom(CmpOp::Eq, Value::Int(1), Value::Float(1.0)).eval(&env).unwrap(), Some(true));
-        assert_eq!(atom(CmpOp::Lt, Value::str("abc"), Value::str("abd")).eval(&env).unwrap(), Some(true));
-        assert_eq!(atom(CmpOp::Ge, Value::Int(5), Value::Int(9)).eval(&env).unwrap(), Some(false));
+        assert_eq!(
+            atom(CmpOp::Eq, Value::Int(1), Value::Float(1.0))
+                .eval(&env)
+                .unwrap(),
+            Some(true)
+        );
+        assert_eq!(
+            atom(CmpOp::Lt, Value::str("abc"), Value::str("abd"))
+                .eval(&env)
+                .unwrap(),
+            Some(true)
+        );
+        assert_eq!(
+            atom(CmpOp::Ge, Value::Int(5), Value::Int(9))
+                .eval(&env)
+                .unwrap(),
+            Some(false)
+        );
     }
 
     #[test]
@@ -330,7 +351,10 @@ mod tests {
     fn is_null_atom() {
         let t = Tuple::new(vec![Value::Null, Value::Int(3)]);
         let bind = Some(&t);
-        let env = Env { tuples: std::slice::from_ref(&bind), consts: &[] };
+        let env = Env {
+            tuples: std::slice::from_ref(&bind),
+            consts: &[],
+        };
         let isnull = |c: usize| {
             Pred::Atom(AtomicPred::pos(AtomKind::IsNull(Scalar::Col {
                 var: 0,
@@ -369,7 +393,9 @@ mod tests {
     #[test]
     fn like_type_error() {
         let env = Env::default();
-        assert!(atom(CmpOp::Like, Value::Int(1), Value::str("%")).eval(&env).is_err());
+        assert!(atom(CmpOp::Like, Value::Int(1), Value::str("%"))
+            .eval(&env)
+            .is_err());
     }
 
     #[test]
@@ -383,7 +409,11 @@ mod tests {
     fn display_forms() {
         let a = AtomicPred::cmp(
             CmpOp::Gt,
-            Scalar::Col { var: 0, col: 1, name: "emp.salary".into() },
+            Scalar::Col {
+                var: 0,
+                col: 1,
+                name: "emp.salary".into(),
+            },
             Scalar::Placeholder(0),
         );
         assert_eq!(a.to_string(), "emp.salary > CONSTANT1");

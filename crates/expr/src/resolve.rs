@@ -2,8 +2,8 @@
 
 use crate::pred::{AtomKind, AtomicPred, CmpOp, Pred};
 use crate::scalar::{ArithOp, Func, Scalar};
-use tman_lang::ast::{BinaryOp, Expr, Literal, UnaryOp};
 use tman_common::{DataType, Result, Schema, TmanError, Value};
+use tman_lang::ast::{BinaryOp, Expr, Literal, UnaryOp};
 
 /// Scalar type classes used for bind-time checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,12 +35,18 @@ impl<'a> BindCtx<'a> {
     /// Context for trigger conditions (`when` clauses): transitions are
     /// rejected.
     pub fn new(vars: Vec<(String, &'a Schema)>) -> BindCtx<'a> {
-        BindCtx { vars, allow_transitions: false }
+        BindCtx {
+            vars,
+            allow_transitions: false,
+        }
     }
 
     /// Context for rule actions: `:NEW`/`:OLD` references resolve.
     pub fn for_actions(vars: Vec<(String, &'a Schema)>) -> BindCtx<'a> {
-        BindCtx { vars, allow_transitions: true }
+        BindCtx {
+            vars,
+            allow_transitions: true,
+        }
     }
 
     /// Number of tuple variables.
@@ -50,18 +56,21 @@ impl<'a> BindCtx<'a> {
 
     /// Ordinal of a tuple variable by name.
     pub fn var_index(&self, name: &str) -> Option<usize> {
-        self.vars.iter().position(|(n, _)| n.eq_ignore_ascii_case(name))
+        self.vars
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
     }
 
     fn lookup(&self, qualifier: Option<&str>, column: &str) -> Result<(usize, usize, String)> {
         match qualifier {
             Some(q) => {
-                let var = self.var_index(q).ok_or_else(|| {
-                    TmanError::Invalid(format!("unknown tuple variable '{q}'"))
-                })?;
-                let col = self.vars[var].1.index_of(column).ok_or_else(|| {
-                    TmanError::Invalid(format!("no column '{column}' in '{q}'"))
-                })?;
+                let var = self
+                    .var_index(q)
+                    .ok_or_else(|| TmanError::Invalid(format!("unknown tuple variable '{q}'")))?;
+                let col = self.vars[var]
+                    .1
+                    .index_of(column)
+                    .ok_or_else(|| TmanError::Invalid(format!("no column '{column}' in '{q}'")))?;
                 Ok((var, col, format!("{}.{}", self.vars[var].0, column)))
             }
             None => {
@@ -70,9 +79,7 @@ impl<'a> BindCtx<'a> {
                 for (var, (name, schema)) in self.vars.iter().enumerate() {
                     if let Some(col) = schema.index_of(column) {
                         if hit.is_some() {
-                            return Err(TmanError::Invalid(format!(
-                                "ambiguous column '{column}'"
-                            )));
+                            return Err(TmanError::Invalid(format!("ambiguous column '{column}'")));
                         }
                         hit = Some((var, col, format!("{name}.{column}")));
                     }
@@ -116,7 +123,11 @@ impl<'a> BindCtx<'a> {
                 let (var, col, name) = self.lookup(qualifier.as_deref(), column)?;
                 Ok(Scalar::Col { var, col, name })
             }
-            Expr::Transition { new, source, column } => {
+            Expr::Transition {
+                new,
+                source,
+                column,
+            } => {
                 if !self.allow_transitions {
                     return Err(TmanError::Invalid(
                         ":NEW/:OLD references are only allowed in rule actions".into(),
@@ -130,16 +141,19 @@ impl<'a> BindCtx<'a> {
                     name: format!(":{}.{name}", if *new { "NEW" } else { "OLD" }),
                 })
             }
-            Expr::Unary { op: UnaryOp::Neg, expr } => {
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => {
                 let inner = self.scalar(expr)?;
                 if self.class_of(&inner) == TypeClass::Str {
                     return Err(TmanError::Type("cannot negate a string".into()));
                 }
                 Ok(Scalar::Neg(Box::new(inner)))
             }
-            Expr::Unary { op: UnaryOp::Not, .. } => {
-                Err(TmanError::Type("NOT used in scalar position".into()))
-            }
+            Expr::Unary {
+                op: UnaryOp::Not, ..
+            } => Err(TmanError::Type("NOT used in scalar position".into())),
             Expr::Binary { op, left, right } => {
                 let aop = match op {
                     BinaryOp::Add => ArithOp::Add,
@@ -162,7 +176,11 @@ impl<'a> BindCtx<'a> {
                         )));
                     }
                 }
-                Ok(Scalar::Arith { op: aop, left: Box::new(l), right: Box::new(r) })
+                Ok(Scalar::Arith {
+                    op: aop,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })
             }
             Expr::Call { name, args } => {
                 if name.eq_ignore_ascii_case("is_null") {
@@ -188,15 +206,20 @@ impl<'a> BindCtx<'a> {
     /// Resolve an expression expected to be a predicate.
     pub fn pred(&self, e: &Expr) -> Result<Pred> {
         match e {
-            Expr::Binary { op: BinaryOp::And, left, right } => {
-                Ok(Pred::And(vec![self.pred(left)?, self.pred(right)?]))
-            }
-            Expr::Binary { op: BinaryOp::Or, left, right } => {
-                Ok(Pred::Or(vec![self.pred(left)?, self.pred(right)?]))
-            }
-            Expr::Unary { op: UnaryOp::Not, expr } => {
-                Ok(Pred::Not(Box::new(self.pred(expr)?)))
-            }
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => Ok(Pred::And(vec![self.pred(left)?, self.pred(right)?])),
+            Expr::Binary {
+                op: BinaryOp::Or,
+                left,
+                right,
+            } => Ok(Pred::Or(vec![self.pred(left)?, self.pred(right)?])),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => Ok(Pred::Not(Box::new(self.pred(expr)?))),
             Expr::Binary { op, left, right } if op.is_comparison() => {
                 let cmp = match op {
                     BinaryOp::Eq => CmpOp::Eq,
@@ -259,7 +282,10 @@ mod tests {
         let p = ctx.pred(&parse_expression(cond).unwrap()).unwrap();
         let t = Tuple::new(row);
         let bind = Some(&t);
-        let env = Env { tuples: std::slice::from_ref(&bind), consts: &[] };
+        let env = Env {
+            tuples: std::slice::from_ref(&bind),
+            consts: &[],
+        };
         p.eval(&env).unwrap()
     }
 
@@ -284,11 +310,10 @@ mod tests {
     #[test]
     fn unqualified_columns_resolve_when_unambiguous() {
         assert_eq!(
-            eval_on("name = 'Bob' and dept = 7", vec![
-                Value::str("Bob"),
-                Value::Float(1.0),
-                Value::Int(7)
-            ]),
+            eval_on(
+                "name = 'Bob' and dept = 7",
+                vec![Value::str("Bob"), Value::Float(1.0), Value::Int(7)]
+            ),
             Some(true)
         );
     }
@@ -315,9 +340,13 @@ mod tests {
     fn unknown_names_rejected() {
         let schema = emp();
         let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
-        assert!(ctx.pred(&parse_expression("emp.bogus = 1").unwrap()).is_err());
+        assert!(ctx
+            .pred(&parse_expression("emp.bogus = 1").unwrap())
+            .is_err());
         assert!(ctx.pred(&parse_expression("dept2.x = 1").unwrap()).is_err());
-        assert!(ctx.scalar(&parse_expression("frobnicate(1)").unwrap()).is_err());
+        assert!(ctx
+            .scalar(&parse_expression("frobnicate(1)").unwrap())
+            .is_err());
     }
 
     #[test]
@@ -348,18 +377,27 @@ mod tests {
         let ts = Tuple::new(vec![Value::Int(3), Value::str("Iris")]);
         let tr = Tuple::new(vec![Value::Int(3), Value::Int(9)]);
         let binds = [Some(&ts), Some(&tr)];
-        let env = Env { tuples: &binds, consts: &[] };
+        let env = Env {
+            tuples: &binds,
+            consts: &[],
+        };
         assert_eq!(p.eval(&env).unwrap(), Some(true));
     }
 
     #[test]
     fn is_null_resolves() {
         assert_eq!(
-            eval_on("emp.name is null", vec![Value::Null, Value::Float(0.0), Value::Int(0)]),
+            eval_on(
+                "emp.name is null",
+                vec![Value::Null, Value::Float(0.0), Value::Int(0)]
+            ),
             Some(true)
         );
         assert_eq!(
-            eval_on("emp.name is not null", vec![Value::Null, Value::Float(0.0), Value::Int(0)]),
+            eval_on(
+                "emp.name is not null",
+                vec![Value::Null, Value::Float(0.0), Value::Int(0)]
+            ),
             Some(false)
         );
     }

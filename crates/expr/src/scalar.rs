@@ -141,7 +141,10 @@ impl<'a> Env<'a> {
     /// Environment with a single tuple bound to variable 0 (selection
     /// predicates).
     pub fn single(t: &'a Option<&'a Tuple>) -> Env<'a> {
-        Env { tuples: std::slice::from_ref(t), consts: &[] }
+        Env {
+            tuples: std::slice::from_ref(t),
+            consts: &[],
+        }
     }
 }
 
@@ -338,7 +341,10 @@ fn apply_func(func: Func, vals: &[Value]) -> Result<Value> {
             } else {
                 s.to_uppercase()
             })),
-            v => Err(TmanError::Type(format!("{} of non-string {v}", func.name()))),
+            v => Err(TmanError::Type(format!(
+                "{} of non-string {v}",
+                func.name()
+            ))),
         },
         Func::Round => match &vals[0] {
             Value::Int(i) => Ok(Value::Int(*i)),
@@ -363,11 +369,18 @@ mod tests {
     use super::*;
 
     fn env_with<'a>(t: &'a Option<&'a Tuple>, consts: &'a [Value]) -> Env<'a> {
-        Env { tuples: std::slice::from_ref(t), consts }
+        Env {
+            tuples: std::slice::from_ref(t),
+            consts,
+        }
     }
 
     fn col(var: usize, col: usize) -> Scalar {
-        Scalar::Col { var, col, name: format!("v{var}.c{col}") }
+        Scalar::Col {
+            var,
+            col,
+            name: format!("v{var}.c{col}"),
+        }
     }
 
     #[test]
@@ -406,7 +419,9 @@ mod tests {
         let env = Env::default();
         let call = |func, args: Vec<Scalar>| Scalar::Call { func, args };
         assert_eq!(
-            call(Func::Abs, vec![Scalar::Const(Value::Int(-3))]).eval(&env).unwrap(),
+            call(Func::Abs, vec![Scalar::Const(Value::Int(-3))])
+                .eval(&env)
+                .unwrap(),
             Value::Int(3)
         );
         assert_eq!(
@@ -416,7 +431,9 @@ mod tests {
             Value::Int(5)
         );
         assert_eq!(
-            call(Func::Upper, vec![Scalar::Const(Value::str("abc"))]).eval(&env).unwrap(),
+            call(Func::Upper, vec![Scalar::Const(Value::str("abc"))])
+                .eval(&env)
+                .unwrap(),
             Value::str("ABC")
         );
         assert_eq!(
@@ -429,7 +446,9 @@ mod tests {
             Value::Int(2)
         );
         assert_eq!(
-            call(Func::Round, vec![Scalar::Const(Value::Float(2.6))]).eval(&env).unwrap(),
+            call(Func::Round, vec![Scalar::Const(Value::Float(2.6))])
+                .eval(&env)
+                .unwrap(),
             Value::Int(3)
         );
     }

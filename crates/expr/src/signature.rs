@@ -33,7 +33,13 @@ pub struct SignatureKey {
 
 impl fmt::Display for SignatureKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[src={} on {}: {}]", self.data_src.raw(), self.event, self.desc)
+        write!(
+            f,
+            "[src={} on {}: {}]",
+            self.data_src.raw(),
+            self.event,
+            self.desc
+        )
     }
 }
 
@@ -155,9 +161,16 @@ fn is_col_vs_const(left: &Scalar, right: &Scalar) -> Option<()> {
 /// Classify one generalized conjunct for indexability.
 enum ConjunctClass {
     /// `col = CONSTANT_slot`
-    Eq { col: usize, slot: usize },
+    Eq {
+        col: usize,
+        slot: usize,
+    },
     /// `col op CONSTANT_slot` with an ordered operator.
-    Range { col: usize, slot: usize, op: CmpOp },
+    Range {
+        col: usize,
+        slot: usize,
+        op: CmpOp,
+    },
     Other,
 }
 
@@ -191,7 +204,11 @@ pub fn analyze_selection(
     let mut consts = Vec::new();
     let generalized = selection.generalize(&mut consts);
     let desc = generalized.to_string();
-    let key = SignatureKey { data_src, event, desc };
+    let key = SignatureKey {
+        data_src,
+        event,
+        desc,
+    };
 
     // Classify conjuncts.
     let mut eqs: Vec<(usize, usize, usize)> = Vec::new(); // (col, slot, conjunct idx)
@@ -220,7 +237,10 @@ pub fn analyze_selection(
             slots.push(slot);
             covered.push(idx);
         }
-        IndexPlan::Equality { cols, const_slots: slots }
+        IndexPlan::Equality {
+            cols,
+            const_slots: slots,
+        }
     } else if !ranges.is_empty() {
         // Pick the column with the most range conjuncts (two-sided ranges
         // are more selective), then lowest ordinal for determinism.
@@ -259,7 +279,11 @@ pub fn analyze_selection(
                 _ => {}
             }
         }
-        IndexPlan::Range { col: best_col, lo, hi }
+        IndexPlan::Range {
+            col: best_col,
+            lo,
+            hi,
+        }
     } else {
         IndexPlan::None
     };
@@ -275,7 +299,9 @@ pub fn analyze_selection(
     let residual = if residual_conjuncts.is_empty() {
         None
     } else {
-        Some(Cnf { conjuncts: residual_conjuncts })
+        Some(Cnf {
+            conjuncts: residual_conjuncts,
+        })
     };
 
     (
@@ -333,7 +359,11 @@ mod tests {
     fn event_is_part_of_the_key() {
         let schema = emp();
         let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
-        let cnf = to_cnf(&ctx.pred(&parse_expression("emp.dept = 5").unwrap()).unwrap()).unwrap();
+        let cnf = to_cnf(
+            &ctx.pred(&parse_expression("emp.dept = 5").unwrap())
+                .unwrap(),
+        )
+        .unwrap();
         let (a, _) = analyze_selection(&cnf, DataSourceId(1), EventKind::Insert, vec![]);
         let (b, _) = analyze_selection(&cnf, DataSourceId(1), EventKind::InsertOrUpdate, vec![]);
         let (c, _) = analyze_selection(&cnf, DataSourceId(2), EventKind::Insert, vec![]);
@@ -368,7 +398,9 @@ mod tests {
     #[test]
     fn two_sided_range_plan() {
         let (sig, consts) = analyze("emp.salary > 50000 and emp.salary <= 90000");
-        let IndexPlan::Range { col, lo, hi } = sig.index_plan else { panic!() };
+        let IndexPlan::Range { col, lo, hi } = sig.index_plan else {
+            panic!()
+        };
         assert_eq!(col, 1);
         assert_eq!(lo, Some((0, false)));
         assert_eq!(hi, Some((1, true)));
@@ -379,7 +411,9 @@ mod tests {
     #[test]
     fn between_produces_range_plan() {
         let (sig, consts) = analyze("emp.salary between 1000 and 2000");
-        let IndexPlan::Range { lo, hi, .. } = sig.index_plan else { panic!() };
+        let IndexPlan::Range { lo, hi, .. } = sig.index_plan else {
+            panic!()
+        };
         assert_eq!(lo, Some((0, true)));
         assert_eq!(hi, Some((1, true)));
         assert_eq!(consts.len(), 2);
@@ -391,7 +425,9 @@ mod tests {
         // (but a distinct signature string — the paper's equivalence is
         // syntactic, so that is correct).
         let (sig, _) = analyze("80000 < emp.salary");
-        let IndexPlan::Range { col, lo, hi } = sig.index_plan else { panic!() };
+        let IndexPlan::Range { col, lo, hi } = sig.index_plan else {
+            panic!()
+        };
         assert_eq!(col, 1);
         assert_eq!(lo, Some((0, false)));
         assert!(hi.is_none());
@@ -422,8 +458,7 @@ mod tests {
         let schema = emp();
         let mk = |var: &str, cond: &str| {
             let ctx = BindCtx::new(vec![(var.to_string(), &schema)]);
-            let cnf =
-                to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
+            let cnf = to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
             let canon = crate::cnf::remap_var(&cnf, 0, 0, "emp");
             analyze_selection(&canon, DataSourceId(1), EventKind::Insert, vec![]).0
         };
@@ -450,7 +485,9 @@ mod tests {
         // x = 1 AND x = 2: only one becomes the key; the other is residual
         // (and can never match, which is the trigger author's problem).
         let (sig, _) = analyze("emp.dept = 1 and emp.dept = 2");
-        let IndexPlan::Equality { cols, .. } = &sig.index_plan else { panic!() };
+        let IndexPlan::Equality { cols, .. } = &sig.index_plan else {
+            panic!()
+        };
         assert_eq!(cols, &vec![2]);
         assert!(sig.residual.is_some());
     }
@@ -458,8 +495,7 @@ mod tests {
     #[test]
     fn empty_selection_is_event_only_signature() {
         let cnf = Cnf::truth();
-        let (sig, consts) =
-            analyze_selection(&cnf, DataSourceId(3), EventKind::Delete, vec![]);
+        let (sig, consts) = analyze_selection(&cnf, DataSourceId(3), EventKind::Delete, vec![]);
         assert_eq!(sig.key.desc, "true");
         assert_eq!(sig.num_consts, 0);
         assert!(consts.is_empty());

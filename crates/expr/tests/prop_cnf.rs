@@ -59,7 +59,10 @@ fn arb_pred() -> impl Strategy<Value = Pred> {
 fn arb_tuple() -> impl Strategy<Value = Tuple> {
     (
         prop_oneof![Just(Value::Null), (-20i64..20).prop_map(Value::Int)],
-        prop_oneof![Just(Value::Null), (-20i64..20).prop_map(|i| Value::Float(i as f64 / 2.0))],
+        prop_oneof![
+            Just(Value::Null),
+            (-20i64..20).prop_map(|i| Value::Float(i as f64 / 2.0))
+        ],
         prop_oneof![Just(Value::Null), "[ab]{0,3}".prop_map(Value::str)],
     )
         .prop_map(|(a, b, s)| Tuple::new(vec![a, b, s]))

@@ -134,7 +134,11 @@ pub enum Expr {
 impl Expr {
     /// Convenience: `left op right`.
     pub fn bin(op: BinaryOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 }
 
@@ -163,13 +167,29 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(l) => write!(f, "{l}"),
-            Expr::Column { qualifier: Some(q), column } => write!(f, "{q}.{column}"),
-            Expr::Column { qualifier: None, column } => write!(f, "{column}"),
-            Expr::Transition { new, source, column } => {
+            Expr::Column {
+                qualifier: Some(q),
+                column,
+            } => write!(f, "{q}.{column}"),
+            Expr::Column {
+                qualifier: None,
+                column,
+            } => write!(f, "{column}"),
+            Expr::Transition {
+                new,
+                source,
+                column,
+            } => {
                 write!(f, ":{}.{source}.{column}", if *new { "NEW" } else { "OLD" })
             }
-            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(not {expr})"),
-            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "(not {expr})"),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
             Expr::Binary { op, left, right } => {
                 write!(f, "({left} {} {right})", op.symbol())
             }
@@ -321,6 +341,13 @@ pub enum Command {
     /// program ... A single connection is designated as the default
     /// connection."
     DefineConnection(ConnectionDef),
+    /// `show stats [<subsystem>]` — dump engine metrics, optionally limited
+    /// to one subsystem (engine, queue, driver, index, cache, storage,
+    /// actions).
+    ShowStats {
+        /// Subsystem filter (`None` = everything).
+        subsystem: Option<String>,
+    },
 }
 
 /// Connection description (§2): "information about the host name where the

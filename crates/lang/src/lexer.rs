@@ -295,7 +295,10 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = tokenize("a -- comment here\n b").unwrap();
-        assert_eq!(toks, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]

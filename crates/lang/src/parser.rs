@@ -38,7 +38,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Result<Parser> {
-        Ok(Parser { toks: tokenize(input)?, pos: 0 })
+        Ok(Parser {
+            toks: tokenize(input)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -100,7 +103,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            t => Err(TmanError::Parse(format!("expected identifier, found '{t}'"))),
+            t => Err(TmanError::Parse(format!(
+                "expected identifier, found '{t}'"
+            ))),
         }
     }
 
@@ -156,10 +161,24 @@ impl Parser {
                 self.expect_kw("trigger")?;
                 if self.peek_kw("set") && matches!(self.peek2(), Some(Token::Ident(_))) {
                     self.pos += 1;
-                    return Ok(Command::SetTriggerSetEnabled { name: self.ident()?, enabled });
+                    return Ok(Command::SetTriggerSetEnabled {
+                        name: self.ident()?,
+                        enabled,
+                    });
                 }
-                return Ok(Command::SetTriggerEnabled { name: self.ident()?, enabled });
+                return Ok(Command::SetTriggerEnabled {
+                    name: self.ident()?,
+                    enabled,
+                });
             }
+        }
+        if self.eat_kw("show") {
+            self.expect_kw("stats")?;
+            let subsystem = match self.peek() {
+                Some(Token::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            };
+            return Ok(Command::ShowStats { subsystem });
         }
         if self.eat_kw("define") {
             if self.eat_kw("connection") {
@@ -291,11 +310,17 @@ impl Parser {
     fn event_spec(&mut self) -> Result<EventSpec> {
         if self.eat_kw("insert") {
             self.expect_kw("to")?;
-            return Ok(EventSpec { kind: EventSpecKind::Insert, target: self.ident()? });
+            return Ok(EventSpec {
+                kind: EventSpecKind::Insert,
+                target: self.ident()?,
+            });
         }
         if self.eat_kw("delete") {
             self.expect_kw("from")?;
-            return Ok(EventSpec { kind: EventSpecKind::Delete, target: self.ident()? });
+            return Ok(EventSpec {
+                kind: EventSpecKind::Delete,
+                target: self.ident()?,
+            });
         }
         if self.eat_kw("update") {
             if self.eat(&Token::LParen) {
@@ -383,11 +408,7 @@ impl Parser {
                 let n = if self.eat(&Token::LParen) {
                     let n = match self.next()? {
                         Token::Int(i) if (1..=u16::MAX as i64).contains(&i) => i as u16,
-                        t => {
-                            return Err(TmanError::Parse(format!(
-                                "bad length '{t}' for {lower}"
-                            )))
-                        }
+                        t => return Err(TmanError::Parse(format!("bad length '{t}' for {lower}"))),
                     };
                     self.expect(&Token::RParen)?;
                     n
@@ -427,7 +448,11 @@ impl Parser {
                     columns.push(self.ident()?);
                 }
                 self.expect(&Token::RParen)?;
-                return Ok(SqlStmt::CreateIndex { name, table, columns });
+                return Ok(SqlStmt::CreateIndex {
+                    name,
+                    table,
+                    columns,
+                });
             }
             return Err(self.err("expected TABLE or INDEX after CREATE"));
         }
@@ -460,7 +485,11 @@ impl Parser {
                 }
             }
             let filter = self.opt_where()?;
-            return Ok(SqlStmt::Update { table, sets, filter });
+            return Ok(SqlStmt::Update {
+                table,
+                sets,
+                filter,
+            });
         }
         if self.eat_kw("delete") {
             self.expect_kw("from")?;
@@ -481,7 +510,11 @@ impl Parser {
             self.expect_kw("from")?;
             let table = self.ident()?;
             let filter = self.opt_where()?;
-            return Ok(SqlStmt::Select { cols, table, filter });
+            return Ok(SqlStmt::Select {
+                cols,
+                table,
+                filter,
+            });
         }
         Err(self.err("expected a SQL statement"))
     }
@@ -518,7 +551,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("not") {
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(self.not_expr()?) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(self.not_expr()?),
+            });
         }
         self.cmp_expr()
     }
@@ -555,9 +591,15 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            let test = Expr::Call { name: "is_null".into(), args: vec![left] };
+            let test = Expr::Call {
+                name: "is_null".into(),
+                args: vec![left],
+            };
             return Ok(if negated {
-                Expr::Unary { op: UnaryOp::Not, expr: Box::new(test) }
+                Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(test),
+                }
             } else {
                 test
             });
@@ -593,7 +635,10 @@ impl Parser {
 
     fn unary_expr(&mut self) -> Result<Expr> {
         if self.eat(&Token::Minus) {
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(self.unary_expr()?) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(self.unary_expr()?),
+            });
         }
         self.primary()
     }
@@ -634,7 +679,11 @@ impl Parser {
                 let source = self.ident()?;
                 self.expect(&Token::Dot)?;
                 let column = self.ident()?;
-                Ok(Expr::Transition { new, source, column })
+                Ok(Expr::Transition {
+                    new,
+                    source,
+                    column,
+                })
             }
             Some(Token::Ident(name)) => {
                 self.pos += 1;
@@ -643,7 +692,10 @@ impl Parser {
                 }
                 if self.eat(&Token::Dot) {
                     let column = self.ident()?;
-                    return Ok(Expr::Column { qualifier: Some(name), column });
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        column,
+                    });
                 }
                 if self.eat(&Token::LParen) {
                     let mut args = Vec::new();
@@ -658,7 +710,10 @@ impl Parser {
                     }
                     return Ok(Expr::Call { name, args });
                 }
-                Ok(Expr::Column { qualifier: None, column: name })
+                Ok(Expr::Column {
+                    qualifier: None,
+                    column: name,
+                })
             }
             _ => Err(self.err("expected expression")),
         }
@@ -683,14 +738,18 @@ mod tests {
              do execSQL 'update emp set salary=:NEW.emp.salary where emp.name= ''Fred'''",
         )
         .unwrap();
-        let Command::CreateTrigger(t) = cmd else { panic!("wrong kind") };
+        let Command::CreateTrigger(t) = cmd else {
+            panic!("wrong kind")
+        };
         assert_eq!(t.name, "updateFred");
         assert_eq!(t.from.len(), 1);
         assert_eq!(t.from[0].source, "emp");
         let on = t.on.unwrap();
         assert_eq!(on.target, "emp");
         assert_eq!(on.kind, EventSpecKind::Update(vec!["salary".into()]));
-        let Action::ExecSql(sql) = t.action else { panic!("wrong action") };
+        let Action::ExecSql(sql) = t.action else {
+            panic!("wrong action")
+        };
         assert!(sql.contains(":NEW.emp.salary"));
         assert!(sql.contains("'Fred'"));
         // And the embedded SQL parses too, after macro substitution is
@@ -708,12 +767,16 @@ mod tests {
              do raise event NewHouseInIrisNeighborhood(h.hno, h.address)",
         )
         .unwrap();
-        let Command::CreateTrigger(t) = cmd else { panic!() };
+        let Command::CreateTrigger(t) = cmd else {
+            panic!()
+        };
         assert_eq!(t.from.len(), 3);
         assert_eq!(t.from[1].var_name(), "h");
         assert_eq!(t.on.as_ref().unwrap().kind, EventSpecKind::Insert);
         assert_eq!(t.on.as_ref().unwrap().target, "house");
-        let Action::RaiseEvent { name, args } = &t.action else { panic!() };
+        let Action::RaiseEvent { name, args } = &t.action else {
+            panic!()
+        };
         assert_eq!(name, "NewHouseInIrisNeighborhood");
         assert_eq!(args.len(), 2);
     }
@@ -745,20 +808,32 @@ mod tests {
     fn enable_disable() {
         assert_eq!(
             parse_command("disable trigger t9").unwrap(),
-            Command::SetTriggerEnabled { name: "t9".into(), enabled: false }
+            Command::SetTriggerEnabled {
+                name: "t9".into(),
+                enabled: false
+            }
         );
         assert_eq!(
             parse_command("enable trigger set s1").unwrap(),
-            Command::SetTriggerSetEnabled { name: "s1".into(), enabled: true }
+            Command::SetTriggerSetEnabled {
+                name: "s1".into(),
+                enabled: true
+            }
         );
     }
 
     #[test]
     fn define_data_source_variants() {
-        let Command::DefineDataSource { name, columns, from_table, connection } = parse_command(
+        let Command::DefineDataSource {
+            name,
+            columns,
+            from_table,
+            connection,
+        } = parse_command(
             "define data source quotes (symbol varchar(8), price float, volume integer)",
         )
-        .unwrap() else {
+        .unwrap()
+        else {
             panic!()
         };
         assert_eq!(name, "quotes");
@@ -769,8 +844,12 @@ mod tests {
         assert_eq!(cols[0].ty, DataType::Varchar(8));
         assert_eq!(cols[1].ty, DataType::Float);
 
-        let Command::DefineDataSource { from_table, columns, connection, .. } =
-            parse_command("define data source emp from table emp_table via feed").unwrap()
+        let Command::DefineDataSource {
+            from_table,
+            columns,
+            connection,
+            ..
+        } = parse_command("define data source emp from table emp_table via feed").unwrap()
         else {
             panic!()
         };
@@ -796,9 +875,7 @@ mod tests {
         assert_eq!(def.password.as_deref(), Some("secret"));
         assert!(def.is_default);
         // Minimal form.
-        let Command::DefineConnection(def) =
-            parse_command("define connection c2").unwrap()
-        else {
+        let Command::DefineConnection(def) = parse_command("define connection c2").unwrap() else {
             panic!()
         };
         assert_eq!(def.dbtype, "local");
@@ -822,29 +899,100 @@ mod tests {
     fn expression_precedence() {
         let e = parse_expression("a.x = 1 or b.y = 2 and not c.z > 3").unwrap();
         // or( a.x=1, and( b.y=2, not(c.z>3) ) )
-        let Expr::Binary { op: BinaryOp::Or, right, .. } = e else { panic!() };
-        let Expr::Binary { op: BinaryOp::And, right, .. } = *right else { panic!() };
-        assert!(matches!(*right, Expr::Unary { op: UnaryOp::Not, .. }));
+        let Expr::Binary {
+            op: BinaryOp::Or,
+            right,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinaryOp::And,
+            right,
+            ..
+        } = *right
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *right,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
 
         let e = parse_expression("1 + 2 * 3").unwrap();
-        let Expr::Binary { op: BinaryOp::Add, right, .. } = e else { panic!() };
-        assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            right,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *right,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn between_desugars() {
         let e = parse_expression("t.x between 5 and 10").unwrap();
-        let Expr::Binary { op: BinaryOp::And, left, right } = e else { panic!() };
-        assert!(matches!(*left, Expr::Binary { op: BinaryOp::Ge, .. }));
-        assert!(matches!(*right, Expr::Binary { op: BinaryOp::Le, .. }));
+        let Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *left,
+            Expr::Binary {
+                op: BinaryOp::Ge,
+                ..
+            }
+        ));
+        assert!(matches!(
+            *right,
+            Expr::Binary {
+                op: BinaryOp::Le,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn is_null_and_like() {
         let e = parse_expression("t.name is not null and t.name like 'Ir%'").unwrap();
-        let Expr::Binary { op: BinaryOp::And, left, right } = e else { panic!() };
-        assert!(matches!(*left, Expr::Unary { op: UnaryOp::Not, .. }));
-        assert!(matches!(*right, Expr::Binary { op: BinaryOp::Like, .. }));
+        let Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *left,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
+        assert!(matches!(
+            *right,
+            Expr::Binary {
+                op: BinaryOp::Like,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -863,13 +1011,19 @@ mod tests {
         ));
         assert!(matches!(
             parse_sql("select * from emp where salary > 50000;").unwrap(),
-            SqlStmt::Select { cols: SelectCols::Star, .. }
+            SqlStmt::Select {
+                cols: SelectCols::Star,
+                ..
+            }
         ));
         assert!(matches!(
             parse_sql("delete from emp where name = 'Bob'").unwrap(),
             SqlStmt::Delete { .. }
         ));
-        assert!(matches!(parse_sql("drop table emp").unwrap(), SqlStmt::DropTable(_)));
+        assert!(matches!(
+            parse_sql("drop table emp").unwrap(),
+            SqlStmt::DropTable(_)
+        ));
     }
 
     #[test]
@@ -884,19 +1038,40 @@ mod tests {
 
     #[test]
     fn update_event_mixed_sources_rejected() {
-        assert!(parse_command(
-            "create trigger t from a, b on update(a.x, b.y) do notify 'x'"
-        )
-        .is_err());
+        assert!(
+            parse_command("create trigger t from a, b on update(a.x, b.y) do notify 'x'").is_err()
+        );
+    }
+
+    #[test]
+    fn show_stats_with_and_without_subsystem() {
+        assert_eq!(
+            parse_command("show stats").unwrap(),
+            Command::ShowStats { subsystem: None }
+        );
+        assert_eq!(
+            parse_command("SHOW STATS cache").unwrap(),
+            Command::ShowStats {
+                subsystem: Some("cache".into())
+            }
+        );
+        assert!(parse_command("show").is_err());
+        assert!(parse_command("show stats cache extra").is_err());
     }
 
     #[test]
     fn transition_refs_in_expressions() {
         let e = parse_expression(":OLD.emp.salary + 10").unwrap();
-        let Expr::Binary { left, .. } = e else { panic!() };
+        let Expr::Binary { left, .. } = e else {
+            panic!()
+        };
         assert_eq!(
             *left,
-            Expr::Transition { new: false, source: "emp".into(), column: "salary".into() }
+            Expr::Transition {
+                new: false,
+                source: "emp".into(),
+                column: "salary".into()
+            }
         );
     }
 }

@@ -25,11 +25,20 @@ fn literal() -> impl Strategy<Value = Literal> {
 fn leaf() -> impl Strategy<Value = Expr> {
     prop_oneof![
         literal().prop_map(Expr::Literal),
-        ident().prop_map(|column| Expr::Column { qualifier: None, column }),
-        (ident(), ident())
-            .prop_map(|(q, column)| Expr::Column { qualifier: Some(q), column }),
+        ident().prop_map(|column| Expr::Column {
+            qualifier: None,
+            column
+        }),
+        (ident(), ident()).prop_map(|(q, column)| Expr::Column {
+            qualifier: Some(q),
+            column
+        }),
         (any::<bool>(), ident(), ident()).prop_map(|(new, source, column)| {
-            Expr::Transition { new, source, column }
+            Expr::Transition {
+                new,
+                source,
+                column,
+            }
         }),
     ]
 }
@@ -37,9 +46,8 @@ fn leaf() -> impl Strategy<Value = Expr> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf().prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| {
-                Expr::bin(op, l, r)
-            }),
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(l, r, op)| { Expr::bin(op, l, r) }),
             inner.clone().prop_map(|e| Expr::Unary {
                 op: UnaryOp::Not,
                 expr: Box::new(e)
@@ -48,8 +56,14 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 op: UnaryOp::Neg,
                 expr: Box::new(e)
             }),
-            (prop_oneof![Just("abs"), Just("length"), Just("lower")], inner.clone())
-                .prop_map(|(name, a)| Expr::Call { name: name.into(), args: vec![a] }),
+            (
+                prop_oneof![Just("abs"), Just("length"), Just("lower")],
+                inner.clone()
+            )
+                .prop_map(|(name, a)| Expr::Call {
+                    name: name.into(),
+                    args: vec![a]
+                }),
         ]
     })
 }

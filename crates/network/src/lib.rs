@@ -133,7 +133,9 @@ impl Network {
             )));
         }
         if graph.num_vars == 0 {
-            return Err(TmanError::Invalid("trigger needs at least one tuple variable".into()));
+            return Err(TmanError::Invalid(
+                "trigger needs at least one tuple variable".into(),
+            ));
         }
         let alphas = (0..graph.num_vars)
             .map(|_| match kind {
@@ -143,7 +145,9 @@ impl Network {
             })
             .collect();
         let betas = if kind == NetworkKind::Rete && graph.num_vars >= 2 {
-            (0..graph.num_vars - 1).map(|_| RwLock::new(Vec::new())).collect()
+            (0..graph.num_vars - 1)
+                .map(|_| RwLock::new(Vec::new()))
+                .collect()
         } else {
             Vec::new()
         };
@@ -152,7 +156,15 @@ impl Network {
         } else {
             Vec::new()
         };
-        Ok(Network { kind, graph, var_sources, alphas, betas, clusters, event_var })
+        Ok(Network {
+            kind,
+            graph,
+            var_sources,
+            alphas,
+            betas,
+            clusters,
+            event_var,
+        })
     }
 
     /// Greedy pair clustering: repeatedly take an unclustered variable and
@@ -173,9 +185,10 @@ impl Network {
             let partner = (0..n)
                 .filter(|&u| !used[u])
                 .find(|&u| {
-                    graph.joins.iter().any(|e| {
-                        (e.a == v && e.b == u) || (e.a == u && e.b == v)
-                    })
+                    graph
+                        .joins
+                        .iter()
+                        .any(|e| (e.a == v && e.b == u) || (e.a == u && e.b == v))
                 })
                 .or_else(|| (0..n).find(|&u| !used[u]));
             let mut vars = vec![v];
@@ -183,7 +196,10 @@ impl Network {
                 used[u] = true;
                 vars.push(u);
             }
-            clusters.push(Cluster { vars, memory: RwLock::new(Vec::new()) });
+            clusters.push(Cluster {
+                vars,
+                memory: RwLock::new(Vec::new()),
+            });
         }
         clusters
     }
@@ -214,7 +230,11 @@ impl Network {
                 Alpha::Virtual => 0,
             })
             .sum();
-        let b: usize = self.betas.iter().map(|m| m.read().iter().map(Vec::len).sum::<usize>()).sum();
+        let b: usize = self
+            .betas
+            .iter()
+            .map(|m| m.read().iter().map(Vec::len).sum::<usize>())
+            .sum();
         let g: usize = self
             .clusters
             .iter()
@@ -231,7 +251,10 @@ impl Network {
         }
         let mut binds: Vec<Option<&Tuple>> = vec![None; self.graph.num_vars];
         binds[v] = Some(tuple);
-        sel.matches(&Env { tuples: &binds, consts: &[] })
+        sel.matches(&Env {
+            tuples: &binds,
+            consts: &[],
+        })
     }
 
     /// §5.1 priming: populate stored memories (and Rete betas / Gator
@@ -253,9 +276,8 @@ impl Network {
                 .map(|v| scope.spawn(move || self.prime_var(v, source)))
                 .collect();
             for h in handles {
-                h.join().map_err(|_| {
-                    TmanError::Internal("priming thread panicked".into())
-                })??;
+                h.join()
+                    .map_err(|_| TmanError::Internal("priming thread panicked".into()))??;
             }
             Ok::<(), TmanError>(())
         })?;
@@ -340,7 +362,10 @@ impl Network {
         for (pos, &v) in cluster.vars.iter().enumerate() {
             binds[v] = Some(&entry[pos]);
         }
-        let env = Env { tuples: &binds, consts: &[] };
+        let env = Env {
+            tuples: &binds,
+            consts: &[],
+        };
         for e in &self.graph.joins {
             let a_in = cluster.vars.contains(&e.a);
             let b_in = cluster.vars.contains(&e.b);
@@ -423,8 +448,10 @@ impl Network {
             for (pos, &v) in self.clusters[ci].vars.iter().enumerate() {
                 binds[v] = Some(d[pos].clone());
             }
-            let bound_mask =
-                self.clusters[ci].vars.iter().fold(0u64, |m, &v| m | (1 << v));
+            let bound_mask = self.clusters[ci]
+                .vars
+                .iter()
+                .fold(0u64, |m, &v| m | (1 << v));
             self.extend_clusters(&others, 0, &mut binds, bound_mask, polarity, fire)?;
         }
         Ok(())
@@ -515,10 +542,13 @@ impl Network {
         for (v, t) in cand.iter().enumerate() {
             binds[v] = Some(t);
         }
-        let env = Env { tuples: &binds, consts: &[] };
+        let env = Env {
+            tuples: &binds,
+            consts: &[],
+        };
         for e in &self.graph.joins {
-            let touches_new = (e.a == new_var && e.b < cand.len())
-                || (e.b == new_var && e.a < cand.len());
+            let touches_new =
+                (e.a == new_var && e.b < cand.len()) || (e.b == new_var && e.a < cand.len());
             if touches_new && !e.pred.matches(&env)? {
                 return Ok(false);
             }
@@ -528,13 +558,11 @@ impl Network {
 
     /// Evaluate join edges between `var` and any bound member of `bound_mask`,
     /// given partial bindings.
-    fn edges_ok(
-        &self,
-        binds: &[Option<&Tuple>],
-        var: usize,
-        bound_mask: u64,
-    ) -> Result<bool> {
-        let env = Env { tuples: binds, consts: &[] };
+    fn edges_ok(&self, binds: &[Option<&Tuple>], var: usize, bound_mask: u64) -> Result<bool> {
+        let env = Env {
+            tuples: binds,
+            consts: &[],
+        };
         for e in &self.graph.joins {
             let other = if e.a == var {
                 e.b
@@ -556,7 +584,10 @@ impl Network {
         if self.graph.catch_all.is_empty() {
             return Ok(true);
         }
-        let env = Env { tuples: binds, consts: &[] };
+        let env = Env {
+            tuples: binds,
+            consts: &[],
+        };
         for c in &self.graph.catch_all {
             if c.eval(&env)? != Some(true) {
                 return Ok(false);
@@ -586,7 +617,10 @@ impl Network {
         if self.graph.num_vars == 1 {
             let binds = [Some(tuple)];
             if self.catch_all_ok(&binds)? {
-                fire(Firing { polarity, bindings: vec![tuple.clone()] });
+                fire(Firing {
+                    polarity,
+                    bindings: vec![tuple.clone()],
+                });
             }
             return Ok(());
         }
@@ -641,7 +675,10 @@ impl Network {
         let mut binds: Vec<Option<Tuple>> = vec![None; self.graph.num_vars];
         binds[var] = Some(tuple.clone());
         self.extend_binding(&order, 0, 1 << var, &mut binds, source, &mut |full| {
-            fire(Firing { polarity, bindings: full.to_vec() })
+            fire(Firing {
+                polarity,
+                bindings: full.to_vec(),
+            })
         })?;
 
         if polarity == Polarity::Minus {
@@ -660,10 +697,10 @@ impl Network {
             let next = (0..n)
                 .filter(|v| bound & (1 << v) == 0)
                 .find(|&v| {
-                    self.graph
-                        .joins
-                        .iter()
-                        .any(|e| (e.a == v && bound & (1 << e.b) != 0) || (e.b == v && bound & (1 << e.a) != 0))
+                    self.graph.joins.iter().any(|e| {
+                        (e.a == v && bound & (1 << e.b) != 0)
+                            || (e.b == v && bound & (1 << e.a) != 0)
+                    })
                 })
                 .or_else(|| (0..n).find(|v| bound & (1 << v) == 0))
                 .expect("some variable remains");
@@ -708,7 +745,14 @@ impl Network {
             binds[var] = Some(cand);
             let refs: Vec<Option<&Tuple>> = binds.iter().map(|b| b.as_ref()).collect();
             if self.edges_ok(&refs, var, bound_mask)? {
-                self.extend_binding(order, depth + 1, bound_mask | (1 << var), binds, source, emit)?;
+                self.extend_binding(
+                    order,
+                    depth + 1,
+                    bound_mask | (1 << var),
+                    binds,
+                    source,
+                    emit,
+                )?;
             }
         }
         binds[var] = None;
@@ -770,13 +814,18 @@ impl Network {
                             }
                         }
                     }
-                    self.betas[next_var - 1].write().extend(next.iter().cloned());
+                    self.betas[next_var - 1]
+                        .write()
+                        .extend(next.iter().cloned());
                     frontier = next;
                 }
                 for full in frontier {
                     let refs: Vec<Option<&Tuple>> = full.iter().map(Some).collect();
                     if self.catch_all_ok(&refs)? {
-                        fire(Firing { polarity, bindings: full });
+                        fire(Firing {
+                            polarity,
+                            bindings: full,
+                        });
                     }
                 }
             }
@@ -800,7 +849,10 @@ impl Network {
                         for full in removed {
                             let refs: Vec<Option<&Tuple>> = full.iter().map(Some).collect();
                             if self.catch_all_ok(&refs)? {
-                                fire(Firing { polarity, bindings: full });
+                                fire(Firing {
+                                    polarity,
+                                    bindings: full,
+                                });
                             }
                         }
                     }

@@ -68,7 +68,12 @@ fn fire_all(n: &Network, src: &MemSource, var: usize, pol: Polarity, t: &Tuple) 
 
 #[test]
 fn all_kinds_fire_on_matching_house_insert() {
-    for kind in [NetworkKind::Treat, NetworkKind::ATreat, NetworkKind::Rete, NetworkKind::Gator] {
+    for kind in [
+        NetworkKind::Treat,
+        NetworkKind::ATreat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
         let src = base_data();
         let n = build(kind, "");
         n.prime(&src).unwrap();
@@ -85,7 +90,10 @@ fn all_kinds_fire_on_matching_house_insert() {
         // A house in Bob's neighborhood does not fire (selection on s).
         let h2 = house_row(102, 10_000.0, 12);
         src.push(HOUSE, h2.clone());
-        assert!(fire_all(&n, &src, 1, Polarity::Plus, &h2).is_empty(), "{kind:?}");
+        assert!(
+            fire_all(&n, &src, 1, Polarity::Plus, &h2).is_empty(),
+            "{kind:?}"
+        );
     }
 }
 
@@ -93,7 +101,12 @@ fn all_kinds_fire_on_matching_house_insert() {
 fn non_event_var_updates_flow_too() {
     // Inserting a `represents` row can complete a match with an existing
     // house (token-driven from any variable).
-    for kind in [NetworkKind::Treat, NetworkKind::ATreat, NetworkKind::Rete, NetworkKind::Gator] {
+    for kind in [
+        NetworkKind::Treat,
+        NetworkKind::ATreat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
         let src = base_data();
         let n = build(kind, "");
         n.prime(&src).unwrap();
@@ -103,24 +116,40 @@ fn non_event_var_updates_flow_too() {
         // keep the relation set-consistent.)
         let r13 = rep_row(1, 13);
         src.push(REP, r13.clone());
-        assert!(fire_all(&n, &src, 2, Polarity::Plus, &r13).is_empty(), "{kind:?}");
+        assert!(
+            fire_all(&n, &src, 2, Polarity::Plus, &r13).is_empty(),
+            "{kind:?}"
+        );
         // Now a house shows up in 13.
         let h = house_row(103, 5.0, 13);
         src.push(HOUSE, h.clone());
-        assert_eq!(fire_all(&n, &src, 1, Polarity::Plus, &h).len(), 1, "{kind:?}");
+        assert_eq!(
+            fire_all(&n, &src, 1, Polarity::Plus, &h).len(),
+            1,
+            "{kind:?}"
+        );
         let _ = r;
     }
 }
 
 #[test]
 fn minus_tokens_retract_matches() {
-    for kind in [NetworkKind::Treat, NetworkKind::ATreat, NetworkKind::Rete, NetworkKind::Gator] {
+    for kind in [
+        NetworkKind::Treat,
+        NetworkKind::ATreat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
         let src = base_data();
         let n = build(kind, "");
         n.prime(&src).unwrap();
         let h = house_row(101, 80_000.0, 11);
         src.push(HOUSE, h.clone());
-        assert_eq!(fire_all(&n, &src, 1, Polarity::Plus, &h).len(), 1, "{kind:?}");
+        assert_eq!(
+            fire_all(&n, &src, 1, Polarity::Plus, &h).len(),
+            1,
+            "{kind:?}"
+        );
         // Delete the house: one minus firing with the same bindings.
         src.remove(HOUSE, &h);
         let fires = fire_all(&n, &src, 1, Polarity::Minus, &h);
@@ -135,7 +164,12 @@ fn multiple_matches_from_one_token() {
     // Two salespeople named Iris... rather: Iris represents two
     // neighborhoods; a house whose neighborhood both map to — instead give
     // REP two rows to nno 11.
-    for kind in [NetworkKind::Treat, NetworkKind::ATreat, NetworkKind::Rete, NetworkKind::Gator] {
+    for kind in [
+        NetworkKind::Treat,
+        NetworkKind::ATreat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
         let src = base_data();
         src.push(SP, sp_row(3, "Iris")); // second Iris
         src.push(REP, rep_row(3, 11)); // base data already has rep(1, 11)
@@ -171,7 +205,10 @@ fn treat_and_rete_memories_grow_atreat_stays_empty() {
     }
     assert_eq!(atreat.memory_tuples(), 0, "virtual alphas store nothing");
     assert!(treat.memory_tuples() > 0);
-    assert!(rete.memory_tuples() >= treat.memory_tuples(), "betas add memory");
+    assert!(
+        rete.memory_tuples() >= treat.memory_tuples(),
+        "betas add memory"
+    );
 }
 
 #[test]
@@ -231,17 +268,29 @@ fn single_variable_network_fires_directly() {
 #[test]
 fn hyper_join_catch_all_is_enforced() {
     // s.spno + r.spno = h.hno is a 3-variable conjunct → catch-all.
-    for kind in [NetworkKind::Treat, NetworkKind::ATreat, NetworkKind::Rete, NetworkKind::Gator] {
+    for kind in [
+        NetworkKind::Treat,
+        NetworkKind::ATreat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
         let src = base_data();
         let n = build(kind, "s.spno + r.spno = h.hno");
         n.prime(&src).unwrap();
         // Iris: spno 1, rep(1,11): 1+1=2 ⇒ only hno=2 fires.
         let good = house_row(2, 1.0, 11);
         src.push(HOUSE, good.clone());
-        assert_eq!(fire_all(&n, &src, 1, Polarity::Plus, &good).len(), 1, "{kind:?}");
+        assert_eq!(
+            fire_all(&n, &src, 1, Polarity::Plus, &good).len(),
+            1,
+            "{kind:?}"
+        );
         let bad = house_row(3, 1.0, 11);
         src.push(HOUSE, bad.clone());
-        assert!(fire_all(&n, &src, 1, Polarity::Plus, &bad).is_empty(), "{kind:?}");
+        assert!(
+            fire_all(&n, &src, 1, Polarity::Plus, &bad).is_empty(),
+            "{kind:?}"
+        );
     }
 }
 
@@ -284,17 +333,23 @@ fn cartesian_disconnected_variables_still_enumerate() {
     let sa = Schema::from_pairs(&[("x", DataType::Int)]);
     let sb = Schema::from_pairs(&[("y", DataType::Int)]);
     let ctx = BindCtx::new(vec![("a".into(), &sa), ("b".into(), &sb)]);
-    let cnf = to_cnf(&ctx.pred(&parse_expression("a.x > 0 and b.y > 0").unwrap()).unwrap())
-        .unwrap();
+    let cnf = to_cnf(
+        &ctx.pred(&parse_expression("a.x > 0 and b.y > 0").unwrap())
+            .unwrap(),
+    )
+    .unwrap();
     let g = ConditionGraph::build(cnf, 2);
     let (da, db) = (DataSourceId(20), DataSourceId(21));
     let n = Network::build(NetworkKind::ATreat, g, vec![da, db], 0).unwrap();
     let src = MemSource::new();
-    src.set(db, vec![
-        Tuple::new(vec![Value::Int(1)]),
-        Tuple::new(vec![Value::Int(2)]),
-        Tuple::new(vec![Value::Int(-1)]),
-    ]);
+    src.set(
+        db,
+        vec![
+            Tuple::new(vec![Value::Int(1)]),
+            Tuple::new(vec![Value::Int(2)]),
+            Tuple::new(vec![Value::Int(-1)]),
+        ],
+    );
     let t = Tuple::new(vec![Value::Int(5)]);
     src.push(da, t.clone());
     let fires = fire_all(&n, &src, 0, Polarity::Plus, &t);

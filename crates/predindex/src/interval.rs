@@ -147,7 +147,11 @@ impl<T> Default for IntervalIndex<T> {
 impl<T> IntervalIndex<T> {
     /// Empty index.
     pub fn new() -> IntervalIndex<T> {
-        IntervalIndex { root: None, len: 0, rng: 0x9E37_79B9_7F4A_7C15 }
+        IntervalIndex {
+            root: None,
+            len: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Number of stored intervals.
@@ -211,7 +215,9 @@ impl<T> IntervalIndex<T> {
         tree: Option<Box<Node<T>>>,
         at: &Bound,
     ) -> (Option<Box<Node<T>>>, Option<Box<Node<T>>>) {
-        let Some(mut t) = tree else { return (None, None) };
+        let Some(mut t) = tree else {
+            return (None, None);
+        };
         if cmp_lo(&t.lo, at) == Ordering::Less {
             let (l, r) = Self::split(t.right.take(), at);
             t.right = l;
@@ -240,7 +246,9 @@ impl<T> IntervalIndex<T> {
         tree: Option<Box<Node<T>>>,
         pred: &mut impl FnMut(&T) -> bool,
     ) -> (Option<Box<Node<T>>>, Option<T>) {
-        let Some(mut t) = tree else { return (None, None) };
+        let Some(mut t) = tree else {
+            return (None, None);
+        };
         if pred(&t.item) {
             let merged = Self::merge(t.left.take(), t.right.take());
             return (merged, Some(t.item));
@@ -296,7 +304,8 @@ impl<T> IntervalIndex<T> {
         // i.e. if t.lo itself doesn't already exceed v... lows in the right
         // subtree can still be <= v even if not equal to t.lo, so gate on
         // whether v is above t.lo at all.
-        if t.lo.lo_admits(v) || matches!(&t.lo, Bound::At { value, .. } if value.total_cmp(v) != Ordering::Greater)
+        if t.lo.lo_admits(v)
+            || matches!(&t.lo, Bound::At { value, .. } if value.total_cmp(v) != Ordering::Greater)
         {
             Self::stab_node(&t.right, v, visit);
         }
@@ -351,7 +360,10 @@ mod tests {
     use super::*;
 
     fn at(v: i64, inclusive: bool) -> Bound {
-        Bound::At { value: Value::Int(v), inclusive }
+        Bound::At {
+            value: Value::Int(v),
+            inclusive,
+        }
     }
 
     fn naive_stab(items: &[(Bound, Bound, u32)], v: &Value) -> Vec<u32> {
@@ -426,8 +438,16 @@ mod tests {
             let b = a + (next() % 100) as i64;
             let lo_inc = next() % 2 == 0;
             let hi_inc = next() % 2 == 0;
-            let lo = if next() % 10 == 0 { Bound::Open } else { at(a, lo_inc) };
-            let hi = if next() % 10 == 0 { Bound::Open } else { at(b, hi_inc) };
+            let lo = if next() % 10 == 0 {
+                Bound::Open
+            } else {
+                at(a, lo_inc)
+            };
+            let hi = if next() % 10 == 0 {
+                Bound::Open
+            } else {
+                at(b, hi_inc)
+            };
             ix.insert(lo.clone(), hi.clone(), id);
             model.push((lo, hi, id));
         }
@@ -454,8 +474,14 @@ mod tests {
     fn float_and_cross_type_values() {
         let mut ix = IntervalIndex::new();
         ix.insert(
-            Bound::At { value: Value::Float(0.5), inclusive: true },
-            Bound::At { value: Value::Float(1.5), inclusive: true },
+            Bound::At {
+                value: Value::Float(0.5),
+                inclusive: true,
+            },
+            Bound::At {
+                value: Value::Float(1.5),
+                inclusive: true,
+            },
             7u32,
         );
         assert_eq!(index_stab(&ix, &Value::Int(1)), vec![7]);

@@ -44,6 +44,73 @@ use tman_common::{
 use tman_expr::scalar::Env;
 use tman_expr::{IndexPlan, SelectionSignature};
 use tman_sql::Database;
+use tman_telemetry::{CounterHandle, Registry};
+
+/// Per-organization probe/match counters (`tman_index_probes_total{org=..}`
+/// / `tman_index_matches_total{org=..}`): one pre-resolved handle pair per
+/// [`OrgKind`], so the hot probe path never touches the registry. Default
+/// (telemetry off or not attached) is all no-op handles.
+#[derive(Clone)]
+pub struct OrgCounters {
+    probes: [CounterHandle; 6],
+    matches: [CounterHandle; 6],
+}
+
+/// Fixed slot per organization kind; `Custom` variants share one slot.
+fn org_slot(kind: OrgKind) -> usize {
+    match kind {
+        OrgKind::MemList => 0,
+        OrgKind::MemListDenorm => 1,
+        OrgKind::MemIndex => 2,
+        OrgKind::DbTable => 3,
+        OrgKind::DbIndexed => 4,
+        OrgKind::Custom(_) => 5,
+    }
+}
+
+/// Label values used for the `org` dimension, index-aligned with
+/// [`OrgCounters`]'s slots.
+pub const ORG_LABELS: [&str; 6] = [
+    "mem_list",
+    "mem_list_denorm",
+    "mem_index",
+    "db_table",
+    "db_indexed_table",
+    "custom",
+];
+
+impl Default for OrgCounters {
+    fn default() -> OrgCounters {
+        OrgCounters {
+            probes: std::array::from_fn(|_| CounterHandle::noop()),
+            matches: std::array::from_fn(|_| CounterHandle::noop()),
+        }
+    }
+}
+
+impl OrgCounters {
+    /// Resolve the labeled counter families from a registry.
+    pub fn from_registry(registry: &Registry) -> OrgCounters {
+        OrgCounters {
+            probes: std::array::from_fn(|i| {
+                registry.counter("tman_index_probes_total", &[("org", ORG_LABELS[i])])
+            }),
+            matches: std::array::from_fn(|i| {
+                registry.counter("tman_index_matches_total", &[("org", ORG_LABELS[i])])
+            }),
+        }
+    }
+
+    #[inline]
+    fn probe(&self, kind: OrgKind) {
+        self.probes[org_slot(kind)].bump();
+    }
+
+    #[inline]
+    fn matched(&self, kind: OrgKind) {
+        self.matches[org_slot(kind)].bump();
+    }
+}
 
 /// Tuning knobs for organization promotion (§5.2: strategies 1/2 "make the
 /// common case fast", 3/4 "are mandatory in a scalable trigger system").
@@ -61,7 +128,11 @@ pub struct IndexConfig {
 
 impl Default for IndexConfig {
     fn default() -> IndexConfig {
-        IndexConfig { list_to_index: 32, index_to_db: usize::MAX, normalized: true }
+        IndexConfig {
+            list_to_index: 32,
+            index_to_db: usize::MAX,
+            normalized: true,
+        }
     }
 }
 
@@ -87,6 +158,7 @@ pub struct SignatureRuntime {
     org: RwLock<Org>,
     config: IndexConfig,
     db: Option<Arc<Database>>,
+    org_counters: OrgCounters,
 }
 
 impl SignatureRuntime {
@@ -139,7 +211,13 @@ impl SignatureRuntime {
             _ => None,
         };
         if let Some(next) = next_kind {
-            Self::switch_locked(&mut org, &self.sig, next, &self.const_table_name(), self.db.as_ref())?;
+            Self::switch_locked(
+                &mut org,
+                &self.sig,
+                next,
+                &self.const_table_name(),
+                self.db.as_ref(),
+            )?;
         }
         Ok(())
     }
@@ -166,7 +244,13 @@ impl SignatureRuntime {
         if org.kind() == kind {
             return Ok(());
         }
-        Self::switch_locked(&mut org, &self.sig, kind, &self.const_table_name(), self.db.as_ref())
+        Self::switch_locked(
+            &mut org,
+            &self.sig,
+            kind,
+            &self.const_table_name(),
+            self.db.as_ref(),
+        )
     }
 
     fn switch_locked(
@@ -222,7 +306,10 @@ impl SignatureRuntime {
         stats: &IndexStats,
         visit: &mut dyn FnMut(&Entry),
     ) -> Result<()> {
+        let org = self.org.read();
+        let org_kind = org.kind();
         stats.probes.bump();
+        self.org_counters.probe(org_kind);
         // Build the probe values from the token per the index plan.
         let key_vals: Vec<Value>;
         let probe = match &self.sig.index_plan {
@@ -244,7 +331,6 @@ impl SignatureRuntime {
             IndexPlan::None => ProbeValues::All,
         };
 
-        let org = self.org.read();
         let bind = Some(tuple);
         let tuples = std::slice::from_ref(&bind);
         let needs_full = matches!(self.sig.index_plan, IndexPlan::None);
@@ -259,7 +345,10 @@ impl SignatureRuntime {
             if err.is_some() {
                 return;
             }
-            let env = Env { tuples, consts: &e.consts };
+            let env = Env {
+                tuples,
+                consts: &e.consts,
+            };
             let passed = if needs_full {
                 stats.residual_tests.bump();
                 match self.sig.generalized.matches(&env) {
@@ -286,6 +375,7 @@ impl SignatureRuntime {
             };
             if passed {
                 stats.matches.bump();
+                self.org_counters.matched(org_kind);
                 visit(e);
             }
         })?;
@@ -332,6 +422,7 @@ pub struct PredicateIndex {
     sources: RwLock<FxHashMap<DataSourceId, Arc<DataSourceIndex>>>,
     next_sig: AtomicU32,
     stats: IndexStats,
+    org_counters: OrgCounters,
 }
 
 impl PredicateIndex {
@@ -343,6 +434,7 @@ impl PredicateIndex {
             sources: RwLock::new(FxHashMap::default()),
             next_sig: AtomicU32::new(1),
             stats: IndexStats::default(),
+            org_counters: OrgCounters::default(),
         }
     }
 
@@ -356,6 +448,35 @@ impl PredicateIndex {
     /// Match/probe counters.
     pub fn stats(&self) -> &IndexStats {
         &self.stats
+    }
+
+    /// Wire per-organization probe/match counters into `registry` and
+    /// register the aggregate [`IndexStats`] counters there too. Call
+    /// before the first [`PredicateIndex::add_predicate`] — signatures
+    /// capture the handles at creation time.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.org_counters = OrgCounters::from_registry(registry);
+        registry.register_counter("tman_index_tokens_total", &[], self.stats.tokens.clone());
+        registry.register_counter(
+            "tman_index_signatures_probed_total",
+            &[],
+            self.stats.signatures_probed.clone(),
+        );
+        registry.register_counter(
+            "tman_index_probes_all_total",
+            &[],
+            self.stats.probes.clone(),
+        );
+        registry.register_counter(
+            "tman_index_residual_tests_total",
+            &[],
+            self.stats.residual_tests.clone(),
+        );
+        registry.register_counter(
+            "tman_index_matches_all_total",
+            &[],
+            self.stats.matches.clone(),
+        );
     }
 
     /// Register (or look up) a data source.
@@ -419,6 +540,7 @@ impl PredicateIndex {
                     sig,
                     config: self.config.clone(),
                     db: self.db.clone(),
+                    org_counters: self.org_counters.clone(),
                 });
                 sigs.push(rt.clone());
                 src.update_cols.write().push(update_cols);
@@ -426,7 +548,12 @@ impl PredicateIndex {
             }
         };
         drop(sigs);
-        rt.insert(Entry { expr_id, trigger_id, next_node, consts: consts.into() })?;
+        rt.insert(Entry {
+            expr_id,
+            trigger_id,
+            next_node,
+            consts: consts.into(),
+        })?;
         Ok((rt, is_new))
     }
 
@@ -485,7 +612,11 @@ impl PredicateIndex {
 
     /// Total number of unique signatures across all sources.
     pub fn num_signatures(&self) -> usize {
-        self.sources.read().values().map(|s| s.sigs.read().len()).sum()
+        self.sources
+            .read()
+            .values()
+            .map(|s| s.sigs.read().len())
+            .sum()
     }
 
     /// Total number of predicate entries.
@@ -502,7 +633,13 @@ impl PredicateIndex {
         self.sources
             .read()
             .values()
-            .map(|s| s.sigs.read().iter().map(|g| g.memory_bytes()).sum::<usize>())
+            .map(|s| {
+                s.sigs
+                    .read()
+                    .iter()
+                    .map(|g| g.memory_bytes())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }

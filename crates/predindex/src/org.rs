@@ -39,9 +39,10 @@ pub struct Entry {
 impl Entry {
     fn key(&self, plan: &IndexPlan) -> Vec<Value> {
         match plan {
-            IndexPlan::Equality { const_slots, .. } => {
-                const_slots.iter().map(|&s| self.consts[s].clone()).collect()
-            }
+            IndexPlan::Equality { const_slots, .. } => const_slots
+                .iter()
+                .map(|&s| self.consts[s].clone())
+                .collect(),
             _ => Vec::new(),
         }
     }
@@ -52,13 +53,13 @@ impl Entry {
         };
         let b = |side: &Option<(usize, bool)>| match side {
             None => Bound::Open,
-            Some((slot, inclusive)) => {
-                Bound::At { value: self.consts[*slot].clone(), inclusive: *inclusive }
-            }
+            Some((slot, inclusive)) => Bound::At {
+                value: self.consts[*slot].clone(),
+                inclusive: *inclusive,
+            },
         };
         (b(lo), b(hi))
     }
-
 }
 
 /// Which strategy a constant set currently uses (reported in catalogs as
@@ -160,7 +161,11 @@ impl Org {
                     )
                 })?;
                 let table = create_const_table(db, slot_types, sig_table_name)?;
-                let mut org = DbOrg { table, index: None, range_index: None };
+                let mut org = DbOrg {
+                    table,
+                    index: None,
+                    range_index: None,
+                };
                 if kind == OrgKind::DbIndexed {
                     match &sig.index_plan {
                         IndexPlan::Equality { const_slots, .. } => {
@@ -175,14 +180,16 @@ impl Org {
                             )?;
                             org.index = org.table.index(&format!("{sig_table_name}_key"));
                         }
-                        IndexPlan::Range { lo: Some((slot, _)), .. } => {
+                        IndexPlan::Range {
+                            lo: Some((slot, _)),
+                            ..
+                        } => {
                             db.create_index(
                                 &format!("{sig_table_name}_lo"),
                                 sig_table_name,
                                 &[format!("const{}", slot + 1)],
                             )?;
-                            org.range_index =
-                                org.table.index(&format!("{sig_table_name}_lo"));
+                            org.range_index = org.table.index(&format!("{sig_table_name}_lo"));
                         }
                         // No indexable part: strategy 4 degenerates to 3.
                         _ => {}
@@ -224,7 +231,10 @@ impl Org {
                         share_consts(&mut entry, &g.entries);
                         g.entries.push(entry);
                     }
-                    None => groups.push(Group { key, entries: vec![entry] }),
+                    None => groups.push(Group {
+                        key,
+                        entries: vec![entry],
+                    }),
                 }
             }
             Org::MemListDenorm(list) => list.push(entry),
@@ -330,15 +340,16 @@ impl Org {
                 })
                 .sum(),
             Org::MemListDenorm(list) => group_bytes_unshared(list),
-            Org::MemHash(map) => map
-                .iter()
-                .map(|(k, v)| {
-                    k.iter().map(Value::heap_size).sum::<usize>()
-                        + group_bytes(v)
-                        + std::mem::size_of::<Vec<Entry>>()
-                })
-                .sum::<usize>()
-                + map.capacity() * std::mem::size_of::<u64>(),
+            Org::MemHash(map) => {
+                map.iter()
+                    .map(|(k, v)| {
+                        k.iter().map(Value::heap_size).sum::<usize>()
+                            + group_bytes(v)
+                            + std::mem::size_of::<Vec<Entry>>()
+                    })
+                    .sum::<usize>()
+                    + map.capacity() * std::mem::size_of::<u64>()
+            }
             Org::MemInterval(ix) => ix.memory_bytes(),
             Org::DbTable(_) | Org::DbIndexed(_) => std::mem::size_of::<DbOrg>(),
             Org::Custom(c) => c.memory_bytes(),
@@ -353,9 +364,7 @@ impl Org {
             Org::MemList(g) => g.clear(),
             Org::MemListDenorm(l) => l.clear(),
             Org::MemHash(m) => m.clear(),
-            Org::MemInterval(ix) => {
-                while ix.remove_where(|_| true).is_some() {}
-            }
+            Org::MemInterval(ix) => while ix.remove_where(|_| true).is_some() {},
             Org::DbTable(org) | Org::DbIndexed(org) => {
                 let mut rids = Vec::new();
                 org.table.scan(|rid, _| {
@@ -524,8 +533,7 @@ impl Org {
                 match &org.range_index {
                     Some(idx) => {
                         // All rows whose lo bound <= v; hi re-checked below.
-                        let rows =
-                            org.table.index_range_lookup(idx, None, Some((v, true)))?;
+                        let rows = org.table.index_range_lookup(idx, None, Some((v, true)))?;
                         for (_, row) in rows {
                             let e = entry_from_row(&row);
                             if interval_contains(plan, &e, v) {
@@ -597,7 +605,9 @@ fn share_consts(entry: &mut Entry, group: &[Entry]) {
 fn group_bytes(entries: &[Entry]) -> usize {
     let mut total = std::mem::size_of_val(entries);
     for (i, e) in entries.iter().enumerate() {
-        let shared_earlier = entries[..i].iter().any(|p| Arc::ptr_eq(&p.consts, &e.consts));
+        let shared_earlier = entries[..i]
+            .iter()
+            .any(|p| Arc::ptr_eq(&p.consts, &e.consts));
         if !shared_earlier {
             total += e.consts.iter().map(Value::heap_size).sum::<usize>();
         }
@@ -618,7 +628,9 @@ fn group_bytes_unshared(entries: &[Entry]) -> usize {
 /// Does the entry's interval (per a Range plan) contain `v`? Exposed for
 /// custom organizations.
 pub fn interval_contains(plan: &IndexPlan, e: &Entry, v: &Value) -> bool {
-    let IndexPlan::Range { lo, hi, .. } = plan else { return false };
+    let IndexPlan::Range { lo, hi, .. } = plan else {
+        return false;
+    };
     let lo_ok = match lo {
         None => true,
         Some((slot, inc)) => {

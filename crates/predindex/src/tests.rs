@@ -1,7 +1,7 @@
 use super::*;
+use tman_common::{DataType, EventKind, TokenOp};
 use tman_expr::cnf::{remap_var, to_cnf};
 use tman_expr::BindCtx;
-use tman_common::{DataType, EventKind, TokenOp};
 use tman_lang::parse_expression;
 
 fn emp_schema() -> Schema {
@@ -15,19 +15,22 @@ fn emp_schema() -> Schema {
 const EMP: DataSourceId = DataSourceId(1);
 
 /// Register `cond` (over the emp schema) as trigger `tid`'s predicate.
-fn add(
-    ix: &PredicateIndex,
-    cond: &str,
-    event: EventKind,
-    tid: u64,
-) -> Arc<SignatureRuntime> {
+fn add(ix: &PredicateIndex, cond: &str, event: EventKind, tid: u64) -> Arc<SignatureRuntime> {
     let schema = emp_schema();
     let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
     let cnf = to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap();
     let canon = remap_var(&cnf, 0, 0, "emp");
     let (sig, consts) = tman_expr::signature::analyze_selection(&canon, EMP, event, vec![]);
     let (rt, _) = ix
-        .add_predicate(EMP, &schema, sig, consts, ExprId(tid), TriggerId(tid), NodeId(0))
+        .add_predicate(
+            EMP,
+            &schema,
+            sig,
+            consts,
+            ExprId(tid),
+            TriggerId(tid),
+            NodeId(0),
+        )
         .unwrap();
     rt
 }
@@ -35,7 +38,11 @@ fn add(
 fn ins(name: &str, salary: f64, dept: i64) -> UpdateDescriptor {
     UpdateDescriptor::insert(
         EMP,
-        Tuple::new(vec![Value::str(name), Value::Float(salary), Value::Int(dept)]),
+        Tuple::new(vec![
+            Value::str(name),
+            Value::Float(salary),
+            Value::Int(dept),
+        ]),
     )
 }
 
@@ -54,12 +61,20 @@ fn matched_ids(ix: &PredicateIndex, tok: &UpdateDescriptor) -> Vec<u64> {
 fn signatures_are_shared_across_triggers() {
     let ix = PredicateIndex::new(IndexConfig::default());
     for t in 0..100u64 {
-        add(&ix, &format!("emp.salary > {}", 1000 * t), EventKind::Insert, t);
+        add(
+            &ix,
+            &format!("emp.salary > {}", 1000 * t),
+            EventKind::Insert,
+            t,
+        );
     }
     assert_eq!(ix.num_signatures(), 1, "one signature for 100 triggers");
     assert_eq!(ix.num_entries(), 100);
     // A token with salary 5500 matches triggers with threshold < 5500.
-    assert_eq!(matched_ids(&ix, &ins("x", 5500.0, 1)), (0..=5).collect::<Vec<_>>());
+    assert_eq!(
+        matched_ids(&ix, &ins("x", 5500.0, 1)),
+        (0..=5).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -96,7 +111,11 @@ fn update_column_events_require_a_change() {
     let schema = emp_schema();
     let ix = PredicateIndex::new(IndexConfig::default());
     let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
-    let cnf = to_cnf(&ctx.pred(&parse_expression("emp.dept = 5").unwrap()).unwrap()).unwrap();
+    let cnf = to_cnf(
+        &ctx.pred(&parse_expression("emp.dept = 5").unwrap())
+            .unwrap(),
+    )
+    .unwrap();
     // `on update(emp.salary)` — salary is column 1.
     let (sig, consts) = tman_expr::signature::analyze_selection(
         &cnf,
@@ -104,8 +123,16 @@ fn update_column_events_require_a_change() {
         EventKind::Update(vec!["salary".into()]),
         vec![1],
     );
-    ix.add_predicate(EMP, &schema, sig, consts, ExprId(1), TriggerId(1), NodeId(0))
-        .unwrap();
+    ix.add_predicate(
+        EMP,
+        &schema,
+        sig,
+        consts,
+        ExprId(1),
+        TriggerId(1),
+        NodeId(0),
+    )
+    .unwrap();
 
     let old = Tuple::new(vec![Value::str("a"), Value::Float(10.0), Value::Int(5)]);
     let new_salary = Tuple::new(vec![Value::str("a"), Value::Float(20.0), Value::Int(5)]);
@@ -121,7 +148,12 @@ fn update_column_events_require_a_change() {
 fn residual_is_tested_after_index_probe() {
     let ix = PredicateIndex::new(IndexConfig::default());
     // dept is indexable; the salary range is residual.
-    add(&ix, "emp.dept = 3 and emp.salary > 50000", EventKind::Insert, 1);
+    add(
+        &ix,
+        "emp.dept = 3 and emp.salary > 50000",
+        EventKind::Insert,
+        1,
+    );
     assert_eq!(matched_ids(&ix, &ins("a", 60000.0, 3)), vec![1]);
     assert!(matched_ids(&ix, &ins("a", 40000.0, 3)).is_empty());
     assert!(matched_ids(&ix, &ins("a", 60000.0, 4)).is_empty());
@@ -152,7 +184,11 @@ fn or_predicates_fall_back_to_full_evaluation() {
     let ix = PredicateIndex::new(IndexConfig::default());
     add(&ix, "emp.dept = 1 or emp.dept = 2", EventKind::Insert, 1);
     add(&ix, "emp.dept = 3 or emp.dept = 4", EventKind::Insert, 2);
-    assert_eq!(ix.num_signatures(), 1, "same OR structure, different constants");
+    assert_eq!(
+        ix.num_signatures(),
+        1,
+        "same OR structure, different constants"
+    );
     assert_eq!(matched_ids(&ix, &ins("x", 0.0, 2)), vec![1]);
     assert_eq!(matched_ids(&ix, &ins("x", 0.0, 4)), vec![2]);
     assert!(matched_ids(&ix, &ins("x", 0.0, 9)).is_empty());
@@ -172,7 +208,10 @@ fn null_token_values_never_match_equality_or_range() {
 
 #[test]
 fn org_promotion_list_to_index() {
-    let cfg = IndexConfig { list_to_index: 10, ..Default::default() };
+    let cfg = IndexConfig {
+        list_to_index: 10,
+        ..Default::default()
+    };
     let ix = PredicateIndex::new(cfg);
     let mut rt = None;
     for t in 0..25u64 {
@@ -188,7 +227,11 @@ fn org_promotion_list_to_index() {
 #[test]
 fn org_promotion_to_database() {
     let db = Arc::new(Database::open_memory(256));
-    let cfg = IndexConfig { list_to_index: 4, index_to_db: 10, ..Default::default() };
+    let cfg = IndexConfig {
+        list_to_index: 4,
+        index_to_db: 10,
+        ..Default::default()
+    };
     let ix = PredicateIndex::with_database(cfg, db.clone());
     let mut rt = None;
     for t in 0..30u64 {
@@ -219,7 +262,12 @@ fn forced_org_kinds_all_agree() {
         let ix = PredicateIndex::with_database(IndexConfig::default(), db.clone());
         let mut rt = None;
         for t in 0..40u64 {
-            rt = Some(add(&ix, &format!("emp.dept = {}", t % 8), EventKind::Insert, t));
+            rt = Some(add(
+                &ix,
+                &format!("emp.dept = {}", t % 8),
+                EventKind::Insert,
+                t,
+            ));
         }
         let rt = rt.unwrap();
         rt.set_org(kind).unwrap();
@@ -233,13 +281,22 @@ fn forced_org_kinds_all_agree() {
 #[test]
 fn forced_org_kinds_agree_for_ranges() {
     let db = Arc::new(Database::open_memory(1024));
-    for kind in [OrgKind::MemList, OrgKind::MemIndex, OrgKind::DbTable, OrgKind::DbIndexed] {
+    for kind in [
+        OrgKind::MemList,
+        OrgKind::MemIndex,
+        OrgKind::DbTable,
+        OrgKind::DbIndexed,
+    ] {
         let ix = PredicateIndex::with_database(IndexConfig::default(), db.clone());
         let mut rt = None;
         for t in 0..30u64 {
             rt = Some(add(
                 &ix,
-                &format!("emp.salary >= {} and emp.salary < {}", t * 100, t * 100 + 250),
+                &format!(
+                    "emp.salary >= {} and emp.salary < {}",
+                    t * 100,
+                    t * 100 + 250
+                ),
                 EventKind::Insert,
                 t,
             ));
@@ -263,7 +320,9 @@ fn remove_trigger_cleans_all_orgs() {
     assert_eq!(ix.num_entries(), 20);
     assert_eq!(ix.remove_trigger(TriggerId(4)).unwrap(), 2);
     assert_eq!(ix.num_entries(), 18);
-    assert!(matched_ids(&ix, &ins("x", 100.0, 4)).iter().all(|&t| t != 4));
+    assert!(matched_ids(&ix, &ins("x", 100.0, 4))
+        .iter()
+        .all(|&t| t != 4));
 }
 
 #[test]
@@ -346,8 +405,16 @@ fn like_and_event_only_predicates() {
         EventKind::Insert,
         vec![],
     );
-    ix.add_predicate(EMP, &schema, sig, consts, ExprId(2), TriggerId(2), NodeId(0))
-        .unwrap();
+    ix.add_predicate(
+        EMP,
+        &schema,
+        sig,
+        consts,
+        ExprId(2),
+        TriggerId(2),
+        NodeId(0),
+    )
+    .unwrap();
 
     assert_eq!(matched_ids(&ix, &ins("Iris", 1.0, 1)), vec![1, 2]);
     assert_eq!(matched_ids(&ix, &ins("Bob", 1.0, 1)), vec![2]);
@@ -415,12 +482,18 @@ fn custom_organization_extensibility() {
     let ix = PredicateIndex::new(IndexConfig::default());
     let mut rt = None;
     for t in 0..60u64 {
-        rt = Some(add(&ix, &format!("emp.dept = {}", t % 12), EventKind::Insert, t));
+        rt = Some(add(
+            &ix,
+            &format!("emp.dept = {}", t % 12),
+            EventKind::Insert,
+            t,
+        ));
     }
     let rt = rt.unwrap();
     let before = matched_ids(&ix, &ins("x", 0.0, 5));
 
-    rt.set_custom_org(Box::new(crate::custom::OrderedVecOrg::new())).unwrap();
+    rt.set_custom_org(Box::new(crate::custom::OrderedVecOrg::new()))
+        .unwrap();
     assert_eq!(rt.org_kind(), OrgKind::Custom("ordered_vec"));
     assert_eq!(rt.org_kind().as_str(), "ordered_vec");
     assert_eq!(rt.len(), 60);
@@ -452,6 +525,7 @@ fn custom_organization_handles_ranges() {
     }
     let rt = rt.unwrap();
     let before = matched_ids(&ix, &ins("x", 57.0, 0));
-    rt.set_custom_org(Box::new(crate::custom::OrderedVecOrg::new())).unwrap();
+    rt.set_custom_org(Box::new(crate::custom::OrderedVecOrg::new()))
+        .unwrap();
     assert_eq!(matched_ids(&ix, &ins("x", 57.0, 0)), before);
 }

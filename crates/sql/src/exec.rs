@@ -74,7 +74,11 @@ pub fn execute_with_capture(
             db.drop_table(name)?;
             Ok(ExecResult::Ok)
         }
-        SqlStmt::CreateIndex { name, table, columns } => {
+        SqlStmt::CreateIndex {
+            name,
+            table,
+            columns,
+        } => {
             db.create_index(name, table, columns)?;
             Ok(ExecResult::Ok)
         }
@@ -95,7 +99,11 @@ pub fn execute_with_capture(
             });
             Ok(ExecResult::Affected(1))
         }
-        SqlStmt::Update { table, sets, filter } => {
+        SqlStmt::Update {
+            table,
+            sets,
+            filter,
+        } => {
             let t = db.table(table)?;
             let ctx = BindCtx::new(vec![(t.name().to_string(), t.schema())]);
             let set_plan: Vec<(usize, Scalar)> = sets
@@ -112,7 +120,10 @@ pub fn execute_with_capture(
             let n = matches.len();
             for (rid, row) in matches {
                 let bind = Some(&row);
-                let env = Env { tuples: std::slice::from_ref(&bind), consts: &[] };
+                let env = Env {
+                    tuples: std::slice::from_ref(&bind),
+                    consts: &[],
+                };
                 let mut new_vals: Vec<Value> = row.values().to_vec();
                 for (col, s) in &set_plan {
                     new_vals[*col] = s.eval(&env)?;
@@ -143,7 +154,11 @@ pub fn execute_with_capture(
             }
             Ok(ExecResult::Affected(n))
         }
-        SqlStmt::Select { cols, table, filter } => {
+        SqlStmt::Select {
+            cols,
+            table,
+            filter,
+        } => {
             let t = db.table(table)?;
             let ctx = BindCtx::new(vec![(t.name().to_string(), t.schema())]);
             let matches = find_matching(&t, &ctx, filter.as_ref())?;
@@ -156,8 +171,10 @@ pub fn execute_with_capture(
                         .into_iter()
                         .map(|(_, row)| {
                             let bind = Some(&row);
-                            let env =
-                                Env { tuples: std::slice::from_ref(&bind), consts: &[] };
+                            let env = Env {
+                                tuples: std::slice::from_ref(&bind),
+                                consts: &[],
+                            };
                             Ok(Tuple::new(
                                 scalars
                                     .iter()
@@ -205,7 +222,12 @@ fn find_matching(
         if c.atoms.len() != 1 || c.atoms[0].negated {
             continue;
         }
-        let AtomKind::Cmp { op: tman_expr::CmpOp::Eq, left, right } = &c.atoms[0].kind else {
+        let AtomKind::Cmp {
+            op: tman_expr::CmpOp::Eq,
+            left,
+            right,
+        } = &c.atoms[0].kind
+        else {
             continue;
         };
         let pair = match (left.as_column(), right.is_constant()) {
@@ -245,7 +267,10 @@ fn find_matching(
     let mut out = Vec::new();
     for (rid, row) in candidates {
         let bind = Some(&row);
-        let env = Env { tuples: std::slice::from_ref(&bind), consts: &[] };
+        let env = Env {
+            tuples: std::slice::from_ref(&bind),
+            consts: &[],
+        };
         if pred_matches(&pred, &env)? {
             out.push((rid, row));
         }
@@ -263,8 +288,11 @@ mod tests {
 
     fn db_with_emps() -> Database {
         let db = Database::open_memory(128);
-        execute_str(&db, "create table emp (name varchar(32), salary float, dept int)")
-            .unwrap();
+        execute_str(
+            &db,
+            "create table emp (name varchar(32), salary float, dept int)",
+        )
+        .unwrap();
         for (n, s, d) in [
             ("Bob", 80000.0, 7),
             ("Alice", 90000.0, 7),
@@ -282,12 +310,16 @@ mod tests {
         let rows = execute_str(&db, "select name from emp where salary > 70000")
             .unwrap()
             .rows();
-        let mut names: Vec<String> =
-            rows.iter().map(|r| r.get(0).as_str().unwrap().to_string()).collect();
+        let mut names: Vec<String> = rows
+            .iter()
+            .map(|r| r.get(0).as_str().unwrap().to_string())
+            .collect();
         names.sort();
         assert_eq!(names, vec!["Alice", "Bob"]);
         // Star select.
-        let rows = execute_str(&db, "select * from emp where dept = 3").unwrap().rows();
+        let rows = execute_str(&db, "select * from emp where dept = 3")
+            .unwrap()
+            .rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].arity(), 3);
     }
@@ -321,11 +353,16 @@ mod tests {
     fn delete_with_and_without_filter() {
         let db = db_with_emps();
         assert_eq!(
-            execute_str(&db, "delete from emp where dept = 7").unwrap().affected(),
+            execute_str(&db, "delete from emp where dept = 7")
+                .unwrap()
+                .affected(),
             2
         );
         assert_eq!(execute_str(&db, "delete from emp").unwrap().affected(), 2);
-        assert!(execute_str(&db, "select * from emp").unwrap().rows().is_empty());
+        assert!(execute_str(&db, "select * from emp")
+            .unwrap()
+            .rows()
+            .is_empty());
     }
 
     #[test]
@@ -348,8 +385,11 @@ mod tests {
         execute_str(&db, "create table c (sig int, c1 int, c2 varchar(8))").unwrap();
         execute_str(&db, "create index c_key on c (c1, c2)").unwrap();
         for i in 0..50 {
-            execute_str(&db, &format!("insert into c values ({i}, {}, 'v{}')", i % 5, i % 3))
-                .unwrap();
+            execute_str(
+                &db,
+                &format!("insert into c values ({i}, {}, 'v{}')", i % 5, i % 3),
+            )
+            .unwrap();
         }
         // Full-key probe.
         let rows = execute_str(&db, "select * from c where c1 = 2 and c2 = 'v1'")
@@ -359,7 +399,9 @@ mod tests {
         // Prefix probe (only c1 bound) still uses the index.
         let t = db.table("c").unwrap();
         let probes = t.stats().index_probes.get();
-        let rows = execute_str(&db, "select * from c where c1 = 2").unwrap().rows();
+        let rows = execute_str(&db, "select * from c where c1 = 2")
+            .unwrap()
+            .rows();
         assert_eq!(rows.len(), 10);
         assert_eq!(t.stats().index_probes.get(), probes + 1);
     }
@@ -395,7 +437,9 @@ mod tests {
                 .affected(),
             4
         );
-        let rows = execute_str(&db, "select * from emp where name is null").unwrap().rows();
+        let rows = execute_str(&db, "select * from emp where name is null")
+            .unwrap()
+            .rows();
         assert_eq!(rows.len(), 1);
     }
 }

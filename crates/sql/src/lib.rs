@@ -55,7 +55,10 @@ impl Database {
         if !storage.dir().exists(SCHEMA_CATALOG)? {
             storage.create_heap(SCHEMA_CATALOG)?;
         }
-        let db = Database { storage, tables: RwLock::new(FxHashMap::default()) };
+        let db = Database {
+            storage,
+            tables: RwLock::new(FxHashMap::default()),
+        };
         db.load_catalog()?;
         Ok(db)
     }
@@ -74,7 +77,10 @@ impl Database {
             let name = def.get(1).as_str().unwrap().to_string();
             let schema = decode_schema(def.get(2).as_str().unwrap())?;
             let heap = self.storage.open_heap(&format!("tbl_{name}"))?;
-            tables.insert(name.to_lowercase(), Arc::new(Table::new(name, schema, heap)));
+            tables.insert(
+                name.to_lowercase(),
+                Arc::new(Table::new(name, schema, heap)),
+            );
         }
         for def in defs.iter().filter(|d| d.get(0) == &Value::Int(1)) {
             let idx_name = def.get(1).as_str().unwrap().to_string();
@@ -85,11 +91,14 @@ impl Database {
                 .unwrap()
                 .split(',')
                 .filter(|s| !s.is_empty())
-                .map(|s| s.parse().map_err(|_| TmanError::Storage("bad index cols".into())))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| TmanError::Storage("bad index cols".into()))
+                })
                 .collect::<Result<_>>()?;
-            let table = tables
-                .get(&table_name)
-                .ok_or_else(|| TmanError::Storage(format!("index on missing table {table_name}")))?;
+            let table = tables.get(&table_name).ok_or_else(|| {
+                TmanError::Storage(format!("index on missing table {table_name}"))
+            })?;
             let tree = self.storage.open_btree(&format!("idx_{idx_name}"))?;
             table.attach_index(Arc::new(Index::new(idx_name, cols, tree)));
         }
@@ -140,7 +149,11 @@ impl Database {
 
     /// All table names.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().values().map(|t| t.name().to_string()).collect()
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.name().to_string())
+            .collect()
     }
 
     /// Create a secondary index on `columns` of `table`, backfilling it
@@ -247,11 +260,16 @@ fn decode_schema(s: &str) -> Result<Schema> {
             tman_common::DataType::Float
         } else if let Some(n) = ty.strip_prefix("char(").and_then(|t| t.strip_suffix(')')) {
             tman_common::DataType::Char(
-                n.parse().map_err(|_| TmanError::Storage("bad char len".into()))?,
+                n.parse()
+                    .map_err(|_| TmanError::Storage("bad char len".into()))?,
             )
-        } else if let Some(n) = ty.strip_prefix("varchar(").and_then(|t| t.strip_suffix(')')) {
+        } else if let Some(n) = ty
+            .strip_prefix("varchar(")
+            .and_then(|t| t.strip_suffix(')'))
+        {
             tman_common::DataType::Varchar(
-                n.parse().map_err(|_| TmanError::Storage("bad varchar len".into()))?,
+                n.parse()
+                    .map_err(|_| TmanError::Storage("bad varchar len".into()))?,
             )
         } else {
             return Err(TmanError::Storage(format!("bad schema type '{ty}'")));
@@ -309,9 +327,14 @@ mod tests {
         {
             let db = Database::open_file(&path, 32).unwrap();
             let t = db.create_table("emp", emp_schema()).unwrap();
-            t.insert(vec![Value::str("Bob"), Value::Float(80000.0), Value::Int(7)])
+            t.insert(vec![
+                Value::str("Bob"),
+                Value::Float(80000.0),
+                Value::Int(7),
+            ])
+            .unwrap();
+            db.create_index("emp_dept", "emp", &["dept".into()])
                 .unwrap();
-            db.create_index("emp_dept", "emp", &["dept".into()]).unwrap();
             db.checkpoint().unwrap();
         }
         {

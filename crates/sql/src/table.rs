@@ -72,7 +72,13 @@ pub struct Table {
 impl Table {
     /// Wrap a heap as a table.
     pub fn new(name: String, schema: Schema, heap: HeapFile) -> Table {
-        Table { name, schema, heap, indexes: RwLock::new(Vec::new()), stats: TableStats::default() }
+        Table {
+            name,
+            schema,
+            heap,
+            indexes: RwLock::new(Vec::new()),
+            stats: TableStats::default(),
+        }
     }
 
     /// Table name (original case).
@@ -216,7 +222,9 @@ impl Table {
             rids.push(RecordId::from_u64(v));
             Ok(true)
         })?;
-        rids.into_iter().map(|rid| Ok((rid, self.get(rid)?))).collect()
+        rids.into_iter()
+            .map(|rid| Ok((rid, self.get(rid)?)))
+            .collect()
     }
 
     /// Range lookup `lo <[=] key <[=] hi` on a single-column prefix of an
@@ -279,7 +287,10 @@ mod tests {
     use tman_storage::{BufferPool, DiskManager};
 
     fn table_with_index() -> (Table, StdArc<Index>) {
-        let pool = StdArc::new(BufferPool::new(StdArc::new(DiskManager::open_memory()), 128));
+        let pool = StdArc::new(BufferPool::new(
+            StdArc::new(DiskManager::open_memory()),
+            128,
+        ));
         let heap = HeapFile::create(pool.clone()).unwrap();
         let schema = Schema::from_pairs(&[
             ("name", DataType::Varchar(32)),
@@ -304,13 +315,25 @@ mod tests {
         let _r2 = t.insert(row("Alice", 90000.0, 7)).unwrap();
         let _r3 = t.insert(row("Eve", 50000.0, 3)).unwrap();
 
-        assert_eq!(t.index_lookup("emp_dept", &[Value::Int(7)]).unwrap().len(), 2);
-        assert_eq!(t.index_lookup("emp_dept", &[Value::Int(3)]).unwrap().len(), 1);
+        assert_eq!(
+            t.index_lookup("emp_dept", &[Value::Int(7)]).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            t.index_lookup("emp_dept", &[Value::Int(3)]).unwrap().len(),
+            1
+        );
 
         // Update moves Bob to dept 3.
         t.update(r1, row("Bob", 80000.0, 3)).unwrap();
-        assert_eq!(t.index_lookup("emp_dept", &[Value::Int(7)]).unwrap().len(), 1);
-        assert_eq!(t.index_lookup("emp_dept", &[Value::Int(3)]).unwrap().len(), 2);
+        assert_eq!(
+            t.index_lookup("emp_dept", &[Value::Int(7)]).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            t.index_lookup("emp_dept", &[Value::Int(3)]).unwrap().len(),
+            2
+        );
 
         // Delete Bob.
         let hits = t.index_lookup("emp_dept", &[Value::Int(3)]).unwrap();
@@ -320,7 +343,10 @@ mod tests {
             .unwrap()
             .0;
         t.delete(bob).unwrap();
-        assert_eq!(t.index_lookup("emp_dept", &[Value::Int(3)]).unwrap().len(), 1);
+        assert_eq!(
+            t.index_lookup("emp_dept", &[Value::Int(3)]).unwrap().len(),
+            1
+        );
         assert_eq!(t.count().unwrap(), 2);
     }
 
@@ -343,12 +369,20 @@ mod tests {
     fn range_lookup_bounds() {
         let (t, idx) = table_with_index();
         for d in 0..20 {
-            t.insert(row(&format!("p{d}"), 1000.0 * d as f64, d)).unwrap();
+            t.insert(row(&format!("p{d}"), 1000.0 * d as f64, d))
+                .unwrap();
         }
         let got = t
-            .index_range_lookup(&idx, Some((&Value::Int(5), true)), Some((&Value::Int(8), false)))
+            .index_range_lookup(
+                &idx,
+                Some((&Value::Int(5), true)),
+                Some((&Value::Int(8), false)),
+            )
             .unwrap();
-        let mut depts: Vec<i64> = got.iter().map(|(_, r)| r.get(2).as_i64().unwrap()).collect();
+        let mut depts: Vec<i64> = got
+            .iter()
+            .map(|(_, r)| r.get(2).as_i64().unwrap())
+            .collect();
         depts.sort();
         assert_eq!(depts, vec![5, 6, 7]);
         // Open-ended.
@@ -360,7 +394,10 @@ mod tests {
 
     #[test]
     fn backfill_existing_rows() {
-        let pool = StdArc::new(BufferPool::new(StdArc::new(DiskManager::open_memory()), 128));
+        let pool = StdArc::new(BufferPool::new(
+            StdArc::new(DiskManager::open_memory()),
+            128,
+        ));
         let heap = HeapFile::create(pool.clone()).unwrap();
         let schema = Schema::from_pairs(&[("k", DataType::Int)]);
         let t = Table::new("t".into(), schema, heap);

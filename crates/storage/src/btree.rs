@@ -41,7 +41,11 @@ struct Node {
 
 impl Node {
     fn leaf() -> Node {
-        Node { kind: LEAF, link: PageId::NULL, entries: Vec::new() }
+        Node {
+            kind: LEAF,
+            link: PageId::NULL,
+            entries: Vec::new(),
+        }
     }
 
     fn bytes_used(&self) -> usize {
@@ -97,7 +101,11 @@ impl Node {
             };
             entries.push((kv, child));
         }
-        Ok(Node { kind, link, entries })
+        Ok(Node {
+            kind,
+            link,
+            entries,
+        })
     }
 }
 
@@ -120,7 +128,11 @@ impl BTree {
             m[0..4].copy_from_slice(MAGIC);
             m[4..8].copy_from_slice(&root_pid.0.to_le_bytes());
         }
-        Ok(BTree { pool, meta: meta_pid, write_lock: Mutex::new(()) })
+        Ok(BTree {
+            pool,
+            meta: meta_pid,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// Open an existing tree by meta page.
@@ -133,7 +145,11 @@ impl BTree {
             )));
         }
         drop(g);
-        Ok(BTree { pool, meta, write_lock: Mutex::new(()) })
+        Ok(BTree {
+            pool,
+            meta,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// The meta page id (stable identity for the directory).
@@ -232,7 +248,12 @@ impl BTree {
         let pos = node
             .entries
             .partition_point(|(e, _)| Self::cmp_kv(e, &kv) == std::cmp::Ordering::Less);
-        if node.entries.get(pos).map(|(e, _)| e == &kv).unwrap_or(false) {
+        if node
+            .entries
+            .get(pos)
+            .map(|(e, _)| e == &kv)
+            .unwrap_or(false)
+        {
             return Ok(()); // exact duplicate
         }
         node.entries.insert(pos, (kv, 0));
@@ -250,7 +271,11 @@ impl BTree {
         let mut left = node.clone();
         let right_entries = left.entries.split_off(mid);
         let (right_pid, right_guard) = self.pool.allocate()?;
-        let mut right = Node { kind: node.kind, link: PageId::NULL, entries: right_entries };
+        let mut right = Node {
+            kind: node.kind,
+            link: PageId::NULL,
+            entries: right_entries,
+        };
         let sep = right.entries[0].0.clone();
         if node.kind == LEAF {
             right.link = left.link;
@@ -303,7 +328,12 @@ impl BTree {
         let pos = node
             .entries
             .partition_point(|(e, _)| Self::cmp_kv(e, &kv) == std::cmp::Ordering::Less);
-        if node.entries.get(pos).map(|(e, _)| e == &kv).unwrap_or(false) {
+        if node
+            .entries
+            .get(pos)
+            .map(|(e, _)| e == &kv)
+            .unwrap_or(false)
+        {
             node.entries.remove(pos);
             self.store(leaf_pid, &node)?;
             Ok(true)

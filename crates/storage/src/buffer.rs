@@ -82,7 +82,9 @@ impl BufferPool {
             slot.last_used = tick;
             slot.cell.pin.fetch_add(1, Ordering::Relaxed);
             self.stats.pool_hits.bump();
-            return Ok(PageGuard { cell: slot.cell.clone() });
+            return Ok(PageGuard {
+                cell: slot.cell.clone(),
+            });
         }
         self.stats.pool_misses.bump();
         let idx = self.find_victim(&mut inner)?;
@@ -96,7 +98,10 @@ impl BufferPool {
             dirty: AtomicBool::new(false),
             data: RwLock::new(data),
         });
-        inner.frames[idx] = Some(FrameSlot { cell: cell.clone(), last_used: tick });
+        inner.frames[idx] = Some(FrameSlot {
+            cell: cell.clone(),
+            last_used: tick,
+        });
         inner.map.insert(pid, idx);
         Ok(PageGuard { cell })
     }

@@ -70,7 +70,10 @@ impl Directory {
                 SlottedPage::init(&mut w);
             }
         }
-        Ok(Directory { pool, lock: Mutex::new(()) })
+        Ok(Directory {
+            pool,
+            lock: Mutex::new(()),
+        })
     }
 
     fn encode(entry: &DirEntry) -> Vec<u8> {
@@ -95,10 +98,7 @@ impl Directory {
 
     /// Visit each entry; `f` returns false to stop. Returns the location of
     /// the last visited entry when stopped early.
-    fn scan_entries(
-        &self,
-        mut f: impl FnMut(&DirEntry) -> bool,
-    ) -> Result<Option<(PageId, u16)>> {
+    fn scan_entries(&self, mut f: impl FnMut(&DirEntry) -> bool) -> Result<Option<(PageId, u16)>> {
         let mut pid = PageId(0);
         loop {
             let g = self.pool.fetch(pid)?;
@@ -133,7 +133,11 @@ impl Directory {
         if exists {
             return Err(TmanError::AlreadyExists(format!("object '{name}'")));
         }
-        let rec = Self::encode(&DirEntry { name: name.to_string(), kind, root });
+        let rec = Self::encode(&DirEntry {
+            name: name.to_string(),
+            kind,
+            root,
+        });
         // Walk the chain looking for room, extending it at the end.
         let mut pid = PageId(0);
         loop {

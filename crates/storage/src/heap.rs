@@ -30,7 +30,10 @@ impl RecordId {
 
     /// Unpack from [`to_u64`](Self::to_u64).
     pub fn from_u64(v: u64) -> RecordId {
-        RecordId { page: PageId((v >> 16) as u32), slot: (v & 0xFFFF) as u16 }
+        RecordId {
+            page: PageId((v >> 16) as u32),
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -68,7 +71,10 @@ impl HeapFile {
             m[8..12].copy_from_slice(&first_pid.0.to_le_bytes());
             m[12..16].copy_from_slice(&0u32.to_le_bytes());
         }
-        Ok(HeapFile { pool, meta: meta_pid })
+        Ok(HeapFile {
+            pool,
+            meta: meta_pid,
+        })
     }
 
     /// Open an existing heap by its meta page.
@@ -126,7 +132,10 @@ impl HeapFile {
             let mut w = g.write();
             let mut sp = SlottedPage::new(&mut w);
             if let Some(slot) = sp.insert(framed) {
-                return Ok(RecordId { page: free_hint, slot });
+                return Ok(RecordId {
+                    page: free_hint,
+                    slot,
+                });
             }
             drop(w);
             // Hint exhausted; clear it.
@@ -161,7 +170,10 @@ impl HeapFile {
             sp.set_next_page(new_pid);
             drop(w);
             self.write_meta_field(8, new_pid)?;
-            return Ok(RecordId { page: new_pid, slot });
+            return Ok(RecordId {
+                page: new_pid,
+                slot,
+            });
         }
     }
 

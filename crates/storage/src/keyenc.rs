@@ -51,7 +51,11 @@ fn encode_num(f: f64, out: &mut Vec<u8>) {
     let bits = f.to_bits();
     // Standard IEEE total-order transform: negative numbers flip all bits,
     // non-negative flip only the sign bit.
-    let ordered = if bits & (1 << 63) != 0 { !bits } else { bits ^ (1 << 63) };
+    let ordered = if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    };
     out.extend_from_slice(&ordered.to_be_bytes());
 }
 
@@ -80,7 +84,11 @@ pub fn decode_key(buf: &[u8]) -> Result<Vec<Value>> {
                     return Err(TmanError::Storage("truncated numeric key".into()));
                 }
                 let ordered = u64::from_be_bytes(buf[i + 1..i + 9].try_into().unwrap());
-                let bits = if ordered & (1 << 63) != 0 { ordered ^ (1 << 63) } else { !ordered };
+                let bits = if ordered & (1 << 63) != 0 {
+                    ordered ^ (1 << 63)
+                } else {
+                    !ordered
+                };
                 out.push(Value::Float(f64::from_bits(bits)));
                 i += 9;
             }
@@ -105,9 +113,7 @@ pub fn decode_key(buf: &[u8]) -> Result<Vec<Value>> {
                                 i += 2;
                             }
                             b => {
-                                return Err(TmanError::Storage(format!(
-                                    "bad string escape {b:#x}"
-                                )))
+                                return Err(TmanError::Storage(format!("bad string escape {b:#x}")))
                             }
                         }
                     } else {
@@ -174,7 +180,10 @@ mod tests {
 
     #[test]
     fn int_float_equal_encodings() {
-        assert_eq!(encode_key(&[Value::Int(42)]), encode_key(&[Value::Float(42.0)]));
+        assert_eq!(
+            encode_key(&[Value::Int(42)]),
+            encode_key(&[Value::Float(42.0)])
+        );
     }
 
     #[test]
@@ -225,7 +234,9 @@ mod tests {
             // Stay within f64-exact integer range: the documented encoding
             // unifies numerics as f64.
             (-(1i64 << 53)..(1i64 << 53)).prop_map(Value::Int),
-            any::<f64>().prop_filter("no NaN in keys", |f| !f.is_nan()).prop_map(Value::Float),
+            any::<f64>()
+                .prop_filter("no NaN in keys", |f| !f.is_nan())
+                .prop_map(Value::Float),
             "[a-z\u{0}]{0,12}".prop_map(Value::str),
         ]
     }

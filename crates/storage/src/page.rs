@@ -433,7 +433,10 @@ mod tests {
         prop_oneof![
             proptest::collection::vec(any::<u8>(), 0..300).prop_map(Op::Insert),
             any::<usize>().prop_map(Op::Delete),
-            (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..300))
+            (
+                any::<usize>(),
+                proptest::collection::vec(any::<u8>(), 0..300)
+            )
                 .prop_map(|(i, r)| Op::Update(i, r)),
         ]
     }

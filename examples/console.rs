@@ -16,6 +16,10 @@
 //! .drain        process pending tokens      .connections  connections
 //! .quit
 //! ```
+//!
+//! `show stats [<subsystem>]` is a TriggerMan command, not a built-in: it
+//! renders the full telemetry snapshot (queue, driver, index, cache,
+//! storage, actions).
 
 use std::io::{BufRead, Write};
 use triggerman::{Config, TriggerMan};
@@ -40,7 +44,7 @@ fn main() {
         match line {
             ".quit" | ".exit" => break,
             ".help" => {
-                println!(".start .stop .stats .list .connections .drain .quit — or any TriggerMan/SQL command");
+                println!(".start .stop .stats .list .connections .drain .quit — or any TriggerMan/SQL command (try 'show stats')");
                 continue;
             }
             ".start" => {
@@ -117,7 +121,10 @@ fn main() {
         // Try TriggerMan command first, then SQL.
         let result = tman
             .execute_command(line)
-            .map(|out| format!("{out:?}"))
+            .map(|out| match out {
+                triggerman::CommandOutput::Stats(report) => report,
+                other => format!("{other:?}"),
+            })
             .or_else(|cmd_err| {
                 tman.run_sql(line)
                     .map(|r| match r {

@@ -17,10 +17,19 @@ fn main() -> tman_common::Result<()> {
     //   represents(spno, nno)
     //   neighborhood(nno, name, location)
     for (ddl, src) in [
-        ("create table house (hno int, address varchar(40), price float, nno int, spno int)", "house"),
-        ("create table salesperson (spno int, name varchar(20), phone varchar(16))", "salesperson"),
+        (
+            "create table house (hno int, address varchar(40), price float, nno int, spno int)",
+            "house",
+        ),
+        (
+            "create table salesperson (spno int, name varchar(20), phone varchar(16))",
+            "salesperson",
+        ),
         ("create table represents (spno int, nno int)", "represents"),
-        ("create table neighborhood (nno int, name varchar(24), location varchar(24))", "neighborhood"),
+        (
+            "create table neighborhood (nno int, name varchar(24), location varchar(24))",
+            "neighborhood",
+        ),
     ] {
         tman.run_sql(ddl)?;
         tman.execute_command(&format!("define data source {src} from table {src}"))?;

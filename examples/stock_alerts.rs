@@ -17,7 +17,9 @@ use tman_common::{UpdateDescriptor, Value};
 use triggerman::{Config, TriggerMan};
 
 const USERS: usize = 100_000;
-const SYMBOLS: &[&str] = &["ACME", "GLOBO", "INITECH", "HOOLI", "PIED", "UMBRel", "WAYNE", "STARK"];
+const SYMBOLS: &[&str] = &[
+    "ACME", "GLOBO", "INITECH", "HOOLI", "PIED", "UMBRel", "WAYNE", "STARK",
+];
 
 fn main() -> tman_common::Result<()> {
     let tman = TriggerMan::open_memory(Config::default())?;

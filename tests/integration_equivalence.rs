@@ -76,11 +76,22 @@ fn predicate_index_agrees_with_naive_eca() {
             )
             .unwrap();
         // Register with the baseline.
-        eca.add_trigger(tman_common::TriggerId(t), SRC, EventKind::Insert, "q", &schema, &cond)
-            .unwrap();
+        eca.add_trigger(
+            tman_common::TriggerId(t),
+            SRC,
+            EventKind::Insert,
+            "q",
+            &schema,
+            &cond,
+        )
+        .unwrap();
     }
     // Far fewer signatures than triggers (the paper's premise).
-    assert!(index.num_signatures() <= 8, "{} signatures", index.num_signatures());
+    assert!(
+        index.num_signatures() <= 8,
+        "{} signatures",
+        index.num_signatures()
+    );
 
     for i in 0..500 {
         let tok = random_token(&mut rng);
@@ -90,8 +101,12 @@ fn predicate_index_agrees_with_naive_eca() {
             .into_iter()
             .map(|m| m.trigger_id.raw())
             .collect();
-        let mut b: Vec<u64> =
-            eca.match_token(&tok).unwrap().into_iter().map(|t| t.raw()).collect();
+        let mut b: Vec<u64> = eca
+            .match_token(&tok)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.raw())
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b, "token {i}: {tok:?}");
@@ -136,7 +151,8 @@ fn all_org_kinds_agree_with_query_baseline() {
                 tman_common::NodeId(0),
             )
             .unwrap();
-        qb.add_trigger(tman_common::TriggerId(t), SRC, EventKind::Insert, &cond_qb).unwrap();
+        qb.add_trigger(tman_common::TriggerId(t), SRC, EventKind::Insert, &cond_qb)
+            .unwrap();
     }
 
     let sig_rt = index.source(SRC).unwrap().signatures()[0].clone();
@@ -155,8 +171,12 @@ fn all_org_kinds_agree_with_query_baseline() {
                 .into_iter()
                 .map(|m| m.trigger_id.raw())
                 .collect();
-            let mut b: Vec<u64> =
-                qb.match_token(&tok).unwrap().into_iter().map(|t| t.raw()).collect();
+            let mut b: Vec<u64> = qb
+                .match_token(&tok)
+                .unwrap()
+                .into_iter()
+                .map(|t| t.raw())
+                .collect();
             a.sort();
             b.sort();
             assert_eq!(a, b, "{kind:?}");

@@ -11,8 +11,10 @@ fn fresh() -> std::sync::Arc<TriggerMan> {
 #[test]
 fn full_lifecycle_create_fire_disable_drop() {
     let tman = fresh();
-    tman.run_sql("create table orders (oid int, amount float, region varchar(8))").unwrap();
-    tman.execute_command("define data source orders from table orders").unwrap();
+    tman.run_sql("create table orders (oid int, amount float, region varchar(8))")
+        .unwrap();
+    tman.execute_command("define data source orders from table orders")
+        .unwrap();
     let rx = tman.subscribe("BigOrder");
 
     tman.execute_command(
@@ -22,27 +24,32 @@ fn full_lifecycle_create_fire_disable_drop() {
     .unwrap();
 
     // Fire.
-    tman.run_sql("insert into orders values (1, 5000, 'east')").unwrap();
-    tman.run_sql("insert into orders values (2, 10, 'west')").unwrap();
+    tman.run_sql("insert into orders values (1, 5000, 'east')")
+        .unwrap();
+    tman.run_sql("insert into orders values (2, 10, 'west')")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert_eq!(rx.try_recv().unwrap().values[0], Value::Int(1));
     assert!(rx.try_recv().is_err());
 
     // Disable → silent.
     tman.execute_command("disable trigger big").unwrap();
-    tman.run_sql("insert into orders values (3, 9999, 'east')").unwrap();
+    tman.run_sql("insert into orders values (3, 9999, 'east')")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(rx.try_recv().is_err());
 
     // Re-enable → fires again.
     tman.execute_command("enable trigger big").unwrap();
-    tman.run_sql("insert into orders values (4, 2000, 'east')").unwrap();
+    tman.run_sql("insert into orders values (4, 2000, 'east')")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert_eq!(rx.try_recv().unwrap().values[0], Value::Int(4));
 
     // Drop → gone, index clean.
     tman.execute_command("drop trigger big").unwrap();
-    tman.run_sql("insert into orders values (5, 3000, 'east')").unwrap();
+    tman.run_sql("insert into orders values (5, 3000, 'east')")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(rx.try_recv().is_err());
     assert_eq!(tman.predicate_index().num_entries(), 0);
@@ -53,7 +60,8 @@ fn full_lifecycle_create_fire_disable_drop() {
 fn many_triggers_one_signature_index_scales() {
     let tman = fresh();
     tman.run_sql("create table m (k int, v float)").unwrap();
-    tman.execute_command("define data source m from table m").unwrap();
+    tman.execute_command("define data source m from table m")
+        .unwrap();
     for i in 0..2000 {
         tman.execute_command(&format!(
             "create trigger t{i} from m when m.k = {i} do notify 'k{i}'"
@@ -83,10 +91,14 @@ fn many_triggers_one_signature_index_scales() {
 #[test]
 fn mixed_signatures_and_sql_actions_cooperate() {
     let tman = fresh();
-    tman.run_sql("create table inv (item varchar(16), qty int)").unwrap();
-    tman.run_sql("create table reorders (item varchar(16), qty int)").unwrap();
-    tman.execute_command("define data source inv from table inv").unwrap();
-    tman.execute_command("define data source reorders from table reorders").unwrap();
+    tman.run_sql("create table inv (item varchar(16), qty int)")
+        .unwrap();
+    tman.run_sql("create table reorders (item varchar(16), qty int)")
+        .unwrap();
+    tman.execute_command("define data source inv from table inv")
+        .unwrap();
+    tman.execute_command("define data source reorders from table reorders")
+        .unwrap();
 
     // Low-stock triggers write into another captured table; a second
     // trigger watches that one (chaining).
@@ -102,23 +114,38 @@ fn mixed_signatures_and_sql_actions_cooperate() {
     )
     .unwrap();
 
-    tman.run_sql("insert into inv values ('widget', 50)").unwrap();
-    tman.run_sql("update inv set qty = 5 where item = 'widget'").unwrap();
+    tman.run_sql("insert into inv values ('widget', 50)")
+        .unwrap();
+    tman.run_sql("update inv set qty = 5 where item = 'widget'")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
     assert_eq!(rx.try_recv().unwrap().values, vec![Value::str("widget")]);
-    assert_eq!(tman.run_sql("select * from reorders").unwrap().rows().len(), 1);
+    assert_eq!(
+        tman.run_sql("select * from reorders").unwrap().rows().len(),
+        1
+    );
 }
 
 #[test]
 fn join_trigger_lifecycle_on_every_network() {
-    for kind in [NetworkKind::ATreat, NetworkKind::Treat, NetworkKind::Rete, NetworkKind::Gator] {
-        let tman = TriggerMan::open_memory(Config { network: kind, ..Default::default() })
-            .unwrap();
+    for kind in [
+        NetworkKind::ATreat,
+        NetworkKind::Treat,
+        NetworkKind::Rete,
+        NetworkKind::Gator,
+    ] {
+        let tman = TriggerMan::open_memory(Config {
+            network: kind,
+            ..Default::default()
+        })
+        .unwrap();
         tman.run_sql("create table a (x int)").unwrap();
         tman.run_sql("create table b (y int)").unwrap();
-        tman.execute_command("define data source a from table a").unwrap();
-        tman.execute_command("define data source b from table b").unwrap();
+        tman.execute_command("define data source a from table a")
+            .unwrap();
+        tman.execute_command("define data source b from table b")
+            .unwrap();
         let rx = tman.subscribe("Pair");
         tman.execute_command(
             "create trigger pair from a, b when a.x = b.y do raise event Pair(a.x)",
@@ -139,7 +166,11 @@ fn join_trigger_lifecycle_on_every_network() {
             tman.run_sql(stmt).unwrap();
             tman.run_until_quiescent().unwrap();
         }
-        assert!(tman.last_error().is_none(), "{kind:?}: {:?}", tman.last_error());
+        assert!(
+            tman.last_error().is_none(),
+            "{kind:?}: {:?}",
+            tman.last_error()
+        );
         assert_eq!(rx.try_iter().count(), 2, "{kind:?}");
         // Deleting breaks future matches.
         tman.run_sql("delete from b where y = 1").unwrap();
@@ -153,7 +184,8 @@ fn join_trigger_lifecycle_on_every_network() {
 fn trigger_set_grouping() {
     let tman = fresh();
     tman.run_sql("create table t (x int)").unwrap();
-    tman.execute_command("define data source t from table t").unwrap();
+    tman.execute_command("define data source t from table t")
+        .unwrap();
     tman.execute_command("create trigger set batch_a").unwrap();
     tman.execute_command("create trigger set batch_b").unwrap();
     let rx = tman.subscribe("notify");
@@ -164,8 +196,7 @@ fn trigger_set_grouping() {
     tman.execute_command("disable trigger set batch_a").unwrap();
     tman.run_sql("insert into t values (1)").unwrap();
     tman.run_until_quiescent().unwrap();
-    let msgs: Vec<String> =
-        rx.try_iter().filter_map(|n| n.message).collect();
+    let msgs: Vec<String> = rx.try_iter().filter_map(|n| n.message).collect();
     assert_eq!(msgs, vec!["b1".to_string()]);
     // Dropping a non-empty set is refused.
     assert!(tman.execute_command("drop trigger set batch_b").is_err());

@@ -12,11 +12,16 @@ fn tmpfile(tag: &str) -> std::path::PathBuf {
 fn full_restart_cycle_with_many_triggers() {
     let path = tmpfile("many");
     let _ = std::fs::remove_file(&path);
-    let cfg = Config { queue_mode: QueueMode::Persistent, ..Default::default() };
+    let cfg = Config {
+        queue_mode: QueueMode::Persistent,
+        ..Default::default()
+    };
     {
         let tman = TriggerMan::open_file(&path, cfg.clone()).unwrap();
-        tman.run_sql("create table s (k int, v varchar(16))").unwrap();
-        tman.execute_command("define data source s from table s").unwrap();
+        tman.run_sql("create table s (k int, v varchar(16))")
+            .unwrap();
+        tman.execute_command("define data source s from table s")
+            .unwrap();
         for i in 0..300 {
             tman.execute_command(&format!(
                 "create trigger r{i} from s when s.k = {i} do notify 'r{i}'"
@@ -24,7 +29,8 @@ fn full_restart_cycle_with_many_triggers() {
             .unwrap();
         }
         // Base data + unprocessed updates.
-        tman.run_sql("insert into s values (42, 'pending')").unwrap();
+        tman.run_sql("insert into s values (42, 'pending')")
+            .unwrap();
         tman.checkpoint().unwrap();
     }
     {
@@ -66,8 +72,10 @@ fn enabled_flags_survive_restart() {
     {
         let tman = TriggerMan::open_file(&path, Config::default()).unwrap();
         tman.run_sql("create table t (x int)").unwrap();
-        tman.execute_command("define data source t from table t").unwrap();
-        tman.execute_command("create trigger on_t from t when t.x = 1 do notify 'hit'").unwrap();
+        tman.execute_command("define data source t from table t")
+            .unwrap();
+        tman.execute_command("create trigger on_t from t when t.x = 1 do notify 'hit'")
+            .unwrap();
         tman.execute_command("disable trigger on_t").unwrap();
         tman.checkpoint().unwrap();
     }
@@ -99,7 +107,8 @@ fn signature_catalog_reflects_organizations() {
         };
         let tman = TriggerMan::open_file(&path, cfg).unwrap();
         tman.run_sql("create table t (x int)").unwrap();
-        tman.execute_command("define data source t from table t").unwrap();
+        tman.execute_command("define data source t from table t")
+            .unwrap();
         for i in 0..50 {
             tman.execute_command(&format!(
                 "create trigger g{i} from t when t.x = {i} do notify 'x'"
@@ -123,19 +132,22 @@ fn signature_catalog_reflects_organizations() {
 fn join_triggers_reprime_after_restart() {
     let path = tmpfile("joins");
     let _ = std::fs::remove_file(&path);
-    let cfg = Config { network: triggerman::NetworkKind::Treat, ..Default::default() };
+    let cfg = Config {
+        network: triggerman::NetworkKind::Treat,
+        ..Default::default()
+    };
     {
         let tman = TriggerMan::open_file(&path, cfg.clone()).unwrap();
         tman.run_sql("create table l (x int)").unwrap();
         tman.run_sql("create table r (y int)").unwrap();
-        tman.execute_command("define data source l from table l").unwrap();
-        tman.execute_command("define data source r from table r").unwrap();
+        tman.execute_command("define data source l from table l")
+            .unwrap();
+        tman.execute_command("define data source r from table r")
+            .unwrap();
         tman.run_sql("insert into r values (7)").unwrap();
         tman.run_until_quiescent().unwrap();
-        tman.execute_command(
-            "create trigger lr from l, r when l.x = r.y do raise event LR(l.x)",
-        )
-        .unwrap();
+        tman.execute_command("create trigger lr from l, r when l.x = r.y do raise event LR(l.x)")
+            .unwrap();
         tman.checkpoint().unwrap();
     }
     {

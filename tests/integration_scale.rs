@@ -9,8 +9,10 @@ use triggerman::{Config, TriggerMan};
 #[test]
 fn ten_thousand_triggers_constant_probe_work() {
     let tman = TriggerMan::open_memory(Config::default()).unwrap();
-    tman.run_sql("create table q (sym varchar(8), price float)").unwrap();
-    tman.execute_command("define data source q from table q").unwrap();
+    tman.run_sql("create table q (sym varchar(8), price float)")
+        .unwrap();
+    tman.execute_command("define data source q from table q")
+        .unwrap();
 
     for i in 0..10_000 {
         tman.execute_command(&format!(
@@ -47,7 +49,8 @@ fn driver_pool_under_concurrent_load() {
         ..Default::default()
     };
     let tman = TriggerMan::open_memory(cfg).unwrap();
-    tman.execute_command("define data source feed (k int, v float)").unwrap();
+    tman.execute_command("define data source feed (k int, v float)")
+        .unwrap();
     let src = tman.source("feed").unwrap().id;
     let rx = tman.subscribe("Hit");
     for i in 0..100 {
@@ -99,7 +102,8 @@ fn work_per_token_stays_flat_as_triggers_grow() {
     for n in [1_000usize, 2_000, 4_000] {
         let tman = TriggerMan::open_memory(Config::default()).unwrap();
         tman.run_sql("create table z (k int)").unwrap();
-        tman.execute_command("define data source z from table z").unwrap();
+        tman.execute_command("define data source z from table z")
+            .unwrap();
         for i in 0..n {
             tman.execute_command(&format!(
                 "create trigger z{i} from z when z.k = {i} do notify 'x'"
@@ -107,7 +111,8 @@ fn work_per_token_stays_flat_as_triggers_grow() {
             .unwrap();
         }
         for k in 0..50 {
-            tman.run_sql(&format!("insert into z values ({k})")).unwrap();
+            tman.run_sql(&format!("insert into z values ({k})"))
+                .unwrap();
         }
         tman.run_until_quiescent().unwrap();
         // Each token matches exactly one trigger; residual work is zero
@@ -124,8 +129,10 @@ fn wide_signature_population() {
     // "perhaps a few hundred or a few thousand [signatures] at most":
     // ensure the per-source signature list handles hundreds gracefully.
     let tman = TriggerMan::open_memory(Config::default()).unwrap();
-    tman.run_sql("create table w (a int, b int, c int, d float, e varchar(8))").unwrap();
-    tman.execute_command("define data source w from table w").unwrap();
+    tman.run_sql("create table w (a int, b int, c int, d float, e varchar(8))")
+        .unwrap();
+    tman.execute_command("define data source w from table w")
+        .unwrap();
     let cols = ["a", "b", "c"];
     let mut id = 0;
     for c1 in cols {
@@ -149,7 +156,8 @@ fn wide_signature_population() {
     // 6 column pairs × 5 ops × 2 ops = 60 distinct signatures.
     assert_eq!(tman.predicate_index().num_signatures(), 60);
     let rx = tman.subscribe("notify");
-    tman.run_sql("insert into w values (0, 0, 0, 0, 'x')").unwrap();
+    tman.run_sql("insert into w values (0, 0, 0, 0, 'x')")
+        .unwrap();
     tman.run_until_quiescent().unwrap();
     assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
     // Every signature was probed once for the token.

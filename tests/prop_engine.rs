@@ -23,11 +23,11 @@ fn arb_cond() -> impl Strategy<Value = Cond> {
             .prop_map(|(s, p)| Cond(format!("q.sym = 'S{s}' and q.price >= {p}"))),
         (sym.clone(), sym.clone())
             .prop_map(|(a, b)| Cond(format!("q.sym = 'S{a}' or q.sym = 'S{b}'"))),
-        price.clone().prop_map(|p| Cond(format!("not (q.price <= {p})"))),
+        price
+            .clone()
+            .prop_map(|p| Cond(format!("not (q.price <= {p})"))),
         (0i64..50).prop_map(|v| Cond(format!("q.vol = {v}"))),
-        (sym, 0i64..50).prop_map(|(s, v)| {
-            Cond(format!("q.sym <> 'S{s}' and q.vol = {v}"))
-        }),
+        (sym, 0i64..50).prop_map(|(s, v)| { Cond(format!("q.sym <> 'S{s}' and q.vol = {v}")) }),
     ]
 }
 
