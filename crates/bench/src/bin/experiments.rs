@@ -310,7 +310,7 @@ fn e4_concurrency(o: &Opts) {
             threshold: Duration::from_millis(20),
             ..Default::default()
         };
-        let (tman, src) = engine_with_alerts(cfg, 2_000, Template::all(), 100, 3);
+        let (tman, src) = engine_with_alerts(traced(cfg), 2_000, Template::all(), 100, 3);
         let tokens = quote_tokens(n_tokens, 100, 4);
         push_all(&tman, src, &tokens);
         let pool = tman.start_drivers();
@@ -342,7 +342,7 @@ fn e4_concurrency(o: &Opts) {
             threshold: Duration::from_millis(20),
             ..Default::default()
         };
-        let tman = TriggerMan::open_memory(cfg).unwrap();
+        let tman = TriggerMan::open_memory(traced(cfg)).unwrap();
         tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
             .unwrap();
         let src = tman.source("q").unwrap().id;
@@ -404,7 +404,7 @@ fn e4_concurrency(o: &Opts) {
             threshold: Duration::from_millis(20),
             ..Default::default()
         };
-        let tman = TriggerMan::open_memory(cfg).unwrap();
+        let tman = TriggerMan::open_memory(traced(cfg)).unwrap();
         tman.run_sql("create table sink (v float)").unwrap();
         tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
             .unwrap();
@@ -428,6 +428,7 @@ fn e4_concurrency(o: &Opts) {
         pool.stop();
         tc.row(vec![label.into(), p.to_string(), human(rate(n_actions, d))]);
         metrics_json = tman.render_metrics_json();
+        dump_trace("e4", &tman);
     }
     println!("\n(c) rule-action concurrency (50 actions per token, execSQL)");
     tc.print();
@@ -454,7 +455,7 @@ fn e5_cache(o: &Opts) {
             trigger_cache_capacity: cap,
             ..Default::default()
         };
-        let tman = TriggerMan::open_memory(cfg).unwrap();
+        let tman = TriggerMan::open_memory(traced(cfg)).unwrap();
         tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
             .unwrap();
         let src = tman.source("q").unwrap().id;
@@ -478,6 +479,7 @@ fn e5_cache(o: &Opts) {
             human(rate(tokens.len(), d)),
         ]);
         metrics_json = tman.render_metrics_json();
+        dump_trace("e5", &tman);
     }
     table.print();
     dump_metrics("e5", &metrics_json);
@@ -496,7 +498,7 @@ fn e6_driver(o: &Opts) {
             driver_period: Duration::from_millis(t_ms),
             ..Default::default()
         };
-        let (tman, src) = engine_with_alerts(cfg, 1_000, Template::all(), 50, 21);
+        let (tman, src) = engine_with_alerts(traced(cfg), 1_000, Template::all(), 50, 21);
         let tokens = quote_tokens(burst, 50, 22);
         push_all(&tman, src, &tokens);
         let pool = tman.start_drivers();
@@ -547,7 +549,7 @@ fn e6_driver(o: &Opts) {
             queue_mode: mode,
             ..Default::default()
         };
-        let (tman, src) = engine_with_alerts(cfg, 500, Template::all(), 50, 23);
+        let (tman, src) = engine_with_alerts(traced(cfg), 500, Template::all(), 50, 23);
         let tokens = quote_tokens(if o.quick { 2_000 } else { 5_000 }, 50, 24);
         let (_, d) = time_it(|| {
             push_all(&tman, src, &tokens);
@@ -555,6 +557,7 @@ fn e6_driver(o: &Opts) {
         });
         tq.row(vec![label.into(), human(rate(tokens.len(), d))]);
         metrics_json = tman.render_metrics_json();
+        dump_trace("e6", &tman);
     }
     println!("\nqueue modes (§3: persistent table vs main-memory queue)");
     tq.print();
@@ -618,7 +621,7 @@ fn e8_networks(o: &Opts) {
             network: kind,
             ..Default::default()
         };
-        let tman = TriggerMan::open_memory(cfg).unwrap();
+        let tman = TriggerMan::open_memory(traced(cfg)).unwrap();
         for (ddl, src) in [
             (
                 "create table salesperson (spno int, name varchar(20))",
@@ -691,6 +694,7 @@ fn e8_networks(o: &Opts) {
             human(rate(churn, d2)),
         ]);
         metrics_json = tman.render_metrics_json();
+        dump_trace("e8", &tman);
     }
     table.print();
     dump_metrics("e8", &metrics_json);
@@ -771,7 +775,7 @@ fn e10_design(o: &Opts) {
                 trigger_cache_capacity: m.max(16_384),
                 ..Default::default()
             };
-            let tman = TriggerMan::open_memory(cfg).unwrap();
+            let tman = TriggerMan::open_memory(traced(cfg)).unwrap();
             tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
                 .unwrap();
             let src = tman.source("q").unwrap().id;
@@ -796,6 +800,7 @@ fn e10_design(o: &Opts) {
                 format!("{setup:.2?}"),
                 human(rate(tokens.len(), d)),
             ]);
+            dump_trace("e10", &tman);
         }
         // Design B: one trigger + a parameters table (§7's alternative).
         {

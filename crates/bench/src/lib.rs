@@ -26,6 +26,37 @@ pub fn dump_metrics(experiment: &str, json: &str) {
     }
 }
 
+/// When `TMAN_TRACE_DIR` is set, enable per-token tracing on `cfg` so the
+/// experiment emits a Chrome trace (see [`dump_trace`]); identity
+/// otherwise. Sampling keeps the flight-recorder overhead negligible while
+/// still retaining every slow token.
+pub fn traced(mut cfg: triggerman::Config) -> triggerman::Config {
+    if std::env::var_os("TMAN_TRACE_DIR").is_some() {
+        cfg.tracing = triggerman::TracingMode::Sampled(97);
+    }
+    cfg
+}
+
+/// Write one experiment's retained trace spans as Chrome trace-event JSON
+/// to `$TMAN_TRACE_DIR/{experiment}.json` (loadable in Perfetto /
+/// `chrome://tracing`). No-op when the variable is unset, so default runs
+/// pay nothing.
+pub fn dump_trace(experiment: &str, tman: &triggerman::TriggerMan) {
+    let Ok(dir) = std::env::var("TMAN_TRACE_DIR") else {
+        return;
+    };
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("trace: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    match std::fs::write(&path, tman.render_chrome_trace()) {
+        Ok(()) => println!("chrome trace → {}", path.display()),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// Time one closure.
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();

@@ -7,6 +7,7 @@ use crate::error::{Result, TmanError};
 use crate::ids::DataSourceId;
 use crate::tuple::Tuple;
 use std::fmt;
+use tman_telemetry::TraceHandle;
 
 /// Operation code carried by a token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,7 +117,10 @@ impl fmt::Display for EventKind {
 }
 
 /// The paper's *token*: one captured update flowing through the system.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores the [`trace`](Self::trace) handle — it is execution
+/// metadata riding along with the token, not part of its identity.
+#[derive(Debug, Clone)]
 pub struct UpdateDescriptor {
     /// Source the update happened on.
     pub data_src: DataSourceId,
@@ -126,6 +130,20 @@ pub struct UpdateDescriptor {
     pub old: Option<Tuple>,
     /// Post-image (`:NEW`); present for insert and update.
     pub new: Option<Tuple>,
+    /// Per-token trace lineage (inert unless the engine is tracing). The
+    /// handle is cloned into every task spawned for this token, so the
+    /// trace finalizes when the last task finishes. Not serialized by
+    /// [`encode`](Self::encode).
+    pub trace: TraceHandle,
+}
+
+impl PartialEq for UpdateDescriptor {
+    fn eq(&self, other: &UpdateDescriptor) -> bool {
+        self.data_src == other.data_src
+            && self.op == other.op
+            && self.old == other.old
+            && self.new == other.new
+    }
 }
 
 impl UpdateDescriptor {
@@ -136,6 +154,7 @@ impl UpdateDescriptor {
             op: TokenOp::Insert,
             old: None,
             new: Some(new),
+            trace: TraceHandle::none(),
         }
     }
 
@@ -146,6 +165,7 @@ impl UpdateDescriptor {
             op: TokenOp::Delete,
             old: Some(old),
             new: None,
+            trace: TraceHandle::none(),
         }
     }
 
@@ -156,6 +176,7 @@ impl UpdateDescriptor {
             op: TokenOp::Update,
             old: Some(old),
             new: Some(new),
+            trace: TraceHandle::none(),
         }
     }
 
@@ -233,6 +254,7 @@ impl UpdateDescriptor {
             op,
             old,
             new,
+            trace: TraceHandle::none(),
         })
     }
 }
@@ -287,6 +309,26 @@ mod tests {
         ] {
             assert_eq!(UpdateDescriptor::decode(&d.encode()).unwrap(), d);
         }
+    }
+
+    #[test]
+    fn equality_ignores_trace_handle() {
+        use std::sync::Arc;
+        let tracer = Arc::new(tman_telemetry::Tracer::new(
+            64,
+            1,
+            std::time::Duration::ZERO,
+        ));
+        let plain = UpdateDescriptor::insert(DataSourceId(1), tup(&[1]));
+        let mut traced = plain.clone();
+        traced.trace = tracer.begin();
+        assert!(traced.trace.is_active());
+        assert_eq!(plain, traced);
+        // And the round-trip through the persistent-queue codec drops the
+        // handle without affecting token identity.
+        let decoded = UpdateDescriptor::decode(&traced.encode()).unwrap();
+        assert!(!decoded.trace.is_active());
+        assert_eq!(decoded, traced);
     }
 
     #[test]

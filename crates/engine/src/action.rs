@@ -13,17 +13,24 @@ use crate::TriggerMan;
 use tman_common::{Result, TmanError, TokenOp, Tuple, UpdateDescriptor, Value};
 use tman_expr::scalar::Env;
 use tman_lang::ast::{Expr, Literal, SelectCols, SqlStmt};
+use tman_telemetry::SpanKind;
 
 /// Execute one action for one condition match.
 ///
 /// `bindings` holds the matched tuple per variable; the token supplies the
 /// `:OLD` image of the event variable for update/delete events.
+/// `parent_span` links the `Action` span into the token's trace — it is
+/// the span id of the probe that produced the firing (possibly recorded on
+/// a different driver thread when `async_actions` is on).
 pub fn run_action(
     system: &TriggerMan,
     trigger: &CompiledTrigger,
     bindings: &[Tuple],
     token: &UpdateDescriptor,
+    parent_span: u32,
 ) -> Result<()> {
+    let mut span = token.trace.span(SpanKind::Action, parent_span);
+    span.set_args(trigger.id.raw(), 0);
     let old_of_event_var = match token.op {
         TokenOp::Update | TokenOp::Delete => token.old.clone(),
         TokenOp::Insert => None,
@@ -60,24 +67,28 @@ pub fn run_action(
                 .iter()
                 .map(|a| a.eval(&env))
                 .collect::<Result<Vec<_>>>()?;
+            let mut notify = token.trace.span(SpanKind::Notify, span.id());
             let fanout = system.events().publish(EventNotification {
                 event: name.clone(),
                 trigger: trigger.name.clone(),
                 values,
                 message: None,
             });
+            notify.set_arg_b(fanout as u64);
             system.telemetry.notify_fanout.record(fanout as u64);
             Ok(())
         }
         CompiledAction::Notify(template) => {
             system.telemetry.actions_by_kind[ACTION_NOTIFY].bump();
             let msg = substitute_text(template, trigger, bindings, old_of_event_var.as_ref());
+            let mut notify = token.trace.span(SpanKind::Notify, span.id());
             let fanout = system.events().publish(EventNotification {
                 event: "notify".into(),
                 trigger: trigger.name.clone(),
                 values: Vec::new(),
                 message: Some(msg),
             });
+            notify.set_arg_b(fanout as u64);
             system.telemetry.notify_fanout.record(fanout as u64);
             Ok(())
         }

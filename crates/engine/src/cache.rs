@@ -110,10 +110,20 @@ impl TriggerCache {
         id: TriggerId,
         load: impl FnOnce() -> Result<Arc<CompiledTrigger>>,
     ) -> Result<PinnedTrigger> {
+        self.pin_report(id, load).map(|(p, _)| p)
+    }
+
+    /// [`pin`](Self::pin) that also reports whether the pin was a cache hit
+    /// (the trace layer tags `CachePin` spans with it).
+    pub fn pin_report(
+        self: &Arc<Self>,
+        id: TriggerId,
+        load: impl FnOnce() -> Result<Arc<CompiledTrigger>>,
+    ) -> Result<(PinnedTrigger, bool)> {
         self.stats.pins.bump();
         if let Some(slot) = self.map.read().get(&id) {
             self.stats.hits.bump();
-            return Ok(self.pin_slot(slot));
+            return Ok((self.pin_slot(slot), true));
         }
         self.stats.misses.bump();
         let trigger = load()?;
@@ -130,7 +140,7 @@ impl TriggerCache {
             .clone();
         let pinned = self.pin_slot(&slot);
         Self::evict_over_capacity(&mut map, self.capacity, &self.stats);
-        Ok(pinned)
+        Ok((pinned, false))
     }
 
     /// Insert without pinning (used at create-trigger time so the fresh

@@ -56,6 +56,12 @@ impl Client {
         self.system.trigger_names()
     }
 
+    /// Typed snapshot of the per-token trace flight recorder (empty when
+    /// tracing is off; same data `trace last <n>` renders).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.system.trace_snapshot()
+    }
+
     /// Open the data-source API for a named source.
     pub fn data_source(&self, name: &str) -> Result<DataSourceClient> {
         let source = self.system.source(name)?;

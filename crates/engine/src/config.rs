@@ -17,6 +17,22 @@ pub enum QueueMode {
     Volatile,
 }
 
+/// Per-token trace capture mode. Mirrors the [`Config::telemetry`]
+/// switch: `Off` reduces the hot path to a single branch (tokens carry an
+/// inert handle, no allocation); the other modes give every token a live
+/// trace whose retention is decided *after* it finishes (tail sampling),
+/// so a slow token is never lost to the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracingMode {
+    /// No tracing.
+    Off,
+    /// Trace every token, retain roughly 1 in `n` — plus every token whose
+    /// end-to-end latency exceeds [`Config::slow_token_threshold`].
+    Sampled(u64),
+    /// Retain every token's trace.
+    Full,
+}
+
 /// TriggerMan configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -57,6 +73,14 @@ pub struct Config {
     /// baseline/ablation runs where even relaxed-atomic traffic must not
     /// show up in a profile.
     pub telemetry: bool,
+    /// Per-token trace capture (span trees across the §6 task fan-out).
+    pub tracing: TracingMode,
+    /// A token whose end-to-end latency reaches this threshold has its
+    /// trace retained even when `TracingMode::Sampled(n)` would discard it.
+    pub slow_token_threshold: Duration,
+    /// Capacity (in events) of the bounded trace ring buffer; oldest
+    /// retained events are overwritten once it fills.
+    pub trace_buffer_events: usize,
 }
 
 impl Default for Config {
@@ -75,6 +99,9 @@ impl Default for Config {
             async_actions: false,
             pool_pages: 4096,
             telemetry: true,
+            tracing: TracingMode::Off,
+            slow_token_threshold: Duration::from_millis(10),
+            trace_buffer_events: 65_536,
         }
     }
 }

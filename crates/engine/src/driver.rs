@@ -17,6 +17,11 @@ use tman_predindex::SignatureRuntime;
 /// process one token (1), run one rule action (2), process a token against
 /// a set of conditions (3); type 4 (a token against a set of rule actions)
 /// is subsumed by enqueueing one [`Task::Action`] per firing.
+///
+/// Fan-out tasks carry the span id of the work that spawned them
+/// (`parent_span`), so the spans a task emits — possibly on a different
+/// driver thread — link back into the originating token's trace tree. The
+/// trace id itself rides inside the token's `trace` handle.
 pub enum Task {
     /// Type 1: match one token against the predicate index.
     Token(UpdateDescriptor),
@@ -31,6 +36,8 @@ pub enum Task {
         part: usize,
         /// Total partitions.
         nparts: usize,
+        /// Trace span that fanned this partition out.
+        parent_span: u32,
     },
     /// Type 2: run one rule action for one condition match.
     Action {
@@ -40,6 +47,8 @@ pub enum Task {
         bindings: Vec<Tuple>,
         /// The token that caused the firing (supplies `:OLD`).
         token: UpdateDescriptor,
+        /// Trace span of the probe that produced the firing.
+        parent_span: u32,
     },
 }
 

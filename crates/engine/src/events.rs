@@ -4,10 +4,9 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use std::sync::Arc;
 use tman_common::fxhash::FxHashMap;
-use tman_common::stats::Counter;
 use tman_common::Value;
+use tman_telemetry::{CounterHandle, Registry};
 
 /// A notification delivered to registered clients.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,18 +23,38 @@ pub struct EventNotification {
 }
 
 /// Pub/sub hub connecting rule actions to client applications.
-#[derive(Default)]
 pub struct EventBus {
     by_event: RwLock<FxHashMap<String, Vec<Sender<EventNotification>>>>,
     all: RwLock<Vec<Sender<EventNotification>>>,
-    pub(crate) delivered: Arc<Counter>,
-    pub(crate) dropped: Arc<Counter>,
+    delivered: CounterHandle,
+    dropped: CounterHandle,
+}
+
+impl Default for EventBus {
+    fn default() -> EventBus {
+        EventBus::new()
+    }
 }
 
 impl EventBus {
-    /// Fresh bus.
+    /// Fresh bus. Delivery counters are no-ops until
+    /// [`attach_telemetry`](Self::attach_telemetry) resolves them against a
+    /// registry.
     pub fn new() -> EventBus {
-        EventBus::default()
+        EventBus {
+            by_event: RwLock::default(),
+            all: RwLock::default(),
+            delivered: CounterHandle::noop(),
+            dropped: CounterHandle::noop(),
+        }
+    }
+
+    /// Resolve the delivery counters in `registry`, so
+    /// `tman_notifications_{delivered,dropped}_total` show up in
+    /// `show stats` / the text exposition.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.delivered = registry.counter("tman_notifications_delivered_total", &[]);
+        self.dropped = registry.counter("tman_notifications_dropped_total", &[]);
     }
 
     /// Register for one named event.
@@ -109,12 +128,14 @@ impl EventBus {
         fanout
     }
 
-    /// Notifications successfully delivered.
+    /// Notifications successfully delivered (0 until a registry is
+    /// attached).
     pub fn delivered(&self) -> u64 {
         self.delivered.get()
     }
 
-    /// Notifications dropped on dead subscribers.
+    /// Notifications dropped on dead subscribers (0 until a registry is
+    /// attached).
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
     }
@@ -145,7 +166,9 @@ mod tests {
 
     #[test]
     fn subscribe_all_sees_everything() {
-        let bus = EventBus::new();
+        let registry = Registry::new();
+        let mut bus = EventBus::new();
+        bus.attach_telemetry(&registry);
         let rx = bus.subscribe_all();
         bus.publish(note("a"));
         bus.publish(note("b"));
@@ -153,7 +176,15 @@ mod tests {
             rx.iter().take(2).map(|n| n.event).collect::<Vec<_>>(),
             vec!["a", "b"]
         );
+        // The handles resolve into the registry, so both the bus getter and
+        // the exposition see the deliveries.
         assert_eq!(bus.delivered(), 2);
+        assert_eq!(
+            registry
+                .counter("tman_notifications_delivered_total", &[])
+                .get(),
+            2
+        );
     }
 
     #[test]

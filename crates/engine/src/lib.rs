@@ -54,13 +54,15 @@ pub mod source;
 pub use cache::{PinnedTrigger, TriggerCache};
 pub use client::{Client, DataSourceClient};
 pub use compile::{CompiledAction, CompiledTrigger};
-pub use config::{Config, QueueMode};
+pub use config::{Config, QueueMode, TracingMode};
 pub use driver::{DriverPool, Task, TmanTestResult};
 pub use events::{EventBus, EventNotification};
 pub use metrics::MetricsSnapshot;
 pub use tman_network::NetworkKind;
 pub use tman_predindex::OrgKind;
-pub use tman_telemetry::Registry;
+pub use tman_telemetry::{
+    Registry, SpanKind, TraceEvent, TraceSnapshot, TraceTree, Tracer, TracerStats,
+};
 
 use catalog::{Catalog, ConnectionRow, DataSourceRow, TriggerRow, TriggerSetRow};
 use compile::compile_trigger;
@@ -81,6 +83,8 @@ use tman_lang::ast::Command;
 use tman_network::Polarity;
 use tman_predindex::{PredicateIndex, SignatureRuntime};
 use tman_sql::{Database, ExecResult};
+use tman_telemetry::trace::{now_ns, ROOT_SPAN};
+use tman_telemetry::TraceHandle;
 
 /// An [`tman_network::AlphaSource`] with no data, for networks that never
 /// scan (single-variable triggers).
@@ -117,6 +121,8 @@ pub enum CommandOutput {
     ConnectionDefined,
     /// `show stats`: the formatted report.
     Stats(String),
+    /// `trace last <n>` / `trace token <id>`: rendered span trees.
+    Trace(String),
 }
 
 /// Engine-level counters. Held by `Arc` so they double as live registry
@@ -155,6 +161,7 @@ pub struct TriggerMan {
     next_expr: AtomicU64,
     stats: EngineStats,
     pub(crate) telemetry: metrics::EngineTelemetry,
+    tracer: Option<Arc<Tracer>>,
     last_error: Mutex<Option<String>>,
     shutdown: AtomicBool,
 }
@@ -185,17 +192,34 @@ impl TriggerMan {
             QueueMode::Persistent => UpdateQueue::persistent(&db)?,
         };
         queue.attach_telemetry(telemetry.queue.clone());
+        let mut events = EventBus::new();
+        events.attach_telemetry(&telemetry.registry);
         let mut predindex = PredicateIndex::with_database(config.index.clone(), db.clone());
         predindex.attach_telemetry(&telemetry.registry);
         let predindex = Arc::new(predindex);
         let cache = Arc::new(TriggerCache::new(config.trigger_cache_capacity));
+        // One branch per token on the off path: `tracer` stays `None`.
+        let tracer = match config.tracing {
+            TracingMode::Off => None,
+            TracingMode::Sampled(n) => Some(Arc::new(Tracer::new(
+                config.trace_buffer_events,
+                n,
+                config.slow_token_threshold,
+            ))),
+            TracingMode::Full => Some(Arc::new(Tracer::new(
+                config.trace_buffer_events,
+                1,
+                config.slow_token_threshold,
+            ))),
+        };
         let system = Arc::new(TriggerMan {
             cache,
             predindex,
             queue,
             telemetry,
+            tracer,
             tasks: SegQueue::new(),
-            events: EventBus::new(),
+            events,
             sources_by_name: RwLock::new(FxHashMap::default()),
             sources_by_id: RwLock::new(FxHashMap::default()),
             table_to_source: RwLock::new(FxHashMap::default()),
@@ -245,16 +269,8 @@ impl TriggerMan {
         let ds = pool.disk().stats();
         r.register_counter("tman_page_reads_total", &[], ds.page_reads.clone());
         r.register_counter("tman_page_writes_total", &[], ds.page_writes.clone());
-        r.register_counter(
-            "tman_notifications_delivered_total",
-            &[],
-            self.events.delivered.clone(),
-        );
-        r.register_counter(
-            "tman_notifications_dropped_total",
-            &[],
-            self.events.dropped.clone(),
-        );
+        // Event-bus delivery counters are registry CounterHandles resolved
+        // in `EventBus::attach_telemetry` — nothing to register here.
     }
 
     /// Rebuild in-memory state from the catalogs (system start, §5.1:
@@ -356,6 +372,40 @@ impl TriggerMan {
         self.telemetry.registry.render_json()
     }
 
+    /// The per-token tracer (`None` when `Config::tracing` is
+    /// [`TracingMode::Off`]).
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Typed snapshot of every retained trace, assembled into per-token
+    /// span trees. Empty (with zeroed stats) when tracing is off.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        match &self.tracer {
+            Some(t) => t.snapshot(),
+            None => TraceSnapshot::default(),
+        }
+    }
+
+    /// Chrome trace-event JSON of every retained trace (loadable in
+    /// Perfetto / `chrome://tracing`). Valid-but-empty when tracing is off.
+    pub fn render_chrome_trace(&self) -> String {
+        match &self.tracer {
+            Some(t) => t.render_chrome_trace(),
+            None => tman_telemetry::trace::render_chrome_trace(&[]),
+        }
+    }
+
+    /// A live trace handle when tracing is on, else the inert handle. The
+    /// single branch here is the entire per-token cost of the off path.
+    #[inline]
+    fn begin_trace(&self) -> TraceHandle {
+        match &self.tracer {
+            Some(t) => t.begin(),
+            None => TraceHandle::none(),
+        }
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &Config {
         &self.config
@@ -432,7 +482,48 @@ impl TriggerMan {
                 let report = self.metrics_snapshot().format(subsystem.as_deref())?;
                 Ok(CommandOutput::Stats(report))
             }
+            Command::TraceLast { n } => Ok(CommandOutput::Trace(self.render_trace_last(n))),
+            Command::TraceToken { id } => self.render_trace_token(id).map(CommandOutput::Trace),
         }
+    }
+
+    /// `trace last <n>`: the `n` most recently retained traces, oldest
+    /// first, as indented span trees.
+    pub fn render_trace_last(&self, n: usize) -> String {
+        if self.tracer.is_none() {
+            return "tracing is off (start with Config { tracing: TracingMode::Sampled(n) | Full })"
+                .into();
+        }
+        let snap = self.trace_snapshot();
+        if snap.traces.is_empty() {
+            return format!(
+                "no traces retained (started {}, discarded by sampling {})",
+                snap.stats.started, snap.stats.discarded
+            );
+        }
+        let skip = snap.traces.len().saturating_sub(n);
+        let mut out = String::new();
+        for t in &snap.traces[skip..] {
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// `trace token <id>`: the retained trace of one token.
+    pub fn render_trace_token(&self, id: u64) -> Result<String> {
+        if self.tracer.is_none() {
+            return Err(TmanError::Invalid(
+                "tracing is off (Config { tracing: TracingMode::Off })".into(),
+            ));
+        }
+        self.trace_snapshot()
+            .trace(id)
+            .map(TraceTree::render)
+            .ok_or_else(|| {
+                TmanError::NotFound(format!(
+                    "trace {id} (discarded by sampling, overwritten in the ring, or never started)"
+                ))
+            })
     }
 
     /// Register a connection (§2). The engine's own database is the
@@ -791,6 +882,7 @@ impl TriggerMan {
                 op: tman_common::TokenOp::from_code(c.op)?,
                 old: c.old,
                 new: c.new,
+                trace: self.begin_trace(),
             };
             self.queue.enqueue(token)?;
         }
@@ -799,7 +891,7 @@ impl TriggerMan {
 
     /// Data-source API (§3): deliver one update descriptor from a remote
     /// data source program.
-    pub fn push_token(&self, token: UpdateDescriptor) -> Result<()> {
+    pub fn push_token(&self, mut token: UpdateDescriptor) -> Result<()> {
         let sources = self.sources_by_id.read();
         let info = sources
             .get(&token.data_src)
@@ -815,6 +907,9 @@ impl TriggerMan {
             }
         }
         drop(sources);
+        if !token.trace.is_active() {
+            token.trace = self.begin_trace();
+        }
         self.queue.enqueue(token)
     }
 
@@ -823,10 +918,12 @@ impl TriggerMan {
     /// Process one token synchronously (tests and the driver path).
     pub fn process_token(self: &Arc<Self>, token: &UpdateDescriptor) -> Result<()> {
         self.stats.tokens.bump();
+        let process = token.trace.span(SpanKind::Process, ROOT_SPAN);
         // Updates first retract the old image from stored-memory networks
         // (see DESIGN.md: the index is probed with the new image, so a
         // synthetic delete probe routes the retraction).
         if token.op == TokenOp::Update {
+            let _maint = token.trace.span(SpanKind::Maintenance, process.id());
             self.maintenance_retract(token)?;
         }
         let Some(src) = self.predindex.source(token.data_src) else {
@@ -843,17 +940,22 @@ impl TriggerMan {
             let parts = self.config.condition_partitions;
             if parts > 1 && sig.len() >= self.config.partition_min {
                 // Condition-level concurrency (Figure 5): split this
-                // signature's constant/triggerID sets into tasks.
+                // signature's constant/triggerID sets into tasks. The
+                // fan-out span parents every partition's probe span, so the
+                // tree reassembles across driver threads.
+                let mut fanout = token.trace.span(SpanKind::Fanout, process.id());
+                fanout.set_args(sig.id.raw() as u64, parts as u64);
                 for part in 0..parts {
                     self.tasks.push(Task::SigPartition {
                         token: token.clone(),
                         sig: sig.clone(),
                         part,
                         nparts: parts,
+                        parent_span: fanout.id(),
                     });
                 }
             } else {
-                self.probe_signature(&sig, token, 0, 1)?;
+                self.probe_signature(&sig, token, 0, 1, process.id())?;
             }
         }
         Ok(())
@@ -865,20 +967,47 @@ impl TriggerMan {
         token: &UpdateDescriptor,
         part: usize,
         nparts: usize,
+        parent_span: u32,
     ) -> Result<()> {
+        let mut probe = token.trace.span(SpanKind::SigProbe, parent_span);
+        probe.set_args(
+            sig.id.raw() as u64,
+            ((part as u64) << 32) | (nparts as u64 & 0xffff_ffff),
+        );
         let tuple = token.probe_tuple();
         let mut matches = Vec::new();
-        sig.probe_partition(tuple, part, nparts, self.predindex.stats(), &mut |e| {
-            matches.push((e.trigger_id, e.next_node))
-        })?;
+        sig.probe_partition_traced(
+            tuple,
+            part,
+            nparts,
+            self.predindex.stats(),
+            Some(&probe),
+            &mut |e| matches.push((e.trigger_id, e.next_node)),
+        )?;
+        // Close the probe span here: downstream pin/action spans are its
+        // children by id, but their time is not probe time.
+        let probe_id = probe.id();
+        drop(probe);
         for (tid, node) in matches {
-            self.handle_match(tid, node, token)?;
+            self.handle_match(tid, node, token, probe_id)?;
         }
         Ok(())
     }
 
     fn pin(self: &Arc<Self>, id: TriggerId) -> Result<PinnedTrigger> {
-        self.cache.pin(id, || {
+        self.pin_traced(id, &TraceHandle::none(), ROOT_SPAN)
+    }
+
+    /// Pin `id`, recording a `CachePin` span (tagged hit/miss) into
+    /// `trace` when it is live.
+    fn pin_traced(
+        self: &Arc<Self>,
+        id: TriggerId,
+        trace: &TraceHandle,
+        parent_span: u32,
+    ) -> Result<PinnedTrigger> {
+        let mut span = trace.span(SpanKind::CachePin, parent_span);
+        let (pinned, hit) = self.cache.pin_report(id, || {
             let row = self
                 .catalog
                 .trigger_by_id(id)?
@@ -889,7 +1018,9 @@ impl TriggerMan {
             // default A-TREAT networks, whose alpha nodes are virtual).
             self.prime_network(&trigger)?;
             Ok(trigger)
-        })
+        })?;
+        span.set_args(id.raw(), u64::from(hit));
+        Ok(pinned)
     }
 
     fn handle_match(
@@ -897,10 +1028,11 @@ impl TriggerMan {
         tid: TriggerId,
         node: NodeId,
         token: &UpdateDescriptor,
+        parent_span: u32,
     ) -> Result<()> {
         // §5.4: pin the trigger in the trigger cache, then pass the token
         // to the network node the matched expression names.
-        let trigger = self.pin(tid)?;
+        let trigger = self.pin_traced(tid, &token.trace, parent_span)?;
         if !trigger.enabled.load(Ordering::Relaxed) || !self.set_is_enabled(trigger.set) {
             return Ok(());
         }
@@ -941,10 +1073,11 @@ impl TriggerMan {
                     trigger: tid,
                     bindings: f.bindings,
                     token: token.clone(),
+                    parent_span,
                 });
             } else {
                 self.stats.actions.bump();
-                action::run_action(self, &trigger, &f.bindings, token)?;
+                action::run_action(self, &trigger, &f.bindings, token, parent_span)?;
             }
         }
         Ok(())
@@ -998,19 +1131,21 @@ impl TriggerMan {
                 sig,
                 part,
                 nparts,
+                parent_span,
             } => {
                 self.telemetry.tasks_executed[metrics::TASK_SIG_PARTITION].bump();
-                self.probe_signature(&sig, &token, part, nparts)
+                self.probe_signature(&sig, &token, part, nparts, parent_span)
             }
             Task::Action {
                 trigger,
                 bindings,
                 token,
+                parent_span,
             } => (|| {
                 self.telemetry.tasks_executed[metrics::TASK_ACTION].bump();
-                let pinned = self.pin(trigger)?;
+                let pinned = self.pin_traced(trigger, &token.trace, parent_span)?;
                 self.stats.actions.bump();
-                action::run_action(self, &pinned, &bindings, &token)
+                action::run_action(self, &pinned, &bindings, &token, parent_span)
             })(),
         };
         if let Err(e) = result {
@@ -1029,7 +1164,29 @@ impl TriggerMan {
                 .tasks
                 .pop()
                 .or_else(|| match self.queue.dequeue_batch(1) {
-                    Ok(mut batch) => batch.pop().map(Task::Token),
+                    Ok(mut batch) => batch.pop().map(|mut tok| {
+                        if tok.trace.is_active() {
+                            // Queue wait = capture (trace start) to now.
+                            if let Some(start) = tok.trace.start_ns() {
+                                let now = now_ns();
+                                tok.trace.record_complete(
+                                    SpanKind::QueueWait,
+                                    ROOT_SPAN,
+                                    start,
+                                    now.saturating_sub(start),
+                                    0,
+                                    0,
+                                );
+                            }
+                        } else if self.tracer.is_some() {
+                            // Persistent-queue round trips drop the handle
+                            // (it is not serialized): lineage restarts at
+                            // dequeue, so the tree still covers everything
+                            // from here on.
+                            tok.trace = self.begin_trace();
+                        }
+                        Task::Token(tok)
+                    }),
                     Err(e) => {
                         self.record_error(&e);
                         None

@@ -90,6 +90,8 @@ pub struct MetricsSnapshot {
     pub storage: StorageMetrics,
     /// Rule actions and notifications.
     pub actions: ActionMetrics,
+    /// Per-token tracing (flight recorder).
+    pub trace: TraceMetrics,
     /// Per-signature detail (id, description, organization, class size).
     pub signatures: Vec<SignatureMetrics>,
 }
@@ -226,6 +228,26 @@ pub struct ActionMetrics {
     pub dropped: u64,
 }
 
+/// Per-token tracing counters (zeroed with `enabled == false` when
+/// `Config::tracing` is `Off`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceMetrics {
+    /// Is a tracer attached?
+    pub enabled: bool,
+    /// Tokens that got a live trace handle.
+    pub started: u64,
+    /// Tokens whose spans were flushed to the ring.
+    pub retained: u64,
+    /// Tokens discarded by tail sampling.
+    pub discarded: u64,
+    /// Tokens retained only because they crossed the slow-token threshold.
+    pub slow_retained: u64,
+    /// Events ever flushed to the ring.
+    pub events_logged: u64,
+    /// Events lost to ring overwrite.
+    pub events_dropped: u64,
+}
+
 /// One signature's catalog-style row.
 #[derive(Debug, Clone)]
 pub struct SignatureMetrics {
@@ -341,13 +363,28 @@ impl MetricsSnapshot {
                 delivered: tman.events().delivered(),
                 dropped: tman.events().dropped(),
             },
+            trace: match tman.tracer() {
+                None => TraceMetrics::default(),
+                Some(tracer) => {
+                    let ts = tracer.stats();
+                    TraceMetrics {
+                        enabled: true,
+                        started: ts.started,
+                        retained: ts.retained,
+                        discarded: ts.discarded,
+                        slow_retained: ts.slow_retained,
+                        events_logged: ts.events_logged,
+                        events_dropped: ts.events_dropped,
+                    }
+                }
+            },
             signatures,
         }
     }
 
     /// Subsystem names accepted by `show stats <subsystem>`.
-    pub const SUBSYSTEMS: [&'static str; 7] = [
-        "engine", "queue", "driver", "index", "cache", "storage", "actions",
+    pub const SUBSYSTEMS: [&'static str; 8] = [
+        "engine", "queue", "driver", "index", "cache", "storage", "actions", "trace",
     ];
 
     /// Human-readable rendering for the console. `None` renders every
@@ -482,6 +519,24 @@ impl MetricsSnapshot {
                 "  notifications      delivered={} dropped={}\n",
                 self.actions.delivered, self.actions.dropped
             ));
+        }
+        if want("trace") {
+            out.push_str("trace:\n");
+            if !self.trace.enabled {
+                out.push_str("  tracing off\n");
+            } else {
+                out.push_str(&format!(
+                    "  tokens             started={} retained={} discarded={} slow={}\n",
+                    self.trace.started,
+                    self.trace.retained,
+                    self.trace.discarded,
+                    self.trace.slow_retained
+                ));
+                out.push_str(&format!(
+                    "  ring events        logged={} dropped={}\n",
+                    self.trace.events_logged, self.trace.events_dropped
+                ));
+            }
         }
         Ok(out)
     }

@@ -12,9 +12,12 @@
 //! Telemetry: the queue owns a depth gauge, enqueue/dequeue counters, and
 //! an enqueue→dequeue wait-time histogram ([`QueueTelemetry`]). Wait time
 //! is measured on the volatile backend by stamping each descriptor with its
-//! enqueue instant (skipped entirely when telemetry is disabled); the
-//! persistent backend reports depth and throughput only, since timestamps
-//! would not survive a restart anyway.
+//! enqueue instant (skipped entirely when telemetry is disabled). The
+//! persistent backend prefixes each row body with the enqueue wall-clock
+//! time (8 bytes, UNIX-epoch nanoseconds, little-endian) so the wait
+//! histogram survives the database round trip — and even a restart, since
+//! wall-clock stamps stay meaningful across processes. Rows written before
+//! this format (no stamp) still decode.
 
 use crossbeam::queue::SegQueue;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -27,6 +30,26 @@ use tman_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 
 /// Name of the persistent queue table.
 pub const QUEUE_TABLE: &str = "update_queue";
+
+/// Wall-clock now in UNIX-epoch nanoseconds (persistent-queue wait stamps).
+fn unix_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Split a persistent row body into (enqueue stamp, descriptor). `None`
+/// means the body predates the stamp format.
+fn decode_stamped(bytes: &[u8]) -> Option<(u64, UpdateDescriptor)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let stamp = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte prefix"));
+    UpdateDescriptor::decode(&bytes[8..])
+        .ok()
+        .map(|d| (stamp, d))
+}
 
 /// Pre-resolved queue instruments.
 #[derive(Clone, Default)]
@@ -127,7 +150,13 @@ impl UpdateQueue {
             }
             Backend::Persistent { table, next_qid } => {
                 let qid = next_qid.fetch_add(1, Ordering::Relaxed);
-                table.insert(vec![Value::Int(qid), Value::str(hex_encode(&d.encode()))])?;
+                // Stamp unconditionally: the row format must not depend on
+                // whether telemetry happens to be attached.
+                let payload = d.encode();
+                let mut body = Vec::with_capacity(8 + payload.len());
+                body.extend_from_slice(&unix_now_ns().to_le_bytes());
+                body.extend_from_slice(&payload);
+                table.insert(vec![Value::Int(qid), Value::str(hex_encode(&body))])?;
             }
         }
         self.telemetry.enqueued.bump();
@@ -168,10 +197,20 @@ impl UpdateQueue {
                 })?;
                 rows.sort_by_key(|(qid, _, _)| *qid);
                 rows.truncate(max);
+                let now = unix_now_ns();
                 let mut out = Vec::with_capacity(rows.len());
                 for (_, rid, body) in rows {
                     table.delete(rid)?;
-                    out.push(UpdateDescriptor::decode(&hex_decode(&body)?)?);
+                    let bytes = hex_decode(&body)?;
+                    match decode_stamped(&bytes) {
+                        Some((stamp, d)) => {
+                            self.telemetry.wait_ns.record(now.saturating_sub(stamp));
+                            out.push(d);
+                        }
+                        // Pre-stamp row format (or a qid written by an
+                        // older build): the whole body is the descriptor.
+                        None => out.push(UpdateDescriptor::decode(&bytes)?),
+                    }
                 }
                 out
             }
@@ -255,6 +294,39 @@ mod tests {
         assert_eq!(t.wait_ns.summary().count, 2);
         q.dequeue_batch(10).unwrap();
         assert_eq!(t.depth.get(), 0);
+    }
+
+    #[test]
+    fn persistent_wait_histogram_is_populated() {
+        let registry = Registry::new();
+        let db = Database::open_memory(128);
+        let mut q = UpdateQueue::persistent(&db).unwrap();
+        q.attach_telemetry(QueueTelemetry::from_registry(&registry));
+        let t = QueueTelemetry::from_registry(&registry);
+        q.enqueue(tok(1)).unwrap();
+        q.enqueue(tok(2)).unwrap();
+        let batch = q.dequeue_batch(10).unwrap();
+        assert_eq!(batch, vec![tok(1), tok(2)]);
+        // The wall-clock stamp in the row body survives the database round
+        // trip, so persistent mode populates the wait histogram too.
+        assert_eq!(t.wait_ns.summary().count, 2);
+    }
+
+    #[test]
+    fn prestamp_rows_still_decode() {
+        let db = Database::open_memory(128);
+        let q = UpdateQueue::persistent(&db).unwrap();
+        // A row in the pre-stamp format: body is the bare descriptor.
+        if let Backend::Persistent { table, next_qid } = &q.backend {
+            let qid = next_qid.fetch_add(1, Ordering::Relaxed);
+            table
+                .insert(vec![
+                    Value::Int(qid),
+                    Value::str(hex_encode(&tok(7).encode())),
+                ])
+                .unwrap();
+        }
+        assert_eq!(q.dequeue_batch(10).unwrap(), vec![tok(7)]);
     }
 
     #[test]

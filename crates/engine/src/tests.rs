@@ -808,3 +808,143 @@ fn telemetry_disabled_is_inert_but_engine_works() {
     };
     assert!(s.contains("tokens processed   60"));
 }
+
+/// The tentpole acceptance check: a multi-conjunct trigger population run
+/// with condition partitioning *and* async actions yields one trace tree
+/// per token covering the queue wait, every partition probe, the cache
+/// pin, and the action — with parent links that survive the §6 task
+/// hand-offs — and the tree is reachable from the console and exports as
+/// valid Chrome trace JSON.
+#[test]
+fn trace_tree_covers_partitioned_async_fanout() {
+    use tman_telemetry::trace::NO_PARENT;
+    let cfg = Config {
+        tracing: TracingMode::Full,
+        condition_partitions: 2,
+        partition_min: 1,
+        async_actions: true,
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+        .unwrap();
+    let src = tman.source("q").unwrap().id;
+    for i in 0..8 {
+        tman.execute_command(&format!(
+            "create trigger p{i} from q when q.sym = 'S{i}' and q.price > 10 \
+             do raise event Hit(q.sym)"
+        ))
+        .unwrap();
+    }
+    let rx = tman.subscribe("Hit");
+    tman.push_token(UpdateDescriptor::insert(
+        src,
+        Tuple::new(vec![Value::str("S3"), Value::Float(50.0), Value::Int(1)]),
+    ))
+    .unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 1);
+
+    let snap = tman.trace_snapshot();
+    assert_eq!(snap.stats.started, 1);
+    assert_eq!(snap.stats.retained, 1);
+    assert_eq!(snap.traces.len(), 1);
+    let tree = &snap.traces[0];
+    let root = tree.root().expect("root token span survived");
+    assert_eq!(root.parent_id, NO_PARENT);
+
+    let count = |k: SpanKind| tree.events.iter().filter(|e| e.kind == k).count();
+    assert_eq!(count(SpanKind::QueueWait), 1, "{}", tree.render());
+    assert_eq!(count(SpanKind::Process), 1);
+    assert_eq!(count(SpanKind::Fanout), 1);
+    assert_eq!(count(SpanKind::SigProbe), 2, "one probe per partition");
+    assert!(count(SpanKind::RestTest) >= 1, "residual tests aggregated");
+    assert!(count(SpanKind::CachePin) >= 1);
+    assert_eq!(count(SpanKind::Action), 1);
+    assert_eq!(count(SpanKind::Notify), 1);
+
+    // Partition probes carry (part, nparts) and parent to the fan-out span
+    // even though the SigPartition tasks went back through the task queue.
+    let fanout = tree
+        .events
+        .iter()
+        .find(|e| e.kind == SpanKind::Fanout)
+        .unwrap();
+    let probes: Vec<_> = tree
+        .events
+        .iter()
+        .filter(|e| e.kind == SpanKind::SigProbe)
+        .collect();
+    let mut parts: Vec<u64> = probes.iter().map(|p| p.arg_b >> 32).collect();
+    parts.sort_unstable();
+    assert_eq!(parts, vec![0, 1]);
+    for p in &probes {
+        assert_eq!(p.parent_id, fanout.span_id);
+        assert_eq!(p.arg_b & 0xffff_ffff, 2, "nparts");
+    }
+    // Every span's parent resolves inside the same tree: no dangling links
+    // across the enqueue → probe → pin → action chain.
+    for ev in &tree.events {
+        if ev.span_id != tman_telemetry::trace::ROOT_SPAN {
+            assert!(
+                tree.span(ev.parent_id).is_some(),
+                "dangling parent for {ev:?}"
+            );
+        }
+    }
+
+    // Console surfaces render the same tree.
+    let CommandOutput::Trace(text) = tman
+        .execute_command(&format!("trace token {}", tree.trace_id))
+        .unwrap()
+    else {
+        panic!("expected trace output");
+    };
+    assert!(text.contains("sig_probe"), "{text}");
+    assert!(text.contains("action"), "{text}");
+    let CommandOutput::Trace(last) = tman.execute_command("trace last 5").unwrap() else {
+        panic!("expected trace output");
+    };
+    assert!(last.contains(&format!("trace {}", tree.trace_id)));
+    assert!(tman.execute_command("trace token 999999").is_err());
+
+    // The Perfetto export round-trips through the serde-free validator.
+    let json = tman.render_chrome_trace();
+    let n = tman_telemetry::trace::validate_chrome_trace(&json).unwrap();
+    assert_eq!(n, tree.events.len());
+}
+
+#[test]
+fn tracing_off_is_inert() {
+    let tman = system(); // default Config: TracingMode::Off
+    tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+        .unwrap();
+    let src = tman.source("q").unwrap().id;
+    tman.execute_command("create trigger t from q when q.vol > 0 do raise event E(q.vol)")
+        .unwrap();
+    tman.push_token(UpdateDescriptor::insert(
+        src,
+        Tuple::new(vec![Value::str("A"), Value::Float(1.0), Value::Int(5)]),
+    ))
+    .unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(tman.stats().tokens.get(), 1);
+
+    assert!(tman.tracer().is_none());
+    let snap = tman.trace_snapshot();
+    assert!(snap.traces.is_empty());
+    assert_eq!(snap.stats.started, 0);
+    let CommandOutput::Trace(s) = tman.execute_command("trace last 3").unwrap() else {
+        panic!("expected trace output");
+    };
+    assert!(s.contains("tracing is off"));
+    assert!(tman.execute_command("trace token 1").is_err());
+    // The empty export is still a valid (zero-event) Chrome trace.
+    let json = tman.render_chrome_trace();
+    assert_eq!(
+        tman_telemetry::trace::validate_chrome_trace(&json).unwrap(),
+        0
+    );
+    // Metrics report the subsystem as disabled.
+    assert!(!tman.metrics_snapshot().trace.enabled);
+}

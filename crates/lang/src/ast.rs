@@ -348,6 +348,18 @@ pub enum Command {
         /// Subsystem filter (`None` = everything).
         subsystem: Option<String>,
     },
+    /// `trace last <n>` — render the `n` most recently retained per-token
+    /// trace trees.
+    TraceLast {
+        /// How many traces, newest last.
+        n: usize,
+    },
+    /// `trace token <id>` — render the retained trace tree of one token
+    /// (ids appear in `trace last` output).
+    TraceToken {
+        /// The trace id.
+        id: u64,
+    },
 }
 
 /// Connection description (§2): "information about the host name where the

@@ -118,6 +118,15 @@ impl Parser {
         }
     }
 
+    fn int_literal(&mut self) -> Result<i64> {
+        match self.next()? {
+            Token::Int(i) => Ok(i),
+            t => Err(TmanError::Parse(format!(
+                "expected integer literal, found '{t}'"
+            ))),
+        }
+    }
+
     fn expect_end(&self) -> Result<()> {
         match self.peek() {
             None => Ok(()),
@@ -179,6 +188,21 @@ impl Parser {
                 _ => None,
             };
             return Ok(Command::ShowStats { subsystem });
+        }
+        if self.eat_kw("trace") {
+            if self.eat_kw("last") {
+                let n = self.int_literal()?;
+                if n < 1 {
+                    return Err(TmanError::Parse("trace last needs a count >= 1".into()));
+                }
+                return Ok(Command::TraceLast { n: n as usize });
+            }
+            self.expect_kw("token")?;
+            let id = self.int_literal()?;
+            if id < 0 {
+                return Err(TmanError::Parse("trace ids are non-negative".into()));
+            }
+            return Ok(Command::TraceToken { id: id as u64 });
         }
         if self.eat_kw("define") {
             if self.eat_kw("connection") {
@@ -1057,6 +1081,23 @@ mod tests {
         );
         assert!(parse_command("show").is_err());
         assert!(parse_command("show stats cache extra").is_err());
+    }
+
+    #[test]
+    fn trace_commands() {
+        assert_eq!(
+            parse_command("trace last 5").unwrap(),
+            Command::TraceLast { n: 5 }
+        );
+        assert_eq!(
+            parse_command("TRACE TOKEN 17").unwrap(),
+            Command::TraceToken { id: 17 }
+        );
+        assert!(parse_command("trace").is_err());
+        assert!(parse_command("trace last").is_err());
+        assert!(parse_command("trace last 0").is_err());
+        assert!(parse_command("trace token -1").is_err());
+        assert!(parse_command("trace token 1 extra").is_err());
     }
 
     #[test]

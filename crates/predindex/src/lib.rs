@@ -306,6 +306,27 @@ impl SignatureRuntime {
         stats: &IndexStats,
         visit: &mut dyn FnMut(&Entry),
     ) -> Result<()> {
+        self.probe_partition_traced(tuple, part, nparts, stats, None, visit)
+    }
+
+    /// [`probe_partition`](Self::probe_partition) that additionally records
+    /// rest-of-predicate testing into a trace. When `trace` is an active
+    /// span (the engine's per-probe `SigProbe` span), all residual
+    /// predicate evaluations in this probe are aggregated into one
+    /// [`SpanKind::RestTest`](tman_telemetry::SpanKind::RestTest) child
+    /// span — span-per-candidate would drown the ring — whose duration is
+    /// the summed test time and whose `arg_b` is the test count. The clock
+    /// is read only around residual tests, and only when tracing.
+    pub fn probe_partition_traced(
+        &self,
+        tuple: &Tuple,
+        part: usize,
+        nparts: usize,
+        stats: &IndexStats,
+        trace: Option<&tman_telemetry::SpanGuard>,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<()> {
+        let trace = trace.filter(|s| s.is_active());
         let org = self.org.read();
         let org_kind = org.kind();
         stats.probes.bump();
@@ -336,6 +357,10 @@ impl SignatureRuntime {
         let needs_full = matches!(self.sig.index_plan, IndexPlan::None);
         let mut idx_in_candidates = 0usize;
         let mut err: Option<tman_common::TmanError> = None;
+        // Aggregated rest-test accounting (only touched when tracing).
+        let mut rest_count = 0u64;
+        let mut rest_ns = 0u64;
+        let mut rest_start = 0u64;
         org.probe(&self.sig.index_plan, &probe, &mut |e| {
             let my = idx_in_candidates;
             idx_in_candidates += 1;
@@ -349,6 +374,7 @@ impl SignatureRuntime {
                 tuples,
                 consts: &e.consts,
             };
+            let t0 = trace.map(|_| tman_telemetry::trace::now_ns());
             let passed = if needs_full {
                 stats.residual_tests.bump();
                 match self.sig.generalized.matches(&env) {
@@ -373,12 +399,30 @@ impl SignatureRuntime {
                     }
                 }
             };
+            if let Some(t0) = t0 {
+                if rest_count == 0 {
+                    rest_start = t0;
+                }
+                rest_count += 1;
+                rest_ns += tman_telemetry::trace::now_ns().saturating_sub(t0);
+            }
             if passed {
                 stats.matches.bump();
                 self.org_counters.matched(org_kind);
                 visit(e);
             }
         })?;
+        if rest_count > 0 {
+            if let Some(span) = trace {
+                span.child_complete(
+                    tman_telemetry::SpanKind::RestTest,
+                    rest_start,
+                    rest_ns,
+                    0,
+                    rest_count,
+                );
+            }
+        }
         match err {
             Some(e) => Err(e),
             None => Ok(()),

@@ -33,10 +33,15 @@
 pub mod instruments;
 pub mod registry;
 pub mod render;
+pub mod trace;
 
 pub use instruments::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Instrument, Registry, Timer};
 pub use render::{json_escape, MetricSample, SampleValue};
+pub use trace::{
+    SpanGuard, SpanKind, TraceEvent, TraceHandle, TraceRing, TraceSnapshot, TraceTree, Tracer,
+    TracerStats,
+};
 
 /// A registry whose handles are no-ops: recording calls reduce to one
 /// branch, and timers never read the clock. Use for baseline/ablation runs
