@@ -41,6 +41,7 @@ fn main() {
         ("e8", e8_networks),
         ("e9", e9_ranges),
         ("e10", e10_design),
+        ("e11", e11_governor),
     ];
     for (name, f) in all {
         if selected.is_empty() || selected.contains(name) {
@@ -75,7 +76,7 @@ fn e1_scaling(o: &Opts) {
     let mut metrics_json = String::new();
     for &n in sizes {
         // --- predicate index ---
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let mut ix = PredicateIndex::new(IndexConfig::default());
         ix.attach_telemetry(&registry);
         build_index(&ix, n, Template::all(), n_syms, 1);
@@ -167,7 +168,7 @@ fn e2_cse(o: &Opts) {
     ]);
     let mut metrics_json = String::new();
     for &n in sizes {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let mk = |normalized: bool| {
             let mut ix = PredicateIndex::new(IndexConfig {
                 normalized,
@@ -227,7 +228,7 @@ fn e3_orgs(o: &Opts) {
     ]);
     let mut metrics_json = String::new();
     for &n in sizes {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let db = Arc::new(Database::open_memory(1024));
         let mut ix = PredicateIndex::with_database(IndexConfig::default(), db.clone());
         ix.attach_telemetry(&registry);
@@ -715,7 +716,7 @@ fn e9_ranges(o: &Opts) {
     ]);
     let mut metrics_json = String::new();
     for &n in sizes {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let mut ix = PredicateIndex::new(IndexConfig {
             list_to_index: usize::MAX,
             ..Default::default()
@@ -844,4 +845,85 @@ fn e10_design(o: &Opts) {
     }
     table.print();
     dump_metrics("e10", &metrics_json);
+}
+
+/// E11 — the adaptive organization governor vs hand-tuned static
+/// configurations on the E1 scale workload. The governor starts every
+/// class as a list (no insert-time promotion), then converges during a
+/// warmup of probe traffic interleaved with governor passes; the measured
+/// phase should match the best static choice.
+fn e11_governor(o: &Opts) {
+    let sizes: &[usize] = if o.quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let n_syms = 200;
+    let mut table = Table::new(&["triggers", "config", "tok/s", "memory", "moves"]);
+    let mut metrics_json = String::new();
+    for &n in sizes {
+        let static_cfgs = [
+            (
+                "static lists",
+                IndexConfig {
+                    list_to_index: usize::MAX,
+                    ..Default::default()
+                },
+            ),
+            (
+                "static index-all",
+                IndexConfig {
+                    list_to_index: 0,
+                    ..Default::default()
+                },
+            ),
+            ("static default", IndexConfig::default()),
+            (
+                "adaptive",
+                IndexConfig {
+                    adaptive: true,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (name, cfg) in static_cfgs {
+            let adaptive = cfg.adaptive;
+            let policy = tman_predindex::GovernorPolicy::from_config(&cfg);
+            let registry = Arc::new(Registry::new());
+            let db = Arc::new(Database::open_memory(1024));
+            let mut ix = PredicateIndex::with_database(cfg, db);
+            ix.attach_telemetry(&registry);
+            build_index(&ix, n, Template::all(), n_syms, 1);
+            let probes = if o.quick { 2_000 } else { 5_000 };
+            let tokens = quote_tokens(probes, n_syms, 2);
+            let mut moves = 0usize;
+            // Every config gets the same warmup probe traffic; the
+            // adaptive one additionally interleaves governor passes, as
+            // the engine's driver maintenance path would run them.
+            let warm = quote_tokens(probes / 2, n_syms, 3);
+            for chunk in warm.chunks((warm.len() / 4).max(1)) {
+                for t in chunk {
+                    ix.match_token(t, &mut |_| {}).unwrap();
+                }
+                if adaptive {
+                    moves += ix.governor_pass(&policy).migrations.len();
+                }
+            }
+            let (_, d) = time_it(|| {
+                for t in &tokens {
+                    ix.match_token(t, &mut |_| {}).unwrap();
+                }
+            });
+            table.row(vec![
+                n.to_string(),
+                name.into(),
+                human(rate(probes, d)),
+                human_bytes(ix.memory_bytes()),
+                moves.to_string(),
+            ]);
+            metrics_json = registry.render_json();
+        }
+    }
+    table.print();
+    dump_metrics("e11", &metrics_json);
 }

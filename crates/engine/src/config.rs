@@ -81,6 +81,18 @@ pub struct Config {
     /// Capacity (in events) of the bounded trace ring buffer; oldest
     /// retained events are overwritten once it fills.
     pub trace_buffer_events: usize,
+    /// Global cap on the predicate index's memory-resident constant sets.
+    /// When the resident bytes exceed it, the organization governor
+    /// force-spills the coldest large equivalence classes to the
+    /// database until they fit (requires a database-backed engine, which
+    /// [`TriggerMan::open_memory`](crate::TriggerMan) always is). `None`
+    /// disables budget enforcement. Setting a budget enables governor
+    /// passes even when [`IndexConfig::adaptive`] is off.
+    pub index_memory_budget: Option<usize>,
+    /// Minimum interval between organization-governor passes. Drivers
+    /// run the governor opportunistically when the task queue goes
+    /// empty, at most once per period across all threads.
+    pub governor_period: Duration,
 }
 
 impl Default for Config {
@@ -102,6 +114,8 @@ impl Default for Config {
             tracing: TracingMode::Off,
             slow_token_threshold: Duration::from_millis(10),
             trace_buffer_events: 65_536,
+            index_memory_budget: None,
+            governor_period: Duration::from_millis(250),
         }
     }
 }

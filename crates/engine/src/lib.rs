@@ -59,7 +59,7 @@ pub use driver::{DriverPool, Task, TmanTestResult};
 pub use events::{EventBus, EventNotification};
 pub use metrics::MetricsSnapshot;
 pub use tman_network::NetworkKind;
-pub use tman_predindex::OrgKind;
+pub use tman_predindex::{GovernorPolicy, GovernorReport, OrgKind};
 pub use tman_telemetry::{
     Registry, SpanKind, TraceEvent, TraceSnapshot, TraceTree, Tracer, TracerStats,
 };
@@ -163,6 +163,9 @@ pub struct TriggerMan {
     pub(crate) telemetry: metrics::EngineTelemetry,
     tracer: Option<Arc<Tracer>>,
     last_error: Mutex<Option<String>>,
+    /// `now_ns()` of the last organization-governor pass (0 = never); the
+    /// driver that wins the CAS on this runs the next pass.
+    governor_last_ns: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -232,6 +235,7 @@ impl TriggerMan {
             next_expr: AtomicU64::new(1),
             stats: EngineStats::default(),
             last_error: Mutex::new(None),
+            governor_last_ns: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             catalog,
             db,
@@ -1193,7 +1197,14 @@ impl TriggerMan {
                     }
                 });
             match task {
-                None => return TmanTestResult::QueueEmpty,
+                None => {
+                    // Maintenance path: with nothing to process, this
+                    // driver may run an organization-governor pass (the
+                    // paper's reorganizations happen off the insert and
+                    // probe paths).
+                    self.maybe_run_governor();
+                    return TmanTestResult::QueueEmpty;
+                }
                 Some(t) => {
                     self.execute_task(t);
                     // "Yield the processor so other Informix tasks can use
@@ -1206,6 +1217,63 @@ impl TriggerMan {
                 return TmanTestResult::TasksRemaining;
             }
         }
+    }
+
+    /// Is the organization governor enabled by this configuration?
+    fn governor_enabled(&self) -> bool {
+        self.config.index.adaptive || self.config.index_memory_budget.is_some()
+    }
+
+    /// Opportunistic governor entry point, called from the drivers'
+    /// maintenance path (empty task queue). At most one pass per
+    /// [`Config::governor_period`] across all driver threads: the thread
+    /// that wins the CAS on the last-pass stamp runs it, everyone else
+    /// returns immediately.
+    fn maybe_run_governor(&self) {
+        if !self.governor_enabled() {
+            return;
+        }
+        let now = now_ns();
+        let last = self.governor_last_ns.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < self.config.governor_period.as_nanos() as u64 {
+            return;
+        }
+        if self
+            .governor_last_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.run_governor();
+        }
+    }
+
+    /// Run one organization-governor pass now (see
+    /// [`PredicateIndex::governor_pass`]): refresh per-signature activity
+    /// rates, apply hysteresis promotions/demotions, and enforce
+    /// [`Config::index_memory_budget`]. Normally invoked from the drivers'
+    /// maintenance path; public so tests and operators can force a pass.
+    pub fn run_governor(&self) -> GovernorReport {
+        let mut policy = GovernorPolicy::from_config(&self.config.index);
+        policy.memory_budget = self.config.index_memory_budget;
+        let report = self.predindex.governor_pass(&policy);
+        for msg in &report.errors {
+            self.record_error(&TmanError::Internal(msg.clone()));
+        }
+        if let Some(tracer) = self.tracer.as_ref() {
+            if !report.migrations.is_empty() {
+                let handle = tracer.begin();
+                let now = now_ns();
+                handle.record_complete(
+                    SpanKind::Governor,
+                    ROOT_SPAN,
+                    now.saturating_sub(report.pass_ns),
+                    report.pass_ns,
+                    report.migrations.len() as u64,
+                    report.mem_bytes as u64,
+                );
+            }
+        }
+        report
     }
 
     /// Drain everything synchronously (tests, examples). Equivalent to a

@@ -162,6 +162,8 @@ pub struct IndexMetrics {
     pub memory_bytes: usize,
     /// Probe/match totals per constant-set organization.
     pub per_org: Vec<OrgMetrics>,
+    /// Adaptive organization governor.
+    pub governor: GovernorMetrics,
 }
 
 /// Per-organization probe/match totals.
@@ -173,6 +175,39 @@ pub struct OrgMetrics {
     pub probes: u64,
     /// Matches produced by sets in this organization.
     pub matches: u64,
+}
+
+/// Adaptive organization-governor totals
+/// ([`tman_predindex::PredicateIndex::governor_pass`]).
+#[derive(Debug, Clone, Default)]
+pub struct GovernorMetrics {
+    /// Governor passes run.
+    pub passes: u64,
+    /// Organization promotions (toward a more indexed/persistent form).
+    pub promotions: u64,
+    /// Organization demotions (back toward a list).
+    pub demotions: u64,
+    /// Classes force-spilled to the database by the memory budget.
+    pub budget_spills: u64,
+    /// Migrations abandoned after repeated snapshot invalidation.
+    pub aborted_migrations: u64,
+    /// Governor pass duration.
+    pub pass_ns: HistogramSummary,
+    /// Per-`{from,to}` migration totals (non-zero pairs only).
+    pub transitions: Vec<OrgTransitionMetrics>,
+}
+
+/// Migration totals for one ordered organization pair.
+#[derive(Debug, Clone, Copy)]
+pub struct OrgTransitionMetrics {
+    /// Organization migrated from.
+    pub from: &'static str,
+    /// Organization migrated to.
+    pub to: &'static str,
+    /// Times this pair was a promotion.
+    pub promotions: u64,
+    /// Times this pair was a demotion.
+    pub demotions: u64,
 }
 
 /// Trigger-cache metrics.
@@ -305,6 +340,40 @@ impl MetricsSnapshot {
             })
             .filter(|o| o.probes > 0 || o.matches > 0)
             .collect();
+        let gs = tman.predicate_index().governor_stats();
+        let mut transitions = Vec::new();
+        for &from in tman_predindex::ORG_LABELS.iter() {
+            for &to in tman_predindex::ORG_LABELS.iter() {
+                if from == to {
+                    continue;
+                }
+                let labels = [("from", from), ("to", to)];
+                let row = OrgTransitionMetrics {
+                    from,
+                    to,
+                    promotions: t
+                        .registry
+                        .counter("tman_org_promotions_total", &labels)
+                        .get(),
+                    demotions: t
+                        .registry
+                        .counter("tman_org_demotions_total", &labels)
+                        .get(),
+                };
+                if row.promotions > 0 || row.demotions > 0 {
+                    transitions.push(row);
+                }
+            }
+        }
+        let governor = GovernorMetrics {
+            passes: gs.passes.get(),
+            promotions: gs.promotions.get(),
+            demotions: gs.demotions.get(),
+            budget_spills: gs.budget_spills.get(),
+            aborted_migrations: gs.aborted_migrations.get(),
+            pass_ns: t.registry.histogram("tman_governor_pass_ns", &[]).summary(),
+            transitions,
+        };
         MetricsSnapshot {
             engine: EngineMetrics {
                 tokens: es.tokens.get(),
@@ -337,6 +406,7 @@ impl MetricsSnapshot {
                 entries: tman.predicate_index().num_entries(),
                 memory_bytes: tman.predicate_index().memory_bytes(),
                 per_org,
+                governor,
             },
             cache: CacheMetrics {
                 hits: cs.hits.get(),
@@ -475,6 +545,20 @@ impl MetricsSnapshot {
                 out.push_str(&format!(
                     "  org {:<16} probes={} matches={}\n",
                     o.org, o.probes, o.matches
+                ));
+            }
+            let g = &self.index.governor;
+            out.push_str(&format!(
+                "  governor           passes={} promotions={} demotions={} budget_spills={} aborted={}\n",
+                g.passes, g.promotions, g.demotions, g.budget_spills, g.aborted_migrations
+            ));
+            if g.pass_ns.count > 0 {
+                out.push_str(&format!("  governor pass      {}\n", hist(&g.pass_ns)));
+            }
+            for tr in &g.transitions {
+                out.push_str(&format!(
+                    "  move {:<16} -> {:<16} promotions={} demotions={}\n",
+                    tr.from, tr.to, tr.promotions, tr.demotions
                 ));
             }
         }

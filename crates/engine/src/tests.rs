@@ -948,3 +948,111 @@ fn tracing_off_is_inert() {
     // Metrics report the subsystem as disabled.
     assert!(!tman.metrics_snapshot().trace.enabled);
 }
+
+/// The organization governor runs from the drivers' maintenance path: an
+/// adaptive config leaves a 40-constant equality class on a list through
+/// all the inserts, then the first empty-queue `tman_test` promotes it.
+#[test]
+fn governor_runs_from_driver_maintenance_path() {
+    let cfg = Config {
+        index: tman_predindex::IndexConfig {
+            list_to_index: 8,
+            adaptive: true,
+            ..Default::default()
+        },
+        governor_period: Duration::ZERO,
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    for i in 0..40 {
+        tman.execute_command(&format!(
+            "create trigger gov{i} on insert to emp from emp \
+             when emp.dept = {i} do raise event GovHit(emp.name)"
+        ))
+        .unwrap();
+    }
+    let rx = tman.subscribe("GovHit");
+    // With `adaptive` on, insert-time promotion is off: the class is still
+    // a list even though it is far past list_to_index.
+    let before = tman.metrics_snapshot();
+    assert!(before.signatures.iter().any(|s| s.org == "mem_list"));
+    assert_eq!(before.index.governor.passes, 0);
+
+    // Processing a token drains the queue; the empty-queue branch of
+    // `tman_test` then runs a governor pass (period is zero).
+    tman.run_sql("insert into emp values ('Ann', 10, 7)")
+        .unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(rx.try_iter().count(), 1);
+
+    let m = tman.metrics_snapshot();
+    assert!(m.index.governor.passes > 0);
+    assert!(m.index.governor.promotions > 0, "{:?}", m.index.governor);
+    assert!(m.signatures.iter().any(|s| s.org == "mem_index"));
+    assert!(m
+        .index
+        .governor
+        .transitions
+        .iter()
+        .any(|tr| tr.from == "mem_list" && tr.to == "mem_index" && tr.promotions > 0));
+
+    // Matching still works after the migration.
+    tman.run_sql("insert into emp values ('Bea', 20, 3)")
+        .unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 1);
+
+    // The console surfaces the governor counters.
+    let CommandOutput::Stats(s) = tman.execute_command("show stats index").unwrap() else {
+        panic!("expected stats output");
+    };
+    assert!(s.contains("governor"), "missing governor line in:\n{s}");
+    assert!(s.contains("promotions="), "missing counts in:\n{s}");
+    assert!(
+        s.contains("move mem_list"),
+        "missing transition row in:\n{s}"
+    );
+}
+
+/// `index_memory_budget` alone (adaptive off) enables governor passes,
+/// which force-spill the class to an indexed database table; probes keep
+/// matching through the database-resident organization.
+#[test]
+fn memory_budget_spills_class_via_maintenance_path() {
+    let cfg = Config {
+        index_memory_budget: Some(1),
+        governor_period: Duration::ZERO,
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    // One 48-entry equality class: comfortably bigger than the governor's
+    // minimum spill size, and under the static list_to_index threshold
+    // is irrelevant since the budget pass spills any resident org.
+    for i in 0..48 {
+        tman.execute_command(&format!(
+            "create trigger spill{i} on insert to emp from emp \
+             when emp.dept = {i} do raise event SpillHit(emp.name)"
+        ))
+        .unwrap();
+    }
+    let rx = tman.subscribe("SpillHit");
+    tman.run_sql("insert into emp values ('Cal', 30, 5)")
+        .unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(rx.try_iter().count(), 1);
+
+    let m = tman.metrics_snapshot();
+    assert!(m.index.governor.passes > 0);
+    assert!(m.index.governor.budget_spills > 0, "{:?}", m.index.governor);
+    assert!(m.signatures.iter().any(|s| s.org == "db_indexed_table"));
+
+    // Probe-through-database still produces the match.
+    tman.run_sql("insert into emp values ('Dee', 40, 11)")
+        .unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 1);
+}

@@ -529,3 +529,343 @@ fn custom_organization_handles_ranges() {
         .unwrap();
     assert_eq!(matched_ids(&ix, &ins("x", 57.0, 0)), before);
 }
+
+// ---------------------------------------------------------------------------
+// Adaptive governor (see `governor.rs`).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn adaptive_mode_disables_insert_time_promotion() {
+    let ix = PredicateIndex::new(IndexConfig {
+        list_to_index: 4,
+        adaptive: true,
+        ..Default::default()
+    });
+    let mut rt = None;
+    for t in 0..50u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+    }
+    // Under the governor, insert() never reorganizes.
+    assert_eq!(rt.unwrap().org_kind(), OrgKind::MemList);
+}
+
+#[test]
+fn governor_promotes_and_demotes_with_hysteresis() {
+    let ix = PredicateIndex::new(IndexConfig {
+        list_to_index: 8,
+        adaptive: true,
+        ..Default::default()
+    });
+    let mut rt = None;
+    for t in 0..20u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    assert_eq!(rt.org_kind(), OrgKind::MemList);
+
+    let policy = GovernorPolicy::from_config(&IndexConfig {
+        list_to_index: 8,
+        ..Default::default()
+    });
+    let report = ix.governor_pass(&policy);
+    assert_eq!(report.examined, 1);
+    assert_eq!(report.migrations.len(), 1);
+    assert_eq!(rt.org_kind(), OrgKind::MemIndex);
+    assert_eq!(ix.governor_stats().promotions.get(), 1);
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 7)), vec![7]);
+
+    // Shrink into the hysteresis band (8 > len > 4): no demotion yet.
+    for t in 14..20u64 {
+        ix.remove_trigger(TriggerId(t)).unwrap();
+    }
+    assert_eq!(rt.len(), 14);
+    for t in 7..14u64 {
+        ix.remove_trigger(TriggerId(t)).unwrap();
+    }
+    assert_eq!(rt.len(), 7);
+    ix.governor_pass(&policy);
+    assert_eq!(rt.org_kind(), OrgKind::MemIndex, "inside the band: stay");
+
+    // Below the band (len <= 8 * 0.5): demote back to the list.
+    for t in 4..7u64 {
+        ix.remove_trigger(TriggerId(t)).unwrap();
+    }
+    ix.governor_pass(&policy);
+    assert_eq!(rt.org_kind(), OrgKind::MemList);
+    assert_eq!(ix.governor_stats().demotions.get(), 1);
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 2)), vec![2]);
+}
+
+#[test]
+fn governor_spills_to_database_and_comes_back() {
+    // Satellite: the DbIndexed path end-to-end — size-based spill through
+    // the governor, probes served by the database index, demotion back to
+    // memory once the class shrinks, table retired.
+    let db = Arc::new(Database::open_memory(1024));
+    let cfg = IndexConfig {
+        list_to_index: 4,
+        index_to_db: 25,
+        adaptive: true,
+        ..Default::default()
+    };
+    let ix = PredicateIndex::with_database(cfg.clone(), db.clone());
+    let mut rt = None;
+    for t in 0..40u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    assert_eq!(rt.org_kind(), OrgKind::MemList, "adaptive: no static spill");
+
+    let policy = GovernorPolicy::from_config(&cfg);
+    let report = ix.governor_pass(&policy);
+    assert_eq!(rt.org_kind(), OrgKind::DbIndexed);
+    assert!(report.migrations.iter().all(|m| m.outcome.completed));
+
+    // Probes are served through the database index.
+    let table = db.table(&rt.const_table_name()).unwrap();
+    assert_eq!(table.count().unwrap(), 40);
+    let probes_before = table.stats().index_probes.get();
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 22)), vec![22]);
+    assert!(table.stats().index_probes.get() > probes_before);
+
+    // Shrink well below the demotion band: the class comes back to memory
+    // (len 10 <= 25 * 0.5) and the constant table is retired.
+    for t in 10..40u64 {
+        ix.remove_trigger(TriggerId(t)).unwrap();
+    }
+    ix.governor_pass(&policy);
+    assert_eq!(
+        rt.org_kind(),
+        OrgKind::MemIndex,
+        "10 > 4*0.5: index, not list"
+    );
+    assert!(
+        !db.has_table(&rt.const_table_name()),
+        "demotion retires the constant table"
+    );
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 3)), vec![3]);
+    assert_eq!(ix.governor_stats().demotions.get(), 1);
+}
+
+#[test]
+fn governor_budget_spills_coldest_class_first() {
+    let db = Arc::new(Database::open_memory(1024));
+    // High list_to_index: no hysteresis promotions — the pass is a pure
+    // budget-enforcement exercise with exact memory accounting.
+    let cfg = IndexConfig {
+        list_to_index: 64,
+        adaptive: true,
+        ..Default::default()
+    };
+    let ix = PredicateIndex::with_database(cfg.clone(), db.clone());
+    // Two classes; the cold one fires on Delete, so the insert probes
+    // below drive its decayed probe rate to zero while the hot one climbs.
+    let mut hot = None;
+    let mut cold = None;
+    for t in 0..30u64 {
+        hot = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+        cold = Some(add(
+            &ix,
+            &format!("emp.salary > {}", t * 100),
+            EventKind::Delete,
+            100 + t,
+        ));
+    }
+    let (hot, cold) = (hot.unwrap(), cold.unwrap());
+    for _ in 0..50 {
+        matched_ids(&ix, &ins("x", -1.0, 7));
+    }
+    assert!(hot.activity().probes() >= 50);
+    assert_eq!(cold.activity().probes(), 0, "delete sig unseen by inserts");
+
+    let mut policy = GovernorPolicy::from_config(&cfg);
+    policy.min_spill_bytes = 1;
+    // Budget one byte under the combined footprint: exactly one spill —
+    // the coldest class — restores the invariant.
+    let total = hot.memory_bytes() + cold.memory_bytes();
+    policy.memory_budget = Some(total - 1);
+    let report = ix.governor_pass(&policy);
+
+    assert_eq!(cold.org_kind(), OrgKind::DbIndexed, "cold class spilled");
+    assert_eq!(hot.org_kind(), OrgKind::MemList, "hot class untouched");
+    assert_eq!(ix.governor_stats().budget_spills.get(), 1);
+    assert!(report.mem_bytes <= policy.memory_budget.unwrap());
+    assert!(report
+        .migrations
+        .iter()
+        .any(|m| m.reason == MigrationReason::BudgetSpill));
+    // Matching is unaffected on both sides of the spill.
+    assert_eq!(matched_ids(&ix, &ins("x", 550.0, 7)), vec![7]);
+    let del = UpdateDescriptor::delete(
+        EMP,
+        Tuple::new(vec![Value::str("x"), Value::Float(550.0), Value::Int(7)]),
+    );
+    assert_eq!(matched_ids(&ix, &del), (100..=105).collect::<Vec<_>>());
+
+    // Lift the budget: the spilled class returns to memory on a later pass
+    // (len 30 is under list_to_index, so it lands back on the list).
+    policy.memory_budget = None;
+    ix.governor_pass(&policy);
+    assert_eq!(cold.org_kind(), OrgKind::MemList, "refilled after spill");
+    assert!(!cold.activity().budget_spilled());
+    assert_eq!(matched_ids(&ix, &del), (100..=105).collect::<Vec<_>>());
+}
+
+#[test]
+fn migration_swap_window_is_bounded() {
+    // The org write lock is held for the pointer swap only — the rebuild
+    // happens off-lock. With a large class the build dominates the swap by
+    // orders of magnitude; assert the conservative direction.
+    let ix = PredicateIndex::new(IndexConfig {
+        adaptive: true,
+        ..Default::default()
+    });
+    let mut rt = None;
+    for t in 0..20_000u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    let outcome = rt.migrate_to(OrgKind::MemIndex, 3).unwrap();
+    assert!(outcome.completed);
+    assert_eq!(outcome.entries, 20_000);
+    assert!(
+        outcome.swap_ns < outcome.build_ns,
+        "swap ({}) must be shorter than the off-lock build ({})",
+        outcome.swap_ns,
+        outcome.build_ns
+    );
+    assert_eq!(matched_ids(&ix, &ins("x", 0.0, 19_999)), vec![19_999]);
+}
+
+#[test]
+fn concurrent_mutation_invalidates_migration_snapshot() {
+    let ix = PredicateIndex::new(IndexConfig {
+        adaptive: true,
+        ..Default::default()
+    });
+    let mut rt = None;
+    for t in 0..100u64 {
+        rt = Some(add(&ix, &format!("emp.dept = {t}"), EventKind::Insert, t));
+    }
+    let rt = rt.unwrap();
+    let epoch0 = rt.activity().epoch();
+    // A mutation between snapshot and swap forces a retry; with
+    // max_retries = 0 and a mutation per attempt the migration gives up.
+    add(&ix, "emp.dept = 100", EventKind::Insert, 100);
+    assert!(rt.activity().epoch() > epoch0, "insert bumps the epoch");
+    let outcome = rt.migrate_to(OrgKind::MemIndex, 3).unwrap();
+    assert!(outcome.completed, "no concurrent mutation now: completes");
+    assert_eq!(rt.org_kind(), OrgKind::MemIndex);
+}
+
+fn stress_governor(triggers: u64, probers: usize, rounds: usize) {
+    use std::sync::atomic::AtomicBool;
+
+    let db = Arc::new(Database::open_memory(4096));
+    let cfg = IndexConfig {
+        list_to_index: 32,
+        index_to_db: 600,
+        adaptive: true,
+        ..Default::default()
+    };
+    let ix = Arc::new(PredicateIndex::with_database(cfg.clone(), db));
+    // A stable population that must match throughout, plus a churn band
+    // the mutator threads insert and remove.
+    for t in 0..triggers {
+        add(&ix, &format!("emp.dept = {}", t % 50), EventKind::Insert, t);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let expected_per_dept = triggers / 50;
+
+    let mut handles = Vec::new();
+    for w in 0..probers {
+        let ix = ix.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut probes = 0u64;
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let d = ((w as u64 * 13 + i) % 50) as i64;
+                let hits = ix.match_token_vec(&ins("x", 0.0, d)).unwrap();
+                // Stable triggers (id % 50 == d, id < triggers) must all be
+                // present exactly once — no missed, duplicated, or phantom
+                // matches while the governor swaps organizations.
+                let mut stable: Vec<u64> = hits
+                    .iter()
+                    .map(|m| m.trigger_id.raw())
+                    .filter(|&t| t < triggers)
+                    .collect();
+                stable.sort_unstable();
+                stable.dedup();
+                assert_eq!(
+                    stable.len() as u64,
+                    expected_per_dept,
+                    "dept {d}: stable matches missed or duplicated"
+                );
+                probes += 1;
+                i += 1;
+            }
+            probes
+        }));
+    }
+    // Mutator: churns extra triggers so class sizes cross the thresholds
+    // in both directions and swaps race real epochs.
+    let churn = {
+        let ix = ix.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let tid = 1_000_000 + (n % 2_000);
+                add(
+                    &ix,
+                    &format!("emp.dept = {}", tid % 50),
+                    EventKind::Insert,
+                    tid,
+                );
+                if n % 3 == 2 {
+                    ix.remove_trigger(TriggerId(1_000_000 + (n.wrapping_sub(2) % 2_000)))
+                        .unwrap();
+                }
+                n += 1;
+            }
+        })
+    };
+
+    let policy = GovernorPolicy::from_config(&cfg);
+    for _ in 0..rounds {
+        let report = ix.governor_pass(&policy);
+        assert!(
+            report.errors.is_empty(),
+            "governor errors: {:?}",
+            report.errors
+        );
+        for m in &report.migrations {
+            if m.outcome.completed && m.outcome.entries > 1_000 {
+                assert!(
+                    m.outcome.swap_ns < m.outcome.build_ns.max(1_000_000),
+                    "swap window ({}) not short vs build ({})",
+                    m.outcome.swap_ns,
+                    m.outcome.build_ns
+                );
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    churn.join().unwrap();
+    assert!(total > 0, "probers made progress");
+    assert!(ix.governor_stats().passes.get() >= rounds as u64);
+}
+
+#[test]
+fn governor_stress_concurrent_probe_insert_remove() {
+    stress_governor(500, 4, 10);
+}
+
+#[test]
+#[ignore = "long-running stress; run with --ignored"]
+fn governor_stress_long() {
+    stress_governor(2_000, 8, 200);
+}

@@ -208,11 +208,7 @@ pub struct HistogramSummary {
 impl HistogramSummary {
     /// Mean sample, zero when empty.
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 }
 

@@ -90,6 +90,10 @@ pub enum SpanKind {
     Action,
     /// Event delivery from an action. `arg_b` = subscribers notified.
     Notify,
+    /// One predicate-index governor pass (adaptive constant-set
+    /// reorganization, run from driver maintenance). `arg_a` = migrations
+    /// performed, `arg_b` = resident constant-set bytes after the pass.
+    Governor,
 }
 
 impl SpanKind {
@@ -106,6 +110,7 @@ impl SpanKind {
             SpanKind::Fanout => 7,
             SpanKind::Action => 8,
             SpanKind::Notify => 9,
+            SpanKind::Governor => 10,
         }
     }
 
@@ -122,6 +127,7 @@ impl SpanKind {
             7 => SpanKind::Fanout,
             8 => SpanKind::Action,
             9 => SpanKind::Notify,
+            10 => SpanKind::Governor,
             _ => return None,
         })
     }
@@ -139,6 +145,7 @@ impl SpanKind {
             SpanKind::Fanout => "fanout",
             SpanKind::Action => "action",
             SpanKind::Notify => "notify",
+            SpanKind::Governor => "governor",
         }
     }
 }
@@ -608,7 +615,7 @@ impl Tracer {
         TraceHandle {
             ctx: Some(Arc::new(TraceContext {
                 trace_id: self.next_trace_id.fetch_add(1, Ordering::Relaxed),
-                sampled_in: n % self.sample_every == 0,
+                sampled_in: n.is_multiple_of(self.sample_every),
                 start_ns: now_ns(),
                 next_span: AtomicU32::new(ROOT_SPAN + 1),
                 spans: Mutex::new(Vec::with_capacity(8)),
@@ -792,6 +799,7 @@ fn kind_args(ev: &TraceEvent) -> String {
         SpanKind::Fanout => format!("  [sig={} parts={}]", ev.arg_a, ev.arg_b),
         SpanKind::Action => format!("  [trigger={}]", ev.arg_a),
         SpanKind::Notify => format!("  [subscribers={}]", ev.arg_b),
+        SpanKind::Governor => format!("  [migrations={} mem={}B]", ev.arg_a, ev.arg_b),
         _ => String::new(),
     }
 }

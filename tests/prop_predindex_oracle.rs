@@ -1,0 +1,331 @@
+//! Differential test oracle for the predicate index.
+//!
+//! A naive reference implementation — a flat `Vec` of
+//! `(trigger, event, predicate)` evaluated in full against every token —
+//! is driven through the same randomized trigger create/drop and token
+//! streams as the real `PredicateIndex`, and the two must produce
+//! identical match sets:
+//!
+//! * under the organization each class happens to be in,
+//! * with every class **forced** into each of the §5.2 organizations
+//!   (mem list, denormalized list, mem index, db table, db indexed), and
+//! * across governor transitions (promotion, demotion, budget spill,
+//!   refill) driven by deliberately extreme policies.
+//!
+//! The suite runs on a fixed RNG seed (`SEED`) so CI is deterministic;
+//! shrinking still works because the cases run under a regular proptest
+//! `TestRunner`.
+
+use proptest::prelude::*;
+use proptest::test_runner::{RngAlgorithm, TestCaseError, TestError, TestRng, TestRunner};
+use std::sync::Arc;
+use tman_common::{
+    DataSourceId, DataType, EventKind, ExprId, NodeId, Result, Schema, TriggerId, Tuple,
+    UpdateDescriptor, Value,
+};
+use tman_expr::cnf::{remap_var, to_cnf, Cnf};
+use tman_expr::scalar::Env;
+use tman_expr::signature::IndexPlan;
+use tman_expr::BindCtx;
+use tman_lang::parse_expression;
+use tman_predindex::{GovernorPolicy, IndexConfig, OrgKind, PredicateIndex, SignatureRuntime};
+use tman_sql::Database;
+
+const SRC: DataSourceId = DataSourceId(7);
+/// Pinned so the CI run is reproducible; change deliberately, not casually.
+const SEED: [u8; 32] = *b"tman-predindex-oracle-seed-0001!";
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("sym", DataType::Varchar(12)),
+        ("price", DataType::Float),
+        ("vol", DataType::Int),
+    ])
+}
+
+/// The reference: every predicate of every live trigger, evaluated in
+/// full for every token. No organizations, no indexes, no sharing.
+#[derive(Default)]
+struct Oracle {
+    preds: Vec<(TriggerId, EventKind, Cnf)>,
+}
+
+impl Oracle {
+    fn add(&mut self, id: TriggerId, event: EventKind, pred: Cnf) {
+        self.preds.push((id, event, pred));
+    }
+
+    fn remove(&mut self, id: TriggerId) {
+        self.preds.retain(|(t, _, _)| *t != id);
+    }
+
+    fn matches(&self, token: &UpdateDescriptor) -> Result<Vec<u64>> {
+        let tuple = token.probe_tuple();
+        let bind = Some(tuple);
+        let env = Env {
+            tuples: std::slice::from_ref(&bind),
+            consts: &[],
+        };
+        let mut out = Vec::new();
+        for (id, event, pred) in &self.preds {
+            if token.data_src == SRC && event.accepts(token.op) && pred.matches(&env)? {
+                out.push(id.raw());
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+/// One randomized trigger: condition text + event kind.
+#[derive(Debug, Clone)]
+struct TriggerDef {
+    cond: String,
+    event: EventKind,
+}
+
+fn arb_event() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        3 => Just(EventKind::Insert),
+        1 => Just(EventKind::Delete),
+        1 => Just(EventKind::Update(vec![])),
+        1 => Just(EventKind::InsertOrUpdate),
+    ]
+}
+
+fn arb_trigger() -> impl Strategy<Value = TriggerDef> {
+    let sym = 0u32..5;
+    let price = 0i64..100;
+    let cond = prop_oneof![
+        // Equality signatures (shared classes: few distinct shapes).
+        sym.clone().prop_map(|s| format!("q.sym = 'S{s}'")),
+        (0i64..40).prop_map(|v| format!("q.vol = {v}")),
+        // Range signatures.
+        price.clone().prop_map(|p| format!("q.price > {p}")),
+        (price.clone(), 1i64..30)
+            .prop_map(|(p, w)| format!("q.price >= {p} and q.price < {}", p + w)),
+        // Composite: indexable equality + residual.
+        (sym.clone(), price.clone())
+            .prop_map(|(s, p)| format!("q.sym = 'S{s}' and q.price >= {p}")),
+        // OR: no indexable part (IndexPlan::None, list organizations only).
+        (sym.clone(), sym).prop_map(|(a, b)| format!("q.sym = 'S{a}' or q.sym = 'S{b}'")),
+        // Negation.
+        price.prop_map(|p| format!("not (q.price <= {p})")),
+    ];
+    (cond, arb_event()).prop_map(|(cond, event)| TriggerDef { cond, event })
+}
+
+/// (sym, price, vol-or-null, op selector)
+fn arb_token() -> impl Strategy<Value = (u32, i64, Option<i64>, u8)> {
+    (
+        0u32..6,
+        0i64..110,
+        proptest::option::weighted(0.9, 0i64..45),
+        0u8..4,
+    )
+}
+
+fn mk_token(s: u32, p: i64, v: Option<i64>, op: u8) -> UpdateDescriptor {
+    let tuple = Tuple::new(vec![
+        Value::str(format!("S{s}")),
+        Value::Float(p as f64),
+        v.map(Value::Int).unwrap_or(Value::Null),
+    ]);
+    match op {
+        0 | 1 => UpdateDescriptor::insert(SRC, tuple),
+        2 => UpdateDescriptor::delete(SRC, tuple),
+        _ => {
+            let old = Tuple::new(vec![
+                Value::str(format!("S{}", (s + 1) % 6)),
+                Value::Float((p + 1) as f64),
+                Value::Int(-1),
+            ]);
+            UpdateDescriptor::update(SRC, old, tuple)
+        }
+    }
+}
+
+/// Register a trigger in the index and the oracle.
+fn add_both(ix: &PredicateIndex, oracle: &mut Oracle, def: &TriggerDef, tid: u64) {
+    let schema = schema();
+    let ctx = BindCtx::new(vec![("q".into(), &schema)]);
+    let cnf = to_cnf(&ctx.pred(&parse_expression(&def.cond).unwrap()).unwrap()).unwrap();
+    let canon = remap_var(&cnf, 0, 0, "q");
+    oracle.add(TriggerId(tid), def.event.clone(), canon.clone());
+    let (sig, consts) =
+        tman_expr::signature::analyze_selection(&canon, SRC, def.event.clone(), vec![]);
+    ix.add_predicate(
+        SRC,
+        &schema,
+        sig,
+        consts,
+        ExprId(tid),
+        TriggerId(tid),
+        NodeId(0),
+    )
+    .unwrap();
+}
+
+fn index_matches(ix: &PredicateIndex, token: &UpdateDescriptor) -> Vec<u64> {
+    let mut ids: Vec<u64> = ix
+        .match_token_vec(token)
+        .unwrap()
+        .into_iter()
+        .map(|m| m.trigger_id.raw())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn check_all(
+    ix: &PredicateIndex,
+    oracle: &Oracle,
+    tokens: &[UpdateDescriptor],
+    ctxt: &str,
+) -> std::result::Result<(), TestCaseError> {
+    for tok in tokens {
+        let got = index_matches(ix, tok);
+        let want = oracle.matches(tok).unwrap();
+        prop_assert_eq!(got, want, "{}: token {:?}", ctxt, tok);
+    }
+    Ok(())
+}
+
+/// Force every signature whose plan supports it into `kind`.
+fn force_org(sigs: &[Arc<SignatureRuntime>], kind: OrgKind) {
+    for rt in sigs {
+        if kind == OrgKind::MemIndex && matches!(rt.sig.index_plan, IndexPlan::None) {
+            continue; // the governor skips unindexable classes too
+        }
+        rt.set_org(kind).unwrap();
+    }
+}
+
+/// The property: index == oracle through create/drop, every forced
+/// organization, and a gauntlet of governor transitions.
+fn run_case(
+    triggers: &[TriggerDef],
+    drops: &[proptest::sample::Index],
+    tokens: &[(u32, i64, Option<i64>, u8)],
+) -> std::result::Result<(), TestCaseError> {
+    let db = Arc::new(Database::open_memory(512));
+    let cfg = IndexConfig {
+        adaptive: true, // organizations move only when this test says so
+        ..Default::default()
+    };
+    let ix = PredicateIndex::with_database(cfg.clone(), db);
+    let mut oracle = Oracle::default();
+    let tokens: Vec<UpdateDescriptor> = tokens
+        .iter()
+        .map(|&(s, p, v, op)| mk_token(s, p, v, op))
+        .collect();
+
+    for (i, def) in triggers.iter().enumerate() {
+        add_both(&ix, &mut oracle, def, i as u64);
+    }
+    check_all(&ix, &oracle, &tokens, "fresh")?;
+
+    // Drop a random subset of triggers from both sides.
+    for d in drops {
+        let tid = d.index(triggers.len()) as u64;
+        oracle.remove(TriggerId(tid));
+        ix.remove_trigger(TriggerId(tid)).unwrap();
+    }
+    check_all(&ix, &oracle, &tokens, "after drops")?;
+
+    // Every §5.2 organization, forced.
+    let sigs = ix.all_signatures();
+    for kind in [
+        OrgKind::MemList,
+        OrgKind::MemListDenorm,
+        OrgKind::MemIndex,
+        OrgKind::DbTable,
+        OrgKind::DbIndexed,
+    ] {
+        force_org(&sigs, kind);
+        check_all(&ix, &oracle, &tokens, kind.as_str())?;
+    }
+    force_org(&sigs, OrgKind::MemList);
+
+    // Governor gauntlet. Tiny thresholds: everything promotes.
+    let mut policy = GovernorPolicy::from_config(&cfg);
+    policy.list_to_index = 1;
+    policy.index_to_db = 4;
+    let report = ix.governor_pass(&policy);
+    prop_assert!(report.errors.is_empty(), "promote: {:?}", report.errors);
+    check_all(&ix, &oracle, &tokens, "governor promote")?;
+
+    // Budget zero: every memory-resident class spills.
+    policy.memory_budget = Some(0);
+    policy.min_spill_bytes = 1;
+    let report = ix.governor_pass(&policy);
+    prop_assert!(report.errors.is_empty(), "spill: {:?}", report.errors);
+    check_all(&ix, &oracle, &tokens, "budget spill")?;
+
+    // Huge thresholds, no budget: everything comes home.
+    policy.memory_budget = None;
+    policy.list_to_index = usize::MAX;
+    policy.index_to_db = usize::MAX;
+    let report = ix.governor_pass(&policy);
+    prop_assert!(report.errors.is_empty(), "refill: {:?}", report.errors);
+    check_all(&ix, &oracle, &tokens, "governor demote/refill")?;
+
+    Ok(())
+}
+
+#[test]
+fn predicate_index_agrees_with_naive_oracle() {
+    let cases: u32 = std::env::var("ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let mut runner = TestRunner::new_with_rng(
+        ProptestConfig {
+            cases,
+            failure_persistence: None,
+            ..ProptestConfig::default()
+        },
+        TestRng::from_seed(RngAlgorithm::ChaCha, &SEED),
+    );
+    let strategy = (
+        proptest::collection::vec(arb_trigger(), 1..32),
+        proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+        proptest::collection::vec(arb_token(), 1..16),
+    );
+    let result = runner.run(&strategy, |(triggers, drops, tokens)| {
+        run_case(&triggers, &drops, &tokens)
+    });
+    match result {
+        Ok(()) => {}
+        Err(TestError::Fail(why, (triggers, drops, tokens))) => panic!(
+            "oracle divergence: {why}\nshrunken case:\n  triggers: {triggers:#?}\n  \
+             drops: {drops:?}\n  tokens: {tokens:?}"
+        ),
+        Err(e) => panic!("oracle run aborted: {e}"),
+    }
+}
+
+/// Long-run variant for the scheduled CI job: more cases, bigger scenarios.
+#[test]
+#[ignore = "long-running oracle sweep; run with --ignored"]
+fn predicate_index_oracle_long() {
+    let mut runner = TestRunner::new_with_rng(
+        ProptestConfig {
+            cases: 1024,
+            failure_persistence: None,
+            ..ProptestConfig::default()
+        },
+        TestRng::from_seed(RngAlgorithm::ChaCha, &SEED),
+    );
+    let strategy = (
+        proptest::collection::vec(arb_trigger(), 1..64),
+        proptest::collection::vec(any::<proptest::sample::Index>(), 0..24),
+        proptest::collection::vec(arb_token(), 1..32),
+    );
+    let result = runner.run(&strategy, |(triggers, drops, tokens)| {
+        run_case(&triggers, &drops, &tokens)
+    });
+    if let Err(e) = result {
+        panic!("oracle long run failed: {e}");
+    }
+}
