@@ -42,6 +42,7 @@ fn main() {
         ("e9", e9_ranges),
         ("e10", e10_design),
         ("e11", e11_governor),
+        ("e12", e12_partitions),
     ];
     for (name, f) in all {
         if selected.is_empty() || selected.contains(name) {
@@ -338,7 +339,9 @@ fn e4_concurrency(o: &Opts) {
         let cfg = Config {
             num_cpus: Some(p),
             condition_partitions: p,
-            partition_min: 1_000,
+            // Gate fan-out at the engine's default so the bench and
+            // production agree on when Figure-5 partitioning kicks in.
+            partition_min: Config::default().partition_min,
             driver_period: Duration::from_micros(200),
             threshold: Duration::from_millis(20),
             ..Default::default()
@@ -926,4 +929,129 @@ fn e11_governor(o: &Opts) {
     }
     table.print();
     dump_metrics("e11", &metrics_json);
+}
+
+/// E12 — adaptive vs static condition-partition fan-out on a skewed
+/// hot-signature workload: one equivalence class of M same-condition
+/// triggers takes every token (§6's partitioning example). Static rows
+/// force the Figure-5 fan-out unconditionally; the adaptive row lets the
+/// partition controller pick a per-signature fan-out from observed driver
+/// utilization (and disengage when fanning out is pure overhead — on a
+/// single-CPU host the right answer is fan-out 1, so adaptive should track
+/// the best static row while the widest static row pays task overhead).
+/// Paper anchor: §6, Figure 5.
+fn e12_partitions(o: &Opts) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cpus} CPU(s).");
+    let m = if o.quick { 10_000 } else { 30_000 };
+    let n_tokens = 200;
+    let statics: &[usize] = &[1, 2, 4, 8];
+
+    let mut table = Table::new(&["config", "tokens/s", "speedup"]);
+    let mut metrics_json = String::new();
+    let mut rates: Vec<(String, f64)> = Vec::new();
+    let mut base = 0.0;
+    let mut partition_report = String::new();
+
+    let labels_cfgs: Vec<(String, Config)> = statics
+        .iter()
+        .map(|&p| {
+            (
+                format!("static p={p}"),
+                Config {
+                    condition_partitions: p,
+                    partition_min: Config::default().partition_min,
+                    driver_period: Duration::from_micros(200),
+                    threshold: Duration::from_millis(20),
+                    ..Default::default()
+                },
+            )
+        })
+        .chain(std::iter::once((
+            "adaptive".to_string(),
+            Config {
+                partitioning: triggerman::Partitioning::Adaptive,
+                partition_min: Config::default().partition_min,
+                driver_period: Duration::from_micros(200),
+                threshold: Duration::from_millis(20),
+                // Let controller passes run every maintenance visit.
+                governor_period: Duration::from_millis(1),
+                ..Default::default()
+            },
+        )))
+        .collect();
+
+    for (label, cfg) in labels_cfgs {
+        let adaptive = label == "adaptive";
+        let tman = TriggerMan::open_memory(traced(cfg)).unwrap();
+        tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+            .unwrap();
+        let src = tman.source("q").unwrap().id;
+        for i in 0..m {
+            tman.execute_command(&format!(
+                "create trigger c{i} from q when q.sym = 'HOT' and q.price > {} \
+                 do raise event E{i}(q.price)",
+                i % 997
+            ))
+            .unwrap();
+        }
+        let tokens: Vec<UpdateDescriptor> = (0..n_tokens)
+            .map(|i| {
+                UpdateDescriptor::insert(
+                    src,
+                    tman_common::Tuple::new(vec![
+                        Value::str("HOT"),
+                        Value::Float((i % 1000) as f64),
+                        Value::Int(0),
+                    ]),
+                )
+            })
+            .collect();
+        push_all(&tman, src, &tokens);
+        let pool = tman.start_drivers();
+        let t0 = Instant::now();
+        while tman.queue_len() > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let d = t0.elapsed();
+        if adaptive {
+            // Give the drained drivers a few maintenance visits so the
+            // partition controller demonstrably ran.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        pool.stop();
+        let r = rate(n_tokens, d);
+        if base == 0.0 {
+            base = r;
+        }
+        table.row(vec![label.clone(), human(r), format!("{:.2}x", r / base)]);
+        rates.push((label, r));
+        if adaptive {
+            partition_report = tman
+                .metrics_snapshot()
+                .format(Some("drivers"))
+                .unwrap_or_default();
+            metrics_json = tman.render_metrics_json();
+        }
+    }
+    table.print();
+
+    let static_rates: Vec<f64> = rates
+        .iter()
+        .filter(|(l, _)| l.starts_with("static"))
+        .map(|&(_, r)| r)
+        .collect();
+    let adaptive_rate = rates.last().map(|&(_, r)| r).unwrap_or(0.0);
+    let best = static_rates.iter().cloned().fold(0.0_f64, f64::max);
+    let worst = static_rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "adaptive = {:.2}x best static, {:.2}x worst static",
+        adaptive_rate / best.max(1e-9),
+        adaptive_rate / worst.max(1e-9)
+    );
+    println!("\nadaptive run, `show stats drivers`:");
+    print!("{partition_report}");
+    dump_metrics("e12", &metrics_json);
 }

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::partition_ctl::PartitionPolicy;
 use std::time::Duration;
 use tman_network::NetworkKind;
 use tman_predindex::IndexConfig;
@@ -33,6 +34,22 @@ pub enum TracingMode {
     Full,
 }
 
+/// How the Figure-5 condition-level fan-out is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Fan out into exactly [`Config::condition_partitions`] tasks
+    /// whenever a signature's class has at least
+    /// [`Config::partition_min`] entries.
+    Static,
+    /// Let the [`partition_ctl`](crate::partition_ctl) controller pick a
+    /// per-signature fan-out from observed driver utilization: engage
+    /// only when drivers are idle and token latency is queue-dominated,
+    /// widen/narrow with hysteresis, disengage under saturation.
+    /// [`Config::condition_partitions`] is ignored;
+    /// [`Config::partition_min`] still gates eligibility.
+    Adaptive,
+}
+
 /// TriggerMan configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -62,6 +79,11 @@ pub struct Config {
     pub condition_partitions: usize,
     /// Minimum triggerID-set size before partitioned probing kicks in.
     pub partition_min: usize,
+    /// Static (config-driven) vs adaptive (controller-driven) fan-out.
+    pub partitioning: Partitioning,
+    /// Tuning for the adaptive partition controller (ignored under
+    /// [`Partitioning::Static`]).
+    pub partition_policy: PartitionPolicy,
     /// Run each rule action as its own task (rule-action concurrency, §6)
     /// instead of inline with token processing.
     pub async_actions: bool,
@@ -108,6 +130,8 @@ impl Default for Config {
             threshold: Duration::from_millis(250),
             condition_partitions: 1,
             partition_min: 1024,
+            partitioning: Partitioning::Static,
+            partition_policy: PartitionPolicy::default(),
             async_actions: false,
             pool_pages: 4096,
             telemetry: true,

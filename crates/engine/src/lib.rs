@@ -48,16 +48,20 @@ pub mod config;
 pub mod driver;
 pub mod events;
 pub mod metrics;
+pub mod partition_ctl;
 pub mod queue;
 pub mod source;
 
 pub use cache::{PinnedTrigger, TriggerCache};
 pub use client::{Client, DataSourceClient};
 pub use compile::{CompiledAction, CompiledTrigger};
-pub use config::{Config, QueueMode, TracingMode};
+pub use config::{Config, Partitioning, QueueMode, TracingMode};
 pub use driver::{DriverPool, Task, TmanTestResult};
 pub use events::{EventBus, EventNotification};
 pub use metrics::MetricsSnapshot;
+pub use partition_ctl::{
+    DriverLoad, PartitionController, PartitionPolicy, PartitionReport, PassInputs,
+};
 pub use tman_network::NetworkKind;
 pub use tman_predindex::{GovernorPolicy, GovernorReport, OrgKind};
 pub use tman_telemetry::{
@@ -166,6 +170,14 @@ pub struct TriggerMan {
     /// `now_ns()` of the last organization-governor pass (0 = never); the
     /// driver that wins the CAS on this runs the next pass.
     governor_last_ns: AtomicU64,
+    /// The adaptive condition-partition controller
+    /// ([`Partitioning::Adaptive`] with telemetry on). `None` means no
+    /// passes run and published per-signature fan-outs are left alone.
+    partition_ctl: Option<PartitionController>,
+    /// `now_ns()` of the last partition-controller pass. Its own stamp,
+    /// so the controller and the governor never steal each other's
+    /// maintenance turn.
+    partition_last_ns: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -215,6 +227,19 @@ impl TriggerMan {
                 config.slow_token_threshold,
             ))),
         };
+        // The controller reads its load signals (busy ns, queue waits,
+        // expirations) from the metrics registry: with telemetry off those
+        // all read zero, so adaptive passes would be blind — leave the
+        // controller out and published fan-outs untouched.
+        let partition_ctl = match config.partitioning {
+            Partitioning::Adaptive if config.telemetry => {
+                let mut ctl =
+                    PartitionController::new(config.partition_policy.clone(), config.partition_min);
+                ctl.attach_telemetry(&telemetry.registry);
+                Some(ctl)
+            }
+            _ => None,
+        };
         let system = Arc::new(TriggerMan {
             cache,
             predindex,
@@ -236,6 +261,8 @@ impl TriggerMan {
             stats: EngineStats::default(),
             last_error: Mutex::new(None),
             governor_last_ns: AtomicU64::new(0),
+            partition_ctl,
+            partition_last_ns: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             catalog,
             db,
@@ -922,6 +949,12 @@ impl TriggerMan {
     /// Process one token synchronously (tests and the driver path).
     pub fn process_token(self: &Arc<Self>, token: &UpdateDescriptor) -> Result<()> {
         self.stats.tokens.bump();
+        // The engine drives the index root inline (signature walk + probes
+        // below) rather than through `PredicateIndex::match_token`, so the
+        // index's token counter must be fed here to keep
+        // `tman_index_tokens_total` meaning "tokens submitted to the root"
+        // on both paths.
+        self.predindex.stats().tokens.bump();
         let process = token.trace.span(SpanKind::Process, ROOT_SPAN);
         // Updates first retract the old image from stored-memory networks
         // (see DESIGN.md: the index is probed with the new image, so a
@@ -941,12 +974,13 @@ impl TriggerMan {
                 continue;
             }
             self.predindex.stats().signatures_probed.bump();
-            let parts = self.config.condition_partitions;
+            let parts = self.effective_partitions(&sig);
             if parts > 1 && sig.len() >= self.config.partition_min {
                 // Condition-level concurrency (Figure 5): split this
                 // signature's constant/triggerID sets into tasks. The
                 // fan-out span parents every partition's probe span, so the
                 // tree reassembles across driver threads.
+                sig.partition_activity().record_fanout();
                 let mut fanout = token.trace.span(SpanKind::Fanout, process.id());
                 fanout.set_args(sig.id.raw() as u64, parts as u64);
                 for part in 0..parts {
@@ -963,6 +997,18 @@ impl TriggerMan {
             }
         }
         Ok(())
+    }
+
+    /// Figure-5 fan-out width for one signature probe: the static config
+    /// knob under [`Partitioning::Static`], or the partition controller's
+    /// published per-signature decision under [`Partitioning::Adaptive`]
+    /// (read even when no controller instance runs, so tests can force a
+    /// fan-out through [`tman_predindex::PartitionActivity::set_fanout`]).
+    fn effective_partitions(&self, sig: &Arc<SignatureRuntime>) -> usize {
+        match self.config.partitioning {
+            Partitioning::Static => self.config.condition_partitions,
+            Partitioning::Adaptive => sig.partition_activity().fanout(),
+        }
     }
 
     fn probe_signature(
@@ -1201,9 +1247,16 @@ impl TriggerMan {
                     // Maintenance path: with nothing to process, this
                     // driver may run an organization-governor pass (the
                     // paper's reorganizations happen off the insert and
-                    // probe paths).
+                    // probe paths) and/or a partition-controller pass.
                     self.maybe_run_governor();
-                    return TmanTestResult::QueueEmpty;
+                    self.maybe_run_partition_pass();
+                    // Tasks pushed concurrently must not be stranded for a
+                    // full driver period: re-check before reporting empty.
+                    // (Only the task queue — a dequeue error above must
+                    // not turn into a spin on a broken update queue.)
+                    if self.tasks.is_empty() {
+                        return TmanTestResult::QueueEmpty;
+                    }
                 }
                 Some(t) => {
                     self.execute_task(t);
@@ -1213,10 +1266,25 @@ impl TriggerMan {
                 }
             }
             if start.elapsed() >= threshold {
-                self.telemetry.threshold_expirations.bump();
-                return TmanTestResult::TasksRemaining;
+                // A threshold expiry only means "come back immediately"
+                // when something is actually left — e.g. a `SigPartition`
+                // fan-out enqueued by the last token. An expiry with
+                // nothing pending is a clean drain, not saturation (the
+                // expiration counter feeds the partition controller's
+                // saturation signal, so false positives matter).
+                if self.has_pending_work() {
+                    self.telemetry.threshold_expirations.bump();
+                    self.maybe_run_partition_pass();
+                    return TmanTestResult::TasksRemaining;
+                }
+                return TmanTestResult::QueueEmpty;
             }
         }
+    }
+
+    /// Anything left for a driver to do right now?
+    fn has_pending_work(&self) -> bool {
+        !self.tasks.is_empty() || !self.queue.is_empty()
     }
 
     /// Is the organization governor enabled by this configuration?
@@ -1274,6 +1342,67 @@ impl TriggerMan {
             }
         }
         report
+    }
+
+    /// Opportunistic partition-controller entry point, called from the
+    /// drivers' maintenance path. Unlike the governor it also runs on the
+    /// threshold-expiry (saturated) exit — the controller must be able to
+    /// *disengage* fan-out while the drivers never see an empty queue. At
+    /// most one pass per [`Config::governor_period`] across all threads,
+    /// on its own CAS stamp.
+    fn maybe_run_partition_pass(&self) {
+        if self.partition_ctl.is_none() {
+            return;
+        }
+        let now = now_ns();
+        let last = self.partition_last_ns.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < self.config.governor_period.as_nanos() as u64 {
+            return;
+        }
+        if self
+            .partition_last_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.run_partition_pass();
+        }
+    }
+
+    /// Run one condition-partition controller pass now (see
+    /// [`PartitionController::pass`]): fold driver-utilization telemetry
+    /// into the decayed load signals and publish per-signature fan-out
+    /// decisions. Returns `None` when no controller is configured
+    /// ([`Partitioning::Static`], or telemetry off). Normally invoked from
+    /// the drivers' maintenance path; public so tests and operators can
+    /// force a pass.
+    pub fn run_partition_pass(&self) -> Option<PartitionReport> {
+        let ctl = self.partition_ctl.as_ref()?;
+        let inputs = PassInputs {
+            now_ns: now_ns(),
+            busy_ns: self.telemetry.tman_test_ns.summary().sum,
+            test_calls: self.telemetry.tman_test_calls.get(),
+            expirations: self.telemetry.threshold_expirations.get(),
+            queue_wait_ns: self.telemetry.queue.wait_ns.summary().sum,
+            queue_depth: self.queue_len(),
+            num_drivers: self.config.num_drivers(),
+        };
+        let sigs = self.predindex.all_signatures();
+        let report = ctl.pass(&sigs, inputs);
+        if let Some(tracer) = self.tracer.as_ref() {
+            if report.transitions > 0 {
+                let handle = tracer.begin();
+                let now = now_ns();
+                handle.record_complete(
+                    SpanKind::PartitionCtl,
+                    ROOT_SPAN,
+                    now.saturating_sub(report.pass_ns),
+                    report.pass_ns,
+                    report.transitions as u64,
+                    report.target_fanout as u64,
+                );
+            }
+        }
+        Some(report)
     }
 
     /// Drain everything synchronously (tests, examples). Equivalent to a

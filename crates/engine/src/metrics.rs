@@ -137,6 +137,29 @@ pub struct DriverMetrics {
     pub tasks_sig_partition: u64,
     /// Type-2 tasks (rule action) executed.
     pub tasks_action: u64,
+    /// Adaptive condition-partition controller.
+    pub partition: PartitionMetrics,
+}
+
+/// Condition-partition controller totals
+/// ([`crate::partition_ctl::PartitionController`]). All zero under
+/// [`Partitioning::Static`](crate::config::Partitioning).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionMetrics {
+    /// Controller passes run.
+    pub passes: u64,
+    /// Signatures whose fan-out left 1 (partitioning engaged).
+    pub engagements: u64,
+    /// Signatures whose fan-out returned to 1 (partitioning disengaged).
+    pub disengagements: u64,
+    /// Fan-out increases applied (engagements included).
+    pub widenings: u64,
+    /// Fan-out decreases applied (disengagements included).
+    pub narrowings: u64,
+    /// Widest currently-published per-signature fan-out (gauge).
+    pub current_fanout: i64,
+    /// Controller pass duration.
+    pub pass_ns: HistogramSummary,
 }
 
 /// Predicate-index metrics.
@@ -394,6 +417,30 @@ impl MetricsSnapshot {
                 tasks_token: t.tasks_executed[TASK_TOKEN].get(),
                 tasks_sig_partition: t.tasks_executed[TASK_SIG_PARTITION].get(),
                 tasks_action: t.tasks_executed[TASK_ACTION].get(),
+                partition: PartitionMetrics {
+                    passes: t.registry.counter("tman_partition_passes_total", &[]).get(),
+                    engagements: t
+                        .registry
+                        .counter("tman_partition_engagements_total", &[])
+                        .get(),
+                    disengagements: t
+                        .registry
+                        .counter("tman_partition_disengagements_total", &[])
+                        .get(),
+                    widenings: t
+                        .registry
+                        .counter("tman_partition_widenings_total", &[])
+                        .get(),
+                    narrowings: t
+                        .registry
+                        .counter("tman_partition_narrowings_total", &[])
+                        .get(),
+                    current_fanout: t.registry.gauge("tman_partition_fanout", &[]).get(),
+                    pass_ns: t
+                        .registry
+                        .histogram("tman_partition_pass_ns", &[])
+                        .summary(),
+                },
             },
             index: IndexMetrics {
                 tokens: is.tokens.get(),
@@ -459,13 +506,14 @@ impl MetricsSnapshot {
 
     /// Human-readable rendering for the console. `None` renders every
     /// section; otherwise one of [`MetricsSnapshot::SUBSYSTEMS`] (with
-    /// `predindex` and `action` accepted as aliases).
+    /// `predindex`, `action`, and `drivers` accepted as aliases).
     pub fn format(&self, subsystem: Option<&str>) -> Result<String> {
         let canonical = match subsystem.map(|s| s.to_lowercase()) {
             None => None,
             Some(s) => Some(match s.as_str() {
                 "predindex" => "index".to_string(),
                 "action" => "actions".to_string(),
+                "drivers" => "driver".to_string(),
                 other if Self::SUBSYSTEMS.contains(&other) => other.to_string(),
                 other => {
                     return Err(TmanError::Invalid(format!(
@@ -523,6 +571,16 @@ impl MetricsSnapshot {
                 "  tasks              token={} sig_partition={} action={}\n",
                 self.driver.tasks_token, self.driver.tasks_sig_partition, self.driver.tasks_action
             ));
+            let p = &self.driver.partition;
+            out.push_str(&format!(
+                "  partition passes   {} (fanout {})\n",
+                p.passes, p.current_fanout
+            ));
+            out.push_str(&format!(
+                "  partition moves    engage={} disengage={} widen={} narrow={}\n",
+                p.engagements, p.disengagements, p.widenings, p.narrowings
+            ));
+            out.push_str(&format!("  partition pass     {}\n", hist(&p.pass_ns)));
         }
         if want("index") {
             out.push_str("index:\n");

@@ -1,0 +1,491 @@
+//! The condition-partition **controller**: adaptive Figure-5 fan-out.
+//!
+//! §6 of the paper uses partitioned constant/triggerID sets to keep N
+//! drivers busy when one hot signature dominates — but fanning a token out
+//! into `SigPartition` tasks is pure overhead when the drivers are already
+//! saturated or the queue is empty. The static `condition_partitions` knob
+//! cannot tell those regimes apart; this module closes the loop from the
+//! driver-utilization signals the telemetry subsystem already exports:
+//!
+//! * **busy fraction** — delta of the `tman_test_ns` histogram sum over
+//!   wall time × driver count: how much of the drivers' capacity was spent
+//!   inside `tman_test`;
+//! * **threshold-expiration rate** — expirations per `tman_test` call; a
+//!   high rate means calls keep running out of THRESHOLD with work left,
+//!   i.e. the drivers are saturated;
+//! * **queue dominance** — delta of queued-wait nanoseconds vs busy
+//!   nanoseconds (tokens spending longer waiting than the drivers spend
+//!   processing), plus the live queue depth.
+//!
+//! A controller **pass** runs from the drivers' maintenance path in the
+//! same CAS-throttled slot as the predicate-index governor (its own
+//! timestamp, so the two loops never steal each other's turn). It folds
+//! the raw deltas into decayed EWMAs, picks one *target* fan-out with
+//! hysteresis ([`decide_fanout`]), and publishes a per-signature decision
+//! into each [`SignatureRuntime`]'s
+//! [`PartitionActivity`](tman_predindex::PartitionActivity): hot
+//! signatures (own probe-rate share ≥ `hot_fraction`, class at least
+//! `partition_min` entries) get the target, everything else stays at 1.
+//! The probe path reads that cell instead of raw config when
+//! [`Partitioning::Adaptive`](crate::config::Partitioning) is selected.
+//!
+//! Coexistence with the governor is by construction: partition assignment
+//! hashes stable `expr_id`s (see
+//! [`SignatureRuntime::probe_partition`]), so an organization migration
+//! between two partition tasks of one fan-out cannot shift an entry
+//! between partitions, and the controller's EWMA fold keeps its own probe
+//! snapshot so the governor's [`SigActivity::tick`](tman_predindex::SigActivity::tick)
+//! deltas stay untouched.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tman_common::stats::Counter;
+use tman_predindex::SignatureRuntime;
+use tman_telemetry::{GaugeHandle, HistogramHandle, Registry};
+
+/// Controller tuning. The defaults engage partitioning only when the
+/// drivers are measurably idle *and* token latency is queue-dominated,
+/// and disengage it outright under saturation.
+#[derive(Debug, Clone)]
+pub struct PartitionPolicy {
+    /// Hard cap on the per-signature fan-out. `0` means "the number of
+    /// drivers" — fanning wider than the driver pool only adds task-queue
+    /// overhead, so on a single-driver host the adaptive controller never
+    /// partitions at all.
+    pub max_fanout: usize,
+    /// Widening requires the decayed busy fraction at or under this (the
+    /// drivers have spare capacity to soak up partition tasks).
+    pub engage_busy_max: f64,
+    /// At or above this decayed busy fraction the controller disengages
+    /// (fan-out back to 1) immediately: under saturation, partition tasks
+    /// only lengthen the task queue.
+    pub disengage_busy_min: f64,
+    /// Widening requires the decayed expirations-per-`tman_test`-call at
+    /// or under this; twice this value counts as saturation and
+    /// disengages.
+    pub expiration_rate_max: f64,
+    /// A signature is eligible for fan-out only while its decayed probe
+    /// rate is at least this fraction of the total across all signatures
+    /// (Figure 5 pays off only for *hot* signatures).
+    pub hot_fraction: f64,
+    /// EWMA weight of the newest sample when folding busy fraction,
+    /// expiration rate, and per-signature probe rates.
+    pub decay: f64,
+    /// Passes that must elapse after a signature's last fan-out change
+    /// before it may *widen* again. Narrowing and disengaging are
+    /// immediate — backing off under saturation must not wait.
+    pub cooldown_passes: u64,
+    /// Queue dominance threshold: widening requires queued-wait
+    /// nanoseconds ≥ `queue_wait_factor` × busy nanoseconds over the last
+    /// inter-pass window (or a non-empty queue right now).
+    pub queue_wait_factor: f64,
+}
+
+impl Default for PartitionPolicy {
+    fn default() -> PartitionPolicy {
+        PartitionPolicy {
+            max_fanout: 0,
+            engage_busy_max: 0.5,
+            disengage_busy_min: 0.85,
+            expiration_rate_max: 0.25,
+            hot_fraction: 0.25,
+            decay: 0.3,
+            cooldown_passes: 2,
+            queue_wait_factor: 1.0,
+        }
+    }
+}
+
+/// Decayed driver-utilization signals for one pass (inputs to
+/// [`decide_fanout`]; pure data so the policy is unit-testable).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriverLoad {
+    /// EWMA fraction of driver wall-capacity spent inside `tman_test`
+    /// (clamped to `[0, 1]`).
+    pub busy_frac: f64,
+    /// EWMA threshold expirations per `tman_test` call.
+    pub expiration_rate: f64,
+    /// Live update-queue + task-queue depth at pass time.
+    pub queue_depth: usize,
+    /// Queued-wait nanoseconds over busy nanoseconds in the last window.
+    pub queue_wait_ratio: f64,
+}
+
+/// The hysteresis decision: the fan-out hot signatures should use, given
+/// the current target `cur`. Saturation narrows to 1 immediately; idle,
+/// queue-dominated drivers widen one doubling per pass up to `max_fanout`;
+/// anything in between holds.
+pub fn decide_fanout(
+    cur: usize,
+    load: &DriverLoad,
+    policy: &PartitionPolicy,
+    max_fanout: usize,
+) -> usize {
+    let cur = cur.max(1);
+    if load.busy_frac >= policy.disengage_busy_min
+        || load.expiration_rate >= 2.0 * policy.expiration_rate_max
+    {
+        return 1;
+    }
+    let idle = load.busy_frac <= policy.engage_busy_max
+        && load.expiration_rate <= policy.expiration_rate_max;
+    let queue_dominated =
+        load.queue_wait_ratio >= policy.queue_wait_factor || load.queue_depth >= 1;
+    if idle && queue_dominated {
+        return (cur * 2).clamp(1, max_fanout.max(1));
+    }
+    cur.min(max_fanout.max(1))
+}
+
+/// Aggregate controller counters, shared `Arc`s so they can be registered
+/// into a telemetry registry ([`PartitionController::attach_telemetry`]).
+#[derive(Debug, Clone, Default)]
+pub struct PartitionStats {
+    /// Controller passes run.
+    pub passes: Arc<Counter>,
+    /// Signatures whose fan-out left 1 (partitioning engaged).
+    pub engagements: Arc<Counter>,
+    /// Signatures whose fan-out returned to 1 (partitioning disengaged).
+    pub disengagements: Arc<Counter>,
+    /// Fan-out increases applied (engagements included).
+    pub widenings: Arc<Counter>,
+    /// Fan-out decreases applied (disengagements included).
+    pub narrowings: Arc<Counter>,
+}
+
+/// Cumulative telemetry readings the engine hands each pass. The
+/// controller differences them against its previous snapshot; keeping the
+/// reads in the engine keeps this module free of engine internals and
+/// fully drivable from tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassInputs {
+    /// Monotonic wall clock, nanoseconds.
+    pub now_ns: u64,
+    /// Cumulative nanoseconds spent inside `tman_test` across all drivers
+    /// (`tman_test_ns` histogram sum).
+    pub busy_ns: u64,
+    /// Cumulative `tman_test` calls.
+    pub test_calls: u64,
+    /// Cumulative threshold expirations.
+    pub expirations: u64,
+    /// Cumulative queued-wait nanoseconds (`tman_queue_wait_ns` sum).
+    pub queue_wait_ns: u64,
+    /// Live update-queue + task-queue depth.
+    pub queue_depth: usize,
+    /// Driver-pool size (denominator of the busy fraction; resolves
+    /// `max_fanout == 0`).
+    pub num_drivers: usize,
+}
+
+/// What one controller pass decided and applied.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionReport {
+    /// Signatures examined.
+    pub examined: usize,
+    /// The pass's target fan-out for hot signatures.
+    pub target_fanout: usize,
+    /// Fan-out changes actually published (all kinds).
+    pub transitions: usize,
+    /// Of those, engagements (1 → >1).
+    pub engagements: usize,
+    /// Of those, disengagements (>1 → 1).
+    pub disengagements: usize,
+    /// The decayed load signals the decision used.
+    pub load: DriverLoad,
+    /// Wall time of the whole pass.
+    pub pass_ns: u64,
+}
+
+/// Previous-pass snapshots and EWMAs (all controller-owned, behind the
+/// pass lock).
+#[derive(Debug, Default)]
+struct CtlState {
+    last_ns: u64,
+    last_busy_ns: u64,
+    last_test_calls: u64,
+    last_expirations: u64,
+    last_queue_wait_ns: u64,
+    busy_frac_ewma: f64,
+    expiration_rate_ewma: f64,
+    pass_no: u64,
+}
+
+/// The per-signature partitioning controller. One instance per engine,
+/// its pass serialized by an internal lock (drivers race only on the
+/// engine's CAS throttle, which admits one caller per period anyway).
+pub struct PartitionController {
+    policy: PartitionPolicy,
+    partition_min: usize,
+    stats: PartitionStats,
+    fanout_gauge: GaugeHandle,
+    pass_ns: HistogramHandle,
+    state: Mutex<CtlState>,
+}
+
+impl PartitionController {
+    /// A controller with no telemetry attached (counters still count,
+    /// they are just not registered anywhere).
+    pub fn new(policy: PartitionPolicy, partition_min: usize) -> PartitionController {
+        PartitionController {
+            policy,
+            partition_min,
+            stats: PartitionStats::default(),
+            fanout_gauge: GaugeHandle::noop(),
+            pass_ns: HistogramHandle::noop(),
+            state: Mutex::new(CtlState::default()),
+        }
+    }
+
+    /// Register the controller's instruments:
+    /// `tman_partition_{passes,engagements,disengagements,widenings,narrowings}_total`,
+    /// the `tman_partition_fanout` gauge (current hot-signature target) and
+    /// the `tman_partition_pass_ns` histogram.
+    pub fn attach_telemetry(&mut self, registry: &Arc<Registry>) {
+        registry.register_counter(
+            "tman_partition_passes_total",
+            &[],
+            self.stats.passes.clone(),
+        );
+        registry.register_counter(
+            "tman_partition_engagements_total",
+            &[],
+            self.stats.engagements.clone(),
+        );
+        registry.register_counter(
+            "tman_partition_disengagements_total",
+            &[],
+            self.stats.disengagements.clone(),
+        );
+        registry.register_counter(
+            "tman_partition_widenings_total",
+            &[],
+            self.stats.widenings.clone(),
+        );
+        registry.register_counter(
+            "tman_partition_narrowings_total",
+            &[],
+            self.stats.narrowings.clone(),
+        );
+        self.fanout_gauge = registry.gauge("tman_partition_fanout", &[]);
+        self.pass_ns = registry.histogram("tman_partition_pass_ns", &[]);
+    }
+
+    /// The aggregate counters (for snapshotting).
+    pub fn stats(&self) -> &PartitionStats {
+        &self.stats
+    }
+
+    /// The policy this controller runs.
+    pub fn policy(&self) -> &PartitionPolicy {
+        &self.policy
+    }
+
+    /// One controller pass: fold the telemetry deltas into the decayed
+    /// load signals, decide the target fan-out, and publish per-signature
+    /// decisions (hot + large classes get the target, everything else
+    /// returns to 1). Widening is cooldown-gated per signature; narrowing
+    /// and disengaging apply immediately.
+    pub fn pass(&self, sigs: &[Arc<SignatureRuntime>], inputs: PassInputs) -> PartitionReport {
+        let t0 = std::time::Instant::now();
+        let mut st = self.state.lock();
+        st.pass_no += 1;
+        self.stats.passes.bump();
+
+        // Raw deltas since the previous pass. The first pass differences
+        // against zero, which over-weights history; the clamp and EWMA
+        // absorb that.
+        let wall = inputs.now_ns.saturating_sub(st.last_ns).max(1);
+        let busy = inputs.busy_ns.saturating_sub(st.last_busy_ns);
+        let calls = inputs.test_calls.saturating_sub(st.last_test_calls);
+        let expirations = inputs.expirations.saturating_sub(st.last_expirations);
+        let waited = inputs.queue_wait_ns.saturating_sub(st.last_queue_wait_ns);
+        st.last_ns = inputs.now_ns;
+        st.last_busy_ns = inputs.busy_ns;
+        st.last_test_calls = inputs.test_calls;
+        st.last_expirations = inputs.expirations;
+        st.last_queue_wait_ns = inputs.queue_wait_ns;
+
+        let capacity = wall.saturating_mul(inputs.num_drivers.max(1) as u64).max(1);
+        let busy_frac_now = (busy as f64 / capacity as f64).clamp(0.0, 1.0);
+        let exp_rate_now = expirations as f64 / calls.max(1) as f64;
+        let a = self.policy.decay;
+        st.busy_frac_ewma = a * busy_frac_now + (1.0 - a) * st.busy_frac_ewma;
+        st.expiration_rate_ewma = a * exp_rate_now + (1.0 - a) * st.expiration_rate_ewma;
+
+        let load = DriverLoad {
+            busy_frac: st.busy_frac_ewma,
+            expiration_rate: st.expiration_rate_ewma,
+            queue_depth: inputs.queue_depth,
+            queue_wait_ratio: waited as f64 / busy.max(1) as f64,
+        };
+
+        let max_fanout = if self.policy.max_fanout == 0 {
+            inputs.num_drivers.max(1)
+        } else {
+            self.policy.max_fanout
+        };
+        // The global target evolves from the widest currently-published
+        // fan-out, so widening compounds across passes and narrowing takes
+        // effect everywhere at once.
+        let cur_target = sigs
+            .iter()
+            .map(|s| s.partition_activity().fanout())
+            .max()
+            .unwrap_or(1);
+        let target = decide_fanout(cur_target, &load, &self.policy, max_fanout);
+
+        // Per-signature probe-rate fold (controller-owned snapshots).
+        let rates: Vec<f64> = sigs
+            .iter()
+            .map(|s| {
+                s.partition_activity()
+                    .tick_probe_rate(s.activity().probes(), a)
+            })
+            .collect();
+        let total_rate: f64 = rates.iter().sum();
+
+        let mut report = PartitionReport {
+            examined: sigs.len(),
+            target_fanout: target,
+            load,
+            ..PartitionReport::default()
+        };
+        for (sig, &rate) in sigs.iter().zip(&rates) {
+            let pa = sig.partition_activity();
+            let hot = total_rate > 0.0 && rate >= self.policy.hot_fraction * total_rate;
+            let eligible = hot && sig.len() >= self.partition_min;
+            let desired = if eligible { target } else { 1 };
+            let old = pa.fanout();
+            let new = if desired > old {
+                // Cooldown gates widening only.
+                if st.pass_no.saturating_sub(pa.last_change_pass()) >= self.policy.cooldown_passes {
+                    desired
+                } else {
+                    old
+                }
+            } else {
+                desired
+            };
+            if new == old {
+                continue;
+            }
+            pa.set_fanout(new);
+            pa.set_last_change_pass(st.pass_no);
+            report.transitions += 1;
+            if new > old {
+                self.stats.widenings.bump();
+                if old == 1 {
+                    self.stats.engagements.bump();
+                    report.engagements += 1;
+                }
+            } else {
+                self.stats.narrowings.bump();
+                if new == 1 {
+                    self.stats.disengagements.bump();
+                    report.disengagements += 1;
+                }
+            }
+        }
+
+        // Publish the widest live fan-out on the gauge (handles have no
+        // absolute set; adjust by the delta).
+        let widest = sigs
+            .iter()
+            .map(|s| s.partition_activity().fanout())
+            .max()
+            .unwrap_or(1) as i64;
+        self.fanout_gauge.add(widest - self.fanout_gauge.get());
+        drop(st);
+        report.pass_ns = t0.elapsed().as_nanos() as u64;
+        self.pass_ns.record(report.pass_ns);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_queued() -> DriverLoad {
+        DriverLoad {
+            busy_frac: 0.1,
+            expiration_rate: 0.0,
+            queue_depth: 4,
+            queue_wait_ratio: 3.0,
+        }
+    }
+
+    #[test]
+    fn widens_one_doubling_when_idle_and_queue_dominated() {
+        let p = PartitionPolicy::default();
+        assert_eq!(decide_fanout(1, &idle_queued(), &p, 8), 2);
+        assert_eq!(decide_fanout(2, &idle_queued(), &p, 8), 4);
+        assert_eq!(decide_fanout(8, &idle_queued(), &p, 8), 8);
+    }
+
+    #[test]
+    fn saturation_disengages_immediately() {
+        let p = PartitionPolicy::default();
+        let busy = DriverLoad {
+            busy_frac: 0.9,
+            ..idle_queued()
+        };
+        assert_eq!(decide_fanout(8, &busy, &p, 8), 1);
+        let expiring = DriverLoad {
+            expiration_rate: 0.6,
+            ..idle_queued()
+        };
+        assert_eq!(decide_fanout(4, &expiring, &p, 8), 1);
+    }
+
+    #[test]
+    fn middle_band_holds() {
+        let p = PartitionPolicy::default();
+        // Busy enough to forbid widening, not enough to disengage.
+        let mid = DriverLoad {
+            busy_frac: 0.7,
+            ..idle_queued()
+        };
+        assert_eq!(decide_fanout(4, &mid, &p, 8), 4);
+        // Idle but nothing queued: no reason to fan out.
+        let empty = DriverLoad {
+            busy_frac: 0.1,
+            expiration_rate: 0.0,
+            queue_depth: 0,
+            queue_wait_ratio: 0.0,
+        };
+        assert_eq!(decide_fanout(1, &empty, &p, 8), 1);
+        assert_eq!(decide_fanout(4, &empty, &p, 8), 4);
+    }
+
+    #[test]
+    fn max_fanout_caps_widening_and_holding() {
+        let p = PartitionPolicy::default();
+        // Single driver: the adaptive controller never partitions.
+        assert_eq!(decide_fanout(1, &idle_queued(), &p, 1), 1);
+        // A narrowed cap pulls an over-wide published value back down.
+        assert_eq!(decide_fanout(8, &idle_queued(), &p, 4), 4);
+    }
+
+    #[test]
+    fn pass_engages_hot_signature_and_counts_transitions() {
+        // Pure-controller test without an engine: drive pass() with
+        // synthetic inputs against an empty signature slice, then check
+        // the bookkeeping via the report.
+        let ctl = PartitionController::new(PartitionPolicy::default(), 1);
+        let report = ctl.pass(
+            &[],
+            PassInputs {
+                now_ns: 1_000_000,
+                num_drivers: 4,
+                queue_depth: 2,
+                ..PassInputs::default()
+            },
+        );
+        assert_eq!(report.examined, 0);
+        assert_eq!(report.transitions, 0);
+        assert_eq!(ctl.stats().passes.get(), 1);
+        // Idle + queued: target widens from 1 even with no signatures.
+        assert_eq!(report.target_fanout, 2);
+    }
+}

@@ -1056,3 +1056,259 @@ fn memory_budget_spills_class_via_maintenance_path() {
     tman.run_until_quiescent().unwrap();
     assert_eq!(rx.try_iter().count(), 1);
 }
+
+// ----- condition-partition controller (adaptive Figure-5 fan-out) ------------
+
+/// Regression for the `TmanTestResult` threshold semantics: `SigPartition`
+/// tasks enqueued by the last token before THRESHOLD expires are pending
+/// work, so the call must report `TasksRemaining` — stranding them until
+/// the next driver period serializes exactly the fan-out that was supposed
+/// to add parallelism. Conversely, an expiry with nothing left is a clean
+/// drain and must *not* count as a threshold expiration (the expiration
+/// rate feeds the partition controller's saturation signal).
+#[test]
+fn sig_partition_fanout_near_threshold_not_stranded() {
+    let cfg = Config {
+        condition_partitions: 4,
+        partition_min: 1,
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    tman.execute_command("create trigger t from emp when emp.dept >= 0 do notify 'x'")
+        .unwrap();
+    tman.run_sql("insert into emp values ('a', 1, 1)").unwrap();
+
+    // A zero threshold expires right after the first task: the token's
+    // probe fans out into 4 SigPartition tasks that are still queued.
+    assert_eq!(
+        tman.tman_test(Duration::ZERO),
+        TmanTestResult::TasksRemaining
+    );
+    assert!(!tman.tasks.is_empty(), "fan-out tasks must be queued");
+    assert_eq!(tman.telemetry.threshold_expirations.get(), 1);
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 1);
+
+    // Tiny threshold on a drained engine: expiry with nothing pending is
+    // QueueEmpty, and the expiration counter must not move.
+    assert_eq!(tman.tman_test(Duration::ZERO), TmanTestResult::QueueEmpty);
+    assert_eq!(tman.telemetry.threshold_expirations.get(), 1);
+}
+
+/// The controller integration loop: a hot signature engages under idle +
+/// queue-dominated load, widens one doubling per pass up to the cap, and
+/// disengages immediately under saturation — all visible through the probe
+/// path, the metrics snapshot, and `show stats drivers`.
+#[test]
+fn adaptive_controller_engages_and_disengages() {
+    let cfg = Config {
+        partitioning: Partitioning::Adaptive,
+        partition_min: 1,
+        partition_policy: PartitionPolicy {
+            max_fanout: 4,
+            cooldown_passes: 1,
+            ..Default::default()
+        },
+        num_cpus: Some(4),
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    let rx = tman.subscribe("notify");
+    tman.execute_command("create trigger hot from emp when emp.dept >= 0 do notify 'x'")
+        .unwrap();
+    // Warm the signature's probe counter so the controller sees it as hot.
+    for i in 0..8 {
+        tman.run_sql(&format!("insert into emp values ('p{i}', 1, {i})"))
+            .unwrap();
+    }
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 8);
+
+    let ctl = tman.partition_ctl.as_ref().expect("adaptive controller");
+    let sigs = tman.predicate_index().all_signatures();
+    assert_eq!(sigs.len(), 1);
+    let idle = |pass: u64| PassInputs {
+        now_ns: pass * 1_000_000_000,
+        busy_ns: pass * 1_000,
+        test_calls: pass * 100,
+        expirations: 0,
+        queue_wait_ns: pass * 1_000_000, // wait >> busy: queue-dominated
+        queue_depth: 8,
+        num_drivers: 4,
+    };
+
+    // Pass 1: idle and queue-dominated → engage at fan-out 2.
+    let r = ctl.pass(&sigs, idle(1));
+    assert_eq!(r.target_fanout, 2);
+    assert_eq!((r.engagements, r.transitions), (1, 1));
+    assert_eq!(sigs[0].partition_activity().fanout(), 2);
+    assert_eq!(tman.effective_partitions(&sigs[0]), 2);
+
+    // Pass 2: still idle → widen to the max_fanout cap.
+    let r = ctl.pass(&sigs, idle(2));
+    assert_eq!(r.target_fanout, 4);
+    assert_eq!(sigs[0].partition_activity().fanout(), 4);
+
+    // The probe path fans out with the published decision.
+    tman.run_sql("insert into emp values ('q', 1, 1)").unwrap();
+    tman.run_until_quiescent().unwrap();
+    assert_eq!(rx.try_iter().count(), 1);
+    let m = tman.metrics_snapshot();
+    assert_eq!(m.driver.tasks_sig_partition, 4);
+
+    // Pass 3: a burst of threshold expirations (saturation) → disengage.
+    let r = ctl.pass(
+        &sigs,
+        PassInputs {
+            now_ns: 3_000_000_000,
+            busy_ns: 3_000,
+            test_calls: 300,
+            expirations: 400,
+            queue_wait_ns: 3_000_000,
+            queue_depth: 8,
+            num_drivers: 4,
+        },
+    );
+    assert_eq!(r.target_fanout, 1);
+    assert_eq!((r.disengagements, r.transitions), (1, 1));
+    assert_eq!(sigs[0].partition_activity().fanout(), 1);
+
+    // Counters reached the registry and the console report.
+    let m = tman.metrics_snapshot();
+    assert_eq!(m.driver.partition.passes, 3);
+    assert_eq!(m.driver.partition.engagements, 1);
+    assert_eq!(m.driver.partition.widenings, 2);
+    assert_eq!(m.driver.partition.disengagements, 1);
+    assert_eq!(m.driver.partition.current_fanout, 1);
+    let text = tman.render_text();
+    for series in [
+        "tman_partition_passes_total 3",
+        "tman_partition_engagements_total 1",
+        "tman_partition_fanout 1",
+    ] {
+        assert!(text.contains(series), "missing '{series}' in:\n{text}");
+    }
+    let CommandOutput::Stats(s) = tman.execute_command("show stats drivers").unwrap() else {
+        panic!("expected stats output");
+    };
+    assert!(s.contains("partition passes"), "missing row in:\n{s}");
+    assert!(s.contains("engage=1"), "missing transitions in:\n{s}");
+}
+
+/// Satellite stress: partitioned fan-out + async actions while triggers in
+/// the same signature class are created/dropped, the organization governor
+/// migrates the class, and the published fan-out is toggled mid-stream.
+/// Every matching token must fire the sentinel exactly once — no lost and
+/// no duplicated firings — and the run must not deadlock.
+fn partition_churn_stress(tokens: usize, churn_iters: usize) {
+    let cfg = Config {
+        // Adaptive with telemetry off: no controller instance runs, so the
+        // test owns the published per-signature fan-out completely.
+        partitioning: Partitioning::Adaptive,
+        telemetry: false,
+        partition_min: 1,
+        async_actions: true,
+        index: tman_predindex::IndexConfig {
+            adaptive: true,
+            list_to_index: 8,
+            ..Default::default()
+        },
+        driver_period: Duration::from_millis(1),
+        threshold: Duration::from_millis(5),
+        num_cpus: Some(4),
+        ..Default::default()
+    };
+    let tman = TriggerMan::open_memory(cfg).unwrap();
+    setup_emp(&tman);
+    let rx = tman.subscribe("Hit");
+    tman.execute_command(
+        "create trigger sentinel from emp when emp.dept = 777 do raise event Hit(emp.name)",
+    )
+    .unwrap();
+    // Seed the class with siblings so partitioned probes see >1 entry.
+    for i in 0..16 {
+        tman.execute_command(&format!(
+            "create trigger seed{i} from emp when emp.dept = {i} do notify 's'"
+        ))
+        .unwrap();
+    }
+    let pool = tman.start_drivers();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Churn: create/drop triggers in the sentinel's signature class.
+    let churn = {
+        let tman = tman.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            for i in 0..churn_iters {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let name = format!("churn{}", 1000 + i % 8);
+                let _ = tman.execute_command(&format!(
+                    "create trigger {name} from emp when emp.dept = {} do notify 'c'",
+                    100 + i % 8
+                ));
+                std::thread::yield_now();
+                let _ = tman.execute_command(&format!("drop trigger {name}"));
+            }
+        })
+    };
+    // Governor + fan-out toggling: migrate the class's organization and
+    // flip the published fan-out through 1/2/4/8 mid-stream.
+    let toggle = {
+        let tman = tman.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut w = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                tman.run_governor();
+                for sig in tman.predicate_index().all_signatures() {
+                    sig.partition_activity().set_fanout([1, 2, 4, 8][w % 4]);
+                }
+                w += 1;
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    for i in 0..tokens {
+        // Every third token matches the sentinel.
+        let dept = if i % 3 == 0 { 777 } else { (i % 8) as i64 };
+        tman.run_sql(&format!("insert into emp values ('t{i}', 1, {dept})"))
+            .unwrap();
+    }
+    let expected = tokens.div_ceil(3) as u64;
+
+    // Drivers drain asynchronously; wait (bounded) for quiescence.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while (tman.stats().tokens.get() < tokens as u64 || tman.queue_len() > 0)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    toggle.join().unwrap();
+    drop(pool); // joins driver threads; hanging here would be a deadlock
+    tman.run_until_quiescent().unwrap(); // flush any still-queued actions
+
+    assert!(tman.last_error().is_none(), "{:?}", tman.last_error());
+    assert_eq!(tman.stats().tokens.get(), tokens as u64, "tokens processed");
+    let hits = rx.try_iter().count() as u64;
+    assert_eq!(hits, expected, "sentinel must fire exactly once per match");
+}
+
+#[test]
+fn partitioned_fanout_stress_with_churn_and_governor() {
+    partition_churn_stress(150, 40);
+}
+
+#[test]
+#[ignore = "long partition/churn stress; run with --ignored"]
+fn partitioned_fanout_stress_long() {
+    partition_churn_stress(3000, 600);
+}

@@ -156,6 +156,102 @@ impl SigActivity {
     }
 }
 
+/// Per-signature partition-activity block, the condition-partition
+/// controller's counterpart to [`SigActivity`]. It lives next to the
+/// governor's block on every [`SignatureRuntime`](crate::SignatureRuntime)
+/// but keeps its **own** probe snapshot and EWMA: the governor owns
+/// [`SigActivity::tick`], and the two feedback loops run on independent
+/// schedules, so they must not fold the same deltas.
+///
+/// The `fanout` cell is the controller's published decision: the engine's
+/// probe path reads it (relaxed) to choose how many Figure-5
+/// `SigPartition` tasks to fan a token out into. `1` means partitioning
+/// is disengaged for this signature.
+#[derive(Debug)]
+pub struct PartitionActivity {
+    /// Effective fan-out the probe path should use (≥ 1).
+    fanout: AtomicU64,
+    /// Cumulative fan-outs actually taken on the probe path.
+    fanouts: AtomicU64,
+    /// Probe count at the previous controller pass (controller-owned
+    /// snapshot of [`SigActivity::probes`]).
+    last_probes: AtomicU64,
+    /// EWMA probes-per-pass, stored as `f64` bits (controller-owned).
+    probe_rate_bits: AtomicU64,
+    /// Controller pass number at the last fan-out change (hysteresis).
+    last_change_pass: AtomicU64,
+}
+
+impl Default for PartitionActivity {
+    fn default() -> PartitionActivity {
+        PartitionActivity {
+            fanout: AtomicU64::new(1),
+            fanouts: AtomicU64::new(0),
+            last_probes: AtomicU64::new(0),
+            probe_rate_bits: AtomicU64::new(0),
+            last_change_pass: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PartitionActivity {
+    /// Fresh block (fan-out 1, rates zero).
+    pub fn new() -> PartitionActivity {
+        PartitionActivity::default()
+    }
+
+    /// Effective fan-out the probe path should use (≥ 1).
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout.load(Ordering::Relaxed).max(1) as usize
+    }
+
+    /// Publish a new fan-out decision.
+    pub fn set_fanout(&self, n: usize) {
+        self.fanout.store(n.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Hot path: one token was fanned out into `SigPartition` tasks.
+    #[inline]
+    pub fn record_fanout(&self) {
+        self.fanouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative fan-outs taken on the probe path.
+    pub fn fanouts(&self) -> u64 {
+        self.fanouts.load(Ordering::Relaxed)
+    }
+
+    /// Controller-only: fold the probe delta since the previous controller
+    /// pass into the decayed rate and return it. `cum_probes` comes from
+    /// the signature's [`SigActivity::probes`]; keeping the snapshot here
+    /// leaves the governor's own fold untouched.
+    pub fn tick_probe_rate(&self, cum_probes: u64, alpha: f64) -> f64 {
+        let prev = self.last_probes.swap(cum_probes, Ordering::Relaxed);
+        let delta = cum_probes.saturating_sub(prev) as f64;
+        let old = f64::from_bits(self.probe_rate_bits.load(Ordering::Relaxed));
+        let rate = alpha * delta + (1.0 - alpha) * old;
+        self.probe_rate_bits
+            .store(rate.to_bits(), Ordering::Relaxed);
+        rate
+    }
+
+    /// Decayed probes-per-controller-pass.
+    pub fn probe_rate(&self) -> f64 {
+        f64::from_bits(self.probe_rate_bits.load(Ordering::Relaxed))
+    }
+
+    /// Controller pass number at the last fan-out change.
+    pub fn last_change_pass(&self) -> u64 {
+        self.last_change_pass.load(Ordering::Relaxed)
+    }
+
+    /// Record the pass number of a fan-out change (hysteresis cooldown).
+    pub fn set_last_change_pass(&self, pass: u64) {
+        self.last_change_pass.store(pass, Ordering::Relaxed);
+    }
+}
+
 /// Governor tuning. Promotion thresholds mirror
 /// [`IndexConfig`](crate::IndexConfig); the demotion bands sit a
 /// `demote_factor` below them (hysteresis), so a class must shrink well
@@ -497,6 +593,23 @@ mod tests {
         let (p2, _) = a.tick(0.5);
         assert!((p2 - 25.0).abs() < 1e-9, "{p2}");
         assert_eq!(a.probes(), 100);
+    }
+
+    #[test]
+    fn partition_activity_defaults_and_folds() {
+        let p = PartitionActivity::new();
+        assert_eq!(p.fanout(), 1);
+        p.set_fanout(4);
+        assert_eq!(p.fanout(), 4);
+        // set_fanout(0) clamps to the disengaged state, never zero.
+        p.set_fanout(0);
+        assert_eq!(p.fanout(), 1);
+        // Controller-owned fold: 100 probes at alpha 0.5, then no new ones.
+        let r1 = p.tick_probe_rate(100, 0.5);
+        assert!((r1 - 50.0).abs() < 1e-9, "{r1}");
+        let r2 = p.tick_probe_rate(100, 0.5);
+        assert!((r2 - 25.0).abs() < 1e-9, "{r2}");
+        assert!((p.probe_rate() - 25.0).abs() < 1e-9);
     }
 
     #[test]

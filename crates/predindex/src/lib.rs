@@ -33,7 +33,7 @@ pub mod org;
 pub use custom::{CustomConstantSet, OrderedVecOrg};
 pub use governor::{
     decide, GovernorPolicy, GovernorReport, GovernorStats, MigrationOutcome, MigrationReason,
-    MigrationRecord, SigActivity, SigObservation,
+    MigrationRecord, PartitionActivity, SigActivity, SigObservation,
 };
 pub use org::{Entry, Org, OrgKind, ProbeValues};
 
@@ -173,6 +173,7 @@ pub struct SignatureRuntime {
     db: Option<Arc<Database>>,
     org_counters: OrgCounters,
     activity: SigActivity,
+    partition: PartitionActivity,
 }
 
 impl SignatureRuntime {
@@ -205,6 +206,12 @@ impl SignatureRuntime {
     /// The live activity stats block (probe/match rates, mutation epoch).
     pub fn activity(&self) -> &SigActivity {
         &self.activity
+    }
+
+    /// The condition-partition controller's activity block (published
+    /// fan-out decision, controller-owned probe EWMA).
+    pub fn partition_activity(&self) -> &PartitionActivity {
+        &self.partition
     }
 
     fn insert(&self, entry: Entry) -> Result<()> {
@@ -324,10 +331,15 @@ impl SignatureRuntime {
     }
 
     /// Figure-5 partitioned probe: only entries in partition `part` of
-    /// `nparts` (round-robin by position within the candidate set) are
-    /// considered. `probe(t, ...)` is equivalent to `probe_partition(t, 0,
-    /// 1, ...)`; running all `nparts` partitions visits exactly the same
-    /// set of entries.
+    /// `nparts` are considered. Partition assignment hashes the entry's
+    /// **stable** `expr_id` (`expr_id % nparts`), not its position in the
+    /// candidate set: positions shift under concurrent inserts/removes and
+    /// governor migrations, which would let one fan-out's partition tasks
+    /// visit an entry twice or not at all. By identity, the assignment is
+    /// the same for every task of a fan-out regardless of interleaved
+    /// mutations, and the union over all `nparts` partitions is exactly
+    /// the unpartitioned candidate set. `probe(t, ...)` is equivalent to
+    /// `probe_partition(t, 0, 1, ...)`.
     pub fn probe_partition(
         &self,
         tuple: &Tuple,
@@ -386,16 +398,13 @@ impl SignatureRuntime {
         let bind = Some(tuple);
         let tuples = std::slice::from_ref(&bind);
         let needs_full = matches!(self.sig.index_plan, IndexPlan::None);
-        let mut idx_in_candidates = 0usize;
         let mut err: Option<tman_common::TmanError> = None;
         // Aggregated rest-test accounting (only touched when tracing).
         let mut rest_count = 0u64;
         let mut rest_ns = 0u64;
         let mut rest_start = 0u64;
         org.probe(&self.sig.index_plan, &probe, &mut |e| {
-            let my = idx_in_candidates;
-            idx_in_candidates += 1;
-            if my % nparts != part {
+            if nparts > 1 && e.expr_id.raw() % nparts as u64 != part as u64 {
                 return;
             }
             if err.is_some() {
@@ -809,6 +818,7 @@ impl PredicateIndex {
                     db: self.db.clone(),
                     org_counters: self.org_counters.clone(),
                     activity: SigActivity::new(),
+                    partition: PartitionActivity::new(),
                 });
                 sigs.push(rt.clone());
                 src.update_cols.write().push(update_cols);

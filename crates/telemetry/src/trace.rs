@@ -94,6 +94,10 @@ pub enum SpanKind {
     /// reorganization, run from driver maintenance). `arg_a` = migrations
     /// performed, `arg_b` = resident constant-set bytes after the pass.
     Governor,
+    /// One condition-partition controller pass (adaptive Figure-5 fan-out,
+    /// run from driver maintenance). `arg_a` = fan-out transitions
+    /// performed, `arg_b` = the pass's target fan-out.
+    PartitionCtl,
 }
 
 impl SpanKind {
@@ -111,6 +115,7 @@ impl SpanKind {
             SpanKind::Action => 8,
             SpanKind::Notify => 9,
             SpanKind::Governor => 10,
+            SpanKind::PartitionCtl => 11,
         }
     }
 
@@ -128,6 +133,7 @@ impl SpanKind {
             8 => SpanKind::Action,
             9 => SpanKind::Notify,
             10 => SpanKind::Governor,
+            11 => SpanKind::PartitionCtl,
             _ => return None,
         })
     }
@@ -146,6 +152,7 @@ impl SpanKind {
             SpanKind::Action => "action",
             SpanKind::Notify => "notify",
             SpanKind::Governor => "governor",
+            SpanKind::PartitionCtl => "partition_ctl",
         }
     }
 }
@@ -800,6 +807,9 @@ fn kind_args(ev: &TraceEvent) -> String {
         SpanKind::Action => format!("  [trigger={}]", ev.arg_a),
         SpanKind::Notify => format!("  [subscribers={}]", ev.arg_b),
         SpanKind::Governor => format!("  [migrations={} mem={}B]", ev.arg_a, ev.arg_b),
+        SpanKind::PartitionCtl => {
+            format!("  [transitions={} target_fanout={}]", ev.arg_a, ev.arg_b)
+        }
         _ => String::new(),
     }
 }
