@@ -27,6 +27,10 @@ pub enum TmanError {
     Storage(String),
     /// Underlying I/O failure.
     Io(String),
+    /// Data read back from disk failed validation (bad checksum, torn page,
+    /// malformed record framing). Recoverable: callers skip/quarantine the
+    /// damaged unit and continue.
+    Corrupt(String),
     /// A feature the paper defers to future work (temporal conditions,
     /// aggregates via `group by`/`having`, Gator networks).
     Unsupported(String),
@@ -45,6 +49,7 @@ impl TmanError {
             TmanError::Type(_) => "type",
             TmanError::Storage(_) => "storage",
             TmanError::Io(_) => "io",
+            TmanError::Corrupt(_) => "corrupt",
             TmanError::Unsupported(_) => "unsupported",
             TmanError::Internal(_) => "internal",
         }
@@ -61,6 +66,7 @@ impl fmt::Display for TmanError {
             TmanError::Type(m) => write!(f, "type error: {m}"),
             TmanError::Storage(m) => write!(f, "storage error: {m}"),
             TmanError::Io(m) => write!(f, "io error: {m}"),
+            TmanError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             TmanError::Unsupported(m) => write!(f, "unsupported: {m}"),
             TmanError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -84,6 +90,13 @@ mod tests {
         let e = TmanError::NotFound("trigger 'x'".into());
         assert_eq!(e.to_string(), "not found: trigger 'x'");
         assert_eq!(e.kind(), "not_found");
+    }
+
+    #[test]
+    fn corrupt_is_its_own_kind() {
+        let e = TmanError::Corrupt("page 3 checksum mismatch".into());
+        assert_eq!(e.kind(), "corrupt");
+        assert_eq!(e.to_string(), "corrupt data: page 3 checksum mismatch");
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub struct StorageStats {
     pub pool_misses: Arc<Counter>,
     /// Pages evicted to make room.
     pub evictions: Arc<Counter>,
+    /// Transient write errors that were retried by the buffer pool.
+    pub io_retries: Arc<Counter>,
+    /// Page-slot reads whose checksum or version trailer failed validation.
+    pub checksum_failures: Arc<Counter>,
+    /// Pages zeroed and quarantined by the open-time recovery pass because
+    /// neither physical slot held a valid copy.
+    pub quarantined_pages: Arc<Counter>,
+    /// Faults injected by an attached [`FaultPlan`] (test builds only).
+    pub faults_injected: Arc<Counter>,
 }
 
 impl StorageStats {

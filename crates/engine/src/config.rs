@@ -115,6 +115,11 @@ pub struct Config {
     /// run the governor opportunistically when the task queue goes
     /// empty, at most once per period across all threads.
     pub governor_period: Duration,
+    /// Fault-injection plan attached to the disk manager (test builds
+    /// only; `None` in production). See [`tman_storage::FaultPlan`] — the
+    /// plan starts disarmed, so merely attaching it costs nothing until a
+    /// harness arms it. Ignored by `open_memory`.
+    pub faults: Option<tman_storage::FaultPlan>,
 }
 
 impl Default for Config {
@@ -140,6 +145,7 @@ impl Default for Config {
             trace_buffer_events: 65_536,
             index_memory_budget: None,
             governor_period: Duration::from_millis(250),
+            faults: None,
         }
     }
 }

@@ -188,9 +188,16 @@ impl TriggerMan {
         Self::with_database(db, config)
     }
 
-    /// Open (or recover) a file-backed instance.
+    /// Open (or recover) a file-backed instance. When
+    /// [`Config::faults`] carries a fault-injection plan it is attached to
+    /// the disk manager, and any crash damage found by the open-time
+    /// scavenge pass is absorbed before the engine state is rebuilt.
     pub fn open_file(path: &Path, config: Config) -> Result<Arc<TriggerMan>> {
-        let db = Arc::new(Database::open_file(path, config.pool_pages)?);
+        let db = Arc::new(Database::open_file_with(
+            path,
+            config.pool_pages,
+            config.faults.clone(),
+        )?);
         Self::with_database(db, config)
     }
 
@@ -297,9 +304,35 @@ impl TriggerMan {
         r.register_counter("tman_pool_hits_total", &[], ps.pool_hits.clone());
         r.register_counter("tman_pool_misses_total", &[], ps.pool_misses.clone());
         r.register_counter("tman_pool_evictions_total", &[], ps.evictions.clone());
+        r.register_counter("tman_io_retries_total", &[], ps.io_retries.clone());
         let ds = pool.disk().stats();
         r.register_counter("tman_page_reads_total", &[], ds.page_reads.clone());
         r.register_counter("tman_page_writes_total", &[], ds.page_writes.clone());
+        r.register_counter(
+            "tman_checksum_failures_total",
+            &[],
+            ds.checksum_failures.clone(),
+        );
+        r.register_counter(
+            "tman_quarantined_pages_total",
+            &[],
+            ds.quarantined_pages.clone(),
+        );
+        r.register_counter(
+            "tman_faults_injected_total",
+            &[],
+            ds.faults_injected.clone(),
+        );
+        r.register_counter(
+            "tman_queue_corrupt_rows_total",
+            &[],
+            self.queue.corrupt_rows().clone(),
+        );
+        r.register_counter(
+            "tman_queue_dedup_dropped_total",
+            &[],
+            self.queue.dedup_dropped().clone(),
+        );
         // Event-bus delivery counters are registry CounterHandles resolved
         // in `EventBus::attach_telemetry` — nothing to register here.
     }
@@ -366,6 +399,20 @@ impl TriggerMan {
     /// The predicate index.
     pub fn predicate_index(&self) -> &Arc<PredicateIndex> {
         &self.predindex
+    }
+
+    /// Durable delivery watermark of the persistent update queue (`None`
+    /// in volatile mode): every descriptor at or below it was fully
+    /// processed, and a crash can never make one fire again. Crash
+    /// harnesses read this after a restart to bound redelivery.
+    pub fn queue_watermark(&self) -> Option<i64> {
+        self.queue.watermark()
+    }
+
+    /// Did the storage layer's open-time scavenge pass find and absorb
+    /// crash damage when this instance was opened?
+    pub fn was_recovered(&self) -> bool {
+        self.db.storage().was_recovered()
     }
 
     /// The trigger cache.
@@ -1210,11 +1257,19 @@ impl TriggerMan {
         let _duration = self.telemetry.tman_test_ns.start();
         let start = std::time::Instant::now();
         loop {
+            // A token pulled from the persistent queue keeps its row on
+            // disk until its token-level work has actually run: remember
+            // the sequence number and acknowledge only after
+            // `execute_task`, so a crash mid-processing redelivers the
+            // descriptor on restart (at-least-once).
+            let mut ack_seq: Option<i64> = None;
             let task = self
                 .tasks
                 .pop()
-                .or_else(|| match self.queue.dequeue_batch(1) {
-                    Ok(mut batch) => batch.pop().map(|mut tok| {
+                .or_else(|| match self.queue.dequeue_tracked(1) {
+                    Ok(mut batch) => batch.pop().map(|item| {
+                        ack_seq = item.seq;
+                        let mut tok = item.token;
                         if tok.trace.is_active() {
                             // Queue wait = capture (trace start) to now.
                             if let Some(start) = tok.trace.start_ns() {
@@ -1260,6 +1315,11 @@ impl TriggerMan {
                 }
                 Some(t) => {
                     self.execute_task(t);
+                    if let Some(seq) = ack_seq {
+                        if let Err(e) = self.queue.ack(seq) {
+                            self.record_error(&e);
+                        }
+                    }
                     // "Yield the processor so other Informix tasks can use
                     // it" — cooperative scheduling point.
                     std::thread::yield_now();

@@ -120,6 +120,12 @@ pub struct QueueMetrics {
     pub dequeued: u64,
     /// Enqueue→dequeue wait (volatile mode).
     pub wait_ns: HistogramSummary,
+    /// Persistent rows whose body failed validation (deleted, skipped).
+    pub corrupt_rows: u64,
+    /// Already-delivered rows dropped by the open-time dedup pass.
+    pub dedup_dropped: u64,
+    /// Durable delivery watermark (`None` in volatile mode).
+    pub watermark: Option<i64>,
 }
 
 /// Driver / `tman_test` metrics.
@@ -265,6 +271,14 @@ pub struct StorageMetrics {
     pub page_reads: u64,
     /// Physical page writes.
     pub page_writes: u64,
+    /// Transient write errors retried by the buffer pool.
+    pub io_retries: u64,
+    /// Page-slot reads that failed checksum/version validation.
+    pub checksum_failures: u64,
+    /// Pages zeroed and quarantined by the open-time recovery pass.
+    pub quarantined_pages: u64,
+    /// Faults injected by an attached fault plan (test builds only).
+    pub faults_injected: u64,
 }
 
 /// Rule-action metrics.
@@ -409,6 +423,9 @@ impl MetricsSnapshot {
                 enqueued: t.queue.enqueued.get(),
                 dequeued: t.queue.dequeued.get(),
                 wait_ns: t.queue.wait_ns.summary(),
+                corrupt_rows: tman.queue.corrupt_rows().get(),
+                dedup_dropped: tman.queue.dedup_dropped().get(),
+                watermark: tman.queue.watermark(),
             },
             driver: DriverMetrics {
                 tman_test_calls: t.tman_test_calls.get(),
@@ -470,6 +487,10 @@ impl MetricsSnapshot {
                 pool_hit_rate: ps.pool_hit_rate(),
                 page_reads: ds.page_reads.get(),
                 page_writes: ds.page_writes.get(),
+                io_retries: ps.io_retries.get(),
+                checksum_failures: ds.checksum_failures.get(),
+                quarantined_pages: ds.quarantined_pages.get(),
+                faults_injected: ds.faults_injected.get(),
             },
             actions: ActionMetrics {
                 exec_sql: t.actions_by_kind[ACTION_EXEC_SQL].get(),
@@ -552,6 +573,17 @@ impl MetricsSnapshot {
                 "  wait               {}\n",
                 hist(&self.queue.wait_ns)
             ));
+            out.push_str(&format!(
+                "  corrupt rows       {}\n",
+                self.queue.corrupt_rows
+            ));
+            out.push_str(&format!(
+                "  dedup dropped      {}\n",
+                self.queue.dedup_dropped
+            ));
+            if let Some(wm) = self.queue.watermark {
+                out.push_str(&format!("  watermark          {wm}\n"));
+            }
         }
         if want("driver") {
             out.push_str("driver:\n");
@@ -641,6 +673,13 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "  disk               reads={} writes={}\n",
                 self.storage.page_reads, self.storage.page_writes
+            ));
+            out.push_str(&format!(
+                "  faults             injected={} retries={} checksum_failures={} quarantined={}\n",
+                self.storage.faults_injected,
+                self.storage.io_retries,
+                self.storage.checksum_failures,
+                self.storage.quarantined_pages
             ));
         }
         if want("actions") {

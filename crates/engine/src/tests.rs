@@ -725,6 +725,16 @@ fn metrics_snapshot_invariants_after_quiescence() {
     assert!(m.storage.pool_hits > 0);
     assert!((m.storage.pool_hit_rate - 1.0).abs() < 1e-9 || m.storage.pool_misses > 0);
 
+    // Fault-path counters exist and stay zero without an armed fault plan.
+    assert_eq!(m.storage.faults_injected, 0);
+    assert_eq!(m.storage.io_retries, 0);
+    assert_eq!(m.storage.checksum_failures, 0);
+    assert_eq!(m.storage.quarantined_pages, 0);
+    assert_eq!(m.queue.corrupt_rows, 0);
+    assert_eq!(m.queue.dedup_dropped, 0);
+    // Volatile queue mode: no delivery watermark.
+    assert_eq!(m.queue.watermark, None);
+
     // Signature rows exist for both triggers' signatures.
     assert!(!m.signatures.is_empty());
 }
@@ -748,6 +758,12 @@ fn render_text_exposes_all_subsystems() {
         "tman_actions_total{kind=\"notify\"} 20",
         "tman_action_ns_count 69",
         "tman_notifications_delivered_total 49",
+        "tman_faults_injected_total 0",
+        "tman_io_retries_total 0",
+        "tman_checksum_failures_total 0",
+        "tman_quarantined_pages_total 0",
+        "tman_queue_corrupt_rows_total 0",
+        "tman_queue_dedup_dropped_total 0",
     ] {
         assert!(text.contains(series), "missing '{series}' in:\n{text}");
     }
@@ -773,6 +789,9 @@ fn show_stats_command_formats_report() {
         );
     }
     assert!(all.contains("tokens processed   60"));
+    // The crash-tolerance counters show up in their sections.
+    assert!(all.contains("faults             injected=0"));
+    assert!(all.contains("corrupt rows       0"));
 
     let CommandOutput::Stats(cache_only) = tman.execute_command("show stats cache").unwrap() else {
         panic!("expected stats output");

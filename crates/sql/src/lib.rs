@@ -43,7 +43,39 @@ pub struct Database {
 impl Database {
     /// Open (or create) a file-backed database.
     pub fn open_file(path: &Path, pool_pages: usize) -> Result<Database> {
-        Self::with_storage(Storage::open_file(path, pool_pages)?)
+        Self::open_file_with(path, pool_pages, None)
+    }
+
+    /// Open a file-backed database with an optional fault-injection plan
+    /// attached to the disk manager (test builds). When the storage layer
+    /// reports crash recovery, every secondary index is rebuilt from its
+    /// base heap — indexes are derived state and may lag the heap after a
+    /// torn checkpoint.
+    pub fn open_file_with(
+        path: &Path,
+        pool_pages: usize,
+        faults: Option<tman_storage::FaultPlan>,
+    ) -> Result<Database> {
+        let storage = Storage::open_file_with(path, pool_pages, faults)?;
+        let recovered = storage.was_recovered();
+        let db = Self::with_storage(storage)?;
+        if recovered {
+            db.rebuild_indexes()?;
+        }
+        Ok(db)
+    }
+
+    /// Rebuild every secondary index from its base heap (crash recovery).
+    /// B+tree insertion overwrites exact-duplicate keys, so re-inserting
+    /// entries that already survived is harmless.
+    fn rebuild_indexes(&self) -> Result<()> {
+        let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        for t in tables {
+            for idx in t.indexes() {
+                t.backfill_index(&idx)?;
+            }
+        }
+        Ok(())
     }
 
     /// Create a volatile in-memory database.

@@ -81,15 +81,27 @@ impl Node {
     fn read_from(buf: &[u8; PAGE_SIZE]) -> Result<Node> {
         let kind = buf[0];
         if kind != LEAF && kind != INTERNAL {
-            return Err(TmanError::Storage(format!("bad btree node kind {kind}")));
+            return Err(TmanError::Corrupt(format!("bad btree node kind {kind}")));
         }
         let count = u16::from_le_bytes(buf[1..3].try_into().unwrap()) as usize;
         let link = PageId(u32::from_le_bytes(buf[3..7].try_into().unwrap()));
-        let mut entries = Vec::with_capacity(count);
+        let mut entries = Vec::with_capacity(count.min(PAGE_SIZE / 2));
         let mut off = HDR;
+        // Every length field comes off disk: bounds-check rather than trust,
+        // so a page that is not really a btree node surfaces as a
+        // recoverable `Corrupt` instead of a slice panic.
         for _ in 0..count {
+            if off + 2 > PAGE_SIZE {
+                return Err(TmanError::Corrupt("btree entry count overruns page".into()));
+            }
             let len = u16::from_le_bytes(buf[off..off + 2].try_into().unwrap()) as usize;
             off += 2;
+            let trailing = if kind == INTERNAL { 4 } else { 0 };
+            if len < 8 || off + len + trailing > PAGE_SIZE {
+                return Err(TmanError::Corrupt(format!(
+                    "btree entry length {len} overruns page"
+                )));
+            }
             let kv = buf[off..off + len].to_vec();
             off += len;
             let child = if kind == INTERNAL {
@@ -155,6 +167,44 @@ impl BTree {
     /// The meta page id (stable identity for the directory).
     pub fn meta_page(&self) -> PageId {
         self.meta
+    }
+
+    /// Crash-recovery revalidation: make the tree at `meta` structurally
+    /// openable again. A quarantined (zeroed) meta page gets its magic and
+    /// a fresh empty root leaf back; an unreadable or out-of-bounds root is
+    /// replaced by a fresh empty leaf. Returns `true` when anything was
+    /// rebuilt — the caller is then expected to backfill the index from its
+    /// source of truth.
+    pub fn repair(pool: &Arc<BufferPool>, meta: PageId) -> Result<bool> {
+        let fresh_root = |pool: &Arc<BufferPool>| -> Result<PageId> {
+            let (pid, g) = pool.allocate()?;
+            Node::leaf().write_to(&mut g.write());
+            Ok(pid)
+        };
+        let g = pool.fetch(meta)?;
+        let magic_ok = &g.read()[0..4] == MAGIC;
+        if !magic_ok {
+            let root = fresh_root(pool)?;
+            let mut m = g.write();
+            m[0..4].copy_from_slice(MAGIC);
+            m[4..8].copy_from_slice(&root.0.to_le_bytes());
+            return Ok(true);
+        }
+        let root = PageId(u32::from_le_bytes(g.read()[4..8].try_into().unwrap()));
+        drop(g);
+        let root_ok = !root.is_null()
+            && root.0 < pool.disk().num_pages()
+            && pool
+                .fetch(root)
+                .and_then(|rg| Node::read_from(&rg.read()).map(|_| ()))
+                .is_ok();
+        if !root_ok {
+            let new_root = fresh_root(pool)?;
+            let mg = pool.fetch(meta)?;
+            mg.write()[4..8].copy_from_slice(&new_root.0.to_le_bytes());
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     fn root(&self) -> Result<PageId> {

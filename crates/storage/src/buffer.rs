@@ -122,10 +122,37 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Write attempts per page before a flush gives up on transient I/O
+    /// errors.
+    const FLUSH_ATTEMPTS: u32 = 3;
+
     fn flush_cell(&self, cell: &FrameCell) -> Result<()> {
         if cell.dirty.swap(false, Ordering::AcqRel) {
             let data = cell.data.read();
-            self.disk.write_page(cell.pid, &data)?;
+            let mut last = None;
+            for attempt in 0..Self::FLUSH_ATTEMPTS {
+                match self.disk.write_page(cell.pid, &data) {
+                    Ok(()) => return Ok(()),
+                    Err(e @ TmanError::Io(_)) => {
+                        last = Some(e);
+                        if attempt + 1 < Self::FLUSH_ATTEMPTS {
+                            self.stats.io_retries.bump();
+                            std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
+                        }
+                    }
+                    Err(e) => {
+                        // Non-I/O failures are not transient: re-mark dirty
+                        // so a later flush retries, and propagate.
+                        cell.dirty.store(true, Ordering::Release);
+                        return Err(e);
+                    }
+                }
+            }
+            // Out of attempts: the page is still only in memory. Keep it
+            // dirty so checkpoints keep trying rather than silently losing
+            // the data.
+            cell.dirty.store(true, Ordering::Release);
+            return Err(last.expect("loop ran at least once"));
         }
         Ok(())
     }
@@ -152,9 +179,16 @@ impl BufferPool {
             ));
         };
         let slot = inner.frames[idx].take().expect("victim frame exists");
+        if let Err(e) = self.flush_cell(&slot.cell) {
+            // Put the victim back: dropping it here would silently lose the
+            // dirty page the flush just failed to write.
+            let pid = slot.cell.pid;
+            inner.frames[idx] = Some(slot);
+            inner.map.insert(pid, idx);
+            return Err(e);
+        }
         inner.map.remove(&slot.cell.pid);
         self.stats.evictions.bump();
-        self.flush_cell(&slot.cell)?;
         Ok(idx)
     }
 }
@@ -296,6 +330,68 @@ mod tests {
             .map(|t| (0..500u32).filter(|i| (t + i) % 3 == 0).count() as u32)
             .sum();
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn flush_retry_exhaustion_keeps_page_dirty() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let path = std::env::temp_dir().join(format!("tman_buf_retry_{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 21,
+            transient_per_mille: 1000,
+            ..Default::default()
+        });
+        let disk = Arc::new(DiskManager::open_file_with(&path, Some(plan.clone())).unwrap());
+        let p = BufferPool::new(disk.clone(), 4);
+        let (pid, g) = p.allocate().unwrap();
+        g.write()[5] = 0x5A;
+        drop(g);
+        plan.arm();
+        let err = p.flush_all().unwrap_err();
+        assert_eq!(err.kind(), "io");
+        // Two sleeps between three attempts, and the page stayed dirty.
+        assert_eq!(p.stats().io_retries.get(), 2);
+        plan.disarm();
+        p.flush_all().unwrap();
+        let mut raw = [0u8; PAGE_SIZE];
+        disk.read_page(pid, &mut raw).unwrap();
+        assert_eq!(raw[5], 0x5A, "page reached disk once faults cleared");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_eviction_flush_does_not_lose_the_page() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let path = std::env::temp_dir().join(format!("tman_buf_evict_{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 22,
+            transient_per_mille: 1000,
+            ..Default::default()
+        });
+        let disk = Arc::new(DiskManager::open_file_with(&path, Some(plan.clone())).unwrap());
+        let p = BufferPool::new(disk.clone(), 4);
+        let (pid, g) = p.allocate().unwrap();
+        g.write()[0] = 0x77;
+        drop(g);
+        // Fill the remaining frames so the next allocate must evict pid.
+        let mut extra = vec![];
+        for _ in 0..3 {
+            extra.push(p.allocate().unwrap().0);
+        }
+        plan.arm();
+        assert!(p.allocate().is_err(), "eviction flush fails under faults");
+        plan.disarm();
+        // The dirty page must still be resident and intact.
+        let g = p.fetch(pid).unwrap();
+        assert_eq!(g.read()[0], 0x77);
+        drop(g);
+        p.flush_all().unwrap();
+        let mut raw = [0u8; PAGE_SIZE];
+        disk.read_page(pid, &mut raw).unwrap();
+        assert_eq!(raw[0], 0x77);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

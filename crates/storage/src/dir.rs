@@ -196,6 +196,50 @@ impl Directory {
         Ok(())
     }
 
+    /// Crash-recovery revalidation: re-initialize quarantined (zeroed)
+    /// directory chain pages, cut chain links pointing out of bounds, and
+    /// prune entries whose meta page is out of bounds (an object whose
+    /// creation never fully reached disk). Returns the pruned names.
+    pub fn repair(&self, num_pages: u32) -> Result<Vec<String>> {
+        {
+            let _l = self.lock.lock();
+            let mut visited = std::collections::HashSet::new();
+            let mut pid = PageId(0);
+            loop {
+                if !visited.insert(pid) {
+                    break;
+                }
+                let g = self.pool.fetch(pid)?;
+                let mut w = g.write();
+                let free_end = u16::from_le_bytes(w[6..8].try_into().unwrap());
+                if free_end == 0 {
+                    SlottedPage::init(&mut w);
+                }
+                let mut sp = SlottedPage::new(&mut w);
+                let next = sp.next_page();
+                if next.is_null() {
+                    break;
+                }
+                if next.0 >= num_pages {
+                    sp.set_next_page(PageId::NULL);
+                    break;
+                }
+                pid = next;
+            }
+        }
+        let mut bad = Vec::new();
+        self.scan_entries(|e| {
+            if e.root.is_null() || e.root.0 >= num_pages {
+                bad.push(e.name.clone());
+            }
+            true
+        })?;
+        for name in &bad {
+            self.remove(name)?;
+        }
+        Ok(bad)
+    }
+
     /// All entries, in storage order.
     pub fn list(&self) -> Result<Vec<DirEntry>> {
         let mut out = Vec::new();

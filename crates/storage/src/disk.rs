@@ -4,7 +4,35 @@
 //! experiments) and an in-memory vector (fast unit tests, benches that only
 //! care about page-count accounting). Both count physical reads/writes into
 //! [`StorageStats`] so experiments can report I/O.
+//!
+//! # On-disk format (file backend)
+//!
+//! Each logical 4 KiB page owns **two physical slots** of
+//! `PAGE_SIZE + 16` bytes, laid out back to back:
+//!
+//! ```text
+//! slot = [ data: 4096 ][ version: u64 LE ][ fnv1a64(data ‖ version): u64 LE ]
+//! offset(pid, s) = (pid * 2 + s) * PHYS_PAGE
+//! ```
+//!
+//! Writes ping-pong: a `write_page` goes to the *inactive* slot with
+//! `version + 1` and only flips the in-memory slot map after the full slot
+//! hits the file. A torn or failed write therefore never destroys the last
+//! successfully written version — the partner slot still holds it. Reads
+//! verify the checksum and expected version, falling back to the partner
+//! slot; if both slots are invalid the page is truly lost and reads return
+//! [`TmanError::Corrupt`].
+//!
+//! [`DiskManager::open_file_with`] runs a **scavenge pass**: it rebuilds the
+//! slot map by picking the highest-version valid slot of every page and
+//! *quarantines* pages with no valid slot (rewriting them as zeroed pages —
+//! a zeroed slotted page scans as empty — and recording them in the
+//! [`RecoveryReport`] so higher layers can rebuild derived state).
+//!
+//! An optional [`FaultPlan`] injects deterministic write failures; see
+//! [`crate::fault`]. The in-memory backend has neither checksums nor faults.
 
+use crate::fault::{FaultKind, FaultPlan};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -16,6 +44,12 @@ use tman_common::{Result, TmanError};
 /// trigger-cache arithmetic in §5.1 ("a trigger description takes 4K bytes")
 /// directly comparable.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Version + checksum trailer appended to each physical slot.
+const TRAILER: usize = 16;
+
+/// Physical slot size in the backing file.
+pub const PHYS_PAGE: usize = PAGE_SIZE + TRAILER;
 
 /// Physical page number within a store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,8 +67,39 @@ impl PageId {
     }
 }
 
+/// What the open-time scavenge pass found and repaired.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Pages with no valid slot, rewritten as zeroed (empty) pages.
+    pub quarantined: Vec<PageId>,
+    /// Slots holding torn garbage (nonzero bytes, bad checksum) whose
+    /// partner slot was still valid — evidence of an interrupted write that
+    /// the ping-pong format absorbed.
+    pub salvaged_slots: u64,
+}
+
+impl RecoveryReport {
+    /// True when the store did not shut down cleanly: derived state (heap
+    /// chains, index trees) should be revalidated.
+    pub fn recovered(&self) -> bool {
+        !self.quarantined.is_empty() || self.salvaged_slots > 0
+    }
+}
+
+/// Which slot currently holds the live version of a page.
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    version: u64,
+    slot: u8,
+}
+
+struct FileState {
+    file: File,
+    meta: Vec<PageMeta>,
+}
+
 enum Backend {
-    File(Mutex<File>),
+    File(Mutex<FileState>),
     Memory(Mutex<Vec<Box<[u8; PAGE_SIZE]>>>),
 }
 
@@ -43,31 +108,142 @@ pub struct DiskManager {
     backend: Backend,
     num_pages: Mutex<u32>,
     stats: StorageStats,
+    plan: Option<FaultPlan>,
+    recovery: RecoveryReport,
+}
+
+fn fnv1a64(data: &[u8], version: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data.iter().chain(version.to_le_bytes().iter()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn slot_offset(pid: PageId, slot: u8) -> u64 {
+    (pid.0 as u64 * 2 + slot as u64) * PHYS_PAGE as u64
+}
+
+/// Build the physical image of a slot: data + version + checksum.
+fn encode_slot(data: &[u8; PAGE_SIZE], version: u64) -> [u8; PHYS_PAGE] {
+    let mut phys = [0u8; PHYS_PAGE];
+    phys[..PAGE_SIZE].copy_from_slice(data);
+    phys[PAGE_SIZE..PAGE_SIZE + 8].copy_from_slice(&version.to_le_bytes());
+    phys[PAGE_SIZE + 8..].copy_from_slice(&fnv1a64(data, version).to_le_bytes());
+    phys
+}
+
+/// Parse a physical slot; `Some((version, data))` only if the checksum
+/// verifies and the version is nonzero (all-zero regions never validate).
+fn decode_slot(phys: &[u8; PHYS_PAGE]) -> Option<(u64, &[u8])> {
+    let version = u64::from_le_bytes(phys[PAGE_SIZE..PAGE_SIZE + 8].try_into().unwrap());
+    if version == 0 {
+        return None;
+    }
+    let stored = u64::from_le_bytes(phys[PAGE_SIZE + 8..].try_into().unwrap());
+    if fnv1a64(&phys[..PAGE_SIZE], version) != stored {
+        return None;
+    }
+    Some((version, &phys[..PAGE_SIZE]))
+}
+
+fn read_slot(file: &mut File, pid: PageId, slot: u8) -> Option<[u8; PHYS_PAGE]> {
+    let mut buf = [0u8; PHYS_PAGE];
+    file.seek(SeekFrom::Start(slot_offset(pid, slot))).ok()?;
+    file.read_exact(&mut buf).ok()?;
+    Some(buf)
 }
 
 impl DiskManager {
     /// Open or create a file-backed store. A fresh store gets page 0
     /// (zero-filled) allocated as the directory superblock.
     pub fn open_file(path: &Path) -> Result<DiskManager> {
-        let file = OpenOptions::new()
+        Self::open_file_with(path, None)
+    }
+
+    /// Open a file-backed store with an optional fault-injection plan
+    /// (test builds). Runs the scavenge pass over every page pair and
+    /// records its findings in [`recovery_report`](Self::recovery_report).
+    pub fn open_file_with(path: &Path, plan: Option<FaultPlan>) -> Result<DiskManager> {
+        let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false) // reopening an existing store must keep it
             .open(path)?;
-        let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(TmanError::Storage(format!(
-                "store file length {len} is not page aligned"
-            )));
-        }
+        let stats = StorageStats::default();
+        let (meta, recovery, num_pages) = Self::scavenge(&mut file, &stats)?;
         let dm = DiskManager {
-            backend: Backend::File(Mutex::new(file)),
-            num_pages: Mutex::new((len / PAGE_SIZE as u64) as u32),
-            stats: StorageStats::default(),
+            backend: Backend::File(Mutex::new(FileState { file, meta })),
+            num_pages: Mutex::new(num_pages),
+            stats,
+            plan,
+            recovery,
         };
         dm.ensure_superblock()?;
         Ok(dm)
+    }
+
+    /// Recovery/scavenge: rebuild the live-slot map, quarantine pages with
+    /// no valid copy. A page exists if any byte of its slot pair does —
+    /// a crash mid-extend still yields a (quarantined, empty) page.
+    fn scavenge(
+        file: &mut File,
+        stats: &StorageStats,
+    ) -> Result<(Vec<PageMeta>, RecoveryReport, u32)> {
+        let len = file.metadata()?.len();
+        let pair = 2 * PHYS_PAGE as u64;
+        let num_pages = len.div_ceil(pair) as u32;
+        let mut meta = Vec::with_capacity(num_pages as usize);
+        let mut report = RecoveryReport::default();
+        for p in 0..num_pages {
+            let pid = PageId(p);
+            let slots = [read_slot(file, pid, 0), read_slot(file, pid, 1)];
+            let decoded = [
+                slots[0].as_ref().and_then(|s| decode_slot(s)),
+                slots[1].as_ref().and_then(|s| decode_slot(s)),
+            ];
+            let live = match (&decoded[0], &decoded[1]) {
+                (Some((v0, _)), Some((v1, _))) => Some(if v0 >= v1 { 0u8 } else { 1u8 }),
+                (Some(_), None) => Some(0),
+                (None, Some(_)) => Some(1),
+                (None, None) => None,
+            };
+            match live {
+                Some(s) => {
+                    let version = decoded[s as usize].as_ref().unwrap().0;
+                    meta.push(PageMeta { version, slot: s });
+                    // A dead partner slot containing nonzero bytes is a torn
+                    // write the format absorbed (never-written slots are
+                    // all zeros).
+                    let other = (1 - s) as usize;
+                    if decoded[other].is_none()
+                        && slots[other]
+                            .map(|b| b.iter().any(|&x| x != 0))
+                            .unwrap_or(false)
+                    {
+                        report.salvaged_slots += 1;
+                    }
+                }
+                None => {
+                    // Neither slot survived: quarantine as an empty page.
+                    // A zeroed slotted page reads as "no slots", so scans
+                    // above this layer safely see nothing.
+                    let phys = encode_slot(&[0u8; PAGE_SIZE], 1);
+                    file.seek(SeekFrom::Start(slot_offset(pid, 0)))?;
+                    file.write_all(&phys)?;
+                    file.write_all(&[0u8; PHYS_PAGE])?;
+                    meta.push(PageMeta {
+                        version: 1,
+                        slot: 0,
+                    });
+                    report.quarantined.push(pid);
+                    stats.quarantined_pages.bump();
+                }
+            }
+        }
+        Ok((meta, report, num_pages))
     }
 
     /// Create an in-memory store.
@@ -76,6 +252,8 @@ impl DiskManager {
             backend: Backend::Memory(Mutex::new(Vec::new())),
             num_pages: Mutex::new(0),
             stats: StorageStats::default(),
+            plan: None,
+            recovery: RecoveryReport::default(),
         };
         dm.ensure_superblock().expect("memory superblock");
         dm
@@ -98,58 +276,164 @@ impl DiskManager {
         &self.stats
     }
 
+    /// The fault plan attached at open, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// What the open-time scavenge pass found (empty report for the memory
+    /// backend and clean files).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
     /// Number of allocated pages.
     pub fn num_pages(&self) -> u32 {
         *self.num_pages.lock()
     }
 
+    fn frozen_check(&self) -> Result<()> {
+        if self.plan.as_ref().is_some_and(|p| p.frozen()) {
+            return Err(TmanError::Io("simulated crash: disk frozen".into()));
+        }
+        Ok(())
+    }
+
     /// Allocate a fresh zero-filled page at the end of the store.
     pub fn allocate(&self) -> Result<PageId> {
+        self.frozen_check()?;
         let mut n = self.num_pages.lock();
         let pid = PageId(*n);
-        *n += 1;
         match &self.backend {
             Backend::Memory(pages) => {
                 pages.lock().push(Box::new([0u8; PAGE_SIZE]));
             }
-            Backend::File(file) => {
-                let mut f = file.lock();
-                f.seek(SeekFrom::Start(pid.0 as u64 * PAGE_SIZE as u64))?;
-                f.write_all(&[0u8; PAGE_SIZE])?;
+            Backend::File(state) => {
+                let mut st = state.lock();
+                // Write a valid zeroed slot 0 and a dense (invalid) slot 1
+                // so later slot reads never cross EOF.
+                let phys = encode_slot(&[0u8; PAGE_SIZE], 1);
+                st.file.seek(SeekFrom::Start(slot_offset(pid, 0)))?;
+                st.file.write_all(&phys)?;
+                st.file.write_all(&[0u8; PHYS_PAGE])?;
+                st.meta.push(PageMeta {
+                    version: 1,
+                    slot: 0,
+                });
             }
         }
+        *n += 1;
         Ok(pid)
     }
 
-    /// Read page `pid` into `buf`.
+    /// Read page `pid` into `buf`. On the file backend the live slot's
+    /// checksum and version are verified, with fallback to the partner
+    /// slot; both invalid is a [`TmanError::Corrupt`].
     pub fn read_page(&self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
         self.check_bounds(pid)?;
+        self.frozen_check()?;
         self.stats.page_reads.bump();
         match &self.backend {
             Backend::Memory(pages) => {
                 buf.copy_from_slice(&pages.lock()[pid.0 as usize][..]);
             }
-            Backend::File(file) => {
-                let mut f = file.lock();
-                f.seek(SeekFrom::Start(pid.0 as u64 * PAGE_SIZE as u64))?;
-                f.read_exact(buf)?;
+            Backend::File(state) => {
+                let mut st = state.lock();
+                let m = st.meta[pid.0 as usize];
+                if let Some(phys) = read_slot(&mut st.file, pid, m.slot) {
+                    if let Some((version, data)) = decode_slot(&phys) {
+                        if version == m.version {
+                            buf.copy_from_slice(data);
+                            return Ok(());
+                        }
+                    }
+                }
+                // Live slot failed validation: salvage from the partner.
+                self.stats.checksum_failures.bump();
+                let other = 1 - m.slot;
+                let salvage = read_slot(&mut st.file, pid, other)
+                    .as_ref()
+                    .and_then(|p| decode_slot(p).map(|(v, d)| (v, d.to_vec())));
+                match salvage {
+                    Some((version, data)) => {
+                        st.meta[pid.0 as usize] = PageMeta {
+                            version,
+                            slot: other,
+                        };
+                        buf.copy_from_slice(&data);
+                    }
+                    None => {
+                        return Err(TmanError::Corrupt(format!(
+                            "page {} lost: both slots fail checksum",
+                            pid.0
+                        )));
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    /// Write `buf` to page `pid`.
+    /// Write `buf` to page `pid`. On the file backend the write goes to the
+    /// inactive slot with a bumped version; the slot map only flips once the
+    /// full slot is on disk, so a failed write never clobbers the previous
+    /// version.
     pub fn write_page(&self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
         self.check_bounds(pid)?;
+        self.frozen_check()?;
         self.stats.page_writes.bump();
         match &self.backend {
             Backend::Memory(pages) => {
                 pages.lock()[pid.0 as usize].copy_from_slice(buf);
             }
-            Backend::File(file) => {
-                let mut f = file.lock();
-                f.seek(SeekFrom::Start(pid.0 as u64 * PAGE_SIZE as u64))?;
-                f.write_all(buf)?;
+            Backend::File(state) => {
+                let mut st = state.lock();
+                let m = st.meta[pid.0 as usize];
+                let target = 1 - m.slot;
+                let version = m.version + 1;
+                let phys = encode_slot(buf, version);
+                let off = slot_offset(pid, target);
+                // Fault decision is drawn under the file lock so the RNG
+                // stream is deterministic for a given workload.
+                let fault = self.plan.as_ref().and_then(|p| p.decide_write(PHYS_PAGE));
+                match fault {
+                    None => {
+                        st.file.seek(SeekFrom::Start(off))?;
+                        st.file.write_all(&phys)?;
+                        st.meta[pid.0 as usize] = PageMeta {
+                            version,
+                            slot: target,
+                        };
+                    }
+                    Some(f) => {
+                        self.stats.faults_injected.bump();
+                        match f.kind {
+                            FaultKind::DroppedSync => {
+                                // Lying success: nothing reaches disk, the
+                                // slot map stays on the previous version.
+                            }
+                            FaultKind::TransientError => {
+                                return Err(TmanError::Io("injected transient write error".into()));
+                            }
+                            FaultKind::TornWrite | FaultKind::ShortWrite => {
+                                st.file.seek(SeekFrom::Start(off))?;
+                                st.file.write_all(&phys[..f.tear_at])?;
+                                return Err(TmanError::Io(format!(
+                                    "injected torn write at byte {} of page {}",
+                                    f.tear_at, pid.0
+                                )));
+                            }
+                            FaultKind::Crash => {
+                                st.file.seek(SeekFrom::Start(off))?;
+                                st.file.write_all(&phys[..f.tear_at])?;
+                                return Err(TmanError::Io(format!(
+                                    "simulated crash during write of page {}",
+                                    pid.0
+                                )));
+                            }
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -170,6 +454,11 @@ impl DiskManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tman_disk_{tag}_{}.db", std::process::id()))
+    }
 
     #[test]
     fn memory_allocate_read_write() {
@@ -209,7 +498,7 @@ mod tests {
 
     #[test]
     fn file_backend_persists() {
-        let path = std::env::temp_dir().join(format!("tman_disk_{}.db", std::process::id()));
+        let path = tmp("persist");
         let _ = std::fs::remove_file(&path);
         let p;
         {
@@ -222,9 +511,223 @@ mod tests {
         {
             let dm = DiskManager::open_file(&path).unwrap();
             assert_eq!(dm.num_pages(), 2);
+            assert!(!dm.recovery_report().recovered(), "clean reopen");
             let mut buf = [0u8; PAGE_SIZE];
             dm.read_page(p, &mut buf).unwrap();
             assert_eq!(buf[7], 77);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repeated_writes_ping_pong_and_survive_reopen() {
+        let path = tmp("pingpong");
+        let _ = std::fs::remove_file(&path);
+        let p;
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            p = dm.allocate().unwrap();
+            for i in 0..9u8 {
+                let mut buf = [0u8; PAGE_SIZE];
+                buf[0] = i;
+                dm.write_page(p, &buf).unwrap();
+            }
+        }
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            dm.read_page(p, &mut buf).unwrap();
+            assert_eq!(buf[0], 8, "highest version wins at scavenge");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_preserves_previous_version() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            torn_per_mille: 1000,
+            ..Default::default()
+        });
+        let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+        let p = dm.allocate().unwrap();
+        let mut old = [0u8; PAGE_SIZE];
+        old[0] = 1;
+        dm.write_page(p, &old).unwrap(); // disarmed: clean
+        plan.arm();
+        let mut new = [0u8; PAGE_SIZE];
+        new[0] = 2;
+        let err = dm.write_page(p, &new).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        let mut back = [0u8; PAGE_SIZE];
+        dm.read_page(p, &mut back).unwrap();
+        assert_eq!(back[0], 1, "previous version intact after torn write");
+        assert_eq!(dm.stats().faults_injected.get(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dropped_sync_silently_loses_the_write() {
+        let path = tmp("dropped");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 5,
+            dropped_sync_per_mille: 1000,
+            ..Default::default()
+        });
+        let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+        let p = dm.allocate().unwrap();
+        let mut old = [0u8; PAGE_SIZE];
+        old[0] = 7;
+        dm.write_page(p, &old).unwrap();
+        plan.arm();
+        let mut new = [0u8; PAGE_SIZE];
+        new[0] = 9;
+        dm.write_page(p, &new).unwrap(); // lies
+        let mut back = [0u8; PAGE_SIZE];
+        dm.read_page(p, &mut back).unwrap();
+        assert_eq!(back[0], 7, "dropped sync kept the old version");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transient_error_succeeds_on_retry() {
+        let path = tmp("transient");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 2,
+            transient_per_mille: 500,
+            ..Default::default()
+        });
+        let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+        let p = dm.allocate().unwrap();
+        plan.arm();
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[3] = 3;
+        // At 50% rate a bounded retry loop always gets through eventually.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match dm.write_page(p, &buf) {
+                Ok(()) => break,
+                Err(e) => assert_eq!(e.kind(), "io"),
+            }
+            assert!(attempts < 100, "retry never succeeded");
+        }
+        let mut back = [0u8; PAGE_SIZE];
+        dm.read_page(p, &mut back).unwrap();
+        assert_eq!(back[3], 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_freezes_io_until_reopen() {
+        let path = tmp("crash");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 13,
+            crash_after_writes: Some(2),
+            ..Default::default()
+        });
+        let p;
+        {
+            let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+            p = dm.allocate().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 1;
+            dm.write_page(p, &buf).unwrap();
+            plan.arm();
+            buf[0] = 2;
+            dm.write_page(p, &buf).unwrap(); // armed write 1: clean
+            buf[0] = 3;
+            assert!(dm.write_page(p, &buf).is_err(), "write 2 crashes");
+            assert!(plan.crashed());
+            // Frozen disk: everything errors now.
+            let mut rb = [0u8; PAGE_SIZE];
+            assert!(dm.read_page(p, &mut rb).is_err());
+            assert!(dm.allocate().is_err());
+        }
+        plan.reset_crash();
+        plan.disarm();
+        {
+            let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+            let mut rb = [0u8; PAGE_SIZE];
+            dm.read_page(p, &mut rb).unwrap();
+            assert_eq!(rb[0], 2, "last durable version recovered");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scavenge_quarantines_doubly_torn_page() {
+        let path = tmp("quarantine");
+        let _ = std::fs::remove_file(&path);
+        let p;
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            p = dm.allocate().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 0xEE;
+            dm.write_page(p, &buf).unwrap();
+            dm.write_page(p, &buf).unwrap(); // both slots now hold versions
+        }
+        // Corrupt both physical slots of page p on disk.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            for slot in 0..2u8 {
+                f.seek(SeekFrom::Start(slot_offset(p, slot) + 100)).unwrap();
+                f.write_all(&[0xFF; 8]).unwrap();
+            }
+        }
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            let report = dm.recovery_report();
+            assert!(report.recovered());
+            assert_eq!(report.quarantined, vec![p]);
+            assert_eq!(dm.stats().quarantined_pages.get(), 1);
+            // Quarantined page reads as zeros, not garbage.
+            let mut rb = [0u8; PAGE_SIZE];
+            dm.read_page(p, &mut rb).unwrap();
+            assert!(rb.iter().all(|&b| b == 0));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scavenge_salvages_single_torn_slot() {
+        let path = tmp("salvage");
+        let _ = std::fs::remove_file(&path);
+        let p;
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            p = dm.allocate().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 0x42;
+            dm.write_page(p, &buf).unwrap();
+            buf[0] = 0x43;
+            dm.write_page(p, &buf).unwrap(); // live is now the newer slot
+        }
+        // Tear the *live* (higher-version) slot; the partner must win.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            // Second write landed in slot 1 (first write used slot 1? no:
+            // allocate seeds slot 0 v1, write1 -> slot 1 v2, write2 -> slot 0 v3).
+            f.seek(SeekFrom::Start(slot_offset(p, 0) + 50)).unwrap();
+            f.write_all(&[0xAA; 16]).unwrap();
+        }
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            let report = dm.recovery_report();
+            assert!(report.quarantined.is_empty());
+            assert!(report.salvaged_slots >= 1);
+            assert!(report.recovered());
+            let mut rb = [0u8; PAGE_SIZE];
+            dm.read_page(p, &mut rb).unwrap();
+            assert_eq!(rb[0], 0x42, "previous version salvaged");
         }
         let _ = std::fs::remove_file(&path);
     }

@@ -95,6 +95,69 @@ impl HeapFile {
         self.meta
     }
 
+    /// Rebuild a heap whose meta page was lost (quarantined): rewrite the
+    /// meta in place pointing at a fresh empty data page. Previous rows are
+    /// unreachable without the meta; callers repopulate from their source
+    /// of truth.
+    pub fn reformat(pool: Arc<BufferPool>, meta: PageId) -> Result<HeapFile> {
+        let (first_pid, first) = pool.allocate()?;
+        SlottedPage::init(&mut first.write());
+        let g = pool.fetch(meta)?;
+        {
+            let mut m = g.write();
+            m[0..4].copy_from_slice(MAGIC);
+            m[4..8].copy_from_slice(&first_pid.0.to_le_bytes());
+            m[8..12].copy_from_slice(&first_pid.0.to_le_bytes());
+            m[12..16].copy_from_slice(&0u32.to_le_bytes());
+        }
+        Ok(HeapFile { pool, meta })
+    }
+
+    /// Crash-recovery revalidation: re-initialize quarantined (zeroed)
+    /// chain pages so inserts cannot underflow, cut chain links that point
+    /// out of bounds, re-find the true tail, and clear dangling free-space
+    /// hints. Bounded by a visited set so a damaged chain cannot loop.
+    /// Returns `true` when anything was fixed.
+    pub fn repair(&self) -> Result<bool> {
+        let (first, last, free_hint) = self.read_meta()?;
+        let num_pages = self.pool.disk().num_pages();
+        let mut changed = false;
+        let mut visited = std::collections::HashSet::new();
+        let mut pid = first;
+        let mut tail = first;
+        while !pid.is_null() && visited.insert(pid) {
+            let g = self.pool.fetch(pid)?;
+            let mut w = g.write();
+            let free_end = u16::from_le_bytes(w[6..8].try_into().unwrap());
+            if free_end == 0 {
+                // Never formatted / zeroed by quarantine: re-init so the
+                // insert path sees a well-formed empty page.
+                SlottedPage::init(&mut w);
+                changed = true;
+            }
+            let mut sp = SlottedPage::new(&mut w);
+            let next = sp.next_page();
+            if !next.is_null() && next.0 >= num_pages {
+                sp.set_next_page(PageId::NULL);
+                changed = true;
+                tail = pid;
+                break;
+            }
+            tail = pid;
+            drop(w);
+            pid = next;
+        }
+        if last != tail {
+            self.write_meta_field(8, tail)?;
+            changed = true;
+        }
+        if !free_hint.is_null() && !visited.contains(&free_hint) {
+            self.write_meta_field(12, PageId::NULL)?;
+            changed = true;
+        }
+        Ok(changed)
+    }
+
     fn read_meta(&self) -> Result<(PageId, PageId, PageId)> {
         let g = self.pool.fetch(self.meta)?;
         let m = g.read();

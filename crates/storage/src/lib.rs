@@ -22,6 +22,7 @@ pub mod btree;
 pub mod buffer;
 pub mod dir;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod keyenc;
 pub mod page;
@@ -29,7 +30,8 @@ pub mod page;
 pub use btree::BTree;
 pub use buffer::{BufferPool, PageGuard};
 pub use dir::{Directory, ObjectKind};
-pub use disk::{DiskManager, PageId, PAGE_SIZE};
+pub use disk::{DiskManager, PageId, RecoveryReport, PAGE_SIZE};
+pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use heap::{HeapFile, RecordId};
 
 use std::path::Path;
@@ -47,8 +49,57 @@ impl Storage {
     /// Open (or create) a file-backed store with the given buffer-pool
     /// capacity in pages.
     pub fn open_file(path: &Path, pool_pages: usize) -> Result<Storage> {
-        let disk = Arc::new(DiskManager::open_file(path)?);
-        Self::with_disk(disk, pool_pages)
+        Self::open_file_with(path, pool_pages, None)
+    }
+
+    /// Open a file-backed store with an optional fault-injection plan.
+    /// When the open-time scavenge pass finds crash damage, derived state
+    /// (heap chains, index roots, directory links) is revalidated and
+    /// repaired before the store is handed out.
+    pub fn open_file_with(
+        path: &Path,
+        pool_pages: usize,
+        faults: Option<FaultPlan>,
+    ) -> Result<Storage> {
+        let disk = Arc::new(DiskManager::open_file_with(path, faults)?);
+        let recovered = disk.recovery_report().recovered();
+        let storage = Self::with_disk(disk, pool_pages)?;
+        if recovered {
+            storage.repair_derived_state()?;
+        }
+        Ok(storage)
+    }
+
+    /// True when the open-time scavenge pass found and absorbed crash
+    /// damage (torn slots or quarantined pages). Higher layers use this to
+    /// decide whether to rebuild derived structures such as SQL indexes.
+    pub fn was_recovered(&self) -> bool {
+        self.pool.disk().recovery_report().recovered()
+    }
+
+    /// Revalidate every object reachable from the directory after a crash:
+    /// prune entries whose meta page never reached disk, re-seat heaps and
+    /// trees whose meta pages were quarantined, fix heap chains, and reset
+    /// unreadable index roots to empty leaves.
+    fn repair_derived_state(&self) -> Result<()> {
+        let num_pages = self.pool.disk().num_pages();
+        self.dir.repair(num_pages)?;
+        for entry in self.dir.list()? {
+            match entry.kind {
+                ObjectKind::Heap => match HeapFile::open(self.pool.clone(), entry.root) {
+                    Ok(heap) => {
+                        heap.repair()?;
+                    }
+                    Err(_) => {
+                        HeapFile::reformat(self.pool.clone(), entry.root)?;
+                    }
+                },
+                ObjectKind::BTree => {
+                    BTree::repair(&self.pool, entry.root)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Create a volatile in-memory store (tests and benches).

@@ -1,0 +1,266 @@
+//! Crash-recovery differential harness.
+//!
+//! Each case runs a mixed workload (trigger DDL churn, data-source
+//! inserts, token processing, checkpoints) against a file-backed engine
+//! whose disk manager carries a seeded [`FaultPlan`] with a hard crash
+//! point and a sprinkling of torn/transient write faults. When the crash
+//! point fires the disk freezes mid-workload; the engine is dropped,
+//! thawed, and reopened, and the harness checks the recovery contract:
+//!
+//! * **No lost tokens** — every update descriptor that was enqueued and
+//!   covered by a successful checkpoint before the crash fires either
+//!   before the crash or after the restart (at-least-once).
+//! * **No double delivery after restart** — each descriptor fires at most
+//!   once post-restart; rows at or below the durable queue watermark are
+//!   deduplicated at open instead of redelivered.
+//! * **Catalogs survive** — phase-A triggers and their
+//!   `expression_signature` rows come back intact, and any extra trigger
+//!   present after recovery is one the workload actually created.
+//! * **Clean restarts are silent** — after draining and checkpointing,
+//!   another restart delivers nothing.
+//!
+//! Every schedule derives from the case number, so a failure replays
+//! exactly. `CRASH_CASES` bounds the default run; the `#[ignore]`d sweep
+//! covers the full 64 cases (run it with `cargo test -- --ignored`).
+
+use std::collections::BTreeMap;
+use tman_common::Value;
+use tman_storage::{FaultConfig, FaultPlan};
+use triggerman::{Config, QueueMode, TriggerMan};
+
+/// Phase-A triggers r0..r{N-1}; inserts cycle k through 0..N so every
+/// token matches exactly one trigger.
+const TRIGGERS: usize = 12;
+/// Safety valve: give up on a case if the crash point somehow never fires.
+const MAX_OPS: u64 = 5_000;
+
+fn tmpfile(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tman_crash_{tag}_{}.db", std::process::id()))
+}
+
+/// Unique identity of the `serial`-th insert, as observed in a `Fired`
+/// event (`values[1]` carries the row's varchar tag).
+fn token_id(serial: u64) -> String {
+    format!("{:?}", Value::str(format!("t{serial}")))
+}
+
+fn drain_fires(
+    rx: &crossbeam::channel::Receiver<triggerman::EventNotification>,
+    into: &mut BTreeMap<String, usize>,
+) {
+    for n in rx.try_iter() {
+        let id = format!("{:?}", n.values[1]);
+        *into.entry(id).or_default() += 1;
+    }
+}
+
+fn crash_case(case: u64) {
+    let path = tmpfile(&format!("case{case}"));
+    let _ = std::fs::remove_file(&path);
+    // Every case pins its own schedule: a distinct RNG seed, a distinct
+    // crash point, and mild background write faults.
+    let plan = FaultPlan::new(FaultConfig {
+        seed: 0xC0FFEE ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        crash_after_writes: Some(3 + (case * 7) % 120),
+        torn_per_mille: 25,
+        transient_per_mille: 40,
+        ..Default::default()
+    });
+    let cfg = Config {
+        queue_mode: QueueMode::Persistent,
+        faults: Some(plan.clone()),
+        ..Default::default()
+    };
+
+    let mut pre: BTreeMap<String, usize> = BTreeMap::new();
+    // Serials whose insert succeeded, partitioned by whether a later
+    // checkpoint succeeded (durable) or not yet (pending) at crash time.
+    let mut durable: Vec<u64> = Vec::new();
+    let mut pending: Vec<u64> = Vec::new();
+    let mut tmp_attempted: Vec<String> = Vec::new();
+    let (oracle_triggers, oracle_signatures) = {
+        let tman = TriggerMan::open_file(&path, cfg).unwrap();
+        let rx = tman.subscribe("Fired");
+        // ----- phase A: reliable disk, all of this is durable ------------
+        tman.run_sql("create table s (k int, v varchar(16))")
+            .unwrap();
+        tman.execute_command("define data source s from table s")
+            .unwrap();
+        for i in 0..TRIGGERS {
+            tman.execute_command(&format!(
+                "create trigger r{i} from s when s.k = {i} do raise event Fired(s.k, s.v)"
+            ))
+            .unwrap();
+        }
+        tman.checkpoint().unwrap();
+        let oracle_triggers = tman.trigger_names();
+        let oracle_signatures = format!(
+            "{:?}",
+            tman.run_sql("select * from expression_signature")
+                .unwrap()
+                .rows()
+        );
+        // ----- phase B: armed; failures tolerated, successes tracked -----
+        plan.arm();
+        let mut serial = 0u64;
+        while !plan.crashed() && serial < MAX_OPS {
+            let k = serial as usize % TRIGGERS;
+            if tman
+                .run_sql(&format!("insert into s values ({k}, 't{serial}')"))
+                .is_ok()
+            {
+                pending.push(serial);
+            }
+            serial += 1;
+            if serial % 4 == 0 && tman.checkpoint().is_ok() {
+                durable.append(&mut pending);
+            }
+            if serial % 7 == 0 {
+                let _ = tman.run_until_quiescent();
+            }
+            if serial % 11 == 0 {
+                // DDL churn under fire: an ephemeral trigger that shares
+                // the phase-A signature comes and (usually) goes.
+                let name = format!("tmp{serial}");
+                if tman
+                    .execute_command(&format!(
+                        "create trigger {name} from s when s.k = 999 do notify '{name}'"
+                    ))
+                    .is_ok()
+                {
+                    tmp_attempted.push(name.clone());
+                    let _ = tman.execute_command(&format!("drop trigger {name}"));
+                }
+            }
+        }
+        assert!(plan.crashed(), "case {case}: crash point never fired");
+        drain_fires(&rx, &mut pre);
+        // The engine is dropped with the disk still frozen — exactly what
+        // a process kill looks like to the storage layer.
+        (oracle_triggers, oracle_signatures)
+    };
+
+    // ----- restart: thaw the disk, reopen without fault injection --------
+    plan.reset_crash();
+    plan.disarm();
+    let cfg_clean = Config {
+        queue_mode: QueueMode::Persistent,
+        ..Default::default()
+    };
+    {
+        let tman = TriggerMan::open_file(&path, cfg_clean.clone()).unwrap();
+        let rx = tman.subscribe("Fired");
+
+        // Watermark sanity: acknowledgements never outrun observed fires.
+        let wm = tman
+            .queue_watermark()
+            .expect("persistent queue exposes a watermark");
+        let pre_total: usize = pre.values().sum();
+        assert!(
+            wm >= 0 && wm as usize <= pre_total,
+            "case {case}: durable watermark {wm} outran the {pre_total} fires \
+             observed before the crash — an ack was recorded for a token that \
+             never executed"
+        );
+
+        // Catalog recovery. Phase-A triggers must all be back; anything
+        // else present must be a tmp trigger the workload really created.
+        let survivors = tman.trigger_names();
+        let (tmps, rs): (Vec<String>, Vec<String>) =
+            survivors.into_iter().partition(|n| n.starts_with("tmp"));
+        assert_eq!(
+            rs, oracle_triggers,
+            "case {case}: phase-A trigger catalog diverged after recovery"
+        );
+        for t in &tmps {
+            assert!(
+                tmp_attempted.contains(t),
+                "case {case}: phantom trigger {t} appeared after recovery"
+            );
+        }
+        assert_eq!(
+            tman.predicate_index().num_entries(),
+            TRIGGERS + tmps.len(),
+            "case {case}: predicate index out of step with the catalog"
+        );
+        if tmps.is_empty() {
+            // No phase-B DDL survived, so the signature catalog must be
+            // byte-identical to the phase-A oracle.
+            let sigs = format!(
+                "{:?}",
+                tman.run_sql("select * from expression_signature")
+                    .unwrap()
+                    .rows()
+            );
+            assert_eq!(
+                sigs, oracle_signatures,
+                "case {case}: expression_signature rows diverged after recovery"
+            );
+        }
+
+        // Drain everything the queue redelivers.
+        tman.run_until_quiescent().unwrap();
+        let mut post: BTreeMap<String, usize> = BTreeMap::new();
+        drain_fires(&rx, &mut post);
+        assert!(
+            tman.last_error().is_none(),
+            "case {case}: clean replay errored: {:?}",
+            tman.last_error()
+        );
+        assert_eq!(tman.queue_len(), 0, "case {case}: queue not drained");
+
+        // No lost tokens: every checkpoint-covered descriptor fired on at
+        // least one side of the crash.
+        for &serial in &durable {
+            let id = token_id(serial);
+            assert!(
+                pre.contains_key(&id) || post.contains_key(&id),
+                "case {case}: durable token t{serial} was lost"
+            );
+        }
+        // No double delivery after restart.
+        for (id, &n) in &post {
+            assert!(
+                n <= 1,
+                "case {case}: token {id} delivered {n} times after restart"
+            );
+        }
+        tman.checkpoint().unwrap();
+    }
+
+    // ----- a clean restart after a drained checkpoint delivers nothing ---
+    {
+        let tman = TriggerMan::open_file(&path, cfg_clean).unwrap();
+        let rx = tman.subscribe("Fired");
+        tman.run_until_quiescent().unwrap();
+        assert_eq!(
+            rx.try_iter().count(),
+            0,
+            "case {case}: clean shutdown redelivered tokens"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+fn budget() -> u64 {
+    std::env::var("CRASH_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+#[test]
+fn crash_sweep_bounded() {
+    for case in 0..budget() {
+        crash_case(case);
+    }
+}
+
+/// The full pinned-seed sweep. Slow; run with `cargo test -- --ignored`.
+#[test]
+#[ignore]
+fn crash_sweep_full() {
+    for case in 0..64 {
+        crash_case(case);
+    }
+}
