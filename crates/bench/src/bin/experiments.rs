@@ -43,6 +43,7 @@ fn main() {
         ("e10", e10_design),
         ("e11", e11_governor),
         ("e12", e12_partitions),
+        ("e13", e13_wire),
     ];
     for (name, f) in all {
         if selected.is_empty() || selected.contains(name) {
@@ -1054,4 +1055,126 @@ fn e12_partitions(o: &Opts) {
     println!("\nadaptive run, `show stats drivers`:");
     print!("{partition_report}");
     dump_metrics("e12", &metrics_json);
+}
+
+/// E13 — wire-tier ingestion: many loopback TCP source connections stream
+/// tokens through `tman-wire` into the update queue. The server
+/// group-commits each poll pass (one durability barrier amortized across
+/// every connection that contributed), so the persistent queue pays far
+/// less than one fsync per token while a remote subscriber concurrently
+/// drains the resulting firings. Paper anchor: §3's process architecture.
+fn e13_wire(o: &Opts) {
+    use tman_wire::{RemoteClient, WireServer};
+
+    let conns = if o.quick { 16 } else { 64 };
+    let per_conn = if o.quick { 500 } else { 2_000 };
+    let total = conns * per_conn;
+    let mut table = Table::new(&["queue", "conns", "tokens/s", "syncs/token", "spikes"]);
+    let mut metrics_json = String::new();
+
+    for persistent in [false, true] {
+        let path = std::env::temp_dir().join(format!("tman_e13_{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = traced(Config {
+            queue_mode: if persistent {
+                QueueMode::Persistent
+            } else {
+                QueueMode::Volatile
+            },
+            ..Default::default()
+        });
+        let tman = if persistent {
+            TriggerMan::open_file(&path, cfg).unwrap()
+        } else {
+            TriggerMan::open_memory(cfg).unwrap()
+        };
+        tman.execute_command("define data source quotes (symbol varchar(12), price float)")
+            .unwrap();
+        tman.execute_command(
+            "create trigger spike from quotes when quotes.price > 550 \
+             do raise event Spike(quotes.symbol, quotes.price)",
+        )
+        .unwrap();
+        let server = WireServer::start(tman.clone(), "127.0.0.1:0").unwrap();
+        let drivers = tman.start_drivers();
+        let addr = server.local_addr().to_string();
+        let syncs = tman
+            .metrics_registry()
+            .counter("tman_disk_syncs_total", &[]);
+        let sync_base = syncs.get();
+
+        // A dashboard drains firings (and acks) while ingestion runs.
+        let dash_addr = addr.clone();
+        let dashboard = std::thread::spawn(move || {
+            let mut sub = RemoteClient::new(dash_addr)
+                .subscribe("e13", "Spike", 0)
+                .unwrap();
+            let mut seen = 0u64;
+            let mut idle = 0u32;
+            while idle < 10 {
+                match sub.next(Duration::from_millis(100)).unwrap() {
+                    Some((seq, _)) => {
+                        idle = 0;
+                        seen += 1;
+                        if seen % 256 == 0 {
+                            sub.ack(seq).unwrap();
+                        }
+                    }
+                    None => idle += 1,
+                }
+            }
+            seen
+        });
+
+        let t0 = Instant::now();
+        let feeders: Vec<_> = (0..conns)
+            .map(|c| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let client = RemoteClient::new(addr);
+                    let mut src = client.data_source("quotes").unwrap();
+                    for i in 0..per_conn {
+                        src.insert(vec![
+                            Value::str("HOT"),
+                            Value::Float(((c * per_conn + i) % 600) as f64),
+                        ])
+                        .unwrap();
+                        if i % 64 == 63 {
+                            src.flush().unwrap();
+                        }
+                    }
+                    src.sync().unwrap();
+                    src.close().unwrap();
+                })
+            })
+            .collect();
+        for f in feeders {
+            f.join().unwrap();
+        }
+        let d = t0.elapsed();
+
+        while tman.queue_len() > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let spikes = dashboard.join().unwrap();
+        drivers.stop();
+        let spent = syncs.get() - sync_base;
+        let label = if persistent { "persistent" } else { "volatile" };
+        table.row(vec![
+            label.to_string(),
+            conns.to_string(),
+            human(rate(total, d)),
+            format!("{:.4}", spent as f64 / total as f64),
+            spikes.to_string(),
+        ]);
+        if persistent {
+            metrics_json = tman.render_metrics_json();
+            dump_trace("e13", &tman);
+        }
+        drop(server);
+        let _ = std::fs::remove_file(&path);
+    }
+    table.print();
+    println!("{total} tokens per row; group commit amortizes the durability barrier.");
+    dump_metrics("e13", &metrics_json);
 }

@@ -39,6 +39,11 @@ pub struct StorageStats {
     pub quarantined_pages: Arc<Counter>,
     /// Faults injected by an attached [`FaultPlan`] (test builds only).
     pub faults_injected: Arc<Counter>,
+    /// Explicit durability syncs (`fdatasync` on the file backend; a
+    /// counted no-op on the memory backend). Group commit amortizes these:
+    /// the wire tier's batched enqueue pays one sync per batch, so
+    /// `syncs / tokens` is the number the E13 experiment watches.
+    pub syncs: Arc<Counter>,
 }
 
 impl StorageStats {

@@ -135,6 +135,11 @@ pub struct UpdateDescriptor {
     /// trace finalizes when the last task finishes. Not serialized by
     /// [`encode`](Self::encode).
     pub trace: TraceHandle,
+    /// Durable origin of this token — the persistent-queue sequence number
+    /// it was dequeued under, if any. Downstream delivery tiers use it to
+    /// deduplicate redelivered tokens after a crash. Like `trace`, this is
+    /// execution metadata: ignored by equality and not serialized.
+    pub origin: Option<i64>,
 }
 
 impl PartialEq for UpdateDescriptor {
@@ -155,6 +160,7 @@ impl UpdateDescriptor {
             old: None,
             new: Some(new),
             trace: TraceHandle::none(),
+            origin: None,
         }
     }
 
@@ -166,6 +172,7 @@ impl UpdateDescriptor {
             old: Some(old),
             new: None,
             trace: TraceHandle::none(),
+            origin: None,
         }
     }
 
@@ -177,6 +184,7 @@ impl UpdateDescriptor {
             old: Some(old),
             new: Some(new),
             trace: TraceHandle::none(),
+            origin: None,
         }
     }
 
@@ -255,6 +263,7 @@ impl UpdateDescriptor {
             old,
             new,
             trace: TraceHandle::none(),
+            origin: None,
         })
     }
 }

@@ -73,6 +73,7 @@ pub fn run_action(
                 trigger: trigger.name.clone(),
                 values,
                 message: None,
+                token_seq: token.origin,
             });
             notify.set_arg_b(fanout as u64);
             system.telemetry.notify_fanout.record(fanout as u64);
@@ -87,6 +88,7 @@ pub fn run_action(
                 trigger: trigger.name.clone(),
                 values: Vec::new(),
                 message: Some(msg),
+                token_seq: token.origin,
             });
             notify.set_arg_b(fanout as u64);
             system.telemetry.notify_fanout.record(fanout as u64);

@@ -121,6 +121,31 @@ impl DataSourceClient {
         }
         self.system.push_token(token)
     }
+
+    /// Report many inserted rows under one group-commit barrier: on the
+    /// persistent queue the whole batch becomes durable with a single
+    /// sync (see [`TriggerMan::push_tokens`]).
+    pub fn insert_batch(&self, rows: Vec<Vec<Value>>) -> Result<()> {
+        let mut batch = Vec::with_capacity(rows.len());
+        for values in rows {
+            let t = self.tuple(values)?;
+            batch.push(UpdateDescriptor::insert(self.source.id, t));
+        }
+        self.system.push_tokens(batch)
+    }
+
+    /// Report a batch of raw descriptors under one group-commit barrier.
+    pub fn push_batch(&self, tokens: Vec<UpdateDescriptor>) -> Result<()> {
+        for token in &tokens {
+            if token.data_src != self.source.id {
+                return Err(TmanError::Invalid(format!(
+                    "descriptor for source {} pushed through '{}'",
+                    token.data_src, self.source.name
+                )));
+            }
+        }
+        self.system.push_tokens(tokens)
+    }
 }
 
 #[cfg(test)]

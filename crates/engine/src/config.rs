@@ -120,6 +120,18 @@ pub struct Config {
     /// plan starts disarmed, so merely attaching it costs nothing until a
     /// harness arms it. Ignored by `open_memory`.
     pub faults: Option<tman_storage::FaultPlan>,
+    /// Wire tier: maximum decoded descriptors accumulated per poll pass
+    /// before a group commit (one batched enqueue + one sync) is forced.
+    pub wire_batch_max: usize,
+    /// Wire tier: ingestion credits granted to a source connection at
+    /// hello time and replenished on batch acknowledgement (one credit =
+    /// one update descriptor the client may send).
+    pub wire_credits: u32,
+    /// Wire tier: persistent-queue depth above which credit replenishment
+    /// is withheld (backpressure). Clients stall on zero credits instead
+    /// of being dropped; grants resume once the drivers drain the queue
+    /// below the high-water mark.
+    pub wire_queue_high_water: usize,
 }
 
 impl Default for Config {
@@ -146,6 +158,9 @@ impl Default for Config {
             index_memory_budget: None,
             governor_period: Duration::from_millis(250),
             faults: None,
+            wire_batch_max: 4096,
+            wire_credits: 1024,
+            wire_queue_high_water: 65_536,
         }
     }
 }

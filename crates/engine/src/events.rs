@@ -1,9 +1,24 @@
 //! Event notification (\[Hans98\]): `raise event` in rule actions
 //! communicates with the outside world; client applications "register for
 //! events, receive event notifications when triggers fire".
+//!
+//! Delivery accounting is per-subscriber: every subscription carries a
+//! stable id, and drops (dead or backlogged receivers) are counted both in
+//! the aggregate `tman_notifications_dropped_total` series and in a
+//! `subscriber`-labeled child of the same family, so one stalled client is
+//! attributable instead of vanishing into a global counter. Dead receivers
+//! are pruned *eagerly*: the publish that detects the failure sweeps the
+//! subscriber out of every routing table before returning.
+//!
+//! [`NotificationSink`]s are synchronous observers invoked inside
+//! [`EventBus::publish`] *before* channel fanout — the wire tier's durable
+//! delivery log hooks in here, so a notification is logged before the
+//! publishing driver can acknowledge the token that produced it.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tman_common::fxhash::FxHashMap;
 use tman_common::Value;
 use tman_telemetry::{CounterHandle, Registry};
@@ -20,12 +35,44 @@ pub struct EventNotification {
     pub values: Vec<Value>,
     /// Message text (for `notify` actions).
     pub message: Option<String>,
+    /// Durable origin of the token whose action raised this notification:
+    /// its persistent-queue sequence number, when the engine runs a
+    /// persistent queue (`None` on the volatile queue). Delivery tiers key
+    /// crash-redelivery dedup on it.
+    pub token_seq: Option<i64>,
+}
+
+/// Synchronous observer of every published notification. Sinks run inside
+/// [`EventBus::publish`] on the publishing driver thread, before any
+/// channel fanout — a sink that persists the notification therefore
+/// completes *before* the token that produced it can be acknowledged to
+/// the update queue, which is what makes at-least-once delivery compose
+/// end-to-end.
+pub trait NotificationSink: Send + Sync {
+    /// Observe one notification at publish time.
+    fn on_publish(&self, n: &EventNotification);
+}
+
+/// Per-subscriber mailbox cap. The channels are unbounded, so "full" is a
+/// policy decision: past this backlog a subscriber is considered stalled
+/// and further notifications to it are counted drops instead of unbounded
+/// memory growth.
+pub const SLOW_CHANNEL_DEPTH: usize = 65_536;
+
+/// One subscription: a stable id (for labeled drop accounting) plus its
+/// channel.
+struct Sub {
+    id: u64,
+    tx: Sender<EventNotification>,
 }
 
 /// Pub/sub hub connecting rule actions to client applications.
 pub struct EventBus {
-    by_event: RwLock<FxHashMap<String, Vec<Sender<EventNotification>>>>,
-    all: RwLock<Vec<Sender<EventNotification>>>,
+    by_event: RwLock<FxHashMap<String, Vec<Sub>>>,
+    all: RwLock<Vec<Sub>>,
+    sinks: RwLock<Vec<Arc<dyn NotificationSink>>>,
+    next_sub: AtomicU64,
+    registry: Option<Arc<Registry>>,
     delivered: CounterHandle,
     dropped: CounterHandle,
 }
@@ -44,6 +91,9 @@ impl EventBus {
         EventBus {
             by_event: RwLock::default(),
             all: RwLock::default(),
+            sinks: RwLock::default(),
+            next_sub: AtomicU64::new(1),
+            registry: None,
             delivered: CounterHandle::noop(),
             dropped: CounterHandle::noop(),
         }
@@ -51,81 +101,117 @@ impl EventBus {
 
     /// Resolve the delivery counters in `registry`, so
     /// `tman_notifications_{delivered,dropped}_total` show up in
-    /// `show stats` / the text exposition.
-    pub fn attach_telemetry(&mut self, registry: &Registry) {
+    /// `show stats` / the text exposition. The registry is retained so
+    /// per-subscriber `subscriber`-labeled drop counters can be resolved
+    /// lazily, the first time a given subscriber actually drops.
+    pub fn attach_telemetry(&mut self, registry: &Arc<Registry>) {
         self.delivered = registry.counter("tman_notifications_delivered_total", &[]);
         self.dropped = registry.counter("tman_notifications_dropped_total", &[]);
+        self.registry = Some(registry.clone());
     }
 
     /// Register for one named event.
     pub fn subscribe(&self, event: &str) -> Receiver<EventNotification> {
         let (tx, rx) = unbounded();
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
         self.by_event
             .write()
             .entry(event.to_lowercase())
             .or_default()
-            .push(tx);
+            .push(Sub { id, tx });
         rx
     }
 
     /// Register for every event (console use).
     pub fn subscribe_all(&self) -> Receiver<EventNotification> {
         let (tx, rx) = unbounded();
-        self.all.write().push(tx);
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        self.all.write().push(Sub { id, tx });
         rx
     }
 
+    /// Attach a synchronous sink observing every published notification.
+    pub fn register_sink(&self, sink: Arc<dyn NotificationSink>) {
+        self.sinks.write().push(sink);
+    }
+
+    /// Count one drop against subscriber `id`: the aggregate series plus
+    /// the `subscriber`-labeled child of the same family.
+    fn count_drop(&self, id: u64) {
+        self.dropped.bump();
+        if let Some(r) = &self.registry {
+            let id_s = id.to_string();
+            r.counter(
+                "tman_notifications_dropped_total",
+                &[("subscriber", id_s.as_str())],
+            )
+            .bump();
+        }
+    }
+
     /// Deliver a notification to all matching subscribers, returning the
-    /// number actually delivered (the fanout). Disconnected receivers are
-    /// pruned lazily.
+    /// number actually delivered (the fanout). Sinks run first (see
+    /// [`NotificationSink`]). A subscriber whose mailbox has grown past
+    /// [`SLOW_CHANNEL_DEPTH`] is treated as full: the notification is
+    /// dropped for that subscriber and counted under its id. Disconnected
+    /// receivers are counted the same way and pruned eagerly — out of
+    /// every routing table before this call returns.
     ///
     /// Hot path note: rule actions publish from every driver thread
     /// concurrently, so delivery runs under *read* locks; the write lock is
     /// only taken to prune when a send actually failed.
     pub fn publish(&self, n: EventNotification) -> usize {
+        {
+            let sinks = self.sinks.read();
+            for s in sinks.iter() {
+                s.on_publish(&n);
+            }
+        }
         let key = n.event.to_lowercase();
         let mut fanout = 0usize;
-        let mut dead: Vec<Sender<EventNotification>> = Vec::new();
+        let mut dead: Vec<u64> = Vec::new();
         {
             let by_event = self.by_event.read();
             if let Some(subs) = by_event.get(&key) {
-                for tx in subs {
-                    match tx.send(n.clone()) {
-                        Ok(()) => {
-                            self.delivered.bump();
-                            fanout += 1;
-                        }
-                        Err(_) => {
-                            self.dropped.bump();
-                            dead.push(tx.clone());
-                        }
-                    }
+                for sub in subs {
+                    self.send_one(sub, &n, &mut fanout, &mut dead);
                 }
             }
         }
         {
             let all = self.all.read();
-            for tx in all.iter() {
-                match tx.send(n.clone()) {
-                    Ok(()) => {
-                        self.delivered.bump();
-                        fanout += 1;
-                    }
-                    Err(_) => {
-                        self.dropped.bump();
-                        dead.push(tx.clone());
-                    }
-                }
+            for sub in all.iter() {
+                self.send_one(sub, &n, &mut fanout, &mut dead);
             }
         }
         if !dead.is_empty() {
-            let is_dead = |tx: &Sender<EventNotification>| dead.iter().any(|d| d.same_channel(tx));
-            if let Some(subs) = self.by_event.write().get_mut(&key) {
-                subs.retain(|tx| !is_dead(tx));
+            let mut by_event = self.by_event.write();
+            for subs in by_event.values_mut() {
+                subs.retain(|s| !dead.contains(&s.id));
             }
-            self.all.write().retain(|tx| !is_dead(tx));
+            by_event.retain(|_, subs| !subs.is_empty());
+            self.all.write().retain(|s| !dead.contains(&s.id));
         }
         fanout
+    }
+
+    fn send_one(&self, sub: &Sub, n: &EventNotification, fanout: &mut usize, dead: &mut Vec<u64>) {
+        if sub.tx.len() >= SLOW_CHANNEL_DEPTH {
+            // Stalled subscriber: mailbox is "full" under the backlog
+            // policy. Drop for this subscriber only; it stays registered.
+            self.count_drop(sub.id);
+            return;
+        }
+        match sub.tx.send(n.clone()) {
+            Ok(()) => {
+                self.delivered.bump();
+                *fanout += 1;
+            }
+            Err(_) => {
+                self.count_drop(sub.id);
+                dead.push(sub.id);
+            }
+        }
     }
 
     /// Notifications successfully delivered (0 until a registry is
@@ -134,8 +220,8 @@ impl EventBus {
         self.delivered.get()
     }
 
-    /// Notifications dropped on dead subscribers (0 until a registry is
-    /// attached).
+    /// Notifications dropped on dead or stalled subscribers (0 until a
+    /// registry is attached).
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
     }
@@ -151,6 +237,7 @@ mod tests {
             trigger: "t".into(),
             values: vec![Value::Int(1)],
             message: None,
+            token_seq: None,
         }
     }
 
@@ -166,7 +253,7 @@ mod tests {
 
     #[test]
     fn subscribe_all_sees_everything() {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let mut bus = EventBus::new();
         bus.attach_telemetry(&registry);
         let rx = bus.subscribe_all();
@@ -196,5 +283,81 @@ mod tests {
         assert_eq!(live.try_recv().unwrap().event, "x");
         bus.publish(note("x"));
         assert_eq!(bus.by_event.read().get("x").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned_in_the_same_publish() {
+        let registry = Arc::new(Registry::new());
+        let mut bus = EventBus::new();
+        bus.attach_telemetry(&registry);
+        drop(bus.subscribe("x"));
+        drop(bus.subscribe_all());
+        let _live = bus.subscribe("x");
+        bus.publish(note("x"));
+        // The first (and only) publish already swept both routing tables.
+        assert_eq!(bus.by_event.read().get("x").unwrap().len(), 1);
+        assert!(bus.all.read().is_empty());
+        assert_eq!(bus.dropped(), 2);
+    }
+
+    #[test]
+    fn drops_are_attributed_per_subscriber() {
+        let registry = Arc::new(Registry::new());
+        let mut bus = EventBus::new();
+        bus.attach_telemetry(&registry);
+        let dead_rx = bus.subscribe("x");
+        let id = bus.by_event.read().get("x").unwrap()[0].id;
+        drop(dead_rx);
+        let _live = bus.subscribe("x");
+        bus.publish(note("x"));
+        let id_s = id.to_string();
+        assert_eq!(
+            registry
+                .counter(
+                    "tman_notifications_dropped_total",
+                    &[("subscriber", id_s.as_str())]
+                )
+                .get(),
+            1
+        );
+        // The aggregate series counts it too.
+        assert_eq!(bus.dropped(), 1);
+    }
+
+    #[test]
+    fn stalled_subscribers_drop_instead_of_growing_without_bound() {
+        let registry = Arc::new(Registry::new());
+        let mut bus = EventBus::new();
+        bus.attach_telemetry(&registry);
+        let rx = bus.subscribe("x");
+        for _ in 0..SLOW_CHANNEL_DEPTH + 5 {
+            bus.publish(note("x"));
+        }
+        // The mailbox stopped at the cap; the overflow was counted, and
+        // the subscriber stayed registered (it is slow, not dead).
+        assert_eq!(rx.len(), SLOW_CHANNEL_DEPTH);
+        assert_eq!(bus.dropped(), 5);
+        assert_eq!(bus.by_event.read().get("x").unwrap().len(), 1);
+        // Draining restores delivery.
+        for _ in rx.try_iter() {}
+        bus.publish(note("x"));
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn sinks_observe_before_fanout() {
+        struct Probe(AtomicU64);
+        impl NotificationSink for Probe {
+            fn on_publish(&self, n: &EventNotification) {
+                assert_eq!(n.event, "x");
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let bus = EventBus::new();
+        let probe = Arc::new(Probe(AtomicU64::new(0)));
+        bus.register_sink(probe.clone());
+        // No channel subscribers at all: sinks still see every publish.
+        assert_eq!(bus.publish(note("x")), 0);
+        assert_eq!(probe.0.load(Ordering::Relaxed), 1);
     }
 }

@@ -57,7 +57,7 @@ pub use client::{Client, DataSourceClient};
 pub use compile::{CompiledAction, CompiledTrigger};
 pub use config::{Config, Partitioning, QueueMode, TracingMode};
 pub use driver::{DriverPool, Task, TmanTestResult};
-pub use events::{EventBus, EventNotification};
+pub use events::{EventBus, EventNotification, NotificationSink};
 pub use metrics::MetricsSnapshot;
 pub use partition_ctl::{
     DriverLoad, PartitionController, PartitionPolicy, PartitionReport, PassInputs,
@@ -308,6 +308,7 @@ impl TriggerMan {
         let ds = pool.disk().stats();
         r.register_counter("tman_page_reads_total", &[], ds.page_reads.clone());
         r.register_counter("tman_page_writes_total", &[], ds.page_writes.clone());
+        r.register_counter("tman_disk_syncs_total", &[], ds.syncs.clone());
         r.register_counter(
             "tman_checksum_failures_total",
             &[],
@@ -961,15 +962,19 @@ impl TriggerMan {
                 old: c.old,
                 new: c.new,
                 trace: self.begin_trace(),
+                origin: None,
             };
             self.queue.enqueue(token)?;
         }
         Ok(result)
     }
 
-    /// Data-source API (§3): deliver one update descriptor from a remote
-    /// data source program.
-    pub fn push_token(&self, mut token: UpdateDescriptor) -> Result<()> {
+    /// Check a descriptor against the source catalog: the source must
+    /// exist and both images must match its schema arity. The wire tier
+    /// validates each decoded descriptor with this before batching, so a
+    /// bad one is attributed to the connection that sent it instead of
+    /// poisoning a whole group commit.
+    pub fn validate_token(&self, token: &UpdateDescriptor) -> Result<()> {
         let sources = self.sources_by_id.read();
         let info = sources
             .get(&token.data_src)
@@ -984,11 +989,33 @@ impl TriggerMan {
                 )));
             }
         }
-        drop(sources);
+        Ok(())
+    }
+
+    /// Data-source API (§3): deliver one update descriptor from a remote
+    /// data source program.
+    pub fn push_token(&self, mut token: UpdateDescriptor) -> Result<()> {
+        self.validate_token(&token)?;
         if !token.trace.is_active() {
             token.trace = self.begin_trace();
         }
         self.queue.enqueue(token)
+    }
+
+    /// Batched data-source API: validate and enqueue many descriptors
+    /// under one group-commit durability barrier (a single sync on the
+    /// persistent queue, see [`UpdateQueue::enqueue_batch`]). Validation
+    /// failures reject the whole batch before anything is enqueued, so a
+    /// caller never has to reason about partial acceptance.
+    pub fn push_tokens(&self, tokens: Vec<UpdateDescriptor>) -> Result<()> {
+        let mut batch = tokens;
+        for token in &mut batch {
+            self.validate_token(token)?;
+            if !token.trace.is_active() {
+                token.trace = self.begin_trace();
+            }
+        }
+        self.queue.enqueue_batch(&batch).map(|_| ())
     }
 
     // ----- token processing (§5.4) ------------------------------------------------
@@ -1270,6 +1297,9 @@ impl TriggerMan {
                     Ok(mut batch) => batch.pop().map(|item| {
                         ack_seq = item.seq;
                         let mut tok = item.token;
+                        // Stamp the durable origin so notifications raised
+                        // by this token carry it (delivery-tier dedup).
+                        tok.origin = item.seq;
                         if tok.trace.is_active() {
                             // Queue wait = capture (trace start) to now.
                             if let Some(start) = tok.trace.start_ns() {
@@ -1485,7 +1515,9 @@ impl TriggerMan {
         self.shutdown.store(true, Ordering::Relaxed);
     }
 
-    pub(crate) fn is_shutdown(&self) -> bool {
+    /// Has [`shutdown`](Self::shutdown) been requested? Embedded services
+    /// (driver threads, the wire server) poll this to stop their loops.
+    pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
     }
 

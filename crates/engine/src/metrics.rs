@@ -271,6 +271,8 @@ pub struct StorageMetrics {
     pub page_reads: u64,
     /// Physical page writes.
     pub page_writes: u64,
+    /// Explicit durability syncs (group-commit barriers).
+    pub syncs: u64,
     /// Transient write errors retried by the buffer pool.
     pub io_retries: u64,
     /// Page-slot reads that failed checksum/version validation.
@@ -487,6 +489,7 @@ impl MetricsSnapshot {
                 pool_hit_rate: ps.pool_hit_rate(),
                 page_reads: ds.page_reads.get(),
                 page_writes: ds.page_writes.get(),
+                syncs: ds.syncs.get(),
                 io_retries: ps.io_retries.get(),
                 checksum_failures: ds.checksum_failures.get(),
                 quarantined_pages: ds.quarantined_pages.get(),
@@ -671,8 +674,8 @@ impl MetricsSnapshot {
                 self.storage.pool_evictions
             ));
             out.push_str(&format!(
-                "  disk               reads={} writes={}\n",
-                self.storage.page_reads, self.storage.page_writes
+                "  disk               reads={} writes={} syncs={}\n",
+                self.storage.page_reads, self.storage.page_writes, self.storage.syncs
             ));
             out.push_str(&format!(
                 "  faults             injected={} retries={} checksum_failures={} quarantined={}\n",

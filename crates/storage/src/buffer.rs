@@ -122,6 +122,15 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Group-commit barrier: flush every dirty page, then force the disk
+    /// backend to stable storage with one sync. Callers batch many logical
+    /// writes between calls so the sync cost is amortized across all of
+    /// them.
+    pub fn sync(&self) -> Result<()> {
+        self.flush_all()?;
+        self.disk.sync()
+    }
+
     /// Write attempts per page before a flush gives up on transient I/O
     /// errors.
     const FLUSH_ATTEMPTS: u32 = 3;

@@ -299,6 +299,19 @@ impl DiskManager {
         Ok(())
     }
 
+    /// Force previously written pages to stable storage: `fdatasync` on
+    /// the file backend, a counted no-op in memory. Group commit calls
+    /// this once per batch; [`StorageStats::syncs`] counts every call so
+    /// experiments can report syncs-per-token.
+    pub fn sync(&self) -> Result<()> {
+        self.frozen_check()?;
+        self.stats.syncs.bump();
+        if let Backend::File(state) = &self.backend {
+            state.lock().file.sync_data()?;
+        }
+        Ok(())
+    }
+
     /// Allocate a fresh zero-filled page at the end of the store.
     pub fn allocate(&self) -> Result<PageId> {
         self.frozen_check()?;

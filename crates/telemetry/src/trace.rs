@@ -98,6 +98,9 @@ pub enum SpanKind {
     /// run from driver maintenance). `arg_a` = fan-out transitions
     /// performed, `arg_b` = the pass's target fan-out.
     PartitionCtl,
+    /// One wire-tier group-commit batch (decode + batched enqueue + sync).
+    /// `arg_a` = tokens in the batch, `arg_b` = connections contributing.
+    Wire,
 }
 
 impl SpanKind {
@@ -116,6 +119,7 @@ impl SpanKind {
             SpanKind::Notify => 9,
             SpanKind::Governor => 10,
             SpanKind::PartitionCtl => 11,
+            SpanKind::Wire => 12,
         }
     }
 
@@ -134,6 +138,7 @@ impl SpanKind {
             9 => SpanKind::Notify,
             10 => SpanKind::Governor,
             11 => SpanKind::PartitionCtl,
+            12 => SpanKind::Wire,
             _ => return None,
         })
     }
@@ -153,6 +158,7 @@ impl SpanKind {
             SpanKind::Notify => "notify",
             SpanKind::Governor => "governor",
             SpanKind::PartitionCtl => "partition_ctl",
+            SpanKind::Wire => "wire",
         }
     }
 }
@@ -810,6 +816,7 @@ fn kind_args(ev: &TraceEvent) -> String {
         SpanKind::PartitionCtl => {
             format!("  [transitions={} target_fanout={}]", ev.arg_a, ev.arg_b)
         }
+        SpanKind::Wire => format!("  [tokens={} conns={}]", ev.arg_a, ev.arg_b),
         _ => String::new(),
     }
 }

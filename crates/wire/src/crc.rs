@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), hand-rolled over a
+//! compile-time table so the wire crate stays dependency-free. Every frame
+//! trailer carries `crc32(version ‖ type ‖ length ‖ payload)`, which is
+//! what lets the decoder reject torn or bit-flipped frames instead of
+//! feeding garbage descriptors into the queue.
+
+/// Reflected-polynomial lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (IEEE, the `cksum`/zlib variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"\x00"), 0xD202_EF8D);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = crc32(b"update descriptor payload");
+        let mut flipped = b"update descriptor payload".to_vec();
+        flipped[3] ^= 0x10;
+        assert_ne!(crc32(&flipped), base);
+    }
+}

@@ -1,0 +1,634 @@
+//! Durable subscriber delivery: the server side of the end-to-end
+//! watermark/ack protocol.
+//!
+//! The engine's update queue already gives *token* processing an
+//! at-least-once contract (PR 5): un-acked tokens are re-processed after a
+//! crash. That re-processing re-runs rule actions, which re-publishes
+//! their notifications — so a naive delivery tier would double-deliver
+//! every fire in the redelivery window. The [`DeliveryHub`] closes that
+//! window and extends the watermark protocol out to remote subscribers:
+//!
+//! * It registers as a synchronous [`NotificationSink`] on the engine's
+//!   [`EventBus`](triggerman::EventBus), so every notification is appended
+//!   to a durable *delivery log* (`wire_delivery_log`) **before** the token
+//!   that produced it can be acknowledged back to the update queue.
+//! * Each subscriber owns a row in `wire_subscriber` holding its durable
+//!   ack **watermark** (highest fully-processed per-subscriber sequence
+//!   number) and **origin high-water** (highest token qid whose
+//!   notifications were all acked). Acks advance the row *first*, then
+//!   delete the covered log rows — the same advance-then-delete ordering
+//!   the queue uses, so a crash leaves a duplicate row behind the
+//!   watermark, never a lost one (duplicates are dropped at open).
+//! * When a crashed engine re-processes a token, the re-published
+//!   notifications are deduplicated against the recovered log: a token
+//!   origin at or below the subscriber's origin high-water appends
+//!   nothing, and for a partially-durable origin the first
+//!   `recovered_count` re-publishes are suppressed (those rows are already
+//!   in the log and will be replayed from it).
+//! * A subscriber reconnecting after a crash presents its own watermark
+//!   (`resume_from`), which is applied as an implicit ack; the hub then
+//!   replays every resident log row above the effective watermark in
+//!   sequence order. The subscriber therefore receives every fire above
+//!   its watermark exactly once.
+//!
+//! Sequence numbers are reproducible across crash incarnations because
+//! per-subscriber appends are origin-ordered (tokens are processed in qid
+//! order on the redelivery path) and a token's action order is
+//! deterministic — which is what makes a client-side watermark meaningful
+//! against a recovered server. Durability granularity is the engine
+//! checkpoint, shared with the update queue: both live in the same
+//! buffer pool, so a checkpoint captures queue state and delivery log
+//! consistently.
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tman_common::fxhash::FxHashMap;
+use tman_common::hex::{hex_decode, hex_encode};
+use tman_common::stats::Counter;
+use tman_common::{Column, DataType, Result, Schema, TmanError, Value};
+use tman_sql::{Database, Table};
+use tman_storage::RecordId;
+use triggerman::{EventNotification, NotificationSink};
+
+use crate::frame::encode_notification_body;
+
+/// Durable subscriber registry: `(name, event, watermark, origin_high)`.
+pub const SUBSCRIBER_TABLE: &str = "wire_subscriber";
+/// Durable delivery log: `(sub, seq, origin, body)`.
+pub const DELIVERY_LOG_TABLE: &str = "wire_delivery_log";
+
+/// One undelivered (or unacked) log row held resident for replay.
+struct LogRow {
+    /// Token origin qid (`-1` for volatile/untracked tokens).
+    origin: i64,
+    /// Record id of the durable row (for deletion on ack).
+    rid: RecordId,
+    /// Encoded notification body (see
+    /// [`encode_notification_body`](crate::frame::encode_notification_body)).
+    body: Vec<u8>,
+}
+
+/// Per-subscriber delivery state. Resident rows are bounded by how far the
+/// subscriber's acks lag its deliveries — the same back-of-queue bound the
+/// update queue's in-flight map has.
+struct SubState {
+    /// Event filter, lowercased; empty or `"*"` matches every event.
+    event: String,
+    /// Highest per-subscriber sequence number durably acked.
+    watermark: u64,
+    /// Highest token origin all of whose notifications have been acked;
+    /// re-publishes of origins at or below it append nothing.
+    origin_high: i64,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Record id of this subscriber's `wire_subscriber` row.
+    row_rid: RecordId,
+    /// Unacked log rows by sequence number, ready for replay.
+    resident: BTreeMap<u64, LogRow>,
+    /// Log rows per origin found durable at open — re-publishes of that
+    /// origin skip this many appends (they are already in `resident`).
+    recovered: FxHashMap<i64, u32>,
+    /// Appends observed per origin in this incarnation (the `j` index the
+    /// recovered counts are compared against).
+    replayed: FxHashMap<i64, u32>,
+    /// Live outbound channel to the connected subscriber, if any. Carries
+    /// `(seq, body)`; dropped on send failure (connection gone).
+    mailbox: Option<Sender<(u64, Vec<u8>)>>,
+    /// Registration epoch, bumped on every [`DeliveryHub::register`]: a
+    /// detach from a stale connection (reconnect raced the old socket's
+    /// EOF) must not clear the new registration's mailbox.
+    epoch: u64,
+}
+
+impl SubState {
+    fn matches(&self, event: &str) -> bool {
+        self.event.is_empty() || self.event == "*" || self.event.eq_ignore_ascii_case(event)
+    }
+}
+
+fn normalize_event(event: &str) -> String {
+    let e = event.trim().to_ascii_lowercase();
+    if e == "*" {
+        String::new()
+    } else {
+        e
+    }
+}
+
+/// Result of [`DeliveryHub::register`].
+pub struct Registration {
+    /// Effective watermark: max of the server's durable row and the
+    /// client's `resume_from`. Deliveries resume strictly above it.
+    pub watermark: u64,
+    /// Registration epoch to pass back to [`DeliveryHub::detach`].
+    pub epoch: u64,
+    /// Unacked `(seq, body)` log rows above the watermark, in order —
+    /// the exactly-once catch-up stream.
+    pub replay: Vec<(u64, Vec<u8>)>,
+}
+
+/// The durable delivery tier. One per engine; shared between the
+/// [`EventBus`](triggerman::EventBus) sink registration and the wire
+/// server's subscriber connections.
+pub struct DeliveryHub {
+    subs_table: Arc<Table>,
+    log_table: Arc<Table>,
+    state: Mutex<FxHashMap<String, SubState>>,
+    /// `tman_wire_delivery_appends_total`: log rows written.
+    appends: Arc<Counter>,
+    /// `tman_wire_redelivery_suppressed_total`: re-published notifications
+    /// deduplicated against the recovered log.
+    suppressed: Arc<Counter>,
+    /// `tman_wire_delivery_acked_total`: log rows retired by acks.
+    acked_rows: Arc<Counter>,
+    /// Log rows dropped at open (acked in the crash window, orphaned, or
+    /// corrupt).
+    dedup_dropped: Arc<Counter>,
+    /// Append/encode failures (the volatile fanout still delivers; durable
+    /// replay for that notification is lost).
+    errors: Arc<Counter>,
+}
+
+impl DeliveryHub {
+    /// Open (or create) the delivery tables in `db` and recover
+    /// subscriber state: load watermarks, drop log rows at or below them
+    /// (the ack-then-delete crash window), and index the surviving rows
+    /// for replay and redelivery dedup.
+    pub fn open(db: &Database) -> Result<Arc<DeliveryHub>> {
+        let subs_table = if db.has_table(SUBSCRIBER_TABLE) {
+            db.table(SUBSCRIBER_TABLE)?
+        } else {
+            db.create_table(
+                SUBSCRIBER_TABLE,
+                Schema::new(vec![
+                    Column::new("name", DataType::Varchar(255)),
+                    Column::new("event", DataType::Varchar(255)),
+                    Column::new("watermark", DataType::Int),
+                    Column::new("origin_high", DataType::Int),
+                ])?,
+            )?
+        };
+        let log_table = if db.has_table(DELIVERY_LOG_TABLE) {
+            db.table(DELIVERY_LOG_TABLE)?
+        } else {
+            db.create_table(
+                DELIVERY_LOG_TABLE,
+                Schema::new(vec![
+                    Column::new("sub", DataType::Varchar(255)),
+                    Column::new("seq", DataType::Int),
+                    Column::new("origin", DataType::Int),
+                    Column::new("body", DataType::Varchar(65535)),
+                ])?,
+            )?
+        };
+        let dedup_dropped = Arc::new(Counter::default());
+        let mut subs: FxHashMap<String, SubState> = FxHashMap::default();
+        subs_table.scan(|rid, row| {
+            let name = row.get(0).as_str().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Ok(true);
+            }
+            let watermark = row.get(2).as_i64().unwrap_or(0).max(0) as u64;
+            subs.insert(
+                name,
+                SubState {
+                    event: normalize_event(row.get(1).as_str().unwrap_or("")),
+                    watermark,
+                    origin_high: row.get(3).as_i64().unwrap_or(-1),
+                    next_seq: watermark + 1,
+                    row_rid: rid,
+                    resident: BTreeMap::new(),
+                    recovered: FxHashMap::default(),
+                    replayed: FxHashMap::default(),
+                    mailbox: None,
+                    epoch: 0,
+                },
+            );
+            Ok(true)
+        })?;
+        // Recover the log. Rows at or below a subscriber's watermark were
+        // acked before the crash but their deletion never reached disk;
+        // rows for unknown subscribers are orphans; undecodable bodies are
+        // torn. All three are dropped, counted, never redelivered.
+        let mut stale: Vec<RecordId> = Vec::new();
+        log_table.scan(|rid, row| {
+            let sub = row.get(0).as_str().unwrap_or("").to_string();
+            let seq = row.get(1).as_i64().unwrap_or(0).max(0) as u64;
+            let origin = row.get(2).as_i64().unwrap_or(-1);
+            let body = row.get(3).as_str().and_then(|s| hex_decode(s).ok());
+            match (subs.get_mut(&sub), body) {
+                (Some(st), Some(body)) if seq > st.watermark => {
+                    if origin >= 0 {
+                        *st.recovered.entry(origin).or_insert(0) += 1;
+                    }
+                    st.resident.insert(seq, LogRow { origin, rid, body });
+                }
+                _ => stale.push(rid),
+            }
+            Ok(true)
+        })?;
+        for rid in stale {
+            log_table.delete(rid)?;
+            dedup_dropped.bump();
+        }
+        for st in subs.values_mut() {
+            if let Some((&max_seq, _)) = st.resident.iter().next_back() {
+                st.next_seq = max_seq + 1;
+            }
+        }
+        Ok(Arc::new(DeliveryHub {
+            subs_table,
+            log_table,
+            state: Mutex::new(subs),
+            appends: Arc::new(Counter::default()),
+            suppressed: Arc::new(Counter::default()),
+            acked_rows: Arc::new(Counter::default()),
+            dedup_dropped,
+            errors: Arc::new(Counter::default()),
+        }))
+    }
+
+    /// Register (or re-register after reconnect) a durable subscriber.
+    /// `resume_from` is the client's own watermark and is applied as an
+    /// implicit ack, so the effective watermark is the max of both sides'.
+    /// Live deliveries arrive on `mailbox`'s receiver end after the
+    /// returned [`Registration::replay`] has been consumed.
+    pub fn register(
+        &self,
+        name: &str,
+        event: &str,
+        resume_from: u64,
+        mailbox: Sender<(u64, Vec<u8>)>,
+    ) -> Result<Registration> {
+        if name.trim().is_empty() {
+            return Err(TmanError::Invalid("subscriber name is empty".into()));
+        }
+        {
+            let mut state = self.state.lock();
+            if !state.contains_key(name) {
+                let rid = self.subs_table.insert(vec![
+                    Value::str(name),
+                    Value::str(event),
+                    Value::Int(0),
+                    Value::Int(-1),
+                ])?;
+                state.insert(
+                    name.to_string(),
+                    SubState {
+                        event: normalize_event(event),
+                        watermark: 0,
+                        origin_high: -1,
+                        next_seq: 1,
+                        row_rid: rid,
+                        resident: BTreeMap::new(),
+                        recovered: FxHashMap::default(),
+                        replayed: FxHashMap::default(),
+                        mailbox: None,
+                        epoch: 0,
+                    },
+                );
+            }
+        }
+        if resume_from > 0 {
+            self.ack(name, resume_from)?;
+        }
+        let mut state = self.state.lock();
+        let st = state.get_mut(name).expect("registered above");
+        st.event = normalize_event(event);
+        st.mailbox = Some(mailbox);
+        st.epoch += 1;
+        let replay: Vec<(u64, Vec<u8>)> = st
+            .resident
+            .iter()
+            .map(|(&seq, row)| (seq, row.body.clone()))
+            .collect();
+        Ok(Registration {
+            watermark: st.watermark,
+            epoch: st.epoch,
+            replay,
+        })
+    }
+
+    /// Drop a subscriber's live mailbox (connection closed). Durable state
+    /// is untouched; deliveries keep accumulating in the log for replay at
+    /// the next [`register`](Self::register). A stale `epoch` (the
+    /// subscriber already re-registered) is a no-op.
+    pub fn detach(&self, name: &str, epoch: u64) {
+        if let Some(st) = self.state.lock().get_mut(name) {
+            if st.epoch == epoch {
+                st.mailbox = None;
+            }
+        }
+    }
+
+    /// Acknowledge every delivery with sequence number at or below
+    /// `through`: advance the durable subscriber row (watermark and origin
+    /// high-water) *first*, then delete the covered log rows. Idempotent;
+    /// returns the new watermark.
+    pub fn ack(&self, name: &str, through: u64) -> Result<u64> {
+        let mut state = self.state.lock();
+        let st = state
+            .get_mut(name)
+            .ok_or_else(|| TmanError::NotFound(format!("unknown subscriber '{name}'")))?;
+        if through <= st.watermark {
+            return Ok(st.watermark);
+        }
+        let covered: Vec<u64> = st.resident.range(..=through).map(|(&s, _)| s).collect();
+        let mut origin_high = st.origin_high;
+        for seq in &covered {
+            origin_high = origin_high.max(st.resident[seq].origin);
+        }
+        st.watermark = through;
+        st.origin_high = origin_high;
+        let (_, new_rid) = self.subs_table.update(
+            st.row_rid,
+            vec![
+                Value::str(name),
+                Value::str(st.event.clone()),
+                Value::Int(st.watermark as i64),
+                Value::Int(st.origin_high),
+            ],
+        )?;
+        st.row_rid = new_rid;
+        for seq in covered {
+            let row = st.resident.remove(&seq).expect("collected above");
+            self.log_table.delete(row.rid)?;
+            self.acked_rows.bump();
+        }
+        Ok(st.watermark)
+    }
+
+    /// A subscriber's durable watermark (`None` if unknown).
+    pub fn watermark(&self, name: &str) -> Option<u64> {
+        self.state.lock().get(name).map(|st| st.watermark)
+    }
+
+    /// Unacked resident log rows for a subscriber (`None` if unknown).
+    pub fn resident_len(&self, name: &str) -> Option<usize> {
+        self.state.lock().get(name).map(|st| st.resident.len())
+    }
+
+    /// Log rows written.
+    pub fn appends(&self) -> &Arc<Counter> {
+        &self.appends
+    }
+    /// Re-published notifications suppressed by redelivery dedup.
+    pub fn suppressed(&self) -> &Arc<Counter> {
+        &self.suppressed
+    }
+    /// Log rows retired by acks.
+    pub fn acked_rows(&self) -> &Arc<Counter> {
+        &self.acked_rows
+    }
+    /// Log rows dropped at open.
+    pub fn dedup_dropped(&self) -> &Arc<Counter> {
+        &self.dedup_dropped
+    }
+    /// Append/encode failures.
+    pub fn errors(&self) -> &Arc<Counter> {
+        &self.errors
+    }
+}
+
+impl NotificationSink for DeliveryHub {
+    /// Append the notification to every matching subscriber's delivery
+    /// log (deduplicating re-publishes of recovered origins), then push it
+    /// down any live mailbox. Runs synchronously inside
+    /// [`EventBus::publish`](triggerman::EventBus::publish), before the
+    /// producing token can be acked to the update queue.
+    fn on_publish(&self, n: &EventNotification) {
+        let mut state = self.state.lock();
+        if !state.values().any(|st| st.matches(&n.event)) {
+            return;
+        }
+        let body = match encode_notification_body(n) {
+            Ok(b) => b,
+            Err(_) => {
+                self.errors.bump();
+                return;
+            }
+        };
+        let origin = n.token_seq.unwrap_or(-1);
+        for (name, st) in state.iter_mut() {
+            if !st.matches(&n.event) {
+                continue;
+            }
+            if origin >= 0 {
+                let j = st.replayed.entry(origin).or_insert(0);
+                let seen = *j;
+                *j += 1;
+                if origin <= st.origin_high {
+                    self.suppressed.bump();
+                    continue;
+                }
+                if seen < st.recovered.get(&origin).copied().unwrap_or(0) {
+                    // Already durable from before the crash; the reconnect
+                    // replay delivers it from `resident`.
+                    self.suppressed.bump();
+                    continue;
+                }
+            }
+            let seq = st.next_seq;
+            match self.log_table.insert(vec![
+                Value::str(name.as_str()),
+                Value::Int(seq as i64),
+                Value::Int(origin),
+                Value::str(hex_encode(&body)),
+            ]) {
+                Ok(rid) => {
+                    st.next_seq = seq + 1;
+                    st.resident.insert(
+                        seq,
+                        LogRow {
+                            origin,
+                            rid,
+                            body: body.clone(),
+                        },
+                    );
+                    self.appends.bump();
+                    let dead = st
+                        .mailbox
+                        .as_ref()
+                        .map(|tx| tx.send((seq, body.clone())).is_err())
+                        .unwrap_or(false);
+                    if dead {
+                        st.mailbox = None;
+                    }
+                }
+                Err(_) => self.errors.bump(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::decode_notification_body;
+    use crossbeam::channel::unbounded;
+
+    fn note(event: &str, origin: Option<i64>, tag: i64) -> EventNotification {
+        EventNotification {
+            event: event.into(),
+            trigger: "t".into(),
+            values: vec![Value::Int(tag)],
+            message: None,
+            token_seq: origin,
+        }
+    }
+
+    #[test]
+    fn deliver_ack_and_replay() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db).unwrap();
+        let (tx, rx) = unbounded();
+        let reg = hub.register("dash", "Spike", 0, tx).unwrap();
+        assert_eq!((reg.watermark, reg.replay.len()), (0, 0));
+        hub.on_publish(&note("Spike", Some(1), 10));
+        hub.on_publish(&note("Other", Some(1), 11)); // filtered out
+        hub.on_publish(&note("spike", Some(2), 12)); // case-insensitive
+        let got: Vec<_> = rx.try_iter().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(
+            decode_notification_body(&got[0].1).unwrap().values,
+            vec![Value::Int(10)]
+        );
+        // Ack the first; the second survives a reopen and is replayed.
+        assert_eq!(hub.ack("dash", 1).unwrap(), 1);
+        assert_eq!(hub.resident_len("dash"), Some(1));
+        drop(hub);
+        let hub2 = DeliveryHub::open(&db).unwrap();
+        let (tx2, _rx2) = unbounded();
+        let reg = hub2.register("dash", "Spike", 0, tx2).unwrap();
+        assert_eq!(reg.watermark, 1);
+        assert_eq!(reg.replay.len(), 1);
+        assert_eq!(reg.replay[0].0, 2);
+        assert_eq!(
+            decode_notification_body(&reg.replay[0].1).unwrap().values,
+            vec![Value::Int(12)]
+        );
+    }
+
+    #[test]
+    fn republished_origins_are_deduplicated_after_reopen() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db).unwrap();
+        let (tx, _rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        // Token 1 fires twice (two triggers); token 2 fires once. Subscriber
+        // acks through token 1's fires only.
+        hub.on_publish(&note("A", Some(1), 1));
+        hub.on_publish(&note("B", Some(1), 2));
+        hub.on_publish(&note("A", Some(2), 3));
+        hub.ack("s", 2).unwrap();
+        drop(hub);
+        // "Crash": the queue redelivers both tokens, so every notification
+        // is re-published. Origin 1 is behind origin_high; origin 2's one
+        // recovered row suppresses the first re-publish.
+        let hub2 = DeliveryHub::open(&db).unwrap();
+        let (tx2, rx2) = unbounded();
+        let reg = hub2.register("s", "*", 0, tx2).unwrap();
+        assert_eq!(reg.watermark, 2);
+        assert_eq!(reg.replay.len(), 1); // token 2's fire, from the log
+        hub2.on_publish(&note("A", Some(1), 1));
+        hub2.on_publish(&note("B", Some(1), 2));
+        hub2.on_publish(&note("A", Some(2), 3));
+        assert_eq!(rx2.try_iter().count(), 0); // nothing double-delivered
+        assert_eq!(hub2.suppressed().get(), 3);
+        // A genuinely new token still flows.
+        hub2.on_publish(&note("A", Some(3), 4));
+        let fresh: Vec<_> = rx2.try_iter().collect();
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].0, 4); // seq continues above the recovered log
+    }
+
+    #[test]
+    fn client_resume_from_acts_as_implicit_ack() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db).unwrap();
+        let (tx, _rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        for i in 1..=4 {
+            hub.on_publish(&note("A", Some(i), i));
+        }
+        drop(hub);
+        // The server never saw an ack, but the client processed through
+        // seq 3 before the crash: reconnecting with resume_from=3 replays
+        // only seq 4.
+        let hub2 = DeliveryHub::open(&db).unwrap();
+        let (tx2, _rx2) = unbounded();
+        let reg = hub2.register("s", "*", 3, tx2).unwrap();
+        assert_eq!(reg.watermark, 3);
+        assert_eq!(reg.replay.len(), 1);
+        assert_eq!(reg.replay[0].0, 4);
+        assert_eq!(hub2.watermark("s"), Some(3));
+    }
+
+    #[test]
+    fn acked_rows_resurrected_by_crash_are_dropped_at_open() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db).unwrap();
+        let (tx, _rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        hub.on_publish(&note("A", Some(1), 1));
+        hub.ack("s", 1).unwrap();
+        // Simulate the ack-then-delete crash window: the watermark update
+        // was durable but the row deletion was not.
+        hub.log_table
+            .insert(vec![
+                Value::str("s"),
+                Value::Int(1),
+                Value::Int(1),
+                Value::str(hex_encode(b"stale")),
+            ])
+            .unwrap();
+        // Plus an orphan row for a subscriber that no longer exists.
+        hub.log_table
+            .insert(vec![
+                Value::str("ghost"),
+                Value::Int(5),
+                Value::Int(2),
+                Value::str(hex_encode(b"orphan")),
+            ])
+            .unwrap();
+        drop(hub);
+        let hub2 = DeliveryHub::open(&db).unwrap();
+        assert_eq!(hub2.dedup_dropped().get(), 2);
+        let (tx2, _rx2) = unbounded();
+        let reg = hub2.register("s", "*", 0, tx2).unwrap();
+        assert_eq!((reg.watermark, reg.replay.len()), (1, 0));
+    }
+
+    #[test]
+    fn stale_detach_does_not_clobber_a_reconnect() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db).unwrap();
+        let (tx1, _rx1) = unbounded();
+        let old = hub.register("s", "*", 0, tx1).unwrap();
+        let (tx2, rx2) = unbounded();
+        let new = hub.register("s", "*", 0, tx2).unwrap();
+        // The old connection's EOF lands after the reconnect: no-op.
+        hub.detach("s", old.epoch);
+        hub.on_publish(&note("A", Some(1), 1));
+        assert_eq!(rx2.try_iter().count(), 1);
+        // Detaching the live epoch does clear the mailbox.
+        hub.detach("s", new.epoch);
+        hub.on_publish(&note("A", Some(2), 2));
+        assert_eq!(rx2.try_iter().count(), 0);
+    }
+
+    #[test]
+    fn volatile_origins_always_deliver() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db).unwrap();
+        let (tx, rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        hub.on_publish(&note("A", None, 1));
+        hub.on_publish(&note("A", None, 2));
+        assert_eq!(rx.try_iter().count(), 2);
+        assert_eq!(hub.suppressed().get(), 0);
+    }
+}

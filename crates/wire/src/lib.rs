@@ -1,0 +1,40 @@
+//! `tman-wire` — the TCP tier in front of a TriggerMan engine (§3's
+//! "data source programs" and "client applications", made remote).
+//!
+//! The paper's architecture captures updates from data sources into a
+//! queue and pushes trigger firings to interested clients. Inside one
+//! process that is [`DataSourceClient`](triggerman::DataSourceClient) and
+//! the [`EventBus`](triggerman::EventBus); this crate extends both ends
+//! over TCP without giving up the scalability story or the crash-safety
+//! story:
+//!
+//! * [`frame`] — a length-framed binary protocol (magic, version, type,
+//!   CRC-32 trailer) with a zero-copy incremental decoder. Malformed input
+//!   of any kind fails the connection cleanly, never the server.
+//! * [`server`] — [`WireServer`]: one poll-based I/O thread multiplexing
+//!   thousands of non-blocking connections; decoded descriptors from all
+//!   source connections are **group-committed** into the update queue (one
+//!   durability barrier per batch) and flow control is credit-based
+//!   against queue depth — backpressure, not drops.
+//! * [`delivery`] — [`DeliveryHub`]: durable per-subscriber delivery logs
+//!   and watermarks, extending the engine's PR-5 queue watermark protocol
+//!   end-to-end: a subscriber that reconnects after a crash (its own or
+//!   the server's) resumes from its durable ack watermark and receives
+//!   every fire above it exactly once.
+//! * [`client`] — [`RemoteClient`] / [`RemoteDataSource`] /
+//!   [`RemoteSubscriber`]: blocking client wrappers for feeders and
+//!   dashboards.
+//! * [`crc`] — the CRC-32 kernel the framing uses.
+
+pub mod client;
+pub mod crc;
+pub mod delivery;
+pub mod frame;
+pub mod server;
+
+pub use client::{RemoteClient, RemoteDataSource, RemoteSubscriber};
+pub use delivery::{DeliveryHub, Registration};
+pub use frame::{
+    decode_frame, decode_notification_body, encode_frame, encode_notification_body, Frame,
+};
+pub use server::WireServer;

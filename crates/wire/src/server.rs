@@ -1,0 +1,612 @@
+//! The TCP tier: a poll-based event loop serving thousands of source and
+//! subscriber connections in front of one [`TriggerMan`] engine.
+//!
+//! One ordinary thread owns a non-blocking [`TcpListener`] and every
+//! accepted stream; each poll pass accepts new connections, reads and
+//! decodes whatever bytes arrived, **group-commits** all decoded update
+//! descriptors across all connections into the update queue (one
+//! [`enqueue_batch`](triggerman::UpdateQueue::enqueue_batch) durability
+//! barrier per [`Config::wire_batch_max`] tokens — the fsync amortization
+//! that lets ingestion scale past per-token durability), pushes pending
+//! notifications to subscribers, and flushes write buffers. No async
+//! runtime: readiness is discovered by attempting the I/O, which at
+//! ingestion rates keeps every pass busy; an idle server parks for ~200 µs
+//! between passes.
+//!
+//! **Flow control is credit-based, never drop-based.** A source connection
+//! is granted [`Config::wire_credits`] at hello (one credit = one
+//! descriptor); every group commit returns a `BatchAck` that replenishes
+//! the window — unless the engine's queue is above
+//! [`Config::wire_queue_high_water`], in which case the grant is withheld
+//! (counted in `tman_wire_backpressure_total`) and the client stalls on
+//! zero credits until the drivers drain the backlog and a later ack (or
+//! standalone `Credit` frame) reopens the window. Exceeding the window is
+//! a protocol violation and closes the connection.
+//!
+//! Any decode failure (bad magic, CRC mismatch, oversized length, version
+//! skew, malformed payload) is unrecoverable for that connection: the
+//! server counts it in `tman_wire_protocol_errors_total`, sends a best-
+//! effort [`Frame::Error`], and closes — other connections are unaffected.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use tman_common::{Result, TmanError, UpdateDescriptor};
+use tman_telemetry::trace::{now_ns, ROOT_SPAN};
+use tman_telemetry::{CounterHandle, GaugeHandle, Registry, SpanKind};
+use triggerman::TriggerMan;
+
+use crate::delivery::DeliveryHub;
+use crate::frame::{decode_frame, encode_frame, Frame, ROLE_SOURCE, ROLE_SUBSCRIBER};
+
+/// Read chunk per connection per pass.
+const READ_CHUNK: usize = 16 * 1024;
+/// Notifications drained from a subscriber mailbox per pass (fairness cap).
+const NOTIFY_PER_PASS: usize = 256;
+/// Idle park between passes when nothing moved.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Error codes carried in [`Frame::Error`].
+pub mod error_code {
+    /// Framing/decoding failure — the byte stream is unrecoverable.
+    pub const PROTOCOL: u16 = 1;
+    /// A descriptor or hello failed engine validation.
+    pub const VALIDATION: u16 = 2;
+    /// The client sent more descriptors than its credit window allows.
+    pub const CREDIT_OVERRUN: u16 = 3;
+    /// Engine-side failure (storage error during group commit).
+    pub const INTERNAL: u16 = 4;
+}
+
+/// Wire-tier instruments, resolved once at startup.
+struct WireMetrics {
+    connections: GaugeHandle,
+    frames_in: CounterHandle,
+    frames_out: CounterHandle,
+    protocol_errors: CounterHandle,
+    backpressure: CounterHandle,
+    batches: CounterHandle,
+    tokens: CounterHandle,
+    notifications: CounterHandle,
+    acks: CounterHandle,
+}
+
+impl WireMetrics {
+    fn resolve(r: &Registry) -> WireMetrics {
+        WireMetrics {
+            connections: r.gauge("tman_wire_connections", &[]),
+            frames_in: r.counter("tman_wire_frames_total", &[("dir", "in")]),
+            frames_out: r.counter("tman_wire_frames_total", &[("dir", "out")]),
+            protocol_errors: r.counter("tman_wire_protocol_errors_total", &[]),
+            backpressure: r.counter("tman_wire_backpressure_total", &[]),
+            batches: r.counter("tman_wire_batches_total", &[]),
+            tokens: r.counter("tman_wire_tokens_total", &[]),
+            notifications: r.counter("tman_wire_notifications_sent_total", &[]),
+            acks: r.counter("tman_wire_acks_total", &[]),
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum Role {
+    Pending,
+    Source,
+    Subscriber,
+}
+
+/// Per-connection state.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    role: Role,
+    /// Remaining credit window (sources).
+    credits: u32,
+    /// Descriptors received over the connection's lifetime (sources).
+    received: u64,
+    /// Descriptors decoded this pass, awaiting the group commit (sources).
+    pass_tokens: u64,
+    /// Durable subscriber name and registration epoch (subscribers).
+    sub_name: Option<(String, u64)>,
+    /// Live delivery mailbox from the [`DeliveryHub`] (subscribers).
+    mailbox: Option<Receiver<(u64, Vec<u8>)>>,
+    /// Close once `wbuf` drains (clean goodbye or error sent).
+    close_after_flush: bool,
+    /// Close immediately (peer gone).
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            role: Role::Pending,
+            credits: 0,
+            received: 0,
+            pass_tokens: 0,
+            sub_name: None,
+            mailbox: None,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    /// Queue a frame for writing (encode failures kill the connection).
+    fn send(&mut self, frame: &Frame<'_>, metrics: &WireMetrics) {
+        match encode_frame(frame, &mut self.wbuf) {
+            Ok(()) => metrics.frames_out.bump(),
+            Err(_) => self.dead = true,
+        }
+    }
+
+    /// Send a fatal error frame and schedule the close.
+    fn fail(&mut self, code: u16, message: String, metrics: &WireMetrics) {
+        metrics.protocol_errors.bump();
+        self.send(&Frame::Error { code, message }, metrics);
+        self.close_after_flush = true;
+    }
+}
+
+/// The embedded TCP server. Owns one I/O thread; stops (and joins) on
+/// [`WireServer::stop`], on drop, or when the engine shuts down.
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    hub: Arc<DeliveryHub>,
+}
+
+impl WireServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), open the
+    /// durable [`DeliveryHub`] in the engine's database, register it as a
+    /// notification sink, and spawn the I/O thread.
+    pub fn start(system: Arc<TriggerMan>, addr: &str) -> Result<WireServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| TmanError::Io(format!("bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| TmanError::Io(format!("set_nonblocking: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| TmanError::Io(format!("local_addr: {e}")))?;
+        let hub = DeliveryHub::open(system.database())?;
+        system.events().register_sink(hub.clone());
+        let registry = system.metrics_registry();
+        registry.register_counter(
+            "tman_wire_delivery_appends_total",
+            &[],
+            hub.appends().clone(),
+        );
+        registry.register_counter(
+            "tman_wire_redelivery_suppressed_total",
+            &[],
+            hub.suppressed().clone(),
+        );
+        registry.register_counter(
+            "tman_wire_delivery_acked_total",
+            &[],
+            hub.acked_rows().clone(),
+        );
+        let metrics = WireMetrics::resolve(registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = stop.clone();
+            let hub = hub.clone();
+            std::thread::Builder::new()
+                .name("tman-wire".into())
+                .spawn(move || run_loop(system, listener, hub, stop, metrics))
+                .map_err(|e| TmanError::Io(format!("spawn wire thread: {e}")))?
+        };
+        Ok(WireServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+            hub,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The durable delivery tier (watermarks, replay state).
+    pub fn hub(&self) -> &Arc<DeliveryHub> {
+        &self.hub
+    }
+
+    /// Stop the I/O thread and wait for it to exit. Idempotent. Durable
+    /// subscriber state stays in the engine's database; clients see EOF
+    /// and reconnect with their watermark after a restart.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn run_loop(
+    system: Arc<TriggerMan>,
+    listener: TcpListener,
+    hub: Arc<DeliveryHub>,
+    stop: Arc<AtomicBool>,
+    metrics: WireMetrics,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let batch_max = system.config().wire_batch_max.max(1);
+    while !stop.load(Ordering::Relaxed) && !system.is_shutdown() {
+        let mut activity = false;
+
+        // Accept everything ready.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn::new(stream));
+                    metrics.connections.inc();
+                    activity = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Read + decode every connection; collect this pass's descriptors.
+        let mut pass_batch: Vec<UpdateDescriptor> = Vec::new();
+        let mut chunks: Vec<Vec<UpdateDescriptor>> = Vec::new();
+        for conn in conns.iter_mut() {
+            if conn.dead || conn.close_after_flush {
+                continue;
+            }
+            let mut buf = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&buf[..n]);
+                        activity = true;
+                        if n < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.dead {
+                continue;
+            }
+            // Decode as many complete frames as the buffer holds.
+            let rbuf = std::mem::take(&mut conn.rbuf);
+            let mut off = 0usize;
+            while off < rbuf.len() {
+                match decode_frame(&rbuf[off..]) {
+                    Ok(Some((frame, used))) => {
+                        off += used;
+                        metrics.frames_in.bump();
+                        handle_frame(conn, frame, &system, &hub, &metrics, &mut pass_batch);
+                        if conn.dead || conn.close_after_flush {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        conn.fail(error_code::PROTOCOL, e.to_string(), &metrics);
+                        break;
+                    }
+                }
+            }
+            conn.rbuf = rbuf;
+            conn.rbuf.drain(..off);
+            // Force a group commit mid-pass rather than letting one
+            // firehose connection grow the batch without bound.
+            if pass_batch.len() >= batch_max {
+                chunks.push(std::mem::take(&mut pass_batch));
+            }
+        }
+        chunks.push(pass_batch);
+
+        // Group-commit this pass's descriptors: one enqueue_batch (one
+        // durability barrier on a persistent queue) per chunk, shared by
+        // every contributing connection.
+        let contributors = conns.iter().filter(|c| c.pass_tokens > 0).count() as u64;
+        let mut commit_failed = false;
+        for tokens in chunks {
+            if tokens.is_empty() {
+                continue;
+            }
+            let n = tokens.len() as u64;
+            let t0 = now_ns();
+            match system.push_tokens(tokens) {
+                Ok(()) => {
+                    metrics.batches.bump();
+                    metrics.tokens.add(n);
+                    if let Some(tracer) = system.tracer() {
+                        let handle = tracer.begin();
+                        let t1 = now_ns();
+                        handle.record_complete(
+                            SpanKind::Wire,
+                            ROOT_SPAN,
+                            t0,
+                            t1.saturating_sub(t0),
+                            n,
+                            contributors,
+                        );
+                    }
+                }
+                Err(_) => commit_failed = true,
+            }
+            activity = true;
+        }
+        // Acknowledge every contributing source, replenishing credits
+        // unless the engine queue is over the high-water mark.
+        if contributors > 0 {
+            let full = system.queue_len() >= system.config().wire_queue_high_water;
+            let window = system.config().wire_credits;
+            for conn in conns.iter_mut().filter(|c| c.pass_tokens > 0) {
+                conn.pass_tokens = 0;
+                if commit_failed {
+                    conn.fail(error_code::INTERNAL, "group commit failed".into(), &metrics);
+                    continue;
+                }
+                let grant = if full {
+                    metrics.backpressure.bump();
+                    0
+                } else {
+                    window.saturating_sub(conn.credits)
+                };
+                conn.credits += grant;
+                conn.send(
+                    &Frame::BatchAck {
+                        through: conn.received,
+                        credits: grant,
+                    },
+                    &metrics,
+                );
+            }
+        }
+        // A source stalled on withheld credits gets them back as soon as
+        // the queue drains, without needing to send anything first.
+        if system.queue_len() < system.config().wire_queue_high_water {
+            let window = system.config().wire_credits;
+            for conn in conns
+                .iter_mut()
+                .filter(|c| c.role == Role::Source && c.credits == 0 && !c.dead)
+            {
+                conn.credits = window;
+                conn.send(&Frame::Credit { credits: window }, &metrics);
+            }
+        }
+
+        // Push pending notifications to connected subscribers.
+        for conn in conns.iter_mut() {
+            // Clone the handle so draining it can interleave with writes
+            // to the same connection (crossbeam receivers are shared).
+            let Some(rx) = conn.mailbox.clone() else {
+                continue;
+            };
+            let mut sent = 0usize;
+            while sent < NOTIFY_PER_PASS {
+                match rx.try_recv() {
+                    Ok((seq, body)) => {
+                        let frame = Frame::Notification {
+                            seq,
+                            body: std::borrow::Cow::Owned(body),
+                        };
+                        conn.send(&frame, &metrics);
+                        metrics.notifications.bump();
+                        sent += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            if sent > 0 {
+                activity = true;
+            }
+        }
+
+        // Flush write buffers.
+        for conn in conns.iter_mut() {
+            while !conn.wbuf.is_empty() && !conn.dead {
+                match conn.stream.write(&conn.wbuf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                    }
+                    Ok(n) => {
+                        conn.wbuf.drain(..n);
+                        activity = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => conn.dead = true,
+                }
+            }
+            if conn.close_after_flush && conn.wbuf.is_empty() {
+                conn.dead = true;
+            }
+        }
+
+        // Retire dead connections.
+        conns.retain(|c| {
+            if c.dead {
+                if let Some((name, epoch)) = &c.sub_name {
+                    hub.detach(name, *epoch);
+                }
+                metrics.connections.dec();
+            }
+            !c.dead
+        });
+
+        if !activity {
+            std::thread::park_timeout(IDLE_PARK);
+        }
+    }
+    metrics.connections.add(-(conns.len() as i64));
+}
+
+/// Handle one decoded frame on one connection.
+fn handle_frame(
+    conn: &mut Conn,
+    frame: Frame<'_>,
+    system: &Arc<TriggerMan>,
+    hub: &Arc<DeliveryHub>,
+    metrics: &WireMetrics,
+    pass_batch: &mut Vec<UpdateDescriptor>,
+) {
+    match frame {
+        Frame::Hello {
+            role,
+            name,
+            event,
+            resume_from,
+        } => {
+            if conn.role != Role::Pending {
+                conn.fail(error_code::PROTOCOL, "duplicate hello".into(), metrics);
+                return;
+            }
+            if role == ROLE_SOURCE {
+                match system.source(&name) {
+                    Ok(info) => {
+                        conn.role = Role::Source;
+                        conn.credits = system.config().wire_credits;
+                        conn.send(
+                            &Frame::HelloAck {
+                                credits: conn.credits,
+                                source_id: info.id.raw(),
+                                resume_from: 0,
+                            },
+                            metrics,
+                        );
+                    }
+                    Err(e) => {
+                        conn.fail(error_code::VALIDATION, e.to_string(), metrics);
+                    }
+                }
+            } else {
+                debug_assert_eq!(role, ROLE_SUBSCRIBER); // decoder rejects others
+                let (tx, rx) = unbounded();
+                match hub.register(&name, &event, resume_from, tx) {
+                    Ok(reg) => {
+                        conn.role = Role::Subscriber;
+                        conn.sub_name = Some((name, reg.epoch));
+                        conn.mailbox = Some(rx);
+                        conn.send(
+                            &Frame::HelloAck {
+                                credits: 0,
+                                source_id: 0,
+                                resume_from: reg.watermark,
+                            },
+                            metrics,
+                        );
+                        // Exactly-once catch-up: replay every unacked log
+                        // row above the effective watermark, in order,
+                        // before any live delivery.
+                        for (seq, body) in reg.replay {
+                            conn.send(
+                                &Frame::Notification {
+                                    seq,
+                                    body: std::borrow::Cow::Owned(body),
+                                },
+                                metrics,
+                            );
+                            metrics.notifications.bump();
+                        }
+                    }
+                    Err(e) => {
+                        conn.fail(error_code::VALIDATION, e.to_string(), metrics);
+                    }
+                }
+            }
+        }
+        Frame::UpdateBatch { descriptors } => {
+            if conn.role != Role::Source {
+                conn.fail(
+                    error_code::PROTOCOL,
+                    "update batch before source hello".into(),
+                    metrics,
+                );
+                return;
+            }
+            let n = descriptors.len() as u64;
+            if n > conn.credits as u64 {
+                conn.fail(
+                    error_code::CREDIT_OVERRUN,
+                    format!("{n} descriptors with {} credits", conn.credits),
+                    metrics,
+                );
+                return;
+            }
+            for raw in &descriptors {
+                let token = match UpdateDescriptor::decode(raw) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        conn.fail(error_code::PROTOCOL, e.to_string(), metrics);
+                        return;
+                    }
+                };
+                if let Err(e) = system.validate_token(&token) {
+                    conn.fail(error_code::VALIDATION, e.to_string(), metrics);
+                    return;
+                }
+                pass_batch.push(token);
+            }
+            conn.credits -= n as u32;
+            conn.received += n;
+            conn.pass_tokens += n;
+        }
+        Frame::Ack { watermark } => {
+            let Some((name, _)) = conn.sub_name.clone() else {
+                conn.fail(
+                    error_code::PROTOCOL,
+                    "ack before subscriber hello".into(),
+                    metrics,
+                );
+                return;
+            };
+            match hub.ack(&name, watermark) {
+                Ok(_) => metrics.acks.bump(),
+                Err(e) => conn.fail(error_code::VALIDATION, e.to_string(), metrics),
+            }
+        }
+        Frame::Goodbye => {
+            conn.close_after_flush = true;
+        }
+        Frame::Error { .. } => {
+            // Client-reported failure: close quietly.
+            conn.close_after_flush = true;
+        }
+        // Server→client frames arriving at the server are protocol errors.
+        Frame::HelloAck { .. }
+        | Frame::BatchAck { .. }
+        | Frame::Notification { .. }
+        | Frame::Credit { .. } => {
+            conn.fail(
+                error_code::PROTOCOL,
+                format!("unexpected {} frame", frame.kind_name()),
+                metrics,
+            );
+        }
+    }
+}

@@ -14,8 +14,15 @@
 //! .start        start driver threads        .stop         stop them
 //! .stats        engine & index counters     .list         triggers
 //! .drain        process pending tokens      .connections  connections
+//! .serve ADDR   accept remote sources and subscribers over TCP
 //! .quit
 //! ```
+//!
+//! `.serve 127.0.0.1:7070` starts the wire tier
+//! ([`tman_wire::WireServer`]); remote processes can then feed tokens with
+//! [`tman_wire::RemoteClient`] and receive trigger firings with durable
+//! watermark acks. Remember to `.start` the drivers so queued tokens are
+//! actually processed.
 //!
 //! `show stats [<subsystem>]` is a TriggerMan command, not a built-in: it
 //! renders the full telemetry snapshot (queue, driver, index, cache,
@@ -28,6 +35,7 @@ fn main() {
     let tman = TriggerMan::open_memory(Config::default()).expect("open");
     let inbox = tman.events().subscribe_all();
     let mut drivers = None;
+    let mut server: Option<tman_wire::WireServer> = None;
     let stdin = std::io::stdin();
     println!("TriggerMan console. '.quit' to exit, '.help' for commands.");
     loop {
@@ -44,7 +52,7 @@ fn main() {
         match line {
             ".quit" | ".exit" => break,
             ".help" => {
-                println!(".start .stop .stats .list .connections .drain .quit — or any TriggerMan/SQL command (try 'show stats')");
+                println!(".start .stop .stats .list .connections .drain .serve ADDR .quit — or any TriggerMan/SQL command (try 'show stats')");
                 continue;
             }
             ".start" => {
@@ -113,6 +121,32 @@ fn main() {
                 continue;
             }
             _ => {}
+        }
+        if let Some(addr) = line.strip_prefix(".serve") {
+            if let Some(s) = &server {
+                println!(
+                    "already serving on {} ({} connection(s))",
+                    s.local_addr(),
+                    tman.metrics_registry()
+                        .gauge("tman_wire_connections", &[])
+                        .get()
+                );
+                continue;
+            }
+            let addr = addr.trim();
+            let addr = if addr.is_empty() {
+                "127.0.0.1:7070"
+            } else {
+                addr
+            };
+            match tman_wire::WireServer::start(tman.clone(), addr) {
+                Ok(s) => {
+                    println!("wire server listening on {}", s.local_addr());
+                    server = Some(s);
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
         }
         if line.starts_with('.') {
             println!("unknown console command; try .help");
