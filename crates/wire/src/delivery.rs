@@ -14,35 +14,60 @@
 //!   that produced it can be acknowledged back to the update queue.
 //! * Each subscriber owns a row in `wire_subscriber` holding its durable
 //!   ack **watermark** (highest fully-processed per-subscriber sequence
-//!   number) and **origin high-water** (highest token qid whose
-//!   notifications were all acked). Acks advance the row *first*, then
-//!   delete the covered log rows — the same advance-then-delete ordering
-//!   the queue uses, so a crash leaves a duplicate row behind the
-//!   watermark, never a lost one (duplicates are dropped at open).
+//!   number). Acks advance the row *first*, then retire the covered log
+//!   rows — the same advance-then-delete ordering the queue uses, so a
+//!   crash leaves a duplicate row behind the watermark, never a lost one.
+//! * An acked log row whose token origin might still be **redelivered**
+//!   by the update queue (origin above the queue's processed watermark) is
+//!   *retained* in the log rather than deleted: the retained rows are the
+//!   durable record of how many of that origin's fires were already
+//!   delivered and acked. [`DeliveryHub::gc`] deletes them once the queue
+//!   watermark passes the origin — at which point the queue can never
+//!   redeliver it.
 //! * When a crashed engine re-processes a token, the re-published
-//!   notifications are deduplicated against the recovered log: a token
-//!   origin at or below the subscriber's origin high-water appends
-//!   nothing, and for a partially-durable origin the first
-//!   `recovered_count` re-publishes are suppressed (those rows are already
-//!   in the log and will be replayed from it).
+//!   notifications are deduplicated by position: for each origin the first
+//!   `acked + recovered` re-publishes are suppressed (`acked` rows were
+//!   delivered and acked before the crash; `recovered` rows are resident
+//!   and will be replayed from the log). Anything beyond that count is a
+//!   fire that never reached the log — it is appended and delivered. An
+//!   origin is therefore never suppressed wholesale: an ack that lands
+//!   between a token's fires, or that covers only a prefix of an origin
+//!   before a crash, suppresses exactly the covered fires and no more.
 //! * A subscriber reconnecting after a crash presents its own watermark
-//!   (`resume_from`), which is applied as an implicit ack; the hub then
-//!   replays every resident log row above the effective watermark in
+//!   (`resume_from`), which is applied as an implicit ack — clamped to the
+//!   highest sequence number the server ever assigned, so stale client
+//!   state can neither wedge the stream nor wrap the durable row. The hub
+//!   then replays every resident log row above the effective watermark in
 //!   sequence order. The subscriber therefore receives every fire above
 //!   its watermark exactly once.
+//!
+//! A subscriber whose live mailbox backlog exceeds
+//! [`MAILBOX_STALL_DEPTH`] is treated as stalled: the mailbox is dropped
+//! (bounding server memory) and the wire server closes the connection, so
+//! the client reconnects and catches up from the durable log — the same
+//! path a crashed subscriber takes.
 //!
 //! Sequence numbers are reproducible across crash incarnations because
 //! per-subscriber appends are origin-ordered (tokens are processed in qid
 //! order on the redelivery path) and a token's action order is
 //! deterministic — which is what makes a client-side watermark meaningful
 //! against a recovered server. Durability granularity is the engine
-//! checkpoint, shared with the update queue: both live in the same
-//! buffer pool, so a checkpoint captures queue state and delivery log
-//! consistently.
+//! checkpoint, shared with the update queue in one buffer pool.
+//!
+//! Known limits of the contract: (1) between checkpoints the buffer pool
+//! writes dirty pages back in arbitrary order, so a crash can persist a
+//! token's queue ack without the log append that preceded it — the queue
+//! then never redelivers and the fire is lost (pinned by
+//! `wire_crash_reconnect_full` case 12; fixing it needs write-ahead
+//! ordering in the storage layer, not a per-fire fsync here). (2) With
+//! `Config::async_actions` the engine may ack a token to the queue before
+//! its detached actions publish; the delivery tier then inherits that
+//! weaker contract, exactly as in-process subscribers do.
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use tman_common::fxhash::FxHashMap;
 use tman_common::hex::{hex_decode, hex_encode};
@@ -54,47 +79,70 @@ use triggerman::{EventNotification, NotificationSink};
 
 use crate::frame::encode_notification_body;
 
-/// Durable subscriber registry: `(name, event, watermark, origin_high)`.
+/// Durable subscriber registry: `(name, event, watermark)`.
 pub const SUBSCRIBER_TABLE: &str = "wire_subscriber";
 /// Durable delivery log: `(sub, seq, origin, body)`.
 pub const DELIVERY_LOG_TABLE: &str = "wire_delivery_log";
+
+/// Live-mailbox backlog past which a subscriber is considered stalled:
+/// the mailbox is dropped (deliveries stay durable in the log) and the
+/// connection is closed so the client reconnects and replays. Mirrors the
+/// in-process [`SLOW_CHANNEL_DEPTH`](triggerman::SLOW_CHANNEL_DEPTH)
+/// policy: unbounded channels made bounded by convention.
+pub const MAILBOX_STALL_DEPTH: usize = 16_384;
 
 /// One undelivered (or unacked) log row held resident for replay.
 struct LogRow {
     /// Token origin qid (`-1` for volatile/untracked tokens).
     origin: i64,
-    /// Record id of the durable row (for deletion on ack).
+    /// Record id of the durable row (for deletion on ack/gc).
     rid: RecordId,
     /// Encoded notification body (see
     /// [`encode_notification_body`](crate::frame::encode_notification_body)).
     body: Vec<u8>,
 }
 
+/// Acked-but-retained log rows of one origin: the durable proof of how
+/// many of that origin's fires were already delivered and acked, kept
+/// until the queue watermark retires the origin (it can then never be
+/// redelivered, so the proof is no longer needed).
+#[derive(Default)]
+struct AckedOrigin {
+    /// Number of acked fires of this origin (suppression prefix length).
+    count: u32,
+    /// Record ids of the retained rows, deleted by [`DeliveryHub::gc`].
+    rids: Vec<RecordId>,
+}
+
 /// Per-subscriber delivery state. Resident rows are bounded by how far the
 /// subscriber's acks lag its deliveries — the same back-of-queue bound the
-/// update queue's in-flight map has.
+/// update queue's in-flight map has. Per-origin maps (`acked`,
+/// `recovered`, `replayed`) are bounded by the queue's redelivery window:
+/// [`DeliveryHub::gc`] prunes every entry at or below the queue's
+/// processed watermark.
 struct SubState {
     /// Event filter, lowercased; empty or `"*"` matches every event.
     event: String,
     /// Highest per-subscriber sequence number durably acked.
     watermark: u64,
-    /// Highest token origin all of whose notifications have been acked;
-    /// re-publishes of origins at or below it append nothing.
-    origin_high: i64,
     /// Next sequence number to assign.
     next_seq: u64,
     /// Record id of this subscriber's `wire_subscriber` row.
     row_rid: RecordId,
     /// Unacked log rows by sequence number, ready for replay.
     resident: BTreeMap<u64, LogRow>,
-    /// Log rows per origin found durable at open — re-publishes of that
-    /// origin skip this many appends (they are already in `resident`).
+    /// Acked rows retained per origin until the origin is retired.
+    acked: FxHashMap<i64, AckedOrigin>,
+    /// Unacked log rows per origin found durable at open — re-publishes of
+    /// that origin skip these after the acked prefix (they are already in
+    /// `resident` and replay from there).
     recovered: FxHashMap<i64, u32>,
-    /// Appends observed per origin in this incarnation (the `j` index the
-    /// recovered counts are compared against).
+    /// Publishes observed per origin in this incarnation (the `j` index
+    /// the acked/recovered counts are compared against).
     replayed: FxHashMap<i64, u32>,
     /// Live outbound channel to the connected subscriber, if any. Carries
-    /// `(seq, body)`; dropped on send failure (connection gone).
+    /// `(seq, body)`; dropped on send failure (connection gone) or when
+    /// the backlog passes [`MAILBOX_STALL_DEPTH`] (subscriber stalled).
     mailbox: Option<Sender<(u64, Vec<u8>)>>,
     /// Registration epoch, bumped on every [`DeliveryHub::register`]: a
     /// detach from a stale connection (reconnect raced the old socket's
@@ -105,6 +153,14 @@ struct SubState {
 impl SubState {
     fn matches(&self, event: &str) -> bool {
         self.event.is_empty() || self.event == "*" || self.event.eq_ignore_ascii_case(event)
+    }
+
+    /// Fires of `origin` already appended to the log in a *previous*
+    /// incarnation: the acked prefix plus the recovered resident rows.
+    /// Re-publishes up to this count are suppressed.
+    fn logged_before(&self, origin: i64) -> u32 {
+        self.acked.get(&origin).map(|a| a.count).unwrap_or(0)
+            + self.recovered.get(&origin).copied().unwrap_or(0)
     }
 }
 
@@ -120,7 +176,8 @@ fn normalize_event(event: &str) -> String {
 /// Result of [`DeliveryHub::register`].
 pub struct Registration {
     /// Effective watermark: max of the server's durable row and the
-    /// client's `resume_from`. Deliveries resume strictly above it.
+    /// client's `resume_from` (clamped to the highest assigned sequence
+    /// number). Deliveries resume strictly above it.
     pub watermark: u64,
     /// Registration epoch to pass back to [`DeliveryHub::detach`].
     pub epoch: u64,
@@ -136,16 +193,25 @@ pub struct DeliveryHub {
     subs_table: Arc<Table>,
     log_table: Arc<Table>,
     state: Mutex<FxHashMap<String, SubState>>,
+    /// Highest queue origin known retired: the update queue has processed
+    /// it, so it can never be redelivered and its retained rows / dedup
+    /// state can be reclaimed. Advanced by [`DeliveryHub::gc`].
+    retired_floor: AtomicI64,
     /// `tman_wire_delivery_appends_total`: log rows written.
     appends: Arc<Counter>,
     /// `tman_wire_redelivery_suppressed_total`: re-published notifications
-    /// deduplicated against the recovered log.
+    /// deduplicated against the pre-crash log.
     suppressed: Arc<Counter>,
     /// `tman_wire_delivery_acked_total`: log rows retired by acks.
     acked_rows: Arc<Counter>,
-    /// Log rows dropped at open (acked in the crash window, orphaned, or
-    /// corrupt).
+    /// Log rows dropped at open (retired origins, orphaned, or corrupt).
     dedup_dropped: Arc<Counter>,
+    /// `tman_wire_acks_clamped_total`: acks (including `resume_from`)
+    /// above the highest assigned sequence, clamped instead of applied.
+    clamped: Arc<Counter>,
+    /// `tman_wire_subscriber_stalls_total`: mailboxes dropped because the
+    /// subscriber stopped draining them.
+    stalled: Arc<Counter>,
     /// Append/encode failures (the volatile fanout still delivers; durable
     /// replay for that notification is lost).
     errors: Arc<Counter>,
@@ -153,10 +219,18 @@ pub struct DeliveryHub {
 
 impl DeliveryHub {
     /// Open (or create) the delivery tables in `db` and recover
-    /// subscriber state: load watermarks, drop log rows at or below them
-    /// (the ack-then-delete crash window), and index the surviving rows
-    /// for replay and redelivery dedup.
-    pub fn open(db: &Database) -> Result<Arc<DeliveryHub>> {
+    /// subscriber state. `queue_watermark` is the update queue's durable
+    /// processed watermark (`None` on a volatile queue): origins at or
+    /// below it can never be redelivered.
+    ///
+    /// Log rows at or below a subscriber's ack watermark were acked before
+    /// the crash; those whose origin is still redeliverable are kept as
+    /// the origin's acked prefix (suppressing exactly that many
+    /// re-publishes), the rest — retired origins, untracked tokens,
+    /// orphans, torn bodies — are dropped and counted. Rows above the
+    /// watermark are indexed for replay and redelivery dedup.
+    pub fn open(db: &Database, queue_watermark: Option<i64>) -> Result<Arc<DeliveryHub>> {
+        let floor = queue_watermark.unwrap_or(-1);
         let subs_table = if db.has_table(SUBSCRIBER_TABLE) {
             db.table(SUBSCRIBER_TABLE)?
         } else {
@@ -166,7 +240,6 @@ impl DeliveryHub {
                     Column::new("name", DataType::Varchar(255)),
                     Column::new("event", DataType::Varchar(255)),
                     Column::new("watermark", DataType::Int),
-                    Column::new("origin_high", DataType::Int),
                 ])?,
             )?
         };
@@ -196,10 +269,10 @@ impl DeliveryHub {
                 SubState {
                     event: normalize_event(row.get(1).as_str().unwrap_or("")),
                     watermark,
-                    origin_high: row.get(3).as_i64().unwrap_or(-1),
                     next_seq: watermark + 1,
                     row_rid: rid,
                     resident: BTreeMap::new(),
+                    acked: FxHashMap::default(),
                     recovered: FxHashMap::default(),
                     replayed: FxHashMap::default(),
                     mailbox: None,
@@ -208,10 +281,6 @@ impl DeliveryHub {
             );
             Ok(true)
         })?;
-        // Recover the log. Rows at or below a subscriber's watermark were
-        // acked before the crash but their deletion never reached disk;
-        // rows for unknown subscribers are orphans; undecodable bodies are
-        // torn. All three are dropped, counted, never redelivered.
         let mut stale: Vec<RecordId> = Vec::new();
         log_table.scan(|rid, row| {
             let sub = row.get(0).as_str().unwrap_or("").to_string();
@@ -224,6 +293,13 @@ impl DeliveryHub {
                         *st.recovered.entry(origin).or_insert(0) += 1;
                     }
                     st.resident.insert(seq, LogRow { origin, rid, body });
+                }
+                (Some(st), Some(_)) if origin > floor => {
+                    // Acked before the crash, origin still redeliverable:
+                    // retain as the origin's acked prefix.
+                    let a = st.acked.entry(origin).or_default();
+                    a.count += 1;
+                    a.rids.push(rid);
                 }
                 _ => stale.push(rid),
             }
@@ -242,19 +318,23 @@ impl DeliveryHub {
             subs_table,
             log_table,
             state: Mutex::new(subs),
+            retired_floor: AtomicI64::new(floor),
             appends: Arc::new(Counter::default()),
             suppressed: Arc::new(Counter::default()),
             acked_rows: Arc::new(Counter::default()),
             dedup_dropped,
+            clamped: Arc::new(Counter::default()),
+            stalled: Arc::new(Counter::default()),
             errors: Arc::new(Counter::default()),
         }))
     }
 
     /// Register (or re-register after reconnect) a durable subscriber.
     /// `resume_from` is the client's own watermark and is applied as an
-    /// implicit ack, so the effective watermark is the max of both sides'.
-    /// Live deliveries arrive on `mailbox`'s receiver end after the
-    /// returned [`Registration::replay`] has been consumed.
+    /// implicit ack (clamped to the highest assigned sequence number), so
+    /// the effective watermark is the max of both sides'. Live deliveries
+    /// arrive on `mailbox`'s receiver end after the returned
+    /// [`Registration::replay`] has been consumed.
     pub fn register(
         &self,
         name: &str,
@@ -272,17 +352,16 @@ impl DeliveryHub {
                     Value::str(name),
                     Value::str(event),
                     Value::Int(0),
-                    Value::Int(-1),
                 ])?;
                 state.insert(
                     name.to_string(),
                     SubState {
                         event: normalize_event(event),
                         watermark: 0,
-                        origin_high: -1,
                         next_seq: 1,
                         row_rid: rid,
                         resident: BTreeMap::new(),
+                        acked: FxHashMap::default(),
                         recovered: FxHashMap::default(),
                         replayed: FxHashMap::default(),
                         mailbox: None,
@@ -324,40 +403,87 @@ impl DeliveryHub {
     }
 
     /// Acknowledge every delivery with sequence number at or below
-    /// `through`: advance the durable subscriber row (watermark and origin
-    /// high-water) *first*, then delete the covered log rows. Idempotent;
-    /// returns the new watermark.
+    /// `through`: advance the durable subscriber row *first*, then retire
+    /// the covered log rows. `through` is clamped to the highest sequence
+    /// number ever assigned (a stale or corrupt client watermark must not
+    /// wedge the stream above sequences that do not exist yet). Covered
+    /// rows whose origin may still be redelivered are retained in the log
+    /// as that origin's acked prefix (see [`gc`](Self::gc)); the rest are
+    /// deleted. Idempotent; returns the new watermark.
     pub fn ack(&self, name: &str, through: u64) -> Result<u64> {
         let mut state = self.state.lock();
         let st = state
             .get_mut(name)
             .ok_or_else(|| TmanError::NotFound(format!("unknown subscriber '{name}'")))?;
+        let highest = st.next_seq.saturating_sub(1);
+        let through = if through > highest {
+            self.clamped.bump();
+            highest
+        } else {
+            through
+        };
         if through <= st.watermark {
             return Ok(st.watermark);
         }
         let covered: Vec<u64> = st.resident.range(..=through).map(|(&s, _)| s).collect();
-        let mut origin_high = st.origin_high;
-        for seq in &covered {
-            origin_high = origin_high.max(st.resident[seq].origin);
-        }
         st.watermark = through;
-        st.origin_high = origin_high;
         let (_, new_rid) = self.subs_table.update(
             st.row_rid,
             vec![
                 Value::str(name),
                 Value::str(st.event.clone()),
                 Value::Int(st.watermark as i64),
-                Value::Int(st.origin_high),
             ],
         )?;
         st.row_rid = new_rid;
+        let floor = self.retired_floor.load(Ordering::Relaxed);
         for seq in covered {
             let row = st.resident.remove(&seq).expect("collected above");
-            self.log_table.delete(row.rid)?;
+            if row.origin > floor {
+                // The origin can still be redelivered: keep the row as
+                // durable proof this fire was already delivered and acked.
+                let a = st.acked.entry(row.origin).or_default();
+                a.count += 1;
+                a.rids.push(row.rid);
+            } else {
+                self.log_table.delete(row.rid)?;
+            }
             self.acked_rows.bump();
         }
         Ok(st.watermark)
+    }
+
+    /// Reclaim state for retired origins: every origin at or below
+    /// `queue_watermark` has been fully processed by the update queue and
+    /// can never be redelivered, so its retained acked rows are deleted
+    /// and its dedup counters (`acked`/`recovered`/`replayed`) pruned.
+    /// Called periodically by the wire server; bounds both the log and the
+    /// per-origin maps on a long-running server. Returns the number of
+    /// log rows deleted.
+    pub fn gc(&self, queue_watermark: Option<i64>) -> usize {
+        let Some(wm) = queue_watermark else {
+            return 0;
+        };
+        let floor = self.retired_floor.fetch_max(wm, Ordering::Relaxed).max(wm);
+        let mut deleted = 0usize;
+        let mut state = self.state.lock();
+        for st in state.values_mut() {
+            let retired: Vec<i64> = st.acked.keys().copied().filter(|&o| o <= floor).collect();
+            for origin in retired {
+                let a = st.acked.remove(&origin).expect("collected above");
+                for rid in a.rids {
+                    match self.log_table.delete(rid) {
+                        // A failed delete leaves an orphan row; it is
+                        // retired, so the next open drops it as stale.
+                        Ok(_) => deleted += 1,
+                        Err(_) => self.errors.bump(),
+                    }
+                }
+            }
+            st.recovered.retain(|&o, _| o > floor);
+            st.replayed.retain(|&o, _| o > floor);
+        }
+        deleted
     }
 
     /// A subscriber's durable watermark (`None` if unknown).
@@ -368,6 +494,16 @@ impl DeliveryHub {
     /// Unacked resident log rows for a subscriber (`None` if unknown).
     pub fn resident_len(&self, name: &str) -> Option<usize> {
         self.state.lock().get(name).map(|st| st.resident.len())
+    }
+
+    /// Acked log rows retained for possible redelivery dedup (`None` if
+    /// the subscriber is unknown). Drains to zero as [`gc`](Self::gc)
+    /// retires origins.
+    pub fn retained_len(&self, name: &str) -> Option<usize> {
+        self.state
+            .lock()
+            .get(name)
+            .map(|st| st.acked.values().map(|a| a.rids.len()).sum())
     }
 
     /// Log rows written.
@@ -386,6 +522,14 @@ impl DeliveryHub {
     pub fn dedup_dropped(&self) -> &Arc<Counter> {
         &self.dedup_dropped
     }
+    /// Acks clamped to the highest assigned sequence number.
+    pub fn clamped(&self) -> &Arc<Counter> {
+        &self.clamped
+    }
+    /// Mailboxes dropped on stalled subscribers.
+    pub fn stalled(&self) -> &Arc<Counter> {
+        &self.stalled
+    }
     /// Append/encode failures.
     pub fn errors(&self) -> &Arc<Counter> {
         &self.errors
@@ -394,7 +538,7 @@ impl DeliveryHub {
 
 impl NotificationSink for DeliveryHub {
     /// Append the notification to every matching subscriber's delivery
-    /// log (deduplicating re-publishes of recovered origins), then push it
+    /// log (deduplicating re-publishes of pre-crash origins), then push it
     /// down any live mailbox. Runs synchronously inside
     /// [`EventBus::publish`](triggerman::EventBus::publish), before the
     /// producing token can be acked to the update queue.
@@ -419,13 +563,11 @@ impl NotificationSink for DeliveryHub {
                 let j = st.replayed.entry(origin).or_insert(0);
                 let seen = *j;
                 *j += 1;
-                if origin <= st.origin_high {
-                    self.suppressed.bump();
-                    continue;
-                }
-                if seen < st.recovered.get(&origin).copied().unwrap_or(0) {
-                    // Already durable from before the crash; the reconnect
-                    // replay delivers it from `resident`.
+                if seen < st.logged_before(origin) {
+                    // This fire was already appended before the crash:
+                    // acked fires were delivered, resident ones replay
+                    // from the log. Later fires of the same origin fall
+                    // through and append normally.
                     self.suppressed.bump();
                     continue;
                 }
@@ -448,13 +590,17 @@ impl NotificationSink for DeliveryHub {
                         },
                     );
                     self.appends.bump();
-                    let dead = st
-                        .mailbox
-                        .as_ref()
-                        .map(|tx| tx.send((seq, body.clone())).is_err())
-                        .unwrap_or(false);
-                    if dead {
-                        st.mailbox = None;
+                    if let Some(tx) = st.mailbox.as_ref() {
+                        if tx.len() >= MAILBOX_STALL_DEPTH {
+                            // Stalled subscriber: stop feeding the
+                            // mailbox. The rows are durable; the server
+                            // closes the connection and the client
+                            // reconnects and replays.
+                            self.stalled.bump();
+                            st.mailbox = None;
+                        } else if tx.send((seq, body.clone())).is_err() {
+                            st.mailbox = None;
+                        }
                     }
                 }
                 Err(_) => self.errors.bump(),
@@ -482,7 +628,7 @@ mod tests {
     #[test]
     fn deliver_ack_and_replay() {
         let db = Database::open_memory(256);
-        let hub = DeliveryHub::open(&db).unwrap();
+        let hub = DeliveryHub::open(&db, None).unwrap();
         let (tx, rx) = unbounded();
         let reg = hub.register("dash", "Spike", 0, tx).unwrap();
         assert_eq!((reg.watermark, reg.replay.len()), (0, 0));
@@ -499,8 +645,9 @@ mod tests {
         // Ack the first; the second survives a reopen and is replayed.
         assert_eq!(hub.ack("dash", 1).unwrap(), 1);
         assert_eq!(hub.resident_len("dash"), Some(1));
+        assert_eq!(hub.retained_len("dash"), Some(1)); // origin 1 not retired
         drop(hub);
-        let hub2 = DeliveryHub::open(&db).unwrap();
+        let hub2 = DeliveryHub::open(&db, None).unwrap();
         let (tx2, _rx2) = unbounded();
         let reg = hub2.register("dash", "Spike", 0, tx2).unwrap();
         assert_eq!(reg.watermark, 1);
@@ -515,7 +662,7 @@ mod tests {
     #[test]
     fn republished_origins_are_deduplicated_after_reopen() {
         let db = Database::open_memory(256);
-        let hub = DeliveryHub::open(&db).unwrap();
+        let hub = DeliveryHub::open(&db, None).unwrap();
         let (tx, _rx) = unbounded();
         hub.register("s", "*", 0, tx).unwrap();
         // Token 1 fires twice (two triggers); token 2 fires once. Subscriber
@@ -526,9 +673,10 @@ mod tests {
         hub.ack("s", 2).unwrap();
         drop(hub);
         // "Crash": the queue redelivers both tokens, so every notification
-        // is re-published. Origin 1 is behind origin_high; origin 2's one
-        // recovered row suppresses the first re-publish.
-        let hub2 = DeliveryHub::open(&db).unwrap();
+        // is re-published. Origin 1's two fires are its retained acked
+        // prefix; origin 2's one recovered row suppresses the first
+        // re-publish.
+        let hub2 = DeliveryHub::open(&db, None).unwrap();
         let (tx2, rx2) = unbounded();
         let reg = hub2.register("s", "*", 0, tx2).unwrap();
         assert_eq!(reg.watermark, 2);
@@ -546,9 +694,56 @@ mod tests {
     }
 
     #[test]
+    fn ack_between_fires_of_one_origin_does_not_suppress() {
+        // Regression: an ack that lands between a token's fires must not
+        // suppress the fires that come after it.
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db, None).unwrap();
+        let (tx, rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        hub.on_publish(&note("A", Some(1), 1)); // fire 0 of origin 1
+        assert_eq!(rx.try_iter().count(), 1);
+        hub.ack("s", 1).unwrap(); // ack lands mid-token
+        hub.on_publish(&note("A", Some(1), 2)); // fire 1 of origin 1
+        hub.on_publish(&note("A", Some(1), 3)); // fire 2 of origin 1
+        let got: Vec<_> = rx.try_iter().collect();
+        assert_eq!(got.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(hub.suppressed().get(), 0);
+        assert_eq!(hub.resident_len("s"), Some(2));
+    }
+
+    #[test]
+    fn partial_origin_ack_survives_a_crash_without_losing_fires() {
+        // Origin 1 fires twice; only the first fire is acked before the
+        // crash. Redelivery must suppress exactly those two appends (one
+        // acked, one resident) — and a third, never-logged fire of the
+        // same origin must come through.
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db, None).unwrap();
+        let (tx, _rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        hub.on_publish(&note("A", Some(1), 1));
+        hub.on_publish(&note("A", Some(1), 2));
+        hub.ack("s", 1).unwrap(); // prefix of origin 1 only
+        drop(hub);
+        let hub2 = DeliveryHub::open(&db, None).unwrap();
+        let (tx2, rx2) = unbounded();
+        let reg = hub2.register("s", "*", 0, tx2).unwrap();
+        assert_eq!(reg.watermark, 1);
+        assert_eq!(reg.replay.len(), 1); // the unacked second fire
+        assert_eq!(reg.replay[0].0, 2);
+        hub2.on_publish(&note("A", Some(1), 1)); // re-publish, acked
+        hub2.on_publish(&note("A", Some(1), 2)); // re-publish, resident
+        hub2.on_publish(&note("A", Some(1), 3)); // new fire, never logged
+        let got: Vec<_> = rx2.try_iter().collect();
+        assert_eq!(got.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [3]);
+        assert_eq!(hub2.suppressed().get(), 2);
+    }
+
+    #[test]
     fn client_resume_from_acts_as_implicit_ack() {
         let db = Database::open_memory(256);
-        let hub = DeliveryHub::open(&db).unwrap();
+        let hub = DeliveryHub::open(&db, None).unwrap();
         let (tx, _rx) = unbounded();
         hub.register("s", "*", 0, tx).unwrap();
         for i in 1..=4 {
@@ -558,7 +753,7 @@ mod tests {
         // The server never saw an ack, but the client processed through
         // seq 3 before the crash: reconnecting with resume_from=3 replays
         // only seq 4.
-        let hub2 = DeliveryHub::open(&db).unwrap();
+        let hub2 = DeliveryHub::open(&db, None).unwrap();
         let (tx2, _rx2) = unbounded();
         let reg = hub2.register("s", "*", 3, tx2).unwrap();
         assert_eq!(reg.watermark, 3);
@@ -568,24 +763,45 @@ mod tests {
     }
 
     #[test]
-    fn acked_rows_resurrected_by_crash_are_dropped_at_open() {
+    fn resume_from_above_assigned_sequences_is_clamped() {
         let db = Database::open_memory(256);
-        let hub = DeliveryHub::open(&db).unwrap();
+        let hub = DeliveryHub::open(&db, None).unwrap();
+        let (tx, _rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        for i in 1..=2 {
+            hub.on_publish(&note("A", Some(i), i));
+        }
+        // A stale client (or a restored server database) presents a
+        // watermark the server never assigned: clamp to the real frontier
+        // instead of wedging every future delivery below the watermark.
+        let (tx2, _rx2) = unbounded();
+        let reg = hub.register("s", "*", u64::MAX, tx2).unwrap();
+        assert_eq!(reg.watermark, 2);
+        assert_eq!(hub.clamped().get(), 1);
+        assert_eq!(hub.watermark("s"), Some(2));
+        // New fires keep flowing above the clamped watermark.
+        hub.on_publish(&note("A", Some(3), 3));
+        assert_eq!(hub.resident_len("s"), Some(1));
+        drop(hub);
+        // The clamped (not wrapped) watermark is what went durable.
+        let hub2 = DeliveryHub::open(&db, None).unwrap();
+        assert_eq!(hub2.watermark("s"), Some(2));
+        let (tx3, _rx3) = unbounded();
+        let reg = hub2.register("s", "*", 0, tx3).unwrap();
+        assert_eq!(reg.replay.len(), 1);
+        assert_eq!(reg.replay[0].0, 3);
+    }
+
+    #[test]
+    fn retired_and_orphaned_rows_are_dropped_at_open() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db, None).unwrap();
         let (tx, _rx) = unbounded();
         hub.register("s", "*", 0, tx).unwrap();
         hub.on_publish(&note("A", Some(1), 1));
+        // Ack (origin 1 not yet retired, so the row is retained), then add
+        // an orphan row for a subscriber that no longer exists.
         hub.ack("s", 1).unwrap();
-        // Simulate the ack-then-delete crash window: the watermark update
-        // was durable but the row deletion was not.
-        hub.log_table
-            .insert(vec![
-                Value::str("s"),
-                Value::Int(1),
-                Value::Int(1),
-                Value::str(hex_encode(b"stale")),
-            ])
-            .unwrap();
-        // Plus an orphan row for a subscriber that no longer exists.
         hub.log_table
             .insert(vec![
                 Value::str("ghost"),
@@ -595,17 +811,106 @@ mod tests {
             ])
             .unwrap();
         drop(hub);
-        let hub2 = DeliveryHub::open(&db).unwrap();
+        // Reopen with the queue watermark past origin 1: the retained row
+        // is retired (the queue can never redeliver it) and dropped along
+        // with the orphan.
+        let hub2 = DeliveryHub::open(&db, Some(1)).unwrap();
         assert_eq!(hub2.dedup_dropped().get(), 2);
+        assert_eq!(hub2.retained_len("s"), Some(0));
         let (tx2, _rx2) = unbounded();
         let reg = hub2.register("s", "*", 0, tx2).unwrap();
         assert_eq!((reg.watermark, reg.replay.len()), (1, 0));
     }
 
     #[test]
+    fn gc_retires_acked_rows_and_prunes_origin_state() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db, Some(0)).unwrap();
+        let (tx, _rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        for i in 1..=3 {
+            hub.on_publish(&note("A", Some(i), i));
+        }
+        hub.ack("s", 3).unwrap();
+        assert_eq!(hub.retained_len("s"), Some(3));
+        // Origins 1 and 2 processed by the queue: their rows and counters
+        // go; origin 3 is still redeliverable and stays.
+        assert_eq!(hub.gc(Some(2)), 2);
+        assert_eq!(hub.retained_len("s"), Some(1));
+        {
+            let state = hub.state.lock();
+            let st = state.get("s").unwrap();
+            assert_eq!(st.acked.len(), 1);
+            assert_eq!(st.replayed.len(), 1); // only origin 3 survives
+        }
+        assert_eq!(hub.gc(Some(3)), 1);
+        assert_eq!(hub.retained_len("s"), Some(0));
+        {
+            let state = hub.state.lock();
+            let st = state.get("s").unwrap();
+            assert!(st.acked.is_empty() && st.replayed.is_empty());
+        }
+        // A volatile queue (no watermark) never retires anything.
+        assert_eq!(hub.gc(None), 0);
+        // After gc nothing of the retired origins survives a reopen.
+        drop(hub);
+        let hub2 = DeliveryHub::open(&db, Some(3)).unwrap();
+        assert_eq!(hub2.dedup_dropped().get(), 0);
+        let (tx2, _rx2) = unbounded();
+        let reg = hub2.register("s", "*", 0, tx2).unwrap();
+        assert_eq!((reg.watermark, reg.replay.len()), (3, 0));
+    }
+
+    #[test]
+    fn acks_behind_the_retired_floor_delete_immediately() {
+        let db = Database::open_memory(256);
+        let hub = DeliveryHub::open(&db, Some(0)).unwrap();
+        let (tx, _rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        hub.on_publish(&note("A", Some(1), 1));
+        hub.on_publish(&note("A", None, 2)); // volatile fire, origin -1
+        hub.gc(Some(5)); // queue already past origin 1
+        hub.ack("s", 2).unwrap();
+        // Neither row needs retention: origin 1 is retired, origin -1 is
+        // untracked. The log is empty on reopen.
+        assert_eq!(hub.retained_len("s"), Some(0));
+        drop(hub);
+        let hub2 = DeliveryHub::open(&db, Some(5)).unwrap();
+        assert_eq!(hub2.dedup_dropped().get(), 0);
+        let (tx2, _rx2) = unbounded();
+        let reg = hub2.register("s", "*", 0, tx2).unwrap();
+        assert_eq!((reg.watermark, reg.replay.len()), (2, 0));
+    }
+
+    #[test]
+    fn stalled_mailboxes_are_dropped_but_rows_stay_durable() {
+        let db = Database::open_memory(4096);
+        let hub = DeliveryHub::open(&db, None).unwrap();
+        let (tx, rx) = unbounded();
+        hub.register("s", "*", 0, tx).unwrap();
+        let n = MAILBOX_STALL_DEPTH + 5;
+        for i in 0..n {
+            hub.on_publish(&note("A", None, i as i64));
+        }
+        // The mailbox stopped at the stall depth; everything is still in
+        // the durable log for replay.
+        assert_eq!(rx.len(), MAILBOX_STALL_DEPTH);
+        assert!(hub.stalled().get() >= 1);
+        assert_eq!(hub.resident_len("s"), Some(n));
+        // Once dropped, the mailbox is not resurrected by later publishes.
+        let backlog = rx.len();
+        hub.on_publish(&note("A", None, -1));
+        assert_eq!(rx.len(), backlog);
+        // A reconnect replays the full unacked stream.
+        let (tx2, _rx2) = unbounded();
+        let reg = hub.register("s", "*", 0, tx2).unwrap();
+        assert_eq!(reg.replay.len(), n + 1);
+    }
+
+    #[test]
     fn stale_detach_does_not_clobber_a_reconnect() {
         let db = Database::open_memory(256);
-        let hub = DeliveryHub::open(&db).unwrap();
+        let hub = DeliveryHub::open(&db, None).unwrap();
         let (tx1, _rx1) = unbounded();
         let old = hub.register("s", "*", 0, tx1).unwrap();
         let (tx2, rx2) = unbounded();
@@ -623,7 +928,7 @@ mod tests {
     #[test]
     fn volatile_origins_always_deliver() {
         let db = Database::open_memory(256);
-        let hub = DeliveryHub::open(&db).unwrap();
+        let hub = DeliveryHub::open(&db, None).unwrap();
         let (tx, rx) = unbounded();
         hub.register("s", "*", 0, tx).unwrap();
         hub.on_publish(&note("A", None, 1));

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver};
+use crossbeam::channel::{unbounded, Receiver, TryRecvError};
 use tman_common::{Result, TmanError, UpdateDescriptor};
 use tman_telemetry::trace::{now_ns, ROOT_SPAN};
 use tman_telemetry::{CounterHandle, GaugeHandle, Registry, SpanKind};
@@ -48,6 +48,14 @@ use crate::frame::{decode_frame, encode_frame, Frame, ROLE_SOURCE, ROLE_SUBSCRIB
 const READ_CHUNK: usize = 16 * 1024;
 /// Notifications drained from a subscriber mailbox per pass (fairness cap).
 const NOTIFY_PER_PASS: usize = 256;
+/// Stop draining a subscriber's mailbox while its write buffer is above
+/// this: the unflushed bytes already bound what a slow reader can pin, and
+/// everything still in the mailbox is durable in the delivery log (it will
+/// replay on reconnect if the hub eventually drops the stalled mailbox).
+const SUB_WBUF_HIGH_WATER: usize = 256 * 1024;
+/// Passes between [`DeliveryHub::gc`] sweeps that retire delivery-log rows
+/// and dedup state for origins the update queue has fully processed.
+const GC_PASS_INTERVAL: u64 = 256;
 /// Idle park between passes when nothing moved.
 const IDLE_PARK: Duration = Duration::from_micros(200);
 
@@ -176,7 +184,7 @@ impl WireServer {
         let local = listener
             .local_addr()
             .map_err(|e| TmanError::Io(format!("local_addr: {e}")))?;
-        let hub = DeliveryHub::open(system.database())?;
+        let hub = DeliveryHub::open(system.database(), system.queue_watermark())?;
         system.events().register_sink(hub.clone());
         let registry = system.metrics_registry();
         registry.register_counter(
@@ -193,6 +201,12 @@ impl WireServer {
             "tman_wire_delivery_acked_total",
             &[],
             hub.acked_rows().clone(),
+        );
+        registry.register_counter("tman_wire_acks_clamped_total", &[], hub.clamped().clone());
+        registry.register_counter(
+            "tman_wire_subscriber_stalls_total",
+            &[],
+            hub.stalled().clone(),
         );
         let metrics = WireMetrics::resolve(registry);
         let stop = Arc::new(AtomicBool::new(false));
@@ -248,8 +262,13 @@ fn run_loop(
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let batch_max = system.config().wire_batch_max.max(1);
+    let mut passes: u64 = 0;
     while !stop.load(Ordering::Relaxed) && !system.is_shutdown() {
         let mut activity = false;
+        passes += 1;
+        if passes % GC_PASS_INTERVAL == 0 {
+            hub.gc(system.queue_watermark());
+        }
 
         // Accept everything ready.
         loop {
@@ -400,7 +419,10 @@ fn run_loop(
             }
         }
 
-        // Push pending notifications to connected subscribers.
+        // Push pending notifications to connected subscribers. A
+        // connection whose write buffer is already above the high-water
+        // mark is skipped: its unflushed bytes bound server memory, and
+        // everything left in the mailbox is durable in the delivery log.
         for conn in conns.iter_mut() {
             // Clone the handle so draining it can interleave with writes
             // to the same connection (crossbeam receivers are shared).
@@ -408,7 +430,7 @@ fn run_loop(
                 continue;
             };
             let mut sent = 0usize;
-            while sent < NOTIFY_PER_PASS {
+            while sent < NOTIFY_PER_PASS && conn.wbuf.len() < SUB_WBUF_HIGH_WATER {
                 match rx.try_recv() {
                     Ok((seq, body)) => {
                         let frame = Frame::Notification {
@@ -419,7 +441,15 @@ fn run_loop(
                         metrics.notifications.bump();
                         sent += 1;
                     }
-                    Err(_) => break,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        // The hub dropped the sender (stalled subscriber):
+                        // close so the client reconnects and replays from
+                        // its watermark off the durable log.
+                        conn.mailbox = None;
+                        conn.close_after_flush = true;
+                        break;
+                    }
                 }
             }
             if sent > 0 {
