@@ -1069,7 +1069,15 @@ fn e13_wire(o: &Opts) {
     let conns = if o.quick { 16 } else { 64 };
     let per_conn = if o.quick { 500 } else { 2_000 };
     let total = conns * per_conn;
-    let mut table = Table::new(&["queue", "conns", "tokens/s", "syncs/token", "spikes"]);
+    let mut table = Table::new(&[
+        "queue",
+        "conns",
+        "tokens/s",
+        "syncs/token",
+        "spikes",
+        "ingest→fire p50/p99",
+        "fire→ack p50/p99",
+    ]);
     let mut metrics_json = String::new();
 
     for persistent in [false, true] {
@@ -1160,12 +1168,25 @@ fn e13_wire(o: &Opts) {
         drivers.stop();
         let spent = syncs.get() - sync_base;
         let label = if persistent { "persistent" } else { "volatile" };
+        // End-to-end SLIs measured from the v2 wire stamps: client flush
+        // wall clock → delivery-log append, and append → subscriber ack.
+        let wire = tman.metrics_snapshot().wire;
         table.row(vec![
             label.to_string(),
             conns.to_string(),
             human(rate(total, d)),
             format!("{:.4}", spent as f64 / total as f64),
             spikes.to_string(),
+            format!(
+                "{} / {}",
+                human_ns(wire.ingest_to_fire_ns.p50),
+                human_ns(wire.ingest_to_fire_ns.p99)
+            ),
+            format!(
+                "{} / {}",
+                human_ns(wire.fire_to_ack_ns.p50),
+                human_ns(wire.fire_to_ack_ns.p99)
+            ),
         ]);
         if persistent {
             metrics_json = tman.render_metrics_json();

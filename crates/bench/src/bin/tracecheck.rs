@@ -4,6 +4,7 @@
 //! TMAN_TRACE_DIR=target/traces cargo run -p tman-bench --bin experiments -- --quick e10
 //! cargo run -p tman-bench --bin tracecheck              # checks $TMAN_TRACE_DIR
 //! cargo run -p tman-bench --bin tracecheck -- a.json b.json
+//! cargo run -p tman-bench --bin tracecheck -- --expect wire_send e13.json
 //! ```
 //!
 //! The validator is the serde-free recursive-descent parser in
@@ -11,12 +12,35 @@
 //! export round-trips without any JSON dependency. Exits non-zero when a
 //! file fails to parse, when no files are found, or when every file is
 //! empty (tracing never engaged).
+//!
+//! `--expect NAME` (repeatable) additionally requires that a span with
+//! that name appears in at least one checked file. CI uses this over an
+//! E13 wire trace to prove that trace propagation crossed the wire —
+//! `wire_send` spans only exist when a client-minted trace id survived
+//! decode and was adopted by the engine-side tracer.
 
-use tman_telemetry::trace::validate_chrome_trace;
+use std::collections::BTreeSet;
+use tman_telemetry::trace::validate_chrome_trace_names;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let files: Vec<std::path::PathBuf> = if args.is_empty() {
+    let mut expect: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--expect" {
+            match it.next() {
+                Some(name) => expect.push(name),
+                None => {
+                    eprintln!("tracecheck: --expect requires a span name");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let files: Vec<std::path::PathBuf> = if paths.is_empty() {
         let dir = std::env::var("TMAN_TRACE_DIR").unwrap_or_else(|_| "target/traces".into());
         match std::fs::read_dir(&dir) {
             Ok(rd) => {
@@ -33,13 +57,14 @@ fn main() {
             }
         }
     } else {
-        args.iter().map(std::path::PathBuf::from).collect()
+        paths.iter().map(std::path::PathBuf::from).collect()
     };
     if files.is_empty() {
         eprintln!("tracecheck: no trace files to check");
         std::process::exit(1);
     }
     let mut total = 0usize;
+    let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut failed = false;
     for path in &files {
         let text = match std::fs::read_to_string(path) {
@@ -50,15 +75,22 @@ fn main() {
                 continue;
             }
         };
-        match validate_chrome_trace(&text) {
-            Ok(n) => {
+        match validate_chrome_trace_names(&text) {
+            Ok((n, names)) => {
                 println!("tracecheck: ok   {} ({n} events)", path.display());
                 total += n;
+                seen.extend(names);
             }
             Err(e) => {
                 eprintln!("tracecheck: FAIL {}: {e}", path.display());
                 failed = true;
             }
+        }
+    }
+    for name in &expect {
+        if !seen.contains(name) {
+            eprintln!("tracecheck: FAIL expected span \"{name}\" in no file (saw: {seen:?})");
+            failed = true;
         }
     }
     if failed {

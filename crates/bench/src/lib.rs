@@ -133,6 +133,20 @@ pub fn human(x: f64) -> String {
     }
 }
 
+/// Human-friendly durations from nanoseconds (`850ns`, `12.4µs`, `3.1ms`).
+pub fn human_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
 /// Human-friendly byte counts.
 pub fn human_bytes(b: usize) -> String {
     if b >= 1 << 20 {

@@ -140,6 +140,13 @@ pub struct UpdateDescriptor {
     /// deduplicate redelivered tokens after a crash. Like `trace`, this is
     /// execution metadata: ignored by equality and not serialized.
     pub origin: Option<i64>,
+    /// Wall-clock ingest stamp (ns since the Unix epoch), 0 when unknown.
+    /// Stamped where the token entered the system (the wire server on
+    /// decode, or the client's send stamp when the peer supplies one) and
+    /// carried through the persistent queue so end-to-end ingest→fire
+    /// latency survives a restart. Execution metadata: ignored by equality,
+    /// but — unlike `trace` — serialized by [`encode`](Self::encode).
+    pub ingest_unix_ns: u64,
 }
 
 impl PartialEq for UpdateDescriptor {
@@ -161,6 +168,7 @@ impl UpdateDescriptor {
             new: Some(new),
             trace: TraceHandle::none(),
             origin: None,
+            ingest_unix_ns: 0,
         }
     }
 
@@ -173,6 +181,7 @@ impl UpdateDescriptor {
             new: None,
             trace: TraceHandle::none(),
             origin: None,
+            ingest_unix_ns: 0,
         }
     }
 
@@ -185,6 +194,7 @@ impl UpdateDescriptor {
             new: Some(new),
             trace: TraceHandle::none(),
             origin: None,
+            ingest_unix_ns: 0,
         }
     }
 
@@ -223,12 +233,18 @@ impl UpdateDescriptor {
         if self.new.is_some() {
             flags |= 2;
         }
+        if self.ingest_unix_ns != 0 {
+            flags |= 4;
+        }
         out.push(flags);
         if let Some(t) = &self.old {
             t.encode_into(&mut out);
         }
         if let Some(t) = &self.new {
             t.encode_into(&mut out);
+        }
+        if self.ingest_unix_ns != 0 {
+            out.extend_from_slice(&self.ingest_unix_ns.to_le_bytes());
         }
         out
     }
@@ -252,6 +268,16 @@ impl UpdateDescriptor {
         } else {
             None
         };
+        let ingest_unix_ns = if flags & 4 != 0 {
+            if buf.len() < cursor + 8 {
+                return Err(TmanError::Storage("truncated ingest stamp".into()));
+            }
+            let v = u64::from_le_bytes(buf[cursor..cursor + 8].try_into().unwrap());
+            cursor += 8;
+            v
+        } else {
+            0
+        };
         if cursor != buf.len() {
             return Err(TmanError::Storage(
                 "trailing bytes in update descriptor".into(),
@@ -264,6 +290,7 @@ impl UpdateDescriptor {
             new,
             trace: TraceHandle::none(),
             origin: None,
+            ingest_unix_ns,
         })
     }
 }

@@ -74,6 +74,8 @@ pub fn run_action(
                 values,
                 message: None,
                 token_seq: token.origin,
+                trace: token.trace.clone(),
+                ingest_unix_ns: token.ingest_unix_ns,
             });
             notify.set_arg_b(fanout as u64);
             system.telemetry.notify_fanout.record(fanout as u64);
@@ -89,6 +91,8 @@ pub fn run_action(
                 values: Vec::new(),
                 message: Some(msg),
                 token_seq: token.origin,
+                trace: token.trace.clone(),
+                ingest_unix_ns: token.ingest_unix_ns,
             });
             notify.set_arg_b(fanout as u64);
             system.telemetry.notify_fanout.record(fanout as u64);

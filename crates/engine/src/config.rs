@@ -132,6 +132,12 @@ pub struct Config {
     /// of being dropped; grants resume once the drivers drain the queue
     /// below the high-water mark.
     pub wire_queue_high_water: usize,
+    /// HTTP exposition endpoint (`GET /metrics`, `/metrics.json`,
+    /// `/healthz`, `/tracez`), e.g. `"127.0.0.1:9100"` (port 0 for
+    /// ephemeral). `None` (the default) serves nothing; an address starts
+    /// the dependency-free responder at open time and stops it at
+    /// [`shutdown`](crate::TriggerMan::shutdown).
+    pub http_addr: Option<String>,
 }
 
 impl Default for Config {
@@ -161,6 +167,7 @@ impl Default for Config {
             wire_batch_max: 4096,
             wire_credits: 1024,
             wire_queue_high_water: 65_536,
+            http_addr: None,
         }
     }
 }

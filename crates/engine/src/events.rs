@@ -21,10 +21,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tman_common::fxhash::FxHashMap;
 use tman_common::Value;
-use tman_telemetry::{CounterHandle, Registry};
+use tman_telemetry::{CounterHandle, Registry, TraceHandle};
 
 /// A notification delivered to registered clients.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores the [`trace`](Self::trace) handle and the
+/// [`ingest_unix_ns`](Self::ingest_unix_ns) stamp — like their
+/// counterparts on `UpdateDescriptor`, they are execution metadata riding
+/// along with the notification, not part of its identity.
+#[derive(Debug, Clone)]
 pub struct EventNotification {
     /// Event name (`raise event Name(...)`), or `"notify"` for `do notify`
     /// messages.
@@ -40,6 +45,23 @@ pub struct EventNotification {
     /// persistent queue (`None` on the volatile queue). Delivery tiers key
     /// crash-redelivery dedup on it.
     pub token_seq: Option<i64>,
+    /// Trace lineage of the token whose action raised this notification
+    /// (inert unless the engine is tracing). Delivery tiers record their
+    /// append/write spans on it so the span tree extends past the engine.
+    pub trace: TraceHandle,
+    /// Wall-clock ingest stamp of the originating token (ns since the Unix
+    /// epoch, 0 when unknown) — the basis for ingest→fire latency.
+    pub ingest_unix_ns: u64,
+}
+
+impl PartialEq for EventNotification {
+    fn eq(&self, other: &EventNotification) -> bool {
+        self.event == other.event
+            && self.trigger == other.trigger
+            && self.values == other.values
+            && self.message == other.message
+            && self.token_seq == other.token_seq
+    }
 }
 
 /// Synchronous observer of every published notification. Sinks run inside
@@ -238,6 +260,8 @@ mod tests {
             values: vec![Value::Int(1)],
             message: None,
             token_seq: None,
+            trace: TraceHandle::none(),
+            ingest_unix_ns: 0,
         }
     }
 

@@ -88,7 +88,7 @@ use tman_network::Polarity;
 use tman_predindex::{PredicateIndex, SignatureRuntime};
 use tman_sql::{Database, ExecResult};
 use tman_telemetry::trace::{now_ns, ROOT_SPAN};
-use tman_telemetry::TraceHandle;
+use tman_telemetry::{HttpResponse, HttpServer, TraceHandle};
 
 /// An [`tman_network::AlphaSource`] with no data, for networks that never
 /// scan (single-variable triggers).
@@ -178,6 +178,9 @@ pub struct TriggerMan {
     /// so the controller and the governor never steal each other's
     /// maintenance turn.
     partition_last_ns: AtomicU64,
+    /// The HTTP exposition endpoint ([`Config::http_addr`] or
+    /// [`serve_http`](Self::serve_http)); stopped at shutdown.
+    http: Mutex<Option<HttpServer>>,
     shutdown: AtomicBool,
 }
 
@@ -270,6 +273,7 @@ impl TriggerMan {
             governor_last_ns: AtomicU64::new(0),
             partition_ctl,
             partition_last_ns: AtomicU64::new(0),
+            http: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             catalog,
             db,
@@ -277,6 +281,9 @@ impl TriggerMan {
         });
         system.register_shared_instruments();
         system.recover()?;
+        if let Some(addr) = system.config.http_addr.clone() {
+            system.serve_http(&addr)?;
+        }
         Ok(system)
     }
 
@@ -336,6 +343,28 @@ impl TriggerMan {
         );
         // Event-bus delivery counters are registry CounterHandles resolved
         // in `EventBus::attach_telemetry` — nothing to register here.
+        //
+        // Trace-sampling health: the tracer counts starts/retention/ring
+        // overwrites exactly, but those live in its own atomics. Computed
+        // counters read them live at exposition time, so silent trace loss
+        // (`tman_trace_events_dropped_total` climbing) is scrapeable.
+        // Reads of these identities through `Registry::counter` handles
+        // see a no-op (type mismatch by design); typed access goes through
+        // `Tracer::stats` as before.
+        if let Some(tracer) = &self.tracer {
+            let series: [(&str, fn(&TracerStats) -> u64); 6] = [
+                ("tman_trace_tokens_started_total", |s| s.started),
+                ("tman_trace_tokens_retained_total", |s| s.retained),
+                ("tman_trace_tokens_discarded_total", |s| s.discarded),
+                ("tman_trace_slow_retained_total", |s| s.slow_retained),
+                ("tman_trace_events_logged_total", |s| s.events_logged),
+                ("tman_trace_events_dropped_total", |s| s.events_dropped),
+            ];
+            for (name, read) in series {
+                let t = tracer.clone();
+                r.register_counter_fn(name, &[], move || read(&t.stats()));
+            }
+        }
     }
 
     /// Rebuild in-memory state from the catalogs (system start, §5.1:
@@ -473,6 +502,96 @@ impl TriggerMan {
             Some(t) => t.render_chrome_trace(),
             None => tman_telemetry::trace::render_chrome_trace(&[]),
         }
+    }
+
+    /// Start the HTTP exposition endpoint on `addr` (`"127.0.0.1:0"` for
+    /// an ephemeral port), returning the bound address. Serves
+    /// `GET /metrics` (Prometheus text), `/metrics.json`, `/healthz`, and
+    /// `/tracez` (Chrome-trace JSON of retained slow-token span trees).
+    /// Called automatically at open time when [`Config::http_addr`] is
+    /// set; also the `.serve-http ADDR` console command. Replaces any
+    /// endpoint already running. The handler holds only a weak reference,
+    /// so the endpoint never keeps a dropped engine alive.
+    pub fn serve_http(self: &Arc<Self>, addr: &str) -> Result<std::net::SocketAddr> {
+        let weak = Arc::downgrade(self);
+        let server = HttpServer::start(
+            addr,
+            Arc::new(move |path: &str| match weak.upgrade() {
+                Some(tman) => tman.http_route(path),
+                None => Some(HttpResponse::text(503, "engine is gone\n")),
+            }),
+        )
+        .map_err(|e| TmanError::Internal(format!("http endpoint '{addr}': {e}")))?;
+        let local = server.local_addr();
+        *self.http.lock() = Some(server);
+        Ok(local)
+    }
+
+    /// Bound address of the running HTTP endpoint, if any.
+    pub fn http_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.lock().as_ref().map(|s| s.local_addr())
+    }
+
+    /// Route one HTTP request path (`None` → 404).
+    fn http_route(&self, path: &str) -> Option<HttpResponse> {
+        match path {
+            "/metrics" => Some(HttpResponse::metrics_text(self.render_text())),
+            "/metrics.json" => Some(HttpResponse::json(self.render_metrics_json())),
+            "/healthz" => Some(self.render_healthz()),
+            "/tracez" => Some(HttpResponse::json(self.render_tracez())),
+            _ => None,
+        }
+    }
+
+    /// `/healthz`: liveness plus the operational signals a load balancer
+    /// or probe cares about — queue depth against the wire high-water
+    /// mark, the durable watermark, and whether the last open recovered
+    /// crash damage. 503 when shutting down or overloaded, else 200.
+    fn render_healthz(&self) -> HttpResponse {
+        let depth = self.queue_len();
+        let high = self.config.wire_queue_high_water;
+        let shutdown = self.is_shutdown();
+        let overloaded = depth >= high;
+        let status = if shutdown {
+            "shutting_down"
+        } else if overloaded {
+            "overloaded"
+        } else {
+            "ok"
+        };
+        let watermark = match self.queue_watermark() {
+            Some(w) => w.to_string(),
+            None => "null".into(),
+        };
+        let body = format!(
+            "{{\"status\":\"{status}\",\"queue_depth\":{depth},\"queue_high_water\":{high},\
+             \"queue_watermark\":{watermark},\"recovered\":{},\"shutdown\":{shutdown}}}\n",
+            self.was_recovered(),
+        );
+        HttpResponse {
+            status: if shutdown || overloaded { 503 } else { 200 },
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// `/tracez`: Chrome-trace JSON of the retained *slow* span trees
+    /// (root carries the slow flag), falling back to every retained tree
+    /// when none is slow. Valid-but-empty when tracing is off.
+    pub fn render_tracez(&self) -> String {
+        let snap = self.trace_snapshot();
+        let slow: Vec<&TraceTree> = snap
+            .traces
+            .iter()
+            .filter(|t| t.root().is_some_and(|r| r.arg_a != 0))
+            .collect();
+        let pick: Vec<&TraceTree> = if slow.is_empty() {
+            snap.traces.iter().collect()
+        } else {
+            slow
+        };
+        let events: Vec<TraceEvent> = pick.iter().flat_map(|t| t.events.iter().cloned()).collect();
+        tman_telemetry::trace::render_chrome_trace(&events)
     }
 
     /// A live trace handle when tracing is on, else the inert handle. The
@@ -963,6 +1082,7 @@ impl TriggerMan {
                 new: c.new,
                 trace: self.begin_trace(),
                 origin: None,
+                ingest_unix_ns: tman_telemetry::unix_now_ns(),
             };
             self.queue.enqueue(token)?;
         }
@@ -1510,9 +1630,12 @@ impl TriggerMan {
         driver::start(self.clone())
     }
 
-    /// Ask driver threads to exit.
+    /// Ask driver threads to exit and stop the HTTP endpoint if one is
+    /// serving.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Dropping the server joins its thread.
+        self.http.lock().take();
     }
 
     /// Has [`shutdown`](Self::shutdown) been requested? Embedded services

@@ -52,8 +52,43 @@ pub(crate) struct EngineTelemetry {
     pub actions_by_kind: [CounterHandle; 3],
 }
 
+/// Wire-tier series pre-created at engine construction so the exposition
+/// (and the `wire` snapshot section) shows them as zeros even before a
+/// `WireServer` starts. The wire crate resolves the same identities
+/// (get-or-create, or `register_counter` replace-at-identity), so both
+/// sides read and write one series.
+const WIRE_COUNTERS: [(&str, &[(&str, &str)]); 14] = [
+    ("tman_wire_connections", &[]),
+    ("tman_wire_frames_total", &[("dir", "in")]),
+    ("tman_wire_frames_total", &[("dir", "out")]),
+    ("tman_wire_protocol_errors_total", &[]),
+    ("tman_wire_backpressure_total", &[]),
+    ("tman_wire_batches_total", &[]),
+    ("tman_wire_tokens_total", &[]),
+    ("tman_wire_notifications_sent_total", &[]),
+    ("tman_wire_acks_total", &[]),
+    ("tman_wire_delivery_appends_total", &[]),
+    ("tman_wire_redelivery_suppressed_total", &[]),
+    ("tman_wire_delivery_acked_total", &[]),
+    ("tman_wire_acks_clamped_total", &[]),
+    ("tman_wire_subscriber_stalls_total", &[]),
+];
+
+/// Wire-tier end-to-end latency histograms (see [`WireMetrics`]).
+const WIRE_HISTOGRAMS: [&str; 3] = [
+    "tman_wire_ingest_to_fire_ns",
+    "tman_wire_fire_to_ack_ns",
+    "tman_wire_credit_stall_ns",
+];
+
 impl EngineTelemetry {
     pub(crate) fn new(registry: Arc<Registry>) -> EngineTelemetry {
+        for (name, labels) in WIRE_COUNTERS {
+            registry.counter(name, labels);
+        }
+        for name in WIRE_HISTOGRAMS {
+            registry.histogram(name, &[]);
+        }
         EngineTelemetry {
             queue: QueueTelemetry::from_registry(&registry),
             tman_test_ns: registry.histogram("tman_test_ns", &[]),
@@ -92,6 +127,9 @@ pub struct MetricsSnapshot {
     pub actions: ActionMetrics,
     /// Per-token tracing (flight recorder).
     pub trace: TraceMetrics,
+    /// TCP wire tier (ingestion + subscriber delivery). All zero until a
+    /// `WireServer` is started on this engine.
+    pub wire: WireMetrics,
     /// Per-signature detail (id, description, organization, class size).
     pub signatures: Vec<SignatureMetrics>,
 }
@@ -322,6 +360,49 @@ pub struct TraceMetrics {
     pub events_dropped: u64,
 }
 
+/// TCP wire-tier metrics (`crates/wire`): ingestion connections, frame
+/// traffic, group-commit batching, durable subscriber delivery, and the
+/// end-to-end latency SLIs computed from v2 wall-clock stamps. Collected
+/// by registry-name reads — the engine crate does not depend on the wire
+/// crate, but both resolve the same series identities.
+#[derive(Debug, Clone, Default)]
+pub struct WireMetrics {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames decoded from peers.
+    pub frames_in: u64,
+    /// Frames written to peers.
+    pub frames_out: u64,
+    /// Protocol errors (bad frames, credit overruns, validation).
+    pub protocol_errors: u64,
+    /// Credit grants withheld under queue backpressure.
+    pub backpressure: u64,
+    /// Group-commit batches enqueued.
+    pub batches: u64,
+    /// Update descriptors ingested over the wire.
+    pub tokens: u64,
+    /// Notifications written to subscriber connections.
+    pub notifications: u64,
+    /// Subscriber watermark acknowledgements processed.
+    pub acks: u64,
+    /// Notifications appended to the durable delivery log.
+    pub delivery_appends: u64,
+    /// Redeliveries suppressed by the per-subscriber dedup.
+    pub redelivery_suppressed: u64,
+    /// Delivery-log rows retired by subscriber acks.
+    pub delivery_acked: u64,
+    /// Subscriber acks clamped to the delivered range.
+    pub acks_clamped: u64,
+    /// Deliveries dropped on stalled subscriber mailboxes.
+    pub subscriber_stalls: u64,
+    /// Ingest stamp → trigger fire (delivery-log append), wall clock.
+    pub ingest_to_fire_ns: HistogramSummary,
+    /// Trigger fire → subscriber ack, monotonic server clock.
+    pub fire_to_ack_ns: HistogramSummary,
+    /// Time source connections spent stalled on withheld credit.
+    pub credit_stall_ns: HistogramSummary,
+}
+
 /// One signature's catalog-style row.
 #[derive(Debug, Clone)]
 pub struct SignatureMetrics {
@@ -519,13 +600,50 @@ impl MetricsSnapshot {
                     }
                 }
             },
+            wire: {
+                let c = |name: &str| t.registry.counter(name, &[]).get();
+                WireMetrics {
+                    connections: c("tman_wire_connections"),
+                    frames_in: t
+                        .registry
+                        .counter("tman_wire_frames_total", &[("dir", "in")])
+                        .get(),
+                    frames_out: t
+                        .registry
+                        .counter("tman_wire_frames_total", &[("dir", "out")])
+                        .get(),
+                    protocol_errors: c("tman_wire_protocol_errors_total"),
+                    backpressure: c("tman_wire_backpressure_total"),
+                    batches: c("tman_wire_batches_total"),
+                    tokens: c("tman_wire_tokens_total"),
+                    notifications: c("tman_wire_notifications_sent_total"),
+                    acks: c("tman_wire_acks_total"),
+                    delivery_appends: c("tman_wire_delivery_appends_total"),
+                    redelivery_suppressed: c("tman_wire_redelivery_suppressed_total"),
+                    delivery_acked: c("tman_wire_delivery_acked_total"),
+                    acks_clamped: c("tman_wire_acks_clamped_total"),
+                    subscriber_stalls: c("tman_wire_subscriber_stalls_total"),
+                    ingest_to_fire_ns: t
+                        .registry
+                        .histogram("tman_wire_ingest_to_fire_ns", &[])
+                        .summary(),
+                    fire_to_ack_ns: t
+                        .registry
+                        .histogram("tman_wire_fire_to_ack_ns", &[])
+                        .summary(),
+                    credit_stall_ns: t
+                        .registry
+                        .histogram("tman_wire_credit_stall_ns", &[])
+                        .summary(),
+                }
+            },
             signatures,
         }
     }
 
     /// Subsystem names accepted by `show stats <subsystem>`.
-    pub const SUBSYSTEMS: [&'static str; 8] = [
-        "engine", "queue", "driver", "index", "cache", "storage", "actions", "trace",
+    pub const SUBSYSTEMS: [&'static str; 9] = [
+        "engine", "queue", "driver", "index", "cache", "storage", "actions", "trace", "wire",
     ];
 
     /// Human-readable rendering for the console. `None` renders every
@@ -721,6 +839,39 @@ impl MetricsSnapshot {
                     self.trace.events_logged, self.trace.events_dropped
                 ));
             }
+        }
+        if want("wire") {
+            out.push_str("wire:\n");
+            let w = &self.wire;
+            out.push_str(&format!("  connections        {}\n", w.connections));
+            out.push_str(&format!(
+                "  frames             in={} out={}\n",
+                w.frames_in, w.frames_out
+            ));
+            out.push_str(&format!(
+                "  ingest             batches={} tokens={} backpressure={} protocol_errors={}\n",
+                w.batches, w.tokens, w.backpressure, w.protocol_errors
+            ));
+            out.push_str(&format!(
+                "  delivery           appends={} sent={} acks={} acked_rows={}\n",
+                w.delivery_appends, w.notifications, w.acks, w.delivery_acked
+            ));
+            out.push_str(&format!(
+                "  anomalies          suppressed={} clamped={} stalls={}\n",
+                w.redelivery_suppressed, w.acks_clamped, w.subscriber_stalls
+            ));
+            out.push_str(&format!(
+                "  ingest->fire       {}\n",
+                hist(&w.ingest_to_fire_ns)
+            ));
+            out.push_str(&format!(
+                "  fire->ack          {}\n",
+                hist(&w.fire_to_ack_ns)
+            ));
+            out.push_str(&format!(
+                "  credit stall       {}\n",
+                hist(&w.credit_stall_ns)
+            ));
         }
         Ok(out)
     }

@@ -764,6 +764,13 @@ fn render_text_exposes_all_subsystems() {
         "tman_quarantined_pages_total 0",
         "tman_queue_corrupt_rows_total 0",
         "tman_queue_dedup_dropped_total 0",
+        // Wire-tier series are pre-registered so scrapers see the family
+        // (at zero) before the first remote connection.
+        "tman_wire_tokens_total 0",
+        "tman_wire_frames_total{dir=\"in\"} 0",
+        "# TYPE tman_wire_ingest_to_fire_ns summary",
+        "tman_wire_fire_to_ack_ns_count 0",
+        "tman_wire_credit_stall_ns_count 0",
     ] {
         assert!(text.contains(series), "missing '{series}' in:\n{text}");
     }
@@ -781,7 +788,7 @@ fn show_stats_command_formats_report() {
         panic!("expected stats output");
     };
     for section in [
-        "engine:", "queue:", "driver:", "index:", "cache:", "storage:", "actions:",
+        "engine:", "queue:", "driver:", "index:", "cache:", "storage:", "actions:", "wire:",
     ] {
         assert!(
             all.contains(section),
@@ -797,9 +804,83 @@ fn show_stats_command_formats_report() {
         panic!("expected stats output");
     };
     assert!(cache_only.contains("cache:") && !cache_only.contains("queue:"));
+    // The wire subsystem is selectable on its own, with the SLI rows.
+    let CommandOutput::Stats(wire_only) = tman.execute_command("show stats wire").unwrap() else {
+        panic!("expected stats output");
+    };
+    assert!(wire_only.contains("wire:") && !wire_only.contains("queue:"));
+    assert!(
+        wire_only.contains("ingest->fire") && wire_only.contains("fire->ack"),
+        "missing SLI rows in:\n{wire_only}"
+    );
     // predindex is accepted as an alias for index.
     assert!(tman.execute_command("show stats predindex").is_ok());
     assert!(tman.execute_command("show stats bogus").is_err());
+}
+
+/// `Config { http_addr }` serves the exposition endpoints over plain
+/// HTTP/1.0 for the engine's lifetime: `/metrics` is the Prometheus text,
+/// `/metrics.json` and `/tracez` are JSON, `/healthz` reports liveness,
+/// anything else is 404 — and shutdown stops the listener.
+#[test]
+fn http_endpoint_serves_metrics_health_and_traces() {
+    use std::io::{Read, Write};
+
+    let tman = TriggerMan::open_memory(Config {
+        tracing: TracingMode::Full,
+        http_addr: Some("127.0.0.1:0".into()),
+        ..Default::default()
+    })
+    .unwrap();
+    run_observed_workload(&tman);
+
+    let addr = tman.http_local_addr().expect("endpoint started at open");
+    let get = |path: &str| -> (String, String) {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        let status = raw.lines().next().unwrap_or_default().to_string();
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, body) = get("/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("tman_tokens_processed_total 60"), "{body}");
+    let (status, body) = get("/metrics.json");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.starts_with('{') && body.contains("\"tman_tokens_processed_total\":60"));
+    let (status, body) = get("/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("ok"), "{body}");
+    let (status, body) = get("/tracez");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("traceEvents"), "{body}");
+    let (status, _) = get("/nope");
+    assert!(status.contains("404"), "{status}");
+
+    tman.shutdown();
+    assert!(
+        tman.http_local_addr().is_none(),
+        "listener survived shutdown"
+    );
+    assert!(
+        std::net::TcpStream::connect(addr).is_err()
+            || std::net::TcpStream::connect(addr)
+                .and_then(|mut s| {
+                    s.set_read_timeout(Some(Duration::from_secs(5)))?;
+                    write!(s, "GET /healthz HTTP/1.0\r\n\r\n")?;
+                    let mut raw = String::new();
+                    s.read_to_string(&mut raw).map(|_| s)
+                })
+                .is_err(),
+        "endpoint still answering after shutdown"
+    );
 }
 
 #[test]

@@ -1,0 +1,363 @@
+//! Dependency-free HTTP/1.0 exposition responder.
+//!
+//! Standard scrapers (Prometheus, curl, load balancer health checks)
+//! speak HTTP; this module gives the engine an exposition endpoint
+//! without pulling an async runtime or an HTTP crate into the std-only
+//! telemetry kit. It follows the wire server's idiom: one thread, a
+//! non-blocking `TcpListener`, per-connection read/write buffers, and a
+//! short park when idle. The protocol surface is deliberately tiny —
+//! `GET` only, one request per connection, `Connection: close` — which
+//! is all an exposition endpoint needs and keeps the parser to a
+//! request line.
+//!
+//! Routing is the caller's: [`HttpServer::start`] takes a handler
+//! mapping a path to an optional [`HttpResponse`] (`None` → 404), so
+//! this module knows nothing about metrics, health, or traces.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request (request line + headers) accepted before answering
+/// 400 — an exposition GET fits in a fraction of this.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// Idle park between poll passes when no connection made progress.
+/// Scrapes are seconds apart; half a millisecond of added latency is
+/// invisible and keeps the idle thread cold.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// One response from a route handler.
+pub struct HttpResponse {
+    /// Status code (200, 404, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// 200 with `text/plain; version=0.0.4` (the Prometheus text
+    /// exposition content type).
+    pub fn metrics_text(body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// 200 with `application/json`.
+    pub fn json(body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Arbitrary status with a plain-text body.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+}
+
+/// Route handler: path (query string stripped) → response, `None` → 404.
+pub type HttpHandler = Arc<dyn Fn(&str) -> Option<HttpResponse> + Send + Sync>;
+
+/// A running exposition endpoint. Dropping (or [`stop`](Self::stop)ping)
+/// it joins the serving thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9100"`, port 0 for ephemeral) and
+    /// serve `handler` on a background thread until stopped.
+    pub fn start(addr: &str, handler: HttpHandler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("tman-http".into())
+                .spawn(move || run_loop(listener, handler, stop))?
+        };
+        Ok(HttpServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop serving and join the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct HttpConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    responded: bool,
+    dead: bool,
+}
+
+fn run_loop(listener: TcpListener, handler: HttpHandler, stop: Arc<AtomicBool>) {
+    let mut conns: Vec<HttpConn> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let mut busy = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    conns.push(HttpConn {
+                        stream,
+                        rbuf: Vec::with_capacity(256),
+                        wbuf: Vec::new(),
+                        responded: false,
+                        dead: false,
+                    });
+                    busy = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        for conn in conns.iter_mut() {
+            if !conn.responded {
+                busy |= read_request(conn);
+                if conn.dead {
+                    continue;
+                }
+                // The size guard comes first: a request head that outgrew
+                // the cap is rejected even if its terminator did arrive.
+                if conn.rbuf.len() > MAX_REQUEST {
+                    conn.wbuf = render(HttpResponse::text(400, "request too large\n"));
+                    conn.responded = true;
+                    busy = true;
+                } else if let Some(req_end) = headers_end(&conn.rbuf) {
+                    conn.wbuf = respond(&conn.rbuf[..req_end], &handler);
+                    conn.responded = true;
+                    busy = true;
+                }
+            }
+            busy |= flush(conn);
+            if conn.responded && conn.wbuf.is_empty() {
+                // One request per connection: close once the response is
+                // fully written.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conn.dead = true;
+            }
+        }
+        conns.retain(|c| !c.dead);
+        if !busy {
+            std::thread::park_timeout(IDLE_PARK);
+        }
+    }
+}
+
+/// Pull whatever is readable into the connection buffer. Returns whether
+/// any bytes arrived.
+fn read_request(conn: &mut HttpConn) -> bool {
+    let mut progressed = false;
+    let mut chunk = [0u8; 2048];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                return progressed;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                progressed = true;
+                if conn.rbuf.len() > MAX_REQUEST {
+                    return progressed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return progressed,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return progressed;
+            }
+        }
+    }
+}
+
+/// Offset just past the request head (`\r\n\r\n` or bare `\n\n`), if
+/// fully buffered. Request bodies are ignored — GET has none.
+fn headers_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Parse the request line and produce the wire bytes of the response.
+fn respond(head: &[u8], handler: &HttpHandler) -> Vec<u8> {
+    let line = head.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let resp = if method != "GET" {
+        HttpResponse::text(405, "only GET is supported\n")
+    } else {
+        let path = target.split('?').next().unwrap_or("");
+        match handler(path) {
+            Some(r) => r,
+            None => HttpResponse::text(404, "not found\n"),
+        }
+    };
+    render(resp)
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+fn render(resp: HttpResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(resp.body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            resp.status,
+            status_reason(resp.status),
+            resp.content_type,
+            resp.body.len(),
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Write as much of the pending response as the socket accepts. Returns
+/// whether any bytes moved.
+fn flush(conn: &mut HttpConn) -> bool {
+    let mut written = 0usize;
+    while written < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[written..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    conn.wbuf.drain(..written);
+    written > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        request(addr, &format!("GET {target} HTTP/1.0\r\n\r\n"))
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn serve() -> HttpServer {
+        HttpServer::start(
+            "127.0.0.1:0",
+            Arc::new(|path: &str| match path {
+                "/metrics" => Some(HttpResponse::metrics_text("tman_up 1\n")),
+                "/healthz" => Some(HttpResponse::json("{\"status\":\"ok\"}")),
+                _ => None,
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_routed_paths_with_content_length() {
+        let server = serve();
+        let got = get(server.local_addr(), "/metrics");
+        assert!(got.starts_with("HTTP/1.0 200 OK\r\n"), "{got}");
+        assert!(got.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(got.contains("Content-Length: 10"));
+        assert!(got.ends_with("tman_up 1\n"));
+        let got = get(server.local_addr(), "/healthz?verbose=1");
+        assert!(got.contains("application/json"), "query string stripped");
+        assert!(got.ends_with("{\"status\":\"ok\"}"));
+    }
+
+    #[test]
+    fn unknown_paths_404_and_non_get_405() {
+        let server = serve();
+        assert!(get(server.local_addr(), "/nope").starts_with("HTTP/1.0 404"));
+        let got = request(
+            server.local_addr(),
+            "POST /metrics HTTP/1.0\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(got.starts_with("HTTP/1.0 405"), "{got}");
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_buffered_forever() {
+        let server = serve();
+        let huge = format!(
+            "GET /metrics HTTP/1.0\r\nX-Junk: {}\r\n\r\n",
+            "j".repeat(MAX_REQUEST)
+        );
+        let got = request(server.local_addr(), &huge);
+        assert!(got.starts_with("HTTP/1.0 400"), "{got}");
+    }
+
+    #[test]
+    fn many_sequential_scrapes_on_one_server() {
+        let server = serve();
+        for _ in 0..20 {
+            assert!(get(server.local_addr(), "/metrics").contains("tman_up 1"));
+        }
+    }
+}

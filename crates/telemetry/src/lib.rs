@@ -30,17 +30,19 @@
 //! This crate is dependency-free (std only) so every other crate in the
 //! workspace can use it.
 
+pub mod http;
 pub mod instruments;
 pub mod registry;
 pub mod render;
 pub mod trace;
 
+pub use http::{HttpHandler, HttpResponse, HttpServer};
 pub use instruments::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Instrument, Registry, Timer};
 pub use render::{json_escape, MetricSample, SampleValue};
 pub use trace::{
-    SpanGuard, SpanKind, TraceEvent, TraceHandle, TraceRing, TraceSnapshot, TraceTree, Tracer,
-    TracerStats,
+    unix_now_ns, SpanGuard, SpanKind, TraceEvent, TraceHandle, TraceRing, TraceSnapshot, TraceTree,
+    Tracer, TracerStats,
 };
 
 /// A registry whose handles are no-ops: recording calls reduce to one

@@ -36,6 +36,11 @@ pub enum Instrument {
     Gauge(Arc<Gauge>),
     /// Log2 latency/size histogram.
     Histogram(Arc<Histogram>),
+    /// Computed counter: exposition invokes the closure for a live value.
+    /// For monotonic quantities a subsystem already tracks internally
+    /// (e.g. the trace ring's exact overwrite count), where mirroring into
+    /// a second instrument would be a shadow copy that can lag.
+    CounterFn(Arc<dyn Fn() -> u64 + Send + Sync>),
 }
 
 /// Process-wide set of named instruments keyed by `(name, labels)`.
@@ -142,6 +147,27 @@ impl Registry {
             .insert(key, Instrument::Counter(counter));
     }
 
+    /// Register a computed counter: every exposition pass
+    /// ([`samples`](Self::samples) and the renderers built on it) calls
+    /// `f()` for the live value. Replaces any previous instrument at the
+    /// same identity. The closure must be cheap and non-blocking — it runs
+    /// with the registry's read lock held.
+    pub fn register_counter_fn(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let key = (name.to_string(), label_set(labels));
+        self.map
+            .write()
+            .unwrap()
+            .insert(key, Instrument::CounterFn(Arc::new(f)));
+    }
+
     /// Register an existing shared gauge (see [`Registry::register_counter`]).
     pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: Arc<Gauge>) {
         if !self.enabled {
@@ -165,6 +191,7 @@ impl Registry {
                     Instrument::Counter(c) => SampleValue::Counter(c.get()),
                     Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
                     Instrument::Histogram(h) => SampleValue::Histogram(h.summary()),
+                    Instrument::CounterFn(f) => SampleValue::Counter(f()),
                 },
             })
             .collect()
@@ -398,6 +425,27 @@ mod tests {
         let samples = r.samples();
         assert_eq!(samples.len(), 1);
         assert!(matches!(samples[0].value, SampleValue::Counter(9)));
+    }
+
+    #[test]
+    fn computed_counters_are_read_live() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let r = Registry::new();
+        let v = Arc::new(AtomicU64::new(0));
+        let src = v.clone();
+        r.register_counter_fn("computed_total", &[], move || src.load(Ordering::Relaxed));
+        v.store(7, Ordering::Relaxed);
+        let samples = r.samples();
+        assert_eq!(samples.len(), 1);
+        assert!(matches!(samples[0].value, SampleValue::Counter(7)));
+        v.store(9, Ordering::Relaxed);
+        assert!(r.render_text().contains("computed_total"));
+        let samples = r.samples();
+        assert!(matches!(samples[0].value, SampleValue::Counter(9)));
+        // A disabled registry ignores the registration entirely.
+        let d = Registry::disabled();
+        d.register_counter_fn("computed_total", &[], || 1);
+        assert!(d.samples().is_empty());
     }
 
     #[test]

@@ -50,6 +50,19 @@ pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
+/// Wall-clock nanoseconds since the Unix epoch. Used for stamps that
+/// cross process boundaries (wire-protocol send/fire times), where the
+/// process-local trace epoch is meaningless; a receiver maps a foreign
+/// wall stamp into its own trace timeline via
+/// `now_ns() - (unix_now_ns() - stamp)`.
+#[inline]
+pub fn unix_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
 /// Small dense id for the current OS thread (drivers get 0, 1, 2, ... in
 /// first-use order); lets a trace show which spans ran on which driver.
 pub fn thread_tag() -> u32 {
@@ -101,6 +114,17 @@ pub enum SpanKind {
     /// One wire-tier group-commit batch (decode + batched enqueue + sync).
     /// `arg_a` = tokens in the batch, `arg_b` = connections contributing.
     Wire,
+    /// Client-side send of one token over the wire, reconstructed on the
+    /// server from the batch's wall-clock send stamp: covers serialize +
+    /// TCP transit + server decode. `arg_a` = tokens in the carrying
+    /// batch.
+    WireSend,
+    /// Durable delivery-log append + mailbox push for one notification.
+    /// `arg_a` = the per-subscriber sequence number assigned.
+    WireDeliver,
+    /// Delivery close: fire (log append) → subscriber ack received.
+    /// `arg_a` = the acked per-subscriber sequence number.
+    WireAck,
 }
 
 impl SpanKind {
@@ -120,6 +144,9 @@ impl SpanKind {
             SpanKind::Governor => 10,
             SpanKind::PartitionCtl => 11,
             SpanKind::Wire => 12,
+            SpanKind::WireSend => 13,
+            SpanKind::WireDeliver => 14,
+            SpanKind::WireAck => 15,
         }
     }
 
@@ -139,6 +166,9 @@ impl SpanKind {
             10 => SpanKind::Governor,
             11 => SpanKind::PartitionCtl,
             12 => SpanKind::Wire,
+            13 => SpanKind::WireSend,
+            14 => SpanKind::WireDeliver,
+            15 => SpanKind::WireAck,
             _ => return None,
         })
     }
@@ -159,6 +189,9 @@ impl SpanKind {
             SpanKind::Governor => "governor",
             SpanKind::PartitionCtl => "partition_ctl",
             SpanKind::Wire => "wire",
+            SpanKind::WireSend => "wire_send",
+            SpanKind::WireDeliver => "wire_deliver",
+            SpanKind::WireAck => "wire_ack",
         }
     }
 }
@@ -593,6 +626,7 @@ pub struct Tracer {
     sample_every: u64,
     slow_ns: u64,
     next_trace_id: AtomicU64,
+    next_foreign_span: AtomicU32,
     sample_clock: AtomicU64,
     started: AtomicU64,
     retained: AtomicU64,
@@ -611,6 +645,7 @@ impl Tracer {
             sample_every: sample_every.max(1),
             slow_ns: slow.as_nanos() as u64,
             next_trace_id: AtomicU64::new(1),
+            next_foreign_span: AtomicU32::new(1),
             sample_clock: AtomicU64::new(0),
             started: AtomicU64::new(0),
             retained: AtomicU64::new(0),
@@ -635,6 +670,44 @@ impl Tracer {
                 tracer: self.clone(),
             })),
         }
+    }
+
+    /// Begin tracing a token whose trace id was assigned by a *peer*
+    /// process and propagated over the wire. The id is adopted verbatim
+    /// (peers use a disjoint id space: wire clients set the high bit,
+    /// locally begun traces count up from 1), so spans recorded here and
+    /// spans pushed by the peer assemble into one tree. Sampling is the
+    /// same tail-based policy as [`begin`](Self::begin).
+    pub fn begin_with_id(self: &Arc<Tracer>, trace_id: u64) -> TraceHandle {
+        self.started.fetch_add(1, Ordering::Relaxed);
+        let n = self.sample_clock.fetch_add(1, Ordering::Relaxed);
+        TraceHandle {
+            ctx: Some(Arc::new(TraceContext {
+                trace_id,
+                sampled_in: n.is_multiple_of(self.sample_every),
+                start_ns: now_ns(),
+                next_span: AtomicU32::new(ROOT_SPAN + 1),
+                spans: Mutex::new(Vec::with_capacity(8)),
+                tracer: self.clone(),
+            })),
+        }
+    }
+
+    /// Push one already-complete event straight into the ring, bypassing
+    /// any per-token context. For spans that finish *after* their token's
+    /// trace was finalized (e.g. a wire subscriber's ack closing the
+    /// delivery span): the event lands next to the already-flushed tree
+    /// with the same trace id. Use span ids from
+    /// [`foreign_span_id`](Self::foreign_span_id) so they cannot collide
+    /// with context-allocated ids.
+    pub fn push_foreign(&self, ev: &TraceEvent) {
+        self.ring.push(ev);
+    }
+
+    /// Allocate a span id from the foreign (high) range, disjoint from the
+    /// per-context low range, for [`push_foreign`](Self::push_foreign).
+    pub fn foreign_span_id(&self) -> u32 {
+        0x8000_0000 | (self.next_foreign_span.fetch_add(1, Ordering::Relaxed) & 0x7fff_ffff)
     }
 
     /// Aggregate counters.
@@ -817,6 +890,9 @@ fn kind_args(ev: &TraceEvent) -> String {
             format!("  [transitions={} target_fanout={}]", ev.arg_a, ev.arg_b)
         }
         SpanKind::Wire => format!("  [tokens={} conns={}]", ev.arg_a, ev.arg_b),
+        SpanKind::WireSend => format!("  [batch_tokens={}]", ev.arg_a),
+        SpanKind::WireDeliver => format!("  [seq={}]", ev.arg_a),
+        SpanKind::WireAck => format!("  [seq={}]", ev.arg_a),
         _ => String::new(),
     }
 }
@@ -875,6 +951,14 @@ pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
 /// string `name`/`ph` and numeric `ts`/`dur`/`pid`/`tid`. Returns the
 /// event count. Used by the CI smoke step (`tracecheck`).
 pub fn validate_chrome_trace(input: &str) -> Result<usize, String> {
+    validate_chrome_trace_names(input).map(|(n, _)| n)
+}
+
+/// [`validate_chrome_trace`], additionally returning the sorted, deduped
+/// span names seen in the file. Lets `tracecheck` assert that specific
+/// span kinds (e.g. `wire_send`) made it into an exported trace, not just
+/// that the JSON is well-formed.
+pub fn validate_chrome_trace_names(input: &str) -> Result<(usize, Vec<String>), String> {
     let mut p = Json {
         bytes: input.as_bytes(),
         pos: 0,
@@ -894,13 +978,14 @@ pub fn validate_chrome_trace(input: &str) -> Result<usize, String> {
     else {
         return Err("missing traceEvents array".into());
     };
+    let mut names: Vec<String> = Vec::new();
     for (i, ev) in events.iter().enumerate() {
         let JsonValue::Object(f) = ev else {
             return Err(format!("traceEvents[{i}] is not an object"));
         };
         let get = |k: &str| f.iter().find(|(n, _)| n == k).map(|(_, v)| v);
         match get("name") {
-            Some(JsonValue::String(_)) => {}
+            Some(JsonValue::String(name)) => names.push(name.clone()),
             _ => return Err(format!("traceEvents[{i}]: missing string name")),
         }
         match get("ph") {
@@ -914,7 +999,10 @@ pub fn validate_chrome_trace(input: &str) -> Result<usize, String> {
             }
         }
     }
-    Ok(events.len())
+    let count = names.len();
+    names.sort();
+    names.dedup();
+    Ok((count, names))
 }
 
 enum JsonValue {
@@ -1313,6 +1401,40 @@ mod tests {
     }
 
     #[test]
+    fn adopted_trace_ids_and_foreign_events_assemble_into_one_tree() {
+        let tracer = Arc::new(Tracer::new(4096, 1, Duration::ZERO));
+        let wire_id = (1u64 << 63) | 42; // peer-assigned (high-bit) id
+        let h = tracer.begin_with_id(wire_id);
+        assert_eq!(h.trace_id(), Some(wire_id));
+        h.record_complete(SpanKind::WireSend, ROOT_SPAN, now_ns(), 10, 1, 0);
+        drop(h.span(SpanKind::Process, ROOT_SPAN));
+        drop(h);
+        // The subscriber's ack arrives after the trace finalized: a
+        // foreign event with the same trace id joins the same tree.
+        let fid = tracer.foreign_span_id();
+        assert!(fid & 0x8000_0000 != 0, "foreign ids use the high range");
+        tracer.push_foreign(&TraceEvent {
+            trace_id: wire_id,
+            span_id: fid,
+            parent_id: ROOT_SPAN,
+            kind: SpanKind::WireAck,
+            thread: thread_tag(),
+            start_ns: now_ns(),
+            dur_ns: 7,
+            arg_a: 3,
+            arg_b: 0,
+        });
+        let snap = tracer.snapshot();
+        let tree = snap.trace(wire_id).expect("adopted trace retained");
+        assert!(tree.root().is_some());
+        let kinds: Vec<SpanKind> = tree.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&SpanKind::WireSend));
+        assert!(kinds.contains(&SpanKind::WireAck));
+        let rendered = tree.render();
+        assert!(rendered.contains("wire_send") && rendered.contains("wire_ack"));
+    }
+
+    #[test]
     fn inert_handles_and_guards_do_nothing() {
         let h = TraceHandle::none();
         assert!(!h.is_active());
@@ -1337,6 +1459,10 @@ mod tests {
         ];
         let json = render_chrome_trace(&events);
         assert_eq!(validate_chrome_trace(&json), Ok(3));
+        // The name-collecting variant reports sorted, deduped span names.
+        let (n, names) = validate_chrome_trace_names(&json).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(names, vec!["queue_wait", "sig_probe", "token"]);
         // Empty export is still valid.
         assert_eq!(validate_chrome_trace(&render_chrome_trace(&[])), Ok(0));
         // Structural failures are detected.

@@ -24,32 +24,36 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use tman_common::{DataSourceId, Result, TmanError, Tuple, UpdateDescriptor, Value};
+use tman_telemetry::unix_now_ns;
 use triggerman::EventNotification;
 
 use crate::frame::{
-    decode_frame, decode_notification_body, encode_frame, Frame, ROLE_SOURCE, ROLE_SUBSCRIBER,
+    decode_frame, decode_notification_body, encode_frame_v, Frame, ROLE_SOURCE, ROLE_SUBSCRIBER,
+    VERSION, VERSION_1,
 };
 
-/// One framed, blocking TCP connection.
+/// One framed, blocking TCP connection, pinned to a protocol version.
 struct FrameStream {
     stream: TcpStream,
     rbuf: Vec<u8>,
+    version: u8,
 }
 
 impl FrameStream {
-    fn connect(addr: &str) -> Result<FrameStream> {
+    fn connect(addr: &str, version: u8) -> Result<FrameStream> {
         let stream =
             TcpStream::connect(addr).map_err(|e| TmanError::Io(format!("connect {addr}: {e}")))?;
         let _ = stream.set_nodelay(true);
         Ok(FrameStream {
             stream,
             rbuf: Vec::new(),
+            version,
         })
     }
 
     fn send(&mut self, frame: &Frame<'_>) -> Result<()> {
         let mut out = Vec::with_capacity(64);
-        encode_frame(frame, &mut out)?;
+        encode_frame_v(frame, &mut out, self.version)?;
         self.stream
             .write_all(&out)
             .map_err(|e| TmanError::Io(format!("wire send: {e}")))
@@ -103,6 +107,29 @@ fn server_error(code: u16, message: &str) -> TmanError {
     TmanError::Io(format!("server error {code}: {message}"))
 }
 
+/// Open a connection and complete the hello handshake. The first attempt
+/// speaks the current [`VERSION`]; a server that rejects it by version
+/// (an older build names the version in its error message) gets one
+/// retry on a fresh connection pinned to [`VERSION_1`], so new clients
+/// keep working against old servers — minus the trace fields, which v1
+/// framing simply cannot carry.
+fn connect_hello(addr: &str, hello: &Frame<'static>) -> Result<(FrameStream, Frame<'static>)> {
+    let mut version = VERSION;
+    loop {
+        let mut fs = FrameStream::connect(addr, version)?;
+        fs.send(hello)?;
+        match fs.recv_blocking()? {
+            Frame::Error { message, .. }
+                if version > VERSION_1 && message.contains("wire protocol version") =>
+            {
+                version = VERSION_1;
+            }
+            Frame::Error { code, message } => return Err(server_error(code, &message)),
+            ack => return Ok((fs, ack)),
+        }
+    }
+}
+
 /// Handle to a remote TriggerMan wire endpoint. Cheap; each
 /// [`data_source`](RemoteClient::data_source) /
 /// [`subscribe`](RemoteClient::subscribe) call opens its own connection.
@@ -146,20 +173,25 @@ pub struct RemoteDataSource {
     sent: u64,
     /// Descriptors the server has group-committed (from `BatchAck`s).
     acked: u64,
-    /// Encoded descriptors not yet sent.
-    buffer: Vec<Vec<u8>>,
+    /// Encoded descriptors (plus their trace ids) not yet sent.
+    buffer: Vec<(Vec<u8>, u64)>,
+    /// Next client-originated trace id. Client ids live in the high-bit
+    /// half of the id space (seeded from pid + wall clock), disjoint from
+    /// server-originated ids, so adopting one on the server can't collide
+    /// with the server tracer's own counter.
+    next_trace: u64,
 }
 
 impl RemoteDataSource {
     fn connect(addr: &str, source: &str) -> Result<RemoteDataSource> {
-        let mut fs = FrameStream::connect(addr)?;
-        fs.send(&Frame::Hello {
+        let hello = Frame::Hello {
             role: ROLE_SOURCE,
             name: source.to_string(),
             event: String::new(),
             resume_from: 0,
-        })?;
-        match fs.recv_blocking()? {
+        };
+        let (fs, ack) = connect_hello(addr, &hello)?;
+        match ack {
             Frame::HelloAck {
                 credits, source_id, ..
             } => Ok(RemoteDataSource {
@@ -169,8 +201,8 @@ impl RemoteDataSource {
                 sent: 0,
                 acked: 0,
                 buffer: Vec::new(),
+                next_trace: (u64::from(std::process::id()) << 32) ^ unix_now_ns(),
             }),
-            Frame::Error { code, message } => Err(server_error(code, &message)),
             other => Err(TmanError::Io(format!(
                 "expected hello ack, got {}",
                 other.kind_name()
@@ -184,14 +216,20 @@ impl RemoteDataSource {
     }
 
     /// Buffer an insert of `values` (call [`flush`](Self::flush) to ship).
-    pub fn insert(&mut self, values: Vec<Value>) -> Result<()> {
+    /// Returns the descriptor's trace id.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<u64> {
         self.push(UpdateDescriptor::insert(self.source_id, Tuple::new(values)))
     }
 
-    /// Buffer an arbitrary pre-built descriptor.
-    pub fn push(&mut self, token: UpdateDescriptor) -> Result<()> {
-        self.buffer.push(token.encode());
-        Ok(())
+    /// Buffer an arbitrary pre-built descriptor. Returns the trace id the
+    /// descriptor will carry on the wire (a v2 server with tracing enabled
+    /// adopts it, so the client can correlate its sends with server-side
+    /// span trees; a v1 connection silently drops it).
+    pub fn push(&mut self, token: UpdateDescriptor) -> Result<u64> {
+        self.next_trace = self.next_trace.wrapping_add(1);
+        let trace_id = (1 << 63) | (self.next_trace & (u64::MAX >> 1));
+        self.buffer.push((token.encode(), trace_id));
+        Ok(trace_id)
     }
 
     /// Descriptors buffered but not yet sent.
@@ -210,9 +248,14 @@ impl RemoteDataSource {
             let take = (self.credits as usize).min(self.buffer.len());
             let descriptors: Vec<Cow<'_, [u8]>> = self.buffer[..take]
                 .iter()
-                .map(|d| Cow::Borrowed(d.as_slice()))
+                .map(|(d, _)| Cow::Borrowed(d.as_slice()))
                 .collect();
-            self.fs.send(&Frame::UpdateBatch { descriptors })?;
+            let trace_ids: Vec<u64> = self.buffer[..take].iter().map(|(_, t)| *t).collect();
+            self.fs.send(&Frame::UpdateBatch {
+                descriptors,
+                trace_ids,
+                sent_unix_ns: unix_now_ns(),
+            })?;
             self.buffer.drain(..take);
             self.credits -= take as u32;
             self.sent += take as u64;
@@ -261,6 +304,20 @@ impl RemoteDataSource {
     }
 }
 
+/// One delivery as received by a subscriber, including the wire-level
+/// trace context a v2 server attaches (zeroes over a v1 connection).
+#[derive(Debug, Clone)]
+pub struct ReceivedNotification {
+    /// Per-subscriber sequence number; pass to [`RemoteSubscriber::ack`].
+    pub seq: u64,
+    /// Trace id of the originating token (0 if untraced or v1 peer).
+    pub trace_id: u64,
+    /// Server wall clock (unix ns) when the fire was published.
+    pub fire_unix_ns: u64,
+    /// The decoded notification body.
+    pub note: EventNotification,
+}
+
 /// A subscriber-role connection: a durable, watermark-acked notification
 /// stream.
 pub struct RemoteSubscriber {
@@ -270,19 +327,18 @@ pub struct RemoteSubscriber {
 
 impl RemoteSubscriber {
     fn connect(addr: &str, name: &str, event: &str, resume_from: u64) -> Result<RemoteSubscriber> {
-        let mut fs = FrameStream::connect(addr)?;
-        fs.send(&Frame::Hello {
+        let hello = Frame::Hello {
             role: ROLE_SUBSCRIBER,
             name: name.to_string(),
             event: event.to_string(),
             resume_from,
-        })?;
-        match fs.recv_blocking()? {
+        };
+        let (fs, ack) = connect_hello(addr, &hello)?;
+        match ack {
             Frame::HelloAck { resume_from, .. } => Ok(RemoteSubscriber {
                 fs,
                 watermark: resume_from,
             }),
-            Frame::Error { code, message } => Err(server_error(code, &message)),
             other => Err(TmanError::Io(format!(
                 "expected hello ack, got {}",
                 other.kind_name()
@@ -301,6 +357,12 @@ impl RemoteSubscriber {
     /// per-subscriber sequence number (pass it to [`ack`](Self::ack) once
     /// processed) and the decoded notification.
     pub fn next(&mut self, timeout: Duration) -> Result<Option<(u64, EventNotification)>> {
+        Ok(self.next_full(timeout)?.map(|r| (r.seq, r.note)))
+    }
+
+    /// Like [`next`](Self::next) but exposes the wire trace context
+    /// (trace id + server fire timestamp) alongside the notification.
+    pub fn next_full(&mut self, timeout: Duration) -> Result<Option<ReceivedNotification>> {
         let deadline = Instant::now() + timeout;
         loop {
             let now = Instant::now();
@@ -308,9 +370,19 @@ impl RemoteSubscriber {
                 return Ok(None);
             }
             match self.fs.recv(Some(deadline - now))? {
-                Some(Frame::Notification { seq, body }) => {
-                    let n = decode_notification_body(&body)?;
-                    return Ok(Some((seq, n)));
+                Some(Frame::Notification {
+                    seq,
+                    body,
+                    trace_id,
+                    fire_unix_ns,
+                }) => {
+                    let note = decode_notification_body(&body)?;
+                    return Ok(Some(ReceivedNotification {
+                        seq,
+                        trace_id,
+                        fire_unix_ns,
+                        note,
+                    }));
                 }
                 Some(Frame::Error { code, message }) => return Err(server_error(code, &message)),
                 Some(_) | None => continue,

@@ -68,13 +68,15 @@ use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tman_common::fxhash::FxHashMap;
 use tman_common::hex::{hex_decode, hex_encode};
 use tman_common::stats::Counter;
 use tman_common::{Column, DataType, Result, Schema, TmanError, Value};
 use tman_sql::{Database, Table};
 use tman_storage::RecordId;
+use tman_telemetry::trace::{now_ns, thread_tag, unix_now_ns, ROOT_SPAN};
+use tman_telemetry::{GaugeHandle, HistogramHandle, Registry, SpanKind, TraceEvent, Tracer};
 use triggerman::{EventNotification, NotificationSink};
 
 use crate::frame::encode_notification_body;
@@ -100,6 +102,51 @@ struct LogRow {
     /// Encoded notification body (see
     /// [`encode_notification_body`](crate::frame::encode_notification_body)).
     body: Vec<u8>,
+    /// Originating token's trace id (0 = untraced, and always 0 for rows
+    /// recovered from the durable log — trace context is process-local and
+    /// does not survive a restart).
+    trace_id: u64,
+    /// Wall clock at append, carried to v2 subscribers on the
+    /// `Notification` frame (0 for recovered rows).
+    fire_unix_ns: u64,
+    /// Monotonic stamp at append for the fire→ack latency SLI (0 for
+    /// recovered rows, which skip the SLI — their fire predates this
+    /// process).
+    fire_mono_ns: u64,
+}
+
+/// One delivery handed to the wire server (live mailbox or
+/// [`Registration::replay`]): the per-subscriber sequence number, the
+/// encoded body, and the v2 trace context (`trace_id` / `fire_unix_ns`
+/// are 0 when the token was untraced or the row was recovered from the
+/// durable log).
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Per-subscriber sequence number.
+    pub seq: u64,
+    /// Encoded notification body.
+    pub body: Vec<u8>,
+    /// Originating token's trace id (0 = untraced).
+    pub trace_id: u64,
+    /// Wall clock at delivery-log append (0 = unknown).
+    pub fire_unix_ns: u64,
+}
+
+/// Wire-observability bindings, installed once by the server at startup
+/// ([`DeliveryHub::bind_instruments`]). The hub's own counters exist from
+/// `open` so the unit-testable core never needs a registry; the SLI
+/// histograms, per-subscriber lag gauges, and trace ring only exist when
+/// a server fronts the hub.
+struct WireObs {
+    registry: Arc<Registry>,
+    tracer: Option<Arc<Tracer>>,
+    /// `tman_wire_ingest_to_fire_ns`: source-side ingest stamp → delivery-
+    /// log append, recorded once per published notification that carries a
+    /// v2 ingest stamp.
+    ingest_to_fire: HistogramHandle,
+    /// `tman_wire_fire_to_ack_ns`: delivery-log append → durable
+    /// subscriber ack, recorded per acked resident row.
+    fire_to_ack: HistogramHandle,
 }
 
 /// Acked-but-retained log rows of one origin: the durable proof of how
@@ -140,14 +187,19 @@ struct SubState {
     /// Publishes observed per origin in this incarnation (the `j` index
     /// the acked/recovered counts are compared against).
     replayed: FxHashMap<i64, u32>,
-    /// Live outbound channel to the connected subscriber, if any. Carries
-    /// `(seq, body)`; dropped on send failure (connection gone) or when
-    /// the backlog passes [`MAILBOX_STALL_DEPTH`] (subscriber stalled).
-    mailbox: Option<Sender<(u64, Vec<u8>)>>,
+    /// Live outbound channel to the connected subscriber, if any. Dropped
+    /// on send failure (connection gone) or when the backlog passes
+    /// [`MAILBOX_STALL_DEPTH`] (subscriber stalled).
+    mailbox: Option<Sender<Delivery>>,
     /// Registration epoch, bumped on every [`DeliveryHub::register`]: a
     /// detach from a stale connection (reconnect raced the old socket's
     /// EOF) must not clear the new registration's mailbox.
     epoch: u64,
+    /// `tman_wire_watermark_lag{sub=…}` gauge, resolved lazily once
+    /// instruments are bound.
+    lag_gauge: Option<GaugeHandle>,
+    /// Last lag value pushed into the gauge (gauges are delta-updated).
+    lag_reported: i64,
 }
 
 impl SubState {
@@ -181,9 +233,9 @@ pub struct Registration {
     pub watermark: u64,
     /// Registration epoch to pass back to [`DeliveryHub::detach`].
     pub epoch: u64,
-    /// Unacked `(seq, body)` log rows above the watermark, in order —
-    /// the exactly-once catch-up stream.
-    pub replay: Vec<(u64, Vec<u8>)>,
+    /// Unacked log rows above the watermark, in order — the exactly-once
+    /// catch-up stream.
+    pub replay: Vec<Delivery>,
 }
 
 /// The durable delivery tier. One per engine; shared between the
@@ -215,6 +267,10 @@ pub struct DeliveryHub {
     /// Append/encode failures (the volatile fanout still delivers; durable
     /// replay for that notification is lost).
     errors: Arc<Counter>,
+    /// SLI histograms, lag gauges, and trace ring; bound once by the wire
+    /// server ([`bind_instruments`](Self::bind_instruments)), absent in
+    /// bare unit-test hubs.
+    wire: OnceLock<WireObs>,
 }
 
 impl DeliveryHub {
@@ -277,6 +333,8 @@ impl DeliveryHub {
                     replayed: FxHashMap::default(),
                     mailbox: None,
                     epoch: 0,
+                    lag_gauge: None,
+                    lag_reported: 0,
                 },
             );
             Ok(true)
@@ -292,7 +350,17 @@ impl DeliveryHub {
                     if origin >= 0 {
                         *st.recovered.entry(origin).or_insert(0) += 1;
                     }
-                    st.resident.insert(seq, LogRow { origin, rid, body });
+                    st.resident.insert(
+                        seq,
+                        LogRow {
+                            origin,
+                            rid,
+                            body,
+                            trace_id: 0,
+                            fire_unix_ns: 0,
+                            fire_mono_ns: 0,
+                        },
+                    );
                 }
                 (Some(st), Some(_)) if origin > floor => {
                     // Acked before the crash, origin still redeliverable:
@@ -326,7 +394,37 @@ impl DeliveryHub {
             clamped: Arc::new(Counter::default()),
             stalled: Arc::new(Counter::default()),
             errors: Arc::new(Counter::default()),
+            wire: OnceLock::new(),
         }))
+    }
+
+    /// Bind the hub to a metrics registry (SLI histograms, per-subscriber
+    /// watermark-lag gauges) and optionally the engine's tracer (wire
+    /// delivery/ack spans). Called once by [`WireServer::start`]
+    /// (crate::WireServer::start); later calls are no-ops, and a hub that
+    /// is never bound records nothing extra.
+    pub fn bind_instruments(&self, registry: &Arc<Registry>, tracer: Option<Arc<Tracer>>) {
+        let _ = self.wire.set(WireObs {
+            registry: registry.clone(),
+            tracer,
+            ingest_to_fire: registry.histogram("tman_wire_ingest_to_fire_ns", &[]),
+            fire_to_ack: registry.histogram("tman_wire_fire_to_ack_ns", &[]),
+        });
+    }
+
+    /// Push the subscriber's current watermark lag (assigned frontier
+    /// minus durable watermark) into its `tman_wire_watermark_lag{sub=…}`
+    /// gauge. Gauges are delta-updated, so the last reported value is
+    /// shadowed in the sub state. No-op until instruments are bound.
+    fn update_lag(wire: Option<&WireObs>, name: &str, st: &mut SubState) {
+        let Some(w) = wire else { return };
+        let lag = st.next_seq.saturating_sub(1).saturating_sub(st.watermark) as i64;
+        let gauge = st.lag_gauge.get_or_insert_with(|| {
+            w.registry
+                .gauge("tman_wire_watermark_lag", &[("sub", name)])
+        });
+        gauge.add(lag - st.lag_reported);
+        st.lag_reported = lag;
     }
 
     /// Register (or re-register after reconnect) a durable subscriber.
@@ -340,7 +438,7 @@ impl DeliveryHub {
         name: &str,
         event: &str,
         resume_from: u64,
-        mailbox: Sender<(u64, Vec<u8>)>,
+        mailbox: Sender<Delivery>,
     ) -> Result<Registration> {
         if name.trim().is_empty() {
             return Err(TmanError::Invalid("subscriber name is empty".into()));
@@ -366,6 +464,8 @@ impl DeliveryHub {
                         replayed: FxHashMap::default(),
                         mailbox: None,
                         epoch: 0,
+                        lag_gauge: None,
+                        lag_reported: 0,
                     },
                 );
             }
@@ -378,11 +478,17 @@ impl DeliveryHub {
         st.event = normalize_event(event);
         st.mailbox = Some(mailbox);
         st.epoch += 1;
-        let replay: Vec<(u64, Vec<u8>)> = st
+        let replay: Vec<Delivery> = st
             .resident
             .iter()
-            .map(|(&seq, row)| (seq, row.body.clone()))
+            .map(|(&seq, row)| Delivery {
+                seq,
+                body: row.body.clone(),
+                trace_id: row.trace_id,
+                fire_unix_ns: row.fire_unix_ns,
+            })
             .collect();
+        Self::update_lag(self.wire.get(), name, st);
         Ok(Registration {
             watermark: st.watermark,
             epoch: st.epoch,
@@ -437,8 +543,35 @@ impl DeliveryHub {
         )?;
         st.row_rid = new_rid;
         let floor = self.retired_floor.load(Ordering::Relaxed);
+        let wire = self.wire.get();
+        let ack_mono = now_ns();
         for seq in covered {
             let row = st.resident.remove(&seq).expect("collected above");
+            if let Some(w) = wire {
+                if row.fire_mono_ns != 0 {
+                    let dur = ack_mono.saturating_sub(row.fire_mono_ns);
+                    w.fire_to_ack.record(dur);
+                    if row.trace_id != 0 {
+                        if let Some(tracer) = &w.tracer {
+                            // The producing token's trace context is long
+                            // finalized by ack time; close the delivery
+                            // span by pushing a foreign event under the
+                            // same trace id.
+                            tracer.push_foreign(&TraceEvent {
+                                trace_id: row.trace_id,
+                                span_id: tracer.foreign_span_id(),
+                                parent_id: ROOT_SPAN,
+                                kind: SpanKind::WireAck,
+                                thread: thread_tag(),
+                                start_ns: row.fire_mono_ns,
+                                dur_ns: dur,
+                                arg_a: seq,
+                                arg_b: 0,
+                            });
+                        }
+                    }
+                }
+            }
             if row.origin > floor {
                 // The origin can still be redelivered: keep the row as
                 // durable proof this fire was already delivered and acked.
@@ -450,6 +583,7 @@ impl DeliveryHub {
             }
             self.acked_rows.bump();
         }
+        Self::update_lag(wire, name, st);
         Ok(st.watermark)
     }
 
@@ -555,6 +689,20 @@ impl NotificationSink for DeliveryHub {
             }
         };
         let origin = n.token_seq.unwrap_or(-1);
+        let wire = self.wire.get();
+        let fire_mono = now_ns();
+        let fire_unix = unix_now_ns();
+        let trace_id = n.trace.trace_id().unwrap_or(0);
+        if let Some(w) = wire {
+            // Ingest→fire SLI: wall-clock span from the source-side stamp
+            // (carried on v2 `UpdateBatch` frames, or stamped at server
+            // decode for v1 sources) to this delivery-log append. One
+            // sample per published notification.
+            if n.ingest_unix_ns != 0 {
+                w.ingest_to_fire
+                    .record(fire_unix.saturating_sub(n.ingest_unix_ns));
+            }
+        }
         for (name, st) in state.iter_mut() {
             if !st.matches(&n.event) {
                 continue;
@@ -587,9 +735,13 @@ impl NotificationSink for DeliveryHub {
                             origin,
                             rid,
                             body: body.clone(),
+                            trace_id,
+                            fire_unix_ns: fire_unix,
+                            fire_mono_ns: fire_mono,
                         },
                     );
                     self.appends.bump();
+                    let mut live = 0u64;
                     if let Some(tx) = st.mailbox.as_ref() {
                         if tx.len() >= MAILBOX_STALL_DEPTH {
                             // Stalled subscriber: stop feeding the
@@ -598,10 +750,33 @@ impl NotificationSink for DeliveryHub {
                             // reconnects and replays.
                             self.stalled.bump();
                             st.mailbox = None;
-                        } else if tx.send((seq, body.clone())).is_err() {
+                        } else if tx
+                            .send(Delivery {
+                                seq,
+                                body: body.clone(),
+                                trace_id,
+                                fire_unix_ns: fire_unix,
+                            })
+                            .is_err()
+                        {
                             st.mailbox = None;
+                        } else {
+                            live = 1;
                         }
                     }
+                    // Per-subscriber delivery span on the producing
+                    // token's trace: durable append (+ mailbox handoff).
+                    // arg_a = assigned sequence, arg_b = 1 if a live
+                    // mailbox took it.
+                    n.trace.record_complete(
+                        SpanKind::WireDeliver,
+                        ROOT_SPAN,
+                        fire_mono,
+                        now_ns().saturating_sub(fire_mono),
+                        seq,
+                        live,
+                    );
+                    Self::update_lag(wire, name, st);
                 }
                 Err(_) => self.errors.bump(),
             }
@@ -622,6 +797,8 @@ mod tests {
             values: vec![Value::Int(tag)],
             message: None,
             token_seq: origin,
+            trace: tman_telemetry::TraceHandle::none(),
+            ingest_unix_ns: 0,
         }
     }
 
@@ -637,9 +814,9 @@ mod tests {
         hub.on_publish(&note("spike", Some(2), 12)); // case-insensitive
         let got: Vec<_> = rx.try_iter().collect();
         assert_eq!(got.len(), 2);
-        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].seq, 1);
         assert_eq!(
-            decode_notification_body(&got[0].1).unwrap().values,
+            decode_notification_body(&got[0].body).unwrap().values,
             vec![Value::Int(10)]
         );
         // Ack the first; the second survives a reopen and is replayed.
@@ -652,9 +829,11 @@ mod tests {
         let reg = hub2.register("dash", "Spike", 0, tx2).unwrap();
         assert_eq!(reg.watermark, 1);
         assert_eq!(reg.replay.len(), 1);
-        assert_eq!(reg.replay[0].0, 2);
+        assert_eq!(reg.replay[0].seq, 2);
         assert_eq!(
-            decode_notification_body(&reg.replay[0].1).unwrap().values,
+            decode_notification_body(&reg.replay[0].body)
+                .unwrap()
+                .values,
             vec![Value::Int(12)]
         );
     }
@@ -690,7 +869,7 @@ mod tests {
         hub2.on_publish(&note("A", Some(3), 4));
         let fresh: Vec<_> = rx2.try_iter().collect();
         assert_eq!(fresh.len(), 1);
-        assert_eq!(fresh[0].0, 4); // seq continues above the recovered log
+        assert_eq!(fresh[0].seq, 4); // seq continues above the recovered log
     }
 
     #[test]
@@ -707,7 +886,7 @@ mod tests {
         hub.on_publish(&note("A", Some(1), 2)); // fire 1 of origin 1
         hub.on_publish(&note("A", Some(1), 3)); // fire 2 of origin 1
         let got: Vec<_> = rx.try_iter().collect();
-        assert_eq!(got.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(got.iter().map(|d| d.seq).collect::<Vec<_>>(), [2, 3]);
         assert_eq!(hub.suppressed().get(), 0);
         assert_eq!(hub.resident_len("s"), Some(2));
     }
@@ -731,12 +910,12 @@ mod tests {
         let reg = hub2.register("s", "*", 0, tx2).unwrap();
         assert_eq!(reg.watermark, 1);
         assert_eq!(reg.replay.len(), 1); // the unacked second fire
-        assert_eq!(reg.replay[0].0, 2);
+        assert_eq!(reg.replay[0].seq, 2);
         hub2.on_publish(&note("A", Some(1), 1)); // re-publish, acked
         hub2.on_publish(&note("A", Some(1), 2)); // re-publish, resident
         hub2.on_publish(&note("A", Some(1), 3)); // new fire, never logged
         let got: Vec<_> = rx2.try_iter().collect();
-        assert_eq!(got.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [3]);
+        assert_eq!(got.iter().map(|d| d.seq).collect::<Vec<_>>(), [3]);
         assert_eq!(hub2.suppressed().get(), 2);
     }
 
@@ -758,7 +937,7 @@ mod tests {
         let reg = hub2.register("s", "*", 3, tx2).unwrap();
         assert_eq!(reg.watermark, 3);
         assert_eq!(reg.replay.len(), 1);
-        assert_eq!(reg.replay[0].0, 4);
+        assert_eq!(reg.replay[0].seq, 4);
         assert_eq!(hub2.watermark("s"), Some(3));
     }
 
@@ -789,7 +968,7 @@ mod tests {
         let (tx3, _rx3) = unbounded();
         let reg = hub2.register("s", "*", 0, tx3).unwrap();
         assert_eq!(reg.replay.len(), 1);
-        assert_eq!(reg.replay[0].0, 3);
+        assert_eq!(reg.replay[0].seq, 3);
     }
 
     #[test]

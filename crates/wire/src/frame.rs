@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x54 0x4D ("TM")
-//! 2       1     version (currently 1)
+//! 2       1     version (1 or 2)
 //! 3       1     frame type
 //! 4       4     payload length, u32 LE (≤ MAX_PAYLOAD)
 //! 8       n     payload
@@ -18,6 +18,23 @@
 //! CRC mismatch, an unknown type, or a malformed payload. Any error is a
 //! protocol error: the connection must send [`Frame::Error`] and close,
 //! because framing can no longer be trusted.
+//!
+//! # Version 2: trace context on the wire
+//!
+//! Version 2 keeps every frame type and the envelope unchanged but widens
+//! two payloads so a token's trace survives the network hop:
+//!
+//! * [`Frame::UpdateBatch`] carries a per-descriptor `trace_id` (0 = not
+//!   traced) and one wall-clock `sent_unix_ns` send stamp for the batch.
+//! * [`Frame::Notification`] carries the originating token's `trace_id`
+//!   and the wall-clock `fire_unix_ns` at which the delivery row was
+//!   appended.
+//!
+//! The extra fields sit *inside* the versioned payload: a v1 encoder
+//! simply omits them and a v1 decoder never sees them, so mixed-version
+//! peers interoperate — each connection is pinned to
+//! `min(client max, server max)` at hello time and the trace fields
+//! decode as zero/absent on v1 connections.
 //!
 //! The bulk payloads ([`Frame::UpdateBatch`] descriptor bodies and
 //! [`Frame::Notification`] bodies) are [`Cow`] slices: decoding borrows
@@ -32,8 +49,11 @@ use triggerman::EventNotification;
 
 /// Frame magic: "TM".
 pub const MAGIC: [u8; 2] = [0x54, 0x4D];
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Highest protocol version this build speaks (and the default for
+/// [`encode_frame`]). [`decode_frame`] also accepts [`VERSION_1`] frames.
+pub const VERSION: u8 = 2;
+/// The original trace-less protocol version.
+pub const VERSION_1: u8 = 1;
 /// Envelope bytes before the payload.
 pub const HEADER_LEN: usize = 8;
 /// CRC trailer bytes.
@@ -76,8 +96,16 @@ pub enum Frame<'a> {
         resume_from: u64,
     },
     /// A batch of encoded update descriptors from a source connection.
-    /// Each element is one [`UpdateDescriptor::encode`] body.
-    UpdateBatch { descriptors: Vec<Cow<'a, [u8]>> },
+    /// Each element of `descriptors` is one [`UpdateDescriptor::encode`]
+    /// body. On v2 connections `trace_ids[i]` is descriptor `i`'s trace id
+    /// (0 = untraced) and `sent_unix_ns` is the client's wall clock when
+    /// the batch was flushed; on v1 connections both are absent on the
+    /// wire and decode to empty/0.
+    UpdateBatch {
+        descriptors: Vec<Cow<'a, [u8]>>,
+        trace_ids: Vec<u64>,
+        sent_unix_ns: u64,
+    },
     /// Server acknowledgement of ingested descriptors: everything up to
     /// the `through`-th descriptor on this connection has been group-
     /// committed; `credits` replenishes the sender's window (0 = engine
@@ -85,8 +113,16 @@ pub enum Frame<'a> {
     BatchAck { through: u64, credits: u32 },
     /// One event notification pushed to a subscriber: per-subscriber
     /// sequence number plus an encoded body (see
-    /// [`encode_notification_body`]).
-    Notification { seq: u64, body: Cow<'a, [u8]> },
+    /// [`encode_notification_body`]). On v2 connections `trace_id` is the
+    /// originating token's trace id (0 = untraced) and `fire_unix_ns` is
+    /// the server wall clock when the delivery row was appended; on v1
+    /// connections both are absent on the wire and decode to 0.
+    Notification {
+        seq: u64,
+        body: Cow<'a, [u8]>,
+        trace_id: u64,
+        fire_unix_ns: u64,
+    },
     /// Subscriber → server: every notification with sequence number at or
     /// below `watermark` is fully processed and need never be redelivered.
     Ack { watermark: u64 },
@@ -148,16 +184,29 @@ impl Frame<'_> {
                 source_id,
                 resume_from,
             },
-            Frame::UpdateBatch { descriptors } => Frame::UpdateBatch {
+            Frame::UpdateBatch {
+                descriptors,
+                trace_ids,
+                sent_unix_ns,
+            } => Frame::UpdateBatch {
                 descriptors: descriptors
                     .into_iter()
                     .map(|d| Cow::Owned(d.into_owned()))
                     .collect(),
+                trace_ids,
+                sent_unix_ns,
             },
             Frame::BatchAck { through, credits } => Frame::BatchAck { through, credits },
-            Frame::Notification { seq, body } => Frame::Notification {
+            Frame::Notification {
+                seq,
+                body,
+                trace_id,
+                fire_unix_ns,
+            } => Frame::Notification {
                 seq,
                 body: Cow::Owned(body.into_owned()),
+                trace_id,
+                fire_unix_ns,
             },
             Frame::Ack { watermark } => Frame::Ack { watermark },
             Frame::Credit { credits } => Frame::Credit { credits },
@@ -257,11 +306,24 @@ impl<'a> Cursor<'a> {
 
 // ----- frame encode ------------------------------------------------------
 
-/// Append one encoded frame (envelope + payload + CRC) to `out`.
+/// Append one encoded frame (envelope + payload + CRC) to `out`, speaking
+/// the current [`VERSION`].
 pub fn encode_frame(frame: &Frame<'_>, out: &mut Vec<u8>) -> Result<()> {
+    encode_frame_v(frame, out, VERSION)
+}
+
+/// Append one encoded frame at an explicit protocol `version` (a
+/// connection pinned to a v1 peer keeps speaking v1; the trace fields are
+/// simply dropped from the encoding).
+pub fn encode_frame_v(frame: &Frame<'_>, out: &mut Vec<u8>, version: u8) -> Result<()> {
+    if version != VERSION_1 && version != VERSION {
+        return Err(TmanError::Invalid(format!(
+            "cannot encode wire protocol version {version}"
+        )));
+    }
     let start = out.len();
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(frame.type_code());
     put_u32(out, 0); // length backpatched below
     let payload_start = out.len();
@@ -286,14 +348,29 @@ pub fn encode_frame(frame: &Frame<'_>, out: &mut Vec<u8>) -> Result<()> {
             put_u32(out, *source_id);
             put_u64(out, *resume_from);
         }
-        Frame::UpdateBatch { descriptors } => {
+        Frame::UpdateBatch {
+            descriptors,
+            trace_ids,
+            sent_unix_ns,
+        } => {
             if descriptors.len() > u32::MAX as usize {
                 return Err(TmanError::Invalid("update batch too large".into()));
             }
+            if trace_ids.len() > descriptors.len() {
+                return Err(TmanError::Invalid(
+                    "more trace ids than descriptors in update batch".into(),
+                ));
+            }
             put_u32(out, descriptors.len() as u32);
-            for d in descriptors {
+            if version >= 2 {
+                put_u64(out, *sent_unix_ns);
+            }
+            for (i, d) in descriptors.iter().enumerate() {
                 if d.len() > u32::MAX as usize {
                     return Err(TmanError::Invalid("descriptor too large".into()));
+                }
+                if version >= 2 {
+                    put_u64(out, trace_ids.get(i).copied().unwrap_or(0));
                 }
                 put_u32(out, d.len() as u32);
                 out.extend_from_slice(d);
@@ -303,8 +380,17 @@ pub fn encode_frame(frame: &Frame<'_>, out: &mut Vec<u8>) -> Result<()> {
             put_u64(out, *through);
             put_u32(out, *credits);
         }
-        Frame::Notification { seq, body } => {
+        Frame::Notification {
+            seq,
+            body,
+            trace_id,
+            fire_unix_ns,
+        } => {
             put_u64(out, *seq);
+            if version >= 2 {
+                put_u64(out, *trace_id);
+                put_u64(out, *fire_unix_ns);
+            }
             out.extend_from_slice(body);
         }
         Frame::Ack { watermark } => put_u64(out, *watermark),
@@ -346,16 +432,23 @@ pub fn encode_frame_vec(frame: &Frame<'_>) -> Result<Vec<u8>> {
 ///   oversized length, CRC mismatch, unknown type, malformed payload);
 ///   close the connection.
 pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>> {
+    Ok(decode_frame_v(buf)?.map(|(frame, used, _version)| (frame, used)))
+}
+
+/// Like [`decode_frame`] but also reports the envelope version of the
+/// decoded frame, so a server can pin each connection to the version its
+/// peer's `Hello` arrived at.
+pub fn decode_frame_v(buf: &[u8]) -> Result<Option<(Frame<'_>, usize, u8)>> {
     if buf.len() < HEADER_LEN {
         return Ok(None);
     }
     if buf[0..2] != MAGIC {
         return Err(TmanError::Corrupt("bad frame magic".into()));
     }
-    if buf[2] != VERSION {
+    let version = buf[2];
+    if version != VERSION_1 && version != VERSION {
         return Err(TmanError::Unsupported(format!(
-            "wire protocol version {} (this build speaks {VERSION})",
-            buf[2]
+            "wire protocol version {version} (this build speaks {VERSION})"
         )));
     }
     let ftype = buf[3];
@@ -401,19 +494,30 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>> {
         },
         FT_UPDATE_BATCH => {
             let n = c.u32()? as usize;
-            // Each descriptor needs at least its own length prefix, so a
-            // hostile count cannot force a huge allocation.
-            if n > len / 4 {
+            // Each descriptor needs at least its own length prefix (plus a
+            // trace id on v2), so a hostile count cannot force a huge
+            // allocation.
+            let per_desc = if version >= 2 { 12 } else { 4 };
+            if n > len / per_desc {
                 return Err(TmanError::Corrupt(
                     "descriptor count exceeds payload".into(),
                 ));
             }
+            let sent_unix_ns = if version >= 2 { c.u64()? } else { 0 };
             let mut descriptors = Vec::with_capacity(n);
+            let mut trace_ids = Vec::with_capacity(if version >= 2 { n } else { 0 });
             for _ in 0..n {
+                if version >= 2 {
+                    trace_ids.push(c.u64()?);
+                }
                 let dn = c.u32()? as usize;
                 descriptors.push(Cow::Borrowed(c.take(dn)?));
             }
-            Frame::UpdateBatch { descriptors }
+            Frame::UpdateBatch {
+                descriptors,
+                trace_ids,
+                sent_unix_ns,
+            }
         }
         FT_BATCH_ACK => Frame::BatchAck {
             through: c.u64()?,
@@ -421,10 +525,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>> {
         },
         FT_NOTIFICATION => {
             let seq = c.u64()?;
+            let (trace_id, fire_unix_ns) = if version >= 2 {
+                (c.u64()?, c.u64()?)
+            } else {
+                (0, 0)
+            };
             let body = c.take(payload.len() - c.pos)?;
             Frame::Notification {
                 seq,
                 body: Cow::Borrowed(body),
+                trace_id,
+                fire_unix_ns,
             }
         }
         FT_ACK => Frame::Ack {
@@ -441,7 +552,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>> {
         }
     };
     c.done()?;
-    Ok(Some((frame, total)))
+    Ok(Some((frame, total, version)))
 }
 
 // ----- notification bodies ----------------------------------------------
@@ -503,6 +614,10 @@ pub fn decode_notification_body(buf: &[u8]) -> Result<EventNotification> {
         values: tuple.values().to_vec(),
         message,
         token_seq,
+        // Trace context rides the v2 `Notification` envelope, not the
+        // durable body; a decoded notification starts trace-less.
+        trace: tman_telemetry::TraceHandle::none(),
+        ingest_unix_ns: 0,
     })
 }
 
@@ -544,8 +659,91 @@ mod tests {
             values: vec![Value::str("AA"), Value::Float(1.5), Value::Null],
             message: Some("hello".into()),
             token_seq: Some(88),
+            trace: tman_telemetry::TraceHandle::none(),
+            ingest_unix_ns: 0,
         };
         let body = encode_notification_body(&n).unwrap();
         assert_eq!(decode_notification_body(&body).unwrap(), n);
+    }
+
+    #[test]
+    fn v2_batch_and_notification_carry_trace_context() {
+        let batch = Frame::UpdateBatch {
+            descriptors: vec![Cow::Owned(vec![1, 2, 3]), Cow::Owned(vec![4])],
+            trace_ids: vec![0x8000_0000_0000_0001, 0],
+            sent_unix_ns: 1_700_000_000_000_000_000,
+        };
+        let bytes = encode_frame_vec(&batch).unwrap();
+        let (got, used, ver) = decode_frame_v(&bytes).unwrap().unwrap();
+        assert_eq!((used, ver), (bytes.len(), VERSION));
+        assert_eq!(got, batch);
+
+        let note = Frame::Notification {
+            seq: 9,
+            body: Cow::Owned(vec![7, 7]),
+            trace_id: 42,
+            fire_unix_ns: 1_700_000_000_000_000_123,
+        };
+        let bytes = encode_frame_vec(&note).unwrap();
+        let (got, _, _) = decode_frame_v(&bytes).unwrap().unwrap();
+        assert_eq!(got, note);
+    }
+
+    #[test]
+    fn v1_encoding_drops_trace_context_and_still_decodes() {
+        let batch = Frame::UpdateBatch {
+            descriptors: vec![Cow::Owned(vec![1, 2, 3])],
+            trace_ids: vec![55],
+            sent_unix_ns: 99,
+        };
+        let mut bytes = Vec::new();
+        encode_frame_v(&batch, &mut bytes, VERSION_1).unwrap();
+        let (got, used, ver) = decode_frame_v(&bytes).unwrap().unwrap();
+        assert_eq!((used, ver), (bytes.len(), VERSION_1));
+        match got {
+            Frame::UpdateBatch {
+                descriptors,
+                trace_ids,
+                sent_unix_ns,
+            } => {
+                assert_eq!(descriptors, vec![Cow::Borrowed(&[1u8, 2, 3][..])]);
+                assert!(trace_ids.is_empty());
+                assert_eq!(sent_unix_ns, 0);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+
+        let note = Frame::Notification {
+            seq: 3,
+            body: Cow::Owned(vec![9]),
+            trace_id: 77,
+            fire_unix_ns: 88,
+        };
+        let mut bytes = Vec::new();
+        encode_frame_v(&note, &mut bytes, VERSION_1).unwrap();
+        let (got, _, ver) = decode_frame_v(&bytes).unwrap().unwrap();
+        assert_eq!(ver, VERSION_1);
+        match got {
+            Frame::Notification {
+                seq,
+                body,
+                trace_id,
+                fire_unix_ns,
+            } => {
+                assert_eq!((seq, trace_id, fire_unix_ns), (3, 0, 0));
+                assert_eq!(&body[..], &[9]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        let f = Frame::Ack { watermark: 1 };
+        let mut bytes = encode_frame_vec(&f).unwrap();
+        bytes[2] = VERSION + 1;
+        assert!(decode_frame(&bytes).is_err());
+        let mut out = Vec::new();
+        assert!(encode_frame_v(&f, &mut out, VERSION + 1).is_err());
     }
 }

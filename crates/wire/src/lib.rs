@@ -32,9 +32,10 @@ pub mod delivery;
 pub mod frame;
 pub mod server;
 
-pub use client::{RemoteClient, RemoteDataSource, RemoteSubscriber};
-pub use delivery::{DeliveryHub, Registration};
+pub use client::{ReceivedNotification, RemoteClient, RemoteDataSource, RemoteSubscriber};
+pub use delivery::{Delivery, DeliveryHub, Registration};
 pub use frame::{
-    decode_frame, decode_notification_body, encode_frame, encode_notification_body, Frame,
+    decode_frame, decode_frame_v, decode_notification_body, encode_frame, encode_frame_v,
+    encode_notification_body, Frame, VERSION, VERSION_1,
 };
 pub use server::WireServer;

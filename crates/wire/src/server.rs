@@ -37,12 +37,16 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, TryRecvError};
 use tman_common::{Result, TmanError, UpdateDescriptor};
-use tman_telemetry::trace::{now_ns, ROOT_SPAN};
-use tman_telemetry::{CounterHandle, GaugeHandle, Registry, SpanKind};
+use tman_telemetry::trace::{now_ns, unix_now_ns, ROOT_SPAN};
+use tman_telemetry::{
+    CounterHandle, GaugeHandle, HistogramHandle, Registry, SpanKind, TraceHandle,
+};
 use triggerman::TriggerMan;
 
-use crate::delivery::DeliveryHub;
-use crate::frame::{decode_frame, encode_frame, Frame, ROLE_SOURCE, ROLE_SUBSCRIBER};
+use crate::delivery::{Delivery, DeliveryHub};
+use crate::frame::{
+    decode_frame_v, encode_frame_v, Frame, ROLE_SOURCE, ROLE_SUBSCRIBER, VERSION, VERSION_1,
+};
 
 /// Read chunk per connection per pass.
 const READ_CHUNK: usize = 16 * 1024;
@@ -82,6 +86,9 @@ struct WireMetrics {
     tokens: CounterHandle,
     notifications: CounterHandle,
     acks: CounterHandle,
+    /// `tman_wire_credit_stall_ns`: how long each source spent stalled on
+    /// a withheld credit window (one sample per stall episode).
+    credit_stall: HistogramHandle,
 }
 
 impl WireMetrics {
@@ -96,6 +103,7 @@ impl WireMetrics {
             tokens: r.counter("tman_wire_tokens_total", &[]),
             notifications: r.counter("tman_wire_notifications_sent_total", &[]),
             acks: r.counter("tman_wire_acks_total", &[]),
+            credit_stall: r.histogram("tman_wire_credit_stall_ns", &[]),
         }
     }
 }
@@ -113,16 +121,27 @@ struct Conn {
     rbuf: Vec<u8>,
     wbuf: Vec<u8>,
     role: Role,
+    /// Protocol version this connection is pinned to:
+    /// `min(server cap, peer hello envelope version)`. Every outbound
+    /// frame is encoded at this version.
+    version: u8,
     /// Remaining credit window (sources).
     credits: u32,
     /// Descriptors received over the connection's lifetime (sources).
     received: u64,
     /// Descriptors decoded this pass, awaiting the group commit (sources).
     pass_tokens: u64,
+    /// Monotonic stamp of the moment this source's credit window was
+    /// withheld (backpressure); cleared — and the stall duration recorded —
+    /// when credits are regranted.
+    stall_since: Option<u64>,
     /// Durable subscriber name and registration epoch (subscribers).
     sub_name: Option<(String, u64)>,
     /// Live delivery mailbox from the [`DeliveryHub`] (subscribers).
-    mailbox: Option<Receiver<(u64, Vec<u8>)>>,
+    mailbox: Option<Receiver<Delivery>>,
+    /// `tman_wire_mailbox_depth{sub=…}` gauge plus the last depth pushed
+    /// into it (delta-updated each pass, zeroed at retire).
+    depth_gauge: Option<(GaugeHandle, i64)>,
     /// Close once `wbuf` drains (clean goodbye or error sent).
     close_after_flush: bool,
     /// Close immediately (peer gone).
@@ -136,11 +155,14 @@ impl Conn {
             rbuf: Vec::new(),
             wbuf: Vec::new(),
             role: Role::Pending,
+            version: VERSION,
             credits: 0,
             received: 0,
             pass_tokens: 0,
+            stall_since: None,
             sub_name: None,
             mailbox: None,
+            depth_gauge: None,
             close_after_flush: false,
             dead: false,
         }
@@ -148,7 +170,7 @@ impl Conn {
 
     /// Queue a frame for writing (encode failures kill the connection).
     fn send(&mut self, frame: &Frame<'_>, metrics: &WireMetrics) {
-        match encode_frame(frame, &mut self.wbuf) {
+        match encode_frame_v(frame, &mut self.wbuf, self.version) {
             Ok(()) => metrics.frames_out.bump(),
             Err(_) => self.dead = true,
         }
@@ -176,6 +198,19 @@ impl WireServer {
     /// durable [`DeliveryHub`] in the engine's database, register it as a
     /// notification sink, and spawn the I/O thread.
     pub fn start(system: Arc<TriggerMan>, addr: &str) -> Result<WireServer> {
+        WireServer::start_capped(system, addr, VERSION)
+    }
+
+    /// [`start`](Self::start) with the spoken protocol capped at
+    /// `max_version`: a hello above the cap is rejected the way a genuine
+    /// old build rejects it (protocol error naming the version), which is
+    /// what drives clients down their v1 fallback. Interop tests use this
+    /// to stand in for a v1-era server.
+    pub fn start_capped(
+        system: Arc<TriggerMan>,
+        addr: &str,
+        max_version: u8,
+    ) -> Result<WireServer> {
         let listener =
             TcpListener::bind(addr).map_err(|e| TmanError::Io(format!("bind {addr}: {e}")))?;
         listener
@@ -208,14 +243,16 @@ impl WireServer {
             &[],
             hub.stalled().clone(),
         );
+        hub.bind_instruments(registry, system.tracer().cloned());
         let metrics = WireMetrics::resolve(registry);
         let stop = Arc::new(AtomicBool::new(false));
+        let max_version = max_version.clamp(VERSION_1, VERSION);
         let thread = {
             let stop = stop.clone();
             let hub = hub.clone();
             std::thread::Builder::new()
                 .name("tman-wire".into())
-                .spawn(move || run_loop(system, listener, hub, stop, metrics))
+                .spawn(move || run_loop(system, listener, hub, stop, metrics, max_version))
                 .map_err(|e| TmanError::Io(format!("spawn wire thread: {e}")))?
         };
         Ok(WireServer {
@@ -259,6 +296,7 @@ fn run_loop(
     hub: Arc<DeliveryHub>,
     stop: Arc<AtomicBool>,
     metrics: WireMetrics,
+    max_version: u8,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let batch_max = system.config().wire_batch_max.max(1);
@@ -285,9 +323,12 @@ fn run_loop(
             }
         }
 
-        // Read + decode every connection; collect this pass's descriptors.
+        // Read + decode every connection; collect this pass's descriptors
+        // (plus, for tokens that arrived with a propagated trace id, the
+        // adopted handle and its decode stamp).
         let mut pass_batch: Vec<UpdateDescriptor> = Vec::new();
-        let mut chunks: Vec<Vec<UpdateDescriptor>> = Vec::new();
+        let mut pass_traced: Vec<(TraceHandle, u64)> = Vec::new();
+        let mut chunks: Vec<(Vec<UpdateDescriptor>, Vec<(TraceHandle, u64)>)> = Vec::new();
         for conn in conns.iter_mut() {
             if conn.dead || conn.close_after_flush {
                 continue;
@@ -321,11 +362,33 @@ fn run_loop(
             let rbuf = std::mem::take(&mut conn.rbuf);
             let mut off = 0usize;
             while off < rbuf.len() {
-                match decode_frame(&rbuf[off..]) {
-                    Ok(Some((frame, used))) => {
+                match decode_frame_v(&rbuf[off..]) {
+                    Ok(Some((frame, used, version))) => {
                         off += used;
                         metrics.frames_in.bump();
-                        handle_frame(conn, frame, &system, &hub, &metrics, &mut pass_batch);
+                        if version > max_version {
+                            // Behave like a genuine old build: name the
+                            // version so the client falls back to v1.
+                            conn.version = max_version;
+                            conn.fail(
+                                error_code::PROTOCOL,
+                                format!(
+                                    "wire protocol version {version} (this build speaks {max_version})"
+                                ),
+                                &metrics,
+                            );
+                            break;
+                        }
+                        handle_frame(
+                            conn,
+                            frame,
+                            version,
+                            &system,
+                            &hub,
+                            &metrics,
+                            &mut pass_batch,
+                            &mut pass_traced,
+                        );
                         if conn.dead || conn.close_after_flush {
                             break;
                         }
@@ -342,17 +405,20 @@ fn run_loop(
             // Force a group commit mid-pass rather than letting one
             // firehose connection grow the batch without bound.
             if pass_batch.len() >= batch_max {
-                chunks.push(std::mem::take(&mut pass_batch));
+                chunks.push((
+                    std::mem::take(&mut pass_batch),
+                    std::mem::take(&mut pass_traced),
+                ));
             }
         }
-        chunks.push(pass_batch);
+        chunks.push((pass_batch, pass_traced));
 
         // Group-commit this pass's descriptors: one enqueue_batch (one
         // durability barrier on a persistent queue) per chunk, shared by
         // every contributing connection.
         let contributors = conns.iter().filter(|c| c.pass_tokens > 0).count() as u64;
         let mut commit_failed = false;
-        for tokens in chunks {
+        for (tokens, traced) in chunks {
             if tokens.is_empty() {
                 continue;
             }
@@ -362,17 +428,34 @@ fn run_loop(
                 Ok(()) => {
                     metrics.batches.bump();
                     metrics.tokens.add(n);
-                    if let Some(tracer) = system.tracer() {
-                        let handle = tracer.begin();
-                        let t1 = now_ns();
-                        handle.record_complete(
-                            SpanKind::Wire,
-                            ROOT_SPAN,
-                            t0,
-                            t1.saturating_sub(t0),
-                            n,
-                            contributors,
-                        );
+                    let t1 = now_ns();
+                    if traced.is_empty() {
+                        // No propagated trace context in this chunk: keep
+                        // the per-batch sample on a fresh trace.
+                        if let Some(tracer) = system.tracer() {
+                            let handle = tracer.begin();
+                            handle.record_complete(
+                                SpanKind::Wire,
+                                ROOT_SPAN,
+                                t0,
+                                t1.saturating_sub(t0),
+                                n,
+                                contributors,
+                            );
+                        }
+                    } else {
+                        // Close each propagated token's wire span: decode
+                        // through group-commit, on the token's own trace.
+                        for (handle, decoded_ns) in traced {
+                            handle.record_complete(
+                                SpanKind::Wire,
+                                ROOT_SPAN,
+                                decoded_ns,
+                                t1.saturating_sub(decoded_ns),
+                                n,
+                                contributors,
+                            );
+                        }
                     }
                 }
                 Err(_) => commit_failed = true,
@@ -392,11 +475,18 @@ fn run_loop(
                 }
                 let grant = if full {
                     metrics.backpressure.bump();
+                    // Start (or continue) this source's stall episode.
+                    conn.stall_since.get_or_insert_with(now_ns);
                     0
                 } else {
                     window.saturating_sub(conn.credits)
                 };
                 conn.credits += grant;
+                if grant > 0 {
+                    if let Some(t0) = conn.stall_since.take() {
+                        metrics.credit_stall.record(now_ns().saturating_sub(t0));
+                    }
+                }
                 conn.send(
                     &Frame::BatchAck {
                         through: conn.received,
@@ -415,6 +505,9 @@ fn run_loop(
                 .filter(|c| c.role == Role::Source && c.credits == 0 && !c.dead)
             {
                 conn.credits = window;
+                if let Some(t0) = conn.stall_since.take() {
+                    metrics.credit_stall.record(now_ns().saturating_sub(t0));
+                }
                 conn.send(&Frame::Credit { credits: window }, &metrics);
             }
         }
@@ -432,10 +525,12 @@ fn run_loop(
             let mut sent = 0usize;
             while sent < NOTIFY_PER_PASS && conn.wbuf.len() < SUB_WBUF_HIGH_WATER {
                 match rx.try_recv() {
-                    Ok((seq, body)) => {
+                    Ok(d) => {
                         let frame = Frame::Notification {
-                            seq,
-                            body: std::borrow::Cow::Owned(body),
+                            seq: d.seq,
+                            body: std::borrow::Cow::Owned(d.body),
+                            trace_id: d.trace_id,
+                            fire_unix_ns: d.fire_unix_ns,
                         };
                         conn.send(&frame, &metrics);
                         metrics.notifications.bump();
@@ -451,6 +546,13 @@ fn run_loop(
                         break;
                     }
                 }
+            }
+            // Publish the post-drain backlog into the subscriber's
+            // mailbox-depth gauge (delta-updated).
+            if let Some((gauge, last)) = conn.depth_gauge.as_mut() {
+                let depth = conn.mailbox.as_ref().map(|rx| rx.len()).unwrap_or(0) as i64;
+                gauge.add(depth - *last);
+                *last = depth;
             }
             if sent > 0 {
                 activity = true;
@@ -484,6 +586,9 @@ fn run_loop(
                 if let Some((name, epoch)) = &c.sub_name {
                     hub.detach(name, *epoch);
                 }
+                if let Some((gauge, last)) = &c.depth_gauge {
+                    gauge.add(-*last);
+                }
                 metrics.connections.dec();
             }
             !c.dead
@@ -496,14 +601,18 @@ fn run_loop(
     metrics.connections.add(-(conns.len() as i64));
 }
 
-/// Handle one decoded frame on one connection.
+/// Handle one decoded frame on one connection. `version` is the frame's
+/// envelope version (a hello pins the connection to it).
+#[allow(clippy::too_many_arguments)]
 fn handle_frame(
     conn: &mut Conn,
     frame: Frame<'_>,
+    version: u8,
     system: &Arc<TriggerMan>,
     hub: &Arc<DeliveryHub>,
     metrics: &WireMetrics,
     pass_batch: &mut Vec<UpdateDescriptor>,
+    pass_traced: &mut Vec<(TraceHandle, u64)>,
 ) {
     match frame {
         Frame::Hello {
@@ -516,6 +625,9 @@ fn handle_frame(
                 conn.fail(error_code::PROTOCOL, "duplicate hello".into(), metrics);
                 return;
             }
+            // Pin the connection to the peer's hello version; every
+            // outbound frame from here on is encoded at it.
+            conn.version = version.min(VERSION);
             if role == ROLE_SOURCE {
                 match system.source(&name) {
                     Ok(info) => {
@@ -540,6 +652,12 @@ fn handle_frame(
                 match hub.register(&name, &event, resume_from, tx) {
                     Ok(reg) => {
                         conn.role = Role::Subscriber;
+                        conn.depth_gauge = Some((
+                            system
+                                .metrics_registry()
+                                .gauge("tman_wire_mailbox_depth", &[("sub", &name)]),
+                            0,
+                        ));
                         conn.sub_name = Some((name, reg.epoch));
                         conn.mailbox = Some(rx);
                         conn.send(
@@ -553,11 +671,13 @@ fn handle_frame(
                         // Exactly-once catch-up: replay every unacked log
                         // row above the effective watermark, in order,
                         // before any live delivery.
-                        for (seq, body) in reg.replay {
+                        for d in reg.replay {
                             conn.send(
                                 &Frame::Notification {
-                                    seq,
-                                    body: std::borrow::Cow::Owned(body),
+                                    seq: d.seq,
+                                    body: std::borrow::Cow::Owned(d.body),
+                                    trace_id: d.trace_id,
+                                    fire_unix_ns: d.fire_unix_ns,
                                 },
                                 metrics,
                             );
@@ -570,7 +690,11 @@ fn handle_frame(
                 }
             }
         }
-        Frame::UpdateBatch { descriptors } => {
+        Frame::UpdateBatch {
+            descriptors,
+            trace_ids,
+            sent_unix_ns,
+        } => {
             if conn.role != Role::Source {
                 conn.fail(
                     error_code::PROTOCOL,
@@ -588,8 +712,20 @@ fn handle_frame(
                 );
                 return;
             }
-            for raw in &descriptors {
-                let token = match UpdateDescriptor::decode(raw) {
+            // Wall-clock ingest stamp: the client's v2 send stamp when
+            // present, else now — either way every wire token gets one, so
+            // the ingest→fire SLI covers v1 sources too (minus the network
+            // hop).
+            let ingest_unix = if sent_unix_ns != 0 {
+                sent_unix_ns
+            } else {
+                unix_now_ns()
+            };
+            // Map the client's wall-clock send stamp onto the process-
+            // local trace clock: the batch's send "happened" `age` ns ago.
+            let age = unix_now_ns().saturating_sub(sent_unix_ns);
+            for (i, raw) in descriptors.iter().enumerate() {
+                let mut token = match UpdateDescriptor::decode(raw) {
                     Ok(t) => t,
                     Err(e) => {
                         conn.fail(error_code::PROTOCOL, e.to_string(), metrics);
@@ -599,6 +735,29 @@ fn handle_frame(
                 if let Err(e) = system.validate_token(&token) {
                     conn.fail(error_code::VALIDATION, e.to_string(), metrics);
                     return;
+                }
+                token.ingest_unix_ns = ingest_unix;
+                let trace_id = trace_ids.get(i).copied().unwrap_or(0);
+                if trace_id != 0 {
+                    if let Some(tracer) = system.tracer() {
+                        // Adopt the client's trace id (normal tail
+                        // sampling applies) and synthesize the client-side
+                        // send span from the batch stamp.
+                        let decoded_ns = now_ns();
+                        let handle = tracer.begin_with_id(trace_id);
+                        if sent_unix_ns != 0 {
+                            handle.record_complete(
+                                SpanKind::WireSend,
+                                ROOT_SPAN,
+                                decoded_ns.saturating_sub(age),
+                                age,
+                                n,
+                                0,
+                            );
+                        }
+                        pass_traced.push((handle.clone(), decoded_ns));
+                        token.trace = handle;
+                    }
                 }
                 pass_batch.push(token);
             }

@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 use tman_common::Value;
 use tman_wire::crc::crc32;
 use tman_wire::frame::{
-    decode_frame, encode_frame_vec, Frame, HEADER_LEN, MAGIC, MAX_PAYLOAD, ROLE_SOURCE,
-    ROLE_SUBSCRIBER, VERSION,
+    decode_frame, decode_frame_v, encode_frame_v, encode_frame_vec, Frame, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, ROLE_SOURCE, ROLE_SUBSCRIBER, VERSION, VERSION_1,
 };
 use tman_wire::{RemoteClient, WireServer};
 use triggerman::{Config, TriggerMan};
@@ -55,15 +55,30 @@ fn arb_frame() -> impl Strategy<Value = Frame<'static>> {
                 resume_from,
             }
         }),
-        proptest::collection::vec(arb_bytes(96), 0..8).prop_map(|ds| Frame::UpdateBatch {
-            descriptors: ds.into_iter().map(Cow::Owned).collect(),
-        }),
+        // Descriptors paired with their trace ids; `any::<u64>()` covers
+        // both absent (0) and present trace context.
+        (
+            proptest::collection::vec((arb_bytes(96), any::<u64>()), 0..8),
+            any::<u64>()
+        )
+            .prop_map(|(ds, sent_unix_ns)| {
+                let (descriptors, trace_ids): (Vec<_>, Vec<_>) = ds.into_iter().unzip();
+                Frame::UpdateBatch {
+                    descriptors: descriptors.into_iter().map(Cow::Owned).collect(),
+                    trace_ids,
+                    sent_unix_ns,
+                }
+            }),
         (any::<u64>(), any::<u32>())
             .prop_map(|(through, credits)| Frame::BatchAck { through, credits }),
-        (any::<u64>(), arb_bytes(160)).prop_map(|(seq, body)| Frame::Notification {
-            seq,
-            body: Cow::Owned(body),
-        }),
+        (any::<u64>(), arb_bytes(160), any::<u64>(), any::<u64>()).prop_map(
+            |(seq, body, trace_id, fire_unix_ns)| Frame::Notification {
+                seq,
+                body: Cow::Owned(body),
+                trace_id,
+                fire_unix_ns,
+            }
+        ),
         any::<u64>().prop_map(|watermark| Frame::Ack { watermark }),
         any::<u32>().prop_map(|credits| Frame::Credit { credits }),
         (any::<u16>(), arb_text()).prop_map(|(code, message)| Frame::Error { code, message }),
@@ -94,6 +109,46 @@ proptest! {
         let (da, used) = decode_frame(&bytes).unwrap().expect("first frame");
         prop_assert_eq!(da, a);
         let (db, used2) = decode_frame(&bytes[used..]).unwrap().expect("second frame");
+        prop_assert_eq!(db, b);
+        prop_assert_eq!(used + used2, bytes.len());
+    }
+
+    /// Every frame also encodes at v1 and stays decodable — the v2-only
+    /// trace fields are the whole loss (empty / zero after the v1 round
+    /// trip); everything else survives byte-exactly.
+    #[test]
+    fn v1_interop_roundtrips_minus_trace_context(frame in arb_frame()) {
+        let mut bytes = Vec::new();
+        encode_frame_v(&frame, &mut bytes, VERSION_1).unwrap();
+        let (decoded, used, ver) = decode_frame_v(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!((used, ver), (bytes.len(), VERSION_1));
+        let expect = match frame {
+            Frame::UpdateBatch { descriptors, .. } => Frame::UpdateBatch {
+                descriptors,
+                trace_ids: Vec::new(),
+                sent_unix_ns: 0,
+            },
+            Frame::Notification { seq, body, .. } => Frame::Notification {
+                seq,
+                body,
+                trace_id: 0,
+                fire_unix_ns: 0,
+            },
+            other => other,
+        };
+        prop_assert_eq!(decoded, expect);
+    }
+
+    /// The version travels per frame, not per stream: v1 and v2 encodings
+    /// interleave on one buffer and each decodes at its own version.
+    #[test]
+    fn mixed_version_frames_share_a_stream(a in arb_frame(), b in arb_frame()) {
+        let mut bytes = Vec::new();
+        encode_frame_v(&a, &mut bytes, VERSION_1).unwrap();
+        encode_frame_v(&b, &mut bytes, VERSION).unwrap();
+        let (_, used, va) = decode_frame_v(&bytes).unwrap().expect("first frame");
+        let (db, used2, vb) = decode_frame_v(&bytes[used..]).unwrap().expect("second frame");
+        prop_assert_eq!((va, vb), (VERSION_1, VERSION));
         prop_assert_eq!(db, b);
         prop_assert_eq!(used + used2, bytes.len());
     }
@@ -238,6 +293,8 @@ fn malformed_input_fails_the_connection_not_the_server() {
         addr,
         &encode_frame_vec(&Frame::UpdateBatch {
             descriptors: vec![Cow::Owned(vec![1, 2, 3])],
+            trace_ids: vec![0],
+            sent_unix_ns: 0,
         })
         .unwrap(),
     );
@@ -262,6 +319,92 @@ fn malformed_input_fails_the_connection_not_the_server() {
     src.insert(vec![Value::Int(1), Value::str("ok")]).unwrap();
     src.sync().unwrap();
     assert_eq!(src.acked(), 1);
+    tman.shutdown();
+}
+
+/// Read whole frames off a raw socket until one decodes.
+fn recv_raw(s: &mut TcpStream, got: &mut Vec<u8>) -> Frame<'static> {
+    loop {
+        if let Some((frame, used)) = decode_frame(got).unwrap() {
+            let owned = frame.into_owned();
+            got.drain(..used);
+            return owned;
+        }
+        let mut buf = [0u8; 1024];
+        let n = s.read(&mut buf).unwrap();
+        assert!(n > 0, "connection closed mid-handshake");
+        got.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// Live interop in both directions.
+///
+/// * New client → old server: a server capped at v1 rejects the client's
+///   v2 hello by version; the client retries pinned to v1 and the feed
+///   works end to end (minus trace context).
+/// * Old client → new server: raw v1 frames against a v2 server complete
+///   the hello, ship a batch, and get a v1-decodable `BatchAck` back —
+///   the server pins the connection to the hello's version.
+#[test]
+fn v1_and_v2_peers_interoperate_both_directions() {
+    // New client, old (v1-capped) server.
+    let tman = TriggerMan::open_memory(Config::default()).unwrap();
+    tman.execute_command("define data source s (k int, v varchar(16))")
+        .unwrap();
+    let server = WireServer::start_capped(tman.clone(), "127.0.0.1:0", VERSION_1).unwrap();
+    let client = RemoteClient::new(server.local_addr().to_string());
+    let mut src = client.data_source("s").unwrap();
+    src.insert(vec![Value::Int(1), Value::str("old server")])
+        .unwrap();
+    src.sync().unwrap();
+    assert_eq!(src.acked(), 1);
+    tman.shutdown();
+
+    // Old (v1-pinned) client, new server — raw frames, v1 envelope.
+    let (tman, server) = serve();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut got = Vec::new();
+    let mut hello = Vec::new();
+    encode_frame_v(
+        &Frame::Hello {
+            role: ROLE_SOURCE,
+            name: "s".into(),
+            event: String::new(),
+            resume_from: 0,
+        },
+        &mut hello,
+        VERSION_1,
+    )
+    .unwrap();
+    s.write_all(&hello).unwrap();
+    let source_id = match recv_raw(&mut s, &mut got) {
+        Frame::HelloAck { source_id, .. } => source_id,
+        other => panic!("expected hello ack, got {}", other.kind_name()),
+    };
+    let token = tman_common::UpdateDescriptor::insert(
+        tman_common::DataSourceId(source_id),
+        tman_common::Tuple::new(vec![Value::Int(2), Value::str("old client")]),
+    );
+    let mut batch = Vec::new();
+    encode_frame_v(
+        &Frame::UpdateBatch {
+            descriptors: vec![Cow::Owned(token.encode())],
+            trace_ids: Vec::new(),
+            sent_unix_ns: 0,
+        },
+        &mut batch,
+        VERSION_1,
+    )
+    .unwrap();
+    s.write_all(&batch).unwrap();
+    loop {
+        match recv_raw(&mut s, &mut got) {
+            Frame::BatchAck { through, .. } if through >= 1 => break,
+            Frame::BatchAck { .. } | Frame::Credit { .. } => continue,
+            other => panic!("expected batch ack, got {}", other.kind_name()),
+        }
+    }
     tman.shutdown();
 }
 

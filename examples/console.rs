@@ -11,10 +11,11 @@
 //! `select ...`), plus console built-ins:
 //!
 //! ```text
-//! .start        start driver threads        .stop         stop them
-//! .stats        engine & index counters     .list         triggers
-//! .drain        process pending tokens      .connections  connections
-//! .serve ADDR   accept remote sources and subscribers over TCP
+//! .start            start driver threads    .stop         stop them
+//! .stats            engine & index counters  .list         triggers
+//! .drain            process pending tokens   .connections  connections
+//! .serve ADDR       accept remote sources and subscribers over TCP
+//! .serve-http ADDR  HTTP exposition (/metrics /healthz /tracez)
 //! .quit
 //! ```
 //!
@@ -24,9 +25,13 @@
 //! watermark acks. Remember to `.start` the drivers so queued tokens are
 //! actually processed.
 //!
+//! `.serve-http 127.0.0.1:9100` starts the engine's HTTP exposition
+//! endpoint: `GET /metrics` (Prometheus text), `/metrics.json`,
+//! `/healthz`, and `/tracez` (Chrome trace JSON of retained span trees).
+//!
 //! `show stats [<subsystem>]` is a TriggerMan command, not a built-in: it
 //! renders the full telemetry snapshot (queue, driver, index, cache,
-//! storage, actions).
+//! storage, actions, wire).
 
 use std::io::{BufRead, Write};
 use triggerman::{Config, TriggerMan};
@@ -52,7 +57,7 @@ fn main() {
         match line {
             ".quit" | ".exit" => break,
             ".help" => {
-                println!(".start .stop .stats .list .connections .drain .serve ADDR .quit — or any TriggerMan/SQL command (try 'show stats')");
+                println!(".start .stop .stats .list .connections .drain .serve ADDR .serve-http ADDR .quit — or any TriggerMan/SQL command (try 'show stats')");
                 continue;
             }
             ".start" => {
@@ -121,6 +126,22 @@ fn main() {
                 continue;
             }
             _ => {}
+        }
+        // Matched before `.serve`, which is a prefix of this command.
+        if let Some(addr) = line.strip_prefix(".serve-http") {
+            let addr = addr.trim();
+            let addr = if addr.is_empty() {
+                "127.0.0.1:9100"
+            } else {
+                addr
+            };
+            match tman.serve_http(addr) {
+                Ok(local) => println!(
+                    "http exposition on http://{local} (/metrics /metrics.json /healthz /tracez)"
+                ),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
         }
         if let Some(addr) = line.strip_prefix(".serve") {
             if let Some(s) = &server {
