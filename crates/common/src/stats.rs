@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-pub use tman_telemetry::Counter;
+pub use tman_telemetry::{Counter, Histogram};
 
 /// Storage-layer counters (owned by each `DiskManager`/`BufferPool`, but the
 /// struct lives here so non-storage crates can report them).
@@ -44,6 +44,30 @@ pub struct StorageStats {
     /// the wire tier's batched enqueue pays one sync per batch, so
     /// `syncs / tokens` is the number the E13 experiment watches.
     pub syncs: Arc<Counter>,
+}
+
+/// Write-ahead-log counters (owned by each `Wal`; the struct lives here so
+/// the engine can register the same instances into the telemetry registry
+/// as `tman_wal_*_total` series).
+#[derive(Debug, Default, Clone)]
+pub struct WalStats {
+    /// Page frames (full images or deltas) appended to the log.
+    pub appends: Arc<Counter>,
+    /// Bytes appended to the log, commit records included.
+    pub bytes: Arc<Counter>,
+    /// `fdatasync` calls issued on the log file.
+    pub fsyncs: Arc<Counter>,
+    /// Commits made durable by piggybacking on another writer's fsync —
+    /// the group-commit win: `group_commits / fsyncs` is the amortization
+    /// factor.
+    pub group_commits: Arc<Counter>,
+    /// Committed redo records replayed into the page file at open.
+    pub replayed_records: Arc<Counter>,
+    /// Checkpoints that wrote dirty pages back and truncated the log.
+    pub checkpoints: Arc<Counter>,
+    /// Latency of making one commit durable (nanoseconds): the fsync wait,
+    /// whether this writer issued it or piggybacked on a neighbor's.
+    pub group_commit_ns: Arc<Histogram>,
 }
 
 impl StorageStats {

@@ -120,6 +120,12 @@ pub struct Config {
     /// plan starts disarmed, so merely attaching it costs nothing until a
     /// harness arms it. Ignored by `open_memory`.
     pub faults: Option<tman_storage::FaultPlan>,
+    /// Write-ahead-log size (bytes) that triggers an automatic checkpoint
+    /// on the next durability barrier: dirty pages are written back to the
+    /// page file and the log is truncated. Smaller values bound recovery
+    /// replay time; larger ones amortize checkpoint write-back further.
+    /// Ignored by `open_memory` (no WAL).
+    pub wal_checkpoint_bytes: u64,
     /// Wire tier: maximum decoded descriptors accumulated per poll pass
     /// before a group commit (one batched enqueue + one sync) is forced.
     pub wire_batch_max: usize,
@@ -164,6 +170,7 @@ impl Default for Config {
             index_memory_budget: None,
             governor_period: Duration::from_millis(250),
             faults: None,
+            wal_checkpoint_bytes: 1 << 20,
             wire_batch_max: 4096,
             wire_credits: 1024,
             wire_queue_high_water: 65_536,

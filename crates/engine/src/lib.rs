@@ -196,10 +196,13 @@ impl TriggerMan {
     /// the disk manager, and any crash damage found by the open-time
     /// scavenge pass is absorbed before the engine state is rebuilt.
     pub fn open_file(path: &Path, config: Config) -> Result<Arc<TriggerMan>> {
-        let db = Arc::new(Database::open_file_with(
+        let db = Arc::new(Database::open_file_opts(
             path,
             config.pool_pages,
             config.faults.clone(),
+            tman_storage::WalConfig {
+                checkpoint_bytes: config.wal_checkpoint_bytes,
+            },
         )?);
         Self::with_database(db, config)
     }
@@ -331,6 +334,24 @@ impl TriggerMan {
             &[],
             ds.faults_injected.clone(),
         );
+        if let Some(wal) = pool.wal() {
+            let ws = wal.stats();
+            r.register_counter("tman_wal_appends_total", &[], ws.appends.clone());
+            r.register_counter("tman_wal_bytes_total", &[], ws.bytes.clone());
+            r.register_counter("tman_wal_fsyncs_total", &[], ws.fsyncs.clone());
+            r.register_counter(
+                "tman_wal_group_commits_total",
+                &[],
+                ws.group_commits.clone(),
+            );
+            r.register_counter(
+                "tman_wal_replayed_records_total",
+                &[],
+                ws.replayed_records.clone(),
+            );
+            r.register_counter("tman_wal_checkpoints_total", &[], ws.checkpoints.clone());
+            r.register_histogram("tman_wal_group_commit_ns", &[], ws.group_commit_ns.clone());
+        }
         r.register_counter(
             "tman_queue_corrupt_rows_total",
             &[],

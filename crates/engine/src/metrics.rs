@@ -319,6 +319,22 @@ pub struct StorageMetrics {
     pub quarantined_pages: u64,
     /// Faults injected by an attached fault plan (test builds only).
     pub faults_injected: u64,
+    /// The store has a write-ahead log (file-backed databases).
+    pub wal_attached: bool,
+    /// WAL redo records (page images/deltas) appended.
+    pub wal_appends: u64,
+    /// WAL bytes appended (commit frames included).
+    pub wal_bytes: u64,
+    /// Log fsyncs actually issued.
+    pub wal_fsyncs: u64,
+    /// Commits made durable by piggybacking on another writer's fsync.
+    pub wal_group_commits: u64,
+    /// Committed records replayed into the page file at open.
+    pub wal_replayed_records: u64,
+    /// Checkpoints (write-back + log truncation).
+    pub wal_checkpoints: u64,
+    /// Time for one commit to become durable (the group-commit wait).
+    pub wal_group_commit_ns: HistogramSummary,
 }
 
 /// Rule-action metrics.
@@ -563,18 +579,33 @@ impl MetricsSnapshot {
                 hit_rate: cs.hit_rate(),
                 resident: tman.trigger_cache().len(),
             },
-            storage: StorageMetrics {
-                pool_hits: ps.pool_hits.get(),
-                pool_misses: ps.pool_misses.get(),
-                pool_evictions: ps.evictions.get(),
-                pool_hit_rate: ps.pool_hit_rate(),
-                page_reads: ds.page_reads.get(),
-                page_writes: ds.page_writes.get(),
-                syncs: ds.syncs.get(),
-                io_retries: ps.io_retries.get(),
-                checksum_failures: ds.checksum_failures.get(),
-                quarantined_pages: ds.quarantined_pages.get(),
-                faults_injected: ds.faults_injected.get(),
+            storage: {
+                let mut sm = StorageMetrics {
+                    pool_hits: ps.pool_hits.get(),
+                    pool_misses: ps.pool_misses.get(),
+                    pool_evictions: ps.evictions.get(),
+                    pool_hit_rate: ps.pool_hit_rate(),
+                    page_reads: ds.page_reads.get(),
+                    page_writes: ds.page_writes.get(),
+                    syncs: ds.syncs.get(),
+                    io_retries: ps.io_retries.get(),
+                    checksum_failures: ds.checksum_failures.get(),
+                    quarantined_pages: ds.quarantined_pages.get(),
+                    faults_injected: ds.faults_injected.get(),
+                    ..StorageMetrics::default()
+                };
+                if let Some(wal) = pool.wal() {
+                    let ws = wal.stats();
+                    sm.wal_attached = true;
+                    sm.wal_appends = ws.appends.get();
+                    sm.wal_bytes = ws.bytes.get();
+                    sm.wal_fsyncs = ws.fsyncs.get();
+                    sm.wal_group_commits = ws.group_commits.get();
+                    sm.wal_replayed_records = ws.replayed_records.get();
+                    sm.wal_checkpoints = ws.checkpoints.get();
+                    sm.wal_group_commit_ns = ws.group_commit_ns.summary();
+                }
+                sm
             },
             actions: ActionMetrics {
                 exec_sql: t.actions_by_kind[ACTION_EXEC_SQL].get(),
@@ -802,6 +833,23 @@ impl MetricsSnapshot {
                 self.storage.checksum_failures,
                 self.storage.quarantined_pages
             ));
+            if self.storage.wal_attached {
+                out.push_str(&format!(
+                    "  wal                appends={} bytes={} fsyncs={} group_commits={}\n",
+                    self.storage.wal_appends,
+                    self.storage.wal_bytes,
+                    self.storage.wal_fsyncs,
+                    self.storage.wal_group_commits
+                ));
+                out.push_str(&format!(
+                    "  wal recovery       replayed={} checkpoints={}\n",
+                    self.storage.wal_replayed_records, self.storage.wal_checkpoints
+                ));
+                out.push_str(&format!(
+                    "  wal group commit   {}\n",
+                    hist(&self.storage.wal_group_commit_ns)
+                ));
+            }
         }
         if want("actions") {
             out.push_str("actions:\n");

@@ -56,7 +56,18 @@ impl Database {
         pool_pages: usize,
         faults: Option<tman_storage::FaultPlan>,
     ) -> Result<Database> {
-        let storage = Storage::open_file_with(path, pool_pages, faults)?;
+        Self::open_file_opts(path, pool_pages, faults, tman_storage::WalConfig::default())
+    }
+
+    /// [`open_file_with`](Self::open_file_with) plus write-ahead-log
+    /// tuning (checkpoint threshold), passed through to the storage layer.
+    pub fn open_file_opts(
+        path: &Path,
+        pool_pages: usize,
+        faults: Option<tman_storage::FaultPlan>,
+        wal_cfg: tman_storage::WalConfig,
+    ) -> Result<Database> {
+        let storage = Storage::open_file_opts(path, pool_pages, faults, wal_cfg)?;
         let recovered = storage.was_recovered();
         let db = Self::with_storage(storage)?;
         if recovered {

@@ -13,6 +13,7 @@
 //! concurrently because pins are only taken under the pool mutex.
 
 use crate::disk::{DiskManager, PageId, PAGE_SIZE};
+use crate::wal::Wal;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -39,16 +40,33 @@ struct PoolInner {
 }
 
 /// Fixed-capacity page cache over a [`DiskManager`].
+///
+/// With a [`Wal`] attached ([`with_wal`](Self::with_wal)), flushes append
+/// redo records to the log instead of writing the page file; the page file
+/// is only written at checkpoint, from records that are already durable —
+/// the WAL invariant. Without one, flushes write the page file directly
+/// (memory-backed stores and legacy dual-slot files).
 pub struct BufferPool {
     disk: Arc<DiskManager>,
     inner: Mutex<PoolInner>,
     stats: StorageStats,
+    wal: Option<Arc<Wal>>,
 }
 
 impl BufferPool {
     /// Create a pool with room for `capacity` pages (minimum 4 so B+tree
     /// splits, which pin up to three pages plus the meta page, always fit).
     pub fn new(disk: Arc<DiskManager>, capacity: usize) -> BufferPool {
+        Self::build(disk, capacity, None)
+    }
+
+    /// Create a pool whose flushes go through the write-ahead log. The
+    /// caller must have replayed the log into `disk` already.
+    pub fn with_wal(disk: Arc<DiskManager>, capacity: usize, wal: Arc<Wal>) -> BufferPool {
+        Self::build(disk, capacity, Some(wal))
+    }
+
+    fn build(disk: Arc<DiskManager>, capacity: usize, wal: Option<Arc<Wal>>) -> BufferPool {
         let capacity = capacity.max(4);
         BufferPool {
             disk,
@@ -58,6 +76,7 @@ impl BufferPool {
                 tick: 0,
             }),
             stats: StorageStats::default(),
+            wal,
         }
     }
 
@@ -70,6 +89,11 @@ impl BufferPool {
     /// The underlying disk manager.
     pub fn disk(&self) -> &Arc<DiskManager> {
         &self.disk
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Pin page `pid`, reading it from disk if necessary.
@@ -90,8 +114,13 @@ impl BufferPool {
         let idx = self.find_victim(&mut inner)?;
         // Load the page while still holding the pool lock: simple, and a
         // concurrent fetch of the same page will hit the map afterwards.
+        // With a WAL, the log's newest image wins: the page file only holds
+        // checkpointed (older) data.
         let mut data = Box::new([0u8; PAGE_SIZE]);
-        self.disk.read_page(pid, &mut data)?;
+        match self.wal.as_ref().and_then(|w| w.latest_image(pid)) {
+            Some(img) => data.copy_from_slice(&img[..]),
+            None => self.disk.read_page(pid, &mut data)?,
+        }
         let cell = Arc::new(FrameCell {
             pid,
             pin: AtomicU32::new(1),
@@ -113,22 +142,41 @@ impl BufferPool {
         Ok((pid, guard))
     }
 
-    /// Write all dirty resident pages back to disk.
+    /// Write all dirty resident pages back: to the log (sealed by one
+    /// commit frame, so the whole set becomes durable atomically) when a
+    /// WAL is attached, else straight to the page file.
     pub fn flush_all(&self) -> Result<()> {
-        let inner = self.inner.lock();
-        for slot in inner.frames.iter().flatten() {
-            self.flush_cell(&slot.cell)?;
+        {
+            let inner = self.inner.lock();
+            for slot in inner.frames.iter().flatten() {
+                self.flush_cell(&slot.cell)?;
+            }
+        }
+        if let Some(wal) = &self.wal {
+            wal.commit_stage()?;
         }
         Ok(())
     }
 
-    /// Group-commit barrier: flush every dirty page, then force the disk
-    /// backend to stable storage with one sync. Callers batch many logical
-    /// writes between calls so the sync cost is amortized across all of
-    /// them.
+    /// Group-commit barrier: flush every dirty page, then make the batch
+    /// durable with one sync. Callers batch many logical writes between
+    /// calls so the sync cost is amortized across all of them; with a WAL
+    /// attached, concurrent callers additionally piggyback on each other's
+    /// fsync ([`Wal::make_durable`]), and the log auto-checkpoints once it
+    /// outgrows its configured size.
     pub fn sync(&self) -> Result<()> {
         self.flush_all()?;
-        self.disk.sync()
+        match &self.wal {
+            None => self.disk.sync(),
+            Some(wal) => {
+                let seq = wal.commit_stage()?;
+                wal.make_durable(seq)?;
+                if wal.needs_checkpoint() {
+                    wal.checkpoint_into(&self.disk)?;
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Write attempts per page before a flush gives up on transient I/O
@@ -140,7 +188,11 @@ impl BufferPool {
             let data = cell.data.read();
             let mut last = None;
             for attempt in 0..Self::FLUSH_ATTEMPTS {
-                match self.disk.write_page(cell.pid, &data) {
+                let res = match &self.wal {
+                    Some(wal) => wal.append_page(cell.pid, &data),
+                    None => self.disk.write_page(cell.pid, &data),
+                };
+                match res {
                     Ok(()) => return Ok(()),
                     Err(e @ TmanError::Io(_)) => {
                         last = Some(e);

@@ -7,27 +7,34 @@
 //!
 //! # On-disk format (file backend)
 //!
-//! Each logical 4 KiB page owns **two physical slots** of
-//! `PAGE_SIZE + 16` bytes, laid out back to back:
+//! The current **single-slot** format (v2) starts with a `PHYS_PAGE`-sized
+//! header block whose first bytes are the magic `TMANPG2\0`; each logical
+//! 4 KiB page then owns one physical slot:
 //!
 //! ```text
 //! slot = [ data: 4096 ][ version: u64 LE ][ fnv1a64(data ‖ version): u64 LE ]
-//! offset(pid, s) = (pid * 2 + s) * PHYS_PAGE
+//! offset(pid) = (pid + 1) * PHYS_PAGE
 //! ```
 //!
-//! Writes ping-pong: a `write_page` goes to the *inactive* slot with
-//! `version + 1` and only flips the in-memory slot map after the full slot
-//! hits the file. A torn or failed write therefore never destroys the last
-//! successfully written version — the partner slot still holds it. Reads
-//! verify the checksum and expected version, falling back to the partner
-//! slot; if both slots are invalid the page is truly lost and reads return
-//! [`TmanError::Corrupt`].
+//! Writes go in place. A torn write destroys the page's only copy — safe
+//! because every [`crate::Storage`] pairs this format with the write-ahead
+//! log ([`crate::wal`]): a page is only written back once its covering log
+//! records are durable, so recovery replays the log over any torn page.
+//! The freed partner slot is the WAL's budget — the old **dual-slot**
+//! ping-pong format (v1, no header; two slots per page at
+//! `offset(pid, s) = (pid*2 + s) * PHYS_PAGE`) wrote every page twice to
+//! survive tears without a log. v1 files are migrated to v2 at open time
+//! (copy to a temp file, fsync, atomic rename); the legacy read/write path
+//! is kept behind [`DiskManager::open_file_dual_slot`] as the migration
+//! source and for its regression tests.
 //!
-//! [`DiskManager::open_file_with`] runs a **scavenge pass**: it rebuilds the
-//! slot map by picking the highest-version valid slot of every page and
-//! *quarantines* pages with no valid slot (rewriting them as zeroed pages —
-//! a zeroed slotted page scans as empty — and recording them in the
-//! [`RecoveryReport`] so higher layers can rebuild derived state).
+//! [`DiskManager::open_file_with`] runs a **scavenge pass**: it validates
+//! every page's checksum and *quarantines* invalid pages (rewriting them as
+//! zeroed pages — a zeroed slotted page scans as empty — and recording them
+//! in the [`RecoveryReport`] so higher layers can rebuild derived state).
+//! Under the WAL, a torn checkpoint write is replayed over *before* it can
+//! be mistaken for damage, so quarantine only fires for pages the log no
+//! longer covers.
 //!
 //! An optional [`FaultPlan`] injects deterministic write failures; see
 //! [`crate::fault`]. The in-memory backend has neither checksums nor faults.
@@ -51,6 +58,9 @@ const TRAILER: usize = 16;
 /// Physical slot size in the backing file.
 pub const PHYS_PAGE: usize = PAGE_SIZE + TRAILER;
 
+/// Magic prefix of the v2 (single-slot) header block.
+const MAGIC_V2: [u8; 8] = *b"TMANPG2\0";
+
 /// Physical page number within a store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
@@ -70,12 +80,16 @@ impl PageId {
 /// What the open-time scavenge pass found and repaired.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
-    /// Pages with no valid slot, rewritten as zeroed (empty) pages.
+    /// Pages with no valid copy, rewritten as zeroed (empty) pages.
     pub quarantined: Vec<PageId>,
     /// Slots holding torn garbage (nonzero bytes, bad checksum) whose
     /// partner slot was still valid — evidence of an interrupted write that
-    /// the ping-pong format absorbed.
+    /// the dual-slot format absorbed. Only produced by v1 stores (and the
+    /// migration pass over them); the single-slot format has no partner.
     pub salvaged_slots: u64,
+    /// The store was a dual-slot (v1) file rewritten into the single-slot
+    /// format at open. Not crash damage by itself.
+    pub migrated_dual_slot: bool,
 }
 
 impl RecoveryReport {
@@ -86,7 +100,17 @@ impl RecoveryReport {
     }
 }
 
-/// Which slot currently holds the live version of a page.
+/// On-disk layout of the file backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// v1: two ping-pong slots per page, no header.
+    DualSlot,
+    /// v2: header block + one slot per page (WAL-protected stores).
+    SingleSlot,
+}
+
+/// Which slot currently holds the live version of a page (`slot` is always
+/// 0 in the single-slot format).
 #[derive(Debug, Clone, Copy)]
 struct PageMeta {
     version: u64,
@@ -96,6 +120,7 @@ struct PageMeta {
 struct FileState {
     file: File,
     meta: Vec<PageMeta>,
+    format: Format,
 }
 
 enum Backend {
@@ -112,7 +137,7 @@ pub struct DiskManager {
     recovery: RecoveryReport,
 }
 
-fn fnv1a64(data: &[u8], version: u64) -> u64 {
+pub(crate) fn fnv1a64(data: &[u8], version: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data.iter().chain(version.to_le_bytes().iter()) {
         h ^= b as u64;
@@ -121,8 +146,19 @@ fn fnv1a64(data: &[u8], version: u64) -> u64 {
     h
 }
 
-fn slot_offset(pid: PageId, slot: u8) -> u64 {
+fn slot_offset_v1(pid: PageId, slot: u8) -> u64 {
     (pid.0 as u64 * 2 + slot as u64) * PHYS_PAGE as u64
+}
+
+fn page_offset_v2(pid: PageId) -> u64 {
+    (pid.0 as u64 + 1) * PHYS_PAGE as u64
+}
+
+fn slot_offset(fmt: Format, pid: PageId, slot: u8) -> u64 {
+    match fmt {
+        Format::DualSlot => slot_offset_v1(pid, slot),
+        Format::SingleSlot => page_offset_v2(pid),
+    }
 }
 
 /// Build the physical image of a slot: data + version + checksum.
@@ -148,34 +184,62 @@ fn decode_slot(phys: &[u8; PHYS_PAGE]) -> Option<(u64, &[u8])> {
     Some((version, &phys[..PAGE_SIZE]))
 }
 
-fn read_slot(file: &mut File, pid: PageId, slot: u8) -> Option<[u8; PHYS_PAGE]> {
+fn read_slot_at(file: &mut File, off: u64) -> Option<[u8; PHYS_PAGE]> {
     let mut buf = [0u8; PHYS_PAGE];
-    file.seek(SeekFrom::Start(slot_offset(pid, slot))).ok()?;
+    file.seek(SeekFrom::Start(off)).ok()?;
     file.read_exact(&mut buf).ok()?;
     Some(buf)
 }
 
+/// The v2 header block: magic + zero padding out to one physical page, so
+/// page offsets stay slot-aligned.
+fn header_block() -> [u8; PHYS_PAGE] {
+    let mut h = [0u8; PHYS_PAGE];
+    h[..8].copy_from_slice(&MAGIC_V2);
+    h
+}
+
 impl DiskManager {
-    /// Open or create a file-backed store. A fresh store gets page 0
-    /// (zero-filled) allocated as the directory superblock.
+    /// Open or create a file-backed store in the current (single-slot)
+    /// format, migrating dual-slot files in place. A fresh store gets page
+    /// 0 (zero-filled) allocated as the directory superblock.
     pub fn open_file(path: &Path) -> Result<DiskManager> {
         Self::open_file_with(path, None)
     }
 
     /// Open a file-backed store with an optional fault-injection plan
-    /// (test builds). Runs the scavenge pass over every page pair and
-    /// records its findings in [`recovery_report`](Self::recovery_report).
+    /// (test builds). Detects the on-disk format: v2 files are scavenged
+    /// in place, v1 (dual-slot) files are first rewritten into v2 via a
+    /// temp file and atomic rename. Scavenge findings land in
+    /// [`recovery_report`](Self::recovery_report).
     pub fn open_file_with(path: &Path, plan: Option<FaultPlan>) -> Result<DiskManager> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false) // reopening an existing store must keep it
-            .open(path)?;
+        let mut file = Self::open_raw(path)?;
         let stats = StorageStats::default();
-        let (meta, recovery, num_pages) = Self::scavenge(&mut file, &stats)?;
+        let len = file.metadata()?.len();
+        let mut migrated = false;
+        let mut carried = RecoveryReport::default();
+        if len == 0 {
+            // Fresh store: stamp the v2 header before anything else.
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_block())?;
+            file.sync_data()?;
+        } else if !Self::is_v2(&mut file) {
+            carried = Self::migrate_dual_slot(path, &mut file, &stats)?;
+            migrated = true;
+            file = Self::open_raw(path)?;
+        }
+        let (meta, mut recovery, num_pages) = Self::scavenge_v2(&mut file, &stats)?;
+        if migrated {
+            recovery.quarantined = carried.quarantined;
+            recovery.salvaged_slots = carried.salvaged_slots;
+            recovery.migrated_dual_slot = true;
+        }
         let dm = DiskManager {
-            backend: Backend::File(Mutex::new(FileState { file, meta })),
+            backend: Backend::File(Mutex::new(FileState {
+                file,
+                meta,
+                format: Format::SingleSlot,
+            })),
             num_pages: Mutex::new(num_pages),
             stats,
             plan,
@@ -185,10 +249,95 @@ impl DiskManager {
         Ok(dm)
     }
 
-    /// Recovery/scavenge: rebuild the live-slot map, quarantine pages with
-    /// no valid copy. A page exists if any byte of its slot pair does —
-    /// a crash mid-extend still yields a (quarantined, empty) page.
-    fn scavenge(
+    /// Open a file-backed store in the legacy dual-slot format. Kept as
+    /// the migration source and for the ping-pong regression tests; new
+    /// stores should use [`open_file_with`](Self::open_file_with) (WAL +
+    /// single slot).
+    pub fn open_file_dual_slot(path: &Path, plan: Option<FaultPlan>) -> Result<DiskManager> {
+        let mut file = Self::open_raw(path)?;
+        let stats = StorageStats::default();
+        let (meta, recovery, num_pages) = Self::scavenge_v1(&mut file, &stats)?;
+        let dm = DiskManager {
+            backend: Backend::File(Mutex::new(FileState {
+                file,
+                meta,
+                format: Format::DualSlot,
+            })),
+            num_pages: Mutex::new(num_pages),
+            stats,
+            plan,
+            recovery,
+        };
+        dm.ensure_superblock()?;
+        Ok(dm)
+    }
+
+    fn open_raw(path: &Path) -> Result<File> {
+        Ok(OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false) // reopening an existing store must keep it
+            .open(path)?)
+    }
+
+    /// A nonempty file is v2 iff it leads with the magic. (A v1 file leads
+    /// with page 0's raw data; the magic colliding with real page content
+    /// is a 2^-64 accident.)
+    fn is_v2(file: &mut File) -> bool {
+        let mut magic = [0u8; 8];
+        file.seek(SeekFrom::Start(0)).is_ok()
+            && file.read_exact(&mut magic).is_ok()
+            && magic == MAGIC_V2
+    }
+
+    /// Rewrite a v1 (dual-slot) file into v2 through a temp file + atomic
+    /// rename, carrying each page's live version across. Crash-safe: until
+    /// the rename lands the original v1 file is untouched (apart from v1
+    /// scavenge quarantine rewrites, which are idempotent).
+    fn migrate_dual_slot(
+        path: &Path,
+        file: &mut File,
+        stats: &StorageStats,
+    ) -> Result<RecoveryReport> {
+        let (meta, report, num_pages) = Self::scavenge_v1(file, stats)?;
+        let tmp = path.with_extension("migrate-tmp");
+        let mut out = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        out.write_all(&header_block())?;
+        let mut data = [0u8; PAGE_SIZE];
+        for p in 0..num_pages {
+            let pid = PageId(p);
+            let m = meta[p as usize];
+            let phys = read_slot_at(file, slot_offset_v1(pid, m.slot)).ok_or_else(|| {
+                TmanError::Io(format!("migration: short read of page {} live slot", p))
+            })?;
+            match decode_slot(&phys) {
+                Some((version, bytes)) => {
+                    data.copy_from_slice(bytes);
+                    out.write_all(&encode_slot(&data, version))?;
+                }
+                None => {
+                    // Scavenge already quarantined this page; keep it as a
+                    // valid zeroed page in the new file.
+                    out.write_all(&encode_slot(&[0u8; PAGE_SIZE], 1))?;
+                }
+            }
+        }
+        out.sync_data()?;
+        drop(out);
+        std::fs::rename(&tmp, path)?;
+        Ok(report)
+    }
+
+    /// v1 recovery/scavenge: rebuild the live-slot map, quarantine pages
+    /// with no valid copy. A page exists if any byte of its slot pair does
+    /// — a crash mid-extend still yields a (quarantined, empty) page.
+    fn scavenge_v1(
         file: &mut File,
         stats: &StorageStats,
     ) -> Result<(Vec<PageMeta>, RecoveryReport, u32)> {
@@ -199,7 +348,10 @@ impl DiskManager {
         let mut report = RecoveryReport::default();
         for p in 0..num_pages {
             let pid = PageId(p);
-            let slots = [read_slot(file, pid, 0), read_slot(file, pid, 1)];
+            let slots = [
+                read_slot_at(file, slot_offset_v1(pid, 0)),
+                read_slot_at(file, slot_offset_v1(pid, 1)),
+            ];
             let decoded = [
                 slots[0].as_ref().and_then(|s| decode_slot(s)),
                 slots[1].as_ref().and_then(|s| decode_slot(s)),
@@ -231,9 +383,48 @@ impl DiskManager {
                     // A zeroed slotted page reads as "no slots", so scans
                     // above this layer safely see nothing.
                     let phys = encode_slot(&[0u8; PAGE_SIZE], 1);
-                    file.seek(SeekFrom::Start(slot_offset(pid, 0)))?;
+                    file.seek(SeekFrom::Start(slot_offset_v1(pid, 0)))?;
                     file.write_all(&phys)?;
                     file.write_all(&[0u8; PHYS_PAGE])?;
+                    meta.push(PageMeta {
+                        version: 1,
+                        slot: 0,
+                    });
+                    report.quarantined.push(pid);
+                    stats.quarantined_pages.bump();
+                }
+            }
+        }
+        Ok((meta, report, num_pages))
+    }
+
+    /// v2 recovery/scavenge: validate every page's single slot, quarantine
+    /// invalid ones. Runs before WAL replay; a page the log still covers
+    /// gets rewritten by replay right after, so a quarantine here is only
+    /// *damage* when no committed redo record supersedes it.
+    fn scavenge_v2(
+        file: &mut File,
+        stats: &StorageStats,
+    ) -> Result<(Vec<PageMeta>, RecoveryReport, u32)> {
+        let len = file.metadata()?.len();
+        let body = len.saturating_sub(PHYS_PAGE as u64);
+        let num_pages = body.div_ceil(PHYS_PAGE as u64) as u32;
+        // Re-stamp the header: a partially created store (crash between
+        // create and first allocate) must still lead with the magic.
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header_block())?;
+        let mut meta = Vec::with_capacity(num_pages as usize);
+        let mut report = RecoveryReport::default();
+        for p in 0..num_pages {
+            let pid = PageId(p);
+            let decoded =
+                read_slot_at(file, page_offset_v2(pid)).and_then(|s| decode_slot(&s).map(|d| d.0));
+            match decoded {
+                Some(version) => meta.push(PageMeta { version, slot: 0 }),
+                None => {
+                    let phys = encode_slot(&[0u8; PAGE_SIZE], 1);
+                    file.seek(SeekFrom::Start(page_offset_v2(pid)))?;
+                    file.write_all(&phys)?;
                     meta.push(PageMeta {
                         version: 1,
                         slot: 0,
@@ -300,11 +491,26 @@ impl DiskManager {
     }
 
     /// Force previously written pages to stable storage: `fdatasync` on
-    /// the file backend, a counted no-op in memory. Group commit calls
-    /// this once per batch; [`StorageStats::syncs`] counts every call so
-    /// experiments can report syncs-per-token.
+    /// the file backend, a counted no-op in memory. Checkpoints call this
+    /// once per write-back pass; [`StorageStats::syncs`] counts every call
+    /// so experiments can report syncs-per-token. Draws a
+    /// [`FaultPlan::decide_sync`] decision: a sync can be the crash point
+    /// or fail transiently.
     pub fn sync(&self) -> Result<()> {
         self.frozen_check()?;
+        match self.plan.as_ref().and_then(|p| p.decide_sync()) {
+            None => {}
+            Some(FaultKind::TransientError) => {
+                self.stats.faults_injected.bump();
+                return Err(TmanError::Io("injected transient sync error".into()));
+            }
+            Some(_) => {
+                // Crash: the freeze flag is already set; report it like any
+                // other frozen-disk operation.
+                self.stats.faults_injected.bump();
+                return Err(TmanError::Io("simulated crash: disk frozen".into()));
+            }
+        }
         self.stats.syncs.bump();
         if let Backend::File(state) = &self.backend {
             state.lock().file.sync_data()?;
@@ -323,12 +529,15 @@ impl DiskManager {
             }
             Backend::File(state) => {
                 let mut st = state.lock();
-                // Write a valid zeroed slot 0 and a dense (invalid) slot 1
-                // so later slot reads never cross EOF.
+                let fmt = st.format;
                 let phys = encode_slot(&[0u8; PAGE_SIZE], 1);
-                st.file.seek(SeekFrom::Start(slot_offset(pid, 0)))?;
+                st.file.seek(SeekFrom::Start(slot_offset(fmt, pid, 0)))?;
                 st.file.write_all(&phys)?;
-                st.file.write_all(&[0u8; PHYS_PAGE])?;
+                if fmt == Format::DualSlot {
+                    // Dense (invalid) slot 1 so later slot reads never
+                    // cross EOF.
+                    st.file.write_all(&[0u8; PHYS_PAGE])?;
+                }
                 st.meta.push(PageMeta {
                     version: 1,
                     slot: 0,
@@ -339,9 +548,10 @@ impl DiskManager {
         Ok(pid)
     }
 
-    /// Read page `pid` into `buf`. On the file backend the live slot's
-    /// checksum and version are verified, with fallback to the partner
-    /// slot; both invalid is a [`TmanError::Corrupt`].
+    /// Read page `pid` into `buf`. On the file backend the slot's checksum
+    /// and version are verified; the dual-slot format falls back to the
+    /// partner slot, the single-slot format (whose safety net is the WAL)
+    /// reports [`TmanError::Corrupt`] directly.
     pub fn read_page(&self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
         self.check_bounds(pid)?;
         self.frozen_check()?;
@@ -353,7 +563,8 @@ impl DiskManager {
             Backend::File(state) => {
                 let mut st = state.lock();
                 let m = st.meta[pid.0 as usize];
-                if let Some(phys) = read_slot(&mut st.file, pid, m.slot) {
+                let off = slot_offset(st.format, pid, m.slot);
+                if let Some(phys) = read_slot_at(&mut st.file, off) {
                     if let Some((version, data)) = decode_slot(&phys) {
                         if version == m.version {
                             buf.copy_from_slice(data);
@@ -361,10 +572,17 @@ impl DiskManager {
                         }
                     }
                 }
-                // Live slot failed validation: salvage from the partner.
                 self.stats.checksum_failures.bump();
+                if st.format == Format::SingleSlot {
+                    return Err(TmanError::Corrupt(format!(
+                        "page {} lost: slot fails checksum",
+                        pid.0
+                    )));
+                }
+                // Dual slot: salvage from the partner.
                 let other = 1 - m.slot;
-                let salvage = read_slot(&mut st.file, pid, other)
+                let fmt = st.format;
+                let salvage = read_slot_at(&mut st.file, slot_offset(fmt, pid, other))
                     .as_ref()
                     .and_then(|p| decode_slot(p).map(|(v, d)| (v, d.to_vec())));
                 match salvage {
@@ -387,10 +605,10 @@ impl DiskManager {
         Ok(())
     }
 
-    /// Write `buf` to page `pid`. On the file backend the write goes to the
-    /// inactive slot with a bumped version; the slot map only flips once the
-    /// full slot is on disk, so a failed write never clobbers the previous
-    /// version.
+    /// Write `buf` to page `pid`. The dual-slot format writes the inactive
+    /// slot and flips the map only once the full slot is on disk; the
+    /// single-slot format writes in place (the WAL holds the covering redo
+    /// record, so a torn write is recoverable by replay).
     pub fn write_page(&self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
         self.check_bounds(pid)?;
         self.frozen_check()?;
@@ -402,10 +620,13 @@ impl DiskManager {
             Backend::File(state) => {
                 let mut st = state.lock();
                 let m = st.meta[pid.0 as usize];
-                let target = 1 - m.slot;
+                let target = match st.format {
+                    Format::DualSlot => 1 - m.slot,
+                    Format::SingleSlot => 0,
+                };
                 let version = m.version + 1;
                 let phys = encode_slot(buf, version);
-                let off = slot_offset(pid, target);
+                let off = slot_offset(st.format, pid, target);
                 // Fault decision is drawn under the file lock so the RNG
                 // stream is deterministic for a given workload.
                 let fault = self.plan.as_ref().and_then(|p| p.decide_write(PHYS_PAGE));
@@ -525,6 +746,7 @@ mod tests {
             let dm = DiskManager::open_file(&path).unwrap();
             assert_eq!(dm.num_pages(), 2);
             assert!(!dm.recovery_report().recovered(), "clean reopen");
+            assert!(!dm.recovery_report().migrated_dual_slot);
             let mut buf = [0u8; PAGE_SIZE];
             dm.read_page(p, &mut buf).unwrap();
             assert_eq!(buf[7], 77);
@@ -533,8 +755,23 @@ mod tests {
     }
 
     #[test]
-    fn repeated_writes_ping_pong_and_survive_reopen() {
-        let path = tmp("pingpong");
+    fn v2_file_leads_with_magic() {
+        let path = tmp("magic");
+        let _ = std::fs::remove_file(&path);
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            dm.allocate().unwrap();
+        }
+        let mut f = std::fs::File::open(&path).unwrap();
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic).unwrap();
+        assert_eq!(&magic, b"TMANPG2\0");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repeated_writes_survive_reopen() {
+        let path = tmp("rewrite");
         let _ = std::fs::remove_file(&path);
         let p;
         {
@@ -550,13 +787,13 @@ mod tests {
             let dm = DiskManager::open_file(&path).unwrap();
             let mut buf = [0u8; PAGE_SIZE];
             dm.read_page(p, &mut buf).unwrap();
-            assert_eq!(buf[0], 8, "highest version wins at scavenge");
+            assert_eq!(buf[0], 8, "in-place write keeps the newest version");
         }
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn torn_write_preserves_previous_version() {
+    fn dual_slot_torn_write_preserves_previous_version() {
         let path = tmp("torn");
         let _ = std::fs::remove_file(&path);
         let plan = FaultPlan::new(FaultConfig {
@@ -564,7 +801,7 @@ mod tests {
             torn_per_mille: 1000,
             ..Default::default()
         });
-        let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+        let dm = DiskManager::open_file_dual_slot(&path, Some(plan.clone())).unwrap();
         let p = dm.allocate().unwrap();
         let mut old = [0u8; PAGE_SIZE];
         old[0] = 1;
@@ -578,6 +815,41 @@ mod tests {
         dm.read_page(p, &mut back).unwrap();
         assert_eq!(back[0], 1, "previous version intact after torn write");
         assert_eq!(dm.stats().faults_injected.get(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn single_slot_torn_write_is_detected_at_reopen() {
+        // Without a partner slot a torn write loses the page — the WAL is
+        // the safety net at the Storage level. What the format itself must
+        // guarantee: the damage is *detected* (checksum), never served.
+        let path = tmp("torn2");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            torn_per_mille: 1000,
+            ..Default::default()
+        });
+        let p;
+        {
+            let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+            p = dm.allocate().unwrap();
+            let mut old = [0u8; PAGE_SIZE];
+            old[0] = 1;
+            dm.write_page(p, &old).unwrap(); // disarmed: clean
+            plan.arm();
+            let mut new = [0u8; PAGE_SIZE];
+            new[0] = 2;
+            assert!(dm.write_page(p, &new).is_err());
+        }
+        plan.disarm();
+        {
+            let dm = DiskManager::open_file_with(&path, Some(plan)).unwrap();
+            assert_eq!(dm.recovery_report().quarantined, vec![p]);
+            let mut back = [0u8; PAGE_SIZE];
+            dm.read_page(p, &mut back).unwrap();
+            assert!(back.iter().all(|&b| b == 0), "quarantined page reads zero");
+        }
         let _ = std::fs::remove_file(&path);
     }
 
@@ -599,6 +871,7 @@ mod tests {
         let mut new = [0u8; PAGE_SIZE];
         new[0] = 9;
         dm.write_page(p, &new).unwrap(); // lies
+        plan.disarm();
         let mut back = [0u8; PAGE_SIZE];
         dm.read_page(p, &mut back).unwrap();
         assert_eq!(back[0], 7, "dropped sync kept the old version");
@@ -629,6 +902,7 @@ mod tests {
             }
             assert!(attempts < 100, "retry never succeeded");
         }
+        plan.disarm();
         let mut back = [0u8; PAGE_SIZE];
         dm.read_page(p, &mut back).unwrap();
         assert_eq!(back[3], 3);
@@ -636,7 +910,7 @@ mod tests {
     }
 
     #[test]
-    fn crash_freezes_io_until_reopen() {
+    fn dual_slot_crash_freezes_io_until_reopen() {
         let path = tmp("crash");
         let _ = std::fs::remove_file(&path);
         let plan = FaultPlan::new(FaultConfig {
@@ -646,7 +920,7 @@ mod tests {
         });
         let p;
         {
-            let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+            let dm = DiskManager::open_file_dual_slot(&path, Some(plan.clone())).unwrap();
             p = dm.allocate().unwrap();
             let mut buf = [0u8; PAGE_SIZE];
             buf[0] = 1;
@@ -665,7 +939,7 @@ mod tests {
         plan.reset_crash();
         plan.disarm();
         {
-            let dm = DiskManager::open_file_with(&path, Some(plan.clone())).unwrap();
+            let dm = DiskManager::open_file_dual_slot(&path, Some(plan.clone())).unwrap();
             let mut rb = [0u8; PAGE_SIZE];
             dm.read_page(p, &mut rb).unwrap();
             assert_eq!(rb[0], 2, "last durable version recovered");
@@ -674,7 +948,7 @@ mod tests {
     }
 
     #[test]
-    fn scavenge_quarantines_doubly_torn_page() {
+    fn scavenge_quarantines_torn_v2_page() {
         let path = tmp("quarantine");
         let _ = std::fs::remove_file(&path);
         let p;
@@ -684,16 +958,12 @@ mod tests {
             let mut buf = [0u8; PAGE_SIZE];
             buf[0] = 0xEE;
             dm.write_page(p, &buf).unwrap();
-            dm.write_page(p, &buf).unwrap(); // both slots now hold versions
         }
-        // Corrupt both physical slots of page p on disk.
+        // Corrupt the page's single slot on disk.
         {
-            use std::io::{Seek, SeekFrom, Write};
             let mut f = OpenOptions::new().write(true).open(&path).unwrap();
-            for slot in 0..2u8 {
-                f.seek(SeekFrom::Start(slot_offset(p, slot) + 100)).unwrap();
-                f.write_all(&[0xFF; 8]).unwrap();
-            }
+            f.seek(SeekFrom::Start(page_offset_v2(p) + 100)).unwrap();
+            f.write_all(&[0xFF; 8]).unwrap();
         }
         {
             let dm = DiskManager::open_file(&path).unwrap();
@@ -710,12 +980,12 @@ mod tests {
     }
 
     #[test]
-    fn scavenge_salvages_single_torn_slot() {
+    fn dual_slot_scavenge_salvages_single_torn_slot() {
         let path = tmp("salvage");
         let _ = std::fs::remove_file(&path);
         let p;
         {
-            let dm = DiskManager::open_file(&path).unwrap();
+            let dm = DiskManager::open_file_dual_slot(&path, None).unwrap();
             p = dm.allocate().unwrap();
             let mut buf = [0u8; PAGE_SIZE];
             buf[0] = 0x42;
@@ -724,16 +994,14 @@ mod tests {
             dm.write_page(p, &buf).unwrap(); // live is now the newer slot
         }
         // Tear the *live* (higher-version) slot; the partner must win.
+        // (allocate seeds slot 0 v1, write1 -> slot 1 v2, write2 -> slot 0 v3)
         {
-            use std::io::{Seek, SeekFrom, Write};
             let mut f = OpenOptions::new().write(true).open(&path).unwrap();
-            // Second write landed in slot 1 (first write used slot 1? no:
-            // allocate seeds slot 0 v1, write1 -> slot 1 v2, write2 -> slot 0 v3).
-            f.seek(SeekFrom::Start(slot_offset(p, 0) + 50)).unwrap();
+            f.seek(SeekFrom::Start(slot_offset_v1(p, 0) + 50)).unwrap();
             f.write_all(&[0xAA; 16]).unwrap();
         }
         {
-            let dm = DiskManager::open_file(&path).unwrap();
+            let dm = DiskManager::open_file_dual_slot(&path, None).unwrap();
             let report = dm.recovery_report();
             assert!(report.quarantined.is_empty());
             assert!(report.salvaged_slots >= 1);
@@ -741,6 +1009,94 @@ mod tests {
             let mut rb = [0u8; PAGE_SIZE];
             dm.read_page(p, &mut rb).unwrap();
             assert_eq!(rb[0], 0x42, "previous version salvaged");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dual_slot_file_migrates_to_single_slot_on_open() {
+        let path = tmp("migrate");
+        let _ = std::fs::remove_file(&path);
+        let mut pids = vec![];
+        {
+            let dm = DiskManager::open_file_dual_slot(&path, None).unwrap();
+            for i in 0..6u8 {
+                let p = dm.allocate().unwrap();
+                let mut buf = [0u8; PAGE_SIZE];
+                buf[0] = 0xA0 + i;
+                buf[PAGE_SIZE - 1] = i;
+                dm.write_page(p, &buf).unwrap();
+                if i % 2 == 0 {
+                    buf[1] = 0x5C; // exercise the ping-pong before migrating
+                    dm.write_page(p, &buf).unwrap();
+                }
+                pids.push(p);
+            }
+        }
+        let v1_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            let report = dm.recovery_report();
+            assert!(report.migrated_dual_slot, "open rewrote the v1 file");
+            assert!(!report.recovered(), "clean migration is not damage");
+            for (i, &p) in pids.iter().enumerate() {
+                let mut rb = [0u8; PAGE_SIZE];
+                dm.read_page(p, &mut rb).unwrap();
+                assert_eq!(rb[0], 0xA0 + i as u8);
+                assert_eq!(rb[PAGE_SIZE - 1], i as u8);
+                assert_eq!(rb[1], if i % 2 == 0 { 0x5C } else { 0 });
+            }
+            // And new writes land in the new format.
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[9] = 9;
+            dm.write_page(pids[0], &buf).unwrap();
+        }
+        let v2_len = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            v2_len < v1_len,
+            "single slot + header beats two slots: {v2_len} vs {v1_len}"
+        );
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            assert!(!dm.recovery_report().migrated_dual_slot, "migrates once");
+            let mut rb = [0u8; PAGE_SIZE];
+            dm.read_page(pids[0], &mut rb).unwrap();
+            assert_eq!(rb[9], 9);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn migration_carries_quarantine_over() {
+        let path = tmp("migrate_q");
+        let _ = std::fs::remove_file(&path);
+        let p;
+        {
+            let dm = DiskManager::open_file_dual_slot(&path, None).unwrap();
+            p = dm.allocate().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 0xEE;
+            dm.write_page(p, &buf).unwrap();
+            dm.write_page(p, &buf).unwrap(); // both slots hold versions
+        }
+        // Corrupt both v1 slots, then open in the current format.
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            for slot in 0..2u8 {
+                f.seek(SeekFrom::Start(slot_offset_v1(p, slot) + 100))
+                    .unwrap();
+                f.write_all(&[0xFF; 8]).unwrap();
+            }
+        }
+        {
+            let dm = DiskManager::open_file(&path).unwrap();
+            let report = dm.recovery_report();
+            assert!(report.migrated_dual_slot);
+            assert!(report.recovered());
+            assert_eq!(report.quarantined, vec![p]);
+            let mut rb = [0u8; PAGE_SIZE];
+            dm.read_page(p, &mut rb).unwrap();
+            assert!(rb.iter().all(|&b| b == 0));
         }
         let _ = std::fs::remove_file(&path);
     }

@@ -22,6 +22,15 @@
 //! Decisions are drawn under the disk manager's file lock, so a
 //! single-threaded workload replays bit-identically. The plan only applies
 //! to the file backend; the in-memory backend never faults.
+//!
+//! Since the write-ahead log landed, the same plan covers **log appends**
+//! (each WAL frame write draws a [`decide_write`](FaultPlan::decide_write)
+//! over the frame length, so torn/short/dropped/crash faults land on the
+//! log, not just on page writes) and **fsyncs**
+//! ([`decide_sync`](FaultPlan::decide_sync): a sync counts toward the
+//! crash point and can fail transiently). Recovery-time replay writes go
+//! through `write_page` and therefore draw from the same schedule when a
+//! test arms the plan across a reopen.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -265,6 +274,32 @@ impl FaultPlan {
                 kind: FaultKind::TransientError,
                 tear_at: 0,
             });
+        }
+        None
+    }
+
+    /// Decide the fate of one durability sync (`fdatasync` of the WAL or
+    /// page file). Syncs count toward the crash point like writes — a
+    /// crash can land *between* an append and the fsync that would have
+    /// made it durable — and can fail transiently (retry succeeds). Torn,
+    /// short, and dropped faults carry no data here and never fire.
+    pub fn decide_sync(&self) -> Option<FaultKind> {
+        if !self.is_armed() || self.crashed() {
+            return None;
+        }
+        let n = self.inner.writes_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut rng = self.inner.rng.lock();
+        if let Some(at) = self.inner.config.crash_after_writes {
+            if n >= at {
+                self.inner.crashed.store(true, Ordering::SeqCst);
+                self.inner.crashes.fetch_add(1, Ordering::SeqCst);
+                return Some(FaultKind::Crash);
+            }
+        }
+        let roll = rng.below(1000) as u32;
+        if roll < self.inner.config.transient_per_mille {
+            self.inner.transient.fetch_add(1, Ordering::SeqCst);
+            return Some(FaultKind::TransientError);
         }
         None
     }

@@ -26,6 +26,7 @@ pub mod fault;
 pub mod heap;
 pub mod keyenc;
 pub mod page;
+pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, PageGuard};
@@ -33,16 +34,20 @@ pub use dir::{Directory, ObjectKind};
 pub use disk::{DiskManager, PageId, RecoveryReport, PAGE_SIZE};
 pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use heap::{HeapFile, RecordId};
+pub use wal::{Snapshot, Wal, WalConfig};
 
 use std::path::Path;
 use std::sync::Arc;
 use tman_common::Result;
 
 /// A storage instance: one disk file (or memory region), one buffer pool,
-/// one object directory. The unit the SQL layer builds a database on.
+/// one object directory. File-backed stores also carry a write-ahead log
+/// (`<path>.wal`) that is replayed at open and truncated at checkpoint.
+/// The unit the SQL layer builds a database on.
 pub struct Storage {
     pool: Arc<BufferPool>,
     dir: Directory,
+    wal_replayed: u64,
 }
 
 impl Storage {
@@ -53,28 +58,57 @@ impl Storage {
     }
 
     /// Open a file-backed store with an optional fault-injection plan.
-    /// When the open-time scavenge pass finds crash damage, derived state
-    /// (heap chains, index roots, directory links) is revalidated and
-    /// repaired before the store is handed out.
     pub fn open_file_with(
         path: &Path,
         pool_pages: usize,
         faults: Option<FaultPlan>,
     ) -> Result<Storage> {
-        let disk = Arc::new(DiskManager::open_file_with(path, faults)?);
-        let recovered = disk.recovery_report().recovered();
-        let storage = Self::with_disk(disk, pool_pages)?;
+        Self::open_file_opts(path, pool_pages, faults, WalConfig::default())
+    }
+
+    /// Open a file-backed store with a fault plan and WAL tuning. Recovery
+    /// order: the page file is scavenged (and migrated from the dual-slot
+    /// format if needed), then the log's committed tail is replayed over
+    /// it; if either pass changed anything, derived state (heap chains,
+    /// index roots, directory links) is revalidated and repaired before
+    /// the store is handed out.
+    pub fn open_file_opts(
+        path: &Path,
+        pool_pages: usize,
+        faults: Option<FaultPlan>,
+        wal_cfg: WalConfig,
+    ) -> Result<Storage> {
+        let disk = Arc::new(DiskManager::open_file_with(path, faults.clone())?);
+        let mut wal_path = path.as_os_str().to_owned();
+        wal_path.push(".wal");
+        let wal = Arc::new(Wal::open(Path::new(&wal_path), faults, wal_cfg)?);
+        let replayed = wal.replay_into(&disk)?;
+        let recovered = disk.recovery_report().recovered() || replayed > 0;
+        let pool = Arc::new(BufferPool::with_wal(disk, pool_pages, wal));
+        let dir = Directory::open(pool.clone())?;
+        let storage = Storage {
+            pool,
+            dir,
+            wal_replayed: replayed,
+        };
         if recovered {
             storage.repair_derived_state()?;
         }
         Ok(storage)
     }
 
-    /// True when the open-time scavenge pass found and absorbed crash
-    /// damage (torn slots or quarantined pages). Higher layers use this to
-    /// decide whether to rebuild derived structures such as SQL indexes.
+    /// True when opening required recovery work: the scavenge pass found
+    /// crash damage (torn slots or quarantined pages) or the WAL replayed
+    /// committed records the page file was missing. Higher layers use this
+    /// to decide whether to rebuild derived structures such as SQL indexes.
     pub fn was_recovered(&self) -> bool {
-        self.pool.disk().recovery_report().recovered()
+        self.pool.disk().recovery_report().recovered() || self.wal_replayed > 0
+    }
+
+    /// Committed WAL records replayed into the page file at open (0 after
+    /// a clean shutdown, whose checkpoint leaves the log empty).
+    pub fn wal_replayed(&self) -> u64 {
+        self.wal_replayed
     }
 
     /// Revalidate every object reachable from the directory after a crash:
@@ -111,7 +145,11 @@ impl Storage {
     fn with_disk(disk: Arc<DiskManager>, pool_pages: usize) -> Result<Storage> {
         let pool = Arc::new(BufferPool::new(disk, pool_pages));
         let dir = Directory::open(pool.clone())?;
-        Ok(Storage { pool, dir })
+        Ok(Storage {
+            pool,
+            dir,
+            wal_replayed: 0,
+        })
     }
 
     /// The shared buffer pool.
@@ -166,9 +204,27 @@ impl Storage {
         self.dir.remove(name)
     }
 
-    /// Flush all dirty pages to the backing disk.
+    /// Durability barrier. On a WAL-backed store: flush dirty pages to the
+    /// log, group-commit them durable, then checkpoint (write the sealed
+    /// images into the page file and truncate the log). On a memory store:
+    /// flush dirty pages to the simulated disk.
     pub fn checkpoint(&self) -> Result<()> {
-        self.pool.flush_all()
+        match self.pool.wal() {
+            None => self.pool.flush_all(),
+            Some(wal) => {
+                self.pool.sync()?;
+                wal.checkpoint_into(self.pool.disk())
+            }
+        }
+    }
+
+    /// A consistent read view pinned at the current sealed commit seq;
+    /// requires a WAL-backed (file) store. See [`wal::Snapshot`].
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        let wal = self.pool.wal().ok_or_else(|| {
+            tman_common::TmanError::Storage("snapshot reads require a WAL-backed store".into())
+        })?;
+        Ok(wal.snapshot(self.pool.disk().clone()))
     }
 }
 
@@ -210,5 +266,78 @@ mod tests {
         let s = Storage::open_memory(64);
         s.create_heap("h").unwrap();
         assert!(s.open_btree("h").is_err());
+    }
+
+    #[test]
+    fn wal_replay_recovers_synced_but_uncheckpointed_data() {
+        let path = std::env::temp_dir().join(format!("tman_store_wal_{}.db", std::process::id()));
+        let wal_path = {
+            let mut p = path.as_os_str().to_owned();
+            p.push(".wal");
+            std::path::PathBuf::from(p)
+        };
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal_path);
+        let rid;
+        {
+            let s = Storage::open_file(&path, 16).unwrap();
+            let h = s.create_heap("q").unwrap();
+            rid = h.insert(b"committed").unwrap();
+            // Durability barrier, but *no* checkpoint: the page file never
+            // sees this data — only the log does.
+            s.pool().sync().unwrap();
+            assert!(s.pool().wal().unwrap().bytes() > 0);
+        } // unclean shutdown: no checkpoint
+        {
+            let s = Storage::open_file(&path, 16).unwrap();
+            assert!(s.was_recovered(), "replay counts as recovery");
+            assert!(s.wal_replayed() > 0);
+            let h = s.open_heap("q").unwrap();
+            assert_eq!(h.get(rid).unwrap(), b"committed".to_vec());
+            // Replay truncated the log; a third open is clean.
+        }
+        {
+            let s = Storage::open_file(&path, 16).unwrap();
+            assert!(!s.was_recovered());
+            assert_eq!(s.wal_replayed(), 0);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal_path);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_persists_via_page_file() {
+        let path = std::env::temp_dir().join(format!("tman_store_ckpt_{}.db", std::process::id()));
+        let wal_path = {
+            let mut p = path.as_os_str().to_owned();
+            p.push(".wal");
+            std::path::PathBuf::from(p)
+        };
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal_path);
+        let rid;
+        {
+            let s = Storage::open_file(&path, 16).unwrap();
+            let h = s.create_heap("t").unwrap();
+            rid = h.insert(b"checkpointed").unwrap();
+            s.checkpoint().unwrap();
+            let wal = s.pool().wal().unwrap();
+            assert_eq!(wal.bytes(), 0, "checkpoint truncated the log");
+            assert_eq!(wal.stats().checkpoints.get(), 1);
+        }
+        {
+            let s = Storage::open_file(&path, 16).unwrap();
+            assert!(!s.was_recovered(), "clean shutdown needs no replay");
+            let h = s.open_heap("t").unwrap();
+            assert_eq!(h.get(rid).unwrap(), b"checkpointed".to_vec());
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal_path);
+    }
+
+    #[test]
+    fn snapshot_requires_wal_backed_store() {
+        let s = Storage::open_memory(16);
+        assert!(s.snapshot().is_err());
     }
 }

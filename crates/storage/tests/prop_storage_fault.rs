@@ -3,7 +3,11 @@
 //! Drives a heap + B+tree workload on a file-backed store while a
 //! [`FaultPlan`] injects torn writes, short writes, and transient I/O
 //! errors (the non-lying faults: every failed write reports failure, so
-//! "committed" is well defined). Two properties:
+//! "committed" is well defined). File-backed stores are WAL-backed, so
+//! the schedule lands on log appends and group-commit fsyncs as well as
+//! on checkpoint write-back, and every reopen runs recovery-time replay
+//! of the committed log tail (the log-level mirror of these properties
+//! lives in `prop_wal.rs`). Two properties:
 //!
 //! * **Committed rows survive** — after a clean final checkpoint and a
 //!   reopen, every row whose insert reported success reads back
@@ -27,6 +31,14 @@ fn tmpfile(tag: &str) -> PathBuf {
         "tman_prop_fault_{tag}_{}_{n}.db",
         std::process::id()
     ))
+}
+
+/// Remove a database file and its write-ahead-log sidecar.
+fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut wal = path.as_os_str().to_owned();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(PathBuf::from(wal));
 }
 
 /// Self-describing payload: the row number, then a derived fill pattern a
@@ -68,7 +80,7 @@ proptest! {
         checkpoint_every in 5usize..25,
     ) {
         let path = tmpfile("mixed");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         let plan = FaultPlan::new(FaultConfig {
             seed,
             torn_per_mille: torn,
@@ -132,7 +144,7 @@ proptest! {
         .unwrap();
         prop_assert_eq!(garbage, 0, "garbage rows after recovery");
         prop_assert_eq!(scanned, committed.len());
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     /// Hard crash points: freeze the disk at the Nth armed write, reopen,
@@ -144,7 +156,7 @@ proptest! {
         rows_a in 8usize..40,
     ) {
         let path = tmpfile("crash");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         let plan = FaultPlan::new(FaultConfig {
             seed,
             crash_after_writes: Some(crash_after),
@@ -190,6 +202,6 @@ proptest! {
         })
         .unwrap();
         prop_assert_eq!(garbage, 0, "garbage rows after crash recovery");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 }

@@ -147,6 +147,26 @@ impl Registry {
             .insert(key, Instrument::Counter(counter));
     }
 
+    /// Register a histogram that already lives inside a subsystem's stats
+    /// struct (e.g. the WAL's group-commit latency), so exposition reads
+    /// the live buckets without a second instrument on the hot path.
+    /// Replaces any previous instrument at the same identity.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        histogram: Arc<Histogram>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let key = (name.to_string(), label_set(labels));
+        self.map
+            .write()
+            .unwrap()
+            .insert(key, Instrument::Histogram(histogram));
+    }
+
     /// Register a computed counter: every exposition pass
     /// ([`samples`](Self::samples) and the renderers built on it) calls
     /// `f()` for the live value. Replaces any previous instrument at the

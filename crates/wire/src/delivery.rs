@@ -54,15 +54,18 @@
 //! against a recovered server. Durability granularity is the engine
 //! checkpoint, shared with the update queue in one buffer pool.
 //!
-//! Known limits of the contract: (1) between checkpoints the buffer pool
-//! writes dirty pages back in arbitrary order, so a crash can persist a
-//! token's queue ack without the log append that preceded it — the queue
-//! then never redelivers and the fire is lost (pinned by
-//! `wire_crash_reconnect_full` case 12; fixing it needs write-ahead
-//! ordering in the storage layer, not a per-fire fsync here). (2) With
-//! `Config::async_actions` the engine may ack a token to the queue before
-//! its detached actions publish; the delivery tier then inherits that
-//! weaker contract, exactly as in-process subscribers do.
+//! Two ordering hazards shape the contract: (1) a token's queue ack must
+//! never become durable before the delivery-log append that preceded it,
+//! or the queue never redelivers and the fire is lost. The storage-layer
+//! write-ahead log closes this by construction — dirty pages become redo
+//! records whose durability is atomic at commit boundaries, and the page
+//! file is only written at checkpoint from already-durable records — so a
+//! crash either keeps both the ack and the append or neither (pinned by
+//! `wal_closes_ack_before_append_gap`, the once-failing
+//! `wire_crash_reconnect_full` case 12). (2) With `Config::async_actions`
+//! the engine may ack a token to the queue before its detached actions
+//! publish; the delivery tier then inherits that weaker contract, exactly
+//! as in-process subscribers do — this one is still open.
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;

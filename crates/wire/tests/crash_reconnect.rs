@@ -21,7 +21,9 @@
 //!
 //! Every schedule derives from the case number, so a failure replays
 //! exactly. `WIRE_CRASH_CASES` bounds the default run; the `#[ignore]`d
-//! sweep covers 32 cases.
+//! sweep covers 32 cases. Case 12 — the schedule that once persisted a
+//! queue ack ahead of its delivery-log append — additionally runs
+//! unconditionally as `wal_closes_ack_before_append_gap`.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -36,8 +38,23 @@ const PHASE_A: u64 = 24;
 /// Safety valve: give up on a case if the crash point somehow never fires.
 const MAX_OPS: u64 = 2_000;
 
+/// Thread id in the name keeps concurrently-running tests (e.g. the full
+/// sweep and the named case-12 regression under `--include-ignored`) from
+/// sharing a database file.
 fn tmpfile(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("tman_wire_crash_{tag}_{}.db", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "tman_wire_crash_{tag}_{}_{:?}.db",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Remove a database file and its write-ahead-log sidecar.
+fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut wal = path.as_os_str().to_owned();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
 }
 
 /// Unique identity of the `serial`-th insert, as observed in a `Fired`
@@ -86,7 +103,7 @@ fn wait_watermark(server: &WireServer, name: &str, want: u64) {
 
 fn crash_case(case: u64) {
     let path = tmpfile(&format!("case{case}"));
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
     let plan = FaultPlan::new(FaultConfig {
         seed: 0x511E ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         crash_after_writes: Some(5 + (case * 11) % 160),
@@ -252,7 +269,7 @@ fn crash_case(case: u64) {
         );
         drop(server);
     }
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
 }
 
 fn budget() -> u64 {
@@ -267,6 +284,19 @@ fn wire_crash_reconnect_bounded() {
     for case in 0..budget() {
         crash_case(case);
     }
+}
+
+/// Case 12's schedule used to lose a fire: the buffer pool persisted a
+/// token's queue-ack page while the delivery-log append that preceded it
+/// was still dirty, so after the crash the queue never redelivered and
+/// the subscriber never saw the fire. The storage WAL closes the gap —
+/// evictions append redo records instead of writing pages, durability is
+/// atomic at commit boundaries, and the page file is only written at
+/// checkpoint from durable records — so the ack can no longer outrun the
+/// append. Always-on regression for that ordering invariant.
+#[test]
+fn wal_closes_ack_before_append_gap() {
+    crash_case(12);
 }
 
 /// The full pinned-seed sweep. Slow; run with `cargo test -- --ignored`.

@@ -3,9 +3,13 @@
 //! Each case runs a mixed workload (trigger DDL churn, data-source
 //! inserts, token processing, checkpoints) against a file-backed engine
 //! whose disk manager carries a seeded [`FaultPlan`] with a hard crash
-//! point and a sprinkling of torn/transient write faults. When the crash
-//! point fires the disk freezes mid-workload; the engine is dropped,
-//! thawed, and reopened, and the harness checks the recovery contract:
+//! point and a sprinkling of torn/transient write faults. File-backed
+//! engines run on write-ahead-logged storage, so the faults land on log
+//! appends, group-commit fsyncs, and checkpoint write-back alike, and the
+//! reopen exercises recovery-time replay of the committed log tail. When
+//! the crash point fires the disk freezes mid-workload; the engine is
+//! dropped, thawed, and reopened, and the harness checks the recovery
+//! contract:
 //!
 //! * **No lost tokens** — every update descriptor that was enqueued and
 //!   covered by a successful checkpoint before the crash fires either
@@ -38,6 +42,14 @@ fn tmpfile(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("tman_crash_{tag}_{}.db", std::process::id()))
 }
 
+/// Remove a database file and its write-ahead-log sidecar.
+fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut wal = path.as_os_str().to_owned();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+}
+
 /// Unique identity of the `serial`-th insert, as observed in a `Fired`
 /// event (`values[1]` carries the row's varchar tag).
 fn token_id(serial: u64) -> String {
@@ -56,7 +68,7 @@ fn drain_fires(
 
 fn crash_case(case: u64) {
     let path = tmpfile(&format!("case{case}"));
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
     // Every case pins its own schedule: a distinct RNG seed, a distinct
     // crash point, and mild background write faults.
     let plan = FaultPlan::new(FaultConfig {
@@ -239,7 +251,7 @@ fn crash_case(case: u64) {
             "case {case}: clean shutdown redelivered tokens"
         );
     }
-    let _ = std::fs::remove_file(&path);
+    cleanup(&path);
 }
 
 fn budget() -> u64 {
