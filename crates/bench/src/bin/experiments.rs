@@ -44,6 +44,7 @@ fn main() {
         ("e11", e11_governor),
         ("e12", e12_partitions),
         ("e13", e13_wire),
+        ("e14", e14_sharding),
     ];
     for (name, f) in all {
         if selected.is_empty() || selected.contains(name) {
@@ -1198,4 +1199,101 @@ fn e13_wire(o: &Opts) {
     table.print();
     println!("{total} tokens per row; group commit amortizes the durability barrier.");
     dump_metrics("e13", &metrics_json);
+}
+
+/// E14 — sharded engine with batched token drain, on the persistent
+/// queue. The seed drain pulled one token per pass (a full queue-table
+/// scan each) and acknowledged it alone; the batched drain pulls K tokens
+/// per scan, probes them sort-merged, and folds all their acks into one
+/// group-commit barrier. Shards bound cross-driver contention; on a
+/// single-CPU host they cannot add core-scaling, so the speedup shown is
+/// the per-token overhead the batch amortizes away (on a multi-core host
+/// the shard dimension multiplies on top). Paper anchor: §6's concurrent
+/// processing architecture.
+fn e14_sharding(o: &Opts) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cpus} CPU(s).");
+    let n_tokens = if o.quick { 2_000 } else { 8_000 };
+    let n_triggers = 500;
+    let mut table = Table::new(&[
+        "shards x batch",
+        "tokens/s",
+        "speedup",
+        "ack barriers",
+        "steals",
+    ]);
+    let mut base = 0.0;
+    let mut metrics_json = String::new();
+    let mut shard_report = String::new();
+    for (shards, batch) in [(1usize, 1usize), (1, 256), (8, 1), (8, 256)] {
+        let path = std::env::temp_dir().join(format!(
+            "tman_e14_{shards}_{batch}_{}.db",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = Config {
+            queue_mode: QueueMode::Persistent,
+            shards: Some(shards),
+            drain_batch: batch,
+            num_cpus: Some(shards),
+            driver_period: Duration::from_micros(200),
+            threshold: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let tman = TriggerMan::open_file(&path, cfg).unwrap();
+        tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+            .unwrap();
+        let src = tman.source("q").unwrap().id;
+        let mut r = rng(17);
+        for i in 0..n_triggers {
+            let t = Template::all()[i % Template::all().len()];
+            let cond = t.condition(&mut r, 100);
+            tman.execute_command(&format!(
+                "create trigger a{i} from q when {cond} do raise event Matched(q.sym)"
+            ))
+            .unwrap();
+        }
+        let tokens = quote_tokens(n_tokens, 100, 4);
+        push_all(&tman, src, &tokens);
+        let pool = tman.start_drivers();
+        let t0 = Instant::now();
+        while tman.queue_len() > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let d = t0.elapsed();
+        pool.stop();
+        let m = tman.metrics_snapshot();
+        let steals: u64 = m.driver.shards.iter().map(|s| s.steals).sum();
+        let rate_ = rate(n_tokens, d);
+        if base == 0.0 {
+            base = rate_;
+        }
+        table.row(vec![
+            format!("{shards}x{batch}"),
+            human(rate_),
+            format!("{:.2}x", rate_ / base),
+            tman.queue_wm_flushes().to_string(),
+            steals.to_string(),
+        ]);
+        if (shards, batch) == (8, 256) {
+            metrics_json = tman.render_metrics_json();
+            if let Ok(triggerman::CommandOutput::Stats(s)) =
+                tman.execute_command("show stats drivers")
+            {
+                shard_report = s;
+            }
+        }
+        drop(tman);
+        let _ = std::fs::remove_file(&path);
+        let mut wal = path.into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+    println!("(a) persistent-queue drain: per-token (seed) vs sharded batch");
+    table.print();
+    println!("\n(b) `show stats drivers` for the 8x256 run:");
+    println!("{shard_report}");
+    dump_metrics("e14", &metrics_json);
 }

@@ -144,6 +144,19 @@ pub struct Config {
     /// the dependency-free responder at open time and stops it at
     /// [`shutdown`](crate::TriggerMan::shutdown).
     pub http_addr: Option<String>,
+    /// Engine shard count: the task queue and per-shard activity blocks
+    /// are split this many ways, each driver thread binds to one shard
+    /// (`driver_index % shards`), and async fan-out tasks route to their
+    /// owning shard by stable signature id. `None` (the default) derives
+    /// the count from `std::thread::available_parallelism()` — the
+    /// explicit override knob exists for tests and for pinning a
+    /// deployment below the machine width.
+    pub shards: Option<usize>,
+    /// Maximum tokens one drain pass dequeues and processes as a batch:
+    /// root-hash lookups, trigger-cache pins, and the persistent queue's
+    /// ack/watermark durability barrier are amortized across the batch.
+    /// 1 restores strictly per-token draining.
+    pub drain_batch: usize,
 }
 
 impl Default for Config {
@@ -175,6 +188,8 @@ impl Default for Config {
             wire_credits: 1024,
             wire_queue_high_water: 65_536,
             http_addr: None,
+            shards: None,
+            drain_batch: 64,
         }
     }
 }
@@ -189,6 +204,19 @@ impl Config {
         });
         let level = self.concurrency_level.clamp(f64::MIN_POSITIVE, 1.0);
         ((cpus as f64 * level).ceil() as usize).max(1)
+    }
+
+    /// Number of engine shards. `shards: None` derives the count from the
+    /// machine (`available_parallelism`), so multi-core hosts shard by
+    /// default; an explicit `Some(n)` pins it. Always at least 1.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
     }
 }
 
@@ -210,5 +238,30 @@ mod tests {
         assert_eq!(c.num_drivers(), 3); // ceil(2.4)
         c.concurrency_level = 0.0; // clamped to >0
         assert_eq!(c.num_drivers(), 1);
+    }
+
+    #[test]
+    fn shard_count_defaults_to_machine_width() {
+        let c = Config::default();
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(c.num_shards(), machine.max(1));
+    }
+
+    #[test]
+    fn shard_count_override_and_floor() {
+        let mut c = Config {
+            shards: Some(8),
+            ..Default::default()
+        };
+        assert_eq!(c.num_shards(), 8);
+        c.shards = Some(0); // nonsense override clamps to 1
+        assert_eq!(c.num_shards(), 1);
+    }
+
+    #[test]
+    fn drain_batch_default_is_batched() {
+        assert!(Config::default().drain_batch > 1);
     }
 }

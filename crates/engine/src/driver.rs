@@ -7,11 +7,44 @@
 //! of TmanTest() if work is still left to do."
 
 use crate::TriggerMan;
+use crossbeam::queue::SegQueue;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tman_common::{TriggerId, Tuple, UpdateDescriptor};
 use tman_predindex::SignatureRuntime;
+
+/// Deferred acknowledgement of one persistent-queue token.
+///
+/// A token dequeued from the persistent queue may fan out into several
+/// tasks (signature partitions, async rule actions) that run on other
+/// shards. The token must not be acked — i.e. must survive a crash and be
+/// redelivered — until *all* of that work has run. Every task spawned for
+/// the token clones one `Arc<AckState>`; when the last clone drops (the
+/// originating drain pass included), the sequence number is pushed onto
+/// the engine's pending-ack queue, and the next drain-loop boundary folds
+/// it into one batched [`UpdateQueue::ack_batch`](crate::queue::UpdateQueue::ack_batch)
+/// durability barrier. Tasks that error still ack on drop — matching the
+/// pre-shard semantics where a failed task was acked after being recorded
+/// in `last_error`.
+pub struct AckState {
+    seq: i64,
+    pending: Arc<SegQueue<i64>>,
+}
+
+impl AckState {
+    /// Tie queue sequence `seq` to a completion set; the returned handle
+    /// (and its clones) push `seq` onto `pending` when the last one drops.
+    pub fn new(seq: i64, pending: Arc<SegQueue<i64>>) -> Arc<AckState> {
+        Arc::new(AckState { seq, pending })
+    }
+}
+
+impl Drop for AckState {
+    fn drop(&mut self) {
+        self.pending.push(self.seq);
+    }
+}
 
 /// A unit of work in the shared task queue. §6 names four task types:
 /// process one token (1), run one rule action (2), process a token against
@@ -38,6 +71,9 @@ pub enum Task {
         nparts: usize,
         /// Trace span that fanned this partition out.
         parent_span: u32,
+        /// Deferred persistent-queue ack shared by every task spawned for
+        /// the originating token; `None` for volatile tokens.
+        ack: Option<Arc<AckState>>,
     },
     /// Type 2: run one rule action for one condition match.
     Action {
@@ -49,6 +85,8 @@ pub enum Task {
         token: UpdateDescriptor,
         /// Trace span of the probe that produced the firing.
         parent_span: u32,
+        /// Deferred persistent-queue ack (see [`Task::SigPartition::ack`]).
+        ack: Option<Arc<AckState>>,
     },
 }
 
@@ -99,26 +137,31 @@ impl Drop for DriverPool {
     }
 }
 
-/// Spawn the driver threads.
+/// Spawn the driver threads. Driver `i` binds to shard `i % num_shards`:
+/// it drains its own shard's task queue first and steals from the others
+/// only when its own is empty, so with `num_drivers >= num_shards` the hot
+/// probe path takes no cross-shard contention.
 pub fn start(system: Arc<TriggerMan>) -> DriverPool {
     let n = system.config().num_drivers();
+    let nshards = system.config().num_shards();
     let threshold = system.config().threshold;
     let period = system.config().driver_period;
     let handles = (0..n)
         .map(|i| {
             let system = system.clone();
+            let shard = i % nshards;
             std::thread::Builder::new()
                 .name(format!("tman-driver-{i}"))
-                .spawn(move || driver_loop(system, threshold, period))
+                .spawn(move || driver_loop(system, shard, threshold, period))
                 .expect("spawn driver")
         })
         .collect();
     DriverPool { system, handles }
 }
 
-fn driver_loop(system: Arc<TriggerMan>, threshold: Duration, period: Duration) {
+fn driver_loop(system: Arc<TriggerMan>, shard: usize, threshold: Duration, period: Duration) {
     while !system.is_shutdown() {
-        match system.tman_test(threshold) {
+        match system.tman_test_on(shard, threshold) {
             TmanTestResult::TasksRemaining => continue,
             TmanTestResult::QueueEmpty => {
                 // Wait T, in small slices so shutdown is prompt.

@@ -50,18 +50,20 @@ pub mod events;
 pub mod metrics;
 pub mod partition_ctl;
 pub mod queue;
+pub mod shard;
 pub mod source;
 
 pub use cache::{PinnedTrigger, TriggerCache};
 pub use client::{Client, DataSourceClient};
 pub use compile::{CompiledAction, CompiledTrigger};
 pub use config::{Config, Partitioning, QueueMode, TracingMode};
-pub use driver::{DriverPool, Task, TmanTestResult};
+pub use driver::{AckState, DriverPool, Task, TmanTestResult};
 pub use events::{EventBus, EventNotification, NotificationSink};
 pub use metrics::MetricsSnapshot;
 pub use partition_ctl::{
     DriverLoad, PartitionController, PartitionPolicy, PartitionReport, PassInputs,
 };
+pub use shard::{EngineShard, ShardSet};
 pub use tman_network::NetworkKind;
 pub use tman_predindex::{GovernorPolicy, GovernorReport, OrgKind};
 pub use tman_telemetry::{
@@ -151,7 +153,12 @@ pub struct TriggerMan {
     predindex: Arc<PredicateIndex>,
     cache: Arc<TriggerCache>,
     queue: UpdateQueue,
-    tasks: SegQueue<Task>,
+    /// The §6 task queue, split [`Config::num_shards`] ways (see [`shard`]).
+    shards: ShardSet,
+    /// Sequence numbers whose token-level work has fully completed (every
+    /// [`AckState`] clone dropped), awaiting the next batched
+    /// [`UpdateQueue::ack_batch`] barrier (see [`Self::flush_acks`]).
+    pending_acks: Arc<SegQueue<i64>>,
     events: EventBus,
     sources_by_name: RwLock<FxHashMap<String, Arc<SourceInfo>>>,
     sources_by_id: RwLock<FxHashMap<DataSourceId, Arc<SourceInfo>>>,
@@ -259,7 +266,8 @@ impl TriggerMan {
             queue,
             telemetry,
             tracer,
-            tasks: SegQueue::new(),
+            shards: ShardSet::new(config.num_shards()),
+            pending_acks: Arc::new(SegQueue::new()),
             events,
             sources_by_name: RwLock::new(FxHashMap::default()),
             sources_by_id: RwLock::new(FxHashMap::default()),
@@ -304,6 +312,12 @@ impl TriggerMan {
         r.register_counter("tman_firings_total", &[], self.stats.firings.clone());
         r.register_counter("tman_actions_run_total", &[], self.stats.actions.clone());
         r.register_counter("tman_task_errors_total", &[], self.stats.errors.clone());
+        r.register_counter(
+            "tman_queue_wm_flushes_total",
+            &[],
+            self.queue.wm_flushes().clone(),
+        );
+        self.shards.register_instruments(r);
         let cs = self.cache.stats();
         r.register_counter("tman_cache_hits_total", &[], cs.hits.clone());
         r.register_counter("tman_cache_misses_total", &[], cs.misses.clone());
@@ -458,6 +472,13 @@ impl TriggerMan {
     /// harnesses read this after a restart to bound redelivery.
     pub fn queue_watermark(&self) -> Option<i64> {
         self.queue.watermark()
+    }
+
+    /// Number of ack/watermark durability barriers the persistent queue
+    /// has paid (one per batched group-commit ack). Benchmarks compare
+    /// this against tokens processed to show the batch-drain amortization.
+    pub fn queue_wm_flushes(&self) -> u64 {
+        self.queue.wm_flushes().get()
     }
 
     /// Did the storage layer's open-time scavenge pass find and absorb
@@ -640,9 +661,27 @@ impl TriggerMan {
         self.events.subscribe(event)
     }
 
-    /// Pending update descriptors (queue depth).
+    /// Pending update descriptors (queue depth), across every shard.
     pub fn queue_len(&self) -> usize {
-        self.queue.len() + self.tasks.len()
+        self.queue.len() + self.shards.len()
+    }
+
+    /// Shard slots this engine was opened with ([`Config::num_shards`]).
+    pub fn num_shards(&self) -> usize {
+        self.shards.num_shards()
+    }
+
+    /// Shards currently active for task placement.
+    pub fn active_shards(&self) -> usize {
+        self.shards.active()
+    }
+
+    /// Steer task placement to `n` shards (clamped to `[1, num_shards]`);
+    /// returns the applied value. Under [`Partitioning::Adaptive`] the
+    /// partition controller calls this each pass; public so operators and
+    /// the differential oracle can force mid-stream transitions.
+    pub fn set_active_shards(&self, n: usize) -> usize {
+        self.shards.set_active(n)
     }
 
     fn record_error(&self, e: &TmanError) {
@@ -1163,6 +1202,19 @@ impl TriggerMan {
 
     /// Process one token synchronously (tests and the driver path).
     pub fn process_token(self: &Arc<Self>, token: &UpdateDescriptor) -> Result<()> {
+        self.process_token_on(0, token, None)
+    }
+
+    /// Process one token as shard `home`'s work: fan-out and async-action
+    /// tasks it spawns route through [`ShardSet::push`], each carrying a
+    /// clone of `ack` so the originating persistent-queue row is
+    /// acknowledged only after every descendant task has run.
+    fn process_token_on(
+        self: &Arc<Self>,
+        home: usize,
+        token: &UpdateDescriptor,
+        ack: Option<&Arc<AckState>>,
+    ) -> Result<()> {
         self.stats.tokens.bump();
         // The engine drives the index root inline (signature walk + probes
         // below) rather than through `PredicateIndex::match_token`, so the
@@ -1170,7 +1222,8 @@ impl TriggerMan {
         // `tman_index_tokens_total` meaning "tokens submitted to the root"
         // on both paths.
         self.predindex.stats().tokens.bump();
-        let process = token.trace.span(SpanKind::Process, ROOT_SPAN);
+        let mut process = token.trace.span(SpanKind::Process, ROOT_SPAN);
+        process.set_args(home as u64, 0);
         // Updates first retract the old image from stored-memory networks
         // (see DESIGN.md: the index is probed with the new image, so a
         // synthetic delete probe routes the retraction).
@@ -1199,16 +1252,20 @@ impl TriggerMan {
                 let mut fanout = token.trace.span(SpanKind::Fanout, process.id());
                 fanout.set_args(sig.id.raw() as u64, parts as u64);
                 for part in 0..parts {
-                    self.tasks.push(Task::SigPartition {
-                        token: token.clone(),
-                        sig: sig.clone(),
-                        part,
-                        nparts: parts,
-                        parent_span: fanout.id(),
-                    });
+                    self.shards.push(
+                        home,
+                        Task::SigPartition {
+                            token: token.clone(),
+                            sig: sig.clone(),
+                            part,
+                            nparts: parts,
+                            parent_span: fanout.id(),
+                            ack: ack.cloned(),
+                        },
+                    );
                 }
             } else {
-                self.probe_signature(&sig, token, 0, 1, process.id())?;
+                self.probe_signature(&sig, token, 0, 1, process.id(), home, ack)?;
             }
         }
         Ok(())
@@ -1233,6 +1290,8 @@ impl TriggerMan {
         part: usize,
         nparts: usize,
         parent_span: u32,
+        home: usize,
+        ack: Option<&Arc<AckState>>,
     ) -> Result<()> {
         let mut probe = token.trace.span(SpanKind::SigProbe, parent_span);
         probe.set_args(
@@ -1254,7 +1313,7 @@ impl TriggerMan {
         let probe_id = probe.id();
         drop(probe);
         for (tid, node) in matches {
-            self.handle_match(tid, node, token, probe_id)?;
+            self.handle_match(tid, node, token, probe_id, home, ack)?;
         }
         Ok(())
     }
@@ -1294,10 +1353,34 @@ impl TriggerMan {
         node: NodeId,
         token: &UpdateDescriptor,
         parent_span: u32,
+        home: usize,
+        ack: Option<&Arc<AckState>>,
     ) -> Result<()> {
         // §5.4: pin the trigger in the trigger cache, then pass the token
-        // to the network node the matched expression names.
-        let trigger = self.pin_traced(tid, &token.trace, parent_span)?;
+        // to the network node the matched expression names. A concurrent
+        // `drop trigger` can win the race between the index probe (which
+        // saw the entry) and this pin — the trigger is gone from the
+        // catalog by design, not broken, so skip instead of erroring.
+        let trigger = match self.pin_traced(tid, &token.trace, parent_span) {
+            Ok(t) => t,
+            Err(TmanError::NotFound(_)) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        self.handle_match_pinned(&trigger, node, token, parent_span, home, ack)
+    }
+
+    /// The post-pin half of [`handle_match`]; the batched drain path calls
+    /// it directly with a memoized pin (one cache pin per trigger per
+    /// batch instead of one per match).
+    fn handle_match_pinned(
+        self: &Arc<Self>,
+        trigger: &PinnedTrigger,
+        node: NodeId,
+        token: &UpdateDescriptor,
+        parent_span: u32,
+        home: usize,
+        ack: Option<&Arc<AckState>>,
+    ) -> Result<()> {
         if !trigger.enabled.load(Ordering::Relaxed) || !self.set_is_enabled(trigger.set) {
             return Ok(());
         }
@@ -1334,15 +1417,19 @@ impl TriggerMan {
             }
             if self.config.async_actions {
                 // Rule-action concurrency (§6 task type 2).
-                self.tasks.push(Task::Action {
-                    trigger: tid,
-                    bindings: f.bindings,
-                    token: token.clone(),
-                    parent_span,
-                });
+                self.shards.push(
+                    home,
+                    Task::Action {
+                        trigger: trigger.id,
+                        bindings: f.bindings,
+                        token: token.clone(),
+                        parent_span,
+                        ack: ack.cloned(),
+                    },
+                );
             } else {
                 self.stats.actions.bump();
-                action::run_action(self, &trigger, &f.bindings, token, parent_span)?;
+                action::run_action(self, trigger, &f.bindings, token, parent_span)?;
             }
         }
         Ok(())
@@ -1385,11 +1472,15 @@ impl TriggerMan {
 
     // ----- task execution / drivers (§6) -------------------------------------------
 
-    fn execute_task(self: &Arc<Self>, task: Task) {
+    fn execute_task(self: &Arc<Self>, home: usize, task: Task) {
+        // Each fan-out/action task holds one `AckState` clone; it drops at
+        // the end of its match arm — after the work ran (or failed), never
+        // before — so the originating token's ack fires only once every
+        // task spawned for it has completed.
         let result = match task {
             Task::Token(tok) => {
                 self.telemetry.tasks_executed[metrics::TASK_TOKEN].bump();
-                self.process_token(&tok)
+                self.process_token_on(home, &tok, None)
             }
             Task::SigPartition {
                 token,
@@ -1397,18 +1488,26 @@ impl TriggerMan {
                 part,
                 nparts,
                 parent_span,
+                ref ack,
             } => {
                 self.telemetry.tasks_executed[metrics::TASK_SIG_PARTITION].bump();
-                self.probe_signature(&sig, &token, part, nparts, parent_span)
+                self.probe_signature(&sig, &token, part, nparts, parent_span, home, ack.as_ref())
             }
             Task::Action {
                 trigger,
                 bindings,
                 token,
                 parent_span,
+                ack: _ack,
             } => (|| {
                 self.telemetry.tasks_executed[metrics::TASK_ACTION].bump();
-                let pinned = self.pin_traced(trigger, &token.trace, parent_span)?;
+                // Same benign race as `handle_match`: the trigger may have
+                // been dropped between the firing and this async task.
+                let pinned = match self.pin_traced(trigger, &token.trace, parent_span) {
+                    Ok(p) => p,
+                    Err(TmanError::NotFound(_)) => return Ok(()),
+                    Err(e) => return Err(e),
+                };
                 self.stats.actions.bump();
                 action::run_action(self, &pinned, &bindings, &token, parent_span)
             })(),
@@ -1419,81 +1518,66 @@ impl TriggerMan {
     }
 
     /// One bounded-time drain of the task queue — the paper's `TmanTest()`
-    /// UDR (§6). Returns whether work remains.
+    /// UDR (§6). Returns whether work remains. Runs as shard 0's work;
+    /// driver threads call [`tman_test_on`](Self::tman_test_on) with their
+    /// bound shard instead.
     pub fn tman_test(self: &Arc<Self>, threshold: std::time::Duration) -> TmanTestResult {
+        self.tman_test_on(0, threshold)
+    }
+
+    /// `TmanTest()` as shard `shard`'s driver: drain that shard's task
+    /// queue first (stealing from the other shards when it runs dry), then
+    /// pull tokens from the update queue [`Config::drain_batch`] at a time.
+    /// A batch is processed with the root lookup, trigger-cache pins, and
+    /// the persistent queue's ack/watermark barrier amortized across it
+    /// (see [`drain_batch_on`](Self::drain_batch_on)).
+    pub fn tman_test_on(
+        self: &Arc<Self>,
+        shard: usize,
+        threshold: std::time::Duration,
+    ) -> TmanTestResult {
         self.telemetry.tman_test_calls.bump();
         let _duration = self.telemetry.tman_test_ns.start();
         let start = std::time::Instant::now();
+        let home = shard % self.shards.num_shards();
         loop {
-            // A token pulled from the persistent queue keeps its row on
-            // disk until its token-level work has actually run: remember
-            // the sequence number and acknowledge only after
-            // `execute_task`, so a crash mid-processing redelivers the
-            // descriptor on restart (at-least-once).
-            let mut ack_seq: Option<i64> = None;
-            let task = self
-                .tasks
-                .pop()
-                .or_else(|| match self.queue.dequeue_tracked(1) {
-                    Ok(mut batch) => batch.pop().map(|item| {
-                        ack_seq = item.seq;
-                        let mut tok = item.token;
-                        // Stamp the durable origin so notifications raised
-                        // by this token carry it (delivery-tier dedup).
-                        tok.origin = item.seq;
-                        if tok.trace.is_active() {
-                            // Queue wait = capture (trace start) to now.
-                            if let Some(start) = tok.trace.start_ns() {
-                                let now = now_ns();
-                                tok.trace.record_complete(
-                                    SpanKind::QueueWait,
-                                    ROOT_SPAN,
-                                    start,
-                                    now.saturating_sub(start),
-                                    0,
-                                    0,
-                                );
-                            }
-                        } else if self.tracer.is_some() {
-                            // Persistent-queue round trips drop the handle
-                            // (it is not serialized): lineage restarts at
-                            // dequeue, so the tree still covers everything
-                            // from here on.
-                            tok.trace = self.begin_trace();
-                        }
-                        Task::Token(tok)
-                    }),
-                    Err(e) => {
-                        self.record_error(&e);
-                        None
+            if let Some((task, _slot)) = self.shards.pop(home) {
+                self.shards.shard(home).tasks.bump();
+                self.execute_task(home, task);
+                // Completed acks fold into one batched watermark barrier
+                // at every loop boundary instead of one sync per token.
+                self.flush_acks();
+                // "Yield the processor so other Informix tasks can use
+                // it" — cooperative scheduling point.
+                std::thread::yield_now();
+            } else {
+                match self.queue.dequeue_tracked(self.config.drain_batch.max(1)) {
+                    Ok(batch) if !batch.is_empty() => {
+                        self.shards.shard(home).tokens.add(batch.len() as u64);
+                        self.drain_batch_on(home, batch);
+                        self.flush_acks();
+                        std::thread::yield_now();
                     }
-                });
-            match task {
-                None => {
-                    // Maintenance path: with nothing to process, this
-                    // driver may run an organization-governor pass (the
-                    // paper's reorganizations happen off the insert and
-                    // probe paths) and/or a partition-controller pass.
-                    self.maybe_run_governor();
-                    self.maybe_run_partition_pass();
-                    // Tasks pushed concurrently must not be stranded for a
-                    // full driver period: re-check before reporting empty.
-                    // (Only the task queue — a dequeue error above must
-                    // not turn into a spin on a broken update queue.)
-                    if self.tasks.is_empty() {
-                        return TmanTestResult::QueueEmpty;
-                    }
-                }
-                Some(t) => {
-                    self.execute_task(t);
-                    if let Some(seq) = ack_seq {
-                        if let Err(e) = self.queue.ack(seq) {
+                    other => {
+                        if let Err(e) = other {
                             self.record_error(&e);
                         }
+                        // Maintenance path: with nothing to process, this
+                        // driver may run an organization-governor pass (the
+                        // paper's reorganizations happen off the insert and
+                        // probe paths) and/or a partition-controller pass.
+                        self.maybe_run_governor();
+                        self.maybe_run_partition_pass();
+                        self.flush_acks();
+                        // Tasks pushed concurrently must not be stranded
+                        // for a full driver period: re-check before
+                        // reporting empty. (Only the task queue — a dequeue
+                        // error above must not turn into a spin on a broken
+                        // update queue.)
+                        if self.shards.is_empty() {
+                            return TmanTestResult::QueueEmpty;
+                        }
                     }
-                    // "Yield the processor so other Informix tasks can use
-                    // it" — cooperative scheduling point.
-                    std::thread::yield_now();
                 }
             }
             if start.elapsed() >= threshold {
@@ -1503,6 +1587,7 @@ impl TriggerMan {
                 // nothing pending is a clean drain, not saturation (the
                 // expiration counter feeds the partition controller's
                 // saturation signal, so false positives matter).
+                self.flush_acks();
                 if self.has_pending_work() {
                     self.telemetry.threshold_expirations.bump();
                     self.maybe_run_partition_pass();
@@ -1513,9 +1598,202 @@ impl TriggerMan {
         }
     }
 
+    /// Process one dequeued batch as shard `home`'s work. Stamps each
+    /// token's durable origin and trace lineage, ties an [`AckState`] to
+    /// each tracked sequence number, then splits the batch into contiguous
+    /// same-data-source runs (global token order preserved): runs longer
+    /// than one token with no live trace take the batched probe path
+    /// ([`process_batch_run`](Self::process_batch_run)); everything else
+    /// falls back to the per-token path, which keeps span trees intact.
+    fn drain_batch_on(self: &Arc<Self>, home: usize, batch: Vec<queue::QueueItem>) {
+        let mut items: Vec<(UpdateDescriptor, Option<Arc<AckState>>)> =
+            Vec::with_capacity(batch.len());
+        for item in batch {
+            let mut tok = item.token;
+            // Stamp the durable origin so notifications raised by this
+            // token carry it (delivery-tier dedup).
+            tok.origin = item.seq;
+            if tok.trace.is_active() {
+                // Queue wait = capture (trace start) to now.
+                if let Some(start) = tok.trace.start_ns() {
+                    let now = now_ns();
+                    tok.trace.record_complete(
+                        SpanKind::QueueWait,
+                        ROOT_SPAN,
+                        start,
+                        now.saturating_sub(start),
+                        0,
+                        0,
+                    );
+                }
+            } else if self.tracer.is_some() {
+                // Persistent-queue round trips drop the handle (it is not
+                // serialized): lineage restarts at dequeue, so the tree
+                // still covers everything from here on.
+                tok.trace = self.begin_trace();
+            }
+            let ack = item
+                .seq
+                .map(|seq| AckState::new(seq, self.pending_acks.clone()));
+            items.push((tok, ack));
+        }
+        let mut i = 0;
+        while i < items.len() {
+            let mut j = i + 1;
+            while j < items.len() && items[j].0.data_src == items[i].0.data_src {
+                j += 1;
+            }
+            let run = &items[i..j];
+            if run.len() == 1 || run.iter().any(|(t, _)| t.trace.is_active()) {
+                for (tok, ack) in run {
+                    self.telemetry.tasks_executed[metrics::TASK_TOKEN].bump();
+                    if let Err(e) = self.process_token_on(home, tok, ack.as_ref()) {
+                        self.record_error(&e);
+                    }
+                }
+            } else {
+                self.process_batch_run(home, run);
+            }
+            i = j;
+        }
+        // `items` drops here: AckState clones not captured by spawned
+        // tasks release, queuing their sequence numbers for the caller's
+        // `flush_acks`.
+    }
+
+    /// The batched probe path for one same-data-source run of untraced
+    /// tokens. Probes are pure reads of the constant sets (DDL is the only
+    /// writer), so all `(token, signature)` probes of the run execute
+    /// first — signature-major, through [`SignatureRuntime::probe_batch`],
+    /// which sort-merges the batch into each equality organization — and
+    /// buffer their matches. Network mutations then **replay in strict
+    /// token order**: for each token, the update retraction (if any)
+    /// followed by its buffered matches in signature/entry order — exactly
+    /// the order the per-token path produces. Trigger-cache pins are
+    /// memoized across the run.
+    fn process_batch_run(
+        self: &Arc<Self>,
+        home: usize,
+        run: &[(UpdateDescriptor, Option<Arc<AckState>>)],
+    ) {
+        /// One deferred per-token step, in signature order.
+        enum RunStep {
+            /// A buffered probe match to hand to the network.
+            Match(TriggerId, NodeId),
+            /// A Figure-5 fan-out to push (sig, nparts).
+            Fanout(Arc<SignatureRuntime>, usize),
+        }
+        let istats = self.predindex.stats();
+        self.stats.tokens.add(run.len() as u64);
+        istats.tokens.add(run.len() as u64);
+        let mut steps: Vec<Vec<RunStep>> = (0..run.len()).map(|_| Vec::new()).collect();
+        if let Some(src) = self.predindex.source(run[0].0.data_src) {
+            for sig in src.signatures() {
+                let parts = self.effective_partitions(&sig);
+                let fan = parts > 1 && sig.len() >= self.config.partition_min;
+                let mut probes: Vec<(usize, &Tuple)> = Vec::new();
+                for (idx, (tok, _)) in run.iter().enumerate() {
+                    if !sig.sig.key.event.accepts(tok.op) {
+                        continue;
+                    }
+                    if !tok.touches_columns(&sig.sig.update_cols) {
+                        continue;
+                    }
+                    istats.signatures_probed.bump();
+                    if fan {
+                        steps[idx].push(RunStep::Fanout(sig.clone(), parts));
+                    } else {
+                        probes.push((idx, tok.probe_tuple()));
+                    }
+                }
+                if !probes.is_empty() {
+                    if let Err(e) = sig.probe_batch(&probes, istats, &mut |idx, e| {
+                        steps[idx].push(RunStep::Match(e.trigger_id, e.next_node))
+                    }) {
+                        self.record_error(&e);
+                    }
+                }
+            }
+        }
+        // Token-order replay. One pin per trigger per run (`None` memoizes
+        // "dropped concurrently" so later matches skip the catalog miss).
+        let mut pins: FxHashMap<TriggerId, Option<PinnedTrigger>> = FxHashMap::default();
+        for (idx, (tok, ack)) in run.iter().enumerate() {
+            self.telemetry.tasks_executed[metrics::TASK_TOKEN].bump();
+            let result = (|| -> Result<()> {
+                if tok.op == TokenOp::Update {
+                    self.maintenance_retract(tok)?;
+                }
+                for step in &steps[idx] {
+                    match step {
+                        RunStep::Fanout(sig, parts) => {
+                            sig.partition_activity().record_fanout();
+                            for part in 0..*parts {
+                                self.shards.push(
+                                    home,
+                                    Task::SigPartition {
+                                        token: tok.clone(),
+                                        sig: sig.clone(),
+                                        part,
+                                        nparts: *parts,
+                                        parent_span: ROOT_SPAN,
+                                        ack: ack.clone(),
+                                    },
+                                );
+                            }
+                        }
+                        RunStep::Match(tid, node) => {
+                            if !pins.contains_key(tid) {
+                                let pin = match self.pin(*tid) {
+                                    Ok(p) => Some(p),
+                                    Err(TmanError::NotFound(_)) => None,
+                                    Err(e) => return Err(e),
+                                };
+                                pins.insert(*tid, pin);
+                            }
+                            if let Some(Some(trigger)) = pins.get(tid) {
+                                self.handle_match_pinned(
+                                    trigger,
+                                    *node,
+                                    tok,
+                                    ROOT_SPAN,
+                                    home,
+                                    ack.as_ref(),
+                                )?;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            if let Err(e) = result {
+                self.record_error(&e);
+            }
+        }
+    }
+
+    /// Fold every completed ack (sequence numbers whose last [`AckState`]
+    /// clone has dropped) into one batched watermark barrier. Called at
+    /// drain-loop boundaries and before every `tman_test` return.
+    fn flush_acks(&self) {
+        if self.pending_acks.is_empty() {
+            return;
+        }
+        let mut seqs = Vec::new();
+        while let Some(seq) = self.pending_acks.pop() {
+            seqs.push(seq);
+        }
+        if seqs.is_empty() {
+            return;
+        }
+        if let Err(e) = self.queue.ack_batch(&seqs) {
+            self.record_error(&e);
+        }
+    }
+
     /// Anything left for a driver to do right now?
     fn has_pending_work(&self) -> bool {
-        !self.tasks.is_empty() || !self.queue.is_empty()
+        !self.shards.is_empty() || !self.queue.is_empty()
     }
 
     /// Is the organization governor enabled by this configuration?
@@ -1616,9 +1894,17 @@ impl TriggerMan {
             queue_wait_ns: self.telemetry.queue.wait_ns.summary().sum,
             queue_depth: self.queue_len(),
             num_drivers: self.config.num_drivers(),
+            cur_shards: self.shards.active(),
+            max_shards: self.shards.num_shards(),
         };
         let sigs = self.predindex.all_signatures();
         let report = ctl.pass(&sigs, inputs);
+        // Steer task placement width along the controller's decision
+        // (adaptive engines only — this method is a no-op under Static, so
+        // a forced `set_active_shards` is never fought).
+        if report.target_shards != self.shards.active() && report.target_shards >= 1 {
+            self.shards.set_active(report.target_shards);
+        }
         if let Some(tracer) = self.tracer.as_ref() {
             if report.transitions > 0 {
                 let handle = tracer.begin();
@@ -1647,7 +1933,12 @@ impl TriggerMan {
 
     /// Start `N = ceil(NUM_CPUS * TMAN_CONCURRENCY_LEVEL)` driver threads
     /// (§6). Stop them by dropping the returned pool (or `shutdown`).
+    /// Placement width starts at `min(num_shards, N)` — fanning placement
+    /// wider than the driver pool only adds steal traffic; the adaptive
+    /// controller re-steers it from there.
     pub fn start_drivers(self: &Arc<Self>) -> DriverPool {
+        self.shards
+            .set_active(self.config.num_drivers().min(self.shards.num_shards()));
         driver::start(self.clone())
     }
 

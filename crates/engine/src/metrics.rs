@@ -167,7 +167,7 @@ pub struct QueueMetrics {
 }
 
 /// Driver / `tman_test` metrics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DriverMetrics {
     /// `tman_test` invocations.
     pub tman_test_calls: u64,
@@ -181,8 +181,27 @@ pub struct DriverMetrics {
     pub tasks_sig_partition: u64,
     /// Type-2 tasks (rule action) executed.
     pub tasks_action: u64,
+    /// Shards currently active for task placement.
+    pub active_shards: i64,
+    /// Per-shard activity, indexed by shard ordinal.
+    pub shards: Vec<ShardMetrics>,
     /// Adaptive condition-partition controller.
     pub partition: PartitionMetrics,
+}
+
+/// One engine shard's activity ([`crate::shard::EngineShard`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardMetrics {
+    /// Shard ordinal.
+    pub shard: usize,
+    /// Tasks executed from (or stolen out of) this shard's queue.
+    pub tasks: u64,
+    /// Update-queue tokens drained by drivers homed here.
+    pub tokens: u64,
+    /// Tasks this shard's drivers stole from other shards.
+    pub steals: u64,
+    /// Live queued-task depth.
+    pub queue_depth: i64,
 }
 
 /// Condition-partition controller totals
@@ -533,6 +552,19 @@ impl MetricsSnapshot {
                 tasks_token: t.tasks_executed[TASK_TOKEN].get(),
                 tasks_sig_partition: t.tasks_executed[TASK_SIG_PARTITION].get(),
                 tasks_action: t.tasks_executed[TASK_ACTION].get(),
+                active_shards: tman.active_shards() as i64,
+                shards: (0..tman.num_shards())
+                    .map(|i| {
+                        let s = tman.shards.shard(i);
+                        ShardMetrics {
+                            shard: i,
+                            tasks: s.tasks.get(),
+                            tokens: s.tokens.get(),
+                            steals: s.steals.get(),
+                            queue_depth: s.depth.get(),
+                        }
+                    })
+                    .collect(),
                 partition: PartitionMetrics {
                     passes: t.registry.counter("tman_partition_passes_total", &[]).get(),
                     engagements: t
@@ -755,6 +787,17 @@ impl MetricsSnapshot {
                 "  tasks              token={} sig_partition={} action={}\n",
                 self.driver.tasks_token, self.driver.tasks_sig_partition, self.driver.tasks_action
             ));
+            out.push_str(&format!(
+                "  shards active      {}/{}\n",
+                self.driver.active_shards,
+                self.driver.shards.len()
+            ));
+            for s in &self.driver.shards {
+                out.push_str(&format!(
+                    "  shard {:<12} tasks={} tokens={} steals={} depth={}\n",
+                    s.shard, s.tasks, s.tokens, s.steals, s.queue_depth
+                ));
+            }
             let p = &self.driver.partition;
             out.push_str(&format!(
                 "  partition passes   {} (fanout {})\n",

@@ -175,6 +175,12 @@ pub struct PassInputs {
     /// Driver-pool size (denominator of the busy fraction; resolves
     /// `max_fanout == 0`).
     pub num_drivers: usize,
+    /// Engine shards currently active for task placement.
+    pub cur_shards: usize,
+    /// Total engine shard slots (`Config::num_shards()`); the steering
+    /// ceiling. 0 means "the engine is not sharded" — the pass then echoes
+    /// `cur_shards` back unchanged.
+    pub max_shards: usize,
 }
 
 /// What one controller pass decided and applied.
@@ -194,6 +200,14 @@ pub struct PartitionReport {
     pub load: DriverLoad,
     /// Wall time of the whole pass.
     pub pass_ns: u64,
+    /// The active-shard count the engine should steer to: the same
+    /// [`decide_fanout`] hysteresis applied to the shard dimension —
+    /// placement consolidates to one shard under saturation (stealing
+    /// traffic only adds contention then), widens one doubling per pass
+    /// while the drivers are idle and token latency is queue-dominated,
+    /// and holds in between. Equal to [`PassInputs::cur_shards`] when no
+    /// steering applies.
+    pub target_shards: usize,
 }
 
 /// Previous-pass snapshots and EWMAs (all controller-owned, behind the
@@ -333,6 +347,15 @@ impl PartitionController {
             .max()
             .unwrap_or(1);
         let target = decide_fanout(cur_target, &load, &self.policy, max_fanout);
+        // Steer the engine's active-shard count along the same hysteresis
+        // curve. Both dimensions answer "how wide should work spread?":
+        // the fan-out answers it per hot signature, the shard count for
+        // task placement as a whole.
+        let target_shards = if inputs.max_shards <= 1 {
+            inputs.cur_shards
+        } else {
+            decide_fanout(inputs.cur_shards, &load, &self.policy, inputs.max_shards)
+        };
 
         // Per-signature probe-rate fold (controller-owned snapshots).
         let rates: Vec<f64> = sigs
@@ -347,6 +370,7 @@ impl PartitionController {
         let mut report = PartitionReport {
             examined: sigs.len(),
             target_fanout: target,
+            target_shards,
             load,
             ..PartitionReport::default()
         };
@@ -487,5 +511,58 @@ mod tests {
         assert_eq!(ctl.stats().passes.get(), 1);
         // Idle + queued: target widens from 1 even with no signatures.
         assert_eq!(report.target_fanout, 2);
+    }
+
+    #[test]
+    fn pass_steers_shard_count_with_the_same_hysteresis() {
+        let ctl = PartitionController::new(PartitionPolicy::default(), 1);
+        // Idle + queued: shards widen one doubling toward the ceiling.
+        let report = ctl.pass(
+            &[],
+            PassInputs {
+                now_ns: 1_000_000,
+                num_drivers: 8,
+                queue_depth: 4,
+                cur_shards: 2,
+                max_shards: 8,
+                ..PassInputs::default()
+            },
+        );
+        assert_eq!(report.target_shards, 4);
+        // Saturated: shards consolidate to 1. A fresh controller so the
+        // EWMA sees the saturated sample undiluted.
+        let ctl = PartitionController::new(
+            PartitionPolicy {
+                decay: 1.0,
+                ..PartitionPolicy::default()
+            },
+            1,
+        );
+        let report = ctl.pass(
+            &[],
+            PassInputs {
+                now_ns: 1_000_000,
+                busy_ns: 8_000_000, // 8 drivers busy the whole window
+                num_drivers: 8,
+                test_calls: 10,
+                expirations: 10,
+                cur_shards: 8,
+                max_shards: 8,
+                ..PassInputs::default()
+            },
+        );
+        assert_eq!(report.target_shards, 1);
+        // Unsharded engine: echoed back untouched.
+        let report = ctl.pass(
+            &[],
+            PassInputs {
+                now_ns: 2_000_000,
+                num_drivers: 8,
+                cur_shards: 1,
+                max_shards: 1,
+                ..PassInputs::default()
+            },
+        );
+        assert_eq!(report.target_shards, 1);
     }
 }

@@ -147,6 +147,9 @@ pub struct UpdateQueue {
     corrupt_rows: Arc<Counter>,
     /// Already-delivered rows dropped by the open-time dedup pass.
     dedup_dropped: Arc<Counter>,
+    /// Watermark durability barriers paid by [`ack_batch`](Self::ack_batch)
+    /// — one per drained batch, not one per token.
+    wm_flushes: Arc<Counter>,
 }
 
 impl UpdateQueue {
@@ -157,6 +160,7 @@ impl UpdateQueue {
             telemetry: QueueTelemetry::default(),
             corrupt_rows: Arc::new(Counter::default()),
             dedup_dropped: Arc::new(Counter::default()),
+            wm_flushes: Arc::new(Counter::default()),
         }
     }
 
@@ -227,6 +231,7 @@ impl UpdateQueue {
             telemetry: QueueTelemetry::default(),
             corrupt_rows: Arc::new(Counter::default()),
             dedup_dropped,
+            wm_flushes: Arc::new(Counter::default()),
         })
     }
 
@@ -248,6 +253,11 @@ impl UpdateQueue {
     /// Already-delivered rows dropped by the open-time dedup pass.
     pub fn dedup_dropped(&self) -> &Arc<Counter> {
         &self.dedup_dropped
+    }
+
+    /// Watermark durability barriers paid by [`ack_batch`](Self::ack_batch).
+    pub fn wm_flushes(&self) -> &Arc<Counter> {
+        &self.wm_flushes
     }
 
     /// Wire instruments in. Initializes the depth gauge from the current
@@ -472,6 +482,69 @@ impl UpdateQueue {
         Ok(())
     }
 
+    /// Acknowledge a whole drained batch under one state lock and one
+    /// durability barrier: every row is deleted and folded into the acked
+    /// set first, the watermark row is rewritten at most once over the
+    /// contiguous prefix, and a single [`BufferPool::sync`] covers the lot
+    /// (on a WAL store that is one group-commit fsync). Per-token
+    /// [`ack`](Self::ack) deletes-after-advance without a barrier, so each
+    /// token's durability waited for the next checkpoint; here a batched
+    /// drain pays one explicit barrier per K tokens instead.
+    ///
+    /// Ordering note: deleting a row before its watermark advance is
+    /// durable is safe — the token already fired, so losing the row keeps
+    /// at-least-once intact, and a watermark that outruns a surviving copy
+    /// is exactly the open-time dedup window `ack` already has.
+    ///
+    /// Unknown or already-acked seqs are skipped (idempotent). Returns the
+    /// number of seqs newly acknowledged; a no-op returning 0 on the
+    /// volatile backend.
+    pub fn ack_batch(&self, seqs: &[i64]) -> Result<usize> {
+        let Backend::Persistent {
+            table, state, pool, ..
+        } = &self.backend
+        else {
+            return Ok(0);
+        };
+        if seqs.is_empty() {
+            return Ok(0);
+        }
+        let mut st = state.lock();
+        let st = &mut *st; // plain &mut so field borrows split
+        let mut acked = 0usize;
+        for &seq in seqs {
+            let Some(rid) = st.in_flight.remove(&seq) else {
+                continue; // already acked
+            };
+            st.acked.insert(seq);
+            table.delete(rid)?;
+            acked += 1;
+        }
+        if acked == 0 {
+            return Ok(0);
+        }
+        // Advance over the contiguous prefix once, one watermark-row write.
+        let before = st.watermark;
+        while st.acked.remove(&(st.watermark + 1)) {
+            st.watermark += 1;
+        }
+        if st.watermark != before {
+            let (_, new_rid) = table.update(
+                st.wm_rid,
+                vec![
+                    Value::Int(WATERMARK_QID),
+                    Value::str(hex_encode(&st.watermark.to_le_bytes())),
+                ],
+            )?;
+            st.wm_rid = new_rid;
+        }
+        pool.sync()?;
+        self.wm_flushes.bump();
+        self.telemetry.dequeued.add(acked as u64);
+        self.telemetry.depth.add(-(acked as i64));
+        Ok(acked)
+    }
+
     /// Remove and return up to `max` descriptors in FIFO order,
     /// acknowledging each immediately (no redelivery tracking).
     pub fn dequeue_batch(&self, max: usize) -> Result<Vec<UpdateDescriptor>> {
@@ -669,6 +742,77 @@ mod tests {
         let q2 = UpdateQueue::persistent(&db).unwrap();
         assert_eq!(q2.watermark(), Some(1));
         assert_eq!(q2.dequeue_batch(10).unwrap(), vec![tok(1), tok(2)]);
+    }
+
+    #[test]
+    fn ack_batch_pays_one_barrier_per_batch() {
+        let db = Database::open_memory(128);
+        let syncs = db.storage().pool().disk().stats().syncs.clone();
+        let q = UpdateQueue::persistent(&db).unwrap();
+        for i in 0..8 {
+            q.enqueue(tok(i)).unwrap();
+        }
+        let items = q.dequeue_tracked(8).unwrap();
+        let seqs: Vec<i64> = items.iter().map(|it| it.seq.unwrap()).collect();
+        let before = syncs.get();
+        assert_eq!(q.ack_batch(&seqs).unwrap(), 8);
+        // 8 tokens, exactly one durability barrier and one watermark flush.
+        assert_eq!(syncs.get(), before + 1);
+        assert_eq!(q.wm_flushes().get(), 1);
+        assert_eq!(q.watermark(), Some(8));
+        assert!(q.is_empty());
+        // Idempotent: re-acking (or acking unknown seqs) is a free no-op.
+        assert_eq!(q.ack_batch(&seqs).unwrap(), 0);
+        assert_eq!(q.ack_batch(&[999]).unwrap(), 0);
+        assert_eq!(q.ack_batch(&[]).unwrap(), 0);
+        assert_eq!(syncs.get(), before + 1);
+        assert_eq!(q.wm_flushes().get(), 1);
+    }
+
+    #[test]
+    fn ack_batch_gap_holds_watermark_then_closes() {
+        let db = Database::open_memory(128);
+        let q = UpdateQueue::persistent(&db).unwrap();
+        for i in 0..4 {
+            q.enqueue(tok(i)).unwrap();
+        }
+        let items = q.dequeue_tracked(4).unwrap();
+        assert_eq!(items.len(), 4);
+        // Ack 1, 3, 4 but not 2: the watermark stops at the gap.
+        q.ack_batch(&[1, 3, 4]).unwrap();
+        assert_eq!(q.watermark(), Some(1));
+        // Closing the gap advances over the out-of-order acks in one step.
+        q.ack_batch(&[2]).unwrap();
+        assert_eq!(q.watermark(), Some(4));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ack_batch_crash_mid_gap_redelivers_only_unacked() {
+        let db = Database::open_memory(128);
+        {
+            let q = UpdateQueue::persistent(&db).unwrap();
+            for i in 0..4 {
+                q.enqueue(tok(i)).unwrap();
+            }
+            q.dequeue_tracked(4).unwrap();
+            q.ack_batch(&[1, 3, 4]).unwrap();
+        }
+        // "Crash" without acking 2: the reopened queue redelivers exactly
+        // the unacked descriptor. Qids 3 and 4 were deleted before their
+        // watermark advance — safe, because they already fired.
+        let q2 = UpdateQueue::persistent(&db).unwrap();
+        assert_eq!(q2.watermark(), Some(1));
+        assert_eq!(q2.dequeue_batch(10).unwrap(), vec![tok(1)]);
+        assert!(q2.is_empty());
+    }
+
+    #[test]
+    fn ack_batch_volatile_is_noop() {
+        let q = UpdateQueue::volatile();
+        q.enqueue(tok(1)).unwrap();
+        assert_eq!(q.ack_batch(&[1, 2, 3]).unwrap(), 0);
+        assert_eq!(q.wm_flushes().get(), 0);
     }
 
     #[test]

@@ -470,6 +470,153 @@ impl SignatureRuntime {
         }
     }
 
+    /// Stable shard assignment: which engine shard owns this signature's
+    /// async fan-out work. Hashes the dense signature id — the same
+    /// stable-identity discipline as the `expr_id % nparts` partition
+    /// filter, so the owner never moves under inserts, drops, or governor
+    /// migrations.
+    pub fn shard_of(&self, nshards: usize) -> usize {
+        if nshards <= 1 {
+            0
+        } else {
+            self.id.raw() as usize % nshards
+        }
+    }
+
+    /// Batched probe: match several tagged tokens against the constant set
+    /// under a **single** organization read-lock hold, delivering
+    /// `(tag, entry)` for every full match. Equality plans sort the tokens
+    /// by their extracted key and merge the sorted run into the
+    /// organization — duplicate keys share one index lookup (the
+    /// sort-merge into MemIndex constant sets) — while range/scan plans
+    /// loop per token, still amortizing the lock hold and plan dispatch.
+    /// Per-token accounting (probe counters, residual tests, matches,
+    /// governor activity) is recorded exactly as `tokens.len()` calls to
+    /// [`probe`](Self::probe) would record it.
+    ///
+    /// For any one tag the delivered entries and their order are identical
+    /// to `probe(tuple, ...)`: the organization enumerates candidates for
+    /// a key the same way on both paths, and the batch never partitions.
+    /// A caller that buffers matches per tag and replays them in token
+    /// order therefore reproduces the per-token path exactly.
+    pub fn probe_batch(
+        &self,
+        tokens: &[(usize, &Tuple)],
+        stats: &IndexStats,
+        visit: &mut dyn FnMut(usize, &Entry),
+    ) -> Result<()> {
+        if tokens.is_empty() {
+            return Ok(());
+        }
+        let org = self.org.read();
+        let org_kind = org.kind();
+        stats.probes.add(tokens.len() as u64);
+        for _ in tokens {
+            self.org_counters.probe(org_kind);
+            self.activity.record_probe();
+        }
+        let needs_full = matches!(self.sig.index_plan, IndexPlan::None);
+        // Residual (or full generalized) test for one (token, entry) pair —
+        // the same evaluation the per-token path performs.
+        let test = |tuple: &Tuple, e: &Entry| -> Result<bool> {
+            let bind = Some(tuple);
+            let env = Env {
+                tuples: std::slice::from_ref(&bind),
+                consts: &e.consts,
+            };
+            if needs_full {
+                stats.residual_tests.bump();
+                self.sig.generalized.matches(&env)
+            } else {
+                match &self.sig.residual {
+                    None => Ok(true),
+                    Some(resid) => {
+                        stats.residual_tests.bump();
+                        resid.matches(&env)
+                    }
+                }
+            }
+        };
+        // One organization lookup shared by every token in `group`.
+        let mut run_group = |probe: &ProbeValues, group: &[(usize, &Tuple)]| -> Result<()> {
+            let mut err: Option<tman_common::TmanError> = None;
+            org.probe(&self.sig.index_plan, probe, &mut |e| {
+                if err.is_some() {
+                    return;
+                }
+                for &(tag, tuple) in group {
+                    match test(tuple, e) {
+                        Ok(true) => {
+                            stats.matches.bump();
+                            self.org_counters.matched(org_kind);
+                            self.activity.record_match();
+                            visit(tag, e);
+                        }
+                        Ok(false) => {}
+                        Err(e2) => {
+                            err = Some(e2);
+                            return;
+                        }
+                    }
+                }
+            })?;
+            match err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        };
+        match &self.sig.index_plan {
+            IndexPlan::Equality { cols, .. } => {
+                // Sort-merge: order tokens by extracted key, probe once per
+                // distinct key. The sort is stable, so equal-key tokens keep
+                // their arrival order (moot for callers that bucket by tag,
+                // but cheap to guarantee).
+                let mut keyed: Vec<(Vec<Value>, usize, &Tuple)> = Vec::with_capacity(tokens.len());
+                for &(tag, tuple) in tokens {
+                    let key: Vec<Value> = cols.iter().map(|&c| tuple.get(c).clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue; // NULL never satisfies equality
+                    }
+                    keyed.push((key, tag, tuple));
+                }
+                keyed.sort_by(|a, b| {
+                    a.0.iter()
+                        .zip(&b.0)
+                        .map(|(x, y)| x.total_cmp(y))
+                        .find(|o| *o != std::cmp::Ordering::Equal)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut i = 0;
+                while i < keyed.len() {
+                    let mut j = i + 1;
+                    while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                        j += 1;
+                    }
+                    let members: Vec<(usize, &Tuple)> =
+                        keyed[i..j].iter().map(|(_, tag, t)| (*tag, *t)).collect();
+                    run_group(&ProbeValues::Key(&keyed[i].0), &members)?;
+                    i = j;
+                }
+            }
+            IndexPlan::Range { col, .. } => {
+                for &(tag, tuple) in tokens {
+                    let v = tuple.get(*col);
+                    if v.is_null() {
+                        continue;
+                    }
+                    let stab = v.clone();
+                    run_group(&ProbeValues::Stab(&stab), &[(tag, tuple)])?;
+                }
+            }
+            IndexPlan::None => {
+                for &(tag, tuple) in tokens {
+                    run_group(&ProbeValues::All, &[(tag, tuple)])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Remove all entries of a trigger.
     pub fn remove_trigger(&self, trigger_id: TriggerId) -> Result<usize> {
         let mut org = self.org.write();

@@ -373,6 +373,76 @@ fn partitioned_probe_covers_all_entries_exactly_once() {
 }
 
 #[test]
+fn batched_probe_equals_per_token_probes() {
+    // Mixed predicate shapes: equality + residual (sort-merge path), a
+    // range plan, and an unindexable full-test signature. Batched probing
+    // must deliver, per token, exactly the entries (in the same order) as
+    // one probe() per token.
+    for cond in [
+        "emp.dept = 7 and emp.salary > 10",
+        "emp.salary > 25.0",
+        "emp.name <> 'q'",
+    ] {
+        let ix = PredicateIndex::new(IndexConfig {
+            list_to_index: 4, // force MemIndex where a plan exists
+            ..Default::default()
+        });
+        let mut rt = None;
+        for t in 0..24u64 {
+            rt = Some(add(&ix, cond, EventKind::Insert, t));
+        }
+        let rt = rt.unwrap();
+        let tuples: Vec<Tuple> = (0..13)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::str(if i % 5 == 0 { "q" } else { "x" }),
+                    Value::Float((i * 7 % 40) as f64),
+                    Value::Int(if i % 3 == 0 { 7 } else { i }),
+                ])
+            })
+            .collect();
+        // Duplicate keys on purpose: they must share a lookup yet match
+        // independently.
+        let mut reference: Vec<Vec<u64>> = Vec::new();
+        for t in &tuples {
+            let mut one = Vec::new();
+            rt.probe(t, ix.stats(), &mut |e| one.push(e.trigger_id.raw()))
+                .unwrap();
+            reference.push(one);
+        }
+        let tagged: Vec<(usize, &Tuple)> = tuples.iter().enumerate().collect();
+        let mut batched: Vec<Vec<u64>> = vec![Vec::new(); tuples.len()];
+        rt.probe_batch(&tagged, ix.stats(), &mut |tag, e| {
+            batched[tag].push(e.trigger_id.raw())
+        })
+        .unwrap();
+        assert_eq!(batched, reference, "cond: {cond}");
+    }
+}
+
+#[test]
+fn shard_of_is_stable_and_in_range() {
+    let ix = PredicateIndex::new(IndexConfig::default());
+    // Structurally different predicates, so two signature classes with
+    // consecutive dense ids. (Same-shape predicates share one class.)
+    let a = add(&ix, "emp.dept = 1", EventKind::Insert, 1);
+    let b = add(&ix, "emp.salary > 2", EventKind::Insert, 2);
+    assert_ne!(a.id, b.id);
+    assert_eq!(a.shard_of(1), 0);
+    for n in [2usize, 4, 8] {
+        assert!(a.shard_of(n) < n);
+        assert!(b.shard_of(n) < n);
+        // Stable: same answer every call (hash of the dense id).
+        assert_eq!(a.shard_of(n), a.shard_of(n));
+    }
+    // Assignment hashes the dense id: consecutive ids spread to
+    // consecutive shards.
+    assert_eq!(a.shard_of(8), a.id.raw() as usize % 8);
+    assert_eq!(b.shard_of(8), b.id.raw() as usize % 8);
+    assert_ne!(a.shard_of(8), b.shard_of(8));
+}
+
+#[test]
 fn unknown_source_matches_nothing() {
     let ix = PredicateIndex::new(IndexConfig::default());
     add(&ix, "emp.dept = 1", EventKind::Insert, 1);

@@ -177,9 +177,11 @@ fn persistent_queue_pays_sub_token_syncs() {
     .unwrap();
     let server = WireServer::start(tman.clone(), "127.0.0.1:0").unwrap();
     let client = RemoteClient::new(server.local_addr().to_string());
+    // Since the WAL refactor the durability barrier on enqueue is the log
+    // fsync; the page file is written only at checkpoint.
     let syncs = tman
         .metrics_registry()
-        .counter("tman_disk_syncs_total", &[]);
+        .counter("tman_wal_fsyncs_total", &[]);
     let before = syncs.get();
 
     const TOKENS: usize = 100;

@@ -67,7 +67,26 @@ fn drain_fires(
 }
 
 fn crash_case(case: u64) {
-    let path = tmpfile(&format!("case{case}"));
+    crash_case_cfg(case, Config::default(), "case");
+}
+
+/// Same schedule, drained in 16-token batches across 4 shards: the crash
+/// can now land *mid-batch* — after some of a batch's tokens executed and
+/// fired but before the single group ack/watermark barrier that covers
+/// the whole batch. Recovery must treat every token of the interrupted
+/// batch as unacked and redeliver it (at-least-once), while tokens
+/// covered by a completed barrier stay deduplicated (no double delivery).
+fn crash_case_batched(case: u64) {
+    let cfg = Config {
+        shards: Some(4),
+        drain_batch: 16,
+        ..Default::default()
+    };
+    crash_case_cfg(case, cfg, "batched");
+}
+
+fn crash_case_cfg(case: u64, base: Config, tag: &str) {
+    let path = tmpfile(&format!("{tag}{case}"));
     cleanup(&path);
     // Every case pins its own schedule: a distinct RNG seed, a distinct
     // crash point, and mild background write faults.
@@ -81,7 +100,7 @@ fn crash_case(case: u64) {
     let cfg = Config {
         queue_mode: QueueMode::Persistent,
         faults: Some(plan.clone()),
-        ..Default::default()
+        ..base.clone()
     };
 
     let mut pre: BTreeMap<String, usize> = BTreeMap::new();
@@ -157,7 +176,7 @@ fn crash_case(case: u64) {
     plan.disarm();
     let cfg_clean = Config {
         queue_mode: QueueMode::Persistent,
-        ..Default::default()
+        ..base
     };
     {
         let tman = TriggerMan::open_file(&path, cfg_clean.clone()).unwrap();
@@ -268,11 +287,19 @@ fn crash_sweep_bounded() {
     }
 }
 
+#[test]
+fn crash_sweep_batched_drain() {
+    for case in 0..budget() {
+        crash_case_batched(case);
+    }
+}
+
 /// The full pinned-seed sweep. Slow; run with `cargo test -- --ignored`.
 #[test]
 #[ignore]
 fn crash_sweep_full() {
     for case in 0..64 {
         crash_case(case);
+        crash_case_batched(case);
     }
 }
