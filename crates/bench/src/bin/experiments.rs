@@ -45,6 +45,7 @@ fn main() {
         ("e12", e12_partitions),
         ("e13", e13_wire),
         ("e14", e14_sharding),
+        ("e15", e15_disjunctions),
     ];
     for (name, f) in all {
         if selected.is_empty() || selected.contains(name) {
@@ -1296,4 +1297,105 @@ fn e14_sharding(o: &Opts) {
     println!("\n(b) `show stats drivers` for the 8x256 run:");
     println!("{shard_report}");
     dump_metrics("e14", &metrics_json);
+}
+
+/// E15 — indexed disjunctions (tagged execution) vs residual-scan OR
+/// triggers on a Zipf-skewed OR workload. With tagging off, an OR
+/// condition stays one entry whose whole disjunction is a residual test
+/// in an unindexable class — every token evaluates every OR trigger, so
+/// per-token cost is O(population). With tagging on, each selectable
+/// disjunct registers as its own indexable entry (equality/range classes;
+/// a shared per-trigger tag claim dedupes multi-arm matches), so
+/// per-token cost tracks the match count instead. Paper anchor: §5's
+/// predicate decomposition, extended to disjunctions.
+fn e15_disjunctions(o: &Opts) {
+    let sizes: &[usize] = if o.quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    let n_syms = 200;
+    let mut table = Table::new(&[
+        "OR triggers",
+        "config",
+        "tokens/s",
+        "resid evals/tok",
+        "dedup hits",
+        "fires/tok",
+    ]);
+    let mut metrics_json = String::new();
+    for &m in sizes {
+        for tagged in [false, true] {
+            let mut cfg = Config::default();
+            cfg.index.tagged_disjunctions = tagged;
+            let tman = TriggerMan::open_memory(cfg).unwrap();
+            tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
+                .unwrap();
+            let src = tman.source("q").unwrap().id;
+            // Zipf arms: hot symbols appear in many triggers' disjuncts,
+            // so multi-arm matches (the tag-dedup path) are common.
+            let zipf = Zipf::new(n_syms, 0.9);
+            let mut r = rng(71);
+            for i in 0..m {
+                let a = zipf.sample(&mut r);
+                let b = zipf.sample(&mut r);
+                tman.execute_command(&format!(
+                    "create trigger o{i} from q \
+                     when q.sym = 'S{a}' or q.sym = 'S{b}' or q.vol = {} \
+                     do raise event O(q.sym)",
+                    r.gen_range(0..100_000)
+                ))
+                .unwrap();
+            }
+            // The residual scan is O(m) per token: bound its stream the
+            // way E1 bounds the naive ECA baseline.
+            let n_tok = if tagged {
+                if o.quick {
+                    2_000
+                } else {
+                    5_000
+                }
+            } else {
+                (2_000_000 / m.max(1)).clamp(50, 2_000)
+            };
+            let tokens: Vec<UpdateDescriptor> = {
+                let mut tr = rng(72);
+                (0..n_tok)
+                    .map(|_| {
+                        UpdateDescriptor::insert(
+                            src,
+                            tman_common::Tuple::new(vec![
+                                Value::str(format!("S{}", zipf.sample(&mut tr))),
+                                Value::Float(tr.gen_range(0.0..1000.0)),
+                                Value::Int(tr.gen_range(0..100_000)),
+                            ]),
+                        )
+                    })
+                    .collect()
+            };
+            let rx = tman.subscribe("O");
+            push_all(&tman, src, &tokens);
+            let resid0 = tman.predicate_index().stats().residual_tests.get();
+            let (_, d) = time_it(|| tman.run_until_quiescent().unwrap());
+            let resid = tman.predicate_index().stats().residual_tests.get() - resid0;
+            let fires = rx.try_iter().count();
+            table.row(vec![
+                m.to_string(),
+                if tagged {
+                    format!("tagged ({} entries)", tman.tagged_entries())
+                } else {
+                    "residual scan".into()
+                },
+                human(rate(n_tok, d)),
+                format!("{:.1}", resid as f64 / n_tok as f64),
+                tman.tag_dedup_hits().to_string(),
+                format!("{:.2}", fires as f64 / n_tok as f64),
+            ]);
+            if tagged {
+                metrics_json = tman.render_metrics_json();
+            }
+        }
+    }
+    table.print();
+    dump_metrics("e15", &metrics_json);
 }

@@ -1,6 +1,6 @@
 //! `tman-bench` — workload generators and measurement helpers shared by
 //! the Criterion benches and the `experiments` binary (see EXPERIMENTS.md
-//! for the experiment index E1–E10).
+//! for the experiment index E1–E15).
 
 pub mod workload;
 

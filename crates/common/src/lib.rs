@@ -28,6 +28,6 @@ pub mod value;
 pub use error::{Result, TmanError};
 pub use ids::{DataSourceId, ExprId, NodeId, SignatureId, TriggerId, TriggerSetId};
 pub use schema::{Column, Schema};
-pub use token::{EventKind, TokenOp, UpdateDescriptor};
+pub use token::{EventKind, TagClaims, TokenOp, UpdateDescriptor};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

@@ -4,9 +4,11 @@
 //! operation code, and an old tuple, new tuple, or old/new tuple pair."
 
 use crate::error::{Result, TmanError};
+use crate::fxhash::FxHashSet;
 use crate::ids::DataSourceId;
 use crate::tuple::Tuple;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use tman_telemetry::TraceHandle;
 
 /// Operation code carried by a token.
@@ -116,6 +118,51 @@ impl fmt::Display for EventKind {
     }
 }
 
+/// Per-token claim set for *tagged execution* of indexed disjunctions
+/// (Kim & Madden). An OR-trigger registers one predicate-index entry per
+/// selectable disjunct; all of its entries carry the same tag. Whichever
+/// entry's probe reaches the token first *claims* the tag; later hits on
+/// the same tag for the same token are duplicates of the same logical
+/// match and must not fire again.
+///
+/// The set is shared by `Arc`, so every task cloned from the token —
+/// partition fan-out tasks included — claims against the same set and the
+/// dedup is exactly-once across shards. The inert form ([`none`]) carries
+/// no allocation and lets every claim succeed; the engine only arms a
+/// token ([`fresh`]) while tagged entries exist, so untagged workloads pay
+/// nothing.
+///
+/// [`none`]: Self::none
+/// [`fresh`]: Self::fresh
+#[derive(Debug, Clone, Default)]
+pub struct TagClaims(Option<Arc<Mutex<FxHashSet<u64>>>>);
+
+impl TagClaims {
+    /// Inert claims: no set allocated, every [`claim`](Self::claim) is true.
+    pub fn none() -> TagClaims {
+        TagClaims(None)
+    }
+
+    /// A fresh shared claim set for one token.
+    pub fn fresh() -> TagClaims {
+        TagClaims(Some(Arc::new(Mutex::new(FxHashSet::default()))))
+    }
+
+    /// Is a claim set armed on this token?
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Claim `tag` for this token. Returns true exactly once per
+    /// `(token, tag)` when armed; always true when inert.
+    pub fn claim(&self, tag: u64) -> bool {
+        match &self.0 {
+            Some(set) => set.lock().expect("claims poisoned").insert(tag),
+            None => true,
+        }
+    }
+}
+
 /// The paper's *token*: one captured update flowing through the system.
 ///
 /// Equality ignores the [`trace`](Self::trace) handle — it is execution
@@ -147,6 +194,10 @@ pub struct UpdateDescriptor {
     /// latency survives a restart. Execution metadata: ignored by equality,
     /// but — unlike `trace` — serialized by [`encode`](Self::encode).
     pub ingest_unix_ns: u64,
+    /// Tagged-execution claim set (see [`TagClaims`]). Execution metadata
+    /// like `trace`: ignored by equality, not serialized; the engine arms
+    /// it on ingest while tagged disjunction entries exist.
+    pub claims: TagClaims,
 }
 
 impl PartialEq for UpdateDescriptor {
@@ -169,6 +220,7 @@ impl UpdateDescriptor {
             trace: TraceHandle::none(),
             origin: None,
             ingest_unix_ns: 0,
+            claims: TagClaims::none(),
         }
     }
 
@@ -182,6 +234,7 @@ impl UpdateDescriptor {
             trace: TraceHandle::none(),
             origin: None,
             ingest_unix_ns: 0,
+            claims: TagClaims::none(),
         }
     }
 
@@ -195,6 +248,7 @@ impl UpdateDescriptor {
             trace: TraceHandle::none(),
             origin: None,
             ingest_unix_ns: 0,
+            claims: TagClaims::none(),
         }
     }
 
@@ -291,6 +345,7 @@ impl UpdateDescriptor {
             trace: TraceHandle::none(),
             origin: None,
             ingest_unix_ns,
+            claims: TagClaims::none(),
         })
     }
 }
@@ -365,6 +420,35 @@ mod tests {
         let decoded = UpdateDescriptor::decode(&traced.encode()).unwrap();
         assert!(!decoded.trace.is_active());
         assert_eq!(decoded, traced);
+    }
+
+    #[test]
+    fn tag_claims_claim_once_and_shared_across_clones() {
+        let inert = TagClaims::none();
+        assert!(!inert.is_active());
+        assert!(inert.claim(7));
+        assert!(inert.claim(7)); // inert: always true
+
+        let armed = TagClaims::fresh();
+        assert!(armed.is_active());
+        assert!(armed.claim(7));
+        assert!(!armed.claim(7)); // second hit on the same tag is a dup
+        assert!(armed.claim(8)); // distinct tag claims independently
+                                 // A cloned token (fan-out task) shares the same claim set.
+        let cloned = armed.clone();
+        assert!(!cloned.claim(7));
+        assert!(cloned.claim(9));
+        assert!(!armed.claim(9));
+    }
+
+    #[test]
+    fn token_claims_are_execution_metadata() {
+        let plain = UpdateDescriptor::insert(DataSourceId(1), tup(&[1]));
+        let mut armed = plain.clone();
+        armed.claims = TagClaims::fresh();
+        assert_eq!(plain, armed); // equality ignores claims
+        let decoded = UpdateDescriptor::decode(&armed.encode()).unwrap();
+        assert!(!decoded.claims.is_active()); // codec drops them
     }
 
     #[test]

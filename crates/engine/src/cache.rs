@@ -225,6 +225,7 @@ mod tests {
             )
             .unwrap(),
             action: CompiledAction::Notify("x".into()),
+            window: None,
             enabled: AtomicBool::new(true),
         })
     }

@@ -32,6 +32,7 @@ pub struct Catalog {
     expression_signature: Arc<Table>,
     data_source: Arc<Table>,
     connection: Arc<Table>,
+    window_state: Arc<Table>,
 }
 
 /// A row of the `connection` catalog (§2's connection description).
@@ -219,6 +220,14 @@ impl Catalog {
                     ("server", v),
                     ("userID", v),
                     ("isDefault", DataType::Int),
+                ],
+            )?,
+            window_state: mk(
+                "window_state",
+                &[
+                    ("triggerID", DataType::Int),
+                    ("lastTs", DataType::Int),
+                    ("ring", v),
                 ],
             )?,
         };
@@ -549,6 +558,83 @@ impl Catalog {
         Ok(())
     }
 
+    // ----- windowed-threshold state -------------------------------------------
+
+    /// Upsert a trigger's persisted window state: the clamp watermark and
+    /// the in-window event timestamps (comma-joined nanoseconds). The ring
+    /// is persisted coarsely — at durability barriers, not per event — so
+    /// recovery restores an at-least-once prefix of the window.
+    pub fn save_window(&self, id: TriggerId, last_ts: u64, ring: &[u64]) -> Result<()> {
+        let encoded = ring
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let vals = vec![
+            Value::Int(id.raw() as i64),
+            Value::Int(last_ts as i64),
+            Value::str(encoded),
+        ];
+        let mut existing = None;
+        self.window_state.scan(|rid, row| {
+            if row.get(0) == &Value::Int(id.raw() as i64) {
+                existing = Some(rid);
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        match existing {
+            Some(rid) => {
+                self.window_state.update(rid, vals)?;
+            }
+            None => {
+                self.window_state.insert(vals)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All persisted window states as `(triggerID, lastTs, timestamps)`.
+    pub fn windows(&self) -> Result<Vec<(TriggerId, u64, Vec<u64>)>> {
+        let mut out = Vec::new();
+        self.window_state.scan(|_, row| {
+            let ring = row
+                .get(2)
+                .as_str()
+                .unwrap_or("")
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .filter_map(|s| s.parse::<u64>().ok())
+                .collect();
+            out.push((
+                TriggerId(row.get(0).as_i64().unwrap_or(0) as u64),
+                row.get(1).as_i64().unwrap_or(0) as u64,
+                ring,
+            ));
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Remove a trigger's window state. Returns false if missing.
+    pub fn delete_window(&self, id: TriggerId) -> Result<bool> {
+        let mut hit = None;
+        self.window_state.scan(|rid, row| {
+            if row.get(0) == &Value::Int(id.raw() as i64) {
+                hit = Some(rid);
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        match hit {
+            Some(rid) => {
+                self.window_state.delete(rid)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// All signature rows as `(sigID, dataSrcID, desc, constTable, size,
     /// organization)`.
     pub fn signatures(&self) -> Result<Vec<SignatureRow>> {
@@ -636,6 +722,30 @@ mod tests {
         assert_eq!(sigs.len(), 1);
         assert_eq!(sigs[0].4, 500);
         assert_eq!(sigs[0].5, "mem_index");
+    }
+
+    #[test]
+    fn window_state_roundtrips() {
+        let db = Database::open_memory(256);
+        let cat = Catalog::open(&db).unwrap();
+        assert!(cat.windows().unwrap().is_empty());
+        cat.save_window(TriggerId(7), 1_000, &[400, 700, 1_000])
+            .unwrap();
+        cat.save_window(TriggerId(7), 2_000, &[1_500, 2_000])
+            .unwrap(); // upsert
+        cat.save_window(TriggerId(9), 50, &[]).unwrap();
+        let mut rows = cat.windows().unwrap();
+        rows.sort_by_key(|(id, _, _)| id.raw());
+        assert_eq!(
+            rows,
+            vec![
+                (TriggerId(7), 2_000, vec![1_500, 2_000]),
+                (TriggerId(9), 50, vec![]),
+            ]
+        );
+        assert!(cat.delete_window(TriggerId(7)).unwrap());
+        assert!(!cat.delete_window(TriggerId(7)).unwrap());
+        assert_eq!(cat.windows().unwrap().len(), 1);
     }
 
     #[test]

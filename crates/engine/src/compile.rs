@@ -14,7 +14,7 @@ use tman_expr::cnf::{remap_var, to_cnf, Cnf, ConditionGraph};
 use tman_expr::scalar::Scalar;
 use tman_expr::signature::analyze_selection;
 use tman_expr::{BindCtx, SelectionSignature};
-use tman_lang::ast::{Action, CreateTrigger, EventSpecKind};
+use tman_lang::ast::{Action, CreateTrigger, EventSpecKind, WindowSpec};
 use tman_lang::SqlStmt;
 use tman_network::{Network, NetworkKind};
 
@@ -72,6 +72,10 @@ pub struct CompiledTrigger {
     pub network: Network,
     /// The action.
     pub action: CompiledAction,
+    /// Windowed threshold (`when [pred] count >= K within W`): the action
+    /// runs only while at least K matching events arrived inside the
+    /// trailing window. Restricted to single-variable triggers.
+    pub window: Option<WindowSpec>,
     /// In-memory enabled flag (mirrors the catalog's isEnabled).
     pub enabled: AtomicBool,
 }
@@ -87,6 +91,11 @@ pub struct PredicateReg {
     pub sig: SelectionSignature,
     /// The constant vector for the constant table.
     pub consts: Vec<Value>,
+    /// The concrete (pre-generalization) selection CNF the signature was
+    /// analyzed from. The system needs it to re-analyze per-disjunct
+    /// branches for tagged execution (it, not the compiler, owns the
+    /// indexing policy).
+    pub canon: Cnf,
 }
 
 /// Output of compilation.
@@ -126,6 +135,20 @@ pub fn compile_trigger(
              processing is the paper's future work, §9)"
                 .into(),
         ));
+    }
+    if let Some(w) = &stmt.window {
+        if stmt.from.len() != 1 {
+            return Err(TmanError::Unsupported(
+                "windowed thresholds (count >= K within W) require exactly \
+                 one tuple variable"
+                    .into(),
+            ));
+        }
+        if w.count == 0 || w.within_ns == 0 {
+            return Err(TmanError::Invalid(
+                "windowed threshold needs count >= 1 and a positive window".into(),
+            ));
+        }
     }
     let mut vars = Vec::with_capacity(stmt.from.len());
     for item in &stmt.from {
@@ -236,6 +259,7 @@ pub fn compile_trigger(
             source: binding.source.clone(),
             sig,
             consts,
+            canon,
         });
     }
 
@@ -259,6 +283,7 @@ pub fn compile_trigger(
             explicit_event: stmt.on.is_some(),
             network,
             action,
+            window: stmt.window.clone(),
             enabled: AtomicBool::new(true),
         },
         predicates,

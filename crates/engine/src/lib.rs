@@ -52,6 +52,7 @@ pub mod partition_ctl;
 pub mod queue;
 pub mod shard;
 pub mod source;
+pub mod window;
 
 pub use cache::{PinnedTrigger, TriggerCache};
 pub use client::{Client, DataSourceClient};
@@ -69,6 +70,7 @@ pub use tman_predindex::{GovernorPolicy, GovernorReport, OrgKind};
 pub use tman_telemetry::{
     Registry, SpanKind, TraceEvent, TraceSnapshot, TraceTree, Tracer, TracerStats,
 };
+pub use window::WindowState;
 
 use catalog::{Catalog, ConnectionRow, DataSourceRow, TriggerRow, TriggerSetRow};
 use compile::compile_trigger;
@@ -82,9 +84,11 @@ use std::sync::Arc;
 use tman_common::fxhash::FxHashMap;
 use tman_common::stats::Counter;
 use tman_common::{
-    DataSourceId, EventKind, ExprId, NodeId, Result, Schema, TmanError, TokenOp, TriggerId,
-    TriggerSetId, Tuple, UpdateDescriptor,
+    DataSourceId, EventKind, ExprId, NodeId, Result, Schema, SignatureId, TagClaims, TmanError,
+    TokenOp, TriggerId, TriggerSetId, Tuple, UpdateDescriptor,
 };
+use tman_expr::signature::analyze_selection;
+use tman_expr::{decompose_disjunction, IndexPlan};
 use tman_lang::ast::Command;
 use tman_network::Polarity;
 use tman_predindex::{PredicateIndex, SignatureRuntime};
@@ -145,6 +149,21 @@ pub struct EngineStats {
     pub errors: Arc<Counter>,
 }
 
+/// Execution metadata the engine keeps per predicate-index entry, keyed by
+/// [`ExprId`]. It lives engine-side (not on [`tman_predindex::Entry`])
+/// because DB-backed organizations round-trip entries through table rows,
+/// and because the `ExprId` survives governor migrations unchanged.
+struct PredMeta {
+    /// Tagged execution: the disjunct entries a trigger variable
+    /// registered share one tag; a token's first matching entry claims it
+    /// and the rest are duplicates (Kim & Madden's tagged execution).
+    tag: Option<u64>,
+    /// The trigger's windowed-threshold state, shared by every one of its
+    /// entries: a claimed match *observes* the window and fires only at
+    /// or over the threshold.
+    window: Option<Arc<WindowState>>,
+}
+
 /// The TriggerMan system (Figure 1).
 pub struct TriggerMan {
     config: Config,
@@ -166,6 +185,30 @@ pub struct TriggerMan {
     sets: RwLock<FxHashMap<String, TriggerSetRow>>,
     connections: RwLock<FxHashMap<String, ConnectionRow>>,
     trigger_names: RwLock<FxHashMap<String, TriggerId>>,
+    /// Tagged-execution / windowed-threshold metadata per index entry.
+    pred_meta: RwLock<FxHashMap<ExprId, PredMeta>>,
+    /// Entries carrying metadata, per trigger (with the signature each
+    /// landed in) — the drop-trigger cleanup walk.
+    trigger_exprs: RwLock<FxHashMap<TriggerId, Vec<(ExprId, SignatureId)>>>,
+    /// Windowed-threshold state per windowed trigger.
+    windows: RwLock<FxHashMap<TriggerId, Arc<WindowState>>>,
+    /// Signatures hosting at least one windowed trigger's entries
+    /// (refcounted): they never take the Figure-5 fan-out, whose partition
+    /// tasks run after the current drain position and would feed windows
+    /// out of token order.
+    window_sigs: RwLock<FxHashMap<SignatureId, usize>>,
+    /// Next tagged-execution tag.
+    next_tag: AtomicU64,
+    /// Live tagged entries across the index (`Arc` so the registry can
+    /// read it as the `tman_tagged_entries` instrument): tokens arm a
+    /// claim set only while this is nonzero.
+    tagged_count: Arc<AtomicU64>,
+    /// Matches suppressed because another entry already claimed the tag.
+    tag_dedup_hits: Arc<Counter>,
+    /// Windowed-trigger firings admitted (threshold met).
+    window_fires: Arc<Counter>,
+    /// Timestamps aged out by the maintenance-path expiry.
+    window_evictions: Arc<Counter>,
     next_trigger: AtomicU64,
     next_source: AtomicU32,
     next_set: AtomicU32,
@@ -275,6 +318,15 @@ impl TriggerMan {
             sets: RwLock::new(FxHashMap::default()),
             connections: RwLock::new(FxHashMap::default()),
             trigger_names: RwLock::new(FxHashMap::default()),
+            pred_meta: RwLock::new(FxHashMap::default()),
+            trigger_exprs: RwLock::new(FxHashMap::default()),
+            windows: RwLock::new(FxHashMap::default()),
+            window_sigs: RwLock::new(FxHashMap::default()),
+            next_tag: AtomicU64::new(1),
+            tagged_count: Arc::new(AtomicU64::new(0)),
+            tag_dedup_hits: Arc::new(Counter::default()),
+            window_fires: Arc::new(Counter::default()),
+            window_evictions: Arc::new(Counter::default()),
             next_trigger: AtomicU64::new(1),
             next_source: AtomicU32::new(1),
             next_set: AtomicU32::new(2), // 1 = "default"
@@ -312,6 +364,23 @@ impl TriggerMan {
         r.register_counter("tman_firings_total", &[], self.stats.firings.clone());
         r.register_counter("tman_actions_run_total", &[], self.stats.actions.clone());
         r.register_counter("tman_task_errors_total", &[], self.stats.errors.clone());
+        r.register_counter(
+            "tman_tag_dedup_hits_total",
+            &[],
+            self.tag_dedup_hits.clone(),
+        );
+        r.register_counter("tman_window_fires_total", &[], self.window_fires.clone());
+        r.register_counter(
+            "tman_window_evictions_total",
+            &[],
+            self.window_evictions.clone(),
+        );
+        // Live tagged-entry population (a level, so a computed read of the
+        // shared atomic rather than a monotone counter).
+        let tagged = self.tagged_count.clone();
+        r.register_counter_fn("tman_tagged_entries", &[], move || {
+            tagged.load(Ordering::Relaxed)
+        });
         r.register_counter(
             "tman_queue_wm_flushes_total",
             &[],
@@ -450,6 +519,16 @@ impl TriggerMan {
             let trigger = Arc::new(compiled.trigger);
             self.prime_network(&trigger)?;
             self.cache.insert(trigger);
+        }
+        // Windowed-threshold state: re-arm the coarsely persisted rings
+        // (at-least-once — a crash between an observe and the next
+        // durability barrier replays the token into an older window, so a
+        // fire may repeat but is never lost). Rows of dropped triggers are
+        // skipped.
+        for (tid, last_ts, ring) in self.catalog.windows()? {
+            if let Some(w) = self.windows.read().get(&tid) {
+                w.hydrate(last_ts, &ring);
+            }
         }
         Ok(())
     }
@@ -954,26 +1033,125 @@ impl TriggerMan {
 
     /// §5.1: register a compiled trigger's selection predicates in the
     /// predicate index and refresh the `expression_signature` catalog.
+    ///
+    /// Two execution-metadata extensions ride on registration:
+    ///
+    /// * **Indexed disjunctions (tagged execution).** When a variable's
+    ///   signature has no index plan — an OR across selectable atoms
+    ///   survives CNF only as a residual test — the concrete CNF is
+    ///   decomposed into per-disjunct branches, each individually
+    ///   indexable, registered as separate entries sharing one *tag*. A
+    ///   token claims the tag at its first matching entry
+    ///   ([`Self::admit_match`]), so the trigger still fires at most once
+    ///   per token even when several disjuncts match. The governor
+    ///   accounts the multi-set membership automatically: each branch is
+    ///   an ordinary entry in whatever constant set it lands in.
+    /// * **Windowed thresholds.** A `count >= K within W` trigger gets one
+    ///   shared [`WindowState`]; every entry's metadata references it, and
+    ///   the signatures its entries land in are excluded from Figure-5
+    ///   fan-out ([`Self::is_window_sig`]) to keep window advances in
+    ///   token order.
     fn register_predicates(&self, compiled: &compile::Compiled) -> Result<()> {
+        let tid = compiled.trigger.id;
+        let win = compiled
+            .trigger
+            .window
+            .as_ref()
+            .map(|w| Arc::new(WindowState::new(w.count, w.within_ns)));
+        if let Some(w) = &win {
+            self.windows.write().insert(tid, w.clone());
+        }
+        let mut tracked: Vec<(ExprId, SignatureId)> = Vec::new();
+        let mut tagged_added = 0u64;
         for reg in &compiled.predicates {
-            let expr_id = ExprId(self.next_expr.fetch_add(1, Ordering::Relaxed));
-            let (rt, _is_new) = self.predindex.add_predicate(
-                reg.source.id,
-                &reg.source.schema,
-                reg.sig.clone(),
-                reg.consts.clone(),
-                expr_id,
-                compiled.trigger.id,
-                NodeId(reg.var as u32),
-            )?;
-            self.catalog.upsert_signature(
-                rt.id,
-                reg.source.id,
-                &rt.sig.key.desc,
-                &rt.const_table_name(),
-                rt.len(),
-                rt.org_kind().as_str(),
-            )?;
+            let branches = if self.config.index.tagged_disjunctions
+                && matches!(reg.sig.index_plan, IndexPlan::None)
+            {
+                decompose_disjunction(&reg.canon).filter(|b| b.len() > 1)
+            } else {
+                None
+            };
+            let node = NodeId(reg.var as u32);
+            match branches {
+                Some(branches) => {
+                    let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+                    for branch in &branches {
+                        let (sig, consts) = analyze_selection(
+                            branch,
+                            reg.source.id,
+                            reg.sig.key.event.clone(),
+                            reg.sig.update_cols.clone(),
+                        );
+                        let expr_id = ExprId(self.next_expr.fetch_add(1, Ordering::Relaxed));
+                        let (rt, _is_new) = self.predindex.add_predicate(
+                            reg.source.id,
+                            &reg.source.schema,
+                            sig,
+                            consts,
+                            expr_id,
+                            tid,
+                            node,
+                        )?;
+                        self.catalog.upsert_signature(
+                            rt.id,
+                            reg.source.id,
+                            &rt.sig.key.desc,
+                            &rt.const_table_name(),
+                            rt.len(),
+                            rt.org_kind().as_str(),
+                        )?;
+                        self.pred_meta.write().insert(
+                            expr_id,
+                            PredMeta {
+                                tag: Some(tag),
+                                window: win.clone(),
+                            },
+                        );
+                        if win.is_some() {
+                            *self.window_sigs.write().entry(rt.id).or_insert(0) += 1;
+                        }
+                        tracked.push((expr_id, rt.id));
+                        tagged_added += 1;
+                    }
+                }
+                None => {
+                    let expr_id = ExprId(self.next_expr.fetch_add(1, Ordering::Relaxed));
+                    let (rt, _is_new) = self.predindex.add_predicate(
+                        reg.source.id,
+                        &reg.source.schema,
+                        reg.sig.clone(),
+                        reg.consts.clone(),
+                        expr_id,
+                        tid,
+                        node,
+                    )?;
+                    self.catalog.upsert_signature(
+                        rt.id,
+                        reg.source.id,
+                        &rt.sig.key.desc,
+                        &rt.const_table_name(),
+                        rt.len(),
+                        rt.org_kind().as_str(),
+                    )?;
+                    if let Some(w) = &win {
+                        self.pred_meta.write().insert(
+                            expr_id,
+                            PredMeta {
+                                tag: None,
+                                window: Some(w.clone()),
+                            },
+                        );
+                        *self.window_sigs.write().entry(rt.id).or_insert(0) += 1;
+                        tracked.push((expr_id, rt.id));
+                    }
+                }
+            }
+        }
+        if !tracked.is_empty() {
+            self.trigger_exprs.write().insert(tid, tracked);
+        }
+        if tagged_added > 0 {
+            self.tagged_count.fetch_add(tagged_added, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -1031,6 +1209,34 @@ impl TriggerMan {
         self.predindex.remove_trigger(id)?;
         self.catalog.delete_trigger(id)?;
         self.cache.remove(id);
+        // Tagged/windowed execution metadata.
+        if let Some(exprs) = self.trigger_exprs.write().remove(&id) {
+            let mut meta = self.pred_meta.write();
+            let mut wsigs = self.window_sigs.write();
+            let mut tagged_removed = 0u64;
+            for (eid, sig) in exprs {
+                if let Some(m) = meta.remove(&eid) {
+                    if m.tag.is_some() {
+                        tagged_removed += 1;
+                    }
+                    if m.window.is_some() {
+                        if let Some(n) = wsigs.get_mut(&sig) {
+                            *n -= 1;
+                            if *n == 0 {
+                                wsigs.remove(&sig);
+                            }
+                        }
+                    }
+                }
+            }
+            if tagged_removed > 0 {
+                self.tagged_count
+                    .fetch_sub(tagged_removed, Ordering::Relaxed);
+            }
+        }
+        if self.windows.write().remove(&id).is_some() {
+            self.catalog.delete_window(id)?;
+        }
         Ok(CommandOutput::TriggerDropped(id))
     }
 
@@ -1142,6 +1348,7 @@ impl TriggerMan {
                 new: c.new,
                 trace: self.begin_trace(),
                 origin: None,
+                claims: TagClaims::none(), // armed at drain, not capture
                 ingest_unix_ns: tman_telemetry::unix_now_ns(),
             };
             self.queue.enqueue(token)?;
@@ -1179,6 +1386,9 @@ impl TriggerMan {
         if !token.trace.is_active() {
             token.trace = self.begin_trace();
         }
+        if token.ingest_unix_ns == 0 {
+            token.ingest_unix_ns = tman_telemetry::unix_now_ns();
+        }
         self.queue.enqueue(token)
     }
 
@@ -1194,14 +1404,38 @@ impl TriggerMan {
             if !token.trace.is_active() {
                 token.trace = self.begin_trace();
             }
+            if token.ingest_unix_ns == 0 {
+                token.ingest_unix_ns = tman_telemetry::unix_now_ns();
+            }
         }
         self.queue.enqueue_batch(&batch).map(|_| ())
     }
 
     // ----- token processing (§5.4) ------------------------------------------------
 
+    /// Stamp and arm a token for processing: an ingest timestamp when the
+    /// producer left it unset (windowed thresholds read it), and — only
+    /// while tagged entries exist, one relaxed load otherwise — a live
+    /// claim set for tag dedup. Idempotent; clones of an armed token (fan
+    /// out, async actions) share the claim set.
+    fn arm_token(&self, tok: &mut UpdateDescriptor) {
+        if tok.ingest_unix_ns == 0 {
+            tok.ingest_unix_ns = tman_telemetry::unix_now_ns();
+        }
+        if !tok.claims.is_active() && self.tagged_count.load(Ordering::Relaxed) > 0 {
+            tok.claims = TagClaims::fresh();
+        }
+    }
+
     /// Process one token synchronously (tests and the driver path).
     pub fn process_token(self: &Arc<Self>, token: &UpdateDescriptor) -> Result<()> {
+        if token.ingest_unix_ns == 0
+            || (!token.claims.is_active() && self.tagged_count.load(Ordering::Relaxed) > 0)
+        {
+            let mut tok = token.clone();
+            self.arm_token(&mut tok);
+            return self.process_token_on(0, &tok, None);
+        }
         self.process_token_on(0, token, None)
     }
 
@@ -1243,7 +1477,7 @@ impl TriggerMan {
             }
             self.predindex.stats().signatures_probed.bump();
             let parts = self.effective_partitions(&sig);
-            if parts > 1 && sig.len() >= self.config.partition_min {
+            if parts > 1 && sig.len() >= self.config.partition_min && !self.is_window_sig(sig.id) {
                 // Condition-level concurrency (Figure 5): split this
                 // signature's constant/triggerID sets into tasks. The
                 // fan-out span parents every partition's probe span, so the
@@ -1306,16 +1540,55 @@ impl TriggerMan {
             nparts,
             self.predindex.stats(),
             Some(&probe),
-            &mut |e| matches.push((e.trigger_id, e.next_node)),
+            &mut |e| matches.push((e.expr_id, e.trigger_id, e.next_node)),
         )?;
         // Close the probe span here: downstream pin/action spans are its
         // children by id, but their time is not probe time.
         let probe_id = probe.id();
         drop(probe);
-        for (tid, node) in matches {
+        for (eid, tid, node) in matches {
+            if !self.admit_match(eid, token) {
+                continue;
+            }
             self.handle_match(tid, node, token, probe_id, home, ack)?;
         }
         Ok(())
+    }
+
+    /// Is this signature excluded from Figure-5 fan-out because a
+    /// windowed trigger's entries live in it?
+    fn is_window_sig(&self, id: SignatureId) -> bool {
+        self.window_sigs.read().contains_key(&id)
+    }
+
+    /// The tagged-execution / windowed-threshold gate for one index match,
+    /// applied before the trigger pin on every probe path (per-token,
+    /// partitioned fan-out, batched sort-merge replay, and maintenance
+    /// retraction). A single read-locked map probe for entries with no
+    /// metadata.
+    ///
+    /// Order matters: the tag is claimed *first*, so a multi-disjunct
+    /// windowed trigger observes its window exactly once per matching
+    /// token; duplicate disjunct matches are suppressed before they can
+    /// double-count.
+    fn admit_match(&self, expr: ExprId, token: &UpdateDescriptor) -> bool {
+        let meta = self.pred_meta.read();
+        let Some(m) = meta.get(&expr) else {
+            return true;
+        };
+        if let Some(tag) = m.tag {
+            if !token.claims.claim(tag) {
+                self.tag_dedup_hits.bump();
+                return false;
+            }
+        }
+        if let Some(w) = &m.window {
+            if !w.observe(token.ingest_unix_ns) {
+                return false;
+            }
+            self.window_fires.bump();
+        }
+        true
     }
 
     fn pin(self: &Arc<Self>, id: TriggerId) -> Result<PinnedTrigger> {
@@ -1439,7 +1712,12 @@ impl TriggerMan {
     /// stored-memory networks (registered under the `any` opcode).
     fn maintenance_retract(self: &Arc<Self>, token: &UpdateDescriptor) -> Result<()> {
         let old = token.old.clone().expect("update token has old image");
-        let synth = UpdateDescriptor::delete(token.data_src, old.clone());
+        let mut synth = UpdateDescriptor::delete(token.data_src, old.clone());
+        // The synthetic probe gets its own claim set: a multi-variable
+        // trigger whose selection was decomposed into tagged disjuncts
+        // must retract the old image exactly once, not once per matching
+        // branch entry.
+        self.arm_token(&mut synth);
         let Some(src) = self.predindex.source(token.data_src) else {
             return Ok(());
         };
@@ -1449,9 +1727,12 @@ impl TriggerMan {
             }
             let mut matches = Vec::new();
             sig.probe(synth.probe_tuple(), self.predindex.stats(), &mut |e| {
-                matches.push((e.trigger_id, e.next_node))
+                matches.push((e.expr_id, e.trigger_id, e.next_node))
             })?;
-            for (tid, node) in matches {
+            for (eid, tid, node) in matches {
+                if !self.admit_match(eid, &synth) {
+                    continue;
+                }
                 let trigger = self.pin(tid)?;
                 if trigger.vars.len() <= 1 {
                     continue;
@@ -1478,8 +1759,9 @@ impl TriggerMan {
         // before — so the originating token's ack fires only once every
         // task spawned for it has completed.
         let result = match task {
-            Task::Token(tok) => {
+            Task::Token(mut tok) => {
                 self.telemetry.tasks_executed[metrics::TASK_TOKEN].bump();
+                self.arm_token(&mut tok);
                 self.process_token_on(home, &tok, None)
             }
             Task::SigPartition {
@@ -1568,6 +1850,7 @@ impl TriggerMan {
                         // probe paths) and/or a partition-controller pass.
                         self.maybe_run_governor();
                         self.maybe_run_partition_pass();
+                        self.expire_windows();
                         self.flush_acks();
                         // Tasks pushed concurrently must not be stranded
                         // for a full driver period: re-check before
@@ -1632,6 +1915,10 @@ impl TriggerMan {
                 // still covers everything from here on.
                 tok.trace = self.begin_trace();
             }
+            // Arm tag-dedup claims here, at drain: the claim set is
+            // execution metadata the persistent queue never serializes, so
+            // capture-time arming would be lost on a round trip.
+            self.arm_token(&mut tok);
             let ack = item
                 .seq
                 .map(|seq| AckState::new(seq, self.pending_acks.clone()));
@@ -1678,8 +1965,10 @@ impl TriggerMan {
     ) {
         /// One deferred per-token step, in signature order.
         enum RunStep {
-            /// A buffered probe match to hand to the network.
-            Match(TriggerId, NodeId),
+            /// A buffered probe match to hand to the network (gated
+            /// through [`TriggerMan::admit_match`] at replay time, so tag
+            /// claims and window advances happen in token order).
+            Match(ExprId, TriggerId, NodeId),
             /// A Figure-5 fan-out to push (sig, nparts).
             Fanout(Arc<SignatureRuntime>, usize),
         }
@@ -1690,7 +1979,9 @@ impl TriggerMan {
         if let Some(src) = self.predindex.source(run[0].0.data_src) {
             for sig in src.signatures() {
                 let parts = self.effective_partitions(&sig);
-                let fan = parts > 1 && sig.len() >= self.config.partition_min;
+                let fan = parts > 1
+                    && sig.len() >= self.config.partition_min
+                    && !self.is_window_sig(sig.id);
                 let mut probes: Vec<(usize, &Tuple)> = Vec::new();
                 for (idx, (tok, _)) in run.iter().enumerate() {
                     if !sig.sig.key.event.accepts(tok.op) {
@@ -1708,7 +1999,7 @@ impl TriggerMan {
                 }
                 if !probes.is_empty() {
                     if let Err(e) = sig.probe_batch(&probes, istats, &mut |idx, e| {
-                        steps[idx].push(RunStep::Match(e.trigger_id, e.next_node))
+                        steps[idx].push(RunStep::Match(e.expr_id, e.trigger_id, e.next_node))
                     }) {
                         self.record_error(&e);
                     }
@@ -1742,7 +2033,10 @@ impl TriggerMan {
                                 );
                             }
                         }
-                        RunStep::Match(tid, node) => {
+                        RunStep::Match(eid, tid, node) => {
+                            if !self.admit_match(*eid, tok) {
+                                continue;
+                            }
                             if !pins.contains_key(tid) {
                                 let pin = match self.pin(*tid) {
                                     Ok(p) => Some(p),
@@ -1786,9 +2080,81 @@ impl TriggerMan {
         if seqs.is_empty() {
             return;
         }
+        // At-least-once for windowed state: dirty windows persist *before*
+        // the ack barrier. A crash after the ack with a stale window would
+        // lose in-window events for good (lost fires); a crash before it
+        // replays the tokens into the recovered window, which can only
+        // repeat a fire.
+        if let Err(e) = self.persist_windows() {
+            self.record_error(&e);
+        }
         if let Err(e) = self.queue.ack_batch(&seqs) {
             self.record_error(&e);
         }
+    }
+
+    /// Maintenance-path expiry for windowed thresholds: advance every
+    /// window to its clamp watermark, dropping aged-out timestamps. Never
+    /// consults the wall clock, so it cannot change any firing decision —
+    /// the next `observe` would evict the same entries — it just returns
+    /// their memory early on idle engines.
+    fn expire_windows(&self) {
+        let windows = self.windows.read();
+        if windows.is_empty() {
+            return;
+        }
+        let mut evicted = 0u64;
+        for w in windows.values() {
+            w.expire();
+            // The drained tally covers observe-time age-outs and capacity
+            // drops too, so the counter reflects every timestamp that left
+            // a window, whichever path removed it.
+            evicted += w.take_evicted();
+        }
+        if evicted > 0 {
+            self.window_evictions.add(evicted);
+        }
+    }
+
+    /// Write every dirty window's coarse snapshot to the `window_state`
+    /// catalog. Called before each ack barrier and at checkpoints.
+    fn persist_windows(&self) -> Result<()> {
+        let snaps: Vec<(TriggerId, u64, Vec<u64>)> = {
+            let windows = self.windows.read();
+            if windows.is_empty() {
+                return Ok(());
+            }
+            windows
+                .iter()
+                .filter_map(|(id, w)| w.snapshot().map(|(last, ring)| (*id, last, ring)))
+                .collect()
+        };
+        for (id, last, ring) in snaps {
+            self.catalog.save_window(id, last, &ring)?;
+        }
+        Ok(())
+    }
+
+    /// Live tagged (disjunct) entries in the predicate index.
+    pub fn tagged_entries(&self) -> u64 {
+        self.tagged_count.load(Ordering::Relaxed)
+    }
+
+    /// Matches suppressed because another disjunct entry already claimed
+    /// the token's tag.
+    pub fn tag_dedup_hits(&self) -> u64 {
+        self.tag_dedup_hits.get()
+    }
+
+    /// Windowed-trigger firings admitted (threshold met).
+    pub fn window_fires(&self) -> u64 {
+        self.window_fires.get()
+    }
+
+    /// Timestamps evicted from windowed-threshold rings (age-out,
+    /// capacity drop, hydration discard), drained by the maintenance pass.
+    pub fn window_evictions(&self) -> u64 {
+        self.window_evictions.get()
     }
 
     /// Anything left for a driver to do right now?
@@ -1979,6 +2345,7 @@ impl TriggerMan {
     /// Flush dirty pages (catalogs, constant tables, queue) to disk.
     pub fn checkpoint(&self) -> Result<()> {
         self.refresh_signature_catalog()?;
+        self.persist_windows()?;
         self.db.checkpoint()
     }
 

@@ -145,6 +145,11 @@ pub struct EngineMetrics {
     pub actions: u64,
     /// Task failures.
     pub errors: u64,
+    /// Windowed-trigger firings admitted (`count >= K within W` met).
+    pub window_fires: u64,
+    /// Window timestamps evicted (age-out, capacity, hydration discard),
+    /// drained into the counter by the maintenance pass.
+    pub window_evictions: u64,
 }
 
 /// Queue metrics.
@@ -246,6 +251,11 @@ pub struct IndexMetrics {
     pub entries: usize,
     /// Approximate constant-set memory.
     pub memory_bytes: usize,
+    /// Live tagged (disjunct) entries registered for OR-triggers.
+    pub tagged_entries: u64,
+    /// Matches suppressed because another disjunct already claimed the
+    /// token's tag.
+    pub tag_dedup_hits: u64,
     /// Probe/match totals per constant-set organization.
     pub per_org: Vec<OrgMetrics>,
     /// Adaptive organization governor.
@@ -535,6 +545,8 @@ impl MetricsSnapshot {
                 firings: es.firings.get(),
                 actions: es.actions.get(),
                 errors: es.errors.get(),
+                window_fires: tman.window_fires(),
+                window_evictions: tman.window_evictions(),
             },
             queue: QueueMetrics {
                 depth: t.queue.depth.get(),
@@ -600,6 +612,8 @@ impl MetricsSnapshot {
                 signatures: tman.predicate_index().num_signatures(),
                 entries: tman.predicate_index().num_entries(),
                 memory_bytes: tman.predicate_index().memory_bytes(),
+                tagged_entries: tman.tagged_entries(),
+                tag_dedup_hits: tman.tag_dedup_hits(),
                 per_org,
                 governor,
             },
@@ -747,6 +761,10 @@ impl MetricsSnapshot {
             out.push_str(&format!("  firings            {}\n", self.engine.firings));
             out.push_str(&format!("  actions run        {}\n", self.engine.actions));
             out.push_str(&format!("  task errors        {}\n", self.engine.errors));
+            out.push_str(&format!(
+                "  windows            fires={} evictions={}\n",
+                self.engine.window_fires, self.engine.window_evictions
+            ));
         }
         if want("queue") {
             out.push_str("queue:\n");
@@ -826,6 +844,10 @@ impl MetricsSnapshot {
                 self.index.residual_tests, self.index.retest_rate
             ));
             out.push_str(&format!("  matches            {}\n", self.index.matches));
+            out.push_str(&format!(
+                "  tagged disjuncts   entries={} dedup_hits={}\n",
+                self.index.tagged_entries, self.index.tag_dedup_hits
+            ));
             for o in &self.index.per_org {
                 out.push_str(&format!(
                     "  org {:<16} probes={} matches={}\n",

@@ -26,4 +26,6 @@ pub use cnf::{Cnf, ConditionGraph, Conjunct, JoinEdge};
 pub use pred::{AtomKind, AtomicPred, CmpOp, Pred};
 pub use resolve::BindCtx;
 pub use scalar::{Env, Func, Scalar};
-pub use signature::{IndexPlan, SelectionSignature, SignatureKey};
+pub use signature::{
+    decompose_disjunction, IndexPlan, SelectionSignature, SignatureKey, MAX_TAGGED_DISJUNCTS,
+};

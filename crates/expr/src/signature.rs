@@ -11,10 +11,16 @@
 //! most-selective-conjunct choice of \[Hans90\].
 
 use crate::cnf::{Cnf, Conjunct};
-use crate::pred::{AtomKind, CmpOp};
+use crate::pred::{AtomKind, AtomicPred, CmpOp};
 use crate::scalar::Scalar;
 use std::fmt;
 use tman_common::{DataSourceId, EventKind, Value};
+
+/// Upper bound on the number of disjuncts tagged execution will split a
+/// predicate into. Beyond this, multi-set membership stops paying for
+/// itself (every branch is a physical entry the governor must account) and
+/// the residual scan is kept instead.
+pub const MAX_TAGGED_DISJUNCTS: usize = 8;
 
 /// Identity of a signature: `(data source, operation code, generalized
 /// expression)`. The generalized expression is identified by its canonical
@@ -190,6 +196,76 @@ fn classify(c: &Conjunct) -> ConjunctClass {
         }
         _ => ConjunctClass::Other,
     }
+}
+
+/// Is this atom individually index-selectable — a non-negated ordered or
+/// equality comparison between a bare column of variable 0 and a constant?
+/// Exactly the atoms [`classify`] would accept as a standalone conjunct
+/// after generalization (the constant becomes a placeholder).
+fn atom_selectable(a: &AtomicPred) -> bool {
+    if a.negated {
+        return false;
+    }
+    let AtomKind::Cmp { op, left, right } = &a.kind else {
+        return false;
+    };
+    if matches!(op, CmpOp::Like | CmpOp::Ne) {
+        return false;
+    }
+    let is_const = |s: &Scalar| matches!(s, Scalar::Const(_));
+    (matches!(left.as_column(), Some((0, _))) && is_const(right))
+        || (is_const(left) && matches!(right.as_column(), Some((0, _))))
+}
+
+/// Tagged-execution decomposition of a disjunctive selection predicate
+/// (Kim & Madden, "Optimizing Disjunctive Queries with Tagged Execution").
+///
+/// If the CNF contains a conjunct `(a1 OR ... OR an)` whose atoms are each
+/// individually index-selectable (column-vs-constant equality or range),
+/// rewrite `(a1 ∨ ... ∨ an) ∧ R` as the n branch predicates `ai ∧ R` — an
+/// equivalence because conjunction distributes over disjunction. Each
+/// branch is then analyzable into a signature with a real index plan keyed
+/// by `ai`, so the trigger enters one constant set per disjunct instead of
+/// falling into the residual linear scan. Branches can overlap on a token
+/// (`x = 1 or x < 5` both match `x = 1`), which is why every branch entry
+/// must carry a shared *tag* the engine dedupes per token.
+///
+/// Returns the branch CNFs (original conjunct order preserved, with the
+/// decomposed conjunct replaced in place by the single atom), or `None`
+/// when no conjunct qualifies: the predicate has no multi-atom disjunction,
+/// the best candidate has a non-selectable atom (negation, `LIKE`, `<>`,
+/// arithmetic on the column), or it exceeds [`MAX_TAGGED_DISJUNCTS`].
+/// Only the *first* qualifying conjunct is decomposed — splitting several
+/// would multiply entries combinatorially; the remaining disjunctions stay
+/// residual inside every branch, which is still correct.
+///
+/// Operates on the concrete (pre-generalization) selection so the engine
+/// can feed each branch straight back through [`analyze_selection`]; each
+/// branch renumbers its own placeholders independently.
+pub fn decompose_disjunction(selection: &Cnf) -> Option<Vec<Cnf>> {
+    let target = selection.conjuncts.iter().position(|c| {
+        c.atoms.len() >= 2
+            && c.atoms.len() <= MAX_TAGGED_DISJUNCTS
+            && c.atoms.iter().all(atom_selectable)
+    })?;
+    let mut branches: Vec<Cnf> = Vec::with_capacity(selection.conjuncts[target].atoms.len());
+    let mut seen: Vec<String> = Vec::new();
+    for atom in &selection.conjuncts[target].atoms {
+        let mut conjuncts = selection.conjuncts.clone();
+        conjuncts[target] = Conjunct {
+            atoms: vec![atom.clone()],
+        };
+        let branch = Cnf { conjuncts };
+        // Duplicate atoms (`x = 1 or x = 1`) would register two identical
+        // entries under one tag — harmless under dedup, but wasteful.
+        let desc = branch.to_string();
+        if seen.contains(&desc) {
+            continue;
+        }
+        seen.push(desc);
+        branches.push(branch);
+    }
+    Some(branches)
 }
 
 /// Analyze one selection predicate (already canonicalized onto variable 0;
@@ -478,6 +554,83 @@ mod tests {
         assert!(sel("emp.dept = 1") < sel("emp.salary > 5"));
         assert!(sel("emp.salary > 5") < sel("emp.dept <> 1"));
         assert!(sel("emp.dept = 1") < sel("emp.dept = 1 or emp.dept = 2"));
+    }
+
+    fn cnf_of(cond: &str) -> Cnf {
+        let schema = emp();
+        let ctx = BindCtx::new(vec![("emp".into(), &schema)]);
+        to_cnf(&ctx.pred(&parse_expression(cond).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn decompose_splits_selectable_disjunction() {
+        let branches = decompose_disjunction(&cnf_of("emp.dept = 1 or emp.dept = 2")).unwrap();
+        assert_eq!(branches.len(), 2);
+        for b in &branches {
+            let (sig, _) = analyze_selection(b, DataSourceId(1), EventKind::Insert, vec![]);
+            assert!(matches!(sig.index_plan, IndexPlan::Equality { .. }));
+            assert!(sig.residual.is_none(), "single-atom branch fully indexed");
+        }
+        // The two branches carry different constants and different keys.
+        let (sa, ca) = analyze_selection(&branches[0], DataSourceId(1), EventKind::Insert, vec![]);
+        let (sb, cb) = analyze_selection(&branches[1], DataSourceId(1), EventKind::Insert, vec![]);
+        assert_eq!(sa.key, sb.key, "same shape, same signature class");
+        assert_eq!(ca, vec![Value::Int(1)]);
+        assert_eq!(cb, vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn decompose_keeps_residual_in_every_branch() {
+        let branches = decompose_disjunction(&cnf_of(
+            "(emp.dept = 1 or emp.salary > 100) and emp.name like 'B%'",
+        ))
+        .unwrap();
+        assert_eq!(branches.len(), 2);
+        let (s0, _) = analyze_selection(&branches[0], DataSourceId(1), EventKind::Insert, vec![]);
+        assert!(matches!(s0.index_plan, IndexPlan::Equality { .. }));
+        assert!(s0.residual.is_some(), "LIKE conjunct stays residual");
+        let (s1, _) = analyze_selection(&branches[1], DataSourceId(1), EventKind::Insert, vec![]);
+        assert!(matches!(s1.index_plan, IndexPlan::Range { .. }));
+        assert!(s1.residual.is_some());
+    }
+
+    #[test]
+    fn decompose_dedupes_identical_disjuncts() {
+        let branches = decompose_disjunction(&cnf_of("emp.dept = 1 or emp.dept = 1"));
+        // Simplification may collapse the duplicate before we ever see it;
+        // either way at most one branch per distinct atom survives.
+        if let Some(branches) = branches {
+            assert_eq!(branches.len(), 1);
+        }
+    }
+
+    #[test]
+    fn decompose_refuses_unselectable_disjuncts() {
+        // A LIKE, negation, or arithmetic disjunct poisons the whole
+        // disjunction: one branch would need a linear scan anyway.
+        assert!(decompose_disjunction(&cnf_of("emp.name like 'B%' or emp.dept = 1")).is_none());
+        assert!(decompose_disjunction(&cnf_of("emp.dept <> 1 or emp.dept = 2")).is_none());
+        assert!(decompose_disjunction(&cnf_of("emp.salary * 2 > 10 or emp.dept = 1")).is_none());
+        // No disjunction at all.
+        assert!(decompose_disjunction(&cnf_of("emp.dept = 1")).is_none());
+        assert!(decompose_disjunction(&cnf_of("emp.dept = 1 and emp.salary > 5")).is_none());
+    }
+
+    #[test]
+    fn decompose_respects_branch_cap() {
+        let wide = (0..MAX_TAGGED_DISJUNCTS + 1)
+            .map(|i| format!("emp.dept = {i}"))
+            .collect::<Vec<_>>()
+            .join(" or ");
+        assert!(decompose_disjunction(&cnf_of(&wide)).is_none());
+        let ok = (0..MAX_TAGGED_DISJUNCTS)
+            .map(|i| format!("emp.dept = {i}"))
+            .collect::<Vec<_>>()
+            .join(" or ");
+        assert_eq!(
+            decompose_disjunction(&cnf_of(&ok)).unwrap().len(),
+            MAX_TAGGED_DISJUNCTS
+        );
     }
 
     #[test]

@@ -263,6 +263,18 @@ pub enum Action {
     Notify(String),
 }
 
+/// Windowed-threshold clause: `count >= K within <duration>` — the
+/// trigger fires only while at least `count` matching events arrived
+/// inside the trailing window (Bonifati et al., "Threshold Queries in
+/// Theory and in the Wild").
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    /// Threshold `K` (>= 1).
+    pub count: u64,
+    /// Window width in nanoseconds (> 0).
+    pub within_ns: u64,
+}
+
 /// `create trigger` statement (§2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CreateTrigger {
@@ -276,6 +288,8 @@ pub struct CreateTrigger {
     pub on: Option<EventSpec>,
     /// Optional `when` condition.
     pub when: Option<Expr>,
+    /// Optional windowed threshold (`when [pred] count >= K within W`).
+    pub window: Option<WindowSpec>,
     /// `group by` expressions (parsed; rejected by the engine per §9
     /// future work).
     pub group_by: Vec<Expr>,

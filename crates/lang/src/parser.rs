@@ -285,6 +285,7 @@ impl Parser {
             from: Vec::new(),
             on: None,
             when: None,
+            window: None,
             group_by: Vec::new(),
             having: None,
             action: Action::Notify(String::new()),
@@ -310,7 +311,19 @@ impl Parser {
             } else if self.eat_kw("on") {
                 t.on = Some(self.event_spec()?);
             } else if self.eat_kw("when") {
-                t.when = Some(self.expr()?);
+                // `when count >= K within W` is a pure windowed threshold;
+                // `when <pred> count >= K within W` filters first. The
+                // window form is recognized only as `count` followed by
+                // `>=`, so a bare column named `count` still parses inside
+                // the predicate (e.g. `when count = 5`).
+                if self.peek_kw("count") && self.peek2() == Some(&Token::Ge) {
+                    t.window = Some(self.window_spec()?);
+                } else {
+                    t.when = Some(self.expr()?);
+                    if self.peek_kw("count") && self.peek2() == Some(&Token::Ge) {
+                        t.window = Some(self.window_spec()?);
+                    }
+                }
             } else if self.peek_kw("group") {
                 self.pos += 1;
                 self.expect_kw("by")?;
@@ -329,6 +342,42 @@ impl Parser {
                 return Err(self.err("expected trigger clause or 'do'"));
             }
         }
+    }
+
+    /// `count >= K within N <unit>` — the windowed-threshold clause.
+    fn window_spec(&mut self) -> Result<WindowSpec> {
+        self.expect_kw("count")?;
+        self.expect(&Token::Ge)?;
+        let count = self.int_literal()?;
+        if count < 1 {
+            return Err(TmanError::Parse(
+                "window threshold count must be >= 1".into(),
+            ));
+        }
+        self.expect_kw("within")?;
+        let amount = self.int_literal()?;
+        if amount < 1 {
+            return Err(TmanError::Parse("window duration must be positive".into()));
+        }
+        let unit = self.ident()?;
+        let per_ns: u64 = match unit.to_ascii_lowercase().as_str() {
+            "ms" | "millisecond" | "milliseconds" => 1_000_000,
+            "s" | "sec" | "secs" | "second" | "seconds" => 1_000_000_000,
+            "min" | "mins" | "minute" | "minutes" => 60_000_000_000,
+            "h" | "hour" | "hours" => 3_600_000_000_000,
+            other => {
+                return Err(TmanError::Parse(format!(
+                    "unknown window unit '{other}' (ms/seconds/minutes/hours)"
+                )))
+            }
+        };
+        let within_ns = (amount as u64).checked_mul(per_ns).ok_or_else(|| {
+            TmanError::Parse("window duration overflows a u64 nanosecond count".into())
+        })?;
+        Ok(WindowSpec {
+            count: count as u64,
+            within_ns,
+        })
     }
 
     fn event_spec(&mut self) -> Result<EventSpec> {
@@ -1098,6 +1147,79 @@ mod tests {
         assert!(parse_command("trace last 0").is_err());
         assert!(parse_command("trace token -1").is_err());
         assert!(parse_command("trace token 1 extra").is_err());
+    }
+
+    #[test]
+    fn windowed_threshold_parses() {
+        // Pure window: no predicate, every source event counts.
+        let Command::CreateTrigger(t) = parse_command(
+            "create trigger burst from q when count >= 3 within 10 seconds \
+             do raise event Burst(q.sym)",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(t.when.is_none());
+        let w = t.window.unwrap();
+        assert_eq!(w.count, 3);
+        assert_eq!(w.within_ns, 10_000_000_000);
+
+        // Filtered window: predicate first, then the count clause.
+        let Command::CreateTrigger(t) = parse_command(
+            "create trigger spike from q when q.price > 100 count >= 5 within 2 minutes \
+             do notify 'spike'",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(t.when.is_some());
+        let w = t.window.unwrap();
+        assert_eq!(w.count, 5);
+        assert_eq!(w.within_ns, 120_000_000_000);
+
+        // Unit coverage.
+        for (unit, ns) in [
+            ("ms", 1_000_000u64),
+            ("s", 1_000_000_000),
+            ("sec", 1_000_000_000),
+            ("minutes", 60_000_000_000),
+            ("hours", 3_600_000_000_000),
+        ] {
+            let Command::CreateTrigger(t) = parse_command(&format!(
+                "create trigger u from q when count >= 1 within 7 {unit} do notify 'x'"
+            ))
+            .unwrap() else {
+                panic!()
+            };
+            assert_eq!(t.window.unwrap().within_ns, 7 * ns, "unit {unit}");
+        }
+    }
+
+    #[test]
+    fn windowed_threshold_errors() {
+        // count < 1, bad duration, unknown unit, wrong operator.
+        assert!(
+            parse_command("create trigger t from q when count >= 0 within 1 s do notify 'x'")
+                .is_err()
+        );
+        assert!(
+            parse_command("create trigger t from q when count >= 2 within 0 s do notify 'x'")
+                .is_err()
+        );
+        assert!(parse_command(
+            "create trigger t from q when count >= 2 within 5 fortnights do notify 'x'"
+        )
+        .is_err());
+        // `count = 5` is NOT the window form: it parses as a column
+        // comparison on a column named count (and then fails resolution
+        // later if absent — but the parse succeeds).
+        let Command::CreateTrigger(t) =
+            parse_command("create trigger t from q when count = 5 do notify 'x'").unwrap()
+        else {
+            panic!()
+        };
+        assert!(t.window.is_none());
+        assert!(t.when.is_some());
     }
 
     #[test]

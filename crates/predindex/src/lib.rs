@@ -136,6 +136,13 @@ pub struct IndexConfig {
     /// maintenance path. Off by default: the legacy insert-time promotion
     /// stays in effect.
     pub adaptive: bool,
+    /// Tagged execution of disjunctions (Kim & Madden): when a selection
+    /// predicate's only obstacle to indexing is an OR over individually
+    /// selectable atoms, the engine registers one entry per disjunct —
+    /// each with a shared per-predicate tag deduped per token — instead of
+    /// one residual-scan entry. Disable to force the legacy residual-scan
+    /// behavior (the E15 baseline and the disjunction oracle's reference).
+    pub tagged_disjunctions: bool,
 }
 
 impl Default for IndexConfig {
@@ -145,6 +152,7 @@ impl Default for IndexConfig {
             index_to_db: usize::MAX,
             normalized: true,
             adaptive: false,
+            tagged_disjunctions: true,
         }
     }
 }

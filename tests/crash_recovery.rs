@@ -26,6 +26,14 @@
 //! Every schedule derives from the case number, so a failure replays
 //! exactly. `CRASH_CASES` bounds the default run; the `#[ignore]`d sweep
 //! covers the full 64 cases (run it with `cargo test -- --ignored`).
+//!
+//! The **tagged** sweep re-runs the same schedule with every trigger
+//! shaped as a two-arm disjunction whose arms BOTH match the trigger's
+//! rows (`s.k = i or s.d = 'di'`): under tagged execution each fire is a
+//! multi-disjunct fire deduplicated by a per-token tag claim, so the
+//! post-restart "delivered at most once" assertion now also proves that
+//! the redelivery paths (per-token, batched replay) re-arm claims — a
+//! restart must not turn one logical fire into one per disjunct.
 
 use std::collections::BTreeMap;
 use tman_common::Value;
@@ -66,8 +74,60 @@ fn drain_fires(
     }
 }
 
+/// How the sweep's rows and triggers are shaped. The plain family uses
+/// one single-equality condition per trigger; the tagged family gives
+/// every trigger two selectable disjuncts that both match its rows, so
+/// every delivery exercises the tag-claim dedup.
+struct Shape {
+    table_sql: &'static str,
+    trigger_ddl: fn(usize) -> String,
+    insert_sql: fn(u64, usize) -> String,
+    /// Predicate-index entries each phase-A trigger contributes (one per
+    /// selectable disjunct under tagged execution).
+    entries_per_trigger: usize,
+    tagged: bool,
+}
+
+fn plain_trigger(i: usize) -> String {
+    format!("create trigger r{i} from s when s.k = {i} do raise event Fired(s.k, s.v)")
+}
+
+fn plain_insert(serial: u64, k: usize) -> String {
+    format!("insert into s values ({k}, 't{serial}')")
+}
+
+const PLAIN: Shape = Shape {
+    table_sql: "create table s (k int, v varchar(16))",
+    trigger_ddl: plain_trigger,
+    insert_sql: plain_insert,
+    entries_per_trigger: 1,
+    tagged: false,
+};
+
+/// Both arms match every row the trigger fires on (`k = i` and
+/// `d = 'di'`), and no other trigger's arm matches it, so the schedule's
+/// one-trigger-per-token accounting carries over unchanged.
+fn tagged_trigger(i: usize) -> String {
+    format!(
+        "create trigger r{i} from s when s.k = {i} or s.d = 'd{i}' \
+         do raise event Fired(s.k, s.v)"
+    )
+}
+
+fn tagged_insert(serial: u64, k: usize) -> String {
+    format!("insert into s values ({k}, 't{serial}', 'd{k}')")
+}
+
+const TAGGED: Shape = Shape {
+    table_sql: "create table s (k int, v varchar(16), d varchar(8))",
+    trigger_ddl: tagged_trigger,
+    insert_sql: tagged_insert,
+    entries_per_trigger: 2,
+    tagged: true,
+};
+
 fn crash_case(case: u64) {
-    crash_case_cfg(case, Config::default(), "case");
+    crash_case_cfg(case, Config::default(), "case", &PLAIN);
 }
 
 /// Same schedule, drained in 16-token batches across 4 shards: the crash
@@ -82,10 +142,26 @@ fn crash_case_batched(case: u64) {
         drain_batch: 16,
         ..Default::default()
     };
-    crash_case_cfg(case, cfg, "batched");
+    crash_case_cfg(case, cfg, "batched", &PLAIN);
 }
 
-fn crash_case_cfg(case: u64, base: Config, tag: &str) {
+/// The tagged-execution sweep: multi-disjunct triggers, alternating
+/// between per-token and sharded/batched drain so the batch-replay path
+/// also proves it re-arms tag claims on redelivered tokens.
+fn crash_case_tagged(case: u64) {
+    let cfg = if case % 2 == 0 {
+        Config::default()
+    } else {
+        Config {
+            shards: Some(4),
+            drain_batch: 16,
+            ..Default::default()
+        }
+    };
+    crash_case_cfg(case, cfg, "tagged", &TAGGED);
+}
+
+fn crash_case_cfg(case: u64, base: Config, tag: &str, shape: &Shape) {
     let path = tmpfile(&format!("{tag}{case}"));
     cleanup(&path);
     // Every case pins its own schedule: a distinct RNG seed, a distinct
@@ -113,15 +189,11 @@ fn crash_case_cfg(case: u64, base: Config, tag: &str) {
         let tman = TriggerMan::open_file(&path, cfg).unwrap();
         let rx = tman.subscribe("Fired");
         // ----- phase A: reliable disk, all of this is durable ------------
-        tman.run_sql("create table s (k int, v varchar(16))")
-            .unwrap();
+        tman.run_sql(shape.table_sql).unwrap();
         tman.execute_command("define data source s from table s")
             .unwrap();
         for i in 0..TRIGGERS {
-            tman.execute_command(&format!(
-                "create trigger r{i} from s when s.k = {i} do raise event Fired(s.k, s.v)"
-            ))
-            .unwrap();
+            tman.execute_command(&(shape.trigger_ddl)(i)).unwrap();
         }
         tman.checkpoint().unwrap();
         let oracle_triggers = tman.trigger_names();
@@ -136,10 +208,7 @@ fn crash_case_cfg(case: u64, base: Config, tag: &str) {
         let mut serial = 0u64;
         while !plan.crashed() && serial < MAX_OPS {
             let k = serial as usize % TRIGGERS;
-            if tman
-                .run_sql(&format!("insert into s values ({k}, 't{serial}')"))
-                .is_ok()
-            {
+            if tman.run_sql(&(shape.insert_sql)(serial, k)).is_ok() {
                 pending.push(serial);
             }
             serial += 1;
@@ -209,9 +278,11 @@ fn crash_case_cfg(case: u64, base: Config, tag: &str) {
                 "case {case}: phantom trigger {t} appeared after recovery"
             );
         }
+        // The tmp triggers are single-equality in both shapes; the phase-A
+        // population contributes one entry per selectable disjunct.
         assert_eq!(
             tman.predicate_index().num_entries(),
-            TRIGGERS + tmps.len(),
+            TRIGGERS * shape.entries_per_trigger + tmps.len(),
             "case {case}: predicate index out of step with the catalog"
         );
         if tmps.is_empty() {
@@ -249,11 +320,23 @@ fn crash_case_cfg(case: u64, base: Config, tag: &str) {
                 "case {case}: durable token t{serial} was lost"
             );
         }
-        // No double delivery after restart.
+        // No double delivery after restart. Under the tagged shape every
+        // fire is a multi-disjunct fire, so this is also the proof that
+        // replayed tokens claim their tags: an unarmed claim set admits
+        // both arms and delivers twice.
         for (id, &n) in &post {
             assert!(
                 n <= 1,
                 "case {case}: token {id} delivered {n} times after restart"
+            );
+        }
+        if shape.tagged {
+            let post_total: usize = post.values().sum();
+            assert!(
+                tman.tag_dedup_hits() as usize >= post_total,
+                "case {case}: {post_total} replayed multi-disjunct fires but only \
+                 {} tag-dedup hits — a redelivered token ran with inert claims",
+                tman.tag_dedup_hits()
             );
         }
         tman.checkpoint().unwrap();
@@ -294,6 +377,13 @@ fn crash_sweep_batched_drain() {
     }
 }
 
+#[test]
+fn crash_sweep_tagged_disjunctions() {
+    for case in 0..budget() {
+        crash_case_tagged(case);
+    }
+}
+
 /// The full pinned-seed sweep. Slow; run with `cargo test -- --ignored`.
 #[test]
 #[ignore]
@@ -301,5 +391,6 @@ fn crash_sweep_full() {
     for case in 0..64 {
         crash_case(case);
         crash_case_batched(case);
+        crash_case_tagged(case);
     }
 }

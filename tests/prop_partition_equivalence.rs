@@ -12,11 +12,13 @@
 //! seed, so every run explores the same cases. `PARTITION_CASES` bounds
 //! the case count (CI keeps it small; the `--ignored` variant runs more).
 
+mod oracle_common;
+
+use oracle_common::{
+    adaptive_cfg, arb_cond, arb_token, env_cases, q_tuple, seeded_runner, static_cfg, Harness,
+};
 use proptest::prelude::*;
-use proptest::test_runner::{Config as PtConfig, RngAlgorithm, TestRng, TestRunner};
-use std::sync::Arc;
-use tman_common::{Tuple, UpdateDescriptor, Value};
-use triggerman::{Config, Partitioning, TriggerMan};
+use tman_common::UpdateDescriptor;
 
 const SEED: [u8; 32] = *b"tman-partition-equiv-seed-0001!!";
 const STATIC_FANOUTS: [usize; 3] = [2, 4, 8];
@@ -25,112 +27,8 @@ const STATIC_FANOUTS: [usize; 3] = [2, 4, 8];
 /// transition, so the stream crosses every controller transition kind.
 const FORCED_FANOUTS: [usize; 4] = [1, 2, 4, 8];
 
-#[derive(Debug, Clone)]
-struct Cond(String);
-
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    let sym = 0u32..6;
-    let price = 0i64..100;
-    prop_oneof![
-        sym.clone().prop_map(|s| Cond(format!("q.sym = 'S{s}'"))),
-        price.clone().prop_map(|p| Cond(format!("q.price > {p}"))),
-        (price.clone(), 1i64..30)
-            .prop_map(|(p, w)| Cond(format!("q.price > {p} and q.price <= {}", p + w))),
-        (sym.clone(), price.clone())
-            .prop_map(|(s, p)| Cond(format!("q.sym = 'S{s}' and q.price >= {p}"))),
-        (sym.clone(), sym.clone())
-            .prop_map(|(a, b)| Cond(format!("q.sym = 'S{a}' or q.sym = 'S{b}'"))),
-        (0i64..50).prop_map(|v| Cond(format!("q.vol = {v}"))),
-        (sym, 0i64..50).prop_map(|(s, v)| Cond(format!("q.sym <> 'S{s}' and q.vol = {v}"))),
-    ]
-}
-
-fn arb_token() -> impl Strategy<Value = (u32, i64, i64)> {
-    (0u32..8, 0i64..110, 0i64..55)
-}
-
-/// One engine plus its firing tap.
-struct Harness {
-    label: String,
-    tman: Arc<TriggerMan>,
-    rx: crossbeam::channel::Receiver<triggerman::EventNotification>,
-    src: tman_common::DataSourceId,
-}
-
-impl Harness {
-    fn new(label: &str, cfg: Config, conds: &[Cond]) -> Harness {
-        let tman = TriggerMan::open_memory(cfg).unwrap();
-        tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
-            .unwrap();
-        let rx = tman.events().subscribe_all();
-        for (i, c) in conds.iter().enumerate() {
-            tman.execute_command(&format!(
-                "create trigger p{i} from q when {} do raise event T{i}(q.sym)",
-                c.0
-            ))
-            .unwrap();
-        }
-        let src = tman.source("q").unwrap().id;
-        Harness {
-            label: label.to_string(),
-            tman,
-            rx,
-            src,
-        }
-    }
-
-    /// Push one token, drain, and return the sorted multiset of events.
-    fn fire(&self, tok: &UpdateDescriptor) -> Vec<String> {
-        let mut tok = tok.clone();
-        tok.data_src = self.src;
-        self.tman.push_token(tok).unwrap();
-        self.tman.run_until_quiescent().unwrap();
-        assert!(
-            self.tman.last_error().is_none(),
-            "[{}] {:?}",
-            self.label,
-            self.tman.last_error()
-        );
-        let mut fired: Vec<String> = self.rx.try_iter().map(|n| n.event).collect();
-        fired.sort();
-        fired
-    }
-}
-
-fn static_cfg(parts: usize) -> Config {
-    Config {
-        condition_partitions: parts,
-        partition_min: 1,
-        ..Config::default()
-    }
-}
-
-/// Adaptive with telemetry off: no controller instance runs, so the test
-/// owns the published per-signature fan-out and can force transitions.
-fn adaptive_cfg() -> Config {
-    Config {
-        partitioning: Partitioning::Adaptive,
-        telemetry: false,
-        partition_min: 1,
-        ..Config::default()
-    }
-}
-
-fn cases(default: u32) -> u32 {
-    std::env::var("PARTITION_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
 fn run_equivalence(num_cases: u32) {
-    let config = PtConfig {
-        cases: num_cases,
-        failure_persistence: None,
-        ..PtConfig::default()
-    };
-    let mut runner =
-        TestRunner::new_with_rng(config, TestRng::from_seed(RngAlgorithm::ChaCha, &SEED));
+    let mut runner = seeded_runner(&SEED, num_cases);
     let strategy = (
         proptest::collection::vec(arb_cond(), 1..24),
         proptest::collection::vec(arb_token(), 1..24),
@@ -151,12 +49,7 @@ fn run_equivalence(num_cases: u32) {
                 sig.partition_activity().set_fanout(forced);
             }
 
-            let tuple = Tuple::new(vec![
-                Value::str(format!("S{s}")),
-                Value::Float(*p as f64),
-                Value::Int(*v),
-            ]);
-            let tok = UpdateDescriptor::insert(reference.src, tuple);
+            let tok = UpdateDescriptor::insert(reference.src, q_tuple(*s, *p, *v));
             let expected = reference.fire(&tok);
             for h in &partitioned {
                 let fired = h.fire(&tok);
@@ -179,11 +72,11 @@ fn run_equivalence(num_cases: u32) {
 
 #[test]
 fn partitioned_firing_multisets_match_unpartitioned() {
-    run_equivalence(cases(64));
+    run_equivalence(env_cases("PARTITION_CASES", 64));
 }
 
 #[test]
 #[ignore = "long equivalence sweep; run with --ignored"]
 fn partitioned_firing_multisets_match_unpartitioned_long() {
-    run_equivalence(cases(64).max(256));
+    run_equivalence(env_cases("PARTITION_CASES", 64).max(256));
 }

@@ -16,8 +16,11 @@
 //! shrinking still works because the cases run under a regular proptest
 //! `TestRunner`.
 
+mod oracle_common;
+
+use oracle_common::{env_cases, seeded_runner};
 use proptest::prelude::*;
-use proptest::test_runner::{RngAlgorithm, TestCaseError, TestError, TestRng, TestRunner};
+use proptest::test_runner::{TestCaseError, TestError};
 use std::sync::Arc;
 use tman_common::{
     DataSourceId, DataType, EventKind, ExprId, NodeId, Result, Schema, TriggerId, Tuple,
@@ -275,18 +278,7 @@ fn run_case(
 
 #[test]
 fn predicate_index_agrees_with_naive_oracle() {
-    let cases: u32 = std::env::var("ORACLE_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256);
-    let mut runner = TestRunner::new_with_rng(
-        ProptestConfig {
-            cases,
-            failure_persistence: None,
-            ..ProptestConfig::default()
-        },
-        TestRng::from_seed(RngAlgorithm::ChaCha, &SEED),
-    );
+    let mut runner = seeded_runner(&SEED, env_cases("ORACLE_CASES", 256));
     let strategy = (
         proptest::collection::vec(arb_trigger(), 1..32),
         proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
@@ -309,14 +301,7 @@ fn predicate_index_agrees_with_naive_oracle() {
 #[test]
 #[ignore = "long-running oracle sweep; run with --ignored"]
 fn predicate_index_oracle_long() {
-    let mut runner = TestRunner::new_with_rng(
-        ProptestConfig {
-            cases: 1024,
-            failure_persistence: None,
-            ..ProptestConfig::default()
-        },
-        TestRng::from_seed(RngAlgorithm::ChaCha, &SEED),
-    );
+    let mut runner = seeded_runner(&SEED, 1024);
     let strategy = (
         proptest::collection::vec(arb_trigger(), 1..64),
         proptest::collection::vec(any::<proptest::sample::Index>(), 0..24),

@@ -18,11 +18,13 @@
 //! seed. `SHARD_CASES` bounds the case count (CI keeps it small; the
 //! `--ignored` variant runs more).
 
+mod oracle_common;
+
+use oracle_common::{
+    arb_cond, arb_token, env_cases, partitioned_cfg, q_tuple, seeded_runner, shard_cfg, Harness,
+};
 use proptest::prelude::*;
-use proptest::test_runner::{Config as PtConfig, RngAlgorithm, TestRng, TestRunner};
-use std::sync::Arc;
-use tman_common::{Tuple, UpdateDescriptor, Value};
-use triggerman::{Config, TriggerMan};
+use tman_common::UpdateDescriptor;
 
 const SEED: [u8; 32] = *b"tman-shard-equivalence-seed-01!!";
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -33,119 +35,8 @@ const FORCED_ACTIVE: [usize; 5] = [1, 2, 8, 3, 4];
 /// Tokens pushed per drain round; >1 sizes exercise the batched path.
 const CHUNK_SIZES: [usize; 5] = [1, 3, 7, 2, 5];
 
-#[derive(Debug, Clone)]
-struct Cond(String);
-
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    let sym = 0u32..6;
-    let price = 0i64..100;
-    prop_oneof![
-        sym.clone().prop_map(|s| Cond(format!("q.sym = 'S{s}'"))),
-        price.clone().prop_map(|p| Cond(format!("q.price > {p}"))),
-        (price.clone(), 1i64..30)
-            .prop_map(|(p, w)| Cond(format!("q.price > {p} and q.price <= {}", p + w))),
-        (sym.clone(), price.clone())
-            .prop_map(|(s, p)| Cond(format!("q.sym = 'S{s}' and q.price >= {p}"))),
-        (sym.clone(), sym.clone())
-            .prop_map(|(a, b)| Cond(format!("q.sym = 'S{a}' or q.sym = 'S{b}'"))),
-        (0i64..50).prop_map(|v| Cond(format!("q.vol = {v}"))),
-        (sym, 0i64..50).prop_map(|(s, v)| Cond(format!("q.sym <> 'S{s}' and q.vol = {v}"))),
-    ]
-}
-
-fn arb_token() -> impl Strategy<Value = (u32, i64, i64)> {
-    (0u32..8, 0i64..110, 0i64..55)
-}
-
-/// One engine plus its firing tap.
-struct Harness {
-    label: String,
-    tman: Arc<TriggerMan>,
-    rx: crossbeam::channel::Receiver<triggerman::EventNotification>,
-    src: tman_common::DataSourceId,
-}
-
-impl Harness {
-    fn new(label: &str, cfg: Config, conds: &[Cond]) -> Harness {
-        let tman = TriggerMan::open_memory(cfg).unwrap();
-        tman.execute_command("define data source q (sym varchar(12), price float, vol int)")
-            .unwrap();
-        let rx = tman.events().subscribe_all();
-        for (i, c) in conds.iter().enumerate() {
-            tman.execute_command(&format!(
-                "create trigger p{i} from q when {} do raise event T{i}(q.sym)",
-                c.0
-            ))
-            .unwrap();
-        }
-        let src = tman.source("q").unwrap().id;
-        Harness {
-            label: label.to_string(),
-            tman,
-            rx,
-            src,
-        }
-    }
-
-    /// Push a whole chunk before draining — with `drain_batch > 1` the
-    /// engine pulls it as one batch — and return the sorted firing
-    /// multiset.
-    fn fire_chunk(&self, toks: &[UpdateDescriptor]) -> Vec<String> {
-        for tok in toks {
-            let mut tok = tok.clone();
-            tok.data_src = self.src;
-            self.tman.push_token(tok).unwrap();
-        }
-        self.tman.run_until_quiescent().unwrap();
-        assert!(
-            self.tman.last_error().is_none(),
-            "[{}] {:?}",
-            self.label,
-            self.tman.last_error()
-        );
-        let mut fired: Vec<String> = self.rx.try_iter().map(|n| n.event).collect();
-        fired.sort();
-        fired
-    }
-}
-
-/// Unpartitioned probes: batched runs go through the sort-merge
-/// `probe_batch` path, the one a lost or double-visited key group would
-/// corrupt.
-fn shard_cfg(shards: usize, batch: usize) -> Config {
-    Config {
-        shards: Some(shards),
-        drain_batch: batch,
-        ..Config::default()
-    }
-}
-
-/// Partitioned probes: every eligible signature fans out as
-/// `SigPartition` tasks routed across the shards instead — the placement
-/// and steal-scan path.
-fn partitioned_cfg(shards: usize, batch: usize) -> Config {
-    Config {
-        condition_partitions: 2,
-        partition_min: 1,
-        ..shard_cfg(shards, batch)
-    }
-}
-
-fn cases(default: u32) -> u32 {
-    std::env::var("SHARD_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
 fn run_equivalence(num_cases: u32) {
-    let config = PtConfig {
-        cases: num_cases,
-        failure_persistence: None,
-        ..PtConfig::default()
-    };
-    let mut runner =
-        TestRunner::new_with_rng(config, TestRng::from_seed(RngAlgorithm::ChaCha, &SEED));
+    let mut runner = seeded_runner(&SEED, num_cases);
     let strategy = (
         proptest::collection::vec(arb_cond(), 1..16),
         proptest::collection::vec(arb_token(), 1..28),
@@ -207,16 +98,7 @@ fn run_equivalence(num_cases: u32) {
             }
             let chunk: Vec<UpdateDescriptor> = toks[pos..pos + size]
                 .iter()
-                .map(|(s, p, v)| {
-                    UpdateDescriptor::insert(
-                        harnesses[0].src,
-                        Tuple::new(vec![
-                            Value::str(format!("S{s}")),
-                            Value::Float(*p as f64),
-                            Value::Int(*v),
-                        ]),
-                    )
-                })
+                .map(|(s, p, v)| UpdateDescriptor::insert(harnesses[0].src, q_tuple(*s, *p, *v)))
                 .collect();
             let expected = harnesses[0].fire_chunk(&chunk);
             for h in &harnesses[1..] {
@@ -242,11 +124,11 @@ fn run_equivalence(num_cases: u32) {
 
 #[test]
 fn sharded_batched_firing_multisets_match_reference() {
-    run_equivalence(cases(32));
+    run_equivalence(env_cases("SHARD_CASES", 32));
 }
 
 #[test]
 #[ignore = "long shard/batch equivalence sweep; run with --ignored"]
 fn sharded_batched_firing_multisets_match_reference_long() {
-    run_equivalence(cases(32).max(128));
+    run_equivalence(env_cases("SHARD_CASES", 32).max(128));
 }
